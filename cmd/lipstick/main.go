@@ -1,0 +1,173 @@
+// Command lipstick inspects and queries persisted provenance snapshots
+// (the Query Processor of Section 5.1 as a CLI).
+//
+// Usage:
+//
+//	lipstick demo -o run.lpsk             # track a demo dealership run
+//	lipstick info run.lpsk                # graph statistics
+//	lipstick outputs run.lpsk             # recorded output relations
+//	lipstick zoom run.lpsk M_dealer1      # coarse view of given modules
+//	lipstick delete run.lpsk 42           # what-if deletion from node 42
+//	lipstick subgraph run.lpsk 42         # subgraph query
+//	lipstick lineage run.lpsk 42          # classified ancestry of node 42
+//	lipstick dot run.lpsk                 # Graphviz DOT on stdout
+//	lipstick opm run.lpsk                 # Open Provenance Model JSON
+//	lipstick json run.lpsk                # full snapshot as JSON
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"lipstick/internal/core"
+	"lipstick/internal/opm"
+	"lipstick/internal/provgraph"
+	"lipstick/internal/store"
+	"lipstick/internal/workflow"
+	"lipstick/internal/workflowgen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "lipstick: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: lipstick <demo|info|outputs|zoom|delete|subgraph|lineage|dot|opm|json> ...")
+	}
+	switch args[0] {
+	case "demo":
+		return demo(args[1:])
+	case "info", "outputs", "zoom", "delete", "subgraph", "lineage", "dot", "opm", "json":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: lipstick %s <snapshot> ...", args[0])
+		}
+		qp, err := core.Load(args[1])
+		if err != nil {
+			return err
+		}
+		return query(args[0], qp, args[2:])
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+// demo tracks a small dealership run and saves the snapshot.
+func demo(args []string) error {
+	out := "run.lpsk"
+	if len(args) == 2 && args[0] == "-o" {
+		out = args[1]
+	} else if len(args) != 0 {
+		return fmt.Errorf("usage: lipstick demo [-o file]")
+	}
+	run, err := workflowgen.RunDealership(workflowgen.DealershipParams{
+		NumCars: 240, NumExec: 10, Seed: 7,
+		Gran: workflow.Fine, StopOnPurchase: true,
+	})
+	if err != nil {
+		return err
+	}
+	snap := &store.Snapshot{Graph: run.Runner.Graph()}
+	for _, e := range run.Executions {
+		for node, rels := range e.Outputs {
+			for rel, rrel := range rels {
+				dump := store.RelationDump{Execution: e.Index, Node: node, Relation: rel}
+				for _, t := range rrel.Tuples {
+					dump.Tuples = append(dump.Tuples, store.AnnotatedTuple{Tuple: t.Tuple, Prov: t.Prov, Mult: t.Mult})
+				}
+				snap.Outputs = append(snap.Outputs, dump)
+			}
+		}
+	}
+	if err := store.Save(out, snap); err != nil {
+		return err
+	}
+	fmt.Printf("tracked %d execution(s); buyer wanted a %s; purchased=%v\n",
+		len(run.Executions), run.Buyer.Model, run.Purchased)
+	fmt.Printf("saved provenance snapshot to %s (%d nodes)\n", out, run.Runner.Graph().NumNodes())
+	return nil
+}
+
+func query(cmd string, qp *core.QueryProcessor, args []string) error {
+	g := qp.Graph()
+	switch cmd {
+	case "info":
+		stats := g.ComputeStats()
+		fmt.Printf("nodes: %d (p: %d, v: %d)\nedges: %d\ninvocations: %d\n",
+			stats.Nodes, stats.PNodes, stats.VNodes, stats.Edges, stats.Invocations)
+		for t, n := range stats.ByType {
+			fmt.Printf("  %-6s %d\n", t, n)
+		}
+		return nil
+	case "outputs":
+		for _, d := range qp.Outputs() {
+			fmt.Printf("execution %d, %s.%s:\n", d.Execution, d.Node, d.Relation)
+			for _, t := range d.Tuples {
+				fmt.Printf("  node %-6d x%d  %s\n", t.Prov, t.Mult, t.Tuple)
+			}
+		}
+		return nil
+	case "zoom":
+		if len(args) == 0 {
+			return fmt.Errorf("usage: lipstick zoom <snapshot> <module> ...")
+		}
+		before := g.NumNodes()
+		if err := qp.ZoomOut(args...); err != nil {
+			return err
+		}
+		fmt.Printf("zoomed out %v: %d -> %d nodes\n", args, before, g.NumNodes())
+		return nil
+	case "delete":
+		id, err := nodeArg(args, g)
+		if err != nil {
+			return err
+		}
+		res := qp.WhatIfDelete(id)
+		fmt.Printf("deleting node %d removes %d node(s):\n", id, res.Size())
+		for _, r := range res.Removed {
+			n := g.Node(r)
+			fmt.Printf("  %-6d %s %s %s\n", r, n.Type, n.Op, n.Label)
+		}
+		return nil
+	case "subgraph":
+		id, err := nodeArg(args, g)
+		if err != nil {
+			return err
+		}
+		sub := qp.Subgraph(id)
+		fmt.Printf("subgraph of node %d: %d node(s)\n", id, sub.Size())
+		return nil
+	case "lineage":
+		id, err := nodeArg(args, g)
+		if err != nil {
+			return err
+		}
+		l := qp.Lineage(id)
+		fmt.Printf("node %d: %d ancestors; %d workflow input(s); %d state tuple(s); modules %v\n",
+			id, l.AncestorCount, len(l.Inputs), len(l.StateTuples), l.Modules)
+		fmt.Printf("provenance: %s\n", qp.Expr(id))
+		return nil
+	case "dot":
+		return g.WriteDOT(os.Stdout, "lipstick")
+	case "opm":
+		return opm.Export(g).WriteJSON(os.Stdout)
+	case "json":
+		return store.ExportJSON(os.Stdout, &store.Snapshot{Graph: g, Outputs: qp.Outputs()})
+	}
+	return fmt.Errorf("unhandled command %q", cmd)
+}
+
+func nodeArg(args []string, g *provgraph.Graph) (provgraph.NodeID, error) {
+	if len(args) != 1 {
+		return 0, fmt.Errorf("expected a node id argument")
+	}
+	n, err := strconv.Atoi(args[0])
+	if err != nil || n < 0 || n >= g.TotalNodes() {
+		return 0, fmt.Errorf("invalid node id %q (graph has %d nodes)", args[0], g.TotalNodes())
+	}
+	return provgraph.NodeID(n), nil
+}

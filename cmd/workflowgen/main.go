@@ -1,0 +1,73 @@
+// Command workflowgen is the WorkflowGen benchmark driver (Section 5.2):
+// it regenerates the paper's figures as printed series.
+//
+// Usage:
+//
+//	workflowgen -fig fig5a              # one figure at default scale
+//	workflowgen -fig all -scale paper   # full evaluation at paper scale
+//	workflowgen -list                   # list experiment ids
+//
+// Scales: "default" (seconds per figure, the scale EXPERIMENTS.md records)
+// and "paper" (Section 5.3's parameters: 20,000 cars, 24 stations, the
+// full 1961-2000 history, 5 trials; expect long runtimes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lipstick/internal/workflowgen"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure id to run, or 'all'")
+	scaleName := flag.String("scale", "default", "experiment scale: default | paper")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	numCars := flag.Int("numcars", 0, "override the dealership inventory size")
+	seed := flag.Int64("seed", 0, "override the random seed")
+	trials := flag.Int("trials", 0, "override the number of trials per measurement")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:", strings.Join(workflowgen.FigureIDs, " "))
+		return
+	}
+
+	var scale workflowgen.Scale
+	switch *scaleName {
+	case "default":
+		scale = workflowgen.DefaultScale
+	case "paper":
+		scale = workflowgen.PaperScale
+	default:
+		fmt.Fprintf(os.Stderr, "workflowgen: unknown scale %q (want default or paper)\n", *scaleName)
+		os.Exit(2)
+	}
+	if *numCars > 0 {
+		scale.NumCars = *numCars
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+	if *trials > 0 {
+		scale.Trials = *trials
+	}
+
+	ids := workflowgen.FigureIDs
+	if *fig != "all" {
+		ids = strings.Split(*fig, ",")
+	}
+	for _, id := range ids {
+		start := time.Now()
+		figure, err := workflowgen.RunFigure(strings.TrimSpace(id), scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "workflowgen: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		figure.Print(os.Stdout)
+		fmt.Printf("   (experiment wall time: %s)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

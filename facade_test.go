@@ -1,0 +1,172 @@
+package lipstick_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"lipstick"
+)
+
+// buildFacadeWorkflow assembles a small pipeline through the public API.
+func buildFacadeWorkflow(t *testing.T) *lipstick.Workflow {
+	t.Helper()
+	str := lipstick.ScalarType(lipstick.KindString)
+	flt := lipstick.ScalarType(lipstick.KindFloat)
+	reqSchema := lipstick.NewSchema(lipstick.Field{Name: "Sku", Type: str})
+	itemSchema := lipstick.NewSchema(
+		lipstick.Field{Name: "Sku", Type: str},
+		lipstick.Field{Name: "Price", Type: flt},
+	)
+	w := lipstick.NewWorkflow()
+	src := &lipstick.Module{Name: "M_src", Out: lipstick.RelationSchemas{"Req": reqSchema}}
+	match := &lipstick.Module{
+		Name:  "M_match",
+		In:    lipstick.RelationSchemas{"Req": reqSchema},
+		State: lipstick.RelationSchemas{"Items": itemSchema},
+		Out:   lipstick.RelationSchemas{"Matches": itemSchema},
+		Program: `
+MJ = JOIN Items BY Sku, Req BY Sku;
+Matches = FOREACH MJ GENERATE Items::Sku AS Sku, Items::Price AS Price;
+`,
+	}
+	if err := w.AddNode("src", src); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddNode("match", match); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddEdge("src", "match", "Req"); err != nil {
+		t.Fatal(err)
+	}
+	w.In = []string{"src"}
+	w.Out = []string{"match"}
+	return w
+}
+
+// TestFacadeEndToEnd drives track -> save -> load -> query purely through
+// the public API.
+func TestFacadeEndToEnd(t *testing.T) {
+	w := buildFacadeWorkflow(t)
+	tr, err := lipstick.NewTracker(w, lipstick.Fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := lipstick.NewBag(
+		lipstick.NewTuple(lipstick.Str("A"), lipstick.Float(10)),
+		lipstick.NewTuple(lipstick.Str("B"), lipstick.Float(20)),
+	)
+	if err := tr.Runner().SetState("M_match", "Items", items, "item"); err != nil {
+		t.Fatal(err)
+	}
+	exec, err := tr.Execute(lipstick.Inputs{
+		"src": {"Req": lipstick.NewBag(lipstick.NewTuple(lipstick.Str("A")))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, ok := exec.Output("match", "Matches")
+	if !ok || matches.Len() != 1 {
+		t.Fatalf("Matches = %v", matches)
+	}
+
+	path := filepath.Join(t.TempDir(), "run.lpsk")
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	qp, err := lipstick.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	match := lipstick.NewTuple(lipstick.Str("A"), lipstick.Float(10))
+	node, ok := qp.FindOutputTuple("match", "Matches", match)
+	if !ok {
+		t.Fatal("match tuple not found")
+	}
+	itemA := qp.FindNodes(lipstick.NodeFilter{Label: "item0"})
+	if len(itemA) != 1 {
+		t.Fatalf("item0 = %v", itemA)
+	}
+	if !qp.DependsOn(node, itemA[0]) {
+		t.Error("the A match must depend on item A (its only derivation)")
+	}
+	if err := qp.ZoomOut("M_match"); err != nil {
+		t.Fatal(err)
+	}
+	if err := qp.ZoomIn(); err != nil {
+		t.Fatal(err)
+	}
+	res := qp.WhatIfDelete(itemA[0])
+	if !res.Deleted(node) {
+		t.Error("deleting item A must delete the match")
+	}
+	l := qp.Lineage(node)
+	if len(l.Inputs) != 1 || len(l.StateTuples) != 1 {
+		t.Errorf("lineage = %+v", l)
+	}
+	if qp.Polynomial(node).IsZero() {
+		t.Error("polynomial must be nonzero")
+	}
+}
+
+// TestFacadeGranularities runs the same workflow in all three modes.
+func TestFacadeGranularities(t *testing.T) {
+	for _, gran := range []lipstick.Granularity{lipstick.Plain, lipstick.Coarse, lipstick.Fine} {
+		w := buildFacadeWorkflow(t)
+		tr, err := lipstick.NewTracker(w, gran)
+		if err != nil {
+			t.Fatalf("%v: %v", gran, err)
+		}
+		if err := tr.Runner().SetState("M_match", "Items",
+			lipstick.NewBag(lipstick.NewTuple(lipstick.Str("A"), lipstick.Float(1))), "i"); err != nil {
+			t.Fatal(err)
+		}
+		exec, err := tr.Execute(lipstick.Inputs{
+			"src": {"Req": lipstick.NewBag(lipstick.NewTuple(lipstick.Str("A")))},
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", gran, err)
+		}
+		out, _ := exec.Output("match", "Matches")
+		if out.Len() != 1 {
+			t.Errorf("%v: output = %v", gran, out)
+		}
+	}
+}
+
+// TestFacadeEagerStateNodes: the eager option materializes state nodes for
+// untouched tuples too, growing the graph relative to the lazy default.
+func TestFacadeEagerStateNodes(t *testing.T) {
+	sizes := map[string]int{}
+	for _, mode := range []string{"lazy", "eager"} {
+		w := buildFacadeWorkflow(t)
+		var tr *lipstick.Tracker
+		var err error
+		if mode == "eager" {
+			tr, err = lipstick.NewTracker(w, lipstick.Fine, lipstick.WithEagerStateNodes())
+		} else {
+			tr, err = lipstick.NewTracker(w, lipstick.Fine)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		items := lipstick.NewBag(
+			lipstick.NewTuple(lipstick.Str("A"), lipstick.Float(1)),
+			lipstick.NewTuple(lipstick.Str("B"), lipstick.Float(2)),
+			lipstick.NewTuple(lipstick.Str("C"), lipstick.Float(3)),
+		)
+		if err := tr.Runner().SetState("M_match", "Items", items, "i"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.Execute(lipstick.Inputs{
+			"src": {"Req": lipstick.NewBag(lipstick.NewTuple(lipstick.Str("A")))},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		sizes[mode] = tr.Runner().Graph().NumNodes()
+	}
+	// Only item A joins; lazy creates one s-node, eager creates three.
+	if sizes["eager"] != sizes["lazy"]+2 {
+		t.Errorf("eager = %d nodes, lazy = %d; want exactly 2 more (B and C)", sizes["eager"], sizes["lazy"])
+	}
+}

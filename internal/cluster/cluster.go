@@ -1,0 +1,214 @@
+// Package cluster is a deterministic discrete-event simulator of a
+// Hadoop-style map-reduce cluster, standing in for the 27-node cluster of
+// Section 5.4's parallelism experiment (Figure 5(c)). The paper controls
+// the number of reducers per query with Pig Latin's PARALLEL clause and
+// reports the relative improvement over a single reducer; what matters is
+// the trade-off it demonstrates — gains from splitting the reduce work
+// (the four dealers' bid generation) against per-reducer scheduling
+// overhead — not the absolute seconds of the authors' testbed.
+//
+// The simulator reproduces that trade-off from first principles: a job is
+// a sequence of stages, each with a serial (non-parallelizable) cost and a
+// set of reduce tasks costed by *measured work volumes* from real engine
+// runs (tuples processed per partition). Reduce tasks hash to reducers;
+// reducers run in waves over the cluster's slots; the job tracker pays a
+// serial setup cost per reducer. All quantities are in abstract cost
+// units; only ratios are meaningful.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cluster describes the simulated hardware.
+type Cluster struct {
+	// Machines is the number of worker machines (the paper used 27).
+	Machines int
+	// SlotsPerMachine is the number of reducer slots per machine (2 in the
+	// paper, for up to 54 concurrent reducers).
+	SlotsPerMachine int
+	// ReducerSetupCost is the serial, job-tracker-side cost of launching
+	// one reducer (task scheduling, shuffle setup).
+	ReducerSetupCost float64
+	// ReducerStartCost is the per-reducer startup cost paid on the worker
+	// (JVM spin-up in Hadoop terms); reducers in the same wave pay it in
+	// parallel.
+	ReducerStartCost float64
+}
+
+// Default returns the paper's cluster: 27 machines, 2 reducer slots each.
+func Default() *Cluster {
+	// Cost constants are calibrated in normalized units where one
+	// dealership's bid generation ≈ 1.0; they reproduce Figure 5(c)'s
+	// shape (peak ≈50% improvement at 2-4 reducers, positive but lower
+	// improvement at 54).
+	return &Cluster{
+		Machines:         27,
+		SlotsPerMachine:  2,
+		ReducerSetupCost: 0.035,
+		ReducerStartCost: 0.05,
+	}
+}
+
+// Slots returns the number of concurrently usable reducer slots.
+func (c *Cluster) Slots() int { return c.Machines * c.SlotsPerMachine }
+
+// Task is one reduce task: Key selects the reducer (hash partitioning),
+// Cost is the work volume.
+type Task struct {
+	Key  uint64
+	Cost float64
+}
+
+// Stage is one map-reduce stage of a job.
+type Stage struct {
+	// Name identifies the stage in reports.
+	Name string
+	// SerialCost is work that cannot be spread over reducers (map-side
+	// scan, single-key aggregation, job submission).
+	SerialCost float64
+	// Tasks are the reduce-side work units.
+	Tasks []Task
+}
+
+// Job is a sequence of stages executed back to back (a compiled Pig Latin
+// script becomes such a chain of map-reduce jobs).
+type Job struct {
+	Name   string
+	Stages []Stage
+}
+
+// TotalWork returns the sum of all stage costs (serial + tasks).
+func (j *Job) TotalWork() float64 {
+	total := 0.0
+	for _, s := range j.Stages {
+		total += s.SerialCost
+		for _, t := range s.Tasks {
+			total += t.Cost
+		}
+	}
+	return total
+}
+
+// StageResult reports one stage's simulated timing.
+type StageResult struct {
+	Name string
+	// Makespan is the stage's simulated wall-clock time.
+	Makespan float64
+	// ReducerLoads is the per-reducer work (index = reducer id).
+	ReducerLoads []float64
+	// Waves is the number of scheduling waves the reducers needed.
+	Waves int
+}
+
+// Result reports a whole job's simulated timing.
+type Result struct {
+	Reducers int
+	Makespan float64
+	Stages   []StageResult
+}
+
+// Simulate runs the job with the given number of reducers per stage and
+// returns the simulated makespan.
+func (c *Cluster) Simulate(job *Job, reducers int) (*Result, error) {
+	if reducers < 1 {
+		return nil, fmt.Errorf("cluster: reducers must be >= 1, got %d", reducers)
+	}
+	if c.Machines < 1 || c.SlotsPerMachine < 1 {
+		return nil, fmt.Errorf("cluster: invalid cluster shape %d x %d", c.Machines, c.SlotsPerMachine)
+	}
+	res := &Result{Reducers: reducers}
+	for _, stage := range job.Stages {
+		sr := c.simulateStage(stage, reducers)
+		res.Makespan += sr.Makespan
+		res.Stages = append(res.Stages, sr)
+	}
+	return res, nil
+}
+
+// simulateStage partitions tasks over reducers, schedules reducers onto
+// slots in waves, and accounts for setup costs.
+func (c *Cluster) simulateStage(stage Stage, reducers int) StageResult {
+	loads := make([]float64, reducers)
+	for _, t := range stage.Tasks {
+		loads[int(t.Key%uint64(reducers))] += t.Cost
+	}
+	// Serial job-tracker setup: one launch per reducer.
+	makespan := stage.SerialCost + c.ReducerSetupCost*float64(reducers)
+
+	// Greedy longest-processing-time scheduling of reducers onto slots.
+	slots := c.Slots()
+	if slots > reducers {
+		slots = reducers
+	}
+	order := make([]int, reducers)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return loads[order[a]] > loads[order[b]] })
+	slotTimes := make([]float64, slots)
+	waves := 1
+	for _, rid := range order {
+		// Pick the least-loaded slot.
+		best := 0
+		for s := 1; s < slots; s++ {
+			if slotTimes[s] < slotTimes[best] {
+				best = s
+			}
+		}
+		slotTimes[best] += c.ReducerStartCost + loads[rid]
+	}
+	maxSlot := 0.0
+	for _, st := range slotTimes {
+		if st > maxSlot {
+			maxSlot = st
+		}
+	}
+	if slots > 0 {
+		waves = (reducers + slots - 1) / slots
+	}
+	makespan += maxSlot
+	return StageResult{Name: stage.Name, Makespan: makespan, ReducerLoads: loads, Waves: waves}
+}
+
+// Sweep simulates the job for every reducer count in counts and reports
+// the percent improvement over a single reducer, reproducing Figure 5(c)'s
+// series.
+type SweepPoint struct {
+	Reducers    int
+	Makespan    float64
+	Improvement float64 // percent versus reducers=1
+}
+
+// Sweep runs Simulate for each reducer count.
+func (c *Cluster) Sweep(job *Job, counts []int) ([]SweepPoint, error) {
+	base, err := c.Simulate(job, 1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepPoint, 0, len(counts))
+	for _, n := range counts {
+		r, err := c.Simulate(job, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{
+			Reducers:    n,
+			Makespan:    r.Makespan,
+			Improvement: 100 * (base.Makespan - r.Makespan) / base.Makespan,
+		})
+	}
+	return out, nil
+}
+
+// BestReducerCount returns the sweep point with the highest improvement.
+func BestReducerCount(points []SweepPoint) SweepPoint {
+	best := points[0]
+	for _, p := range points[1:] {
+		if p.Improvement > best.Improvement {
+			best = p
+		}
+	}
+	return best
+}

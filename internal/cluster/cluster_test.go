@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// dealershipJob models the Car-dealerships workflow: a serial front
+// (request distribution, final aggregation) and four equal reduce tasks
+// (one bid generation per dealership).
+func dealershipJob(perDealer float64) *Job {
+	return &Job{
+		Name: "dealerships",
+		Stages: []Stage{{
+			Name:       "bids",
+			SerialCost: 1.2,
+			Tasks: []Task{
+				{Key: 0, Cost: perDealer},
+				{Key: 1, Cost: perDealer},
+				{Key: 2, Cost: perDealer},
+				{Key: 3, Cost: perDealer},
+			},
+		}},
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	c := Default()
+	job := dealershipJob(1)
+	if _, err := c.Simulate(job, 0); err == nil {
+		t.Error("zero reducers accepted")
+	}
+	bad := &Cluster{}
+	if _, err := bad.Simulate(job, 1); err == nil {
+		t.Error("invalid cluster accepted")
+	}
+}
+
+func TestSingleReducerSerializesWork(t *testing.T) {
+	c := &Cluster{Machines: 27, SlotsPerMachine: 2, ReducerSetupCost: 0, ReducerStartCost: 0}
+	job := dealershipJob(2)
+	r, err := c.Simulate(job, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.2 + 4*2.0
+	if math.Abs(r.Makespan-want) > 1e-9 {
+		t.Errorf("makespan = %v, want %v", r.Makespan, want)
+	}
+}
+
+func TestFourReducersSplitDealers(t *testing.T) {
+	c := &Cluster{Machines: 27, SlotsPerMachine: 2, ReducerSetupCost: 0, ReducerStartCost: 0}
+	job := dealershipJob(2)
+	r, err := c.Simulate(job, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.2 + 2.0 // dealers perfectly parallel
+	if math.Abs(r.Makespan-want) > 1e-9 {
+		t.Errorf("makespan = %v, want %v", r.Makespan, want)
+	}
+}
+
+func TestWavesWhenReducersExceedSlots(t *testing.T) {
+	c := &Cluster{Machines: 1, SlotsPerMachine: 2, ReducerSetupCost: 0, ReducerStartCost: 0}
+	job := &Job{Stages: []Stage{{
+		Tasks: []Task{{Key: 0, Cost: 1}, {Key: 1, Cost: 1}, {Key: 2, Cost: 1}, {Key: 3, Cost: 1}},
+	}}}
+	r, err := c.Simulate(job, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 unit reducers on 2 slots: two waves, makespan 2.
+	if math.Abs(r.Makespan-2) > 1e-9 {
+		t.Errorf("makespan = %v, want 2", r.Makespan)
+	}
+	if r.Stages[0].Waves != 2 {
+		t.Errorf("waves = %d, want 2", r.Stages[0].Waves)
+	}
+}
+
+// TestSweepShapeMatchesFigure5c: improvement peaks in the 2-4 reducer
+// range at roughly 50%, stays comparable within 2-4, and declines for
+// large reducer counts — the shape of Figure 5(c).
+func TestSweepShapeMatchesFigure5c(t *testing.T) {
+	c := Default()
+	job := dealershipJob(1.0)
+	counts := []int{1, 2, 3, 4, 10, 20, 30, 40, 54}
+	points, err := c.Sweep(job, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byReducers := map[int]SweepPoint{}
+	for _, p := range points {
+		byReducers[p.Reducers] = p
+	}
+	best := BestReducerCount(points)
+	if best.Reducers < 2 || best.Reducers > 4 {
+		t.Errorf("best improvement at %d reducers, want 2-4 (points %+v)", best.Reducers, points)
+	}
+	if best.Improvement < 40 || best.Improvement > 60 {
+		t.Errorf("peak improvement = %.1f%%, want ≈50%%", best.Improvement)
+	}
+	// 2-4 comparable (the paper calls the whole range comparable; hash
+	// placement makes individual counts differ by some margin).
+	for _, r := range []int{2, 3, 4} {
+		if math.Abs(byReducers[r].Improvement-best.Improvement) > 25 {
+			t.Errorf("improvement at %d reducers (%.1f%%) not comparable to best (%.1f%%)",
+				r, byReducers[r].Improvement, best.Improvement)
+		}
+	}
+	// Declines beyond the sweet spot, but still positive at 54 (the paper
+	// reports roughly 30-45% with many reducers).
+	if byReducers[54].Improvement >= best.Improvement {
+		t.Error("improvement should decline at 54 reducers")
+	}
+	if byReducers[54].Improvement <= 0 {
+		t.Error("54 reducers should still beat a single reducer")
+	}
+	// Baseline point is exactly zero.
+	if math.Abs(byReducers[1].Improvement) > 1e-9 {
+		t.Error("improvement at 1 reducer must be 0")
+	}
+}
+
+// TestMoreWorkMoreTime: makespan is monotone in task cost.
+func TestMoreWorkMoreTime(t *testing.T) {
+	c := Default()
+	f := func(seedCost uint8, reducers uint8) bool {
+		cost := 0.5 + float64(seedCost)/16
+		r := int(reducers)%8 + 1
+		small, err1 := c.Simulate(dealershipJob(cost), r)
+		large, err2 := c.Simulate(dealershipJob(cost*2), r)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return large.Makespan > small.Makespan
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeterminism: simulation is a pure function.
+func TestDeterminism(t *testing.T) {
+	c := Default()
+	job := dealershipJob(1.3)
+	a, _ := c.Simulate(job, 7)
+	b, _ := c.Simulate(job, 7)
+	if a.Makespan != b.Makespan {
+		t.Error("simulation not deterministic")
+	}
+}
+
+func TestTotalWork(t *testing.T) {
+	job := dealershipJob(2)
+	if math.Abs(job.TotalWork()-(1.2+8)) > 1e-9 {
+		t.Errorf("TotalWork = %v", job.TotalWork())
+	}
+}
+
+func TestSkewedTasksBoundMakespan(t *testing.T) {
+	c := &Cluster{Machines: 27, SlotsPerMachine: 2, ReducerSetupCost: 0, ReducerStartCost: 0}
+	job := &Job{Stages: []Stage{{
+		Tasks: []Task{{Key: 0, Cost: 10}, {Key: 1, Cost: 0.1}, {Key: 2, Cost: 0.1}},
+	}}}
+	r, err := c.Simulate(job, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 10-unit task lower-bounds the makespan regardless of reducers.
+	if r.Makespan < 10 {
+		t.Errorf("makespan = %v, want >= 10 (straggler bound)", r.Makespan)
+	}
+}

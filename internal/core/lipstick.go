@@ -1,0 +1,256 @@
+// Package core implements the Lipstick system of Section 5.1: the
+// Provenance Tracker, which executes workflows while constructing
+// fine-grained provenance and writes provenance-annotated tuples plus the
+// provenance graph to the filesystem, and the Query Processor, which loads
+// that output, rebuilds the graph in memory, and answers zoom, deletion,
+// subgraph, and dependency queries (Section 4).
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"lipstick/internal/nested"
+	"lipstick/internal/provgraph"
+	"lipstick/internal/store"
+	"lipstick/internal/workflow"
+)
+
+// Tracker is the Provenance Tracker sub-system: it drives workflow
+// executions and accumulates the annotated outputs for persistence.
+type Tracker struct {
+	runner     *workflow.Runner
+	executions []*workflow.Execution
+}
+
+// NewTracker validates the workflow and prepares tracking at the given
+// granularity.
+func NewTracker(w *workflow.Workflow, gran workflow.Granularity, opts ...workflow.Option) (*Tracker, error) {
+	runner, err := workflow.NewRunner(w, gran, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Tracker{runner: runner}, nil
+}
+
+// Runner exposes the underlying workflow runner (state seeding etc.).
+func (t *Tracker) Runner() *workflow.Runner { return t.runner }
+
+// Execute runs one workflow execution and records its outputs.
+func (t *Tracker) Execute(inputs workflow.Inputs) (*workflow.Execution, error) {
+	exec, err := t.runner.Execute(inputs)
+	if err != nil {
+		return nil, err
+	}
+	t.executions = append(t.executions, exec)
+	return exec, nil
+}
+
+// Executions returns the executions recorded so far.
+func (t *Tracker) Executions() []*workflow.Execution { return t.executions }
+
+// Snapshot assembles the tracker's persistent output: the provenance graph
+// and every execution's annotated output relations.
+func (t *Tracker) Snapshot() *store.Snapshot {
+	snap := &store.Snapshot{Graph: t.runner.Graph()}
+	if snap.Graph == nil {
+		snap.Graph = provgraph.New() // plain runs persist an empty graph
+	}
+	for _, e := range t.executions {
+		nodes := make([]string, 0, len(e.Outputs))
+		for node := range e.Outputs {
+			nodes = append(nodes, node)
+		}
+		sort.Strings(nodes)
+		for _, node := range nodes {
+			rels := e.Outputs[node]
+			names := make([]string, 0, len(rels))
+			for rel := range rels {
+				names = append(names, rel)
+			}
+			sort.Strings(names)
+			for _, rel := range names {
+				dump := store.RelationDump{Execution: e.Index, Node: node, Relation: rel}
+				for _, tup := range rels[rel].Tuples {
+					dump.Tuples = append(dump.Tuples, store.AnnotatedTuple{
+						Tuple: tup.Tuple, Prov: tup.Prov, Mult: tup.Mult,
+					})
+				}
+				snap.Outputs = append(snap.Outputs, dump)
+			}
+		}
+	}
+	return snap
+}
+
+// Save persists the tracker's output to the given path (the paper: "the
+// sub-system output is written to the file-system, and is used as input by
+// the Query Processor").
+func (t *Tracker) Save(path string) error {
+	return store.Save(path, t.Snapshot())
+}
+
+// WriteSnapshot streams the snapshot to a writer.
+func (t *Tracker) WriteSnapshot(w io.Writer) error {
+	return store.Write(w, t.Snapshot())
+}
+
+// QueryProcessor is the in-memory query sub-system over a provenance
+// graph: zoom (Section 4.1), deletion propagation (Section 4.2), and
+// subgraph/dependency queries (Sections 4.3, 5.1).
+type QueryProcessor struct {
+	graph   *provgraph.Graph
+	outputs []store.RelationDump
+	zooms   []*provgraph.ZoomRecord
+	zoomed  map[string]bool
+}
+
+// Load reads a tracker snapshot from disk and builds the in-memory graph.
+func Load(path string) (*QueryProcessor, error) {
+	snap, err := store.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewQueryProcessor(snap), nil
+}
+
+// Read builds a query processor from a snapshot stream.
+func Read(r io.Reader) (*QueryProcessor, error) {
+	snap, err := store.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewQueryProcessor(snap), nil
+}
+
+// NewQueryProcessor wraps an already-loaded snapshot.
+func NewQueryProcessor(snap *store.Snapshot) *QueryProcessor {
+	return &QueryProcessor{graph: snap.Graph, outputs: snap.Outputs, zoomed: map[string]bool{}}
+}
+
+// FromTracker builds a query processor directly over a tracker's live
+// graph (without a round-trip through the filesystem).
+func FromTracker(t *Tracker) *QueryProcessor {
+	return NewQueryProcessor(t.Snapshot())
+}
+
+// Graph exposes the in-memory provenance graph.
+func (qp *QueryProcessor) Graph() *provgraph.Graph { return qp.graph }
+
+// Outputs returns the annotated output relations recorded by the tracker.
+func (qp *QueryProcessor) Outputs() []store.RelationDump { return qp.outputs }
+
+// Output finds one recorded relation by execution, node and relation name.
+func (qp *QueryProcessor) Output(execution int, node, rel string) (*store.RelationDump, bool) {
+	for i := range qp.outputs {
+		d := &qp.outputs[i]
+		if d.Execution == execution && d.Node == node && d.Relation == rel {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// FindOutputTuple locates the provenance node of an output tuple by value.
+func (qp *QueryProcessor) FindOutputTuple(node, rel string, tuple *nested.Tuple) (provgraph.NodeID, bool) {
+	for i := range qp.outputs {
+		d := &qp.outputs[i]
+		if d.Node != node || d.Relation != rel {
+			continue
+		}
+		for _, t := range d.Tuples {
+			if t.Tuple.Equal(tuple) {
+				return t.Prov, true
+			}
+		}
+	}
+	return provgraph.InvalidNode, false
+}
+
+// ZoomOut hides the internals of the given modules (all their invocations,
+// per Section 4.1) and pushes the operation on the zoom stack.
+func (qp *QueryProcessor) ZoomOut(modules ...string) error {
+	for _, m := range modules {
+		if qp.zoomed[m] {
+			return fmt.Errorf("lipstick: module %q is already zoomed out", m)
+		}
+		if len(qp.graph.InvocationsOf(m)) == 0 {
+			return fmt.Errorf("lipstick: no invocations of module %q in the graph", m)
+		}
+	}
+	rec := qp.graph.ZoomOut(modules...)
+	qp.zooms = append(qp.zooms, rec)
+	for _, m := range modules {
+		qp.zoomed[m] = true
+	}
+	return nil
+}
+
+// ZoomIn undoes the most recent ZoomOut (zooms nest like a stack, which
+// guarantees ZoomIn restores exactly what the matching ZoomOut hid).
+func (qp *QueryProcessor) ZoomIn() error {
+	if len(qp.zooms) == 0 {
+		return fmt.Errorf("lipstick: nothing is zoomed out")
+	}
+	rec := qp.zooms[len(qp.zooms)-1]
+	qp.zooms = qp.zooms[:len(qp.zooms)-1]
+	qp.graph.ZoomIn(rec)
+	for _, m := range rec.Modules {
+		delete(qp.zoomed, m)
+	}
+	return nil
+}
+
+// ZoomedOut lists the currently zoomed-out modules (sorted).
+func (qp *QueryProcessor) ZoomedOut() []string {
+	out := make([]string, 0, len(qp.zoomed))
+	for m := range qp.zoomed {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CoarseView zooms out every module, yielding the coarse-grained view of
+// Section 3.1.
+func (qp *QueryProcessor) CoarseView() error {
+	seen := map[string]bool{}
+	var modules []string
+	qp.graph.Invocations(func(inv *provgraph.Invocation) bool {
+		if !seen[inv.Module] && !qp.zoomed[inv.Module] {
+			seen[inv.Module] = true
+			modules = append(modules, inv.Module)
+		}
+		return true
+	})
+	if len(modules) == 0 {
+		return nil
+	}
+	return qp.ZoomOut(modules...)
+}
+
+// Subgraph answers the subgraph query of Section 5.1.
+func (qp *QueryProcessor) Subgraph(id provgraph.NodeID) *provgraph.SubgraphResult {
+	return qp.graph.Subgraph(id)
+}
+
+// WhatIfDelete computes the effect of deleting the given nodes without
+// modifying the graph (Section 4.2's analysis reading).
+func (qp *QueryProcessor) WhatIfDelete(ids ...provgraph.NodeID) *provgraph.DeletionResult {
+	return qp.graph.PropagateDeletion(ids...)
+}
+
+// ApplyDelete propagates the deletion destructively and recomputes
+// affected aggregate values (Example 4.3).
+func (qp *QueryProcessor) ApplyDelete(ids ...provgraph.NodeID) (*provgraph.DeletionResult, []provgraph.RecomputedAggregate) {
+	res := qp.graph.Delete(ids...)
+	recs := qp.graph.RecomputeAggregates()
+	return res, recs
+}
+
+// DependsOn answers the dependency query of Section 4.3: does the
+// existence of a depend on the existence of b?
+func (qp *QueryProcessor) DependsOn(a, b provgraph.NodeID) bool {
+	return qp.graph.DependsOn(a, b)
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"sort"
+
+	"lipstick/internal/provgraph"
+	"lipstick/internal/semiring"
+)
+
+// NodeFilter selects graph nodes by structural properties; zero fields
+// match everything. It is the selection layer provenance queries (in the
+// spirit of ProQL [20]) are built from.
+type NodeFilter struct {
+	// Classes restricts to p-nodes or v-nodes.
+	Classes []provgraph.Class
+	// Types restricts the node type (workflow input, invocation, ...).
+	Types []provgraph.Type
+	// Ops restricts the operation label (+, ·, δ, ⊗, agg, bb, const).
+	Ops []provgraph.Op
+	// Label requires an exact label match (token, module or function
+	// name).
+	Label string
+	// Module restricts to nodes anchored to an invocation of this module
+	// (m/i/o/s/zoom nodes).
+	Module string
+}
+
+func containsClass(cs []provgraph.Class, c provgraph.Class) bool {
+	for _, x := range cs {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+func containsType(ts []provgraph.Type, t provgraph.Type) bool {
+	for _, x := range ts {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+func containsOp(os []provgraph.Op, o provgraph.Op) bool {
+	for _, x := range os {
+		if x == o {
+			return true
+		}
+	}
+	return false
+}
+
+// Matches reports whether a node satisfies the filter.
+func (f NodeFilter) Matches(g *provgraph.Graph, n provgraph.Node) bool {
+	if len(f.Classes) > 0 && !containsClass(f.Classes, n.Class) {
+		return false
+	}
+	if len(f.Types) > 0 && !containsType(f.Types, n.Type) {
+		return false
+	}
+	if len(f.Ops) > 0 && !containsOp(f.Ops, n.Op) {
+		return false
+	}
+	if f.Label != "" && n.Label != f.Label {
+		return false
+	}
+	if f.Module != "" {
+		if n.Inv < 0 {
+			return false
+		}
+		if g.Invocation(n.Inv).Module != f.Module {
+			return false
+		}
+	}
+	return true
+}
+
+// FindNodes returns the live nodes matching the filter, in id order.
+func (qp *QueryProcessor) FindNodes(f NodeFilter) []provgraph.NodeID {
+	var out []provgraph.NodeID
+	qp.graph.Nodes(func(n provgraph.Node) bool {
+		if f.Matches(qp.graph, n) {
+			out = append(out, n.ID)
+		}
+		return true
+	})
+	return out
+}
+
+// Lineage classifies everything a node's existence draws on.
+type Lineage struct {
+	Node provgraph.NodeID
+	// Inputs are the workflow-input ancestors (tokens of type "I").
+	Inputs []provgraph.NodeID
+	// StateTuples are the base state-tuple ancestors.
+	StateTuples []provgraph.NodeID
+	// Modules are the distinct module names whose invocations participate
+	// in the derivation, sorted.
+	Modules []string
+	// AncestorCount is the total number of ancestors.
+	AncestorCount int
+}
+
+// Lineage computes the classified ancestry of a node.
+func (qp *QueryProcessor) Lineage(id provgraph.NodeID) Lineage {
+	g := qp.graph
+	l := Lineage{Node: id}
+	moduleSet := map[string]bool{}
+	for _, anc := range g.Ancestors(id) {
+		n := g.Node(anc)
+		l.AncestorCount++
+		switch n.Type {
+		case provgraph.TypeWorkflowInput:
+			l.Inputs = append(l.Inputs, anc)
+		case provgraph.TypeBaseTuple:
+			l.StateTuples = append(l.StateTuples, anc)
+		case provgraph.TypeInvocation, provgraph.TypeZoom:
+			moduleSet[n.Label] = true
+		}
+	}
+	for m := range moduleSet {
+		l.Modules = append(l.Modules, m)
+	}
+	sort.Strings(l.Modules)
+	return l
+}
+
+// Expr reconstructs a node's provenance as a semiring expression
+// (Section 2.3's polynomial reading of the graph).
+func (qp *QueryProcessor) Expr(id provgraph.NodeID) semiring.Expr {
+	return qp.graph.Expr(id)
+}
+
+// Polynomial returns the canonical N[X] polynomial of a node's provenance.
+func (qp *QueryProcessor) Polynomial(id provgraph.NodeID) semiring.Polynomial {
+	return semiring.ToPolynomial(qp.graph.Expr(id))
+}

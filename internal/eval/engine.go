@@ -1,0 +1,385 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"lipstick/internal/nested"
+	"lipstick/internal/pig"
+	"lipstick/internal/provgraph"
+)
+
+// Engine executes compiled plans against an environment. A nil Builder
+// selects plain mode (no provenance); a non-nil Builder selects tracked
+// mode and receives the provenance-graph nodes of Section 3.2.
+type Engine struct {
+	b *provgraph.Builder
+}
+
+// New returns an engine. b may be nil for plain (untracked) evaluation.
+func New(b *provgraph.Builder) *Engine { return &Engine{b: b} }
+
+// Tracked reports whether the engine builds provenance.
+func (e *Engine) Tracked() bool { return e.b != nil }
+
+// Run evaluates every step of the plan in order, binding each target
+// relation in the environment.
+func (e *Engine) Run(plan *pig.Plan, env *Env) error {
+	for _, step := range plan.Steps {
+		rel, err := e.runOp(step.Op, env)
+		if err != nil {
+			return fmt.Errorf("eval: step %s: %w", step.Target, err)
+		}
+		env.Set(step.Target, rel)
+	}
+	return nil
+}
+
+func (e *Engine) runOp(op pig.Operator, env *Env) (*Relation, error) {
+	switch o := op.(type) {
+	case *pig.ForeachOp:
+		return e.runForeach(o, env)
+	case *pig.FilterOp:
+		return e.runFilter(o, env)
+	case *pig.GroupOp:
+		return e.runGroup(o, env)
+	case *pig.CogroupOp:
+		return e.runCogroup(o, env)
+	case *pig.JoinOp:
+		return e.runJoin(o, env)
+	case *pig.UnionOp:
+		return e.runUnion(o, env)
+	case *pig.DistinctOp:
+		return e.runDistinct(o, env)
+	case *pig.OrderOp:
+		return e.runOrder(o, env)
+	case *pig.LimitOp:
+		return e.runLimit(o, env)
+	case *pig.AliasOp:
+		in, err := env.Rel(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		return in.Clone(), nil
+	default:
+		return nil, fmt.Errorf("unsupported operator %T", op)
+	}
+}
+
+// runFilter keeps tuples satisfying the condition; annotations are
+// unchanged (FILTER creates no provenance nodes).
+func (e *Engine) runFilter(o *pig.FilterOp, env *Env) (*Relation, error) {
+	in, err := env.Rel(o.Input)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation(o.In)
+	for _, t := range in.Tuples {
+		v, err := o.Cond.Eval(t.Tuple)
+		if err != nil {
+			return nil, err
+		}
+		if v.Truthy() {
+			out.Add(e.b, t)
+		}
+	}
+	return out, nil
+}
+
+// groupBucket accumulates one group during GROUP/COGROUP.
+type groupBucket struct {
+	key nested.Value
+	// members holds, per input relation, the annotated member tuples.
+	members [][]AnnTuple
+}
+
+// evalKey computes a (possibly composite) grouping key.
+func evalKey(keys []pig.Expr, t *nested.Tuple) (nested.Value, error) {
+	if len(keys) == 1 {
+		return keys[0].Eval(t)
+	}
+	vals := make([]nested.Value, len(keys))
+	for i, k := range keys {
+		v, err := k.Eval(t)
+		if err != nil {
+			return nested.Null(), err
+		}
+		vals[i] = v
+	}
+	return nested.TupleVal(nested.NewTuple(vals...)), nil
+}
+
+// collectGroups buckets the tuples of several relations by key, preserving
+// first-seen key order for deterministic output.
+func collectGroups(rels []*Relation, keys [][]pig.Expr) ([]*groupBucket, error) {
+	var order []*groupBucket
+	index := map[string]*groupBucket{}
+	for ri, rel := range rels {
+		for _, t := range rel.Tuples {
+			kv, err := evalKey(keys[ri], t.Tuple)
+			if err != nil {
+				return nil, err
+			}
+			kk := kv.Key()
+			bucket, ok := index[kk]
+			if !ok {
+				bucket = &groupBucket{key: kv, members: make([][]AnnTuple, len(rels))}
+				index[kk] = bucket
+				order = append(order, bucket)
+			}
+			bucket.members[ri] = append(bucket.members[ri], t)
+		}
+	}
+	return order, nil
+}
+
+// runGroup implements GROUP: one result tuple per key, δ-annotated over the
+// group members, whose nested bag keeps per-member provenance.
+func (e *Engine) runGroup(o *pig.GroupOp, env *Env) (*Relation, error) {
+	in, err := env.Rel(o.Input)
+	if err != nil {
+		return nil, err
+	}
+	buckets, err := collectGroups([]*Relation{in}, [][]pig.Expr{o.Keys})
+	if err != nil {
+		return nil, err
+	}
+	return e.buildGrouped(o.Out, buckets, env), nil
+}
+
+// runCogroup implements COGROUP over n inputs.
+func (e *Engine) runCogroup(o *pig.CogroupOp, env *Env) (*Relation, error) {
+	rels := make([]*Relation, len(o.InputNames))
+	for i, name := range o.InputNames {
+		r, err := env.Rel(name)
+		if err != nil {
+			return nil, err
+		}
+		rels[i] = r
+	}
+	buckets, err := collectGroups(rels, o.Keys)
+	if err != nil {
+		return nil, err
+	}
+	return e.buildGrouped(o.Out, buckets, env), nil
+}
+
+// buildGrouped materializes group tuples (key, bag1, ..., bagN) with δ
+// provenance nodes and nested-bag annotations.
+func (e *Engine) buildGrouped(out *nested.Schema, buckets []*groupBucket, env *Env) *Relation {
+	res := NewRelation(out)
+	for _, bkt := range buckets {
+		fields := make([]nested.Value, 1, 1+len(bkt.members))
+		fields[0] = bkt.key
+		var provMembers []provgraph.NodeID
+		for _, members := range bkt.members {
+			bag := nested.NewBag()
+			for _, m := range members {
+				for i := 0; i < m.Mult; i++ {
+					bag.Add(m.Tuple)
+				}
+				if e.b != nil {
+					provMembers = append(provMembers, m.Node())
+				}
+			}
+			env.Bags.Annotate(bag, members)
+			fields = append(fields, nested.BagVal(bag))
+		}
+		prov := provgraph.InvalidNode
+		if e.b != nil {
+			prov = e.b.Group(provMembers...)
+		}
+		res.Add(e.b, AnnTuple{Tuple: nested.NewTuple(fields...), Prov: prov, Mult: 1})
+	}
+	return res
+}
+
+// runJoin implements the n-way equality join: one ·-annotated derivation
+// per combination of matching tuples.
+func (e *Engine) runJoin(o *pig.JoinOp, env *Env) (*Relation, error) {
+	rels := make([]*Relation, len(o.InputNames))
+	for i, name := range o.InputNames {
+		r, err := env.Rel(name)
+		if err != nil {
+			return nil, err
+		}
+		rels[i] = r
+	}
+	// Bucket every input by key; iterate keys in first-input order.
+	type entry struct{ tuples []AnnTuple }
+	maps := make([]map[string]*entry, len(rels))
+	for i, rel := range rels {
+		maps[i] = make(map[string]*entry, rel.Len())
+		for _, t := range rel.Tuples {
+			kv, err := evalKey(o.Keys[i], t.Tuple)
+			if err != nil {
+				return nil, err
+			}
+			kk := kv.Key()
+			en, ok := maps[i][kk]
+			if !ok {
+				en = &entry{}
+				maps[i][kk] = en
+			}
+			en.tuples = append(en.tuples, t)
+		}
+	}
+	res := NewRelation(o.Out)
+	var keyOrder []string
+	seen := map[string]bool{}
+	for _, t := range rels[0].Tuples {
+		kv, err := evalKey(o.Keys[0], t.Tuple)
+		if err != nil {
+			return nil, err
+		}
+		kk := kv.Key()
+		if !seen[kk] {
+			seen[kk] = true
+			keyOrder = append(keyOrder, kk)
+		}
+	}
+	for _, kk := range keyOrder {
+		groups := make([][]AnnTuple, len(rels))
+		ok := true
+		for i := range rels {
+			en := maps[i][kk]
+			if en == nil {
+				ok = false
+				break
+			}
+			groups[i] = en.tuples
+		}
+		if !ok {
+			continue
+		}
+		e.crossJoin(res, groups, nil)
+	}
+	return res, nil
+}
+
+// crossJoin emits every combination of one tuple per group.
+func (e *Engine) crossJoin(res *Relation, groups [][]AnnTuple, acc []AnnTuple) {
+	if len(acc) == len(groups) {
+		fields := make([]nested.Value, 0)
+		mult := 1
+		provs := make([]provgraph.NodeID, 0, len(acc))
+		for _, t := range acc {
+			fields = append(fields, t.Tuple.Fields...)
+			mult *= t.Mult
+			provs = append(provs, t.Node())
+		}
+		prov := provgraph.InvalidNode
+		if e.b != nil {
+			if len(provs) == 2 {
+				prov = e.b.Join(provs[0], provs[1])
+			} else {
+				prov = e.b.Product(provs...)
+			}
+		}
+		res.Add(e.b, AnnTuple{Tuple: nested.NewTuple(fields...), Prov: prov, Mult: mult})
+		return
+	}
+	for _, t := range groups[len(acc)] {
+		e.crossJoin(res, groups, append(acc, t))
+	}
+}
+
+// runUnion merges inputs; equal tuples appearing in several inputs add
+// their annotations (+) and multiplicities.
+func (e *Engine) runUnion(o *pig.UnionOp, env *Env) (*Relation, error) {
+	res := NewRelation(o.Out)
+	for _, name := range o.InputNames {
+		in, err := env.Rel(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range in.Tuples {
+			res.Add(e.b, t)
+		}
+	}
+	return res, nil
+}
+
+// runDistinct emits each distinct tuple once, δ-annotated.
+func (e *Engine) runDistinct(o *pig.DistinctOp, env *Env) (*Relation, error) {
+	in, err := env.Rel(o.Input)
+	if err != nil {
+		return nil, err
+	}
+	res := NewRelation(o.In)
+	for _, t := range in.Tuples {
+		prov := t.Prov
+		if e.b != nil {
+			prov = e.b.Group(t.Node())
+		}
+		res.Add(e.b, AnnTuple{Tuple: t.Tuple, Prov: prov, Mult: 1})
+	}
+	return res, nil
+}
+
+// runOrder sorts the relation; ORDER is a provenance-free post-processing
+// step (end of Section 3.2), so annotations pass through untouched.
+func (e *Engine) runOrder(o *pig.OrderOp, env *Env) (*Relation, error) {
+	in, err := env.Rel(o.Input)
+	if err != nil {
+		return nil, err
+	}
+	res := in.Clone()
+	var evalErr error
+	sort.SliceStable(res.Tuples, func(i, j int) bool {
+		for k, key := range o.Keys {
+			vi, err := key.Eval(res.Tuples[i].Tuple)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			vj, err := key.Eval(res.Tuples[j].Tuple)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			c := vi.Compare(vj)
+			if c != 0 {
+				if o.Desc[k] {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	// Rebuild the index after reordering.
+	res.index = make(map[string]int, len(res.Tuples))
+	for i, t := range res.Tuples {
+		res.index[t.Tuple.Key()] = i
+	}
+	return res, nil
+}
+
+// runLimit keeps the first n tuples (counting multiplicity) in relation
+// order.
+func (e *Engine) runLimit(o *pig.LimitOp, env *Env) (*Relation, error) {
+	in, err := env.Rel(o.Input)
+	if err != nil {
+		return nil, err
+	}
+	res := NewRelation(o.In)
+	remaining := o.N
+	for _, t := range in.Tuples {
+		if remaining <= 0 {
+			break
+		}
+		take := t.Mult
+		if int64(take) > remaining {
+			take = int(remaining)
+		}
+		nt := t // keep the annotation (including deferred state nodes)
+		nt.Mult = take
+		res.Add(e.b, nt)
+		remaining -= int64(take)
+	}
+	return res, nil
+}

@@ -1,0 +1,236 @@
+// Package eval executes compiled Pig Latin plans over nested relations.
+//
+// It has two modes. In plain mode it is an ordinary bag-semantics query
+// engine. In tracked mode it additionally applies the fine-grained
+// provenance construction of Section 3.2 of the Lipstick paper, building
+// provenance-graph nodes for every operator (+ for FOREACH projection,
+// · for JOIN, δ for GROUP/COGROUP/DISTINCT, ⊗/aggregate v-nodes for
+// FOREACH aggregation, black-box nodes for UDFs).
+//
+// Relations are represented as lists of distinct tuples annotated with a
+// provenance node and a multiplicity — the N[X]-style reading where a bag
+// is its support plus annotations. Plain mode uses the same representation
+// with no provenance nodes; multiplicities carry the bag semantics, so the
+// two modes compute identical bags (a property the tests exploit).
+package eval
+
+import (
+	"fmt"
+
+	"lipstick/internal/nested"
+	"lipstick/internal/provgraph"
+)
+
+// AnnTuple is one distinct tuple of a relation with its annotation.
+type AnnTuple struct {
+	Tuple *nested.Tuple
+	// Prov is the tuple's provenance node (InvalidNode in plain mode).
+	Prov provgraph.NodeID
+	// Mult is the tuple's multiplicity (bag semantics).
+	Mult int
+	// lazy defers node creation until the tuple is actually used in a
+	// derivation. The workflow runner binds module state this way: an
+	// invocation's "s" node for a state tuple materializes only when the
+	// invocation's queries touch the tuple, which keeps the graph linear
+	// in the touched data rather than in the full state (the behaviour
+	// underlying the paper's Section 5.5 measurements).
+	lazy *lazyProv
+}
+
+type lazyProv struct {
+	resolved provgraph.NodeID
+	make     func() provgraph.NodeID
+}
+
+// LazyAnnTuple builds an annotated tuple whose provenance node is created
+// on first use by the given constructor.
+func LazyAnnTuple(t *nested.Tuple, mult int, make func() provgraph.NodeID) AnnTuple {
+	return AnnTuple{
+		Tuple: t, Prov: provgraph.InvalidNode, Mult: mult,
+		lazy: &lazyProv{resolved: provgraph.InvalidNode, make: make},
+	}
+}
+
+// Node returns the tuple's provenance node, materializing it if deferred.
+// The resolution is memoized across all copies of this AnnTuple.
+func (t AnnTuple) Node() provgraph.NodeID {
+	if t.lazy != nil {
+		if t.lazy.resolved == provgraph.InvalidNode {
+			t.lazy.resolved = t.lazy.make()
+		}
+		return t.lazy.resolved
+	}
+	return t.Prov
+}
+
+// Relation is a bag of tuples in support+multiplicity form.
+type Relation struct {
+	Schema *nested.Schema
+	Tuples []AnnTuple
+	index  map[string]int // canonical tuple key -> position in Tuples
+}
+
+// NewRelation returns an empty relation with the given schema.
+func NewRelation(schema *nested.Schema) *Relation {
+	return &Relation{Schema: schema, index: make(map[string]int)}
+}
+
+// Len returns the number of distinct tuples.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Card returns the bag cardinality (sum of multiplicities).
+func (r *Relation) Card() int {
+	n := 0
+	for _, t := range r.Tuples {
+		n += t.Mult
+	}
+	return n
+}
+
+// Add inserts a derivation of a tuple. Duplicate tuples merge: their
+// multiplicities add, and in tracked mode their provenance nodes merge
+// under a + node via the supplied builder (nil in plain mode).
+func (r *Relation) Add(b *provgraph.Builder, t AnnTuple) {
+	key := t.Tuple.Key()
+	if pos, ok := r.index[key]; ok {
+		prev := &r.Tuples[pos]
+		prev.Mult += t.Mult
+		if b != nil {
+			pn, tn := prev.Node(), t.Node()
+			if pn != tn {
+				prev.Prov = b.MergeDerivations([]provgraph.NodeID{pn, tn})
+				prev.lazy = nil
+			}
+		}
+		return
+	}
+	r.index[key] = len(r.Tuples)
+	r.Tuples = append(r.Tuples, t)
+}
+
+// Lookup returns the annotated tuple equal to t, if present.
+func (r *Relation) Lookup(t *nested.Tuple) (AnnTuple, bool) {
+	if pos, ok := r.index[t.Key()]; ok {
+		return r.Tuples[pos], true
+	}
+	return AnnTuple{}, false
+}
+
+// ToBag expands the relation to a plain bag with duplicates.
+func (r *Relation) ToBag() *nested.Bag {
+	bag := nested.NewBag()
+	for _, t := range r.Tuples {
+		for i := 0; i < t.Mult; i++ {
+			bag.Add(t.Tuple)
+		}
+	}
+	return bag
+}
+
+// FromBag builds a relation from a plain bag (merging duplicates); the
+// tuples carry no provenance.
+func FromBag(schema *nested.Schema, bag *nested.Bag) *Relation {
+	r := NewRelation(schema)
+	for _, t := range bag.Tuples {
+		r.Add(nil, AnnTuple{Tuple: t, Prov: provgraph.InvalidNode, Mult: 1})
+	}
+	return r
+}
+
+// Rebind returns a view of the relation with every annotation mapped
+// through fn, sharing the tuple index with the receiver. It exists for the
+// workflow runner's per-invocation input/state binding, which re-annotates
+// large unchanged relations: sharing the index avoids recomputing every
+// tuple key. The returned relation must be treated as read-only (Add would
+// corrupt the shared index).
+func (r *Relation) Rebind(fn func(AnnTuple) AnnTuple) *Relation {
+	out := &Relation{Schema: r.Schema, index: r.index}
+	out.Tuples = make([]AnnTuple, len(r.Tuples))
+	for i, t := range r.Tuples {
+		out.Tuples[i] = fn(t)
+	}
+	return out
+}
+
+// Clone returns a shallow copy of the relation (tuples shared).
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(r.Schema)
+	c.Tuples = append([]AnnTuple(nil), r.Tuples...)
+	for k, v := range r.index {
+		c.index[k] = v
+	}
+	return c
+}
+
+// Equal reports bag equality with another relation (schema ignored).
+func (r *Relation) Equal(o *Relation) bool {
+	if r.Card() != o.Card() || r.Len() != o.Len() {
+		return false
+	}
+	for _, t := range r.Tuples {
+		ot, ok := o.Lookup(t.Tuple)
+		if !ok || ot.Mult != t.Mult {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the relation as an expanded bag.
+func (r *Relation) String() string { return r.ToBag().String() }
+
+// BagAnnotations carries the member annotations of nested bags: when a
+// GROUP/COGROUP (or UDF) produces a bag nested inside a tuple, the bag's
+// members keep their own provenance (Section 3.2: "tuples in the relations
+// nested in t keep their original provenance"). The map is keyed by bag
+// identity and consulted when a later FOREACH aggregates or flattens the
+// bag. It must outlive a single program run — nested bags flow across
+// module boundaries — so the workflow runner owns one per workflow run.
+type BagAnnotations map[*nested.Bag][]AnnTuple
+
+// Annotate records the member annotations of a nested bag.
+func (ba BagAnnotations) Annotate(bag *nested.Bag, members []AnnTuple) {
+	if ba != nil {
+		ba[bag] = members
+	}
+}
+
+// Members returns the annotations of a nested bag's tuples. For bags with
+// no recorded annotation (external data), every member falls back to the
+// owner tuple's provenance with multiplicity 1.
+func (ba BagAnnotations) Members(bag *nested.Bag, owner AnnTuple) []AnnTuple {
+	if ba != nil {
+		if m, ok := ba[bag]; ok {
+			return m
+		}
+	}
+	members := make([]AnnTuple, len(bag.Tuples))
+	for i, t := range bag.Tuples {
+		members[i] = AnnTuple{Tuple: t, Prov: owner.Node(), Mult: 1}
+	}
+	return members
+}
+
+// Env is the evaluation environment: named relations plus the shared
+// nested-bag annotations.
+type Env struct {
+	Rels map[string]*Relation
+	Bags BagAnnotations
+}
+
+// NewEnv returns an empty environment with bag-annotation tracking.
+func NewEnv() *Env {
+	return &Env{Rels: make(map[string]*Relation), Bags: make(BagAnnotations)}
+}
+
+// Rel returns the named relation or an error.
+func (e *Env) Rel(name string) (*Relation, error) {
+	r, ok := e.Rels[name]
+	if !ok {
+		return nil, fmt.Errorf("eval: relation %q not bound", name)
+	}
+	return r, nil
+}
+
+// Set binds a relation name.
+func (e *Env) Set(name string, r *Relation) { e.Rels[name] = r }

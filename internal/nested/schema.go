@@ -1,0 +1,223 @@
+package nested
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type describes the type of a value: a scalar kind, or a nested tuple/bag
+// kind with an element schema. A bag's element schema describes its tuples.
+type Type struct {
+	Kind Kind
+	// Elem is the schema of nested tuples (for KindTuple) or of the tuples
+	// inside a nested bag (for KindBag); nil for scalar kinds.
+	Elem *Schema
+}
+
+// ScalarType returns a Type for a scalar kind.
+func ScalarType(k Kind) Type { return Type{Kind: k} }
+
+// TupleType returns a nested tuple type with the given schema.
+func TupleType(s *Schema) Type { return Type{Kind: KindTuple, Elem: s} }
+
+// BagType returns a nested bag type whose tuples follow the given schema.
+func BagType(s *Schema) Type { return Type{Kind: KindBag, Elem: s} }
+
+// String renders the type, recursing into nested schemas.
+func (t Type) String() string {
+	switch t.Kind {
+	case KindTuple:
+		return "tuple" + t.Elem.String()
+	case KindBag:
+		return "bag{" + t.Elem.String() + "}"
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Equal reports structural equality of types.
+func (t Type) Equal(u Type) bool {
+	if t.Kind != u.Kind {
+		return false
+	}
+	switch t.Kind {
+	case KindTuple, KindBag:
+		return t.Elem.Equal(u.Elem)
+	default:
+		return true
+	}
+}
+
+// Accepts reports whether a value of kind k can inhabit this type. Ints are
+// accepted where floats are expected (numeric widening), and nulls are
+// accepted everywhere.
+func (t Type) Accepts(k Kind) bool {
+	if k == KindNull {
+		return true
+	}
+	if t.Kind == KindFloat && k == KindInt {
+		return true
+	}
+	return t.Kind == k
+}
+
+// Field is a named, typed column of a schema.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// Schema describes the fields of a (possibly nested) relation's tuples.
+type Schema struct {
+	Fields []Field
+}
+
+// NewSchema builds a schema from fields.
+func NewSchema(fields ...Field) *Schema { return &Schema{Fields: fields} }
+
+// Arity returns the number of fields.
+func (s *Schema) Arity() int { return len(s.Fields) }
+
+// IndexOf returns the position of the named field, or -1 if absent.
+// Names are matched case-sensitively, then — as in Pig's disambiguated
+// join output — a suffix match on "::name" is attempted.
+func (s *Schema) IndexOf(name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	suffix := "::" + name
+	found := -1
+	for i, f := range s.Fields {
+		if strings.HasSuffix(f.Name, suffix) {
+			if found >= 0 {
+				return -1 // ambiguous
+			}
+			found = i
+		}
+	}
+	return found
+}
+
+// FieldType returns the type of the i-th field.
+func (s *Schema) FieldType(i int) Type { return s.Fields[i].Type }
+
+// Equal reports structural equality (names and types).
+func (s *Schema) Equal(o *Schema) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if len(s.Fields) != len(o.Fields) {
+		return false
+	}
+	for i := range s.Fields {
+		if s.Fields[i].Name != o.Fields[i].Name || !s.Fields[i].Type.Equal(o.Fields[i].Type) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	fields := make([]Field, len(s.Fields))
+	for i, f := range s.Fields {
+		t := f.Type
+		if t.Elem != nil {
+			t.Elem = t.Elem.Clone()
+		}
+		fields[i] = Field{Name: f.Name, Type: t}
+	}
+	return &Schema{Fields: fields}
+}
+
+// String renders the schema as "(name: type, ...)".
+func (s *Schema) String() string {
+	if s == nil {
+		return "()"
+	}
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, f := range s.Fields {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(f.Name)
+		sb.WriteString(": ")
+		sb.WriteString(f.Type.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Validate checks that a tuple conforms to the schema: matching arity and
+// field kinds, recursing into nested tuples and bags.
+func (s *Schema) Validate(t *Tuple) error {
+	if len(t.Fields) != len(s.Fields) {
+		return fmt.Errorf("nested: tuple arity %d does not match schema %s", len(t.Fields), s)
+	}
+	for i, v := range t.Fields {
+		f := s.Fields[i]
+		if !f.Type.Accepts(v.Kind()) {
+			return fmt.Errorf("nested: field %q: value kind %s does not match type %s", f.Name, v.Kind(), f.Type)
+		}
+		switch v.Kind() {
+		case KindTuple:
+			if f.Type.Elem != nil {
+				if err := f.Type.Elem.Validate(v.AsTuple()); err != nil {
+					return fmt.Errorf("nested: field %q: %w", f.Name, err)
+				}
+			}
+		case KindBag:
+			if f.Type.Elem != nil {
+				if err := f.Type.Elem.ValidateBag(v.AsBag()); err != nil {
+					return fmt.Errorf("nested: field %q: %w", f.Name, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateBag checks every tuple of a bag against the schema.
+func (s *Schema) ValidateBag(b *Bag) error {
+	for _, t := range b.Tuples {
+		if err := s.Validate(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RelationSchemas maps relation names to schemas; it models the relational
+// schemas S_in, S_state and S_out of Definition 2.1.
+type RelationSchemas map[string]*Schema
+
+// Names returns the relation names in unspecified order.
+func (r RelationSchemas) Names() []string {
+	names := make([]string, 0, len(r))
+	for n := range r {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Clone returns a deep copy.
+func (r RelationSchemas) Clone() RelationSchemas {
+	c := make(RelationSchemas, len(r))
+	for n, s := range r {
+		c[n] = s.Clone()
+	}
+	return c
+}
+
+// Disjoint reports whether two schema maps share no relation name.
+func (r RelationSchemas) Disjoint(o RelationSchemas) bool {
+	for n := range r {
+		if _, ok := o[n]; ok {
+			return false
+		}
+	}
+	return true
+}

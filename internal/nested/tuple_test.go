@@ -1,0 +1,261 @@
+package nested
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTupleBasics(t *testing.T) {
+	tu := NewTuple(Str("P1"), Str("B1"), Str("Civic"))
+	if tu.Arity() != 3 {
+		t.Fatalf("arity = %d", tu.Arity())
+	}
+	if tu.Field(2).AsString() != "Civic" {
+		t.Error("Field(2) wrong")
+	}
+	if tu.String() != "<P1,B1,Civic>" {
+		t.Errorf("String = %q", tu.String())
+	}
+}
+
+func TestTupleCompare(t *testing.T) {
+	a := NewTuple(Int(1), Str("a"))
+	b := NewTuple(Int(1), Str("b"))
+	c := NewTuple(Int(1))
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Error("field-wise compare broken")
+	}
+	if c.Compare(a) != -1 {
+		t.Error("shorter tuple should order first on shared prefix")
+	}
+	if !a.Equal(NewTuple(Int(1), Str("a"))) {
+		t.Error("Equal broken")
+	}
+}
+
+func TestTupleConcatProject(t *testing.T) {
+	a := NewTuple(Int(1), Int(2))
+	b := NewTuple(Int(3))
+	cat := a.Concat(b)
+	if cat.String() != "<1,2,3>" {
+		t.Errorf("Concat = %v", cat)
+	}
+	p := cat.Project(2, 0)
+	if p.String() != "<3,1>" {
+		t.Errorf("Project = %v", p)
+	}
+	// Originals untouched.
+	if a.Arity() != 2 || b.Arity() != 1 {
+		t.Error("Concat mutated inputs")
+	}
+}
+
+func TestBagMultisetEquality(t *testing.T) {
+	t1 := NewTuple(Str("C2"), Str("Civic"))
+	t2 := NewTuple(Str("C3"), Str("Civic"))
+	a := NewBag(t1, t2, t1)
+	b := NewBag(t1, t1, t2)
+	c := NewBag(t1, t2)
+	if !a.Equal(b) {
+		t.Error("order-insensitive equality failed")
+	}
+	if a.Equal(c) {
+		t.Error("multiplicity ignored")
+	}
+}
+
+func TestBagString(t *testing.T) {
+	b := NewBag(NewTuple(Str("C3"), Str("Civic")), NewTuple(Str("C2"), Str("Civic")))
+	if b.String() != "{<C2,Civic>,<C3,Civic>}" {
+		t.Errorf("String = %q", b.String())
+	}
+}
+
+func TestBagSortBy(t *testing.T) {
+	b := NewBag(
+		NewTuple(Str("b"), Int(2)),
+		NewTuple(Str("a"), Int(3)),
+		NewTuple(Str("a"), Int(1)),
+	)
+	b.SortBy(0, 1)
+	want := []string{"<a,1>", "<a,3>", "<b,2>"}
+	for i, tu := range b.Tuples {
+		if tu.String() != want[i] {
+			t.Errorf("pos %d = %v, want %v", i, tu, want[i])
+		}
+	}
+}
+
+func TestBagCounts(t *testing.T) {
+	t1 := NewTuple(Int(1))
+	t2 := NewTuple(Int(2))
+	b := NewBag(t1, t2, NewTuple(Int(1)))
+	counts, reps := b.Counts()
+	if len(counts) != 2 {
+		t.Fatalf("distinct count = %d", len(counts))
+	}
+	if counts[t1.Key()] != 2 || counts[t2.Key()] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	if !reps[t1.Key()].Equal(t1) {
+		t.Error("representative wrong")
+	}
+}
+
+func TestBagClone(t *testing.T) {
+	b := NewBag(NewTuple(Int(1)), NewTuple(Int(2)))
+	c := b.Clone()
+	c.Tuples[0].Fields[0] = Int(42)
+	if b.Tuples[0].Fields[0].AsInt() != 1 {
+		t.Error("clone aliases original")
+	}
+}
+
+type bagBox struct{ b *Bag }
+
+func (bagBox) Generate(r *rand.Rand, _ int) reflect.Value {
+	b := NewBag()
+	for i, n := 0, r.Intn(6); i < n; i++ {
+		b.Add(genTuple(r, 1))
+	}
+	return reflect.ValueOf(bagBox{b})
+}
+
+func TestBagEqualityIsPermutationInvariant(t *testing.T) {
+	f := func(bb bagBox, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		shuffled := NewBag(append([]*Tuple(nil), bb.b.Tuples...)...)
+		r.Shuffle(len(shuffled.Tuples), func(i, j int) {
+			shuffled.Tuples[i], shuffled.Tuples[j] = shuffled.Tuples[j], shuffled.Tuples[i]
+		})
+		if !bb.b.Equal(shuffled) {
+			return false
+		}
+		return bb.b.Key() == shuffled.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBagCompareTotalOrder(t *testing.T) {
+	f := func(a, b bagBox) bool { return a.b.Compare(b.b) == -b.b.Compare(a.b) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := NewSchema(
+		Field{Name: "UserId", Type: ScalarType(KindString)},
+		Field{Name: "BidId", Type: ScalarType(KindString)},
+		Field{Name: "Model", Type: ScalarType(KindString)},
+	)
+	if s.Arity() != 3 {
+		t.Fatalf("arity = %d", s.Arity())
+	}
+	if s.IndexOf("BidId") != 1 || s.IndexOf("Nope") != -1 {
+		t.Error("IndexOf broken")
+	}
+	if s.String() != "(UserId: string, BidId: string, Model: string)" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSchemaQualifiedSuffixLookup(t *testing.T) {
+	s := NewSchema(
+		Field{Name: "Cars::Model", Type: ScalarType(KindString)},
+		Field{Name: "Cars::CarId", Type: ScalarType(KindString)},
+	)
+	if s.IndexOf("CarId") != 1 {
+		t.Error("suffix lookup failed")
+	}
+	amb := NewSchema(
+		Field{Name: "A::Model", Type: ScalarType(KindString)},
+		Field{Name: "B::Model", Type: ScalarType(KindString)},
+	)
+	if amb.IndexOf("Model") != -1 {
+		t.Error("ambiguous suffix lookup should fail")
+	}
+	if amb.IndexOf("A::Model") != 0 {
+		t.Error("exact qualified lookup should win")
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	inner := NewSchema(Field{Name: "CarId", Type: ScalarType(KindString)})
+	s := NewSchema(
+		Field{Name: "Model", Type: ScalarType(KindString)},
+		Field{Name: "Cars", Type: BagType(inner)},
+		Field{Name: "Price", Type: ScalarType(KindFloat)},
+	)
+	ok := NewTuple(Str("Civic"), BagVal(NewBag(NewTuple(Str("C1")))), Int(20))
+	if err := s.Validate(ok); err != nil {
+		t.Errorf("valid tuple rejected: %v", err)
+	}
+	badArity := NewTuple(Str("Civic"))
+	if err := s.Validate(badArity); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	badKind := NewTuple(Int(1), BagVal(NewBag()), Float(1))
+	if err := s.Validate(badKind); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+	badNested := NewTuple(Str("Civic"), BagVal(NewBag(NewTuple(Int(7)))), Float(1))
+	if err := s.Validate(badNested); err == nil {
+		t.Error("nested kind mismatch accepted")
+	}
+	withNull := NewTuple(Null(), BagVal(NewBag()), Null())
+	if err := s.Validate(withNull); err != nil {
+		t.Errorf("nulls should be accepted: %v", err)
+	}
+}
+
+func TestSchemaEqualClone(t *testing.T) {
+	inner := NewSchema(Field{Name: "x", Type: ScalarType(KindInt)})
+	s := NewSchema(Field{Name: "b", Type: BagType(inner)})
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Fields[0].Type.Elem.Fields[0].Name = "y"
+	if s.Fields[0].Type.Elem.Fields[0].Name != "x" {
+		t.Error("clone aliases original")
+	}
+	if s.Equal(c) {
+		t.Error("Equal ignores nested rename")
+	}
+}
+
+func TestRelationSchemas(t *testing.T) {
+	a := RelationSchemas{"Requests": NewSchema(), "Bids": NewSchema()}
+	b := RelationSchemas{"Cars": NewSchema()}
+	if !a.Disjoint(b) {
+		t.Error("disjoint sets reported overlapping")
+	}
+	c := RelationSchemas{"Bids": NewSchema()}
+	if a.Disjoint(c) {
+		t.Error("overlapping sets reported disjoint")
+	}
+	if len(a.Names()) != 2 {
+		t.Error("Names wrong")
+	}
+	cl := a.Clone()
+	if len(cl) != 2 {
+		t.Error("Clone wrong")
+	}
+}
+
+func TestTypeAccepts(t *testing.T) {
+	if !ScalarType(KindFloat).Accepts(KindInt) {
+		t.Error("float should accept int")
+	}
+	if ScalarType(KindInt).Accepts(KindFloat) {
+		t.Error("int should not accept float")
+	}
+	if !ScalarType(KindString).Accepts(KindNull) {
+		t.Error("null should be accepted anywhere")
+	}
+}

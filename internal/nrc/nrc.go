@@ -1,0 +1,323 @@
+// Package nrc implements the bag-semantics Nested Relational Calculus
+// (Buneman et al., TCS 1995), the formal foundation the paper translates
+// Pig Latin into ("Pig Latin expressions (without UDFs) can be translated
+// into the bag semantics version of the nested relational calculus",
+// Section 2.1). The calculus here is parameterized by base operations
+// (scalar functions and predicates), has the standard collection
+// constructs — singleton, empty, (additive) union, and the comprehension
+// "for x in e1 union e2" — plus duplicate elimination δ and aggregation,
+// matching the fragment of [2, 14] the provenance framework is built on.
+//
+// Package pig's operators translate into this calculus (Translate); the
+// tests check that translated programs evaluate to the same bags as the
+// direct evaluation engine, which is the semantic backbone for the
+// provenance construction's correctness.
+package nrc
+
+import (
+	"fmt"
+
+	"lipstick/internal/nested"
+)
+
+// Expr is an NRC expression.
+type Expr interface {
+	// Eval computes the expression's value in the environment.
+	Eval(env *Env) (nested.Value, error)
+	// String renders a calculus-style form.
+	String() string
+}
+
+// Env binds variables to values.
+type Env struct {
+	vars map[string]nested.Value
+}
+
+// NewEnv builds an environment from bindings.
+func NewEnv() *Env { return &Env{vars: map[string]nested.Value{}} }
+
+// Bind sets a variable (returning a derived environment is avoided for
+// performance; Eval saves/restores).
+func (e *Env) Bind(name string, v nested.Value) { e.vars[name] = v }
+
+// Lookup reads a variable.
+func (e *Env) Lookup(name string) (nested.Value, bool) {
+	v, ok := e.vars[name]
+	return v, ok
+}
+
+// Var references a bound variable (an input relation or a comprehension
+// binder).
+type Var struct{ Name string }
+
+// Const is a constant value.
+type Const struct{ Value nested.Value }
+
+// MkTuple builds a tuple from component expressions.
+type MkTuple struct{ Fields []Expr }
+
+// Proj projects the i-th component of a tuple.
+type Proj struct {
+	Tuple Expr
+	Index int
+}
+
+// Singleton is the bag {e}.
+type Singleton struct{ Elem Expr }
+
+// EmptyBag is the bag {}.
+type EmptyBag struct{}
+
+// Union is additive bag union.
+type Union struct{ L, R Expr }
+
+// For is the comprehension ⋃{ Body | Var ∈ In }: Body (a bag) is
+// evaluated for every element of In (with multiplicity) and the results
+// are bag-unioned — NRC's ext/flatmap.
+type For struct {
+	Var  string
+	In   Expr
+	Body Expr
+}
+
+// Cond is "if P then e else {}" — the positive conditional of the
+// fragment.
+type Cond struct {
+	Pred Pred
+	Then Expr
+}
+
+// Dedup is duplicate elimination δ(e).
+type Dedup struct{ Arg Expr }
+
+// Prim applies a named base operation to argument values; NRC is
+// parameterized over such base functions (scalar arithmetic, comparisons
+// on base types, aggregation of a bag value).
+type Prim struct {
+	Name string
+	Args []Expr
+	Fn   func(args []nested.Value) (nested.Value, error)
+}
+
+// Pred is a boolean condition over the environment.
+type Pred struct {
+	Name string
+	Args []Expr
+	Fn   func(args []nested.Value) (bool, error)
+}
+
+// Eval implements Expr.
+func (v Var) Eval(env *Env) (nested.Value, error) {
+	val, ok := env.Lookup(v.Name)
+	if !ok {
+		return nested.Null(), fmt.Errorf("nrc: unbound variable %q", v.Name)
+	}
+	return val, nil
+}
+
+// Eval implements Expr.
+func (c Const) Eval(*Env) (nested.Value, error) { return c.Value, nil }
+
+// Eval implements Expr.
+func (t MkTuple) Eval(env *Env) (nested.Value, error) {
+	fields := make([]nested.Value, len(t.Fields))
+	for i, f := range t.Fields {
+		v, err := f.Eval(env)
+		if err != nil {
+			return nested.Null(), err
+		}
+		fields[i] = v
+	}
+	return nested.TupleVal(nested.NewTuple(fields...)), nil
+}
+
+// Eval implements Expr.
+func (p Proj) Eval(env *Env) (nested.Value, error) {
+	v, err := p.Tuple.Eval(env)
+	if err != nil {
+		return nested.Null(), err
+	}
+	if v.Kind() != nested.KindTuple {
+		return nested.Null(), fmt.Errorf("nrc: projection from %s", v.Kind())
+	}
+	t := v.AsTuple()
+	if p.Index < 0 || p.Index >= t.Arity() {
+		return nested.Null(), fmt.Errorf("nrc: projection index %d out of range", p.Index)
+	}
+	return t.Fields[p.Index], nil
+}
+
+// Eval implements Expr.
+func (s Singleton) Eval(env *Env) (nested.Value, error) {
+	v, err := s.Elem.Eval(env)
+	if err != nil {
+		return nested.Null(), err
+	}
+	if v.Kind() != nested.KindTuple {
+		return nested.Null(), fmt.Errorf("nrc: singleton of non-tuple %s", v.Kind())
+	}
+	return nested.BagVal(nested.NewBag(v.AsTuple())), nil
+}
+
+// Eval implements Expr.
+func (EmptyBag) Eval(*Env) (nested.Value, error) {
+	return nested.BagVal(nested.NewBag()), nil
+}
+
+// Eval implements Expr.
+func (u Union) Eval(env *Env) (nested.Value, error) {
+	l, err := u.L.Eval(env)
+	if err != nil {
+		return nested.Null(), err
+	}
+	r, err := u.R.Eval(env)
+	if err != nil {
+		return nested.Null(), err
+	}
+	if l.Kind() != nested.KindBag || r.Kind() != nested.KindBag {
+		return nested.Null(), fmt.Errorf("nrc: union of %s and %s", l.Kind(), r.Kind())
+	}
+	out := nested.NewBag()
+	out.Tuples = append(out.Tuples, l.AsBag().Tuples...)
+	out.Tuples = append(out.Tuples, r.AsBag().Tuples...)
+	return nested.BagVal(out), nil
+}
+
+// Eval implements Expr.
+func (f For) Eval(env *Env) (nested.Value, error) {
+	in, err := f.In.Eval(env)
+	if err != nil {
+		return nested.Null(), err
+	}
+	if in.Kind() != nested.KindBag {
+		return nested.Null(), fmt.Errorf("nrc: for over %s", in.Kind())
+	}
+	saved, had := env.Lookup(f.Var)
+	out := nested.NewBag()
+	for _, t := range in.AsBag().Tuples {
+		env.Bind(f.Var, nested.TupleVal(t))
+		body, err := f.Body.Eval(env)
+		if err != nil {
+			return nested.Null(), err
+		}
+		if body.Kind() != nested.KindBag {
+			return nested.Null(), fmt.Errorf("nrc: for body is %s, not a bag", body.Kind())
+		}
+		out.Tuples = append(out.Tuples, body.AsBag().Tuples...)
+	}
+	if had {
+		env.Bind(f.Var, saved)
+	} else {
+		delete(env.vars, f.Var)
+	}
+	return nested.BagVal(out), nil
+}
+
+// Eval implements Expr.
+func (c Cond) Eval(env *Env) (nested.Value, error) {
+	args := make([]nested.Value, len(c.Pred.Args))
+	for i, a := range c.Pred.Args {
+		v, err := a.Eval(env)
+		if err != nil {
+			return nested.Null(), err
+		}
+		args[i] = v
+	}
+	ok, err := c.Pred.Fn(args)
+	if err != nil {
+		return nested.Null(), err
+	}
+	if !ok {
+		return nested.BagVal(nested.NewBag()), nil
+	}
+	return c.Then.Eval(env)
+}
+
+// Eval implements Expr.
+func (d Dedup) Eval(env *Env) (nested.Value, error) {
+	v, err := d.Arg.Eval(env)
+	if err != nil {
+		return nested.Null(), err
+	}
+	if v.Kind() != nested.KindBag {
+		return nested.Null(), fmt.Errorf("nrc: δ over %s", v.Kind())
+	}
+	seen := map[string]bool{}
+	out := nested.NewBag()
+	for _, t := range v.AsBag().Tuples {
+		k := t.Key()
+		if !seen[k] {
+			seen[k] = true
+			out.Add(t)
+		}
+	}
+	return nested.BagVal(out), nil
+}
+
+// Eval implements Expr.
+func (p Prim) Eval(env *Env) (nested.Value, error) {
+	args := make([]nested.Value, len(p.Args))
+	for i, a := range p.Args {
+		v, err := a.Eval(env)
+		if err != nil {
+			return nested.Null(), err
+		}
+		args[i] = v
+	}
+	return p.Fn(args)
+}
+
+// String implements Expr.
+func (v Var) String() string { return v.Name }
+
+// String implements Expr.
+func (c Const) String() string { return c.Value.String() }
+
+// String implements Expr.
+func (t MkTuple) String() string {
+	s := "⟨"
+	for i, f := range t.Fields {
+		if i > 0 {
+			s += ", "
+		}
+		s += f.String()
+	}
+	return s + "⟩"
+}
+
+// String implements Expr.
+func (p Proj) String() string { return fmt.Sprintf("%s.%d", p.Tuple.String(), p.Index) }
+
+// String implements Expr.
+func (s Singleton) String() string { return "{" + s.Elem.String() + "}" }
+
+// String implements Expr.
+func (EmptyBag) String() string { return "{}" }
+
+// String implements Expr.
+func (u Union) String() string { return u.L.String() + " ⊎ " + u.R.String() }
+
+// String implements Expr.
+func (f For) String() string {
+	return fmt.Sprintf("⋃{%s | %s ∈ %s}", f.Body.String(), f.Var, f.In.String())
+}
+
+// String implements Expr.
+func (c Cond) String() string {
+	return fmt.Sprintf("if %s then %s else {}", c.Pred.Name, c.Then.String())
+}
+
+// String implements Expr.
+func (d Dedup) String() string { return "δ(" + d.Arg.String() + ")" }
+
+// String implements Expr.
+func (p Prim) String() string {
+	s := p.Name + "("
+	for i, a := range p.Args {
+		if i > 0 {
+			s += ", "
+		}
+		s += a.String()
+	}
+	return s + ")"
+}

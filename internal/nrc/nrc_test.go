@@ -1,0 +1,258 @@
+package nrc
+
+import (
+	"math/rand"
+	"testing"
+
+	"lipstick/internal/eval"
+	"lipstick/internal/nested"
+	"lipstick/internal/pig"
+)
+
+func bagOfInts(vals ...int64) nested.Value {
+	b := nested.NewBag()
+	for _, v := range vals {
+		b.Add(nested.NewTuple(nested.Int(v)))
+	}
+	return nested.BagVal(b)
+}
+
+func TestBasicConstructs(t *testing.T) {
+	env := NewEnv()
+	env.Bind("R", bagOfInts(1, 2, 2))
+
+	// ⋃{ {⟨x.0, x.0⟩} | x ∈ R } duplicates fields, preserves multiplicity.
+	e := For{Var: "x", In: Var{"R"}, Body: Singleton{Elem: MkTuple{Fields: []Expr{
+		Proj{Tuple: Var{"x"}, Index: 0}, Proj{Tuple: Var{"x"}, Index: 0},
+	}}}}
+	v, err := e.Eval(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := nested.NewBag(
+		nested.NewTuple(nested.Int(1), nested.Int(1)),
+		nested.NewTuple(nested.Int(2), nested.Int(2)),
+		nested.NewTuple(nested.Int(2), nested.Int(2)),
+	)
+	if !v.AsBag().Equal(want) {
+		t.Errorf("got %v, want %v", v, nested.BagVal(want))
+	}
+
+	// δ collapses duplicates.
+	d, err := Dedup{Arg: Var{"R"}}.Eval(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.AsBag().Len() != 2 {
+		t.Errorf("δ(R) = %v", d)
+	}
+
+	// Union is additive.
+	u, err := Union{L: Var{"R"}, R: Var{"R"}}.Eval(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.AsBag().Len() != 6 {
+		t.Errorf("R ⊎ R has %d tuples", u.AsBag().Len())
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	env := NewEnv()
+	env.Bind("R", bagOfInts(1))
+	cases := []Expr{
+		Var{"missing"},
+		Proj{Tuple: Const{nested.Int(1)}, Index: 0},
+		Proj{Tuple: MkTuple{Fields: []Expr{Const{nested.Int(1)}}}, Index: 5},
+		Singleton{Elem: Const{nested.Int(1)}},
+		Union{L: Var{"R"}, R: Const{nested.Int(1)}},
+		For{Var: "x", In: Const{nested.Int(1)}, Body: EmptyBag{}},
+		For{Var: "x", In: Var{"R"}, Body: Const{nested.Int(1)}},
+		Dedup{Arg: Const{nested.Int(1)}},
+	}
+	for i, e := range cases {
+		if _, err := e.Eval(env); err == nil {
+			t.Errorf("case %d (%s): expected error", i, e.String())
+		}
+	}
+}
+
+func TestForScopeRestored(t *testing.T) {
+	env := NewEnv()
+	env.Bind("R", bagOfInts(1))
+	env.Bind("x", nested.Str("outer"))
+	e := For{Var: "x", In: Var{"R"}, Body: Singleton{Elem: Var{"x"}}}
+	if _, err := e.Eval(env); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := env.Lookup("x")
+	if !ok || !v.Equal(nested.Str("outer")) {
+		t.Error("comprehension binder leaked into the environment")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	e := For{Var: "x", In: Var{"R"}, Body: Cond{
+		Pred: Pred{Name: "p"},
+		Then: Singleton{Elem: MkTuple{Fields: []Expr{Proj{Tuple: Var{"x"}, Index: 0}}}},
+	}}
+	want := "⋃{if p then {⟨x.0⟩} else {} | x ∈ R}"
+	if e.String() != want {
+		t.Errorf("String = %q, want %q", e.String(), want)
+	}
+	if (Dedup{Arg: EmptyBag{}}).String() != "δ({})" {
+		t.Error("dedup string")
+	}
+}
+
+// runBoth compiles a program, evaluates it with the direct engine and via
+// the NRC translation, and compares every relation.
+func runBoth(t *testing.T, src string, schemas nested.RelationSchemas, reg *pig.Registry, rels map[string]*nested.Bag) {
+	t.Helper()
+	plan, err := pig.CompileSource(src, schemas, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	engineEnv := eval.NewEnv()
+	nrcEnv := NewEnv()
+	for name, bag := range rels {
+		engineEnv.Set(name, eval.FromBag(schemas[name], bag))
+		nrcEnv.Bind(name, nested.BagVal(bag))
+	}
+	if err := eval.New(nil).Run(plan, engineEnv); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunPlan(plan, nrcEnv); err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range plan.Steps {
+		engineRel, err := engineEnv.Rel(step.Target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nrcVal, ok := nrcEnv.Lookup(step.Target)
+		if !ok {
+			t.Fatalf("%s: not bound by NRC evaluation", step.Target)
+		}
+		if _, isOrder := step.Op.(*pig.OrderOp); isOrder {
+			continue // ORDER is post-processing; bags are order-insensitive anyway
+		}
+		if !engineRel.ToBag().Equal(nrcVal.AsBag()) {
+			t.Errorf("%s differs:\n  engine: %s\n  nrc:    %s",
+				step.Target, engineRel.ToBag(), nrcVal.AsBag())
+		}
+	}
+}
+
+func intSchema(names ...string) *nested.Schema {
+	s := &nested.Schema{}
+	for _, n := range names {
+		s.Fields = append(s.Fields, nested.Field{Name: n, Type: nested.ScalarType(nested.KindInt)})
+	}
+	return s
+}
+
+func TestTranslationMatchesEngineCoreOps(t *testing.T) {
+	schemas := nested.RelationSchemas{
+		"A": intSchema("k", "v"),
+		"B": intSchema("k", "w"),
+	}
+	a := nested.NewBag(
+		nested.NewTuple(nested.Int(1), nested.Int(10)),
+		nested.NewTuple(nested.Int(1), nested.Int(20)),
+		nested.NewTuple(nested.Int(2), nested.Int(30)),
+		nested.NewTuple(nested.Int(2), nested.Int(30)), // duplicate
+	)
+	b := nested.NewBag(
+		nested.NewTuple(nested.Int(1), nested.Int(7)),
+		nested.NewTuple(nested.Int(3), nested.Int(8)),
+	)
+	src := `
+F = FILTER A BY v > 15;
+P = FOREACH A GENERATE k, v * 2 AS dbl;
+J = JOIN A BY k, B BY k;
+G = GROUP A BY k;
+S = FOREACH G GENERATE group AS k, COUNT(A) AS n, SUM(A.v) AS total, MIN(A.v) AS lo, MAX(A.v) AS hi, AVG(A.v) AS mean;
+CG = COGROUP A BY k, B BY k;
+U = UNION A, A;
+D = DISTINCT U;
+FL = FOREACH G GENERATE group, FLATTEN(A);
+O = ORDER A BY v DESC;
+L = LIMIT D 2;
+AL = A;
+ST = FOREACH A GENERATE *;
+`
+	runBoth(t, src, schemas, nil, map[string]*nested.Bag{"A": a, "B": b})
+}
+
+func TestTranslationWithUDF(t *testing.T) {
+	reg := pig.NewRegistry()
+	reg.MustRegister(&pig.UDF{
+		Name:      "Pair",
+		OutSchema: intSchema("a", "b"),
+		Fn: func(args []nested.Value) (*nested.Bag, error) {
+			v := args[0].AsInt()
+			return nested.NewBag(
+				nested.NewTuple(nested.Int(v), nested.Int(v+1)),
+				nested.NewTuple(nested.Int(v), nested.Int(v+2)),
+			), nil
+		},
+	})
+	schemas := nested.RelationSchemas{"A": intSchema("k")}
+	a := nested.NewBag(nested.NewTuple(nested.Int(5)), nested.NewTuple(nested.Int(9)))
+	runBoth(t, "X = FOREACH A GENERATE FLATTEN(Pair(k)); Y = FOREACH A GENERATE Pair(k) AS bags;", schemas, reg, map[string]*nested.Bag{"A": a})
+}
+
+// TestTranslationRandomized compares the two evaluators on random inputs
+// for a fixed operator mix.
+func TestTranslationRandomized(t *testing.T) {
+	schemas := nested.RelationSchemas{
+		"A": intSchema("k", "v"),
+		"B": intSchema("k", "w"),
+	}
+	src := `
+J = JOIN A BY k, B BY k;
+G = GROUP J BY A::k;
+S = FOREACH G GENERATE group AS k, COUNT(J) AS n, SUM(J.v) AS sv;
+D = DISTINCT S;
+`
+	for seed := int64(0); seed < 25; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		mk := func(n int) *nested.Bag {
+			bag := nested.NewBag()
+			for i := 0; i < n; i++ {
+				bag.Add(nested.NewTuple(nested.Int(int64(r.Intn(4))), nested.Int(int64(r.Intn(10)))))
+			}
+			return bag
+		}
+		runBoth(t, src, schemas, nil, map[string]*nested.Bag{"A": mk(r.Intn(8)), "B": mk(r.Intn(8))})
+	}
+}
+
+func TestTranslateMultipleFlattensUnsupported(t *testing.T) {
+	schemas := nested.RelationSchemas{"A": intSchema("k", "v")}
+	plan, err := pig.CompileSource("G = GROUP A BY k; X = FOREACH G GENERATE FLATTEN(A), FLATTEN(A);", schemas, nil)
+	// The pig compiler may reject duplicate output fields first; when it
+	// compiles, the NRC translation must refuse.
+	if err != nil {
+		t.Skip("pig compiler rejected the double flatten")
+	}
+	for _, step := range plan.Steps {
+		if step.Target == "X" {
+			if _, err := Translate(step.Op); err == nil {
+				t.Error("double FLATTEN should be untranslatable")
+			}
+		}
+	}
+}
+
+func TestAggregateBagHelper(t *testing.T) {
+	// Exercised through the engine elsewhere; check the exported helper
+	// directly for empty bags.
+	b := nested.NewBag()
+	v, err := eval.AggregateBag(0 /* AggSum */, b, 0, nested.KindInt)
+	if err != nil || !v.IsNull() {
+		t.Errorf("SUM over empty = %v, %v (want null)", v, err)
+	}
+}

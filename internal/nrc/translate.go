@@ -1,0 +1,312 @@
+package nrc
+
+import (
+	"fmt"
+
+	"lipstick/internal/eval"
+	"lipstick/internal/nested"
+	"lipstick/internal/pig"
+)
+
+// Translate maps a compiled Pig Latin operator to an NRC expression over
+// relation variables (the paper's Section 2.1 translation, which founds
+// the provenance semantics). ORDER translates to the identity — relations
+// are unordered in the calculus, and the paper treats ORDER as a
+// provenance-free post-processing step. LIMIT and UDF application become
+// base operations (NRC is parameterized by base functions, and UDFs are
+// exactly the opaque functions the paper handles as black boxes).
+func Translate(op pig.Operator) (Expr, error) {
+	switch o := op.(type) {
+	case *pig.ForeachOp:
+		return translateForeach(o)
+	case *pig.FilterOp:
+		return For{Var: "x", In: Var{o.Input}, Body: Cond{
+			Pred: exprPred(o.Cond, "x"),
+			Then: Singleton{Elem: Var{"x"}},
+		}}, nil
+	case *pig.GroupOp:
+		return translateGroup(o.Input, o.Keys, []string{o.Input}, [][]pig.Expr{o.Keys}), nil
+	case *pig.CogroupOp:
+		return translateCogroup(o.InputNames, o.Keys), nil
+	case *pig.JoinOp:
+		return translateJoin(o), nil
+	case *pig.UnionOp:
+		expr := Expr(Var{o.InputNames[0]})
+		for _, in := range o.InputNames[1:] {
+			expr = Union{L: expr, R: Var{in}}
+		}
+		return expr, nil
+	case *pig.DistinctOp:
+		return Dedup{Arg: Var{o.Input}}, nil
+	case *pig.OrderOp:
+		return Var{o.Input}, nil // unordered calculus; ORDER is post-processing
+	case *pig.LimitOp:
+		n := o.N
+		return Prim{Name: fmt.Sprintf("limit%d", n), Args: []Expr{Var{o.Input}}, Fn: func(args []nested.Value) (nested.Value, error) {
+			in := args[0].AsBag()
+			out := nested.NewBag()
+			for _, t := range in.Tuples {
+				if int64(out.Len()) >= n {
+					break
+				}
+				out.Add(t)
+			}
+			return nested.BagVal(out), nil
+		}}, nil
+	case *pig.AliasOp:
+		return Var{o.Input}, nil
+	default:
+		return nil, fmt.Errorf("nrc: no translation for %T", op)
+	}
+}
+
+// exprPred wraps a compiled scalar condition as an NRC predicate over the
+// comprehension variable.
+func exprPred(cond pig.Expr, varName string) Pred {
+	return Pred{Name: cond.String(), Args: []Expr{Var{varName}}, Fn: func(args []nested.Value) (bool, error) {
+		v, err := cond.Eval(args[0].AsTuple())
+		if err != nil {
+			return false, err
+		}
+		return v.Truthy(), nil
+	}}
+}
+
+// exprPrim wraps a compiled scalar expression as an NRC base operation.
+func exprPrim(e pig.Expr, varName string) Prim {
+	return Prim{Name: e.String(), Args: []Expr{Var{varName}}, Fn: func(args []nested.Value) (nested.Value, error) {
+		return e.Eval(args[0].AsTuple())
+	}}
+}
+
+// keyPrim computes a (possibly composite) grouping key of a tuple.
+func keyPrim(keys []pig.Expr, varName string) Prim {
+	return Prim{Name: "key", Args: []Expr{Var{varName}}, Fn: func(args []nested.Value) (nested.Value, error) {
+		return evalKeys(keys, args[0].AsTuple())
+	}}
+}
+
+func evalKeys(keys []pig.Expr, t *nested.Tuple) (nested.Value, error) {
+	if len(keys) == 1 {
+		return keys[0].Eval(t)
+	}
+	vals := make([]nested.Value, len(keys))
+	for i, k := range keys {
+		v, err := k.Eval(t)
+		if err != nil {
+			return nested.Null(), err
+		}
+		vals[i] = v
+	}
+	return nested.TupleVal(nested.NewTuple(vals...)), nil
+}
+
+// keysEqualPred compares the keys of two bound tuples.
+func keysEqualPred(outerKeys []pig.Expr, outerVar string, innerKeys []pig.Expr, innerVar string) Pred {
+	return Pred{Name: "keyEq", Args: []Expr{Var{outerVar}, Var{innerVar}}, Fn: func(args []nested.Value) (bool, error) {
+		a, err := evalKeys(outerKeys, args[0].AsTuple())
+		if err != nil {
+			return false, err
+		}
+		b, err := evalKeys(innerKeys, args[1].AsTuple())
+		if err != nil {
+			return false, err
+		}
+		return a.Equal(b), nil
+	}}
+}
+
+// translateGroup renders GROUP as
+// δ(⋃{ ⟨key(x), ⋃{ {y} | y ∈ A, key(y)=key(x) }⟩ | x ∈ A }).
+func translateGroup(input string, keys []pig.Expr, inputs []string, allKeys [][]pig.Expr) Expr {
+	fields := []Expr{keyPrim(keys, "x")}
+	for i, in := range inputs {
+		fields = append(fields, For{Var: "y", In: Var{in}, Body: Cond{
+			Pred: keysEqualPred(keys, "x", allKeys[i], "y"),
+			Then: Singleton{Elem: Var{"y"}},
+		}})
+	}
+	return Dedup{Arg: For{Var: "x", In: Var{input}, Body: Singleton{Elem: MkTuple{Fields: fields}}}}
+}
+
+// translateCogroup generalizes the group translation to several inputs:
+// the outer comprehension ranges over the union of key carriers.
+func translateCogroup(inputs []string, keys [][]pig.Expr) Expr {
+	// Key carrier: ⋃_i { ⟨key_i(x)⟩ | x ∈ A_i }.
+	var carrier Expr
+	for i, in := range inputs {
+		one := For{Var: "x", In: Var{in}, Body: Singleton{Elem: MkTuple{Fields: []Expr{keyPrim(keys[i], "x")}}}}
+		if carrier == nil {
+			carrier = one
+		} else {
+			carrier = Union{L: carrier, R: one}
+		}
+	}
+	keyOf := Prim{Name: "fst", Args: []Expr{Var{"k"}}, Fn: func(args []nested.Value) (nested.Value, error) {
+		return args[0].AsTuple().Fields[0], nil
+	}}
+	fields := []Expr{keyOf}
+	for i, in := range inputs {
+		ki := keys[i]
+		fields = append(fields, For{Var: "y", In: Var{in}, Body: Cond{
+			Pred: Pred{Name: "keyEq", Args: []Expr{Var{"k"}, Var{"y"}}, Fn: func(args []nested.Value) (bool, error) {
+				key := args[0].AsTuple().Fields[0]
+				other, err := evalKeys(ki, args[1].AsTuple())
+				if err != nil {
+					return false, err
+				}
+				return key.Equal(other), nil
+			}},
+			Then: Singleton{Elem: Var{"y"}},
+		}})
+	}
+	return For{Var: "k", In: Dedup{Arg: carrier}, Body: Singleton{Elem: MkTuple{Fields: fields}}}
+}
+
+// translateJoin renders the n-way equality join as nested comprehensions
+// with an equality conditional and a concatenating tuple constructor.
+func translateJoin(o *pig.JoinOp) Expr {
+	n := len(o.InputNames)
+	varName := func(i int) string { return fmt.Sprintf("x%d", i) }
+
+	// Concatenate all bound tuples.
+	var fields []Expr
+	for i, in := range o.Ins {
+		for j := 0; j < in.Arity(); j++ {
+			fields = append(fields, Proj{Tuple: Var{varName(i)}, Index: j})
+		}
+	}
+	body := Expr(Singleton{Elem: MkTuple{Fields: fields}})
+
+	// Wrap equality conditions (each input against the first).
+	for i := n - 1; i >= 1; i-- {
+		body = Cond{Pred: keysEqualPred(o.Keys[0], varName(0), o.Keys[i], varName(i)), Then: body}
+	}
+	for i := n - 1; i >= 0; i-- {
+		body = For{Var: varName(i), In: Var{o.InputNames[i]}, Body: body}
+	}
+	return body
+}
+
+// translateForeach renders FOREACH: one result tuple per input tuple, with
+// aggregate and UDF items as base operations and FLATTEN items as nested
+// comprehensions.
+func translateForeach(o *pig.ForeachOp) (Expr, error) {
+	flattens := 0
+	for i := range o.Items {
+		if o.Items[i].Kind == pig.ItemFlattenBag || o.Items[i].Kind == pig.ItemFlattenUDF {
+			flattens++
+		}
+	}
+	if flattens > 1 {
+		return nil, fmt.Errorf("nrc: translation supports at most one FLATTEN per FOREACH")
+	}
+
+	var fields []Expr
+	var flattenIn Expr // the bag the single FLATTEN ranges over
+	flattenArity := 0
+	for i := range o.Items {
+		item := &o.Items[i]
+		switch item.Kind {
+		case pig.ItemExpr:
+			fields = append(fields, exprPrim(item.Expr, "x"))
+		case pig.ItemStar:
+			for j := 0; j < o.In.Arity(); j++ {
+				fields = append(fields, Proj{Tuple: Var{"x"}, Index: j})
+			}
+		case pig.ItemAgg:
+			fields = append(fields, aggPrim(item))
+		case pig.ItemUDF:
+			fields = append(fields, udfPrim(item))
+		case pig.ItemFlattenBag:
+			path := item.BagPath
+			flattenIn = Prim{Name: "bagAt", Args: []Expr{Var{"x"}}, Fn: func(args []nested.Value) (nested.Value, error) {
+				return bagAt(path, args[0].AsTuple())
+			}}
+			flattenArity = len(item.Names)
+			for j := 0; j < flattenArity; j++ {
+				fields = append(fields, Proj{Tuple: Var{"y"}, Index: j})
+			}
+		case pig.ItemFlattenUDF:
+			flattenIn = udfPrim(item)
+			flattenArity = len(item.Names)
+			for j := 0; j < flattenArity; j++ {
+				fields = append(fields, Proj{Tuple: Var{"y"}, Index: j})
+			}
+		}
+	}
+	inner := Expr(Singleton{Elem: MkTuple{Fields: fields}})
+	if flattenIn != nil {
+		inner = For{Var: "y", In: flattenIn, Body: inner}
+	}
+	return For{Var: "x", In: Var{o.Input}, Body: inner}, nil
+}
+
+func bagAt(path []int, t *nested.Tuple) (nested.Value, error) {
+	cur := t
+	for i, idx := range path {
+		if idx >= cur.Arity() {
+			return nested.Null(), fmt.Errorf("nrc: bag path out of range")
+		}
+		v := cur.Fields[idx]
+		if i == len(path)-1 {
+			return v, nil
+		}
+		if v.Kind() != nested.KindTuple {
+			return nested.Null(), fmt.Errorf("nrc: bag path traverses %s", v.Kind())
+		}
+		cur = v.AsTuple()
+	}
+	return nested.Null(), fmt.Errorf("nrc: empty bag path")
+}
+
+// aggPrim evaluates an aggregate item as a base operation over the tuple's
+// nested bag.
+func aggPrim(item *pig.Item) Prim {
+	it := *item
+	return Prim{Name: it.AggOp.String(), Args: []Expr{Var{"x"}}, Fn: func(args []nested.Value) (nested.Value, error) {
+		bv, err := bagAt(it.BagPath, args[0].AsTuple())
+		if err != nil {
+			return nested.Null(), err
+		}
+		return eval.AggregateBag(it.AggOp, bv.AsBag(), it.InnerIdx, it.Types[0].Kind)
+	}}
+}
+
+// udfPrim evaluates a UDF item as a base operation.
+func udfPrim(item *pig.Item) Prim {
+	it := *item
+	return Prim{Name: it.UDF.Name, Args: []Expr{Var{"x"}}, Fn: func(args []nested.Value) (nested.Value, error) {
+		t := args[0].AsTuple()
+		udfArgs := make([]nested.Value, len(it.Args))
+		for i, a := range it.Args {
+			v, err := a.Eval(t)
+			if err != nil {
+				return nested.Null(), err
+			}
+			udfArgs[i] = v
+		}
+		bag, err := it.UDF.Fn(udfArgs)
+		if err != nil {
+			return nested.Null(), err
+		}
+		return nested.BagVal(bag), nil
+	}}
+}
+
+// RunPlan translates and evaluates every step of a plan against the
+// environment, binding each target relation (as a bag value).
+func RunPlan(plan *pig.Plan, env *Env) error {
+	for _, step := range plan.Steps {
+		expr, err := Translate(step.Op)
+		if err != nil {
+			return fmt.Errorf("nrc: step %s: %w", step.Target, err)
+		}
+		v, err := expr.Eval(env)
+		if err != nil {
+			return fmt.Errorf("nrc: step %s: %w", step.Target, err)
+		}
+		env.Bind(step.Target, v)
+	}
+	return nil
+}

@@ -1,0 +1,308 @@
+package pig
+
+import (
+	"strings"
+
+	"lipstick/internal/nested"
+)
+
+// Program is a parsed Pig Latin program: an ordered list of assignments.
+type Program struct {
+	Stmts []*Stmt
+}
+
+// String renders the program back to (normalized) source.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, s := range p.Stmts {
+		sb.WriteString(s.String())
+		sb.WriteString(";\n")
+	}
+	return sb.String()
+}
+
+// Stmt is one assignment "Target = Op".
+type Stmt struct {
+	Target string
+	Op     OpNode
+	Line   int
+}
+
+// String renders the statement without the trailing semicolon.
+func (s *Stmt) String() string { return s.Target + " = " + s.Op.String() }
+
+// OpNode is a relational operator application in the AST.
+type OpNode interface {
+	opNode()
+	String() string
+}
+
+// ForeachNode is FOREACH <Input> GENERATE item, ....
+type ForeachNode struct {
+	Input string
+	Items []*GenItem
+}
+
+// GenItem is one GENERATE item with an optional AS alias.
+type GenItem struct {
+	Expr  ExprNode
+	Alias string
+}
+
+// FilterNode is FILTER <Input> BY <Cond>.
+type FilterNode struct {
+	Input string
+	Cond  ExprNode
+}
+
+// GroupNode is GROUP <Input> BY <keys>.
+type GroupNode struct {
+	Input string
+	Keys  []ExprNode
+}
+
+// CogroupNode is COGROUP A BY k1, B BY k2, ....
+type CogroupNode struct {
+	Inputs []string
+	Keys   [][]ExprNode
+}
+
+// JoinNode is JOIN A BY k1, B BY k2 (n-way joins are parsed and compiled as
+// left-deep chains).
+type JoinNode struct {
+	Inputs []string
+	Keys   [][]ExprNode
+}
+
+// UnionNode is UNION A, B, ....
+type UnionNode struct {
+	Inputs []string
+}
+
+// DistinctNode is DISTINCT <Input>.
+type DistinctNode struct {
+	Input string
+}
+
+// OrderNode is ORDER <Input> BY f [ASC|DESC], ....
+type OrderNode struct {
+	Input string
+	Keys  []ExprNode
+	Desc  []bool
+}
+
+// LimitNode is LIMIT <Input> <n>.
+type LimitNode struct {
+	Input string
+	N     int64
+}
+
+// AliasNode is a plain relation copy "B = A".
+type AliasNode struct {
+	Input string
+}
+
+func (*ForeachNode) opNode()  {}
+func (*FilterNode) opNode()   {}
+func (*GroupNode) opNode()    {}
+func (*CogroupNode) opNode()  {}
+func (*JoinNode) opNode()     {}
+func (*UnionNode) opNode()    {}
+func (*DistinctNode) opNode() {}
+func (*OrderNode) opNode()    {}
+func (*LimitNode) opNode()    {}
+func (*AliasNode) opNode()    {}
+
+// String implements OpNode.
+func (n *ForeachNode) String() string {
+	items := make([]string, len(n.Items))
+	for i, it := range n.Items {
+		items[i] = it.Expr.String()
+		if it.Alias != "" {
+			items[i] += " AS " + it.Alias
+		}
+	}
+	return "FOREACH " + n.Input + " GENERATE " + strings.Join(items, ", ")
+}
+
+// String implements OpNode.
+func (n *FilterNode) String() string { return "FILTER " + n.Input + " BY " + n.Cond.String() }
+
+// String implements OpNode.
+func (n *GroupNode) String() string {
+	return "GROUP " + n.Input + " BY " + exprList(n.Keys)
+}
+
+// String implements OpNode.
+func (n *CogroupNode) String() string {
+	parts := make([]string, len(n.Inputs))
+	for i := range n.Inputs {
+		parts[i] = n.Inputs[i] + " BY " + exprList(n.Keys[i])
+	}
+	return "COGROUP " + strings.Join(parts, ", ")
+}
+
+// String implements OpNode.
+func (n *JoinNode) String() string {
+	parts := make([]string, len(n.Inputs))
+	for i := range n.Inputs {
+		parts[i] = n.Inputs[i] + " BY " + exprList(n.Keys[i])
+	}
+	return "JOIN " + strings.Join(parts, ", ")
+}
+
+// String implements OpNode.
+func (n *UnionNode) String() string { return "UNION " + strings.Join(n.Inputs, ", ") }
+
+// String implements OpNode.
+func (n *DistinctNode) String() string { return "DISTINCT " + n.Input }
+
+// String implements OpNode.
+func (n *OrderNode) String() string {
+	parts := make([]string, len(n.Keys))
+	for i, k := range n.Keys {
+		parts[i] = k.String()
+		if n.Desc[i] {
+			parts[i] += " DESC"
+		}
+	}
+	return "ORDER " + n.Input + " BY " + strings.Join(parts, ", ")
+}
+
+// String implements OpNode.
+func (n *LimitNode) String() string { return "LIMIT " + n.Input + " " + itoa64(n.N) }
+
+// String implements OpNode.
+func (n *AliasNode) String() string { return n.Input }
+
+func exprList(es []ExprNode) string {
+	if len(es) == 1 {
+		return es[0].String()
+	}
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// ExprNode is a scalar/field expression in the AST.
+type ExprNode interface {
+	exprNode()
+	String() string
+}
+
+// LiteralNode is a constant.
+type LiteralNode struct {
+	Value nested.Value
+}
+
+// FieldNode is a (possibly dotted) field path such as Model, A.f1, or
+// group; each component may also be positional ($0).
+type FieldNode struct {
+	Path []FieldStep
+}
+
+// FieldStep is one component of a field path: a name or a position.
+type FieldStep struct {
+	Name string
+	// Pos is -1 for named steps, otherwise the positional index.
+	Pos int
+}
+
+// StarNode is "*": all fields of the current tuple.
+type StarNode struct{}
+
+// CallNode is a function application: an aggregate (COUNT, SUM, ...), a
+// registered UDF, or FLATTEN.
+type CallNode struct {
+	Func string
+	Args []ExprNode
+}
+
+// UnaryNode is NOT x or -x.
+type UnaryNode struct {
+	Op  string
+	Arg ExprNode
+}
+
+// BinaryNode is a binary operation: comparisons, AND/OR, arithmetic.
+type BinaryNode struct {
+	Op          string
+	Left, Right ExprNode
+}
+
+func (*LiteralNode) exprNode() {}
+func (*FieldNode) exprNode()   {}
+func (*StarNode) exprNode()    {}
+func (*CallNode) exprNode()    {}
+func (*UnaryNode) exprNode()   {}
+func (*BinaryNode) exprNode()  {}
+
+// String implements ExprNode.
+func (n *LiteralNode) String() string {
+	if n.Value.Kind() == nested.KindString {
+		return "'" + n.Value.AsString() + "'"
+	}
+	return n.Value.String()
+}
+
+// String implements ExprNode.
+func (n *FieldNode) String() string {
+	parts := make([]string, len(n.Path))
+	for i, s := range n.Path {
+		if s.Pos >= 0 {
+			parts[i] = "$" + itoa64(int64(s.Pos))
+		} else {
+			parts[i] = s.Name
+		}
+	}
+	return strings.Join(parts, ".")
+}
+
+// String implements ExprNode.
+func (*StarNode) String() string { return "*" }
+
+// String implements ExprNode.
+func (n *CallNode) String() string {
+	args := make([]string, len(n.Args))
+	for i, a := range n.Args {
+		args[i] = a.String()
+	}
+	return n.Func + "(" + strings.Join(args, ",") + ")"
+}
+
+// String implements ExprNode.
+func (n *UnaryNode) String() string {
+	if n.Op == "NOT" {
+		return "NOT " + n.Arg.String()
+	}
+	return n.Op + n.Arg.String()
+}
+
+// String implements ExprNode.
+func (n *BinaryNode) String() string {
+	return "(" + n.Left.String() + " " + n.Op + " " + n.Right.String() + ")"
+}
+
+func itoa64(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

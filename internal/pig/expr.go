@@ -1,0 +1,396 @@
+package pig
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"lipstick/internal/nested"
+)
+
+// Expr is a compiled scalar expression evaluated against one tuple.
+type Expr interface {
+	// Eval computes the expression's value for the given tuple.
+	Eval(t *nested.Tuple) (nested.Value, error)
+	// Type is the inferred static type.
+	Type() nested.Type
+	// String renders the (normalized) source form.
+	String() string
+}
+
+// constExpr is a literal.
+type constExpr struct {
+	v nested.Value
+	t nested.Type
+}
+
+func (e *constExpr) Eval(*nested.Tuple) (nested.Value, error) { return e.v, nil }
+func (e *constExpr) Type() nested.Type                        { return e.t }
+func (e *constExpr) String() string {
+	if e.v.Kind() == nested.KindString {
+		return "'" + e.v.AsString() + "'"
+	}
+	return e.v.String()
+}
+
+// fieldExpr is a resolved field path: indexes through tuple-typed fields,
+// optionally ending at any type (including a bag, which may be passed to a
+// UDF but not traversed further).
+type fieldExpr struct {
+	path []int
+	t    nested.Type
+	name string
+	// resolved is the schema name of the final field (used for default
+	// output naming, so "$1" projects under its real column name).
+	resolved string
+}
+
+func (e *fieldExpr) Eval(t *nested.Tuple) (nested.Value, error) {
+	cur := t
+	for i, idx := range e.path {
+		if idx >= len(cur.Fields) {
+			return nested.Null(), fmt.Errorf("pig: field index %d out of range (arity %d)", idx, len(cur.Fields))
+		}
+		v := cur.Fields[idx]
+		if i == len(e.path)-1 {
+			return v, nil
+		}
+		if v.Kind() != nested.KindTuple {
+			if v.IsNull() {
+				return nested.Null(), nil
+			}
+			return nested.Null(), fmt.Errorf("pig: cannot traverse %s value in field path %s", v.Kind(), e.name)
+		}
+		cur = v.AsTuple()
+	}
+	return nested.Null(), nil
+}
+
+func (e *fieldExpr) Type() nested.Type { return e.t }
+func (e *fieldExpr) String() string    { return e.name }
+
+// Path exposes the resolved field indexes (used by the engine for key
+// extraction).
+func (e *fieldExpr) Path() []int { return e.path }
+
+// binExpr is a binary operation with the operand coercions resolved at
+// compile time.
+type binExpr struct {
+	op          string
+	left, right Expr
+	t           nested.Type
+}
+
+func (e *binExpr) Type() nested.Type { return e.t }
+func (e *binExpr) String() string {
+	return "(" + e.left.String() + " " + e.op + " " + e.right.String() + ")"
+}
+
+func (e *binExpr) Eval(t *nested.Tuple) (nested.Value, error) {
+	l, err := e.left.Eval(t)
+	if err != nil {
+		return nested.Null(), err
+	}
+	// Short-circuit booleans.
+	switch e.op {
+	case "AND":
+		if l.Kind() == nested.KindBool && !l.AsBool() {
+			return nested.Bool(false), nil
+		}
+		r, err := e.right.Eval(t)
+		if err != nil {
+			return nested.Null(), err
+		}
+		return boolOp(l, r, func(a, b bool) bool { return a && b })
+	case "OR":
+		if l.Kind() == nested.KindBool && l.AsBool() {
+			return nested.Bool(true), nil
+		}
+		r, err := e.right.Eval(t)
+		if err != nil {
+			return nested.Null(), err
+		}
+		return boolOp(l, r, func(a, b bool) bool { return a || b })
+	}
+	r, err := e.right.Eval(t)
+	if err != nil {
+		return nested.Null(), err
+	}
+	switch e.op {
+	case "==", "!=", "<", "<=", ">", ">=":
+		return compareOp(e.op, l, r)
+	case "+", "-", "*", "/", "%":
+		return arithOp(e.op, l, r)
+	default:
+		return nested.Null(), fmt.Errorf("pig: unknown operator %q", e.op)
+	}
+}
+
+func boolOp(l, r nested.Value, f func(a, b bool) bool) (nested.Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return nested.Null(), nil
+	}
+	if l.Kind() != nested.KindBool || r.Kind() != nested.KindBool {
+		return nested.Null(), fmt.Errorf("pig: boolean operator on %s/%s", l.Kind(), r.Kind())
+	}
+	return nested.Bool(f(l.AsBool(), r.AsBool())), nil
+}
+
+// compareOp evaluates comparisons; any comparison involving null is false
+// (following Pig's two-valued treatment for filters).
+func compareOp(op string, l, r nested.Value) (nested.Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return nested.Bool(false), nil
+	}
+	c := l.Compare(r)
+	switch op {
+	case "==":
+		return nested.Bool(c == 0), nil
+	case "!=":
+		return nested.Bool(c != 0), nil
+	case "<":
+		return nested.Bool(c < 0), nil
+	case "<=":
+		return nested.Bool(c <= 0), nil
+	case ">":
+		return nested.Bool(c > 0), nil
+	case ">=":
+		return nested.Bool(c >= 0), nil
+	}
+	return nested.Null(), fmt.Errorf("pig: unknown comparison %q", op)
+}
+
+// arithOp evaluates arithmetic; int op int stays int (with / truncating),
+// mixed operands widen to float; nulls propagate.
+func arithOp(op string, l, r nested.Value) (nested.Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return nested.Null(), nil
+	}
+	if l.Kind() == nested.KindInt && r.Kind() == nested.KindInt {
+		a, b := l.AsInt(), r.AsInt()
+		switch op {
+		case "+":
+			return nested.Int(a + b), nil
+		case "-":
+			return nested.Int(a - b), nil
+		case "*":
+			return nested.Int(a * b), nil
+		case "/":
+			if b == 0 {
+				return nested.Null(), nil
+			}
+			return nested.Int(a / b), nil
+		case "%":
+			if b == 0 {
+				return nested.Null(), nil
+			}
+			return nested.Int(a % b), nil
+		}
+	}
+	lf, lok := l.Numeric()
+	rf, rok := r.Numeric()
+	if !lok || !rok {
+		return nested.Null(), fmt.Errorf("pig: arithmetic on %s/%s", l.Kind(), r.Kind())
+	}
+	switch op {
+	case "+":
+		return nested.Float(lf + rf), nil
+	case "-":
+		return nested.Float(lf - rf), nil
+	case "*":
+		return nested.Float(lf * rf), nil
+	case "/":
+		if rf == 0 {
+			return nested.Null(), nil
+		}
+		return nested.Float(lf / rf), nil
+	case "%":
+		if rf == 0 {
+			return nested.Null(), nil
+		}
+		return nested.Float(math.Mod(lf, rf)), nil
+	}
+	return nested.Null(), fmt.Errorf("pig: unknown arithmetic %q", op)
+}
+
+// unaryExpr is NOT x or -x.
+type unaryExpr struct {
+	op  string
+	arg Expr
+	t   nested.Type
+}
+
+func (e *unaryExpr) Type() nested.Type { return e.t }
+func (e *unaryExpr) String() string {
+	if e.op == "NOT" {
+		return "NOT " + e.arg.String()
+	}
+	return e.op + e.arg.String()
+}
+
+func (e *unaryExpr) Eval(t *nested.Tuple) (nested.Value, error) {
+	v, err := e.arg.Eval(t)
+	if err != nil {
+		return nested.Null(), err
+	}
+	if v.IsNull() {
+		return nested.Null(), nil
+	}
+	switch e.op {
+	case "NOT":
+		if v.Kind() != nested.KindBool {
+			return nested.Null(), fmt.Errorf("pig: NOT on %s", v.Kind())
+		}
+		return nested.Bool(!v.AsBool()), nil
+	case "-":
+		switch v.Kind() {
+		case nested.KindInt:
+			return nested.Int(-v.AsInt()), nil
+		case nested.KindFloat:
+			return nested.Float(-v.AsFloat()), nil
+		default:
+			return nested.Null(), fmt.Errorf("pig: negation on %s", v.Kind())
+		}
+	}
+	return nested.Null(), fmt.Errorf("pig: unknown unary %q", e.op)
+}
+
+// compileExpr resolves and type-checks an AST expression against a schema.
+// UDF calls and aggregates are rejected here; FOREACH handles them as
+// generate items, and they cannot appear in filters or nested expressions.
+func compileExpr(node ExprNode, schema *nested.Schema) (Expr, error) {
+	switch n := node.(type) {
+	case *LiteralNode:
+		return &constExpr{v: n.Value, t: nested.ScalarType(n.Value.Kind())}, nil
+	case *FieldNode:
+		return compileFieldPath(n, schema)
+	case *StarNode:
+		return nil, fmt.Errorf("pig: '*' is only allowed as a GENERATE item")
+	case *CallNode:
+		if aggNames[upper(n.Func)] {
+			return nil, fmt.Errorf("pig: aggregate %s may only appear as a top-level GENERATE item", upper(n.Func))
+		}
+		if upper(n.Func) == "FLATTEN" {
+			return nil, fmt.Errorf("pig: FLATTEN may only appear as a top-level GENERATE item")
+		}
+		return nil, fmt.Errorf("pig: UDF %s may only appear as a top-level GENERATE item", n.Func)
+	case *UnaryNode:
+		arg, err := compileExpr(n.Arg, schema)
+		if err != nil {
+			return nil, err
+		}
+		var t nested.Type
+		switch n.Op {
+		case "NOT":
+			if !isBoolish(arg.Type()) {
+				return nil, fmt.Errorf("pig: NOT requires a boolean operand, got %s", arg.Type())
+			}
+			t = nested.ScalarType(nested.KindBool)
+		case "-":
+			if !isNumeric(arg.Type()) {
+				return nil, fmt.Errorf("pig: negation requires a numeric operand, got %s", arg.Type())
+			}
+			t = arg.Type()
+		default:
+			return nil, fmt.Errorf("pig: unknown unary operator %q", n.Op)
+		}
+		return &unaryExpr{op: n.Op, arg: arg, t: t}, nil
+	case *BinaryNode:
+		left, err := compileExpr(n.Left, schema)
+		if err != nil {
+			return nil, err
+		}
+		right, err := compileExpr(n.Right, schema)
+		if err != nil {
+			return nil, err
+		}
+		t, err := binaryType(n.Op, left.Type(), right.Type())
+		if err != nil {
+			return nil, err
+		}
+		return &binExpr{op: n.Op, left: left, right: right, t: t}, nil
+	default:
+		return nil, fmt.Errorf("pig: unsupported expression %T", node)
+	}
+}
+
+// compileFieldPath resolves a dotted path against the schema, traversing
+// only tuple-typed fields; the final field may have any type.
+func compileFieldPath(n *FieldNode, schema *nested.Schema) (Expr, error) {
+	cur := schema
+	var idxs []int
+	var t nested.Type
+	var resolved string
+	for i, step := range n.Path {
+		if cur == nil {
+			return nil, fmt.Errorf("pig: cannot resolve %s: no schema at step %d", n.String(), i)
+		}
+		var idx int
+		if step.Pos >= 0 {
+			if step.Pos >= cur.Arity() {
+				return nil, fmt.Errorf("pig: position $%d out of range for schema %s", step.Pos, cur)
+			}
+			idx = step.Pos
+		} else {
+			idx = cur.IndexOf(step.Name)
+			if idx < 0 {
+				return nil, fmt.Errorf("pig: unknown field %q in schema %s", step.Name, cur)
+			}
+		}
+		idxs = append(idxs, idx)
+		t = cur.FieldType(idx)
+		resolved = cur.Fields[idx].Name
+		if i < len(n.Path)-1 {
+			if t.Kind != nested.KindTuple {
+				return nil, fmt.Errorf("pig: field %q is %s, cannot traverse into it with '.' (bags are aggregated, not dereferenced)", step.Name, t)
+			}
+			cur = t.Elem
+		}
+	}
+	return &fieldExpr{path: idxs, t: t, name: n.String(), resolved: resolved}, nil
+}
+
+func binaryType(op string, l, r nested.Type) (nested.Type, error) {
+	switch op {
+	case "AND", "OR":
+		if !isBoolish(l) || !isBoolish(r) {
+			return nested.Type{}, fmt.Errorf("pig: %s requires boolean operands, got %s and %s", op, l, r)
+		}
+		return nested.ScalarType(nested.KindBool), nil
+	case "==", "!=", "<", "<=", ">", ">=":
+		if !comparable(l, r) {
+			return nested.Type{}, fmt.Errorf("pig: cannot compare %s with %s", l, r)
+		}
+		return nested.ScalarType(nested.KindBool), nil
+	case "+", "-", "*", "/", "%":
+		if !isNumeric(l) || !isNumeric(r) {
+			return nested.Type{}, fmt.Errorf("pig: arithmetic requires numeric operands, got %s and %s", l, r)
+		}
+		if l.Kind == nested.KindInt && r.Kind == nested.KindInt {
+			return nested.ScalarType(nested.KindInt), nil
+		}
+		return nested.ScalarType(nested.KindFloat), nil
+	default:
+		return nested.Type{}, fmt.Errorf("pig: unknown operator %q", op)
+	}
+}
+
+func isNumeric(t nested.Type) bool {
+	return t.Kind == nested.KindInt || t.Kind == nested.KindFloat || t.Kind == nested.KindNull
+}
+
+func isBoolish(t nested.Type) bool {
+	return t.Kind == nested.KindBool || t.Kind == nested.KindNull
+}
+
+func comparable(l, r nested.Type) bool {
+	if l.Kind == nested.KindNull || r.Kind == nested.KindNull {
+		return true
+	}
+	if isNumeric(l) && isNumeric(r) {
+		return true
+	}
+	return l.Kind == r.Kind
+}
+
+func upper(s string) string { return strings.ToUpper(s) }

@@ -1,0 +1,249 @@
+// Package pig implements the Pig Latin dialect used by Lipstick modules:
+// a lexer, parser, and logical-plan compiler for the query fragment of
+// Section 2.1 — FOREACH/GENERATE (projection, aggregation, UDF invocation,
+// FLATTEN), FILTER BY, GROUP/COGROUP BY, JOIN, UNION, DISTINCT, ORDER, and
+// LIMIT — over the nested relational data model of package nested.
+//
+// Programs are sequences of assignments "Name = <operator ...>;" evaluated
+// against an environment of named relations; the evaluation engine lives in
+// package eval.
+package pig
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token kinds.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct   // = ; , ( ) . $ *
+	tokCompare // == != <= >= < >
+	tokArith   // + - / %
+)
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// keywords are matched case-insensitively per Pig Latin convention.
+var keywords = map[string]bool{
+	"FOREACH": true, "GENERATE": true, "FILTER": true, "BY": true,
+	"GROUP": true, "COGROUP": true, "JOIN": true, "UNION": true,
+	"DISTINCT": true, "ORDER": true, "LIMIT": true, "AS": true,
+	"AND": true, "OR": true, "NOT": true, "FLATTEN": true,
+	"ASC": true, "DESC": true, "TRUE": true, "FALSE": true, "NULL": true,
+}
+
+// isKeyword reports whether an identifier is a reserved word, returning its
+// canonical upper-case form.
+func isKeyword(s string) (string, bool) {
+	u := strings.ToUpper(s)
+	return u, keywords[u]
+}
+
+// lexer scans Pig Latin source into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// Error is a parse or compile error with source position.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("pig: line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// skipSpaceAndComments consumes whitespace and "--" line comments.
+func (l *lexer) skipSpaceAndComments() {
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	c, ok := l.peekByte()
+	if !ok {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	switch {
+	case isIdentStart(rune(c)):
+		start := l.pos
+		for {
+			c, ok := l.peekByte()
+			if !ok || !isIdentPart(rune(c)) {
+				break
+			}
+			l.advance()
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: line, col: col}, nil
+	case c >= '0' && c <= '9':
+		start := l.pos
+		seenDot := false
+		for {
+			c, ok := l.peekByte()
+			if !ok {
+				break
+			}
+			if c == '.' && !seenDot {
+				// A digit must follow for this to be part of the number
+				// (otherwise it is a field path separator).
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+					seenDot = true
+					l.advance()
+					continue
+				}
+				break
+			}
+			if c < '0' || c > '9' {
+				break
+			}
+			l.advance()
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: line, col: col}, nil
+	case c == '\'':
+		l.advance()
+		var sb strings.Builder
+		for {
+			c, ok := l.peekByte()
+			if !ok {
+				return token{}, &Error{Line: line, Col: col, Msg: "unterminated string literal"}
+			}
+			l.advance()
+			if c == '\'' {
+				return token{kind: tokString, text: sb.String(), line: line, col: col}, nil
+			}
+			if c == '\\' {
+				e, ok := l.peekByte()
+				if !ok {
+					return token{}, &Error{Line: line, Col: col, Msg: "unterminated escape"}
+				}
+				l.advance()
+				switch e {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				default:
+					sb.WriteByte(e)
+				}
+				continue
+			}
+			sb.WriteByte(c)
+		}
+	case c == '=':
+		l.advance()
+		if c2, ok := l.peekByte(); ok && c2 == '=' {
+			l.advance()
+			return token{kind: tokCompare, text: "==", line: line, col: col}, nil
+		}
+		return token{kind: tokPunct, text: "=", line: line, col: col}, nil
+	case c == '!' || c == '<' || c == '>':
+		l.advance()
+		if c2, ok := l.peekByte(); ok && c2 == '=' {
+			l.advance()
+			return token{kind: tokCompare, text: string(c) + "=", line: line, col: col}, nil
+		}
+		if c == '!' {
+			return token{}, &Error{Line: line, Col: col, Msg: "unexpected '!'"}
+		}
+		return token{kind: tokCompare, text: string(c), line: line, col: col}, nil
+	case c == '+' || c == '-' || c == '/' || c == '%':
+		l.advance()
+		return token{kind: tokArith, text: string(c), line: line, col: col}, nil
+	case strings.IndexByte("=;,().$*", c) >= 0:
+		l.advance()
+		return token{kind: tokPunct, text: string(c), line: line, col: col}, nil
+	default:
+		return token{}, l.errorf("unexpected character %q", string(c))
+	}
+}
+
+// lexAll scans the entire source.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == ':' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,642 @@
+package pig
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lipstick/internal/nested"
+)
+
+// Parse parses a Pig Latin program.
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseProgram()
+}
+
+// ParseExpr parses a single expression (used by tests and tools).
+func ParseExpr(src string) (ExprNode, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errorf("trailing input after expression")
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// at reports whether the current token matches kind (and text, if given;
+// identifiers match case-insensitively so keywords work in any case).
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	if t.kind != kind {
+		return false
+	}
+	if text == "" {
+		return true
+	}
+	if kind == tokIdent {
+		return strings.EqualFold(t.text, text)
+	}
+	return t.text == text
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		got := p.cur().text
+		if p.cur().kind == tokEOF {
+			got = "end of input"
+		}
+		return token{}, p.errorf("expected %q, found %q", text, got)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	t := p.cur()
+	return &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for !p.at(tokEOF, "") {
+		stmt, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		prog.Stmts = append(prog.Stmts, stmt)
+	}
+	return prog, nil
+}
+
+func (p *parser) parseStmt() (*Stmt, error) {
+	line := p.cur().line
+	target, err := p.parseIdent("relation name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "="); err != nil {
+		return nil, err
+	}
+	op, err := p.parseOp()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &Stmt{Target: target, Op: op, Line: line}, nil
+}
+
+func (p *parser) parseIdent(what string) (string, error) {
+	if p.cur().kind != tokIdent {
+		return "", p.errorf("expected %s, found %q", what, p.cur().text)
+	}
+	t := p.advance()
+	if _, kw := isKeyword(t.text); kw {
+		return "", &Error{Line: t.line, Col: t.col, Msg: "reserved word " + strconv.Quote(t.text) + " used as " + what}
+	}
+	return t.text, nil
+}
+
+func (p *parser) parseOp() (OpNode, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return nil, p.errorf("expected operator, found %q", t.text)
+	}
+	switch kw, _ := isKeyword(t.text); kw {
+	case "FOREACH":
+		return p.parseForeach()
+	case "FILTER":
+		return p.parseFilter()
+	case "GROUP":
+		return p.parseGroup()
+	case "COGROUP":
+		return p.parseCogroup()
+	case "JOIN":
+		return p.parseJoin()
+	case "UNION":
+		return p.parseUnion()
+	case "DISTINCT":
+		p.advance()
+		in, err := p.parseIdent("relation name")
+		if err != nil {
+			return nil, err
+		}
+		return &DistinctNode{Input: in}, nil
+	case "ORDER":
+		return p.parseOrder()
+	case "LIMIT":
+		return p.parseLimit()
+	default:
+		// Plain alias: "B = A".
+		in, err := p.parseIdent("relation name")
+		if err != nil {
+			return nil, err
+		}
+		return &AliasNode{Input: in}, nil
+	}
+}
+
+func (p *parser) parseForeach() (OpNode, error) {
+	p.advance() // FOREACH
+	in, err := p.parseIdent("relation name")
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(tokIdent, "GENERATE") {
+		return nil, p.errorf("expected GENERATE")
+	}
+	node := &ForeachNode{Input: in}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		item := &GenItem{Expr: e}
+		if p.accept(tokIdent, "AS") {
+			if _, isStar := e.(*StarNode); isStar {
+				return nil, p.errorf("'*' cannot take an alias")
+			}
+			alias, err := p.parseIdent("alias")
+			if err != nil {
+				return nil, err
+			}
+			item.Alias = alias
+		}
+		node.Items = append(node.Items, item)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	return node, nil
+}
+
+func (p *parser) parseFilter() (OpNode, error) {
+	p.advance() // FILTER
+	in, err := p.parseIdent("relation name")
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(tokIdent, "BY") {
+		return nil, p.errorf("expected BY")
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &FilterNode{Input: in, Cond: cond}, nil
+}
+
+// parseKeyList parses a grouping/join key: one expression or a
+// parenthesized list.
+func (p *parser) parseKeyList() ([]ExprNode, error) {
+	if p.accept(tokPunct, "(") {
+		var keys []ExprNode
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, e)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return keys, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return []ExprNode{e}, nil
+}
+
+func (p *parser) parseGroup() (OpNode, error) {
+	p.advance() // GROUP
+	in, err := p.parseIdent("relation name")
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(tokIdent, "BY") {
+		return nil, p.errorf("expected BY")
+	}
+	keys, err := p.parseKeyList()
+	if err != nil {
+		return nil, err
+	}
+	return &GroupNode{Input: in, Keys: keys}, nil
+}
+
+// parseByPairs parses "A BY k1, B BY k2, ..." for COGROUP and JOIN.
+func (p *parser) parseByPairs(minInputs int, what string) ([]string, [][]ExprNode, error) {
+	var inputs []string
+	var keys [][]ExprNode
+	for {
+		in, err := p.parseIdent("relation name")
+		if err != nil {
+			return nil, nil, err
+		}
+		if !p.accept(tokIdent, "BY") {
+			return nil, nil, p.errorf("expected BY")
+		}
+		ks, err := p.parseKeyList()
+		if err != nil {
+			return nil, nil, err
+		}
+		inputs = append(inputs, in)
+		keys = append(keys, ks)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if len(inputs) < minInputs {
+		return nil, nil, p.errorf("%s requires at least %d inputs", what, minInputs)
+	}
+	for i := 1; i < len(keys); i++ {
+		if len(keys[i]) != len(keys[0]) {
+			return nil, nil, p.errorf("%s key lists must have equal length", what)
+		}
+	}
+	return inputs, keys, nil
+}
+
+func (p *parser) parseCogroup() (OpNode, error) {
+	p.advance() // COGROUP
+	inputs, keys, err := p.parseByPairs(1, "COGROUP")
+	if err != nil {
+		return nil, err
+	}
+	return &CogroupNode{Inputs: inputs, Keys: keys}, nil
+}
+
+func (p *parser) parseJoin() (OpNode, error) {
+	p.advance() // JOIN
+	inputs, keys, err := p.parseByPairs(2, "JOIN")
+	if err != nil {
+		return nil, err
+	}
+	return &JoinNode{Inputs: inputs, Keys: keys}, nil
+}
+
+func (p *parser) parseUnion() (OpNode, error) {
+	p.advance() // UNION
+	var inputs []string
+	for {
+		in, err := p.parseIdent("relation name")
+		if err != nil {
+			return nil, err
+		}
+		inputs = append(inputs, in)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if len(inputs) < 2 {
+		return nil, p.errorf("UNION requires at least 2 inputs")
+	}
+	return &UnionNode{Inputs: inputs}, nil
+}
+
+func (p *parser) parseOrder() (OpNode, error) {
+	p.advance() // ORDER
+	in, err := p.parseIdent("relation name")
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(tokIdent, "BY") {
+		return nil, p.errorf("expected BY")
+	}
+	node := &OrderNode{Input: in}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		desc := false
+		if p.accept(tokIdent, "DESC") {
+			desc = true
+		} else {
+			p.accept(tokIdent, "ASC")
+		}
+		node.Keys = append(node.Keys, e)
+		node.Desc = append(node.Desc, desc)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	return node, nil
+}
+
+func (p *parser) parseLimit() (OpNode, error) {
+	p.advance() // LIMIT
+	in, err := p.parseIdent("relation name")
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokNumber {
+		return nil, p.errorf("expected limit count")
+	}
+	n, err := strconv.ParseInt(p.advance().text, 10, 64)
+	if err != nil || n < 0 {
+		return nil, p.errorf("invalid limit count")
+	}
+	return &LimitNode{Input: in, N: n}, nil
+}
+
+// Expression grammar (precedence climbing):
+//
+//	expr    := or
+//	or      := and (OR and)*
+//	and     := not (AND not)*
+//	not     := NOT not | cmp
+//	cmp     := add (op add)?          op ∈ {==,!=,<,<=,>,>=}
+//	add     := mul (('+'|'-') mul)*
+//	mul     := unary (('*'|'/'|'%') unary)*
+//	unary   := '-' unary | primary
+//	primary := literal | field | call | '(' expr ')' | '*' | '$'n
+func (p *parser) parseExpr() (ExprNode, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (ExprNode, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokIdent, "OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryNode{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (ExprNode, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokIdent, "AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryNode{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (ExprNode, error) {
+	if p.accept(tokIdent, "NOT") {
+		arg, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryNode{Op: "NOT", Arg: arg}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (ExprNode, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokCompare {
+		op := p.advance().text
+		right, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryNode{Op: op, Left: left, Right: right}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdd() (ExprNode, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokArith && (p.cur().text == "+" || p.cur().text == "-") {
+		op := p.advance().text
+		right, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryNode{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseMul() (ExprNode, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.at(tokPunct, "*"):
+			op = "*"
+		case p.cur().kind == tokArith && (p.cur().text == "/" || p.cur().text == "%"):
+			op = p.cur().text
+		default:
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryNode{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseUnary() (ExprNode, error) {
+	if p.cur().kind == tokArith && p.cur().text == "-" {
+		p.advance()
+		arg, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := arg.(*LiteralNode); ok {
+			switch lit.Value.Kind() {
+			case nested.KindInt:
+				return &LiteralNode{Value: nested.Int(-lit.Value.AsInt())}, nil
+			case nested.KindFloat:
+				return &LiteralNode{Value: nested.Float(-lit.Value.AsFloat())}, nil
+			}
+		}
+		return &UnaryNode{Op: "-", Arg: arg}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (ExprNode, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.advance()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errorf("invalid number %q", t.text)
+			}
+			return &LiteralNode{Value: nested.Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("invalid number %q", t.text)
+		}
+		return &LiteralNode{Value: nested.Int(n)}, nil
+	case t.kind == tokString:
+		p.advance()
+		return &LiteralNode{Value: nested.Str(t.text)}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokPunct && t.text == "*":
+		p.advance()
+		return &StarNode{}, nil
+	case t.kind == tokPunct && t.text == "$":
+		return p.parseFieldPath()
+	case t.kind == tokIdent:
+		switch kw, isKw := isKeyword(t.text); {
+		case isKw && kw == "TRUE":
+			p.advance()
+			return &LiteralNode{Value: nested.Bool(true)}, nil
+		case isKw && kw == "FALSE":
+			p.advance()
+			return &LiteralNode{Value: nested.Bool(false)}, nil
+		case isKw && kw == "NULL":
+			p.advance()
+			return &LiteralNode{Value: nested.Null()}, nil
+		case isKw && kw == "FLATTEN":
+			p.advance()
+			if _, err := p.expect(tokPunct, "("); err != nil {
+				return nil, err
+			}
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return &CallNode{Func: "FLATTEN", Args: []ExprNode{arg}}, nil
+		case isKw && kw == "GROUP":
+			// "group" is the field name GROUP/COGROUP produce; in
+			// expression position it is an ordinary field reference.
+			return p.parseFieldPath()
+		case isKw:
+			return nil, p.errorf("unexpected keyword %q in expression", t.text)
+		}
+		// Function call or field path.
+		if p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "(" {
+			name := p.advance().text
+			p.advance() // (
+			var args []ExprNode
+			if !p.at(tokPunct, ")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.accept(tokPunct, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return &CallNode{Func: name, Args: args}, nil
+		}
+		return p.parseFieldPath()
+	default:
+		return nil, p.errorf("unexpected token %q in expression", t.text)
+	}
+}
+
+// parseFieldPath parses name(.name | .$n)* or $n(.name | .$n)*.
+func (p *parser) parseFieldPath() (ExprNode, error) {
+	var path []FieldStep
+	step, err := p.parseFieldStep()
+	if err != nil {
+		return nil, err
+	}
+	path = append(path, step)
+	for p.accept(tokPunct, ".") {
+		step, err := p.parseFieldStep()
+		if err != nil {
+			return nil, err
+		}
+		path = append(path, step)
+	}
+	return &FieldNode{Path: path}, nil
+}
+
+func (p *parser) parseFieldStep() (FieldStep, error) {
+	if p.accept(tokPunct, "$") {
+		if p.cur().kind != tokNumber {
+			return FieldStep{}, p.errorf("expected field position after $")
+		}
+		n, err := strconv.Atoi(p.advance().text)
+		if err != nil {
+			return FieldStep{}, p.errorf("invalid field position")
+		}
+		return FieldStep{Pos: n}, nil
+	}
+	if p.cur().kind != tokIdent {
+		return FieldStep{}, p.errorf("expected field name, found %q", p.cur().text)
+	}
+	t := p.advance()
+	// "group" is a schema name produced by GROUP/COGROUP, not reserved.
+	return FieldStep{Name: t.text, Pos: -1}, nil
+}

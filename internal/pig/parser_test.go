@@ -1,0 +1,283 @@
+package pig
+
+import (
+	"strings"
+	"testing"
+
+	"lipstick/internal/nested"
+)
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := lexAll("A = FILTER B BY x >= 2.5 AND name == 'it''s'; -- comment\nC = DISTINCT A;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	if toks[len(toks)-1].kind != tokEOF {
+		t.Error("missing EOF token")
+	}
+	// Spot checks.
+	if toks[0].text != "A" || toks[0].kind != tokIdent {
+		t.Errorf("tok0 = %+v", toks[0])
+	}
+	found := false
+	for _, tk := range toks {
+		if tk.kind == tokCompare && tk.text == ">=" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error(">= not lexed")
+	}
+	_ = kinds
+}
+
+func TestLexerStringEscapes(t *testing.T) {
+	toks, err := lexAll(`A = FILTER B BY x == 'a\'b\n';`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range toks {
+		if tk.kind == tokString {
+			if tk.text != "a'b\n" {
+				t.Errorf("string = %q", tk.text)
+			}
+			return
+		}
+	}
+	t.Fatal("no string token found")
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := lexAll("A = 'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := lexAll("A = #"); err == nil {
+		t.Error("bad character accepted")
+	}
+	if _, err := lexAll("A = x ! y"); err == nil {
+		t.Error("lone ! accepted")
+	}
+}
+
+func TestLexerNumberVsFieldDot(t *testing.T) {
+	toks, err := lexAll("2.5 A.f 3.f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokNumber || toks[0].text != "2.5" {
+		t.Errorf("float literal mislexed: %+v", toks[0])
+	}
+	// "3.f" must lex as number 3, dot, ident f.
+	if toks[4].text != "3" || toks[5].text != "." || toks[6].text != "f" {
+		t.Errorf("3.f mislexed: %+v %+v %+v", toks[4], toks[5], toks[6])
+	}
+}
+
+// TestParseDealerProgram parses the paper's M_dealer state-manipulation
+// query (Section 2.2, Example 2.1) verbatim (modulo whitespace).
+func TestParseDealerProgram(t *testing.T) {
+	src := `
+ReqModel = FOREACH Requests GENERATE Model;
+Inventory = JOIN Cars BY Model, ReqModel BY Model;
+SoldInventory = JOIN Inventory BY CarId, SoldCars BY CarId;
+CarsByModel = GROUP Inventory BY Model;
+SoldByModel = GROUP SoldInventory BY Model;
+NumCarsByModel = FOREACH CarsByModel GENERATE group AS Model, COUNT(Inventory) AS NumAvail;
+NumSoldByModel = FOREACH SoldByModel GENERATE group AS Model, COUNT(SoldInventory) AS NumSold;
+AllInfoByModel = COGROUP Requests BY Model, NumCarsByModel BY Model, NumSoldByModel BY Model;
+InventoryBids = FOREACH AllInfoByModel GENERATE FLATTEN(CalcBid(Requests, NumCarsByModel, NumSoldByModel));
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Stmts) != 9 {
+		t.Fatalf("statements = %d, want 9", len(prog.Stmts))
+	}
+	if prog.Stmts[0].Target != "ReqModel" {
+		t.Error("first target wrong")
+	}
+	join, ok := prog.Stmts[1].Op.(*JoinNode)
+	if !ok || len(join.Inputs) != 2 || join.Inputs[0] != "Cars" {
+		t.Errorf("join parse wrong: %+v", prog.Stmts[1].Op)
+	}
+	cg, ok := prog.Stmts[7].Op.(*CogroupNode)
+	if !ok || len(cg.Inputs) != 3 {
+		t.Errorf("cogroup parse wrong: %+v", prog.Stmts[7].Op)
+	}
+	fe, ok := prog.Stmts[8].Op.(*ForeachNode)
+	if !ok {
+		t.Fatal("last statement not FOREACH")
+	}
+	call, ok := fe.Items[0].Expr.(*CallNode)
+	if !ok || upper(call.Func) != "FLATTEN" {
+		t.Errorf("FLATTEN parse wrong: %+v", fe.Items[0].Expr)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"B = FOREACH A GENERATE Model, Price AS p;",
+		"B = FILTER A BY ((Price <= 20000) AND (Model == 'Civic'));",
+		"B = GROUP A BY Model;",
+		"B = GROUP A BY (Model, Year);",
+		"B = COGROUP A BY k, C BY k;",
+		"B = JOIN A BY f1, C BY f2;",
+		"B = UNION A, C, D;",
+		"B = DISTINCT A;",
+		"B = ORDER A BY Price DESC, Model;",
+		"B = LIMIT A 10;",
+		"B = A;",
+		"B = FOREACH A GENERATE *;",
+		"B = FOREACH A GENERATE $0, $1.f;",
+		"B = FOREACH A GENERATE COUNT(X) AS n, SUM(X.v) AS s;",
+		"B = FOREACH A GENERATE FLATTEN(Items);",
+		"B = FILTER A BY (NOT (x == 1) OR (y != 2));",
+		"B = FILTER A BY ((x + (y * 2)) > (z % 3));",
+	}
+	for _, src := range cases {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Errorf("%s: %v", src, err)
+			continue
+		}
+		printed := strings.TrimSpace(prog.String())
+		re, err := Parse(printed)
+		if err != nil {
+			t.Errorf("reparse of %q failed: %v", printed, err)
+			continue
+		}
+		if strings.TrimSpace(re.String()) != printed {
+			t.Errorf("round-trip unstable:\n  1st: %s\n  2nd: %s", printed, strings.TrimSpace(re.String()))
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"B = ;",
+		"B FOREACH A GENERATE x;",
+		"B = FOREACH A x;",
+		"B = FILTER A x == 1;",
+		"B = GROUP A;",
+		"B = JOIN A BY x;",
+		"B = UNION A;",
+		"B = LIMIT A;",
+		"B = LIMIT A x;",
+		"B = FOREACH A GENERATE x AS;",
+		"B = FOREACH A GENERATE (x;",
+		"B = FOREACH A GENERATE * AS y;",
+		"FOREACH = DISTINCT A;",
+		"B = FOREACH A GENERATE x", /* missing ; */
+		"B = JOIN A BY (x, y), C BY x;",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	e, err := ParseExpr("a + b * c == d AND NOT e OR f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect: OR( AND( ==( +(a, *(b,c)), d), NOT e), f)
+	or, ok := e.(*BinaryNode)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top = %v", e)
+	}
+	and, ok := or.Left.(*BinaryNode)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("left = %v", or.Left)
+	}
+	cmp, ok := and.Left.(*BinaryNode)
+	if !ok || cmp.Op != "==" {
+		t.Fatalf("cmp = %v", and.Left)
+	}
+	add, ok := cmp.Left.(*BinaryNode)
+	if !ok || add.Op != "+" {
+		t.Fatalf("add = %v", cmp.Left)
+	}
+	mul, ok := add.Right.(*BinaryNode)
+	if !ok || mul.Op != "*" {
+		t.Fatalf("mul = %v", add.Right)
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	e, err := ParseExpr("-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit, ok := e.(*LiteralNode)
+	if !ok || lit.Value.AsInt() != -5 {
+		t.Errorf("-5 = %v", e)
+	}
+	e, err = ParseExpr("-2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit, ok = e.(*LiteralNode)
+	if !ok || lit.Value.AsFloat() != -2.5 {
+		t.Errorf("-2.5 = %v", e)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	for src, want := range map[string]nested.Value{
+		"TRUE":  nested.Bool(true),
+		"false": nested.Bool(false),
+		"NULL":  nested.Null(),
+		"42":    nested.Int(42),
+		"'hi'":  nested.Str("hi"),
+	} {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Errorf("%s: %v", src, err)
+			continue
+		}
+		lit, ok := e.(*LiteralNode)
+		if !ok || !lit.Value.Equal(want) {
+			t.Errorf("%s = %v, want %v", src, e, want)
+		}
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	prog, err := Parse("b = foreach A generate x; c = filter b by x > 1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Stmts) != 2 {
+		t.Error("lower-case keywords not accepted")
+	}
+}
+
+func TestReservedWordAsTarget(t *testing.T) {
+	if _, err := Parse("GROUP = DISTINCT A;"); err == nil {
+		t.Error("reserved word as target should fail")
+	}
+}
+
+func TestErrorHasPosition(t *testing.T) {
+	_, err := Parse("B = FOREACH A\nGENERATE ;")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	pe, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("error line = %d, want 2", pe.Line)
+	}
+	if !strings.Contains(pe.Error(), "line 2") {
+		t.Errorf("error text %q lacks position", pe.Error())
+	}
+}

@@ -1,0 +1,699 @@
+package pig
+
+import (
+	"fmt"
+
+	"lipstick/internal/nested"
+	"lipstick/internal/semiring"
+)
+
+// Plan is a compiled Pig Latin program: an ordered list of operator steps
+// with all field references resolved and output schemas inferred.
+type Plan struct {
+	Steps []Step
+	// Schemas holds the schema of every relation visible after the plan:
+	// the environment relations plus every intermediate target.
+	Schemas nested.RelationSchemas
+	// Source is the normalized program text.
+	Source string
+}
+
+// Step assigns the result of an operator to a named relation.
+type Step struct {
+	Target string
+	Op     Operator
+}
+
+// Operator is a compiled relational operator.
+type Operator interface {
+	operator()
+	// Inputs lists the input relation names.
+	Inputs() []string
+	// OutSchema is the inferred schema of the result.
+	OutSchema() *nested.Schema
+}
+
+// ItemKind classifies a compiled GENERATE item.
+type ItemKind uint8
+
+const (
+	// ItemExpr is a plain scalar expression (projection or computation).
+	ItemExpr ItemKind = iota
+	// ItemStar expands all fields of the input tuple.
+	ItemStar
+	// ItemAgg is an aggregate over a bag-typed field.
+	ItemAgg
+	// ItemUDF is a user-defined function call (returns a bag; without
+	// FLATTEN the bag itself becomes the field value).
+	ItemUDF
+	// ItemFlattenBag splices the tuples of a bag-typed field.
+	ItemFlattenBag
+	// ItemFlattenUDF splices the tuples returned by a UDF call.
+	ItemFlattenUDF
+)
+
+// Item is one compiled GENERATE item.
+type Item struct {
+	Kind ItemKind
+	// Expr is the scalar expression for ItemExpr.
+	Expr Expr
+	// BagPath locates the bag field for ItemAgg/ItemFlattenBag (tuple
+	// steps, last index is the bag field).
+	BagPath []int
+	// InnerIdx is the aggregated field inside the bag (-1 = whole tuple,
+	// used by COUNT).
+	InnerIdx int
+	// AggOp is the aggregation operation for ItemAgg.
+	AggOp semiring.AggOp
+	// UDF is the function for ItemUDF/ItemFlattenUDF.
+	UDF *UDF
+	// Args are the UDF argument expressions.
+	Args []Expr
+	// Names are the output field names this item contributes (one for
+	// scalar items; several for star/flatten).
+	Names []string
+	// Types are the matching output field types.
+	Types []nested.Type
+}
+
+// ForeachOp is a compiled FOREACH ... GENERATE.
+type ForeachOp struct {
+	Input  string
+	Items  []Item
+	In     *nested.Schema
+	Out    *nested.Schema
+	HasAgg bool
+	// HasFlatten reports whether any item splices bags.
+	HasFlatten bool
+}
+
+// FilterOp is a compiled FILTER ... BY.
+type FilterOp struct {
+	Input string
+	Cond  Expr
+	In    *nested.Schema
+}
+
+// GroupOp is a compiled GROUP ... BY.
+type GroupOp struct {
+	Input string
+	Keys  []Expr
+	In    *nested.Schema
+	Out   *nested.Schema
+}
+
+// CogroupOp is a compiled COGROUP.
+type CogroupOp struct {
+	InputNames []string
+	Keys       [][]Expr
+	Ins        []*nested.Schema
+	Out        *nested.Schema
+}
+
+// JoinOp is a compiled (n-way) equality JOIN.
+type JoinOp struct {
+	InputNames []string
+	Keys       [][]Expr
+	Ins        []*nested.Schema
+	Out        *nested.Schema
+}
+
+// UnionOp is a compiled UNION.
+type UnionOp struct {
+	InputNames []string
+	Out        *nested.Schema
+}
+
+// DistinctOp is a compiled DISTINCT.
+type DistinctOp struct {
+	Input string
+	In    *nested.Schema
+}
+
+// OrderOp is a compiled ORDER ... BY.
+type OrderOp struct {
+	Input string
+	Keys  []Expr
+	Desc  []bool
+	In    *nested.Schema
+}
+
+// LimitOp is a compiled LIMIT.
+type LimitOp struct {
+	Input string
+	N     int64
+	In    *nested.Schema
+}
+
+// AliasOp is a compiled relation copy.
+type AliasOp struct {
+	Input string
+	In    *nested.Schema
+}
+
+func (*ForeachOp) operator()  {}
+func (*FilterOp) operator()   {}
+func (*GroupOp) operator()    {}
+func (*CogroupOp) operator()  {}
+func (*JoinOp) operator()     {}
+func (*UnionOp) operator()    {}
+func (*DistinctOp) operator() {}
+func (*OrderOp) operator()    {}
+func (*LimitOp) operator()    {}
+func (*AliasOp) operator()    {}
+
+// Inputs implements Operator.
+func (o *ForeachOp) Inputs() []string { return []string{o.Input} }
+
+// Inputs implements Operator.
+func (o *FilterOp) Inputs() []string { return []string{o.Input} }
+
+// Inputs implements Operator.
+func (o *GroupOp) Inputs() []string { return []string{o.Input} }
+
+// Inputs implements Operator.
+func (o *CogroupOp) Inputs() []string { return o.InputNames }
+
+// Inputs implements Operator.
+func (o *JoinOp) Inputs() []string { return o.InputNames }
+
+// Inputs implements Operator.
+func (o *UnionOp) Inputs() []string { return o.InputNames }
+
+// Inputs implements Operator.
+func (o *DistinctOp) Inputs() []string { return []string{o.Input} }
+
+// Inputs implements Operator.
+func (o *OrderOp) Inputs() []string { return []string{o.Input} }
+
+// Inputs implements Operator.
+func (o *LimitOp) Inputs() []string { return []string{o.Input} }
+
+// Inputs implements Operator.
+func (o *AliasOp) Inputs() []string { return []string{o.Input} }
+
+// OutSchema implements Operator.
+func (o *ForeachOp) OutSchema() *nested.Schema { return o.Out }
+
+// OutSchema implements Operator.
+func (o *FilterOp) OutSchema() *nested.Schema { return o.In }
+
+// OutSchema implements Operator.
+func (o *GroupOp) OutSchema() *nested.Schema { return o.Out }
+
+// OutSchema implements Operator.
+func (o *CogroupOp) OutSchema() *nested.Schema { return o.Out }
+
+// OutSchema implements Operator.
+func (o *JoinOp) OutSchema() *nested.Schema { return o.Out }
+
+// OutSchema implements Operator.
+func (o *UnionOp) OutSchema() *nested.Schema { return o.Out }
+
+// OutSchema implements Operator.
+func (o *DistinctOp) OutSchema() *nested.Schema { return o.In }
+
+// OutSchema implements Operator.
+func (o *OrderOp) OutSchema() *nested.Schema { return o.In }
+
+// OutSchema implements Operator.
+func (o *LimitOp) OutSchema() *nested.Schema { return o.In }
+
+// OutSchema implements Operator.
+func (o *AliasOp) OutSchema() *nested.Schema { return o.In }
+
+// Compile type-checks a parsed program against the schemas of its input
+// relations and resolves every operator. reg may be nil when the program
+// uses no UDFs.
+func Compile(prog *Program, env nested.RelationSchemas, reg *Registry) (*Plan, error) {
+	plan := &Plan{Schemas: env.Clone(), Source: prog.String()}
+	c := &compiler{schemas: plan.Schemas, reg: reg}
+	for _, stmt := range prog.Stmts {
+		op, err := c.compileStmt(stmt)
+		if err != nil {
+			return nil, err
+		}
+		plan.Steps = append(plan.Steps, Step{Target: stmt.Target, Op: op})
+		plan.Schemas[stmt.Target] = op.OutSchema()
+	}
+	return plan, nil
+}
+
+// CompileSource parses and compiles in one call.
+func CompileSource(src string, env nested.RelationSchemas, reg *Registry) (*Plan, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(prog, env, reg)
+}
+
+type compiler struct {
+	schemas nested.RelationSchemas
+	reg     *Registry
+}
+
+func (c *compiler) schemaOf(name string, line int) (*nested.Schema, error) {
+	s, ok := c.schemas[name]
+	if !ok {
+		return nil, &Error{Line: line, Msg: fmt.Sprintf("unknown relation %q", name)}
+	}
+	return s, nil
+}
+
+func (c *compiler) compileStmt(stmt *Stmt) (Operator, error) {
+	switch n := stmt.Op.(type) {
+	case *ForeachNode:
+		return c.compileForeach(n, stmt.Line)
+	case *FilterNode:
+		in, err := c.schemaOf(n.Input, stmt.Line)
+		if err != nil {
+			return nil, err
+		}
+		cond, err := compileExpr(n.Cond, in)
+		if err != nil {
+			return nil, err
+		}
+		if !isBoolish(cond.Type()) {
+			return nil, &Error{Line: stmt.Line, Msg: fmt.Sprintf("FILTER condition must be boolean, got %s", cond.Type())}
+		}
+		return &FilterOp{Input: n.Input, Cond: cond, In: in}, nil
+	case *GroupNode:
+		return c.compileGroup(n, stmt.Line)
+	case *CogroupNode:
+		return c.compileCogroup(n, stmt.Line)
+	case *JoinNode:
+		return c.compileJoin(n, stmt.Line)
+	case *UnionNode:
+		return c.compileUnion(n, stmt.Line)
+	case *DistinctNode:
+		in, err := c.schemaOf(n.Input, stmt.Line)
+		if err != nil {
+			return nil, err
+		}
+		return &DistinctOp{Input: n.Input, In: in}, nil
+	case *OrderNode:
+		in, err := c.schemaOf(n.Input, stmt.Line)
+		if err != nil {
+			return nil, err
+		}
+		op := &OrderOp{Input: n.Input, In: in, Desc: n.Desc}
+		for _, k := range n.Keys {
+			e, err := compileExpr(k, in)
+			if err != nil {
+				return nil, err
+			}
+			op.Keys = append(op.Keys, e)
+		}
+		return op, nil
+	case *LimitNode:
+		in, err := c.schemaOf(n.Input, stmt.Line)
+		if err != nil {
+			return nil, err
+		}
+		return &LimitOp{Input: n.Input, N: n.N, In: in}, nil
+	case *AliasNode:
+		in, err := c.schemaOf(n.Input, stmt.Line)
+		if err != nil {
+			return nil, err
+		}
+		return &AliasOp{Input: n.Input, In: in}, nil
+	default:
+		return nil, &Error{Line: stmt.Line, Msg: fmt.Sprintf("unsupported operator %T", stmt.Op)}
+	}
+}
+
+func (c *compiler) compileGroup(n *GroupNode, line int) (Operator, error) {
+	in, err := c.schemaOf(n.Input, line)
+	if err != nil {
+		return nil, err
+	}
+	op := &GroupOp{Input: n.Input, In: in}
+	for _, k := range n.Keys {
+		e, err := compileExpr(k, in)
+		if err != nil {
+			return nil, err
+		}
+		op.Keys = append(op.Keys, e)
+	}
+	op.Out = groupedSchema(op.Keys, []string{n.Input}, []*nested.Schema{in})
+	return op, nil
+}
+
+func (c *compiler) compileCogroup(n *CogroupNode, line int) (Operator, error) {
+	op := &CogroupOp{InputNames: n.Inputs}
+	for i, name := range n.Inputs {
+		in, err := c.schemaOf(name, line)
+		if err != nil {
+			return nil, err
+		}
+		op.Ins = append(op.Ins, in)
+		var keys []Expr
+		for _, k := range n.Keys[i] {
+			e, err := compileExpr(k, in)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, e)
+		}
+		op.Keys = append(op.Keys, keys)
+	}
+	if err := checkKeyCompat(op.Keys, line); err != nil {
+		return nil, err
+	}
+	op.Out = groupedSchema(op.Keys[0], n.Inputs, op.Ins)
+	return op, nil
+}
+
+// groupedSchema builds the (group, <rel1>: bag, <rel2>: bag, ...) schema of
+// GROUP/COGROUP: the first field holds the (possibly composite) key, and
+// one bag field per input holds the grouped tuples, named after the input
+// relation as in Pig.
+func groupedSchema(keys []Expr, names []string, ins []*nested.Schema) *nested.Schema {
+	var groupType nested.Type
+	if len(keys) == 1 {
+		groupType = keys[0].Type()
+	} else {
+		inner := &nested.Schema{}
+		for i, k := range keys {
+			inner.Fields = append(inner.Fields, nested.Field{Name: fmt.Sprintf("k%d", i), Type: k.Type()})
+		}
+		groupType = nested.TupleType(inner)
+	}
+	out := nested.NewSchema(nested.Field{Name: "group", Type: groupType})
+	for i, name := range names {
+		out.Fields = append(out.Fields, nested.Field{Name: name, Type: nested.BagType(ins[i])})
+	}
+	return out
+}
+
+func (c *compiler) compileJoin(n *JoinNode, line int) (Operator, error) {
+	op := &JoinOp{InputNames: n.Inputs}
+	for i, name := range n.Inputs {
+		in, err := c.schemaOf(name, line)
+		if err != nil {
+			return nil, err
+		}
+		op.Ins = append(op.Ins, in)
+		var keys []Expr
+		for _, k := range n.Keys[i] {
+			e, err := compileExpr(k, in)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, e)
+		}
+		op.Keys = append(op.Keys, keys)
+	}
+	if err := checkKeyCompat(op.Keys, line); err != nil {
+		return nil, err
+	}
+	// Output schema: concatenation with fields qualified "rel::field"
+	// (a Pig join produces both key columns, Section 2.2's example).
+	out := &nested.Schema{}
+	for i, name := range n.Inputs {
+		for _, f := range op.Ins[i].Fields {
+			out.Fields = append(out.Fields, nested.Field{Name: name + "::" + f.Name, Type: f.Type})
+		}
+	}
+	op.Out = out
+	return op, nil
+}
+
+func checkKeyCompat(keys [][]Expr, line int) error {
+	for i := 1; i < len(keys); i++ {
+		for j := range keys[i] {
+			a, b := keys[0][j].Type(), keys[i][j].Type()
+			if !comparable(a, b) {
+				return &Error{Line: line, Msg: fmt.Sprintf("key %d types %s and %s are not comparable", j, a, b)}
+			}
+		}
+	}
+	return nil
+}
+
+func (c *compiler) compileUnion(n *UnionNode, line int) (Operator, error) {
+	op := &UnionOp{InputNames: n.Inputs}
+	var first *nested.Schema
+	for i, name := range n.Inputs {
+		in, err := c.schemaOf(name, line)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			first = in
+			continue
+		}
+		if in.Arity() != first.Arity() {
+			return nil, &Error{Line: line, Msg: fmt.Sprintf("UNION inputs %q and %q have different arities", n.Inputs[0], name)}
+		}
+		for j := range in.Fields {
+			if !in.Fields[j].Type.Equal(first.Fields[j].Type) {
+				return nil, &Error{Line: line, Msg: fmt.Sprintf("UNION field %d type mismatch: %s vs %s", j, first.Fields[j].Type, in.Fields[j].Type)}
+			}
+		}
+	}
+	op.Out = first
+	return op, nil
+}
+
+func (c *compiler) compileForeach(n *ForeachNode, line int) (Operator, error) {
+	in, err := c.schemaOf(n.Input, line)
+	if err != nil {
+		return nil, err
+	}
+	op := &ForeachOp{Input: n.Input, In: in}
+	for i, gi := range n.Items {
+		item, err := c.compileItem(gi, in, i, line)
+		if err != nil {
+			return nil, err
+		}
+		if item.Kind == ItemAgg {
+			op.HasAgg = true
+		}
+		if item.Kind == ItemFlattenBag || item.Kind == ItemFlattenUDF {
+			op.HasFlatten = true
+		}
+		op.Items = append(op.Items, item)
+	}
+	if op.HasAgg && op.HasFlatten {
+		return nil, &Error{Line: line, Msg: "FOREACH cannot mix aggregation and FLATTEN in one GENERATE"}
+	}
+	out := &nested.Schema{}
+	for _, item := range op.Items {
+		for j := range item.Names {
+			out.Fields = append(out.Fields, nested.Field{Name: item.Names[j], Type: item.Types[j]})
+		}
+	}
+	seen := map[string]bool{}
+	for _, f := range out.Fields {
+		if seen[f.Name] {
+			return nil, &Error{Line: line, Msg: fmt.Sprintf("duplicate output field %q in GENERATE (use AS to rename)", f.Name)}
+		}
+		seen[f.Name] = true
+	}
+	op.Out = out
+	return op, nil
+}
+
+func (c *compiler) compileItem(gi *GenItem, in *nested.Schema, pos, line int) (Item, error) {
+	switch e := gi.Expr.(type) {
+	case *StarNode:
+		item := Item{Kind: ItemStar}
+		for _, f := range in.Fields {
+			item.Names = append(item.Names, f.Name)
+			item.Types = append(item.Types, f.Type)
+		}
+		if gi.Alias != "" {
+			return Item{}, &Error{Line: line, Msg: "'*' cannot take an alias"}
+		}
+		return item, nil
+	case *CallNode:
+		name := upper(e.Func)
+		if aggNames[name] {
+			return c.compileAggItem(e, gi.Alias, in, line)
+		}
+		if name == "FLATTEN" {
+			return c.compileFlattenItem(e, gi.Alias, in, line)
+		}
+		return c.compileUDFItem(e, gi.Alias, in, false, line)
+	default:
+		expr, err := compileExpr(gi.Expr, in)
+		if err != nil {
+			return Item{}, err
+		}
+		name := gi.Alias
+		if name == "" {
+			if fe, ok := expr.(*fieldExpr); ok {
+				name = fe.resolved
+			} else {
+				name = fmt.Sprintf("f%d", pos)
+			}
+		}
+		return Item{Kind: ItemExpr, Expr: expr, Names: []string{name}, Types: []nested.Type{expr.Type()}}, nil
+	}
+}
+
+// compileAggItem resolves COUNT(bag) / SUM(bag.field) / etc.
+func (c *compiler) compileAggItem(call *CallNode, alias string, in *nested.Schema, line int) (Item, error) {
+	aggOp, _ := semiring.ParseAggOp(call.Func)
+	if len(call.Args) != 1 {
+		return Item{}, &Error{Line: line, Msg: fmt.Sprintf("%s takes exactly one argument", aggOp)}
+	}
+	fn, ok := call.Args[0].(*FieldNode)
+	if !ok {
+		return Item{}, &Error{Line: line, Msg: fmt.Sprintf("%s argument must be a bag-valued field path", aggOp)}
+	}
+	bagPath, innerIdx, innerType, err := resolveAggPath(fn, in)
+	if err != nil {
+		return Item{}, &Error{Line: line, Msg: err.Error()}
+	}
+	var t nested.Type
+	switch aggOp {
+	case semiring.AggCount:
+		t = nested.ScalarType(nested.KindInt)
+		innerIdx = -1
+	case semiring.AggAvg:
+		t = nested.ScalarType(nested.KindFloat)
+	default:
+		if innerIdx < 0 {
+			return Item{}, &Error{Line: line, Msg: fmt.Sprintf("%s requires a field to aggregate", aggOp)}
+		}
+		t = innerType
+	}
+	if aggOp != semiring.AggCount && innerIdx >= 0 && !isNumeric(innerType) {
+		return Item{}, &Error{Line: line, Msg: fmt.Sprintf("%s over non-numeric field (%s)", aggOp, innerType)}
+	}
+	name := alias
+	if name == "" {
+		name = aggOp.String()
+	}
+	return Item{
+		Kind: ItemAgg, BagPath: bagPath, InnerIdx: innerIdx, AggOp: aggOp,
+		Names: []string{name}, Types: []nested.Type{t},
+	}, nil
+}
+
+// resolveAggPath resolves an aggregate argument: tuple steps to a
+// bag-typed field, optionally one step into the bag's tuples. A bag whose
+// tuples have a single field defaults to that field (the paper: arithmetic
+// "applied to a relation with a single attribute" aggregates it).
+func resolveAggPath(fn *FieldNode, in *nested.Schema) (bagPath []int, innerIdx int, innerType nested.Type, err error) {
+	cur := in
+	innerIdx = -1
+	for i, step := range fn.Path {
+		var idx int
+		if step.Pos >= 0 {
+			if step.Pos >= cur.Arity() {
+				return nil, 0, nested.Type{}, fmt.Errorf("pig: position $%d out of range", step.Pos)
+			}
+			idx = step.Pos
+		} else {
+			idx = cur.IndexOf(step.Name)
+			if idx < 0 {
+				return nil, 0, nested.Type{}, fmt.Errorf("pig: unknown field %q in schema %s", step.Name, cur)
+			}
+		}
+		t := cur.FieldType(idx)
+		switch t.Kind {
+		case nested.KindTuple:
+			bagPath = append(bagPath, idx)
+			cur = t.Elem
+		case nested.KindBag:
+			bagPath = append(bagPath, idx)
+			inner := t.Elem
+			switch rest := fn.Path[i+1:]; len(rest) {
+			case 0:
+				if inner != nil && inner.Arity() == 1 {
+					innerIdx = 0
+					innerType = inner.FieldType(0)
+				}
+				return bagPath, innerIdx, innerType, nil
+			case 1:
+				var j int
+				if rest[0].Pos >= 0 {
+					j = rest[0].Pos
+					if inner == nil || j >= inner.Arity() {
+						return nil, 0, nested.Type{}, fmt.Errorf("pig: position $%d out of range in bag", rest[0].Pos)
+					}
+				} else {
+					j = inner.IndexOf(rest[0].Name)
+					if j < 0 {
+						return nil, 0, nested.Type{}, fmt.Errorf("pig: unknown field %q inside bag", rest[0].Name)
+					}
+				}
+				return bagPath, j, inner.FieldType(j), nil
+			default:
+				return nil, 0, nested.Type{}, fmt.Errorf("pig: aggregate path may descend at most one level into a bag")
+			}
+		default:
+			return nil, 0, nested.Type{}, fmt.Errorf("pig: aggregate argument %s does not reach a bag", fn)
+		}
+	}
+	return nil, 0, nested.Type{}, fmt.Errorf("pig: aggregate argument %s does not reach a bag", fn)
+}
+
+func (c *compiler) compileUDFItem(call *CallNode, alias string, in *nested.Schema, flatten bool, line int) (Item, error) {
+	udf, ok := c.reg.Lookup(call.Func)
+	if !ok {
+		return Item{}, &Error{Line: line, Msg: fmt.Sprintf("unknown function %q (not an aggregate and not a registered UDF)", call.Func)}
+	}
+	item := Item{UDF: udf}
+	for _, a := range call.Args {
+		e, err := compileExpr(a, in)
+		if err != nil {
+			return Item{}, err
+		}
+		item.Args = append(item.Args, e)
+	}
+	if flatten {
+		item.Kind = ItemFlattenUDF
+		for _, f := range udf.OutSchema.Fields {
+			item.Names = append(item.Names, f.Name)
+			item.Types = append(item.Types, f.Type)
+		}
+		return item, nil
+	}
+	item.Kind = ItemUDF
+	name := alias
+	if name == "" {
+		name = udf.Name
+	}
+	item.Names = []string{name}
+	item.Types = []nested.Type{nested.BagType(udf.OutSchema)}
+	return item, nil
+}
+
+func (c *compiler) compileFlattenItem(call *CallNode, alias string, in *nested.Schema, line int) (Item, error) {
+	if len(call.Args) != 1 {
+		return Item{}, &Error{Line: line, Msg: "FLATTEN takes exactly one argument"}
+	}
+	if alias != "" {
+		return Item{}, &Error{Line: line, Msg: "FLATTEN cannot take an alias"}
+	}
+	switch arg := call.Args[0].(type) {
+	case *CallNode:
+		if aggNames[upper(arg.Func)] {
+			return Item{}, &Error{Line: line, Msg: "cannot FLATTEN an aggregate"}
+		}
+		return c.compileUDFItem(arg, "", in, true, line)
+	case *FieldNode:
+		expr, err := compileExpr(arg, in)
+		if err != nil {
+			return Item{}, err
+		}
+		fe := expr.(*fieldExpr)
+		t := fe.Type()
+		if t.Kind != nested.KindBag || t.Elem == nil {
+			return Item{}, &Error{Line: line, Msg: fmt.Sprintf("FLATTEN argument must be a bag field, got %s", t)}
+		}
+		item := Item{Kind: ItemFlattenBag, BagPath: fe.Path()}
+		for _, f := range t.Elem.Fields {
+			item.Names = append(item.Names, f.Name)
+			item.Types = append(item.Types, f.Type)
+		}
+		return item, nil
+	default:
+		return Item{}, &Error{Line: line, Msg: "FLATTEN argument must be a bag field or a UDF call"}
+	}
+}

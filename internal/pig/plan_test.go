@@ -1,0 +1,359 @@
+package pig
+
+import (
+	"strings"
+	"testing"
+
+	"lipstick/internal/nested"
+)
+
+// dealerEnv builds the schemas of the car-dealership module (Example 2.1).
+func dealerEnv() nested.RelationSchemas {
+	str := nested.ScalarType(nested.KindString)
+	return nested.RelationSchemas{
+		"Requests": nested.NewSchema(
+			nested.Field{Name: "UserId", Type: str},
+			nested.Field{Name: "BidId", Type: str},
+			nested.Field{Name: "Model", Type: str},
+		),
+		"Cars": nested.NewSchema(
+			nested.Field{Name: "CarId", Type: str},
+			nested.Field{Name: "Model", Type: str},
+		),
+		"SoldCars": nested.NewSchema(
+			nested.Field{Name: "CarId", Type: str},
+			nested.Field{Name: "BidId", Type: str},
+		),
+	}
+}
+
+// calcBidUDF returns the CalcBid black box used by the running example.
+func calcBidUDF() *UDF {
+	str := nested.ScalarType(nested.KindString)
+	return &UDF{
+		Name: "CalcBid",
+		OutSchema: nested.NewSchema(
+			nested.Field{Name: "BidId", Type: str},
+			nested.Field{Name: "UserId", Type: str},
+			nested.Field{Name: "Model", Type: str},
+			nested.Field{Name: "Amount", Type: nested.ScalarType(nested.KindFloat)},
+		),
+		Fn: func(args []nested.Value) (*nested.Bag, error) {
+			return nested.NewBag(nested.NewTuple(
+				nested.Str("B1"), nested.Str("P1"), nested.Str("Civic"), nested.Float(20000),
+			)), nil
+		},
+	}
+}
+
+const dealerQstate = `
+ReqModel = FOREACH Requests GENERATE Model;
+Inventory = JOIN Cars BY Model, ReqModel BY Model;
+SoldInventory = JOIN Inventory BY CarId, SoldCars BY CarId;
+CarsByModel = GROUP Inventory BY Cars::Model;
+SoldByModel = GROUP SoldInventory BY Cars::Model;
+NumCarsByModel = FOREACH CarsByModel GENERATE group AS Model, COUNT(Inventory) AS NumAvail;
+NumSoldByModel = FOREACH SoldByModel GENERATE group AS Model, COUNT(SoldInventory) AS NumSold;
+AllInfoByModel = COGROUP Requests BY Model, NumCarsByModel BY Model, NumSoldByModel BY Model;
+InventoryBids = FOREACH AllInfoByModel GENERATE FLATTEN(CalcBid(Requests, NumCarsByModel, NumSoldByModel));
+`
+
+func TestCompileDealerProgram(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister(calcBidUDF())
+	plan, err := CompileSource(dealerQstate, dealerEnv(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 9 {
+		t.Fatalf("steps = %d", len(plan.Steps))
+	}
+	// ReqModel: single string column named Model.
+	rm := plan.Schemas["ReqModel"]
+	if rm.Arity() != 1 || rm.Fields[0].Name != "Model" || rm.Fields[0].Type.Kind != nested.KindString {
+		t.Errorf("ReqModel schema = %s", rm)
+	}
+	// Inventory: qualified join columns.
+	inv := plan.Schemas["Inventory"]
+	if inv.Arity() != 3 {
+		t.Fatalf("Inventory schema = %s", inv)
+	}
+	if inv.IndexOf("Cars::CarId") != 0 || inv.IndexOf("ReqModel::Model") != 2 {
+		t.Errorf("Inventory schema names = %s", inv)
+	}
+	// Unambiguous suffix lookup resolves CarId.
+	if inv.IndexOf("CarId") != 0 {
+		t.Error("suffix lookup for CarId failed")
+	}
+	// CarsByModel: (group, Inventory: bag).
+	cbm := plan.Schemas["CarsByModel"]
+	if cbm.Fields[0].Name != "group" || cbm.Fields[1].Name != "Inventory" ||
+		cbm.Fields[1].Type.Kind != nested.KindBag {
+		t.Errorf("CarsByModel schema = %s", cbm)
+	}
+	// NumCarsByModel: (Model: string, NumAvail: int).
+	ncb := plan.Schemas["NumCarsByModel"]
+	if ncb.Fields[1].Name != "NumAvail" || ncb.Fields[1].Type.Kind != nested.KindInt {
+		t.Errorf("NumCarsByModel schema = %s", ncb)
+	}
+	// AllInfoByModel: group + three bags.
+	aib := plan.Schemas["AllInfoByModel"]
+	if aib.Arity() != 4 || aib.Fields[2].Name != "NumCarsByModel" {
+		t.Errorf("AllInfoByModel schema = %s", aib)
+	}
+	// InventoryBids: CalcBid's output schema spliced by FLATTEN.
+	ib := plan.Schemas["InventoryBids"]
+	if ib.Arity() != 4 || ib.Fields[3].Name != "Amount" || ib.Fields[3].Type.Kind != nested.KindFloat {
+		t.Errorf("InventoryBids schema = %s", ib)
+	}
+	// Foreach with aggregate flagged.
+	fo, ok := plan.Steps[5].Op.(*ForeachOp)
+	if !ok || !fo.HasAgg {
+		t.Error("NumCarsByModel should be an aggregate FOREACH")
+	}
+	fl, ok := plan.Steps[8].Op.(*ForeachOp)
+	if !ok || !fl.HasFlatten || fl.Items[0].Kind != ItemFlattenUDF {
+		t.Error("InventoryBids should be a FLATTEN(UDF) FOREACH")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	env := dealerEnv()
+	reg := NewRegistry()
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"B = FOREACH Nope GENERATE x;", "unknown relation"},
+		{"B = FOREACH Requests GENERATE Nope;", "unknown field"},
+		{"B = FILTER Requests BY Model;", "must be boolean"},
+		{"B = FILTER Requests BY Model + 1 > 2;", "numeric"},
+		{"B = FOREACH Requests GENERATE COUNT(Model);", "does not reach a bag"},
+		{"B = FOREACH Requests GENERATE CalcBid(Model);", "unknown function"},
+		{"B = UNION Requests, Cars;", "different arities"},
+		{"B = FOREACH Requests GENERATE Model, Model;", "duplicate output field"},
+		{"B = JOIN Requests BY Model, Cars BY CarId, Cars BY Model;", ""},
+		{"G = GROUP Requests BY Model; B = FOREACH G GENERATE SUM(Requests) AS s;", "requires a field"},
+		{"G = GROUP Requests BY Model; B = FOREACH G GENERATE SUM(Requests.Model) AS s;", "non-numeric"},
+		{"G = GROUP Requests BY Model; B = FOREACH G GENERATE COUNT(Requests), FLATTEN(Requests);", "cannot mix"},
+		{"B = FOREACH Requests GENERATE FLATTEN(Model);", "must be a bag field"},
+		{"B = FILTER Requests BY COUNT(Model) > 1;", "GENERATE item"},
+		{"B = FOREACH Requests GENERATE Model.x;", "cannot traverse"},
+	}
+	for _, c := range cases {
+		_, err := CompileSource(c.src, env, reg)
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.src, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: expected error containing %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestCompileGroupMultiKey(t *testing.T) {
+	env := dealerEnv()
+	plan, err := CompileSource("B = GROUP Cars BY (Model, CarId);", env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.Schemas["B"]
+	if s.Fields[0].Type.Kind != nested.KindTuple || s.Fields[0].Type.Elem.Arity() != 2 {
+		t.Errorf("composite group key schema = %s", s)
+	}
+}
+
+func TestCompileStarAndPositional(t *testing.T) {
+	env := dealerEnv()
+	plan, err := CompileSource("B = FOREACH Cars GENERATE *; C = FOREACH Cars GENERATE $1;", env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Schemas["B"].Equal(env["Cars"]) {
+		t.Errorf("star schema = %s", plan.Schemas["B"])
+	}
+	cs := plan.Schemas["C"]
+	if cs.Arity() != 1 || cs.Fields[0].Name != "Model" {
+		t.Errorf("positional schema = %s", cs)
+	}
+}
+
+func TestCompileUDFWithoutFlatten(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister(calcBidUDF())
+	plan, err := CompileSource("B = FOREACH Requests GENERATE CalcBid(Model) AS bids;", dealerEnv(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.Schemas["B"]
+	if s.Fields[0].Name != "bids" || s.Fields[0].Type.Kind != nested.KindBag {
+		t.Errorf("UDF item schema = %s", s)
+	}
+}
+
+func TestCompileAggregateDefaultsSingleColumn(t *testing.T) {
+	env := nested.RelationSchemas{
+		"V": nested.NewSchema(nested.Field{Name: "x", Type: nested.ScalarType(nested.KindInt)}),
+	}
+	// GROUP V BY x then SUM(V): bag with single numeric attribute defaults.
+	plan, err := CompileSource("G = GROUP V BY x; B = FOREACH G GENERATE group, SUM(V) AS s;", env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.Schemas["B"]
+	if s.Fields[1].Type.Kind != nested.KindInt {
+		t.Errorf("SUM over int column should stay int, got %s", s.Fields[1].Type)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register(&UDF{}); err == nil {
+		t.Error("incomplete UDF registered")
+	}
+	u := calcBidUDF()
+	if err := reg.Register(u); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(calcBidUDF()); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if _, ok := reg.Lookup("calcbid"); !ok {
+		t.Error("case-insensitive lookup failed")
+	}
+	if err := reg.Register(&UDF{Name: "COUNT", OutSchema: u.OutSchema, Fn: u.Fn}); err == nil {
+		t.Error("reserved aggregate name accepted")
+	}
+	if len(reg.Names()) != 1 {
+		t.Error("Names wrong")
+	}
+	var nilReg *Registry
+	if _, ok := nilReg.Lookup("x"); ok {
+		t.Error("nil registry lookup should miss")
+	}
+}
+
+func TestExprEval(t *testing.T) {
+	schema := nested.NewSchema(
+		nested.Field{Name: "a", Type: nested.ScalarType(nested.KindInt)},
+		nested.Field{Name: "b", Type: nested.ScalarType(nested.KindFloat)},
+		nested.Field{Name: "s", Type: nested.ScalarType(nested.KindString)},
+		nested.Field{Name: "ok", Type: nested.ScalarType(nested.KindBool)},
+	)
+	tup := nested.NewTuple(nested.Int(7), nested.Float(2.5), nested.Str("hi"), nested.Bool(true))
+	cases := []struct {
+		src  string
+		want nested.Value
+	}{
+		{"a + 1", nested.Int(8)},
+		{"a / 2", nested.Int(3)},
+		{"a % 4", nested.Int(3)},
+		{"a + b", nested.Float(9.5)},
+		{"a * b", nested.Float(17.5)},
+		{"b / 0.0", nested.Null()},
+		{"a / 0", nested.Null()},
+		{"-a", nested.Int(-7)},
+		{"a == 7", nested.Bool(true)},
+		{"s == 'hi'", nested.Bool(true)},
+		{"s != 'hi'", nested.Bool(false)},
+		{"a < b", nested.Bool(false)},
+		{"ok AND a > 1", nested.Bool(true)},
+		{"NOT ok", nested.Bool(false)},
+		{"ok OR a == 0", nested.Bool(true)},
+		{"NULL == 1", nested.Bool(false)},
+		{"a + NULL", nested.Null()},
+	}
+	for _, c := range cases {
+		node, err := ParseExpr(c.src)
+		if err != nil {
+			t.Errorf("%s: parse: %v", c.src, err)
+			continue
+		}
+		e, err := compileExpr(node, schema)
+		if err != nil {
+			t.Errorf("%s: compile: %v", c.src, err)
+			continue
+		}
+		got, err := e.Eval(tup)
+		if err != nil {
+			t.Errorf("%s: eval: %v", c.src, err)
+			continue
+		}
+		if !got.Equal(c.want) && !(got.IsNull() && c.want.IsNull()) {
+			t.Errorf("%s = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestExprShortCircuit(t *testing.T) {
+	schema := nested.NewSchema(
+		nested.Field{Name: "ok", Type: nested.ScalarType(nested.KindBool)},
+		nested.Field{Name: "b", Type: nested.ScalarType(nested.KindBool)},
+	)
+	// Right side is null; AND short-circuits on false left.
+	node, _ := ParseExpr("ok AND b")
+	e, err := compileExpr(node, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.Eval(nested.NewTuple(nested.Bool(false), nested.Null()))
+	if err != nil || !v.Equal(nested.Bool(false)) {
+		t.Errorf("false AND null = %v, %v", v, err)
+	}
+	node, _ = ParseExpr("ok OR b")
+	e, err = compileExpr(node, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err = e.Eval(nested.NewTuple(nested.Bool(true), nested.Null()))
+	if err != nil || !v.Equal(nested.Bool(true)) {
+		t.Errorf("true OR null = %v, %v", v, err)
+	}
+}
+
+func TestFieldPathThroughNestedTuple(t *testing.T) {
+	inner := nested.NewSchema(
+		nested.Field{Name: "x", Type: nested.ScalarType(nested.KindInt)},
+	)
+	schema := nested.NewSchema(
+		nested.Field{Name: "t", Type: nested.TupleType(inner)},
+	)
+	node, _ := ParseExpr("t.x")
+	e, err := compileExpr(node, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.Eval(nested.NewTuple(nested.TupleVal(nested.NewTuple(nested.Int(9)))))
+	if err != nil || v.AsInt() != 9 {
+		t.Errorf("t.x = %v, %v", v, err)
+	}
+	// Null nested tuple yields null, not an error.
+	v, err = e.Eval(nested.NewTuple(nested.Null()))
+	if err != nil || !v.IsNull() {
+		t.Errorf("null.x = %v, %v", v, err)
+	}
+}
+
+func TestPlanOperatorAccessors(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister(calcBidUDF())
+	plan, err := CompileSource(dealerQstate+"Ordered = ORDER InventoryBids BY Amount DESC; Top = LIMIT Ordered 1; Alias = Top; D = DISTINCT Alias; U = UNION D, Top;", dealerEnv(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range plan.Steps {
+		if len(step.Op.Inputs()) == 0 {
+			t.Errorf("step %s has no inputs", step.Target)
+		}
+		if step.Op.OutSchema() == nil {
+			t.Errorf("step %s has no schema", step.Target)
+		}
+	}
+}

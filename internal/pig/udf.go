@@ -1,0 +1,79 @@
+package pig
+
+import (
+	"fmt"
+	"strings"
+
+	"lipstick/internal/nested"
+)
+
+// UDF is a user-defined function: a black box that takes values (scalars or
+// whole bags) and returns a bag of tuples. The paper's provenance model
+// treats UDFs as opaque — the output of a UDF is assumed to depend jointly
+// on all of its inputs (coarse-grained provenance for the UDF portion of a
+// module, Section 1).
+type UDF struct {
+	// Name is the function's invocation name (matched case-insensitively).
+	Name string
+	// OutSchema describes the tuples of the returned bag.
+	OutSchema *nested.Schema
+	// Fn computes the result bag from the argument values.
+	Fn func(args []nested.Value) (*nested.Bag, error)
+}
+
+// Registry maps function names to UDFs.
+type Registry struct {
+	funcs map[string]*UDF
+}
+
+// NewRegistry returns an empty UDF registry.
+func NewRegistry() *Registry {
+	return &Registry{funcs: make(map[string]*UDF)}
+}
+
+// Register adds a UDF; it returns an error on duplicate names or reserved
+// aggregate names.
+func (r *Registry) Register(u *UDF) error {
+	if u.Name == "" || u.Fn == nil || u.OutSchema == nil {
+		return fmt.Errorf("pig: UDF must have a name, an output schema, and a function")
+	}
+	key := strings.ToUpper(u.Name)
+	if _, isAgg := aggNames[key]; isAgg || key == "FLATTEN" {
+		return fmt.Errorf("pig: cannot register UDF with reserved name %q", u.Name)
+	}
+	if _, dup := r.funcs[key]; dup {
+		return fmt.Errorf("pig: UDF %q already registered", u.Name)
+	}
+	r.funcs[key] = u
+	return nil
+}
+
+// MustRegister is Register that panics on error (for static registrations).
+func (r *Registry) MustRegister(u *UDF) {
+	if err := r.Register(u); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup finds a UDF by name (case-insensitive).
+func (r *Registry) Lookup(name string) (*UDF, bool) {
+	if r == nil {
+		return nil, false
+	}
+	u, ok := r.funcs[strings.ToUpper(name)]
+	return u, ok
+}
+
+// Names returns the registered UDF names in unspecified order.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.funcs))
+	for _, u := range r.funcs {
+		out = append(out, u.Name)
+	}
+	return out
+}
+
+// aggNames are the built-in aggregation function names of the fragment.
+var aggNames = map[string]bool{
+	"COUNT": true, "SUM": true, "MIN": true, "MAX": true, "AVG": true,
+}

@@ -1,0 +1,287 @@
+package provgraph
+
+import (
+	"math"
+
+	"lipstick/internal/nested"
+	"lipstick/internal/semiring"
+)
+
+// DeletionResult reports which nodes a deletion propagation removed.
+type DeletionResult struct {
+	// Removed lists the removed nodes in propagation order, starting with
+	// the explicitly deleted ones.
+	Removed []NodeID
+	removed map[NodeID]bool
+}
+
+// Deleted reports whether the node was removed by the propagation.
+func (r *DeletionResult) Deleted(id NodeID) bool { return r.removed[id] }
+
+// Size returns the number of removed nodes.
+func (r *DeletionResult) Size() int { return len(r.Removed) }
+
+// PropagateDeletion computes the effect of deleting the given nodes per
+// Definition 4.2 without modifying the graph: starting from the deleted
+// nodes, it repeatedly removes every node for which either (1) all of its
+// incoming edges were deleted, or (2) the node is labeled · or ⊗ and at
+// least one of its incoming edges was deleted. Nodes with no incoming
+// edges (tokens, invocation nodes, constants) are never removed by rule (1).
+func (g *Graph) PropagateDeletion(ids ...NodeID) *DeletionResult {
+	res := &DeletionResult{removed: make(map[NodeID]bool)}
+	// remaining in-degree per node, counting only live edges.
+	indeg := make([]int32, len(g.nodes))
+	hadIn := make([]bool, len(g.nodes))
+	for id := range g.nodes {
+		if !g.alive[id] {
+			continue
+		}
+		d := int32(0)
+		for _, src := range g.in[id] {
+			if g.alive[src] {
+				d++
+			}
+		}
+		indeg[id] = d
+		hadIn[id] = d > 0
+	}
+	var queue []NodeID
+	remove := func(id NodeID) {
+		if res.removed[id] || !g.alive[id] {
+			return
+		}
+		res.removed[id] = true
+		res.Removed = append(res.Removed, id)
+		queue = append(queue, id)
+	}
+	for _, id := range ids {
+		remove(id)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, dst := range g.out[cur] {
+			if !g.alive[dst] || res.removed[dst] {
+				continue
+			}
+			indeg[dst]--
+			op := g.nodes[dst].Op
+			switch {
+			case indeg[dst] == 0 && hadIn[dst]:
+				remove(dst) // rule (1): all incoming edges deleted
+			case op == OpTimes || op == OpTensor || op == OpBB:
+				// Rule (2): · or ⊗ with a deleted incoming edge. Black-box
+				// nodes are included: a UDF's output jointly depends on all
+				// of its inputs (the coarse-grained assumption the paper
+				// applies to UDF portions of a module), so they behave as
+				// products under deletion.
+				remove(dst)
+			}
+		}
+	}
+	return res
+}
+
+// Delete applies a deletion propagation to the graph in place, marking the
+// removed nodes dead, and returns the result.
+func (g *Graph) Delete(ids ...NodeID) *DeletionResult {
+	res := g.PropagateDeletion(ids...)
+	for _, id := range res.Removed {
+		g.kill(id)
+	}
+	return res
+}
+
+// RecomputedAggregate is the what-if value of an aggregate node after a
+// deletion (Example 4.3: "the COUNT aggregate is now applied to a single
+// value ... we can easily re-compute its value").
+type RecomputedAggregate struct {
+	Node NodeID
+	// Op is the aggregate operation name (SUM, COUNT, MIN, MAX, AVG).
+	Op string
+	// Before is the original value carried by the node.
+	Before nested.Value
+	// After is the recomputed value over surviving contributions; Null
+	// when no contribution survives and the operation has no identity
+	// (MIN/MAX/AVG).
+	After nested.Value
+	// Survivors is the number of surviving ⊗ contributions.
+	Survivors int
+}
+
+// RecomputeAggregates re-evaluates every live aggregate v-node from its
+// surviving ⊗ in-neighbors and returns the nodes whose value changed.
+// It requires the full (non-simplified) aggregation construction, in which
+// each ⊗ node has a constant-value in-neighbor.
+func (g *Graph) RecomputeAggregates() []RecomputedAggregate {
+	var out []RecomputedAggregate
+	for id := range g.nodes {
+		if !g.alive[id] || g.nodes[id].Op != OpAgg {
+			continue
+		}
+		n := g.nodes[id]
+		op, ok := semiring.ParseAggOp(n.Label)
+		if !ok {
+			continue
+		}
+		val, survivors, computed := g.recomputeAgg(NodeID(id), op)
+		rec := RecomputedAggregate{Node: NodeID(id), Op: n.Label, Before: n.Value, Survivors: survivors}
+		if computed {
+			rec.After = val
+		}
+		if !rec.After.Equal(rec.Before) {
+			out = append(out, rec)
+			g.nodes[id].Value = rec.After
+		}
+	}
+	return out
+}
+
+// recomputeAgg folds the surviving ⊗ children of an aggregate node.
+func (g *Graph) recomputeAgg(id NodeID, op semiring.AggOp) (nested.Value, int, bool) {
+	sum, cnt := 0.0, 0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	allInt := true
+	for _, in := range g.In(id) {
+		t := g.nodes[in]
+		if t.Op != OpTensor {
+			continue
+		}
+		// The tensor's constant in-neighbor holds the aggregated value.
+		var v nested.Value
+		found := false
+		for _, tin := range g.In(in) {
+			if g.nodes[tin].Op == OpConst {
+				v = g.nodes[tin].Value
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		f, ok := v.Numeric()
+		if !ok {
+			continue
+		}
+		if v.Kind() != nested.KindInt {
+			allInt = false
+		}
+		cnt++
+		sum += f
+		lo = math.Min(lo, f)
+		hi = math.Max(hi, f)
+	}
+	if cnt == 0 {
+		switch op {
+		case semiring.AggSum:
+			return nested.Int(0), 0, true
+		case semiring.AggCount:
+			return nested.Int(0), 0, true
+		default:
+			return nested.Null(), 0, true
+		}
+	}
+	mk := func(f float64) nested.Value {
+		if allInt && f == math.Trunc(f) {
+			return nested.Int(int64(f))
+		}
+		return nested.Float(f)
+	}
+	switch op {
+	case semiring.AggSum:
+		return mk(sum), cnt, true
+	case semiring.AggCount:
+		return nested.Int(int64(cnt)), cnt, true
+	case semiring.AggMin:
+		return mk(lo), cnt, true
+	case semiring.AggMax:
+		return mk(hi), cnt, true
+	case semiring.AggAvg:
+		return nested.Float(sum / float64(cnt)), cnt, true
+	default:
+		return nested.Null(), cnt, false
+	}
+}
+
+// Expr reconstructs the provenance expression denoted by a p-node, reading
+// the graph bottom-up: base tuples and workflow inputs become tokens,
+// + / · / δ nodes become the corresponding operations, and module
+// input/output/state nodes become products of their in-neighbors (they are
+// ·-labeled). Invocation and zoom nodes become tokens named after the
+// module. The result ties the graph representation back to the semiring
+// formalism of Section 2.3 and is used for differential testing of
+// deletion propagation.
+func (g *Graph) Expr(id NodeID) semiring.Expr {
+	memo := make(map[NodeID]semiring.Expr)
+	return g.expr(id, memo)
+}
+
+func (g *Graph) expr(id NodeID, memo map[NodeID]semiring.Expr) semiring.Expr {
+	if e, ok := memo[id]; ok {
+		return e
+	}
+	if !g.alive[id] {
+		return semiring.Zero{}
+	}
+	n := g.nodes[id]
+	// Guard against (impossible) cycles while memoizing.
+	memo[id] = semiring.Zero{}
+	var children []semiring.Expr
+	for _, in := range g.In(id) {
+		// Value nodes do not contribute to the p-side expression.
+		if g.nodes[in].Class == ClassV {
+			continue
+		}
+		children = append(children, g.expr(in, memo))
+	}
+	var e semiring.Expr
+	switch {
+	case n.Type == TypeBaseTuple || n.Type == TypeWorkflowInput:
+		e = semiring.T(tokenName(n))
+	case n.Type == TypeInvocation || n.Type == TypeZoom:
+		e = semiring.T(tokenName(n))
+	case n.Op == OpPlus:
+		e = semiring.Add(children...)
+	case n.Op == OpDelta:
+		e = semiring.Dedup(semiring.Add(children...))
+	case n.Op == OpTimes, n.Type == TypeModuleInput, n.Type == TypeModuleOutput, n.Type == TypeState:
+		e = semiring.Mul(children...)
+	case n.Op == OpBB:
+		// Black box: joint dependence on all inputs.
+		e = semiring.Mul(children...)
+	default:
+		e = semiring.Mul(children...)
+	}
+	memo[id] = e
+	return e
+}
+
+func tokenName(n Node) string {
+	if n.Label != "" {
+		return n.Label
+	}
+	return "n" + itoa(int(n.ID))
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

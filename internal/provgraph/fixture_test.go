@@ -1,0 +1,95 @@
+package provgraph
+
+import (
+	"lipstick/internal/nested"
+)
+
+// dealershipFixture reconstructs the fine-grained provenance graph of
+// Figure 2(c): the bid-request invocation of M_dealer1 (projection, joins
+// against state cars C2/C3, grouping, COUNT aggregation, the calcBid black
+// box) feeding the MIN aggregation of M_agg, with a second pass-through
+// dealer providing the competing bid. Node variables follow the paper's
+// numbering where one exists.
+type dealershipFixture struct {
+	b *Builder
+	g *Graph
+
+	n00 NodeID // workflow input I1 (the bid request)
+	n01 NodeID // base tuple: car C2
+	n02 NodeID // base tuple: car C3
+
+	invAnd, invD1, invD2, invAgg InvID
+
+	iAnd, oAnd NodeID // M_and pass-through input/output
+	n41        NodeID // M_dealer1 module input
+	n42, n43   NodeID // state nodes for C2, C3
+	n50        NodeID // + : ReqModel projection
+	n60, n61   NodeID // · : Inventory joins (C2, C3)
+	n71        NodeID // δ : CarsByModel group
+	n70        NodeID // COUNT aggregate v-node
+	numCars    NodeID // + : NumCarsByModel tuple
+	n75        NodeID // δ : AllInfoByModel cogroup
+	n80        NodeID // calcBid black-box v-node
+	n90        NodeID // M_dealer1 module output (the bid)
+
+	iD2, oD2     NodeID // dealer 2 pass-through
+	iAgg1, iAgg2 NodeID // M_agg module inputs
+	n110         NodeID // δ over competing bids
+	aggMin       NodeID // MIN aggregate v-node
+	oAgg         NodeID // M_agg output: the best bid
+}
+
+func buildDealershipFixture() *dealershipFixture {
+	f := &dealershipFixture{b: NewBuilder()}
+	f.g = f.b.G
+	b := f.b
+
+	f.n00 = b.WorkflowInput("I1")
+
+	// M_and distributes the request (pass-through module).
+	f.invAnd = b.BeginInvocation("M_and", "and", 0)
+	f.iAnd = b.ModuleInput(f.invAnd, f.n00)
+	f.oAnd = b.ModuleOutput(f.invAnd, f.iAnd)
+
+	// M_dealer1: the fine-grained bid computation.
+	f.invD1 = b.BeginInvocation("M_dealer1", "dealer1", 0)
+	f.n41 = b.ModuleInput(f.invD1, f.oAnd)
+	f.n01 = b.BaseTuple("C2")
+	f.n02 = b.BaseTuple("C3")
+	f.n42 = b.StateTuple(f.invD1, f.n01)
+	f.n43 = b.StateTuple(f.invD1, f.n02)
+
+	f.n50 = b.Project(f.n41)     // ReqModel = FOREACH Requests GENERATE Model
+	f.n60 = b.Join(f.n42, f.n50) // Inventory: C2 matches Civic
+	f.n61 = b.Join(f.n43, f.n50) // Inventory: C3 matches Civic
+	f.n71 = b.Group(f.n60, f.n61)
+	f.n70 = b.Aggregate("COUNT", []AggContribution{
+		{TupleProv: f.n60, Value: nested.Int(1)},
+		{TupleProv: f.n61, Value: nested.Int(1)},
+	}, nested.Int(2))
+	f.numCars = b.Project(f.n71)
+	f.g.AddEdge(f.n70, f.numCars) // the aggregated value is part of the tuple
+	f.n75 = b.Group(f.n41, f.numCars)
+	f.n80 = b.BlackBox("calcBid", true, nested.Float(20000), f.n75)
+	f.n90 = b.ModuleOutput(f.invD1, f.n75, f.n80)
+
+	// M_dealer2: competing bid, internals elided (pass-through).
+	f.invD2 = b.BeginInvocation("M_dealer2", "dealer2", 0)
+	f.iD2 = b.ModuleInput(f.invD2, f.oAnd)
+	f.oD2 = b.ModuleOutput(f.invD2, f.iD2)
+
+	// M_agg: MIN over the bids.
+	f.invAgg = b.BeginInvocation("M_agg", "agg", 0)
+	f.iAgg1 = b.ModuleInput(f.invAgg, f.n90)
+	f.iAgg2 = b.ModuleInput(f.invAgg, f.oD2)
+	f.n110 = b.Group(f.iAgg1, f.iAgg2)
+	f.aggMin = b.Aggregate("MIN", []AggContribution{
+		{TupleProv: f.iAgg1, Value: nested.Float(20000)},
+		{TupleProv: f.iAgg2, Value: nested.Float(22000)},
+	}, nested.Float(20000))
+	best := b.Project(f.n110)
+	f.g.AddEdge(f.aggMin, best)
+	f.oAgg = b.ModuleOutput(f.invAgg, best, f.aggMin)
+
+	return f
+}

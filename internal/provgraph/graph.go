@@ -1,0 +1,525 @@
+// Package provgraph implements the Lipstick provenance graph (Section 3 of
+// the paper): a DAG whose nodes are provenance nodes (p-nodes) and value
+// nodes (v-nodes) labeled with provenance tokens, the semiring operations
+// + · δ ⊗, aggregate operation names, and black-box function names, plus
+// the workflow-level node types — workflow inputs ("I"), module invocations
+// ("m"), module inputs ("i"), module outputs ("o"), and module state ("s").
+//
+// Edges point from sources to results (from v' to v when v is derived from
+// v'), so ancestors of a node are the data it depends on, and descendants
+// are the data derived from it.
+//
+// The package also implements the graph transformations of Section 4:
+// ZoomOut/ZoomIn (Definition 4.1), deletion propagation (Definition 4.2),
+// and the subgraph/dependency queries evaluated in Section 5.6.
+package provgraph
+
+import (
+	"fmt"
+
+	"lipstick/internal/nested"
+)
+
+// NodeID identifies a node within one graph. IDs are dense and start at 0.
+type NodeID int32
+
+// InvalidNode is returned by lookups that find nothing.
+const InvalidNode NodeID = -1
+
+// Class distinguishes provenance nodes from value nodes.
+type Class uint8
+
+const (
+	// ClassP marks provenance nodes (circles in the paper's figures).
+	ClassP Class = iota
+	// ClassV marks value nodes (squares in the paper's figures).
+	ClassV
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	if c == ClassP {
+		return "p"
+	}
+	return "v"
+}
+
+// Type enumerates the structural roles a node can play.
+type Type uint8
+
+const (
+	// TypeWorkflowInput is an "I" node: a tuple provided by a workflow
+	// input module.
+	TypeWorkflowInput Type = iota
+	// TypeInvocation is an "m" node: one invocation of a module.
+	TypeInvocation
+	// TypeModuleInput is an "i" node: a tuple given as input to a module
+	// invocation, labeled · (joint derivation of the tuple and the
+	// invocation).
+	TypeModuleInput
+	// TypeModuleOutput is an "o" node: a tuple output by an invocation,
+	// labeled ·.
+	TypeModuleOutput
+	// TypeState is an "s" node: a state tuple used by an invocation,
+	// labeled · (joint derivation of the base tuple and the invocation).
+	TypeState
+	// TypeBaseTuple is a p-node carrying the identifier (token) of a state
+	// or source tuple, e.g. car C2.
+	TypeBaseTuple
+	// TypeOp is an internal computation node labeled with a semiring
+	// operation (+, ·, δ) — the fine-grained provenance of Section 3.2.
+	TypeOp
+	// TypeValue is a v-node: a constant value, a tensor ⊗, an aggregate
+	// result (SUM/COUNT/...), or a black-box result.
+	TypeValue
+	// TypeZoom is a zoomed-out module invocation node installed by ZoomOut
+	// (the rounded rectangles of Figure 2(b)).
+	TypeZoom
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeWorkflowInput:
+		return "I"
+	case TypeInvocation:
+		return "m"
+	case TypeModuleInput:
+		return "i"
+	case TypeModuleOutput:
+		return "o"
+	case TypeState:
+		return "s"
+	case TypeBaseTuple:
+		return "tuple"
+	case TypeOp:
+		return "op"
+	case TypeValue:
+		return "value"
+	case TypeZoom:
+		return "zoom"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Op enumerates node operation labels.
+type Op uint8
+
+const (
+	// OpNone marks nodes without an operation label (tokens, invocations).
+	OpNone Op = iota
+	// OpPlus is alternative derivation (+).
+	OpPlus
+	// OpTimes is joint derivation (·).
+	OpTimes
+	// OpDelta is duplicate elimination (δ).
+	OpDelta
+	// OpTensor pairs a value with the provenance of a contributing tuple
+	// (⊗) in aggregate provenance.
+	OpTensor
+	// OpAgg is an aggregate operation v-node; Node.Label holds the
+	// operation name (SUM, COUNT, MIN, MAX, AVG).
+	OpAgg
+	// OpBB is a black-box (UDF) node; Node.Label holds the function name.
+	OpBB
+	// OpConst is a constant value v-node.
+	OpConst
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpNone:
+		return ""
+	case OpPlus:
+		return "+"
+	case OpTimes:
+		return "·"
+	case OpDelta:
+		return "δ"
+	case OpTensor:
+		return "⊗"
+	case OpAgg:
+		return "agg"
+	case OpBB:
+		return "bb"
+	case OpConst:
+		return "const"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// InvID identifies a module invocation recorded in the graph.
+type InvID int32
+
+// Invocation records the structural anchors of one module invocation: its
+// m-node and the module input, output, and state nodes created for it.
+type Invocation struct {
+	ID        InvID
+	Module    string // module name (label of the m-node)
+	NodeName  string // workflow node that was invoked (distinct uses of one module)
+	Execution int    // index of the workflow execution this invocation belongs to
+	MNode     NodeID
+	Inputs    []NodeID
+	Outputs   []NodeID
+	States    []NodeID
+}
+
+// Node is one provenance-graph node.
+type Node struct {
+	ID    NodeID
+	Class Class
+	Type  Type
+	Op    Op
+	// Label holds the provenance token for base tuples and workflow
+	// inputs, the module name for invocation and zoom nodes, the aggregate
+	// operation name for OpAgg, and the function name for OpBB.
+	Label string
+	// Inv is the invocation a module-input/output/state/invocation/zoom
+	// node belongs to; -1 otherwise.
+	Inv InvID
+	// Value is the constant carried by value nodes (OpConst and computed
+	// aggregate/BB results); Null otherwise.
+	Value nested.Value
+}
+
+// Graph is a provenance graph. Nodes are never physically removed:
+// transformations (deletion propagation, ZoomOut) mark nodes dead, which
+// keeps NodeIDs stable and makes ZoomIn an exact inverse. All traversals
+// skip dead nodes.
+type Graph struct {
+	nodes []Node
+	out   [][]NodeID
+	in    [][]NodeID
+	alive []bool
+	dead  int // number of dead nodes
+
+	invocations []Invocation
+	constIndex  map[string]NodeID // interned constant value v-nodes
+	numEdges    int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{constIndex: make(map[string]NodeID)}
+}
+
+// AddNode appends a node and returns its id.
+func (g *Graph) AddNode(n Node) NodeID {
+	id := NodeID(len(g.nodes))
+	n.ID = id
+	if n.Inv == 0 && n.Type != TypeInvocation && n.Type != TypeModuleInput &&
+		n.Type != TypeModuleOutput && n.Type != TypeState && n.Type != TypeZoom {
+		n.Inv = -1
+	}
+	g.nodes = append(g.nodes, n)
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.alive = append(g.alive, true)
+	return id
+}
+
+// AddEdge adds a directed edge from src to dst (dst is derived from src).
+func (g *Graph) AddEdge(src, dst NodeID) {
+	g.out[src] = append(g.out[src], dst)
+	g.in[dst] = append(g.in[dst], src)
+	g.numEdges++
+}
+
+// Node returns the node with the given id.
+func (g *Graph) Node(id NodeID) Node { return g.nodes[id] }
+
+// Alive reports whether the node is visible (not removed by a
+// transformation).
+func (g *Graph) Alive(id NodeID) bool { return g.alive[id] }
+
+// NumNodes returns the number of live nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) - g.dead }
+
+// TotalNodes returns the number of allocated node slots (live + dead).
+func (g *Graph) TotalNodes() int { return len(g.nodes) }
+
+// NumEdges returns the number of live edges (both endpoints alive).
+func (g *Graph) NumEdges() int {
+	n := 0
+	for id := range g.nodes {
+		if !g.alive[id] {
+			continue
+		}
+		for _, dst := range g.out[id] {
+			if g.alive[dst] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Out returns the live out-neighbors of id.
+func (g *Graph) Out(id NodeID) []NodeID { return g.liveNeighbors(g.out[id]) }
+
+// In returns the live in-neighbors of id.
+func (g *Graph) In(id NodeID) []NodeID { return g.liveNeighbors(g.in[id]) }
+
+func (g *Graph) liveNeighbors(adj []NodeID) []NodeID {
+	if g.dead == 0 {
+		return adj
+	}
+	live := make([]NodeID, 0, len(adj))
+	for _, n := range adj {
+		if g.alive[n] {
+			live = append(live, n)
+		}
+	}
+	return live
+}
+
+// Nodes calls fn for every live node; fn returning false stops iteration.
+func (g *Graph) Nodes(fn func(Node) bool) {
+	for id := range g.nodes {
+		if g.alive[id] {
+			if !fn(g.nodes[id]) {
+				return
+			}
+		}
+	}
+}
+
+// kill marks a node dead.
+func (g *Graph) kill(id NodeID) {
+	if g.alive[id] {
+		g.alive[id] = false
+		g.dead++
+	}
+}
+
+// revive marks a node live again.
+func (g *Graph) revive(id NodeID) {
+	if !g.alive[id] {
+		g.alive[id] = true
+		g.dead--
+	}
+}
+
+// AddInvocation records a module invocation and returns its id.
+func (g *Graph) AddInvocation(inv Invocation) InvID {
+	inv.ID = InvID(len(g.invocations))
+	g.invocations = append(g.invocations, inv)
+	return inv.ID
+}
+
+// Invocation returns the invocation record with the given id.
+func (g *Graph) Invocation(id InvID) *Invocation { return &g.invocations[id] }
+
+// NumInvocations returns the number of recorded invocations.
+func (g *Graph) NumInvocations() int { return len(g.invocations) }
+
+// Invocations calls fn for each invocation record.
+func (g *Graph) Invocations(fn func(*Invocation) bool) {
+	for i := range g.invocations {
+		if !fn(&g.invocations[i]) {
+			return
+		}
+	}
+}
+
+// InvocationsOf returns the invocation ids of the given module name.
+func (g *Graph) InvocationsOf(module string) []InvID {
+	var out []InvID
+	for i := range g.invocations {
+		if g.invocations[i].Module == module {
+			out = append(out, g.invocations[i].ID)
+		}
+	}
+	return out
+}
+
+// ConstNode returns the interned constant-value v-node for v, creating it
+// on first use (the paper: "if a node for this value does not exist
+// already").
+func (g *Graph) ConstNode(v nested.Value) NodeID {
+	key := v.Key()
+	if id, ok := g.constIndex[key]; ok && g.alive[id] {
+		return id
+	}
+	id := g.AddNode(Node{Class: ClassV, Type: TypeValue, Op: OpConst, Value: v})
+	g.constIndex[key] = id
+	return id
+}
+
+// Clone returns a deep copy of the graph (alive state included).
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		nodes:       append([]Node(nil), g.nodes...),
+		out:         make([][]NodeID, len(g.out)),
+		in:          make([][]NodeID, len(g.in)),
+		alive:       append([]bool(nil), g.alive...),
+		dead:        g.dead,
+		invocations: make([]Invocation, len(g.invocations)),
+		constIndex:  make(map[string]NodeID, len(g.constIndex)),
+		numEdges:    g.numEdges,
+	}
+	for i := range g.out {
+		c.out[i] = append([]NodeID(nil), g.out[i]...)
+		c.in[i] = append([]NodeID(nil), g.in[i]...)
+	}
+	for i, inv := range g.invocations {
+		inv.Inputs = append([]NodeID(nil), inv.Inputs...)
+		inv.Outputs = append([]NodeID(nil), inv.Outputs...)
+		inv.States = append([]NodeID(nil), inv.States...)
+		c.invocations[i] = inv
+	}
+	for k, v := range g.constIndex {
+		c.constIndex[k] = v
+	}
+	return c
+}
+
+// StructurallyEqual reports whether two graphs have the same live nodes
+// (by id, type, class, op, label) and the same live edge sets. It is used
+// to verify ZoomIn(ZoomOut(G, M), M) = G.
+func (g *Graph) StructurallyEqual(o *Graph) bool {
+	// Graphs may differ in allocated slots (e.g. zoom nodes added then
+	// removed); compare the live structure over the union of slots.
+	max := len(g.nodes)
+	if len(o.nodes) > max {
+		max = len(o.nodes)
+	}
+	for id := 0; id < max; id++ {
+		ga := id < len(g.nodes) && g.alive[id]
+		oa := id < len(o.nodes) && o.alive[id]
+		if ga != oa {
+			return false
+		}
+		if !ga {
+			continue
+		}
+		a, b := g.nodes[id], o.nodes[id]
+		if a.Class != b.Class || a.Type != b.Type || a.Op != b.Op || a.Label != b.Label {
+			return false
+		}
+		if !edgeSetEqual(g.Out(NodeID(id)), o.Out(NodeID(id))) {
+			return false
+		}
+	}
+	return true
+}
+
+func edgeSetEqual(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[NodeID]int, len(a))
+	for _, x := range a {
+		seen[x]++
+	}
+	for _, x := range b {
+		seen[x]--
+		if seen[x] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reconstruct rebuilds a graph from serialized parts: nodes in id order,
+// edges, invocation records, and the ids of dead (transformed-away) nodes.
+// It is the loading half of the Provenance Tracker's filesystem format
+// (package store).
+func Reconstruct(nodes []Node, edges [][2]NodeID, invs []Invocation, dead []NodeID) *Graph {
+	g := New()
+	for _, n := range nodes {
+		id := g.AddNode(n)
+		g.nodes[id].Inv = n.Inv // AddNode normalizes; restore verbatim
+		if n.Op == OpConst {
+			g.constIndex[n.Value.Key()] = id
+		}
+	}
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	for _, inv := range invs {
+		g.AddInvocation(inv)
+	}
+	for _, id := range dead {
+		g.kill(id)
+	}
+	return g
+}
+
+// DeadNodes returns the ids of dead (hidden/deleted) node slots.
+func (g *Graph) DeadNodes() []NodeID {
+	var out []NodeID
+	for id := range g.nodes {
+		if !g.alive[id] {
+			out = append(out, NodeID(id))
+		}
+	}
+	return out
+}
+
+// Edges calls fn for every edge between live nodes.
+func (g *Graph) EdgesDo(fn func(src, dst NodeID) bool) {
+	for id := range g.nodes {
+		if !g.alive[id] {
+			continue
+		}
+		for _, dst := range g.out[id] {
+			if g.alive[dst] {
+				if !fn(NodeID(id), dst) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// AllEdgesDo calls fn for every edge including those touching dead nodes
+// (used by serialization, which must preserve restorability).
+func (g *Graph) AllEdgesDo(fn func(src, dst NodeID) bool) {
+	for id := range g.nodes {
+		for _, dst := range g.out[id] {
+			if !fn(NodeID(id), dst) {
+				return
+			}
+		}
+	}
+}
+
+// AllNodesDo calls fn for every node slot including dead ones.
+func (g *Graph) AllNodesDo(fn func(Node) bool) {
+	for id := range g.nodes {
+		if !fn(g.nodes[id]) {
+			return
+		}
+	}
+}
+
+// Stats summarizes the graph for benchmarks and reports.
+type Stats struct {
+	Nodes       int
+	Edges       int
+	PNodes      int
+	VNodes      int
+	Invocations int
+	ByType      map[Type]int
+}
+
+// ComputeStats walks the live graph and tallies node classes and types.
+func (g *Graph) ComputeStats() Stats {
+	s := Stats{ByType: make(map[Type]int), Invocations: len(g.invocations)}
+	g.Nodes(func(n Node) bool {
+		s.Nodes++
+		if n.Class == ClassP {
+			s.PNodes++
+		} else {
+			s.VNodes++
+		}
+		s.ByType[n.Type]++
+		return true
+	})
+	s.Edges = g.NumEdges()
+	return s
+}

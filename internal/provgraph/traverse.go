@@ -1,0 +1,180 @@
+package provgraph
+
+// Ancestors returns the set of live nodes from which id is reachable
+// (the data id depends on), excluding id itself.
+func (g *Graph) Ancestors(id NodeID) []NodeID {
+	return g.bfs(id, g.in)
+}
+
+// Descendants returns the set of live nodes reachable from id (the data
+// derived from id), excluding id itself.
+func (g *Graph) Descendants(id NodeID) []NodeID {
+	return g.bfs(id, g.out)
+}
+
+// bfs walks the given adjacency from id, returning visited nodes in BFS
+// order (excluding the start node).
+func (g *Graph) bfs(id NodeID, adj [][]NodeID) []NodeID {
+	visited := make([]bool, len(g.nodes))
+	visited[id] = true
+	queue := []NodeID{id}
+	var out []NodeID
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range adj[cur] {
+			if !visited[next] && g.alive[next] {
+				visited[next] = true
+				out = append(out, next)
+				queue = append(queue, next)
+			}
+		}
+	}
+	return out
+}
+
+// DependsOn reports whether the existence of node a depends on node b
+// (Section 4.3): it propagates the deletion of b and checks whether a
+// survives.
+func (g *Graph) DependsOn(a, b NodeID) bool {
+	res := g.PropagateDeletion(b)
+	return res.Deleted(a)
+}
+
+// SubgraphResult is the output of a subgraph query.
+type SubgraphResult struct {
+	Root NodeID
+	// Nodes is the subgraph's node set, in discovery order, including the
+	// root.
+	Nodes []NodeID
+	// member is the membership set.
+	member map[NodeID]bool
+}
+
+// Contains reports whether id is part of the subgraph.
+func (r *SubgraphResult) Contains(id NodeID) bool { return r.member[id] }
+
+// Size returns the number of nodes in the subgraph.
+func (r *SubgraphResult) Size() int { return len(r.Nodes) }
+
+// Subgraph implements the subgraph query of Section 5.1: given a node, it
+// returns the subgraph induced by the node's ancestors, its descendants,
+// and all siblings of its descendants (nodes sharing an in-neighbor with a
+// descendant — the co-contributors needed to re-derive those descendants).
+func (g *Graph) Subgraph(id NodeID) *SubgraphResult {
+	member := map[NodeID]bool{id: true}
+	order := []NodeID{id}
+	add := func(n NodeID) {
+		if !member[n] {
+			member[n] = true
+			order = append(order, n)
+		}
+	}
+	for _, n := range g.Ancestors(id) {
+		add(n)
+	}
+	descendants := g.Descendants(id)
+	for _, n := range descendants {
+		add(n)
+	}
+	for _, d := range descendants {
+		for _, parent := range g.In(d) {
+			for _, sib := range g.Out(parent) {
+				if sib != d {
+					add(sib)
+				}
+			}
+		}
+	}
+	return &SubgraphResult{Root: id, Nodes: order, member: member}
+}
+
+// Roots returns live nodes with no live in-edges (tokens, workflow inputs,
+// invocation nodes, constants).
+func (g *Graph) Roots() []NodeID {
+	var out []NodeID
+	for id := range g.nodes {
+		if g.alive[id] && len(g.In(NodeID(id))) == 0 {
+			out = append(out, NodeID(id))
+		}
+	}
+	return out
+}
+
+// Sinks returns live nodes with no live out-edges.
+func (g *Graph) Sinks() []NodeID {
+	var out []NodeID
+	for id := range g.nodes {
+		if g.alive[id] && len(g.Out(NodeID(id))) == 0 {
+			out = append(out, NodeID(id))
+		}
+	}
+	return out
+}
+
+// IsAcyclic verifies the graph is a DAG over live nodes (an invariant of
+// every construction in this package).
+func (g *Graph) IsAcyclic() bool {
+	indeg := make([]int, len(g.nodes))
+	liveCount := 0
+	for id := range g.nodes {
+		if !g.alive[id] {
+			continue
+		}
+		liveCount++
+		indeg[id] = len(g.In(NodeID(id)))
+	}
+	queue := make([]NodeID, 0, liveCount)
+	for id := range g.nodes {
+		if g.alive[id] && indeg[id] == 0 {
+			queue = append(queue, NodeID(id))
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		cur := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for _, next := range g.Out(cur) {
+			indeg[next]--
+			if indeg[next] == 0 {
+				queue = append(queue, next)
+			}
+		}
+	}
+	return seen == liveCount
+}
+
+// TopDownOrder returns all live nodes in a topological order (sources
+// first); it panics if the live graph is cyclic.
+func (g *Graph) TopDownOrder() []NodeID {
+	indeg := make([]int, len(g.nodes))
+	var queue []NodeID
+	liveCount := 0
+	for id := range g.nodes {
+		if !g.alive[id] {
+			continue
+		}
+		liveCount++
+		indeg[id] = len(g.In(NodeID(id)))
+		if indeg[id] == 0 {
+			queue = append(queue, NodeID(id))
+		}
+	}
+	order := make([]NodeID, 0, liveCount)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		order = append(order, cur)
+		for _, next := range g.Out(cur) {
+			indeg[next]--
+			if indeg[next] == 0 {
+				queue = append(queue, next)
+			}
+		}
+	}
+	if len(order) != liveCount {
+		panic("provgraph: live graph is cyclic")
+	}
+	return order
+}

@@ -1,0 +1,176 @@
+package provgraph
+
+// ZoomRecord remembers what a ZoomOut hid so that ZoomIn can restore it
+// exactly; ZoomIn(ZoomOut(G, M), M) = G (Section 4.1).
+type ZoomRecord struct {
+	// Modules are the module names that were zoomed out.
+	Modules []string
+	// hidden are the intermediate, state and base-tuple nodes removed.
+	hidden []NodeID
+	// zoomNodes are the zoomed-out module invocation nodes installed.
+	zoomNodes []NodeID
+}
+
+// HiddenCount returns the number of nodes the zoom hid.
+func (r *ZoomRecord) HiddenCount() int { return len(r.hidden) }
+
+// ZoomNodes returns the installed zoomed-module nodes.
+func (r *ZoomRecord) ZoomNodes() []NodeID { return append([]NodeID(nil), r.zoomNodes...) }
+
+// IntermediateNodes returns, per Definition 4.1, the nodes that are part of
+// the intermediate computation of some invocation of a module in the given
+// set: nodes reachable from a module-input or state node of such an
+// invocation along a directed path that contains no module-output node.
+func (g *Graph) IntermediateNodes(modules map[string]bool) []NodeID {
+	var starts []NodeID
+	for i := range g.invocations {
+		inv := &g.invocations[i]
+		if !modules[inv.Module] {
+			continue
+		}
+		starts = append(starts, inv.Inputs...)
+		starts = append(starts, inv.States...)
+	}
+	visited := make([]bool, len(g.nodes))
+	queue := make([]NodeID, 0, len(starts))
+	for _, s := range starts {
+		if g.alive[s] && !visited[s] {
+			visited[s] = true
+			queue = append(queue, s)
+		}
+	}
+	var intermediates []NodeID
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range g.out[cur] {
+			if visited[next] || !g.alive[next] {
+				continue
+			}
+			// Condition (2) of Definition 4.1: the path may not contain an
+			// output node (including the endpoint), so output nodes are
+			// neither collected nor traversed through.
+			if g.nodes[next].Type == TypeModuleOutput {
+				continue
+			}
+			visited[next] = true
+			intermediates = append(intermediates, next)
+			queue = append(queue, next)
+		}
+	}
+	return intermediates
+}
+
+// ZoomOut hides all intermediate computations and state of every invocation
+// of the given modules, and installs one zoomed-module p-node per
+// invocation, wired from the invocation's inputs to its outputs. It returns
+// a record that ZoomIn accepts to restore the fine-grained view.
+//
+// Because invocations of the same module may share state, ZoomOut always
+// applies to all invocations of a module, across all executions represented
+// in the graph (Section 4.1).
+func (g *Graph) ZoomOut(modules ...string) *ZoomRecord {
+	modSet := make(map[string]bool, len(modules))
+	for _, m := range modules {
+		modSet[m] = true
+	}
+	rec := &ZoomRecord{Modules: append([]string(nil), modules...)}
+
+	// Steps 1-3: find and remove intermediate computation nodes.
+	for _, id := range g.IntermediateNodes(modSet) {
+		g.kill(id)
+		rec.hidden = append(rec.hidden, id)
+	}
+
+	// Step 4: remove state nodes of the zoomed invocations, plus base
+	// tuple nodes that fed only those state nodes.
+	for i := range g.invocations {
+		inv := &g.invocations[i]
+		if !modSet[inv.Module] {
+			continue
+		}
+		for _, s := range inv.States {
+			if !g.alive[s] {
+				continue
+			}
+			baseCandidates := g.In(s)
+			g.kill(s)
+			rec.hidden = append(rec.hidden, s)
+			for _, b := range baseCandidates {
+				if g.nodes[b].Type != TypeBaseTuple || !g.alive[b] {
+					continue
+				}
+				// Hide the base tuple only when nothing live still
+				// depends on it (state may be shared between modules).
+				if len(g.Out(b)) == 0 {
+					g.kill(b)
+					rec.hidden = append(rec.hidden, b)
+				}
+			}
+		}
+	}
+
+	// Constant-value v-nodes have no in-edges, so Definition 4.1 never
+	// classifies them as intermediate; hide the ones the zoom orphaned so
+	// the coarse view contains no dangling values (the coarse-grained
+	// graph of Figure 2(b) has no v-nodes). Base tuples whose state nodes
+	// never materialized (lazy state, untouched tuples) are likewise
+	// orphans and disappear with their module's state.
+	for id := range g.nodes {
+		n := &g.nodes[id]
+		orphanConst := n.Op == OpConst
+		orphanBase := n.Type == TypeBaseTuple
+		if g.alive[id] && (orphanConst || orphanBase) && len(g.Out(NodeID(id))) == 0 {
+			g.kill(NodeID(id))
+			rec.hidden = append(rec.hidden, NodeID(id))
+		}
+	}
+
+	// Step 5: install a zoomed-module p-node per invocation.
+	for i := range g.invocations {
+		inv := &g.invocations[i]
+		if !modSet[inv.Module] {
+			continue
+		}
+		z := g.AddNode(Node{Class: ClassP, Type: TypeZoom, Label: inv.Module, Inv: inv.ID})
+		rec.zoomNodes = append(rec.zoomNodes, z)
+		for _, in := range inv.Inputs {
+			if g.alive[in] {
+				g.AddEdge(in, z)
+			}
+		}
+		for _, out := range inv.Outputs {
+			if g.alive[out] {
+				g.AddEdge(z, out)
+			}
+		}
+	}
+	return rec
+}
+
+// ZoomIn restores the fine-grained view hidden by the given record: it
+// revives the hidden nodes and removes the zoomed-module nodes.
+func (g *Graph) ZoomIn(rec *ZoomRecord) {
+	for _, id := range rec.zoomNodes {
+		g.kill(id)
+	}
+	for _, id := range rec.hidden {
+		g.revive(id)
+	}
+}
+
+// CoarseGrained returns a zoom record hiding every module's internals:
+// applying ZoomOut to all modules yields exactly the coarse-grained
+// provenance graph of Section 3.1.
+func (g *Graph) CoarseGrained() *ZoomRecord {
+	seen := map[string]bool{}
+	var modules []string
+	for i := range g.invocations {
+		m := g.invocations[i].Module
+		if !seen[m] {
+			seen[m] = true
+			modules = append(modules, m)
+		}
+	}
+	return g.ZoomOut(modules...)
+}

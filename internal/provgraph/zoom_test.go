@@ -1,0 +1,198 @@
+package provgraph
+
+import (
+	"testing"
+)
+
+// TestIntermediateNodes reproduces Example 4.1: N60 and N70 are
+// intermediate computations of the dealer1 invocation; the aggregator's
+// input node is not (every path to it passes through the output N90).
+func TestIntermediateNodes(t *testing.T) {
+	f := buildDealershipFixture()
+	inter := toSet(f.g.IntermediateNodes(map[string]bool{"M_dealer1": true}))
+	for _, want := range []NodeID{f.n50, f.n60, f.n61, f.n70, f.n71, f.n75, f.n80} {
+		if !inter[want] {
+			t.Errorf("node %d should be intermediate for dealer1", want)
+		}
+	}
+	for _, not := range []NodeID{f.n41, f.n90, f.iAgg1, f.n110, f.oAgg, f.n42, f.n01} {
+		if inter[not] {
+			t.Errorf("node %d must not be intermediate for dealer1", not)
+		}
+	}
+}
+
+func TestZoomOutDealer1(t *testing.T) {
+	f := buildDealershipFixture()
+	orig := f.g.Clone()
+	rec := f.g.ZoomOut("M_dealer1")
+
+	// Internals, state nodes and exclusive base tuples are hidden.
+	for _, id := range []NodeID{f.n50, f.n60, f.n61, f.n70, f.n71, f.n75, f.n80, f.n42, f.n43, f.n01, f.n02} {
+		if f.g.Alive(id) {
+			t.Errorf("node %d should be hidden after ZoomOut", id)
+		}
+	}
+	// Module boundary nodes survive.
+	for _, id := range []NodeID{f.n41, f.n90, f.iAgg1, f.n110, f.oAgg} {
+		if !f.g.Alive(id) {
+			t.Errorf("node %d should survive ZoomOut", id)
+		}
+	}
+	// One zoom node wired input -> zoom -> output.
+	zs := rec.ZoomNodes()
+	if len(zs) != 1 {
+		t.Fatalf("zoom nodes = %d, want 1", len(zs))
+	}
+	z := zs[0]
+	if got := f.g.Node(z); got.Type != TypeZoom || got.Label != "M_dealer1" {
+		t.Errorf("zoom node = %+v", got)
+	}
+	if !containsID(f.g.Out(f.n41), z) || !containsID(f.g.Out(z), f.n90) {
+		t.Error("zoom node must connect invocation input to output")
+	}
+	if !f.g.IsAcyclic() {
+		t.Error("zoomed graph must stay acyclic")
+	}
+
+	// ZoomIn restores the original structure exactly.
+	f.g.ZoomIn(rec)
+	if !f.g.StructurallyEqual(orig) {
+		t.Error("ZoomIn(ZoomOut(G,M),M) != G")
+	}
+}
+
+// TestZoomOutAggregateOnly: zooming the aggregator hides its δ and MIN but
+// keeps all of dealer1's internals.
+func TestZoomOutAggregate(t *testing.T) {
+	f := buildDealershipFixture()
+	f.g.ZoomOut("M_agg")
+	if f.g.Alive(f.n110) || f.g.Alive(f.aggMin) {
+		t.Error("aggregator internals should be hidden")
+	}
+	for _, id := range []NodeID{f.n50, f.n60, f.n70, f.n80, f.n90, f.iAgg1, f.oAgg} {
+		if !f.g.Alive(id) {
+			t.Errorf("node %d should survive aggregator zoom", id)
+		}
+	}
+}
+
+// TestCoarseGrained: zooming out every module yields the coarse-grained
+// graph of Section 3.1 — only workflow inputs, invocation, module
+// input/output, and zoom nodes remain.
+func TestCoarseGrained(t *testing.T) {
+	f := buildDealershipFixture()
+	orig := f.g.Clone()
+	rec := f.g.CoarseGrained()
+	f.g.Nodes(func(n Node) bool {
+		switch n.Type {
+		case TypeWorkflowInput, TypeInvocation, TypeModuleInput, TypeModuleOutput, TypeZoom:
+			return true
+		default:
+			t.Errorf("coarse graph contains %s node %d (%s)", n.Type, n.ID, n.Label)
+			return true
+		}
+	})
+	// Four invocations -> four zoom nodes.
+	if len(rec.ZoomNodes()) != 4 {
+		t.Errorf("zoom nodes = %d, want 4", len(rec.ZoomNodes()))
+	}
+	// Output still depends on the input through the coarse graph.
+	anc := toSet(f.g.Ancestors(f.oAgg))
+	if !anc[f.n00] {
+		t.Error("coarse graph must preserve input->output reachability")
+	}
+	f.g.ZoomIn(rec)
+	if !f.g.StructurallyEqual(orig) {
+		t.Error("ZoomIn must undo CoarseGrained")
+	}
+}
+
+// TestZoomTwoModulesIndependent: zooming two modules then restoring them in
+// reverse order restores the original graph.
+func TestZoomNesting(t *testing.T) {
+	f := buildDealershipFixture()
+	orig := f.g.Clone()
+	rec1 := f.g.ZoomOut("M_dealer1")
+	rec2 := f.g.ZoomOut("M_agg")
+	if f.g.Alive(f.n60) || f.g.Alive(f.n110) {
+		t.Error("both modules should be zoomed out")
+	}
+	f.g.ZoomIn(rec2)
+	if !f.g.Alive(f.n110) {
+		t.Error("aggregator should be restored")
+	}
+	if f.g.Alive(f.n60) {
+		t.Error("dealer1 should remain zoomed")
+	}
+	f.g.ZoomIn(rec1)
+	if !f.g.StructurallyEqual(orig) {
+		t.Error("nested zooms did not restore the original graph")
+	}
+}
+
+// TestZoomOutSharedState: a base tuple feeding state of two different
+// modules must survive when only one of them is zoomed out.
+func TestZoomOutSharedState(t *testing.T) {
+	b := NewBuilder()
+	in := b.WorkflowInput("I")
+	base := b.BaseTuple("shared")
+	invA := b.BeginInvocation("A", "a", 0)
+	iA := b.ModuleInput(invA, in)
+	sA := b.StateTuple(invA, base)
+	joinA := b.Join(iA, sA)
+	oA := b.ModuleOutput(invA, joinA)
+	invB := b.BeginInvocation("B", "b", 0)
+	iB := b.ModuleInput(invB, oA)
+	sB := b.StateTuple(invB, base)
+	joinB := b.Join(iB, sB)
+	b.ModuleOutput(invB, joinB)
+
+	g := b.G
+	g.ZoomOut("A")
+	if !g.Alive(base) {
+		t.Error("shared base tuple must survive zooming out only module A")
+	}
+	if !g.Alive(sB) {
+		t.Error("B's state node must survive")
+	}
+	if g.Alive(sA) || g.Alive(joinA) {
+		t.Error("A's state node and internals must be hidden")
+	}
+}
+
+// TestSubgraphQuery checks the subgraph query on the fixture: the subgraph
+// of car C2 contains its descendants plus the sibling join of C3.
+func TestSubgraphQuery(t *testing.T) {
+	f := buildDealershipFixture()
+	sub := f.g.Subgraph(f.n01)
+	if !sub.Contains(f.n01) {
+		t.Error("subgraph must contain its root")
+	}
+	for _, want := range []NodeID{f.n42, f.n60, f.n71, f.n70, f.n90, f.oAgg} {
+		if !sub.Contains(want) {
+			t.Errorf("subgraph of C2 should contain descendant %d", want)
+		}
+	}
+	// n61 is a sibling of descendant n60 (both derived from n50).
+	if !sub.Contains(f.n61) {
+		t.Error("subgraph should contain sibling join of C3")
+	}
+	if sub.Size() != len(sub.Nodes) {
+		t.Error("size mismatch")
+	}
+	// A pure sink's subgraph is its ancestors only (plus itself).
+	sub2 := f.g.Subgraph(f.oAgg)
+	if sub2.Contains(f.oD2) != true {
+		t.Error("subgraph of final output should include all contributing bids")
+	}
+}
+
+func containsID(ids []NodeID, want NodeID) bool {
+	for _, id := range ids {
+		if id == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,217 @@
+package semiring
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// AggOp identifies an aggregation operation. The paper's Pig Latin fragment
+// uses SUM, COUNT, MIN, MAX (Section 2.1); AVG is included as the natural
+// SUM/COUNT composite.
+type AggOp uint8
+
+const (
+	// AggSum sums the aggregated values.
+	AggSum AggOp = iota
+	// AggCount counts the contributing tuples.
+	AggCount
+	// AggMin takes the minimum value.
+	AggMin
+	// AggMax takes the maximum value.
+	AggMax
+	// AggAvg averages the values (SUM/COUNT).
+	AggAvg
+)
+
+// String returns the Pig Latin name of the operation.
+func (op AggOp) String() string {
+	switch op {
+	case AggSum:
+		return "SUM"
+	case AggCount:
+		return "COUNT"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggAvg:
+		return "AVG"
+	default:
+		return fmt.Sprintf("AGG(%d)", uint8(op))
+	}
+}
+
+// ParseAggOp maps a (case-insensitive) name to an AggOp.
+func ParseAggOp(name string) (AggOp, bool) {
+	switch strings.ToUpper(name) {
+	case "SUM":
+		return AggSum, true
+	case "COUNT":
+		return AggCount, true
+	case "MIN":
+		return AggMin, true
+	case "MAX":
+		return AggMax, true
+	case "AVG":
+		return AggAvg, true
+	default:
+		return 0, false
+	}
+}
+
+// Tensor is one summand t ⊗ v of an aggregated value: the provenance t of a
+// contributing tuple paired with the value v it contributes (Section 2.3:
+// "we can think of ⊗ as an operation that pairs values with provenance
+// annotations").
+type Tensor struct {
+	Prov  Expr
+	Value float64
+}
+
+// String renders "prov⊗value".
+func (t Tensor) String() string {
+	return fmt.Sprintf("%s⊗%g", t.Prov.String(), t.Value)
+}
+
+// AggValue is a formal sum Σᵢ tᵢ ⊗ vᵢ: the provenance-aware aggregated
+// value. Unlike plain annotations, it carries provenance *inside the data*.
+type AggValue struct {
+	Op    AggOp
+	Terms []Tensor
+}
+
+// NewAggValue builds an aggregate value from terms.
+func NewAggValue(op AggOp, terms ...Tensor) AggValue {
+	return AggValue{Op: op, Terms: terms}
+}
+
+// String renders e.g. "SUM(t1⊗5 + t2⊗3)".
+func (a AggValue) String() string {
+	parts := make([]string, len(a.Terms))
+	for i, t := range a.Terms {
+		parts[i] = t.String()
+	}
+	return a.Op.String() + "(" + strings.Join(parts, " + ") + ")"
+}
+
+// Normalize merges tensor terms whose provenance has the same canonical
+// polynomial, using the semimodule law k₁⊗v + k₂⊗v = (k₁+k₂)⊗v read in the
+// opposite direction for values: t⊗v₁ + t⊗v₂ = t⊗(v₁ *op* v₂), which holds
+// for the monoid of the aggregation operation.
+func (a AggValue) Normalize() AggValue {
+	if a.Op == AggAvg {
+		// AVG is the SUM/COUNT composite and has no single value monoid:
+		// merging t⊗v₁ + t⊗v₂ into one term would change the divisor.
+		return AggValue{Op: a.Op, Terms: append([]Tensor(nil), a.Terms...)}
+	}
+	type slot struct {
+		prov Expr
+		val  float64
+		n    int
+	}
+	order := []string{}
+	merged := map[string]*slot{}
+	for _, t := range a.Terms {
+		key := ToPolynomial(t.Prov).String()
+		if s, ok := merged[key]; ok {
+			s.val = a.combine(s.val, t.Value)
+			s.n++
+		} else {
+			merged[key] = &slot{prov: t.Prov, val: t.Value, n: 1}
+			order = append(order, key)
+		}
+	}
+	sort.Strings(order)
+	out := make([]Tensor, 0, len(merged))
+	for _, k := range order {
+		s := merged[k]
+		out = append(out, Tensor{Prov: s.prov, Value: s.val})
+	}
+	return AggValue{Op: a.Op, Terms: out}
+}
+
+// combine applies the operation's value monoid.
+func (a AggValue) combine(x, y float64) float64 {
+	switch a.Op {
+	case AggSum, AggCount, AggAvg:
+		return x + y
+	case AggMin:
+		return math.Min(x, y)
+	case AggMax:
+		return math.Max(x, y)
+	default:
+		return x + y
+	}
+}
+
+// identity returns the neutral element of the operation's value monoid.
+func (a AggValue) identity() float64 {
+	switch a.Op {
+	case AggMin:
+		return math.Inf(1)
+	case AggMax:
+		return math.Inf(-1)
+	default:
+		return 0
+	}
+}
+
+// Eval computes the concrete aggregate under a multiplicity assignment of
+// tokens (bag semantics): each tensor term t ⊗ v contributes v with the
+// multiplicity denoted by t. Terms whose provenance evaluates to zero
+// multiplicity vanish — exactly the "what-if" reading used by deletion
+// propagation. The boolean result reports whether any term survived
+// (relevant for MIN/MAX/AVG over an empty group).
+func (a AggValue) Eval(mult Assignment[int]) (float64, bool) {
+	acc := a.identity()
+	count := 0
+	sum := 0.0
+	any := false
+	for _, t := range a.Terms {
+		m := Eval[int](t.Prov, Counting{}, mult)
+		if m <= 0 {
+			continue
+		}
+		any = true
+		switch a.Op {
+		case AggSum:
+			acc += float64(m) * t.Value
+		case AggCount:
+			// COUNT tensors carry value 1 per contributing tuple; carrying
+			// the value keeps Normalize's term merging exact.
+			acc += float64(m) * t.Value
+		case AggMin:
+			acc = math.Min(acc, t.Value)
+		case AggMax:
+			acc = math.Max(acc, t.Value)
+		case AggAvg:
+			sum += float64(m) * t.Value
+			count += m
+		}
+	}
+	if a.Op == AggAvg {
+		if count == 0 {
+			return 0, false
+		}
+		return sum / float64(count), true
+	}
+	return acc, any
+}
+
+// EvalAll evaluates with every token present once.
+func (a AggValue) EvalAll() (float64, bool) {
+	return a.Eval(func(Token) int { return 1 })
+}
+
+// EvalWithout evaluates the aggregate as if the given tokens were deleted;
+// this realizes Example 4.3's recomputation of COUNT after a deletion.
+func (a AggValue) EvalWithout(deleted map[Token]bool) (float64, bool) {
+	return a.Eval(func(t Token) int {
+		if deleted[t] {
+			return 0
+		}
+		return 1
+	})
+}

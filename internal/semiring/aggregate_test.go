@@ -1,0 +1,197 @@
+package semiring
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAggOpString(t *testing.T) {
+	names := map[AggOp]string{AggSum: "SUM", AggCount: "COUNT", AggMin: "MIN", AggMax: "MAX", AggAvg: "AVG"}
+	for op, want := range names {
+		if op.String() != want {
+			t.Errorf("%v.String() = %q", op, op.String())
+		}
+		parsed, ok := ParseAggOp(want)
+		if !ok || parsed != op {
+			t.Errorf("ParseAggOp(%q) = %v, %v", want, parsed, ok)
+		}
+	}
+	if _, ok := ParseAggOp("median"); ok {
+		t.Error("unknown op parsed")
+	}
+	if AggOp(99).String() != "AGG(99)" {
+		t.Error("unknown op string")
+	}
+	if _, ok := ParseAggOp("count"); !ok {
+		t.Error("ParseAggOp should be case-insensitive")
+	}
+}
+
+func TestAggValueString(t *testing.T) {
+	a := NewAggValue(AggSum, Tensor{Prov: T("t1"), Value: 5}, Tensor{Prov: T("t2"), Value: 3})
+	if a.String() != "SUM(t1⊗5 + t2⊗3)" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestAggSumEval(t *testing.T) {
+	a := NewAggValue(AggSum,
+		Tensor{Prov: T("t1"), Value: 5},
+		Tensor{Prov: T("t2"), Value: 3},
+		Tensor{Prov: Mul(T("t1"), T("t2")), Value: 2},
+	)
+	v, ok := a.EvalAll()
+	if !ok || v != 10 {
+		t.Errorf("EvalAll = %v, %v", v, ok)
+	}
+	v, ok = a.EvalWithout(map[Token]bool{"t2": true})
+	if !ok || v != 5 {
+		t.Errorf("EvalWithout(t2) = %v, %v; joint term should vanish", v, ok)
+	}
+	v, ok = a.EvalWithout(map[Token]bool{"t1": true, "t2": true})
+	if ok || v != 0 {
+		t.Errorf("sum over nothing = %v, %v (want 0 with ok=false: no term survived)", v, ok)
+	}
+}
+
+func TestAggCountRespectsMultiplicity(t *testing.T) {
+	a := NewAggValue(AggCount, Tensor{Prov: T("x"), Value: 1}, Tensor{Prov: T("y"), Value: 1})
+	v, _ := a.Eval(func(tk Token) int {
+		if tk == "x" {
+			return 3
+		}
+		return 1
+	})
+	if v != 4 {
+		t.Errorf("COUNT with multiplicities = %v, want 4", v)
+	}
+}
+
+func TestAggMinMaxDeletion(t *testing.T) {
+	// This is Example 4.3 in spirit: MIN over bids; delete the minimal one.
+	a := NewAggValue(AggMin,
+		Tensor{Prov: T("bid1"), Value: 18000},
+		Tensor{Prov: T("bid2"), Value: 20000},
+	)
+	v, ok := a.EvalAll()
+	if !ok || v != 18000 {
+		t.Errorf("min = %v", v)
+	}
+	v, ok = a.EvalWithout(map[Token]bool{"bid1": true})
+	if !ok || v != 20000 {
+		t.Errorf("min after deleting bid1 = %v, want 20000", v)
+	}
+	if _, ok = a.EvalWithout(map[Token]bool{"bid1": true, "bid2": true}); ok {
+		t.Error("MIN over empty set should report not-ok")
+	}
+	mx := NewAggValue(AggMax, a.Terms...)
+	v, _ = mx.EvalAll()
+	if v != 20000 {
+		t.Errorf("max = %v", v)
+	}
+}
+
+func TestAggAvg(t *testing.T) {
+	a := NewAggValue(AggAvg,
+		Tensor{Prov: T("x"), Value: 10},
+		Tensor{Prov: T("y"), Value: 20},
+	)
+	v, ok := a.EvalAll()
+	if !ok || v != 15 {
+		t.Errorf("avg = %v, %v", v, ok)
+	}
+	if _, ok := a.EvalWithout(map[Token]bool{"x": true, "y": true}); ok {
+		t.Error("AVG over empty group should report not-ok")
+	}
+}
+
+func TestNormalizeMergesEqualProvenance(t *testing.T) {
+	a := NewAggValue(AggSum,
+		Tensor{Prov: T("t"), Value: 5},
+		Tensor{Prov: Mul(T("t"), One{}), Value: 3}, // same canonical provenance
+		Tensor{Prov: T("u"), Value: 1},
+	)
+	n := a.Normalize()
+	if len(n.Terms) != 2 {
+		t.Fatalf("Normalize terms = %d, want 2 (%v)", len(n.Terms), n)
+	}
+	v, _ := n.EvalAll()
+	want, _ := a.EvalAll()
+	if v != want {
+		t.Errorf("Normalize changed value: %v vs %v", v, want)
+	}
+}
+
+func TestNormalizeMinUsesMinMonoid(t *testing.T) {
+	a := NewAggValue(AggMin,
+		Tensor{Prov: T("t"), Value: 7},
+		Tensor{Prov: T("t"), Value: 3},
+	)
+	n := a.Normalize()
+	if len(n.Terms) != 1 || n.Terms[0].Value != 3 {
+		t.Errorf("Normalize(MIN) = %v", n)
+	}
+}
+
+// Property: Normalize preserves Eval under every deletion pattern.
+func TestNormalizePreservesEval(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ops := []AggOp{AggSum, AggCount, AggMin, AggMax, AggAvg}
+		op := ops[r.Intn(len(ops))]
+		terms := make([]Tensor, 1+r.Intn(5))
+		for i := range terms {
+			terms[i] = Tensor{Prov: genExpr(r, 1), Value: float64(r.Intn(10))}
+		}
+		a := NewAggValue(op, terms...)
+		n := a.Normalize()
+		for trial := 0; trial < 8; trial++ {
+			deleted := map[Token]bool{}
+			for _, tok := range []Token{"a", "b", "c", "d"} {
+				if r.Intn(2) == 0 {
+					deleted[tok] = true
+				}
+			}
+			v1, ok1 := a.EvalWithout(deleted)
+			v2, ok2 := n.EvalWithout(deleted)
+			if ok1 != ok2 {
+				return false
+			}
+			if ok1 && math.Abs(v1-v2) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: deleting a token can only remove contributions from SUM/COUNT
+// (monotone decrease) when all values are non-negative.
+func TestDeletionMonotoneForSum(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		terms := make([]Tensor, 1+r.Intn(5))
+		for i := range terms {
+			terms[i] = Tensor{Prov: genExpr(r, 1), Value: float64(r.Intn(10))}
+		}
+		a := NewAggValue(AggSum, terms...)
+		all, _ := a.EvalAll()
+		del, _ := a.EvalWithout(map[Token]bool{"a": true})
+		return del <= all+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTensorString(t *testing.T) {
+	ts := Tensor{Prov: Mul(T("a"), T("b")), Value: 2.5}
+	if ts.String() != "a·b⊗2.5" {
+		t.Errorf("Tensor string = %q", ts.String())
+	}
+}

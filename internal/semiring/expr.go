@@ -1,0 +1,239 @@
+// Package semiring implements the provenance semiring framework that
+// underlies Lipstick's fine-grained provenance (Section 2.3 of the paper):
+// provenance expressions over a token set X interpreted in the commutative
+// semiring N[X] of multivariate polynomials, extended with the duplicate
+// elimination operation δ and, for aggregate queries, with tensor values
+// t ⊗ v living in a semimodule (Amsterdamer, Deutch, Tannen; PODS 2011).
+//
+// Expressions can be evaluated under any Semiring via a token assignment,
+// which yields the classic specializations: polynomial provenance,
+// multiplicity counting (bag semantics), boolean trust, Why(X) lineage, and
+// tropical cost. Deletion propagation corresponds to mapping deleted tokens
+// to Zero and checking whether the result vanishes; the graph-based deletion
+// of package provgraph is differentially tested against this semantics.
+package semiring
+
+import (
+	"sort"
+	"strings"
+)
+
+// Token is an atomic provenance annotation, e.g. a tuple identifier.
+type Token string
+
+// Expr is a provenance expression: a token, 0, 1, a sum, a product, or a
+// duplicate-elimination δ application.
+type Expr interface {
+	isExpr()
+	// String renders the expression with +, ·, δ in infix form.
+	String() string
+}
+
+// Zero is the annotation of absent data.
+type Zero struct{}
+
+// One is the annotation of data whose provenance is not tracked
+// (always-available data).
+type One struct{}
+
+// Tok is a token leaf.
+type Tok struct{ Token Token }
+
+// Sum is alternative derivation (n-ary +).
+type Sum struct{ Args []Expr }
+
+// Prod is joint derivation (n-ary ·).
+type Prod struct{ Args []Expr }
+
+// Delta is duplicate elimination applied to its argument.
+type Delta struct{ Arg Expr }
+
+func (Zero) isExpr()  {}
+func (One) isExpr()   {}
+func (Tok) isExpr()   {}
+func (Sum) isExpr()   {}
+func (Prod) isExpr()  {}
+func (Delta) isExpr() {}
+
+// String implements fmt.Stringer.
+func (Zero) String() string { return "0" }
+
+// String implements fmt.Stringer.
+func (One) String() string { return "1" }
+
+// String implements fmt.Stringer.
+func (t Tok) String() string { return string(t.Token) }
+
+// String implements fmt.Stringer.
+func (s Sum) String() string { return joinArgs(s.Args, " + ", "0") }
+
+// String implements fmt.Stringer.
+func (p Prod) String() string { return joinArgs(p.Args, "·", "1") }
+
+// String implements fmt.Stringer.
+func (d Delta) String() string { return "δ(" + d.Arg.String() + ")" }
+
+func joinArgs(args []Expr, sep, empty string) string {
+	if len(args) == 0 {
+		return empty
+	}
+	parts := make([]string, len(args))
+	for i, a := range args {
+		s := a.String()
+		if needsParens(a, sep) {
+			s = "(" + s + ")"
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, sep)
+}
+
+func needsParens(e Expr, sep string) bool {
+	if sep != "·" {
+		return false
+	}
+	switch e.(type) {
+	case Sum:
+		return true
+	default:
+		return false
+	}
+}
+
+// T returns a token expression.
+func T(name string) Expr { return Tok{Token: Token(name)} }
+
+// Add returns the sum of the given expressions, flattening nested sums and
+// dropping zeros. An empty sum is Zero.
+func Add(args ...Expr) Expr {
+	flat := make([]Expr, 0, len(args))
+	for _, a := range args {
+		switch v := a.(type) {
+		case Zero:
+			// drop
+		case Sum:
+			flat = append(flat, v.Args...)
+		default:
+			flat = append(flat, a)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return Zero{}
+	case 1:
+		return flat[0]
+	default:
+		return Sum{Args: flat}
+	}
+}
+
+// Mul returns the product of the given expressions, flattening nested
+// products, dropping ones, and collapsing to Zero if any factor is Zero.
+// An empty product is One.
+func Mul(args ...Expr) Expr {
+	flat := make([]Expr, 0, len(args))
+	for _, a := range args {
+		switch v := a.(type) {
+		case Zero:
+			return Zero{}
+		case One:
+			// drop
+		case Prod:
+			flat = append(flat, v.Args...)
+		default:
+			flat = append(flat, a)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return One{}
+	case 1:
+		return flat[0]
+	default:
+		return Prod{Args: flat}
+	}
+}
+
+// Dedup wraps an expression in δ; δ(0) = 0 and δ(δ(x)) = δ(x).
+func Dedup(arg Expr) Expr {
+	switch arg.(type) {
+	case Zero:
+		return Zero{}
+	case Delta:
+		return arg
+	}
+	return Delta{Arg: arg}
+}
+
+// Tokens returns the sorted set of distinct tokens occurring in e.
+func Tokens(e Expr) []Token {
+	set := map[Token]bool{}
+	collectTokens(e, set)
+	out := make([]Token, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func collectTokens(e Expr, set map[Token]bool) {
+	switch v := e.(type) {
+	case Tok:
+		set[v.Token] = true
+	case Sum:
+		for _, a := range v.Args {
+			collectTokens(a, set)
+		}
+	case Prod:
+		for _, a := range v.Args {
+			collectTokens(a, set)
+		}
+	case Delta:
+		collectTokens(v.Arg, set)
+	}
+}
+
+// Semiring is a commutative semiring with a duplicate-elimination
+// operation δ, the structure in which provenance expressions are
+// interpreted.
+type Semiring[K any] interface {
+	Zero() K
+	One() K
+	Add(a, b K) K
+	Mul(a, b K) K
+	// Delta is the duplicate elimination operation; for semirings without a
+	// meaningful δ it is the identity.
+	Delta(a K) K
+}
+
+// Assignment maps tokens to semiring elements.
+type Assignment[K any] func(Token) K
+
+// Eval interprets e in the given semiring under the assignment.
+func Eval[K any](e Expr, r Semiring[K], v Assignment[K]) K {
+	switch x := e.(type) {
+	case Zero:
+		return r.Zero()
+	case One:
+		return r.One()
+	case Tok:
+		return v(x.Token)
+	case Sum:
+		acc := r.Zero()
+		for _, a := range x.Args {
+			acc = r.Add(acc, Eval(a, r, v))
+		}
+		return acc
+	case Prod:
+		acc := r.One()
+		for _, a := range x.Args {
+			acc = r.Mul(acc, Eval(a, r, v))
+		}
+		return acc
+	case Delta:
+		return r.Delta(Eval(x.Arg, r, v))
+	default:
+		return r.Zero()
+	}
+}

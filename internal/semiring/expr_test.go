@@ -1,0 +1,321 @@
+package semiring
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestExprString(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{Zero{}, "0"},
+		{One{}, "1"},
+		{T("x"), "x"},
+		{Add(T("x"), T("y")), "x + y"},
+		{Mul(T("x"), T("y")), "x·y"},
+		{Mul(Add(T("x"), T("y")), T("z")), "(x + y)·z"},
+		{Dedup(Add(T("x"), T("y"))), "δ(x + y)"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestSmartConstructors(t *testing.T) {
+	if _, ok := Add().(Zero); !ok {
+		t.Error("empty Add should be Zero")
+	}
+	if _, ok := Mul().(One); !ok {
+		t.Error("empty Mul should be One")
+	}
+	if Add(Zero{}, T("x")).String() != "x" {
+		t.Error("Add should drop zeros")
+	}
+	if Mul(One{}, T("x")).String() != "x" {
+		t.Error("Mul should drop ones")
+	}
+	if _, ok := Mul(T("x"), Zero{}).(Zero); !ok {
+		t.Error("Mul with Zero should collapse")
+	}
+	if Add(Add(T("x"), T("y")), T("z")).String() != "x + y + z" {
+		t.Error("Add should flatten")
+	}
+	if Mul(Mul(T("x"), T("y")), T("z")).String() != "x·y·z" {
+		t.Error("Mul should flatten")
+	}
+	if _, ok := Dedup(Zero{}).(Zero); !ok {
+		t.Error("Dedup(0) should be 0")
+	}
+	if Dedup(Dedup(T("x"))).String() != "δ(x)" {
+		t.Error("Dedup should be idempotent on construction")
+	}
+}
+
+func TestTokens(t *testing.T) {
+	e := Mul(Add(T("b"), T("a")), Dedup(T("c")), T("a"))
+	got := Tokens(e)
+	want := []Token{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokens = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Tokens[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// genExpr builds a random expression over tokens x0..x3 with bounded depth.
+func genExpr(r *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return Zero{}
+		case 1:
+			return One{}
+		default:
+			return T(string(rune('a' + r.Intn(4))))
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return T(string(rune('a' + r.Intn(4))))
+	case 1, 2:
+		n := 1 + r.Intn(3)
+		args := make([]Expr, n)
+		for i := range args {
+			args[i] = genExpr(r, depth-1)
+		}
+		return Add(args...)
+	case 3, 4:
+		n := 1 + r.Intn(3)
+		args := make([]Expr, n)
+		for i := range args {
+			args[i] = genExpr(r, depth-1)
+		}
+		return Mul(args...)
+	default:
+		return Dedup(genExpr(r, depth-1))
+	}
+}
+
+type exprBox struct{ e Expr }
+
+func (exprBox) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(exprBox{genExpr(r, 3)})
+}
+
+// checkLaws verifies the commutative-semiring axioms for a given semiring
+// under random element generation.
+func checkSemiringLaws[K any](t *testing.T, name string, ring Semiring[K], gen func(*rand.Rand) K, equal func(a, b K) bool) {
+	t.Helper()
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a, b, c := gen(r), gen(r), gen(r)
+		if !equal(ring.Add(a, b), ring.Add(b, a)) {
+			t.Fatalf("%s: + not commutative", name)
+		}
+		if !equal(ring.Mul(a, b), ring.Mul(b, a)) {
+			t.Fatalf("%s: · not commutative", name)
+		}
+		if !equal(ring.Add(ring.Add(a, b), c), ring.Add(a, ring.Add(b, c))) {
+			t.Fatalf("%s: + not associative", name)
+		}
+		if !equal(ring.Mul(ring.Mul(a, b), c), ring.Mul(a, ring.Mul(b, c))) {
+			t.Fatalf("%s: · not associative", name)
+		}
+		if !equal(ring.Add(a, ring.Zero()), a) {
+			t.Fatalf("%s: 0 not additive identity", name)
+		}
+		if !equal(ring.Mul(a, ring.One()), a) {
+			t.Fatalf("%s: 1 not multiplicative identity", name)
+		}
+		if !equal(ring.Mul(a, ring.Zero()), ring.Zero()) {
+			t.Fatalf("%s: 0 not absorbing", name)
+		}
+		if !equal(ring.Mul(a, ring.Add(b, c)), ring.Add(ring.Mul(a, b), ring.Mul(a, c))) {
+			t.Fatalf("%s: · does not distribute over +", name)
+		}
+	}
+}
+
+func TestCountingLaws(t *testing.T) {
+	checkSemiringLaws[int](t, "counting", Counting{},
+		func(r *rand.Rand) int { return r.Intn(5) },
+		func(a, b int) bool { return a == b })
+}
+
+func TestBooleanLaws(t *testing.T) {
+	checkSemiringLaws[bool](t, "boolean", Boolean{},
+		func(r *rand.Rand) bool { return r.Intn(2) == 0 },
+		func(a, b bool) bool { return a == b })
+}
+
+func TestWhyLaws(t *testing.T) {
+	gen := func(r *rand.Rand) TokenSet {
+		if r.Intn(5) == 0 {
+			return nil
+		}
+		s := TokenSet{}
+		for i, n := 0, r.Intn(3); i < n; i++ {
+			s[Token(string(rune('a'+r.Intn(4))))] = true
+		}
+		return s
+	}
+	checkSemiringLaws[TokenSet](t, "why", Why{}, gen, func(a, b TokenSet) bool { return a.Equal(b) })
+}
+
+func TestTropicalLaws(t *testing.T) {
+	gen := func(r *rand.Rand) int64 {
+		if r.Intn(5) == 0 {
+			return TropInf
+		}
+		return int64(r.Intn(10))
+	}
+	checkSemiringLaws[int64](t, "tropical", Tropical{}, gen, func(a, b int64) bool { return a == b })
+}
+
+func TestPolyRingLaws(t *testing.T) {
+	var ring PolyRing
+	gen := func(r *rand.Rand) Polynomial { return ToPolynomial(genExpr(r, 2)) }
+	checkSemiringLaws[Polynomial](t, "poly", ring, gen, func(a, b Polynomial) bool { return a.Equal(b) })
+}
+
+// TestEvalIsHomomorphism checks that evaluation commutes with the smart
+// constructors: Eval(Add(a,b)) == ring.Add(Eval(a), Eval(b)) etc., for the
+// counting semiring under random assignments.
+func TestEvalIsHomomorphism(t *testing.T) {
+	f := func(a, b exprBox, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		assign := map[Token]int{}
+		lookup := func(tk Token) int {
+			if v, ok := assign[tk]; ok {
+				return v
+			}
+			v := r.Intn(3)
+			assign[tk] = v
+			return v
+		}
+		ring := Counting{}
+		lhsAdd := Eval[int](Add(a.e, b.e), ring, lookup)
+		rhsAdd := ring.Add(Eval[int](a.e, ring, lookup), Eval[int](b.e, ring, lookup))
+		if lhsAdd != rhsAdd {
+			return false
+		}
+		lhsMul := Eval[int](Mul(a.e, b.e), ring, lookup)
+		rhsMul := ring.Mul(Eval[int](a.e, ring, lookup), Eval[int](b.e, ring, lookup))
+		return lhsMul == rhsMul
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPolynomialFactorization checks the classic provenance identity
+// (x+y)·z ≡ x·z + y·z as canonical polynomials.
+func TestPolynomialFactorization(t *testing.T) {
+	lhs := Mul(Add(T("x"), T("y")), T("z"))
+	rhs := Add(Mul(T("x"), T("z")), Mul(T("y"), T("z")))
+	if !Equivalent(lhs, rhs) {
+		t.Errorf("(x+y)·z should equal x·z + y·z; got %s vs %s",
+			ToPolynomial(lhs), ToPolynomial(rhs))
+	}
+	if Equivalent(lhs, Add(lhs, T("x"))) {
+		t.Error("distinct polynomials reported equivalent")
+	}
+}
+
+func TestPolynomialString(t *testing.T) {
+	p := ToPolynomial(Add(Mul(T("x"), T("x"), T("y")), Mul(T("x"), T("x"), T("y")), One{}))
+	if got := p.String(); got != "1 + 2·x^2·y" {
+		t.Errorf("String = %q", got)
+	}
+	if ToPolynomial(Zero{}).String() != "0" {
+		t.Error("zero poly should print 0")
+	}
+}
+
+func TestPolynomialDeltaAtomicity(t *testing.T) {
+	// δ(x+y) must be atomic: δ(x+y)·δ(x+y) has the atom squared, and
+	// δ(x)+δ(y) differs from δ(x+y).
+	d := Dedup(Add(T("x"), T("y")))
+	if Equivalent(d, Add(Dedup(T("x")), Dedup(T("y")))) {
+		t.Error("δ(x+y) should differ from δ(x)+δ(y)")
+	}
+	if !Equivalent(d, Dedup(Add(T("y"), T("x")))) {
+		t.Error("δ should be invariant under argument reordering")
+	}
+	sq := Mul(d, d)
+	if ToPolynomial(sq).NumTerms() != 1 {
+		t.Error("δ(x+y)² should be a single monomial")
+	}
+}
+
+// TestEvalEquivalentExprsAgree: equivalent expressions evaluate equally in
+// any semiring; spot-check counting and boolean under random assignments.
+func TestEvalEquivalentExprsAgree(t *testing.T) {
+	f := func(a exprBox, seed int64) bool {
+		// Build an equivalent expression by re-associating: (a)·1 + 0.
+		b := Add(Mul(a.e, One{}), Zero{})
+		r := rand.New(rand.NewSource(seed))
+		assign := map[Token]int{}
+		lookup := func(tk Token) int {
+			if v, ok := assign[tk]; ok {
+				return v
+			}
+			v := r.Intn(3)
+			assign[tk] = v
+			return v
+		}
+		if Eval[int](a.e, Counting{}, lookup) != Eval[int](b, Counting{}, lookup) {
+			return false
+		}
+		boolLookup := func(tk Token) bool { return assign[tk] > 0 }
+		return Eval[bool](a.e, Boolean{}, boolLookup) == Eval[bool](b, Boolean{}, boolLookup)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeletionSurvives(t *testing.T) {
+	// bid = request · (car2 + car3): survives deleting car2, dies when both
+	// cars or the request are deleted.
+	bid := Mul(T("req"), Add(T("car2"), T("car3")))
+	if !DeletionSurvives(bid, map[Token]bool{"car2": true}) {
+		t.Error("bid should survive deleting car2")
+	}
+	if DeletionSurvives(bid, map[Token]bool{"car2": true, "car3": true}) {
+		t.Error("bid should die when both cars deleted")
+	}
+	if DeletionSurvives(bid, map[Token]bool{"req": true}) {
+		t.Error("bid should die when request deleted")
+	}
+}
+
+func TestWhySemantics(t *testing.T) {
+	e := Mul(T("a"), Add(T("b"), T("c")))
+	why := Eval[TokenSet](e, Why{}, func(tk Token) TokenSet { return TokenSet{tk: true} })
+	if !why.Equal(TokenSet{"a": true, "b": true, "c": true}) {
+		t.Errorf("Why = %v", why)
+	}
+	if why.String() != "{a,b,c}" {
+		t.Errorf("Why string = %q", why.String())
+	}
+}
+
+func TestTropicalSemantics(t *testing.T) {
+	// Cost of cheapest derivation: a·b costs cost(a)+cost(b); a+b is min.
+	e := Add(Mul(T("a"), T("b")), T("c"))
+	costs := map[Token]int64{"a": 3, "b": 4, "c": 10}
+	got := Eval[int64](e, Tropical{}, func(tk Token) int64 { return costs[tk] })
+	if got != 7 {
+		t.Errorf("tropical eval = %d, want 7", got)
+	}
+}

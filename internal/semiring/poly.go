@@ -1,0 +1,192 @@
+package semiring
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Polynomial is the canonical form of an N[X] provenance polynomial:
+// a finite map from monomials (multisets of atoms) to natural coefficients.
+// δ-applications are treated as atomic indeterminates over the canonical
+// form of their argument, which makes polynomial equality a sound and
+// usable equivalence for δ-expressions as well.
+type Polynomial struct {
+	// terms maps the canonical monomial key to its term.
+	terms map[string]polyTerm
+}
+
+type polyTerm struct {
+	coeff int
+	// atoms maps atom name to its exponent.
+	atoms map[string]int
+}
+
+// PolyRing interprets expressions as canonical polynomials; it implements
+// Semiring[Polynomial]. Delta produces an atomic δ-indeterminate.
+type PolyRing struct{}
+
+// Zero implements Semiring.
+func (PolyRing) Zero() Polynomial { return Polynomial{} }
+
+// One implements Semiring.
+func (PolyRing) One() Polynomial {
+	return Polynomial{terms: map[string]polyTerm{"": {coeff: 1, atoms: map[string]int{}}}}
+}
+
+// Var returns the polynomial consisting of a single atom.
+func (PolyRing) Var(name string) Polynomial {
+	atoms := map[string]int{name: 1}
+	return Polynomial{terms: map[string]polyTerm{monomialKey(atoms): {coeff: 1, atoms: atoms}}}
+}
+
+// Add implements Semiring.
+func (PolyRing) Add(a, b Polynomial) Polynomial {
+	out := make(map[string]polyTerm, len(a.terms)+len(b.terms))
+	for k, t := range a.terms {
+		out[k] = polyTerm{coeff: t.coeff, atoms: cloneAtoms(t.atoms)}
+	}
+	for k, t := range b.terms {
+		if prev, ok := out[k]; ok {
+			prev.coeff += t.coeff
+			out[k] = prev
+		} else {
+			out[k] = polyTerm{coeff: t.coeff, atoms: cloneAtoms(t.atoms)}
+		}
+	}
+	return Polynomial{terms: out}
+}
+
+// Mul implements Semiring.
+func (PolyRing) Mul(a, b Polynomial) Polynomial {
+	if len(a.terms) == 0 || len(b.terms) == 0 {
+		return Polynomial{}
+	}
+	out := make(map[string]polyTerm)
+	for _, ta := range a.terms {
+		for _, tb := range b.terms {
+			atoms := cloneAtoms(ta.atoms)
+			for n, e := range tb.atoms {
+				atoms[n] += e
+			}
+			k := monomialKey(atoms)
+			if prev, ok := out[k]; ok {
+				prev.coeff += ta.coeff * tb.coeff
+				out[k] = prev
+			} else {
+				out[k] = polyTerm{coeff: ta.coeff * tb.coeff, atoms: atoms}
+			}
+		}
+	}
+	return Polynomial{terms: out}
+}
+
+// Delta implements Semiring: δ(p) becomes the atomic indeterminate
+// "δ(<canonical form of p>)"; δ(0) = 0.
+func (r PolyRing) Delta(a Polynomial) Polynomial {
+	if a.IsZero() {
+		return Polynomial{}
+	}
+	return r.Var("δ(" + a.String() + ")")
+}
+
+func cloneAtoms(a map[string]int) map[string]int {
+	out := make(map[string]int, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+func monomialKey(atoms map[string]int) string {
+	if len(atoms) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(atoms))
+	for n := range atoms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, n := range names {
+		sb.WriteString(strconv.Itoa(len(n)))
+		sb.WriteByte(':')
+		sb.WriteString(n)
+		sb.WriteByte('^')
+		sb.WriteString(strconv.Itoa(atoms[n]))
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// IsZero reports whether the polynomial has no terms.
+func (p Polynomial) IsZero() bool { return len(p.terms) == 0 }
+
+// NumTerms returns the number of distinct monomials.
+func (p Polynomial) NumTerms() int { return len(p.terms) }
+
+// Equal reports canonical equality of polynomials.
+func (p Polynomial) Equal(q Polynomial) bool {
+	if len(p.terms) != len(q.terms) {
+		return false
+	}
+	for k, t := range p.terms {
+		u, ok := q.terms[k]
+		if !ok || u.coeff != t.coeff {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the polynomial with terms in sorted monomial order,
+// e.g. "2·x·y + z^2".
+func (p Polynomial) String() string {
+	if len(p.terms) == 0 {
+		return "0"
+	}
+	keys := make([]string, 0, len(p.terms))
+	for k := range p.terms {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		t := p.terms[k]
+		var factors []string
+		names := make([]string, 0, len(t.atoms))
+		for n := range t.atoms {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if e := t.atoms[n]; e == 1 {
+				factors = append(factors, n)
+			} else {
+				factors = append(factors, n+"^"+strconv.Itoa(e))
+			}
+		}
+		term := strings.Join(factors, "·")
+		switch {
+		case term == "":
+			term = strconv.Itoa(t.coeff)
+		case t.coeff != 1:
+			term = strconv.Itoa(t.coeff) + "·" + term
+		}
+		parts = append(parts, term)
+	}
+	return strings.Join(parts, " + ")
+}
+
+// ToPolynomial interprets e as a canonical N[X] polynomial with tokens as
+// indeterminates.
+func ToPolynomial(e Expr) Polynomial {
+	var r PolyRing
+	return Eval[Polynomial](e, r, func(t Token) Polynomial { return r.Var(string(t)) })
+}
+
+// Equivalent reports whether two expressions denote the same polynomial,
+// i.e. are equal in every commutative semiring interpretation.
+func Equivalent(a, b Expr) bool {
+	return ToPolynomial(a).Equal(ToPolynomial(b))
+}

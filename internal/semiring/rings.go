@@ -1,0 +1,179 @@
+package semiring
+
+import (
+	"sort"
+	"strings"
+)
+
+// Counting is the semiring (N, +, ·, 0, 1) of multiplicities (bag
+// semantics); δ(n) = 1 if n > 0 else 0 (duplicate elimination collapses
+// positive multiplicity to one).
+type Counting struct{}
+
+// Zero implements Semiring.
+func (Counting) Zero() int { return 0 }
+
+// One implements Semiring.
+func (Counting) One() int { return 1 }
+
+// Add implements Semiring.
+func (Counting) Add(a, b int) int { return a + b }
+
+// Mul implements Semiring.
+func (Counting) Mul(a, b int) int { return a * b }
+
+// Delta implements Semiring.
+func (Counting) Delta(a int) int {
+	if a > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Boolean is the trust semiring ({false,true}, ∨, ∧): an expression
+// evaluates to true iff the tuple is derivable from trusted tokens.
+type Boolean struct{}
+
+// Zero implements Semiring.
+func (Boolean) Zero() bool { return false }
+
+// One implements Semiring.
+func (Boolean) One() bool { return true }
+
+// Add implements Semiring.
+func (Boolean) Add(a, b bool) bool { return a || b }
+
+// Mul implements Semiring.
+func (Boolean) Mul(a, b bool) bool { return a && b }
+
+// Delta implements Semiring.
+func (Boolean) Delta(a bool) bool { return a }
+
+// TokenSet is an element of the Why(X) lineage semiring: the set of tokens
+// that the derivation of a tuple may draw on.
+type TokenSet map[Token]bool
+
+// Why is the lineage semiring (P(X), ∪, ∪, ∅, ∅): both + and · take the
+// union of contributing token sets.
+type Why struct{}
+
+// Zero implements Semiring.
+func (Why) Zero() TokenSet { return nil }
+
+// One implements Semiring.
+func (Why) One() TokenSet { return TokenSet{} }
+
+// Add implements Semiring.
+func (Why) Add(a, b TokenSet) TokenSet { return unionTokens(a, b) }
+
+// Mul implements Semiring.
+func (Why) Mul(a, b TokenSet) TokenSet {
+	if a == nil || b == nil {
+		return nil // 0 annihilates under ·
+	}
+	return unionTokens(a, b)
+}
+
+// Delta implements Semiring.
+func (Why) Delta(a TokenSet) TokenSet { return a }
+
+func unionTokens(a, b TokenSet) TokenSet {
+	if a == nil {
+		return cloneTokens(b)
+	}
+	if b == nil {
+		return cloneTokens(a)
+	}
+	out := cloneTokens(a)
+	for t := range b {
+		out[t] = true
+	}
+	return out
+}
+
+func cloneTokens(a TokenSet) TokenSet {
+	if a == nil {
+		return nil
+	}
+	out := make(TokenSet, len(a))
+	for t := range a {
+		out[t] = true
+	}
+	return out
+}
+
+// Equal reports set equality; nil (the zero) differs from the empty set
+// (the one).
+func (s TokenSet) Equal(o TokenSet) bool {
+	if (s == nil) != (o == nil) {
+		return false
+	}
+	if len(s) != len(o) {
+		return false
+	}
+	for t := range s {
+		if !o[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set in sorted order.
+func (s TokenSet) String() string {
+	if s == nil {
+		return "∅"
+	}
+	toks := make([]string, 0, len(s))
+	for t := range s {
+		toks = append(toks, string(t))
+	}
+	sort.Strings(toks)
+	return "{" + strings.Join(toks, ",") + "}"
+}
+
+// Tropical is the (min, +) cost semiring with +inf as zero and 0 as one;
+// useful for minimal-cost derivations.
+type Tropical struct{}
+
+// TropInf is the additive identity of the tropical semiring.
+const TropInf = int64(1) << 62
+
+// Zero implements Semiring.
+func (Tropical) Zero() int64 { return TropInf }
+
+// One implements Semiring.
+func (Tropical) One() int64 { return 0 }
+
+// Add implements Semiring.
+func (Tropical) Add(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Mul implements Semiring.
+func (Tropical) Mul(a, b int64) int64 {
+	if a >= TropInf || b >= TropInf {
+		return TropInf
+	}
+	return a + b
+}
+
+// Delta implements Semiring.
+func (Tropical) Delta(a int64) int64 { return a }
+
+// DeletionSurvives evaluates e in the counting semiring under an assignment
+// that maps deleted tokens to 0 and every other token to 1, and reports
+// whether the annotated tuple still has a derivation. This is the semiring
+// counterpart of graph deletion propagation (Section 4.2).
+func DeletionSurvives(e Expr, deleted map[Token]bool) bool {
+	n := Eval[int](e, Counting{}, func(t Token) int {
+		if deleted[t] {
+			return 0
+		}
+		return 1
+	})
+	return n > 0
+}

@@ -1,0 +1,222 @@
+// Package store implements the Provenance Tracker's filesystem format
+// (Section 5.1): the tracker writes provenance-annotated tuples and the
+// provenance graph to disk, and the Query Processor "starts by reading
+// provenance-annotated tuples from disk and building the provenance
+// graph". The primary format is a compact binary encoding (varints,
+// length-prefixed strings); a JSON export is provided for interoperability
+// and debugging.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"lipstick/internal/nested"
+)
+
+// writer wraps a bufio.Writer with varint helpers.
+type writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+func newWriter(w io.Writer) *writer { return &writer{w: bufio.NewWriter(w)} }
+
+func (w *writer) flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+func (w *writer) byte(b byte) {
+	if w.err == nil {
+		w.err = w.w.WriteByte(b)
+	}
+}
+
+func (w *writer) uvarint(v uint64) {
+	if w.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, w.err = w.w.Write(buf[:n])
+}
+
+func (w *writer) varint(v int64) {
+	if w.err != nil {
+		return
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	_, w.err = w.w.Write(buf[:n])
+}
+
+func (w *writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	if w.err == nil {
+		_, w.err = w.w.WriteString(s)
+	}
+}
+
+func (w *writer) f64(f float64) {
+	w.uvarint(math.Float64bits(f))
+}
+
+// value encodes a nested value with a leading kind byte.
+func (w *writer) value(v nested.Value) {
+	w.byte(byte(v.Kind()))
+	switch v.Kind() {
+	case nested.KindNull:
+	case nested.KindBool:
+		if v.AsBool() {
+			w.byte(1)
+		} else {
+			w.byte(0)
+		}
+	case nested.KindInt:
+		w.varint(v.AsInt())
+	case nested.KindFloat:
+		w.f64(v.AsFloat())
+	case nested.KindString:
+		w.str(v.AsString())
+	case nested.KindTuple:
+		w.tuple(v.AsTuple())
+	case nested.KindBag:
+		bag := v.AsBag()
+		w.uvarint(uint64(len(bag.Tuples)))
+		for _, t := range bag.Tuples {
+			w.tuple(t)
+		}
+	}
+}
+
+func (w *writer) tuple(t *nested.Tuple) {
+	w.uvarint(uint64(len(t.Fields)))
+	for _, f := range t.Fields {
+		w.value(f)
+	}
+}
+
+// reader wraps a bufio.Reader with varint helpers and bounded allocation.
+type reader struct {
+	r *bufio.Reader
+}
+
+func newReader(r io.Reader) *reader { return &reader{r: bufio.NewReader(r)} }
+
+func (r *reader) byte() (byte, error) { return r.r.ReadByte() }
+
+func (r *reader) uvarint() (uint64, error) { return binary.ReadUvarint(r.r) }
+
+func (r *reader) varint() (int64, error) { return binary.ReadVarint(r.r) }
+
+// maxLen bounds length prefixes to catch corrupted files before huge
+// allocations.
+const maxLen = 1 << 28
+
+func (r *reader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxLen {
+		return "", fmt.Errorf("store: string length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func (r *reader) f64() (float64, error) {
+	bits, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(bits), nil
+}
+
+func (r *reader) value() (nested.Value, error) {
+	kind, err := r.byte()
+	if err != nil {
+		return nested.Null(), err
+	}
+	switch nested.Kind(kind) {
+	case nested.KindNull:
+		return nested.Null(), nil
+	case nested.KindBool:
+		b, err := r.byte()
+		if err != nil {
+			return nested.Null(), err
+		}
+		return nested.Bool(b != 0), nil
+	case nested.KindInt:
+		v, err := r.varint()
+		if err != nil {
+			return nested.Null(), err
+		}
+		return nested.Int(v), nil
+	case nested.KindFloat:
+		f, err := r.f64()
+		if err != nil {
+			return nested.Null(), err
+		}
+		return nested.Float(f), nil
+	case nested.KindString:
+		s, err := r.str()
+		if err != nil {
+			return nested.Null(), err
+		}
+		return nested.Str(s), nil
+	case nested.KindTuple:
+		t, err := r.tuple()
+		if err != nil {
+			return nested.Null(), err
+		}
+		return nested.TupleVal(t), nil
+	case nested.KindBag:
+		n, err := r.uvarint()
+		if err != nil {
+			return nested.Null(), err
+		}
+		if n > maxLen {
+			return nested.Null(), fmt.Errorf("store: bag length %d exceeds limit", n)
+		}
+		bag := nested.NewBag()
+		for i := uint64(0); i < n; i++ {
+			t, err := r.tuple()
+			if err != nil {
+				return nested.Null(), err
+			}
+			bag.Add(t)
+		}
+		return nested.BagVal(bag), nil
+	default:
+		return nested.Null(), fmt.Errorf("store: invalid value kind %d", kind)
+	}
+}
+
+func (r *reader) tuple() (*nested.Tuple, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxLen {
+		return nil, fmt.Errorf("store: tuple arity %d exceeds limit", n)
+	}
+	fields := make([]nested.Value, n)
+	for i := range fields {
+		v, err := r.value()
+		if err != nil {
+			return nil, err
+		}
+		fields[i] = v
+	}
+	return nested.NewTuple(fields...), nil
+}

@@ -1,0 +1,311 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"lipstick/internal/nested"
+	"lipstick/internal/provgraph"
+)
+
+// jsonValue is the JSON shape of a nested value.
+type jsonValue struct {
+	Kind   string        `json:"kind"`
+	Bool   *bool         `json:"bool,omitempty"`
+	Int    *int64        `json:"int,omitempty"`
+	Float  *float64      `json:"float,omitempty"`
+	Str    *string       `json:"str,omitempty"`
+	Tuple  []jsonValue   `json:"tuple,omitempty"`
+	Tuples [][]jsonValue `json:"bag,omitempty"`
+}
+
+func toJSONValue(v nested.Value) jsonValue {
+	switch v.Kind() {
+	case nested.KindBool:
+		b := v.AsBool()
+		return jsonValue{Kind: "bool", Bool: &b}
+	case nested.KindInt:
+		i := v.AsInt()
+		return jsonValue{Kind: "int", Int: &i}
+	case nested.KindFloat:
+		f := v.AsFloat()
+		return jsonValue{Kind: "float", Float: &f}
+	case nested.KindString:
+		s := v.AsString()
+		return jsonValue{Kind: "string", Str: &s}
+	case nested.KindTuple:
+		return jsonValue{Kind: "tuple", Tuple: tupleToJSON(v.AsTuple())}
+	case nested.KindBag:
+		bag := v.AsBag()
+		tuples := make([][]jsonValue, len(bag.Tuples))
+		for i, t := range bag.Tuples {
+			tuples[i] = tupleToJSON(t)
+		}
+		return jsonValue{Kind: "bag", Tuples: tuples}
+	default:
+		return jsonValue{Kind: "null"}
+	}
+}
+
+func tupleToJSON(t *nested.Tuple) []jsonValue {
+	out := make([]jsonValue, len(t.Fields))
+	for i, f := range t.Fields {
+		out[i] = toJSONValue(f)
+	}
+	return out
+}
+
+func fromJSONValue(v jsonValue) (nested.Value, error) {
+	switch v.Kind {
+	case "null":
+		return nested.Null(), nil
+	case "bool":
+		if v.Bool == nil {
+			return nested.Null(), fmt.Errorf("store: bool value missing payload")
+		}
+		return nested.Bool(*v.Bool), nil
+	case "int":
+		if v.Int == nil {
+			return nested.Null(), fmt.Errorf("store: int value missing payload")
+		}
+		return nested.Int(*v.Int), nil
+	case "float":
+		if v.Float == nil {
+			return nested.Null(), fmt.Errorf("store: float value missing payload")
+		}
+		return nested.Float(*v.Float), nil
+	case "string":
+		if v.Str == nil {
+			return nested.Null(), fmt.Errorf("store: string value missing payload")
+		}
+		return nested.Str(*v.Str), nil
+	case "tuple":
+		t, err := tupleFromJSON(v.Tuple)
+		if err != nil {
+			return nested.Null(), err
+		}
+		return nested.TupleVal(t), nil
+	case "bag":
+		bag := nested.NewBag()
+		for _, jt := range v.Tuples {
+			t, err := tupleFromJSON(jt)
+			if err != nil {
+				return nested.Null(), err
+			}
+			bag.Add(t)
+		}
+		return nested.BagVal(bag), nil
+	default:
+		return nested.Null(), fmt.Errorf("store: unknown value kind %q", v.Kind)
+	}
+}
+
+func tupleFromJSON(fields []jsonValue) (*nested.Tuple, error) {
+	vals := make([]nested.Value, len(fields))
+	for i, f := range fields {
+		v, err := fromJSONValue(f)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	return nested.NewTuple(vals...), nil
+}
+
+type jsonNode struct {
+	ID    int32      `json:"id"`
+	Class string     `json:"class"`
+	Type  string     `json:"type"`
+	Op    string     `json:"op,omitempty"`
+	Label string     `json:"label,omitempty"`
+	Inv   int32      `json:"inv"`
+	Value *jsonValue `json:"value,omitempty"`
+	Dead  bool       `json:"dead,omitempty"`
+}
+
+type jsonInvocation struct {
+	Module    string  `json:"module"`
+	NodeName  string  `json:"node"`
+	Execution int     `json:"execution"`
+	MNode     int32   `json:"mnode"`
+	Inputs    []int32 `json:"inputs,omitempty"`
+	Outputs   []int32 `json:"outputs,omitempty"`
+	States    []int32 `json:"states,omitempty"`
+}
+
+type jsonTuple struct {
+	Fields []jsonValue `json:"fields"`
+	Prov   int32       `json:"prov"`
+	Mult   int         `json:"mult"`
+}
+
+type jsonRelation struct {
+	Execution int         `json:"execution"`
+	Node      string      `json:"node"`
+	Relation  string      `json:"relation"`
+	Tuples    []jsonTuple `json:"tuples"`
+}
+
+type jsonSnapshot struct {
+	Version     int              `json:"version"`
+	Nodes       []jsonNode       `json:"nodes"`
+	Edges       [][2]int32       `json:"edges"`
+	Invocations []jsonInvocation `json:"invocations"`
+	Outputs     []jsonRelation   `json:"outputs"`
+}
+
+var classNames = map[provgraph.Class]string{provgraph.ClassP: "p", provgraph.ClassV: "v"}
+
+var typeNames = map[provgraph.Type]string{
+	provgraph.TypeWorkflowInput: "I", provgraph.TypeInvocation: "m",
+	provgraph.TypeModuleInput: "i", provgraph.TypeModuleOutput: "o",
+	provgraph.TypeState: "s", provgraph.TypeBaseTuple: "tuple",
+	provgraph.TypeOp: "op", provgraph.TypeValue: "value", provgraph.TypeZoom: "zoom",
+}
+
+var opNames = map[provgraph.Op]string{
+	provgraph.OpNone: "", provgraph.OpPlus: "+", provgraph.OpTimes: "*",
+	provgraph.OpDelta: "delta", provgraph.OpTensor: "tensor",
+	provgraph.OpAgg: "agg", provgraph.OpBB: "bb", provgraph.OpConst: "const",
+}
+
+func invert[K comparable, V comparable](m map[K]V) map[V]K {
+	out := make(map[V]K, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+var (
+	classByName = invert(classNames)
+	typeByName  = invert(typeNames)
+	opByName    = invert(opNames)
+)
+
+// ExportJSON writes the snapshot as a single JSON document.
+func ExportJSON(w io.Writer, s *Snapshot) error {
+	doc := jsonSnapshot{Version: 1}
+	g := s.Graph
+	deadSet := map[provgraph.NodeID]bool{}
+	for _, id := range g.DeadNodes() {
+		deadSet[id] = true
+	}
+	g.AllNodesDo(func(n provgraph.Node) bool {
+		jn := jsonNode{
+			ID: int32(n.ID), Class: classNames[n.Class], Type: typeNames[n.Type],
+			Op: opNames[n.Op], Label: n.Label, Inv: int32(n.Inv), Dead: deadSet[n.ID],
+		}
+		if !n.Value.IsNull() {
+			v := toJSONValue(n.Value)
+			jn.Value = &v
+		}
+		doc.Nodes = append(doc.Nodes, jn)
+		return true
+	})
+	g.AllEdgesDo(func(src, dst provgraph.NodeID) bool {
+		doc.Edges = append(doc.Edges, [2]int32{int32(src), int32(dst)})
+		return true
+	})
+	g.Invocations(func(inv *provgraph.Invocation) bool {
+		doc.Invocations = append(doc.Invocations, jsonInvocation{
+			Module: inv.Module, NodeName: inv.NodeName, Execution: inv.Execution,
+			MNode: int32(inv.MNode), Inputs: toInt32s(inv.Inputs),
+			Outputs: toInt32s(inv.Outputs), States: toInt32s(inv.States),
+		})
+		return true
+	})
+	for _, rd := range s.Outputs {
+		jr := jsonRelation{Execution: rd.Execution, Node: rd.Node, Relation: rd.Relation}
+		for _, t := range rd.Tuples {
+			jr.Tuples = append(jr.Tuples, jsonTuple{Fields: tupleToJSON(t.Tuple), Prov: int32(t.Prov), Mult: t.Mult})
+		}
+		doc.Outputs = append(doc.Outputs, jr)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// ImportJSON reads a snapshot from its JSON form.
+func ImportJSON(r io.Reader) (*Snapshot, error) {
+	var doc jsonSnapshot
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("store: decoding JSON: %w", err)
+	}
+	nodes := make([]provgraph.Node, len(doc.Nodes))
+	var dead []provgraph.NodeID
+	for i, jn := range doc.Nodes {
+		class, ok := classByName[jn.Class]
+		if !ok {
+			return nil, fmt.Errorf("store: unknown node class %q", jn.Class)
+		}
+		typ, ok := typeByName[jn.Type]
+		if !ok {
+			return nil, fmt.Errorf("store: unknown node type %q", jn.Type)
+		}
+		op, ok := opByName[jn.Op]
+		if !ok {
+			return nil, fmt.Errorf("store: unknown node op %q", jn.Op)
+		}
+		val := nested.Null()
+		if jn.Value != nil {
+			v, err := fromJSONValue(*jn.Value)
+			if err != nil {
+				return nil, err
+			}
+			val = v
+		}
+		nodes[i] = provgraph.Node{
+			ID: provgraph.NodeID(i), Class: class, Type: typ, Op: op,
+			Label: jn.Label, Inv: provgraph.InvID(jn.Inv), Value: val,
+		}
+		if jn.Dead {
+			dead = append(dead, provgraph.NodeID(i))
+		}
+	}
+	edges := make([][2]provgraph.NodeID, len(doc.Edges))
+	for i, e := range doc.Edges {
+		edges[i] = [2]provgraph.NodeID{provgraph.NodeID(e[0]), provgraph.NodeID(e[1])}
+	}
+	invs := make([]provgraph.Invocation, len(doc.Invocations))
+	for i, ji := range doc.Invocations {
+		invs[i] = provgraph.Invocation{
+			ID: provgraph.InvID(i), Module: ji.Module, NodeName: ji.NodeName,
+			Execution: ji.Execution, MNode: provgraph.NodeID(ji.MNode),
+			Inputs: toNodeIDs(ji.Inputs), Outputs: toNodeIDs(ji.Outputs), States: toNodeIDs(ji.States),
+		}
+	}
+	snap := &Snapshot{Graph: provgraph.Reconstruct(nodes, edges, invs, dead)}
+	for _, jr := range doc.Outputs {
+		rd := RelationDump{Execution: jr.Execution, Node: jr.Node, Relation: jr.Relation}
+		for _, jt := range jr.Tuples {
+			t, err := tupleFromJSON(jt.Fields)
+			if err != nil {
+				return nil, err
+			}
+			rd.Tuples = append(rd.Tuples, AnnotatedTuple{Tuple: t, Prov: provgraph.NodeID(jt.Prov), Mult: jt.Mult})
+		}
+		snap.Outputs = append(snap.Outputs, rd)
+	}
+	return snap, nil
+}
+
+func toInt32s(ids []provgraph.NodeID) []int32 {
+	out := make([]int32, len(ids))
+	for i, id := range ids {
+		out[i] = int32(id)
+	}
+	return out
+}
+
+func toNodeIDs(ids []int32) []provgraph.NodeID {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]provgraph.NodeID, len(ids))
+	for i, id := range ids {
+		out[i] = provgraph.NodeID(id)
+	}
+	return out
+}

@@ -1,0 +1,335 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"lipstick/internal/nested"
+	"lipstick/internal/provgraph"
+)
+
+// magic identifies Lipstick provenance files; the trailing byte is the
+// format version.
+var magic = []byte{'L', 'P', 'S', 'K', 1}
+
+// AnnotatedTuple is one provenance-annotated output tuple as written by
+// the Provenance Tracker.
+type AnnotatedTuple struct {
+	Tuple *nested.Tuple
+	Prov  provgraph.NodeID
+	Mult  int
+}
+
+// RelationDump is the annotated content of one module-output relation of
+// one execution.
+type RelationDump struct {
+	Execution int
+	Node      string
+	Relation  string
+	Tuples    []AnnotatedTuple
+}
+
+// Snapshot is everything the Query Processor needs: the provenance graph
+// and the annotated output relations that anchor queries.
+type Snapshot struct {
+	Graph   *provgraph.Graph
+	Outputs []RelationDump
+}
+
+// Write serializes the snapshot.
+func Write(out io.Writer, s *Snapshot) error {
+	w := newWriter(out)
+	if _, err := w.w.Write(magic); err != nil {
+		return err
+	}
+	g := s.Graph
+
+	// Nodes (all slots, so transformations remain restorable).
+	w.uvarint(uint64(g.TotalNodes()))
+	g.AllNodesDo(func(n provgraph.Node) bool {
+		w.byte(byte(n.Class))
+		w.byte(byte(n.Type))
+		w.byte(byte(n.Op))
+		w.str(n.Label)
+		w.varint(int64(n.Inv))
+		w.value(n.Value)
+		return true
+	})
+
+	// Edges.
+	edgeCount := 0
+	g.AllEdgesDo(func(provgraph.NodeID, provgraph.NodeID) bool { edgeCount++; return true })
+	w.uvarint(uint64(edgeCount))
+	g.AllEdgesDo(func(src, dst provgraph.NodeID) bool {
+		w.uvarint(uint64(src))
+		w.uvarint(uint64(dst))
+		return true
+	})
+
+	// Invocations.
+	w.uvarint(uint64(g.NumInvocations()))
+	g.Invocations(func(inv *provgraph.Invocation) bool {
+		w.str(inv.Module)
+		w.str(inv.NodeName)
+		w.uvarint(uint64(inv.Execution))
+		w.uvarint(uint64(inv.MNode))
+		writeIDs(w, inv.Inputs)
+		writeIDs(w, inv.Outputs)
+		writeIDs(w, inv.States)
+		return true
+	})
+
+	// Dead nodes.
+	writeIDs(w, g.DeadNodes())
+
+	// Output relations.
+	w.uvarint(uint64(len(s.Outputs)))
+	for _, rd := range s.Outputs {
+		w.uvarint(uint64(rd.Execution))
+		w.str(rd.Node)
+		w.str(rd.Relation)
+		w.uvarint(uint64(len(rd.Tuples)))
+		for _, t := range rd.Tuples {
+			w.tuple(t.Tuple)
+			w.varint(int64(t.Prov))
+			w.uvarint(uint64(t.Mult))
+		}
+	}
+	return w.flush()
+}
+
+func writeIDs(w *writer, ids []provgraph.NodeID) {
+	w.uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		w.uvarint(uint64(id))
+	}
+}
+
+// Read deserializes a snapshot.
+func Read(in io.Reader) (*Snapshot, error) {
+	r := newReader(in)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(r.r, head); err != nil {
+		return nil, fmt.Errorf("store: reading header: %w", err)
+	}
+	for i := range magic {
+		if head[i] != magic[i] {
+			return nil, fmt.Errorf("store: bad magic or unsupported version")
+		}
+	}
+
+	nodeCount, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nodeCount > maxLen {
+		return nil, fmt.Errorf("store: node count %d exceeds limit", nodeCount)
+	}
+	nodes := make([]provgraph.Node, nodeCount)
+	for i := range nodes {
+		class, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		typ, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		op, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		label, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		inv, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		val, err := r.value()
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = provgraph.Node{
+			ID:    provgraph.NodeID(i),
+			Class: provgraph.Class(class),
+			Type:  provgraph.Type(typ),
+			Op:    provgraph.Op(op),
+			Label: label,
+			Inv:   provgraph.InvID(inv),
+			Value: val,
+		}
+	}
+
+	edgeCount, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if edgeCount > maxLen {
+		return nil, fmt.Errorf("store: edge count exceeds limit")
+	}
+	edges := make([][2]provgraph.NodeID, edgeCount)
+	for i := range edges {
+		src, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		dst, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if src >= nodeCount || dst >= nodeCount {
+			return nil, fmt.Errorf("store: edge endpoint out of range")
+		}
+		edges[i] = [2]provgraph.NodeID{provgraph.NodeID(src), provgraph.NodeID(dst)}
+	}
+
+	invCount, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if invCount > maxLen {
+		return nil, fmt.Errorf("store: invocation count exceeds limit")
+	}
+	invs := make([]provgraph.Invocation, invCount)
+	for i := range invs {
+		module, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		nodeName, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		execIdx, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		mnode, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		inputs, err := readIDs(r, nodeCount)
+		if err != nil {
+			return nil, err
+		}
+		outputs, err := readIDs(r, nodeCount)
+		if err != nil {
+			return nil, err
+		}
+		states, err := readIDs(r, nodeCount)
+		if err != nil {
+			return nil, err
+		}
+		invs[i] = provgraph.Invocation{
+			ID: provgraph.InvID(i), Module: module, NodeName: nodeName,
+			Execution: int(execIdx), MNode: provgraph.NodeID(mnode),
+			Inputs: inputs, Outputs: outputs, States: states,
+		}
+	}
+
+	dead, err := readIDs(r, nodeCount)
+	if err != nil {
+		return nil, err
+	}
+
+	g := provgraph.Reconstruct(nodes, edges, invs, dead)
+
+	outCount, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if outCount > maxLen {
+		return nil, fmt.Errorf("store: output count exceeds limit")
+	}
+	snap := &Snapshot{Graph: g}
+	for i := uint64(0); i < outCount; i++ {
+		execIdx, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		node, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		rel, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > maxLen {
+			return nil, fmt.Errorf("store: relation size exceeds limit")
+		}
+		rd := RelationDump{Execution: int(execIdx), Node: node, Relation: rel}
+		for j := uint64(0); j < n; j++ {
+			tup, err := r.tuple()
+			if err != nil {
+				return nil, err
+			}
+			prov, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			mult, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			rd.Tuples = append(rd.Tuples, AnnotatedTuple{Tuple: tup, Prov: provgraph.NodeID(prov), Mult: int(mult)})
+		}
+		snap.Outputs = append(snap.Outputs, rd)
+	}
+	return snap, nil
+}
+
+func readIDs(r *reader, nodeCount uint64) ([]provgraph.NodeID, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxLen {
+		return nil, fmt.Errorf("store: id list exceeds limit")
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]provgraph.NodeID, n)
+	for i := range out {
+		v, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if v >= nodeCount {
+			return nil, fmt.Errorf("store: node id out of range")
+		}
+		out[i] = provgraph.NodeID(v)
+	}
+	return out, nil
+}
+
+// Save writes the snapshot to a file.
+func Save(path string, s *Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, s); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a snapshot from a file.
+func Load(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

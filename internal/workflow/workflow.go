@@ -1,0 +1,237 @@
+package workflow
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Node is one workflow node: a named use of a module (L_V in
+// Definition 2.2 — the same module may label several nodes).
+type Node struct {
+	Name   string
+	Module *Module
+}
+
+// Edge passes the named relations from one node's output to another's
+// input (L_E in Definition 2.2).
+type Edge struct {
+	From, To  string
+	Relations []string
+}
+
+// Workflow is a connected DAG of module nodes (Definition 2.2).
+type Workflow struct {
+	nodes map[string]*Node
+	order []string // insertion order for determinism
+	edges []Edge
+	// In and Out are the designated input and output nodes.
+	In  []string
+	Out []string
+	// AllowPartialInputs relaxes Definition 2.2's full-input-coverage
+	// requirement: module input relations not supplied by any edge are
+	// bound to empty relations. The paper's dealership workflow needs
+	// this — each dealer module "is invoked twice during workflow
+	// execution" (bid phase and purchase phase) and the omitted "code that
+	// switches between these two functionalities" amounts to running each
+	// phase with the other phase's input empty.
+	AllowPartialInputs bool
+}
+
+// New returns an empty workflow.
+func New() *Workflow {
+	return &Workflow{nodes: make(map[string]*Node)}
+}
+
+// AddNode adds a named node running the given module.
+func (w *Workflow) AddNode(name string, m *Module) error {
+	if _, dup := w.nodes[name]; dup {
+		return fmt.Errorf("workflow: duplicate node %q", name)
+	}
+	w.nodes[name] = &Node{Name: name, Module: m}
+	w.order = append(w.order, name)
+	return nil
+}
+
+// AddEdge connects from→to, carrying the given relations.
+func (w *Workflow) AddEdge(from, to string, relations ...string) error {
+	if _, ok := w.nodes[from]; !ok {
+		return fmt.Errorf("workflow: edge from unknown node %q", from)
+	}
+	if _, ok := w.nodes[to]; !ok {
+		return fmt.Errorf("workflow: edge to unknown node %q", to)
+	}
+	if len(relations) == 0 {
+		return fmt.Errorf("workflow: edge %s->%s carries no relations", from, to)
+	}
+	w.edges = append(w.edges, Edge{From: from, To: to, Relations: relations})
+	return nil
+}
+
+// Node returns the named node, or nil.
+func (w *Workflow) Node(name string) *Node { return w.nodes[name] }
+
+// Nodes returns the node names in insertion order.
+func (w *Workflow) Nodes() []string { return append([]string(nil), w.order...) }
+
+// Edges returns the edges.
+func (w *Workflow) Edges() []Edge { return append([]Edge(nil), w.edges...) }
+
+// Validate checks Definition 2.2: the graph is a connected DAG; edge
+// relations are outputs of their source and inputs of their target with
+// matching schemas; relations on edges into the same node are pairwise
+// disjoint; every non-input node receives its full input schema; input
+// nodes have no incoming edges and output nodes no outgoing edges. It also
+// compiles every module.
+func (w *Workflow) Validate() error {
+	if len(w.nodes) == 0 {
+		return fmt.Errorf("workflow: no nodes")
+	}
+	compiled := map[string]bool{}
+	for _, name := range w.order {
+		m := w.nodes[name].Module
+		if m == nil {
+			return fmt.Errorf("workflow: node %q has no module", name)
+		}
+		if !compiled[m.Name] {
+			if err := m.Compile(); err != nil {
+				return err
+			}
+			compiled[m.Name] = true
+		}
+	}
+	inSet := map[string]bool{}
+	for _, n := range w.In {
+		if _, ok := w.nodes[n]; !ok {
+			return fmt.Errorf("workflow: input node %q does not exist", n)
+		}
+		inSet[n] = true
+	}
+	for _, n := range w.Out {
+		if _, ok := w.nodes[n]; !ok {
+			return fmt.Errorf("workflow: output node %q does not exist", n)
+		}
+	}
+
+	incoming := map[string][]Edge{}
+	outgoing := map[string][]Edge{}
+	for _, e := range w.edges {
+		src, dst := w.nodes[e.From], w.nodes[e.To]
+		for _, rel := range e.Relations {
+			os, ok := src.Module.Out[rel]
+			if !ok {
+				return fmt.Errorf("workflow: edge %s->%s: %q is not an output of module %s", e.From, e.To, rel, src.Module.Name)
+			}
+			is, ok := dst.Module.In[rel]
+			if !ok {
+				return fmt.Errorf("workflow: edge %s->%s: %q is not an input of module %s", e.From, e.To, rel, dst.Module.Name)
+			}
+			if !typesCompatible(os, is) {
+				return fmt.Errorf("workflow: edge %s->%s: relation %q schema mismatch: %s vs %s", e.From, e.To, rel, os, is)
+			}
+		}
+		incoming[e.To] = append(incoming[e.To], e)
+		outgoing[e.From] = append(outgoing[e.From], e)
+	}
+
+	// Incoming relations pairwise disjoint; full input coverage.
+	for _, name := range w.order {
+		node := w.nodes[name]
+		seen := map[string]string{}
+		for _, e := range incoming[name] {
+			for _, rel := range e.Relations {
+				if prev, dup := seen[rel]; dup {
+					return fmt.Errorf("workflow: node %s receives relation %q from both %s and %s", name, rel, prev, e.From)
+				}
+				seen[rel] = e.From
+			}
+		}
+		if !inSet[name] {
+			if !w.AllowPartialInputs {
+				for rel := range node.Module.In {
+					if _, ok := seen[rel]; !ok {
+						return fmt.Errorf("workflow: node %s: input relation %q is not supplied by any edge", name, rel)
+					}
+				}
+			}
+		} else if len(incoming[name]) > 0 {
+			return fmt.Errorf("workflow: input node %s has incoming edges", name)
+		}
+	}
+	for _, n := range w.Out {
+		if len(outgoing[n]) > 0 {
+			return fmt.Errorf("workflow: output node %s has outgoing edges", n)
+		}
+	}
+
+	if _, err := w.TopoOrder(); err != nil {
+		return err
+	}
+	if !w.connected() {
+		return fmt.Errorf("workflow: graph is not connected")
+	}
+	return nil
+}
+
+// TopoOrder returns a deterministic topological order of the nodes
+// (Definition 2.3's reference semantics fixes one such order; ties break
+// by insertion order).
+func (w *Workflow) TopoOrder() ([]string, error) {
+	indeg := map[string]int{}
+	adj := map[string][]string{}
+	for _, e := range w.edges {
+		indeg[e.To]++
+		adj[e.From] = append(adj[e.From], e.To)
+	}
+	pos := map[string]int{}
+	for i, n := range w.order {
+		pos[n] = i
+	}
+	var ready []string
+	for _, n := range w.order {
+		if indeg[n] == 0 {
+			ready = append(ready, n)
+		}
+	}
+	var out []string
+	for len(ready) > 0 {
+		sort.Slice(ready, func(i, j int) bool { return pos[ready[i]] < pos[ready[j]] })
+		cur := ready[0]
+		ready = ready[1:]
+		out = append(out, cur)
+		for _, next := range adj[cur] {
+			indeg[next]--
+			if indeg[next] == 0 {
+				ready = append(ready, next)
+			}
+		}
+	}
+	if len(out) != len(w.order) {
+		return nil, fmt.Errorf("workflow: graph has a cycle")
+	}
+	return out, nil
+}
+
+// connected checks weak connectivity (single-node workflows count).
+func (w *Workflow) connected() bool {
+	if len(w.order) <= 1 {
+		return true
+	}
+	und := map[string][]string{}
+	for _, e := range w.edges {
+		und[e.From] = append(und[e.From], e.To)
+		und[e.To] = append(und[e.To], e.From)
+	}
+	visited := map[string]bool{w.order[0]: true}
+	queue := []string{w.order[0]}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range und[cur] {
+			if !visited[next] {
+				visited[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return len(visited) == len(w.order)
+}

@@ -1,0 +1,202 @@
+package workflowgen
+
+import (
+	"math"
+	"testing"
+
+	"lipstick/internal/workflow"
+)
+
+func TestArcticDataDeterministic(t *testing.T) {
+	a := StationObservation(7, 3, 1975, 6)
+	b := StationObservation(7, 3, 1975, 6)
+	if a != b {
+		t.Error("observations must be deterministic")
+	}
+	c := StationObservation(7, 4, 1975, 6)
+	if a == c {
+		t.Error("different stations should differ")
+	}
+}
+
+func TestArcticDataSeasonalShape(t *testing.T) {
+	// January must be colder than July for every station (averaged over
+	// years to wash out noise).
+	for station := 1; station <= 24; station++ {
+		var jan, jul float64
+		for year := HistoryStartYear; year <= HistoryEndYear; year++ {
+			jan += StationObservation(1, station, year, 1).AirTemp
+			jul += StationObservation(1, station, year, 7).AirTemp
+		}
+		if jan >= jul {
+			t.Fatalf("station %d: mean January (%.1f) not colder than July (%.1f)", station, jan/40, jul/40)
+		}
+	}
+}
+
+func TestHistoricalBagSize(t *testing.T) {
+	full := HistoricalBag(1, 1, 0)
+	if full.Len() != 480 {
+		t.Errorf("full history = %d tuples, want 480", full.Len())
+	}
+	short := HistoricalBag(1, 1, 5)
+	if short.Len() != 60 {
+		t.Errorf("5-year history = %d tuples, want 60", short.Len())
+	}
+	if err := ObsSchema().ValidateBag(full); err != nil {
+		t.Errorf("history violates schema: %v", err)
+	}
+}
+
+func TestArcticLayouts(t *testing.T) {
+	// Serial: chain.
+	preds, last, err := arcticLayout(ArcticParams{Stations: 4, Topology: Serial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds[1]) != 0 || len(preds[4]) != 1 || preds[4][0] != 3 || len(last) != 1 || last[0] != 4 {
+		t.Errorf("serial layout wrong: %v %v", preds, last)
+	}
+	// Parallel: no inter-station edges.
+	preds, last, err = arcticLayout(ArcticParams{Stations: 4, Topology: Parallel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if len(preds[i]) != 0 {
+			t.Error("parallel stations must have no predecessors")
+		}
+	}
+	if len(last) != 4 {
+		t.Error("parallel: all stations feed the output")
+	}
+	// Dense fan-out 3 with 9 stations: Figure 4(c) — station 5 has
+	// predecessors 1,2,3.
+	preds, last, err = arcticLayout(ArcticParams{Stations: 9, Topology: Dense, FanOut: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds[5]) != 3 || preds[5][0] != 1 || preds[5][2] != 3 {
+		t.Errorf("dense preds[5] = %v, want [1 2 3]", preds[5])
+	}
+	if len(last) != 3 || last[0] != 7 {
+		t.Errorf("dense last layer = %v, want [7 8 9]", last)
+	}
+	// Errors.
+	if _, _, err := arcticLayout(ArcticParams{Stations: 0}); err == nil {
+		t.Error("zero stations accepted")
+	}
+	if _, _, err := arcticLayout(ArcticParams{Stations: 3, Topology: Dense}); err == nil {
+		t.Error("dense without fan-out accepted")
+	}
+}
+
+func TestArcticRunComputesMinimum(t *testing.T) {
+	for _, topo := range []Topology{Serial, Parallel, Dense} {
+		p := ArcticParams{
+			Stations: 4, Topology: topo, FanOut: 2,
+			Selectivity: SelMonth, NumExec: 2, Seed: 9,
+			Gran: workflow.Plain, HistoryYears: 3,
+		}
+		run, err := NewArcticRun(p)
+		if err != nil {
+			t.Fatalf("%v: %v", topo, err)
+		}
+		if err := run.ExecuteAll(); err != nil {
+			t.Fatalf("%v: %v", topo, err)
+		}
+		got, ok := run.MinTemp(0)
+		if !ok {
+			t.Fatalf("%v: no output", topo)
+		}
+		// Independent re-computation: minimum January AirTemp over the
+		// 3-year history + the new 2001-January measurements of all
+		// stations.
+		want := math.Inf(1)
+		for station := 1; station <= 4; station++ {
+			for year := HistoryEndYear - 2; year <= HistoryEndYear; year++ {
+				want = math.Min(want, StationObservation(9, station, year, 1).AirTemp)
+			}
+			want = math.Min(want, StationObservation(9, station, 2001, 1).AirTemp)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%v: min temp = %v, want %v", topo, got, want)
+		}
+	}
+}
+
+// TestArcticSelectivityAffectsGraphSize verifies the Section 5.5/Figure 6
+// driver: lower selectivity (all > season > month > year) yields larger
+// provenance graphs.
+func TestArcticSelectivityAffectsGraphSize(t *testing.T) {
+	sizes := map[Selectivity]int{}
+	for _, sel := range Selectivities {
+		p := ArcticParams{
+			Stations: 3, Topology: Parallel, Selectivity: sel,
+			NumExec: 2, Seed: 4, Gran: workflow.Fine, HistoryYears: 4,
+		}
+		run, err := NewArcticRun(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := run.ExecuteAll(); err != nil {
+			t.Fatal(err)
+		}
+		sizes[sel] = run.Runner.Graph().NumNodes()
+	}
+	if !(sizes[SelAll] > sizes[SelSeason] && sizes[SelSeason] > sizes[SelMonth]) {
+		t.Errorf("sizes should decrease with selectivity: %v", sizes)
+	}
+	// year (≤12 of 48 months with 4-year history) vs month (4 of 48):
+	// year keeps more than month here; just require both below season.
+	if sizes[SelYear] >= sizes[SelSeason] {
+		t.Errorf("year selectivity should be below season: %v", sizes)
+	}
+}
+
+func TestArcticStatePersists(t *testing.T) {
+	p := ArcticParams{
+		Stations: 2, Topology: Serial, Selectivity: SelAll,
+		NumExec: 3, Seed: 2, Gran: workflow.Plain, HistoryYears: 2,
+	}
+	run, err := NewArcticRun(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.ExecuteAll(); err != nil {
+		t.Fatal(err)
+	}
+	obs, ok := run.Runner.State("M_sta1", "Obs")
+	if !ok {
+		t.Fatal("missing station state")
+	}
+	// 2 years of history (24) + 3 new measurements.
+	if obs.Len() != 27 {
+		t.Errorf("observations = %d, want 27", obs.Len())
+	}
+}
+
+func TestArcticFineMatchesPlain(t *testing.T) {
+	results := map[workflow.Granularity]float64{}
+	for _, gran := range []workflow.Granularity{workflow.Plain, workflow.Fine} {
+		p := ArcticParams{
+			Stations: 3, Topology: Dense, FanOut: 2, Selectivity: SelSeason,
+			NumExec: 2, Seed: 13, Gran: gran, HistoryYears: 2,
+		}
+		run, err := NewArcticRun(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := run.ExecuteAll(); err != nil {
+			t.Fatal(err)
+		}
+		v, ok := run.MinTemp(1)
+		if !ok {
+			t.Fatal("no output")
+		}
+		results[gran] = v
+	}
+	if results[workflow.Plain] != results[workflow.Fine] {
+		t.Errorf("plain %v != fine %v", results[workflow.Plain], results[workflow.Fine])
+	}
+}

@@ -1,0 +1,188 @@
+package workflowgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps harness tests fast.
+var tinyScale = Scale{
+	NumCars:            240,
+	DealerExecs:        []int{2, 4},
+	ArcticExecs:        []int{2},
+	ArcticStations:     4,
+	ArcticHistoryYears: 2,
+	GraphExecs:         2,
+	SubgraphNodes:      10,
+	Reducers:           []int{1, 2, 3, 4, 10, 54},
+	Trials:             1,
+	Seed:               1,
+}
+
+func TestRunFigureUnknown(t *testing.T) {
+	if _, err := RunFigure("nope", tinyScale); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestAllFiguresRunAtTinyScale(t *testing.T) {
+	for _, id := range FigureIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			fig, err := RunFigure(id, tinyScale)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if len(fig.Points) == 0 {
+				t.Fatalf("%s: no points", id)
+			}
+			var buf bytes.Buffer
+			fig.Print(&buf)
+			if !strings.Contains(buf.String(), fig.ID) {
+				t.Errorf("%s: print output lacks figure id", id)
+			}
+		})
+	}
+}
+
+// TestFig5aShape: tracking costs more than not tracking. Sub-millisecond
+// points are noisy, so the check uses a larger scale with repeated trials
+// and compares only the largest configuration.
+func TestFig5aShape(t *testing.T) {
+	s := tinyScale
+	s.NumCars = 2000
+	s.DealerExecs = []int{10}
+	s.Trials = 3
+	// Warm up allocator and caches.
+	if _, err := Fig5a(s); err != nil {
+		t.Fatal(err)
+	}
+	fig, err := Fig5a(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := fig.SeriesPoints("provenance")
+	plain := fig.SeriesPoints("no provenance")
+	if len(prov) != 1 || len(plain) != 1 {
+		t.Fatalf("series lengths: %d vs %d", len(prov), len(plain))
+	}
+	if prov[0].Y <= plain[0].Y {
+		t.Errorf("provenance (%.6f s/exec) not slower than plain (%.6f s/exec)",
+			prov[0].Y, plain[0].Y)
+	}
+}
+
+// TestFig5cShape: the sweep peaks between 2 and 4 reducers and declines by
+// 54, for both variants.
+func TestFig5cShape(t *testing.T) {
+	fig, err := Fig5c(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range fig.Series() {
+		points := fig.SeriesPoints(series)
+		best := points[0]
+		var at54 *Point
+		for i := range points {
+			if points[i].Y > best.Y {
+				best = points[i]
+			}
+			if points[i].X == 54 {
+				at54 = &points[i]
+			}
+		}
+		if best.X < 2 || best.X > 4 {
+			t.Errorf("%s: peak at %v reducers, want 2-4", series, best.X)
+		}
+		if at54 == nil || at54.Y >= best.Y {
+			t.Errorf("%s: no decline at 54 reducers", series)
+		}
+	}
+}
+
+// TestFig6aLinearity: build time grows with node count (monotone in this
+// two-point check) and node counts grow with executions.
+func TestFig6aShape(t *testing.T) {
+	fig, err := Fig6a(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := fig.SeriesPoints("build")
+	if len(pts) < 2 {
+		t.Fatal("need at least two points")
+	}
+	if pts[0].X >= pts[1].X {
+		t.Errorf("node counts should grow with executions: %v", pts)
+	}
+}
+
+// TestFig6bSelectivityOrder: lower selectivity means slower builds for the
+// largest module count.
+func TestFig6bShape(t *testing.T) {
+	fig, err := Fig6b(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := fig.Series()
+	if len(series) == 0 {
+		t.Fatal("no series")
+	}
+	points := fig.SeriesPoints(series[len(series)-1])
+	byLabel := map[string]float64{}
+	for _, p := range points {
+		byLabel[p.XLabel] = p.Y
+	}
+	if byLabel["all"] <= byLabel["year"] {
+		t.Errorf("all-selectivity build (%.6f) should be slower than year (%.6f)",
+			byLabel["all"], byLabel["year"])
+	}
+}
+
+// TestFigNodesLinear: graph size grows approximately linearly in
+// executions.
+func TestFigNodesLinear(t *testing.T) {
+	fig, err := FigNodes(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := fig.SeriesPoints("dealerships nodes")
+	if len(pts) < 2 {
+		t.Fatal("need two points")
+	}
+	// nodes(4 exec) should be roughly 2x nodes(2 exec), within 3x slack
+	// for fixed setup costs.
+	ratio := pts[1].Y / pts[0].Y
+	execRatio := pts[1].X / pts[0].X
+	if ratio > execRatio*3 {
+		t.Errorf("super-linear growth: %v nodes ratio for %v exec ratio", ratio, execRatio)
+	}
+}
+
+// TestFigFineGrainedContrast: coarse outputs depend on all inputs.
+func TestFigFineGrainedContrast(t *testing.T) {
+	fig, err := FigFineGrained(tinyScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var share, coarseInputs, totalInputs float64
+	for _, p := range fig.Points {
+		switch {
+		case p.Series == "fine" && p.XLabel == "bid state share %":
+			share = p.Y
+		case p.Series == "coarse" && p.XLabel == "best avg input deps":
+			coarseInputs = p.Y
+		case p.Series == "coarse" && p.XLabel == "workflow inputs":
+			totalInputs = p.Y
+		}
+	}
+	if share <= 0 || share > 10 {
+		t.Errorf("fine state share = %.2f%%, want small and positive", share)
+	}
+	// Coarse: the winning bid of execution i depends on all inputs up to i
+	// (state chaining makes later outputs depend on earlier inputs too);
+	// with 3 executions and 2 inputs each, the average is ≥ 2.
+	if coarseInputs < 2 {
+		t.Errorf("coarse input deps = %.1f, want >= 2 (of %v total)", coarseInputs, totalInputs)
+	}
+}

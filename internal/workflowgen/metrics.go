@@ -1,0 +1,159 @@
+package workflowgen
+
+import (
+	"fmt"
+
+	"lipstick/internal/provgraph"
+)
+
+// DependencyProfile summarizes how many state tuples (base-tuple
+// ancestors) and workflow inputs a class of output tuples depends on.
+type DependencyProfile struct {
+	Outputs            int
+	AvgState, AvgInput float64
+	MinState, MaxState int
+}
+
+func (p *DependencyProfile) add(state, input int) {
+	if p.Outputs == 0 || state < p.MinState {
+		p.MinState = state
+	}
+	if state > p.MaxState {
+		p.MaxState = state
+	}
+	p.AvgState = (p.AvgState*float64(p.Outputs) + float64(state)) / float64(p.Outputs+1)
+	p.AvgInput = (p.AvgInput*float64(p.Outputs) + float64(input)) / float64(p.Outputs+1)
+	p.Outputs++
+}
+
+// String renders the profile.
+func (p DependencyProfile) String() string {
+	return fmt.Sprintf("outputs=%d avgState=%.1f [%d,%d] avgInput=%.2f",
+		p.Outputs, p.AvgState, p.MinState, p.MaxState, p.AvgInput)
+}
+
+// FineGrainedness is the Section 5.5 measurement: how much of the input
+// and state the workflow's outputs actually depend on.
+//
+// The paper reports that "any particular output tuple depends on between
+// 1.8% and 2.2% of the state tuples (415 tuples on average) and on two
+// input tuples" for numCars=20,000: 20,000 cars / 12 models / 4 dealers
+// ≈ 416 — one dealership's inventory of the requested model. That is the
+// dependency set of a dealership's bid (Bids below). The winning bid and
+// the sale additionally depend on the competing dealerships' bids through
+// the MIN aggregation and the xor routing, so their state share is ≈4×
+// larger; coarse-grained provenance (Section 3.1) instead makes every
+// output depend on all inputs.
+type FineGrainedness struct {
+	// StateTuples is the total number of car tuples across dealerships.
+	StateTuples int
+	// Bids profiles the dealerships' bid outputs.
+	Bids DependencyProfile
+	// Best profiles the aggregator's winning-bid outputs.
+	Best DependencyProfile
+	// Sales profiles the workflow's sale outputs (car module).
+	Sales DependencyProfile
+}
+
+// StateFraction returns the bid profile's state share.
+func (f FineGrainedness) StateFraction() float64 {
+	if f.StateTuples == 0 {
+		return 0
+	}
+	return f.Bids.AvgState / float64(f.StateTuples)
+}
+
+// String summarizes the measurement.
+func (f FineGrainedness) String() string {
+	return fmt.Sprintf("state=%d bids{%s => %.2f%%} best{%s} sales{%s}",
+		f.StateTuples, f.Bids, 100*f.StateFraction(), f.Best, f.Sales)
+}
+
+// MeasureFineGrainedness computes the dependency profiles of the run's
+// output tuples on the tracked provenance graph (fine or coarse).
+func MeasureFineGrainedness(run *DealershipRun) FineGrainedness {
+	g := run.Runner.Graph()
+	var m FineGrainedness
+	if g == nil {
+		return m
+	}
+	for k := 1; k <= 4; k++ {
+		if cars, ok := run.Runner.State(fmt.Sprintf("M_dealer%d", k), "Cars"); ok {
+			m.StateTuples += cars.Len()
+		}
+	}
+	profileOf := func(modules []string, profile *DependencyProfile) {
+		for _, module := range modules {
+			for _, invID := range g.InvocationsOf(module) {
+				for _, out := range g.Invocation(invID).Outputs {
+					stateDeps, inputDeps := 0, 0
+					for _, anc := range g.Ancestors(out) {
+						switch g.Node(anc).Type {
+						case provgraph.TypeBaseTuple:
+							stateDeps++
+						case provgraph.TypeWorkflowInput:
+							inputDeps++
+						}
+					}
+					profile.add(stateDeps, inputDeps)
+				}
+			}
+		}
+	}
+	profileOf([]string{"M_dealer1", "M_dealer2", "M_dealer3", "M_dealer4"}, &m.Bids)
+	profileOf([]string{"M_agg"}, &m.Best)
+	profileOf([]string{"M_car"}, &m.Sales)
+	return m
+}
+
+// GraphSize reports node/edge counts for graph-growth measurements.
+type GraphSize struct {
+	Executions int
+	Nodes      int
+	Edges      int
+}
+
+// MeasureGraphSize summarizes a runner's graph.
+func MeasureGraphSize(r interface {
+	Graph() *provgraph.Graph
+	Executions() int
+}) GraphSize {
+	g := r.Graph()
+	if g == nil {
+		return GraphSize{}
+	}
+	return GraphSize{Executions: r.Executions(), Nodes: g.NumNodes(), Edges: g.NumEdges()}
+}
+
+// HighFanoutNodes returns up to n live node ids with the highest
+// out-degree — the paper's subgraph-query targets ("we select nodes that
+// we expect to induce large subgraphs, choosing 50 nodes with the highest
+// number of children per run").
+func HighFanoutNodes(g *provgraph.Graph, n int) []provgraph.NodeID {
+	type cand struct {
+		id  provgraph.NodeID
+		deg int
+	}
+	var cands []cand
+	g.Nodes(func(node provgraph.Node) bool {
+		cands = append(cands, cand{id: node.ID, deg: len(g.Out(node.ID))})
+		return true
+	})
+	if n > len(cands) {
+		n = len(cands)
+	}
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].deg > cands[best].deg {
+				best = j
+			}
+		}
+		cands[i], cands[best] = cands[best], cands[i]
+	}
+	out := make([]provgraph.NodeID, n)
+	for i := 0; i < n; i++ {
+		out[i] = cands[i].id
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+// Package lipstick is the public API of the Lipstick workflow-provenance
+// library, a from-scratch Go implementation of "Putting Lipstick on Pig:
+// Enabling Database-style Workflow Provenance" (Amsterdamer, Davidson,
+// Deutch, Milo, Stoyanovich, Tannen; VLDB 2011).
+//
+// Lipstick marries database-style and workflow-style provenance: workflow
+// modules expose their functionality as Pig Latin queries over nested
+// relations, and executions are tracked into a provenance graph that
+// records fine-grained derivations (+, ·, δ, ⊗, aggregates, black boxes)
+// alongside workflow structure (module invocations, module inputs and
+// outputs, module state, workflow inputs). The graph supports ZoomIn and
+// ZoomOut between granularities, deletion propagation for what-if
+// analysis, and subgraph/dependency queries.
+//
+// A minimal session:
+//
+//	w := lipstick.NewWorkflow()                      // build a DAG of modules
+//	... w.AddNode / w.AddEdge / w.In / w.Out ...
+//	tr, err := lipstick.NewTracker(w, lipstick.Fine) // validate + prepare tracking
+//	tr.Runner().SetState("M_dealer", "Cars", bag, "car")
+//	exec, err := tr.Execute(lipstick.Inputs{"req": {"Requests": requests}})
+//	err = tr.Save("run.lpsk")                        // persist provenance
+//
+//	qp, err := lipstick.Load("run.lpsk")             // query processor
+//	qp.ZoomOut("M_dealer")
+//	res := qp.WhatIfDelete(node)                     // deletion propagation
+//	ok := qp.DependsOn(bid, car)                     // dependency query
+//
+// The facade re-exports the stable surface of the internal packages; the
+// full functionality (Pig Latin compiler, evaluation engine, provenance
+// semirings, NRC translation, OPM export, benchmark workloads) lives under
+// internal/ and is exercised by the examples and the benchmark harness.
+package lipstick
+
+import (
+	"lipstick/internal/core"
+	"lipstick/internal/nested"
+	"lipstick/internal/pig"
+	"lipstick/internal/provgraph"
+	"lipstick/internal/store"
+	"lipstick/internal/workflow"
+)
+
+// Data model.
+type (
+	// Value is a dynamically typed nested value (scalar, tuple, or bag).
+	Value = nested.Value
+	// Tuple is an ordered sequence of values.
+	Tuple = nested.Tuple
+	// Bag is an unordered multiset of tuples — the Pig Latin relation type.
+	Bag = nested.Bag
+	// Schema describes the fields of a relation's tuples.
+	Schema = nested.Schema
+	// Field is a named, typed column.
+	Field = nested.Field
+	// Type is a field type (scalar kind or nested tuple/bag).
+	Type = nested.Type
+	// RelationSchemas maps relation names to schemas.
+	RelationSchemas = nested.RelationSchemas
+)
+
+// Value constructors.
+var (
+	// Null returns the null value.
+	Null = nested.Null
+	// Bool builds a boolean value.
+	Bool = nested.Bool
+	// Int builds an integer value.
+	Int = nested.Int
+	// Float builds a floating point value.
+	Float = nested.Float
+	// Str builds a string value.
+	Str = nested.Str
+	// TupleVal wraps a tuple as a value.
+	TupleVal = nested.TupleVal
+	// BagVal wraps a bag as a value.
+	BagVal = nested.BagVal
+	// NewTuple builds a tuple from values.
+	NewTuple = nested.NewTuple
+	// NewBag builds a bag from tuples.
+	NewBag = nested.NewBag
+	// NewSchema builds a schema from fields.
+	NewSchema = nested.NewSchema
+	// ScalarType builds a scalar field type.
+	ScalarType = nested.ScalarType
+	// TupleType builds a nested-tuple field type.
+	TupleType = nested.TupleType
+	// BagType builds a nested-bag field type.
+	BagType = nested.BagType
+)
+
+// Scalar kinds.
+const (
+	KindNull   = nested.KindNull
+	KindBool   = nested.KindBool
+	KindInt    = nested.KindInt
+	KindFloat  = nested.KindFloat
+	KindString = nested.KindString
+	KindTuple  = nested.KindTuple
+	KindBag    = nested.KindBag
+)
+
+// Workflow model (Definitions 2.1-2.3 of the paper).
+type (
+	// Module is a workflow module: Pig Latin queries over input, state,
+	// and output relational schemas.
+	Module = workflow.Module
+	// Workflow is a connected DAG of module nodes.
+	Workflow = workflow.Workflow
+	// Inputs supplies one execution's workflow inputs.
+	Inputs = workflow.Inputs
+	// Execution is the result of one workflow execution.
+	Execution = workflow.Execution
+	// Granularity selects plain, coarse-grained, or fine-grained tracking.
+	Granularity = workflow.Granularity
+	// UDF is a user-defined (black box) function callable from Pig Latin.
+	UDF = pig.UDF
+	// Registry resolves UDF names for a module's programs.
+	Registry = pig.Registry
+)
+
+// Tracking granularities.
+const (
+	// Plain records no provenance.
+	Plain = workflow.Plain
+	// Coarse records workflow-level provenance (Section 3.1).
+	Coarse = workflow.Coarse
+	// Fine records full database-style provenance (Section 3.2).
+	Fine = workflow.Fine
+)
+
+// Workflow constructors.
+var (
+	// NewWorkflow returns an empty workflow DAG.
+	NewWorkflow = workflow.New
+	// NewRegistry returns an empty UDF registry.
+	NewRegistry = pig.NewRegistry
+	// WithEagerStateNodes makes invocations wrap every state tuple
+	// eagerly (the letter of Section 3.2) instead of on first use.
+	WithEagerStateNodes = workflow.WithEagerStateNodes
+)
+
+// The Lipstick system (Section 5.1).
+type (
+	// Tracker is the Provenance Tracker: executes workflows and persists
+	// provenance-annotated outputs plus the provenance graph.
+	Tracker = core.Tracker
+	// QueryProcessor answers zoom, deletion, subgraph, and dependency
+	// queries over a loaded provenance graph.
+	QueryProcessor = core.QueryProcessor
+	// NodeFilter selects graph nodes by structural properties.
+	NodeFilter = core.NodeFilter
+	// Lineage classifies everything a node's existence draws on.
+	Lineage = core.Lineage
+	// Snapshot is the tracker's persistent output.
+	Snapshot = store.Snapshot
+)
+
+// System constructors.
+var (
+	// NewTracker validates a workflow and prepares provenance tracking.
+	NewTracker = core.NewTracker
+	// Load reads a tracker snapshot from disk into a query processor.
+	Load = core.Load
+	// Read builds a query processor from a snapshot stream.
+	Read = core.Read
+	// FromTracker builds a query processor over a live tracker.
+	FromTracker = core.FromTracker
+	// NewQueryProcessor wraps an already-loaded snapshot.
+	NewQueryProcessor = core.NewQueryProcessor
+)
+
+// Provenance graph model (Section 3).
+type (
+	// Graph is the provenance graph.
+	Graph = provgraph.Graph
+	// Node is one provenance-graph node.
+	Node = provgraph.Node
+	// NodeID identifies a node within a graph.
+	NodeID = provgraph.NodeID
+	// DeletionResult reports what a deletion propagation removed.
+	DeletionResult = provgraph.DeletionResult
+	// SubgraphResult is the output of a subgraph query.
+	SubgraphResult = provgraph.SubgraphResult
+	// ZoomRecord lets ZoomIn undo a ZoomOut exactly.
+	ZoomRecord = provgraph.ZoomRecord
+)
+
+// Node classification re-exports.
+const (
+	// ClassP marks provenance nodes; ClassV marks value nodes.
+	ClassP = provgraph.ClassP
+	ClassV = provgraph.ClassV
+
+	// Node types of Section 3.
+	TypeWorkflowInput = provgraph.TypeWorkflowInput
+	TypeInvocation    = provgraph.TypeInvocation
+	TypeModuleInput   = provgraph.TypeModuleInput
+	TypeModuleOutput  = provgraph.TypeModuleOutput
+	TypeState         = provgraph.TypeState
+	TypeBaseTuple     = provgraph.TypeBaseTuple
+	TypeOp            = provgraph.TypeOp
+	TypeValue         = provgraph.TypeValue
+	TypeZoom          = provgraph.TypeZoom
+
+	// Operation labels.
+	OpPlus   = provgraph.OpPlus
+	OpTimes  = provgraph.OpTimes
+	OpDelta  = provgraph.OpDelta
+	OpTensor = provgraph.OpTensor
+	OpAgg    = provgraph.OpAgg
+	OpBB     = provgraph.OpBB
+)
+
+// InvalidNode is returned by lookups that find nothing.
+const InvalidNode = provgraph.InvalidNode
