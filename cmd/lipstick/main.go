@@ -4,6 +4,7 @@
 // Usage:
 //
 //	lipstick demo -o run.lpsk             # track a demo dealership run
+//	lipstick demo -o run.lpsk -p 4        # same, with a 4-worker pool
 //	lipstick info run.lpsk                # graph statistics
 //	lipstick outputs run.lpsk             # recorded output relations
 //	lipstick zoom run.lpsk M_dealer1      # coarse view of given modules
@@ -59,14 +60,26 @@ func run(args []string) error {
 // demo tracks a small dealership run and saves the snapshot.
 func demo(args []string) error {
 	out := "run.lpsk"
-	if len(args) == 2 && args[0] == "-o" {
-		out = args[1]
-	} else if len(args) != 0 {
-		return fmt.Errorf("usage: lipstick demo [-o file]")
+	parallel := 0
+	for len(args) > 0 {
+		switch {
+		case len(args) >= 2 && args[0] == "-o":
+			out = args[1]
+			args = args[2:]
+		case len(args) >= 2 && args[0] == "-p":
+			n, err := strconv.Atoi(args[1])
+			if err != nil {
+				return fmt.Errorf("demo: invalid -p value %q", args[1])
+			}
+			parallel = n
+			args = args[2:]
+		default:
+			return fmt.Errorf("usage: lipstick demo [-o file] [-p workers]")
+		}
 	}
 	run, err := workflowgen.RunDealership(workflowgen.DealershipParams{
 		NumCars: 240, NumExec: 10, Seed: 7,
-		Gran: workflow.Fine, StopOnPurchase: true,
+		Gran: workflow.Fine, StopOnPurchase: true, Parallelism: parallel,
 	})
 	if err != nil {
 		return err

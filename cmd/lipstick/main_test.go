@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLISmoke drives the quickstart flow end-to-end through the command
+// layer in a temp dir: track a demo run (parse -> execute -> store), then
+// load the snapshot back and run every query subcommand over it.
+func TestCLISmoke(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "run.lpsk")
+	muteStdout(t)
+
+	if err := run([]string{"demo", "-o", snap, "-p", "4"}); err != nil {
+		t.Fatalf("demo: %v", err)
+	}
+	info, err := os.Stat(snap)
+	if err != nil {
+		t.Fatalf("demo did not write the snapshot: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("snapshot is empty")
+	}
+
+	for _, cmd := range [][]string{
+		{"info", snap},
+		{"outputs", snap},
+		{"zoom", snap, "M_dealer1"},
+		{"delete", snap, "0"},
+		{"subgraph", snap, "0"},
+		{"lineage", snap, "0"},
+		{"dot", snap},
+		{"opm", snap},
+		{"json", snap},
+	} {
+		if err := run(cmd); err != nil {
+			t.Fatalf("%v: %v", cmd, err)
+		}
+	}
+}
+
+// TestCLIErrors checks argument validation paths.
+func TestCLIErrors(t *testing.T) {
+	for _, cmd := range [][]string{
+		nil,
+		{"bogus"},
+		{"info"},
+		{"demo", "-o"},
+		{"demo", "-p", "x"},
+		{"info", filepath.Join(t.TempDir(), "missing.lpsk")},
+	} {
+		if err := run(cmd); err == nil {
+			t.Fatalf("%v: expected an error", cmd)
+		}
+	}
+}
+
+// TestCLIDeleteRejectsBadNode checks node-id validation against a real
+// snapshot.
+func TestCLIDeleteRejectsBadNode(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "run.lpsk")
+	muteStdout(t)
+	if err := run([]string{"demo", "-o", snap}); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"delete", snap, "not-a-number"})
+	if err == nil || !strings.Contains(err.Error(), "invalid node id") {
+		t.Fatalf("want invalid node id error, got %v", err)
+	}
+}
+
+// muteStdout silences the subcommands' stdout for the test's duration.
+func muteStdout(t *testing.T) {
+	t.Helper()
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout := os.Stdout
+	os.Stdout = null
+	t.Cleanup(func() {
+		os.Stdout = stdout
+		null.Close()
+	})
+}

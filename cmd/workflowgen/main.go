@@ -29,6 +29,8 @@ func main() {
 	numCars := flag.Int("numcars", 0, "override the dealership inventory size")
 	seed := flag.Int64("seed", 0, "override the random seed")
 	trials := flag.Int("trials", 0, "override the number of trials per measurement")
+	parallel := flag.Int("parallel", 0,
+		"worker-pool size for module invocations in fig5a/fig5b (0 = sequential, -1 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {
@@ -55,6 +57,7 @@ func main() {
 	if *trials > 0 {
 		scale.Trials = *trials
 	}
+	scale.Parallelism = *parallel
 
 	ids := workflowgen.FigureIDs
 	if *fig != "all" {

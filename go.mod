@@ -1,0 +1,3 @@
+module lipstick
+
+go 1.24

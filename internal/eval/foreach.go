@@ -89,7 +89,7 @@ func (e *Engine) runForeach(o *pig.ForeachOp, env *Env) (*Relation, error) {
 		if e.b != nil {
 			prov = e.b.Project(d.sources...)
 			for _, vn := range d.valueNodes {
-				e.b.G.AddEdge(vn, prov)
+				e.b.AddEdge(vn, prov)
 			}
 		}
 		res.Add(e.b, AnnTuple{Tuple: d.tuple, Prov: prov, Mult: d.mult})
@@ -366,7 +366,7 @@ func (e *Engine) expandFlatten(res *Relation, owner AnnTuple, parts []flatPart, 
 			}
 			for _, p := range parts {
 				if p.bbNode != provgraph.InvalidNode {
-					e.b.G.AddEdge(p.bbNode, prov)
+					e.b.AddEdge(p.bbNode, prov)
 				}
 			}
 		}

@@ -228,6 +228,9 @@ func (g *Graph) AddEdge(src, dst NodeID) {
 	g.numEdges++
 }
 
+// setNodeInv attributes an existing node to an invocation (graphSink).
+func (g *Graph) setNodeInv(id NodeID, inv InvID) { g.nodes[id].Inv = inv }
+
 // Node returns the node with the given id.
 func (g *Graph) Node(id NodeID) Node { return g.nodes[id] }
 
@@ -341,12 +344,21 @@ func (g *Graph) InvocationsOf(module string) []InvID {
 // already").
 func (g *Graph) ConstNode(v nested.Value) NodeID {
 	key := v.Key()
-	if id, ok := g.constIndex[key]; ok && g.alive[id] {
+	if id, ok := g.constLookup(key); ok {
 		return id
 	}
 	id := g.AddNode(Node{Class: ClassV, Type: TypeValue, Op: OpConst, Value: v})
 	g.constIndex[key] = id
 	return id
+}
+
+// constLookup returns the live interned constant node for a value key.
+// Recorders consult it read-only while capturing concurrently.
+func (g *Graph) constLookup(key string) (NodeID, bool) {
+	if id, ok := g.constIndex[key]; ok && g.alive[id] {
+		return id, true
+	}
+	return InvalidNode, false
 }
 
 // Clone returns a deep copy of the graph (alive state included).

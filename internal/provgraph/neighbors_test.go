@@ -1,0 +1,86 @@
+package provgraph
+
+import "testing"
+
+// neighborGraph builds a small fan: a -> {b, c, d}, {b, c} -> e.
+func neighborGraph() (*Graph, []NodeID) {
+	g := New()
+	ids := make([]NodeID, 5)
+	for i := range ids {
+		ids[i] = g.AddNode(Node{Class: ClassP, Type: TypeOp, Op: OpPlus})
+	}
+	a, b, c, d, e := ids[0], ids[1], ids[2], ids[3], ids[4]
+	g.AddEdge(a, b)
+	g.AddEdge(a, c)
+	g.AddEdge(a, d)
+	g.AddEdge(b, e)
+	g.AddEdge(c, e)
+	return g, ids
+}
+
+func idsEqual(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestOutInAfterKillRevive is the regression test for the liveNeighbors
+// no-deletions fast path: Out/In must filter dead neighbors while any
+// node is dead, and return the full adjacency again after every kill is
+// undone by a revive.
+func TestOutInAfterKillRevive(t *testing.T) {
+	g, ids := neighborGraph()
+	a, b, c, _, e := ids[0], ids[1], ids[2], ids[3], ids[4]
+
+	if !idsEqual(g.Out(a), []NodeID{ids[1], ids[2], ids[3]}) {
+		t.Fatalf("Out(a) = %v before any deletion", g.Out(a))
+	}
+	g.kill(c)
+	if got := g.Out(a); !idsEqual(got, []NodeID{ids[1], ids[3]}) {
+		t.Fatalf("Out(a) = %v after killing c", got)
+	}
+	if got := g.In(e); !idsEqual(got, []NodeID{b}) {
+		t.Fatalf("In(e) = %v after killing c", got)
+	}
+	g.kill(b)
+	if got := g.In(e); len(got) != 0 {
+		t.Fatalf("In(e) = %v after killing b and c", got)
+	}
+	g.revive(c)
+	if got := g.In(e); !idsEqual(got, []NodeID{c}) {
+		t.Fatalf("In(e) = %v after reviving c", got)
+	}
+	g.revive(b)
+	// Back to zero deletions: the fast path must serve the full, correctly
+	// ordered adjacency again.
+	if g.dead != 0 {
+		t.Fatalf("dead = %d after reviving everything", g.dead)
+	}
+	if got := g.Out(a); !idsEqual(got, []NodeID{ids[1], ids[2], ids[3]}) {
+		t.Fatalf("Out(a) = %v after reviving everything", got)
+	}
+	if got := g.In(e); !idsEqual(got, []NodeID{b, c}) {
+		t.Fatalf("In(e) = %v after reviving everything", got)
+	}
+}
+
+// TestOutNoDeletionsDoesNotAllocate pins the fast path down: with no dead
+// nodes, Out/In return the adjacency without copying.
+func TestOutNoDeletionsDoesNotAllocate(t *testing.T) {
+	g, ids := neighborGraph()
+	a := ids[0]
+	allocs := testing.AllocsPerRun(100, func() {
+		if len(g.Out(a)) != 3 {
+			t.Fatal("wrong fan-out")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Out with g.dead == 0 allocated %.1f times per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,236 @@
+package provgraph
+
+import (
+	"fmt"
+
+	"lipstick/internal/nested"
+)
+
+// Local id spaces. A Recorder hands out node and invocation ids from a
+// range disjoint from any real graph id (graphs would need 2^30 nodes to
+// collide), so a remapped id is always distinguishable from an un-remapped
+// local one — remapping is idempotent, and accidentally using an undrained
+// local id against the real graph fails fast with an index panic instead
+// of silently reading the wrong node.
+const (
+	localNodeBase NodeID = 1 << 30
+	localInvBase  InvID  = 1 << 30
+)
+
+// IsLocalNode reports whether id is a Recorder-local placeholder that has
+// not been drained into a real graph yet.
+func IsLocalNode(id NodeID) bool { return id >= localNodeBase }
+
+// recOpKind tags one buffered graph mutation.
+type recOpKind uint8
+
+const (
+	opNode recOpKind = iota
+	opEdge
+	opInv
+	opSetInv
+	opConst
+)
+
+// recOp is one captured mutation. The fields used depend on kind:
+// opNode carries the node (its local id is implied by allocation order),
+// opEdge carries src/dst in a and b, opInv and opConst carry an index into
+// the recorder's invocation mirror / constant table, and opSetInv carries
+// the node id in a and the invocation id in inv.
+type recOp struct {
+	kind recOpKind
+	node Node
+	a, b NodeID
+	inv  InvID
+	idx  int
+}
+
+// Recorder is a per-invocation provenance capture buffer. It implements
+// the Builder's sink interface by queuing node/edge/invocation operations
+// locally (handing out placeholder ids) instead of mutating the shared
+// graph, so that independent module invocations can record provenance
+// concurrently. A scheduler drains recorders one at a time, in the exact
+// order the sequential runner would have executed the invocations; the
+// replay then assigns the same NodeIDs the sequential run assigns, which
+// is what keeps a parallel run's graph StructurallyEqual to a sequential
+// run's.
+//
+// During capture the shared graph is read-only for every recorder of the
+// in-flight wave (constant interning consults it); Drain must only be
+// called after all captures of the wave finished.
+type Recorder struct {
+	dst     *Builder
+	ops     []recOp
+	nNodes  int
+	invs    []Invocation
+	consts  map[string]NodeID
+	vals    []nested.Value
+	drained bool
+}
+
+// NewRecorder returns a capture buffer that drains into dst's graph.
+func NewRecorder(dst *Builder) *Recorder {
+	if dst == nil || dst.G == nil {
+		panic("provgraph: NewRecorder needs a direct builder")
+	}
+	return &Recorder{dst: dst, consts: make(map[string]NodeID)}
+}
+
+// Builder returns a Builder whose operations are captured by the recorder.
+// Its G field is nil: callers must never reach past the Builder API while
+// capturing.
+func (r *Recorder) Builder() *Builder {
+	return &Builder{sink: r, SimplifiedAgg: r.dst.SimplifiedAgg}
+}
+
+// Ops returns the number of buffered operations (tests and stats).
+func (r *Recorder) Ops() int { return len(r.ops) }
+
+// AddNode buffers a node creation and returns its local placeholder id.
+func (r *Recorder) AddNode(n Node) NodeID {
+	id := localNodeBase + NodeID(r.nNodes)
+	r.nNodes++
+	r.ops = append(r.ops, recOp{kind: opNode, node: n})
+	return id
+}
+
+// AddEdge buffers an edge; endpoints may be global ids (nodes committed
+// before this wave) or local placeholders.
+func (r *Recorder) AddEdge(src, dst NodeID) {
+	r.ops = append(r.ops, recOp{kind: opEdge, a: src, b: dst})
+}
+
+// AddInvocation buffers an invocation record and returns its local id. The
+// mirror copy keeps accumulating Inputs/Outputs/States through the pointer
+// returned by Invocation; Drain copies the final lists.
+func (r *Recorder) AddInvocation(inv Invocation) InvID {
+	id := localInvBase + InvID(len(r.invs))
+	inv.ID = id
+	r.invs = append(r.invs, inv)
+	r.ops = append(r.ops, recOp{kind: opInv, idx: len(r.invs) - 1})
+	return id
+}
+
+// Invocation resolves local invocation ids against the mirror; global ids
+// fall through to the shared graph (read-only during capture).
+func (r *Recorder) Invocation(id InvID) *Invocation {
+	if id >= localInvBase {
+		return &r.invs[id-localInvBase]
+	}
+	return r.dst.G.Invocation(id)
+}
+
+// ConstNode interns a constant value node. Values already interned in the
+// shared graph resolve to their global id immediately; new values get a
+// local placeholder whose drain-time replay re-interns against the graph
+// (a sibling recorder drained earlier may have created it first — exactly
+// the reuse the sequential run would perform).
+func (r *Recorder) ConstNode(v nested.Value) NodeID {
+	key := v.Key()
+	if id, ok := r.consts[key]; ok {
+		return id
+	}
+	if id, ok := r.dst.G.constLookup(key); ok {
+		r.consts[key] = id
+		return id
+	}
+	id := localNodeBase + NodeID(r.nNodes)
+	r.nNodes++
+	r.consts[key] = id
+	r.vals = append(r.vals, v)
+	r.ops = append(r.ops, recOp{kind: opConst, idx: len(r.vals) - 1})
+	return id
+}
+
+// setNodeInv buffers the invocation back-reference of an m-node.
+func (r *Recorder) setNodeInv(id NodeID, inv InvID) {
+	r.ops = append(r.ops, recOp{kind: opSetInv, a: id, inv: inv})
+}
+
+// Remap translates a drained recorder's local placeholder ids to the real
+// ids the replay assigned. Ids outside the local range (including
+// InvalidNode) pass through unchanged, so applying a remap twice is safe.
+type Remap struct {
+	nodes []NodeID
+	invs  []InvID
+}
+
+// Node translates a node id.
+func (m *Remap) Node(id NodeID) NodeID {
+	if m == nil || id < localNodeBase {
+		return id
+	}
+	return m.nodes[id-localNodeBase]
+}
+
+// Inv translates an invocation id.
+func (m *Remap) Inv(id InvID) InvID {
+	if m == nil || id < localInvBase {
+		return id
+	}
+	return m.invs[id-localInvBase]
+}
+
+// Drain replays the buffered operations into the destination graph in
+// capture order and returns the placeholder→real id translation. Because
+// node ids are assigned by append order, replaying recorders in the
+// sequential invocation order reproduces the sequential run's id
+// assignment exactly. Drain requires exclusive access to the destination
+// graph and may be called once.
+func (r *Recorder) Drain() (*Remap, error) {
+	if r.drained {
+		return nil, fmt.Errorf("provgraph: recorder drained twice")
+	}
+	r.drained = true
+	g := r.dst.G
+	m := &Remap{
+		nodes: make([]NodeID, 0, r.nNodes),
+		invs:  make([]InvID, 0, len(r.invs)),
+	}
+	for _, op := range r.ops {
+		switch op.kind {
+		case opNode:
+			n := op.node
+			n.Inv = m.Inv(n.Inv)
+			m.nodes = append(m.nodes, g.AddNode(n))
+		case opConst:
+			// Re-intern: reuses a node a previously drained sibling (or an
+			// earlier execution) created, or allocates — both match what
+			// the sequential run would have done at this point.
+			m.nodes = append(m.nodes, g.ConstNode(r.vals[op.idx]))
+		case opEdge:
+			g.AddEdge(m.Node(op.a), m.Node(op.b))
+		case opInv:
+			mir := r.invs[op.idx]
+			m.invs = append(m.invs, g.AddInvocation(Invocation{
+				Module:    mir.Module,
+				NodeName:  mir.NodeName,
+				Execution: mir.Execution,
+				MNode:     m.Node(mir.MNode),
+			}))
+		case opSetInv:
+			g.setNodeInv(m.Node(op.a), m.Inv(op.inv))
+		}
+	}
+	// The anchor lists kept growing after their opInv was buffered; copy
+	// the final state. List contents never influence id assignment, so
+	// fixing them up after the replay preserves equivalence.
+	for i := range r.invs {
+		rec := g.Invocation(m.invs[i])
+		rec.Inputs = m.nodeSlice(r.invs[i].Inputs)
+		rec.Outputs = m.nodeSlice(r.invs[i].Outputs)
+		rec.States = m.nodeSlice(r.invs[i].States)
+	}
+	return m, nil
+}
+
+func (m *Remap) nodeSlice(ids []NodeID) []NodeID {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]NodeID, len(ids))
+	for i, id := range ids {
+		out[i] = m.Node(id)
+	}
+	return out
+}

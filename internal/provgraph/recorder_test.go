@@ -1,0 +1,141 @@
+package provgraph
+
+import (
+	"testing"
+
+	"lipstick/internal/nested"
+)
+
+// buildInvocation drives one synthetic module invocation against b: an
+// m-node, two module inputs over base tuples, a join, an aggregate with a
+// constant contribution, and a module output.
+func buildInvocation(b *Builder, module string, exec int, aggVal int64) NodeID {
+	inv := b.BeginInvocation(module, module+"-node", exec)
+	t1 := b.BaseTuple(module + ".t1")
+	t2 := b.BaseTuple(module + ".t2")
+	i1 := b.ModuleInput(inv, t1)
+	i2 := b.ModuleInput(inv, t2)
+	j := b.Join(i1, i2)
+	agg := b.Aggregate("SUM", []AggContribution{
+		{TupleProv: j, Value: nested.Int(aggVal)},
+	}, nested.Int(aggVal))
+	return b.ModuleOutput(inv, j, agg)
+}
+
+// TestRecorderReplayMatchesDirect captures two invocations into separate
+// recorders over a shared prefix and checks the drained graph is
+// id-for-id identical to building the same operations directly.
+func TestRecorderReplayMatchesDirect(t *testing.T) {
+	direct := NewBuilder()
+	direct.WorkflowInput("I0")
+	buildInvocation(direct, "A", 0, 7)
+	buildInvocation(direct, "B", 0, 7)
+
+	cap := NewBuilder()
+	cap.WorkflowInput("I0")
+	recA := NewRecorder(cap)
+	recB := NewRecorder(cap)
+	outA := buildInvocation(recA.Builder(), "A", 0, 7)
+	outB := buildInvocation(recB.Builder(), "B", 0, 7)
+	if !IsLocalNode(outA) || !IsLocalNode(outB) {
+		t.Fatalf("capture builders must hand out local placeholder ids, got %d and %d", outA, outB)
+	}
+	if cap.G.TotalNodes() != 1 {
+		t.Fatalf("capture must not touch the shared graph, found %d nodes", cap.G.TotalNodes())
+	}
+	mapA, err := recA.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapB, err := recB.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !direct.G.StructurallyEqual(cap.G) {
+		t.Fatal("drained graph differs from directly built graph")
+	}
+	gA, gB := mapA.Node(outA), mapB.Node(outB)
+	if IsLocalNode(gA) || IsLocalNode(gB) {
+		t.Fatalf("remap left local ids: %d, %d", gA, gB)
+	}
+	if gA == gB {
+		t.Fatal("distinct recorder outputs remapped to the same node")
+	}
+	// Remapping is idempotent: global ids pass through.
+	if mapA.Node(gA) != gA {
+		t.Fatal("remap of a global id must be the identity")
+	}
+	// Invocation anchor lists were translated.
+	for _, invID := range []InvID{0, 1} {
+		rec := cap.G.Invocation(invID)
+		if len(rec.Inputs) != 2 || len(rec.Outputs) != 1 {
+			t.Fatalf("invocation %d anchors not restored: %+v", invID, rec)
+		}
+		for _, id := range append(append([]NodeID{rec.MNode}, rec.Inputs...), rec.Outputs...) {
+			if IsLocalNode(id) || !cap.G.Alive(id) {
+				t.Fatalf("invocation %d anchor %d not a live global node", invID, id)
+			}
+		}
+	}
+}
+
+// TestRecorderConstInterning checks that a constant created by an earlier
+// drained sibling is reused rather than duplicated — the behaviour the
+// sequential run exhibits when a later invocation aggregates the same
+// value.
+func TestRecorderConstInterning(t *testing.T) {
+	direct := NewBuilder()
+	buildInvocation(direct, "A", 0, 42)
+	buildInvocation(direct, "B", 0, 42)
+
+	cap := NewBuilder()
+	recA, recB := NewRecorder(cap), NewRecorder(cap)
+	buildInvocation(recA.Builder(), "A", 0, 42)
+	buildInvocation(recB.Builder(), "B", 0, 42)
+	if _, err := recA.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recB.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if !direct.G.StructurallyEqual(cap.G) {
+		t.Fatal("const-sharing drained graph differs from direct graph")
+	}
+	consts := 0
+	cap.G.Nodes(func(n Node) bool {
+		if n.Op == OpConst {
+			consts++
+		}
+		return true
+	})
+	if consts != 1 {
+		t.Fatalf("want the shared constant interned once, found %d const nodes", consts)
+	}
+}
+
+// TestRecorderReusesExistingConst checks capture-time interning against
+// constants already present in the shared graph: no op is buffered at all.
+func TestRecorderReusesExistingConst(t *testing.T) {
+	cap := NewBuilder()
+	existing := cap.G.ConstNode(nested.Int(5))
+	rec := NewRecorder(cap)
+	got := rec.Builder().ConstNode(nested.Int(5))
+	if got != existing {
+		t.Fatalf("capture ConstNode = %d, want existing global %d", got, existing)
+	}
+	if rec.Ops() != 0 {
+		t.Fatalf("reusing a global constant must not buffer ops, got %d", rec.Ops())
+	}
+}
+
+// TestRecorderDrainTwice checks the double-drain guard.
+func TestRecorderDrainTwice(t *testing.T) {
+	rec := NewRecorder(NewBuilder())
+	rec.Builder().BaseTuple("x")
+	if _, err := rec.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Drain(); err == nil {
+		t.Fatal("second Drain must fail")
+	}
+}

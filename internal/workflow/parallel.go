@@ -1,0 +1,132 @@
+package workflow
+
+import (
+	"fmt"
+	"sync"
+
+	"lipstick/internal/eval"
+	"lipstick/internal/provgraph"
+)
+
+// nodeTask is one module invocation scheduled onto the worker pool.
+type nodeTask struct {
+	name string
+	node *Node
+	cap  *capture
+	rec  *provgraph.Recorder
+	out  map[string]*eval.Relation
+	err  error
+}
+
+// executeParallel runs one execution with up to r.parallelism invocations
+// in flight. The scheduler walks the sequential topological order and
+// carves it into waves: a wave is the maximal next run of nodes whose
+// predecessors have all been committed and whose module names are
+// pairwise distinct (two workflow nodes labeled with the same module share
+// state, so they must observe each other's updates in sequential order).
+// Wave members execute concurrently, each capturing provenance into its
+// own provgraph.Recorder and bag-annotation overlay; at the wave barrier
+// the captures are drained back into the shared graph in topological
+// order. Draining in that order replays the exact operation stream the
+// sequential runner would have produced, so node ids, provenance tokens,
+// and the graph structure are identical to a sequential run — the
+// determinism contract behind the StructurallyEqual acceptance tests.
+//
+// Single-node waves (e.g. every wave of a serial workflow) skip capture
+// entirely and run directly against the shared builder, which is
+// byte-for-byte the sequential code path.
+func (r *Runner) executeParallel(inputs Inputs, execIdx int, exec *Execution,
+	produced map[string]map[string]*eval.Relation) error {
+	sem := make(chan struct{}, r.parallelism)
+	i := 0
+	for i < len(r.topo) {
+		// Grow the next wave. Predecessors of topo[i] appear earlier in
+		// topo order, so they are either committed (done) or part of the
+		// wave being grown — the latter forces the cut that keeps
+		// dependent nodes in later waves.
+		wave := make([]string, 0, len(r.topo)-i)
+		inWave := make(map[string]bool)
+		seenMod := make(map[string]bool)
+		for i < len(r.topo) {
+			name := r.topo[i]
+			mod := r.W.Node(name).Module.Name
+			if seenMod[mod] {
+				break
+			}
+			ready := true
+			for _, p := range r.preds[name] {
+				if inWave[p] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				break
+			}
+			wave = append(wave, name)
+			inWave[name] = true
+			seenMod[mod] = true
+			i++
+		}
+
+		if len(wave) == 1 {
+			// No concurrency: run directly against the shared builder,
+			// exactly like the sequential path.
+			name := wave[0]
+			node := r.W.Node(name)
+			cap := r.newCapture(node, r.builder, r.bags)
+			out, err := r.runNode(name, inputs, produced, execIdx, cap)
+			if err != nil {
+				return err
+			}
+			r.commit(name, node, cap, out, nil, exec, produced)
+			continue
+		}
+
+		// Capture phase: the shared graph, state entries of other modules,
+		// committed relations, and the root bag table are all read-only
+		// for the duration of the wave.
+		tasks := make([]*nodeTask, len(wave))
+		for ti, name := range wave {
+			node := r.W.Node(name)
+			t := &nodeTask{name: name, node: node}
+			var b *provgraph.Builder
+			if r.builder != nil {
+				t.rec = provgraph.NewRecorder(r.builder)
+				b = t.rec.Builder()
+			}
+			t.cap = r.newCapture(node, b, r.bags.Overlay())
+			tasks[ti] = t
+		}
+		var wg sync.WaitGroup
+		for _, t := range tasks {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(t *nodeTask) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				t.out, t.err = r.runNode(t.name, inputs, produced, execIdx, t.cap)
+			}(t)
+		}
+		wg.Wait()
+		for _, t := range tasks {
+			if t.err != nil {
+				return t.err
+			}
+		}
+
+		// Drain barrier: replay captures in topological (sequential) order.
+		for _, t := range tasks {
+			var remap *provgraph.Remap
+			if t.rec != nil {
+				var err error
+				remap, err = t.rec.Drain()
+				if err != nil {
+					return fmt.Errorf("workflow: node %s: %w", t.name, err)
+				}
+			}
+			r.commit(t.name, t.node, t.cap, t.out, remap, exec, produced)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+package workflow
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"lipstick/internal/nested"
+	"lipstick/internal/pig"
+)
+
+// runTestWorkflow executes the req -> {dealer1, dealer2} -> agg workflow
+// for three executions at the given granularity and options.
+func runTestWorkflow(t *testing.T, gran Granularity, opts ...Option) *Runner {
+	t.Helper()
+	r, err := NewRunner(buildTestWorkflow(t), gran, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedDealers(t, r)
+	for e := 0; e < 3; e++ {
+		inputs := Inputs{"req": {"Requests": requestBag("u1", fmt.Sprintf("B%d", e), "Civic")}}
+		if _, err := r.Execute(inputs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+// TestParallelExecutionMatchesSequential checks the core determinism
+// contract on the workflow package's own fixture: the parallel scheduler
+// produces an id-for-id identical provenance graph.
+func TestParallelExecutionMatchesSequential(t *testing.T) {
+	for _, gran := range []Granularity{Fine, Coarse} {
+		t.Run(gran.String(), func(t *testing.T) {
+			seq := runTestWorkflow(t, gran)
+			par := runTestWorkflow(t, gran, WithParallelism(4))
+			if !seq.Graph().StructurallyEqual(par.Graph()) {
+				t.Fatal("parallel graph differs from sequential graph")
+			}
+		})
+	}
+}
+
+// TestParallelEagerStateMatchesSequential covers the eager state-node
+// policy, which materializes every state tuple's s-node during capture.
+func TestParallelEagerStateMatchesSequential(t *testing.T) {
+	seq := runTestWorkflow(t, Fine, WithEagerStateNodes())
+	par := runTestWorkflow(t, Fine, WithEagerStateNodes(), WithParallelism(4))
+	if !seq.Graph().StructurallyEqual(par.Graph()) {
+		t.Fatal("parallel graph differs from sequential graph under eager state nodes")
+	}
+}
+
+// sharedModuleWorkflow labels two independent nodes with the same module:
+// req -> {n1, n2} (both M_dealer1) -> {sink1, sink2}. The nodes share
+// module state, so the scheduler must not run them concurrently even
+// though they are data-independent.
+func sharedModuleWorkflow(t *testing.T) *Workflow {
+	t.Helper()
+	w := New()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	dealer := dealerModule(1)
+	sink := func(name string) *Module {
+		return &Module{
+			Name:    "M_" + name,
+			In:      nested.RelationSchemas{"Bids1": bidsSchema()},
+			Out:     nested.RelationSchemas{"Bids1": bidsSchema()},
+			Program: "",
+		}
+	}
+	must(w.AddNode("req", requestModule()))
+	must(w.AddNode("n1", dealer))
+	must(w.AddNode("n2", dealer))
+	must(w.AddNode("sink1", sink("sink1")))
+	must(w.AddNode("sink2", sink("sink2")))
+	must(w.AddEdge("req", "n1", "Requests"))
+	must(w.AddEdge("req", "n2", "Requests"))
+	must(w.AddEdge("n1", "sink1", "Bids1"))
+	must(w.AddEdge("n2", "sink2", "Bids1"))
+	w.In = []string{"req"}
+	w.Out = []string{"sink1", "sink2"}
+	return w
+}
+
+// TestParallelSharedModuleSerializes checks that two same-module nodes in
+// the same dependency frontier still observe each other's state updates
+// in topological order: n2's bid must reflect the InventoryBids n1 just
+// recorded, exactly as in a sequential run.
+func TestParallelSharedModuleSerializes(t *testing.T) {
+	run := func(opts ...Option) *Runner {
+		r, err := NewRunner(sharedModuleWorkflow(t), Fine, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.SetState("M_dealer1", "Cars", carsBag([2]string{"C1", "Civic"}), "car"); err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < 2; e++ {
+			if _, err := r.Execute(Inputs{"req": {"Requests": requestBag("u1", fmt.Sprintf("B%d", e), "Civic")}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return r
+	}
+	seq := run()
+	par := run(WithParallelism(4))
+	if !seq.Graph().StructurallyEqual(par.Graph()) {
+		t.Fatal("parallel graph differs from sequential graph with a shared module")
+	}
+	srel, _ := seq.State("M_dealer1", "InventoryBids")
+	prel, _ := par.State("M_dealer1", "InventoryBids")
+	if !srel.Equal(prel) {
+		t.Fatalf("shared-module state diverged:\n  sequential %s\n  parallel   %s", srel, prel)
+	}
+}
+
+// TestParallelErrorPropagates checks a failing invocation inside a
+// multi-node wave surfaces its error.
+func TestParallelErrorPropagates(t *testing.T) {
+	w := New()
+	boom := &pig.UDF{
+		Name:      "Boom",
+		OutSchema: requestsSchema(),
+		Fn: func([]nested.Value) (*nested.Bag, error) {
+			return nil, fmt.Errorf("synthetic failure")
+		},
+	}
+	reg := pig.NewRegistry()
+	reg.MustRegister(boom)
+	fail := &Module{
+		Name:     "M_fail",
+		In:       nested.RelationSchemas{"Requests": requestsSchema()},
+		Out:      nested.RelationSchemas{"Out": requestsSchema()},
+		Program:  "G = GROUP Requests BY 1;\nOut = FOREACH G GENERATE FLATTEN(Boom(Requests));",
+		Registry: reg,
+	}
+	pass := &Module{
+		Name: "M_pass",
+		In:   nested.RelationSchemas{"Requests": requestsSchema()},
+		Out:  nested.RelationSchemas{"Requests": requestsSchema()},
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(w.AddNode("req", requestModule()))
+	must(w.AddNode("ok", pass))
+	must(w.AddNode("bad", fail))
+	must(w.AddEdge("req", "ok", "Requests"))
+	must(w.AddEdge("req", "bad", "Requests"))
+	w.In = []string{"req"}
+	w.Out = []string{"ok", "bad"}
+	r, err := NewRunner(w, Fine, WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Execute(Inputs{"req": {"Requests": requestBag("u1", "B0", "Civic")}})
+	if err == nil || !strings.Contains(err.Error(), "synthetic failure") {
+		t.Fatalf("want synthetic failure, got %v", err)
+	}
+}
+
+// TestWithParallelismDefaults checks the option's n<=0 -> GOMAXPROCS rule
+// and that the default runner stays sequential.
+func TestWithParallelismDefaults(t *testing.T) {
+	r, err := NewRunner(buildTestWorkflow(t), Plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Parallelism(); got != 1 {
+		t.Fatalf("default parallelism = %d, want 1", got)
+	}
+	r, err = NewRunner(buildTestWorkflow(t), Plain, WithParallelism(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.Parallelism(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("WithParallelism(0) = %d, want GOMAXPROCS = %d", got, want)
+	}
+	r, err = NewRunner(buildTestWorkflow(t), Plain, WithParallelism(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Parallelism(); got != 7 {
+		t.Fatalf("WithParallelism(7) = %d, want 7", got)
+	}
+}

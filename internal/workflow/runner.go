@@ -2,6 +2,7 @@ package workflow
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"lipstick/internal/eval"
@@ -73,17 +74,23 @@ type stateEntry struct {
 
 // Runner executes a workflow repeatedly, threading module state between
 // executions (Definition 2.3's sequences) and building the provenance
-// graph as it goes.
+// graph as it goes. A Runner is not safe for concurrent use; the
+// parallelism option parallelizes the inside of a single Execute call.
 type Runner struct {
 	W    *Workflow
 	Gran Granularity
 
 	builder *provgraph.Builder
-	bags    eval.BagAnnotations
+	bags    *eval.BagAnnotations
 	state   map[string]*stateEntry // by module name
 	topo    []string
+	preds   map[string][]string // node -> direct predecessors
 	inSet   map[string]bool
 	execs   int
+	// parallelism bounds the number of module invocations in flight within
+	// one execution; 1 (the default) is the fully sequential reference
+	// semantics.
+	parallelism int
 	// eagerState forces an "s" node per state tuple per invocation (the
 	// letter of Section 3.2); the default materializes state nodes lazily,
 	// only for tuples the invocation's queries actually use.
@@ -101,6 +108,28 @@ func WithEagerStateNodes() Option {
 	return func(r *Runner) { r.eagerState = true }
 }
 
+// WithParallelism dispatches independent module invocations of one
+// execution to a bounded worker pool of n goroutines. n <= 0 selects
+// GOMAXPROCS; n == 1 keeps the sequential reference path. Provenance
+// capture stays deterministic: concurrent invocations record into local
+// buffers (provgraph.Recorder) that are drained in the sequential
+// invocation order at scheduler barriers, so the resulting graph is
+// StructurallyEqual to — in fact, id-for-id identical with — a sequential
+// run's.
+func WithParallelism(n int) Option {
+	return func(r *Runner) { r.parallelism = ResolveParallelism(n) }
+}
+
+// ResolveParallelism applies WithParallelism's convention: n <= 0 means
+// GOMAXPROCS. Exposed so harnesses can report the worker count a runner
+// will actually use.
+func ResolveParallelism(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
 // NewRunner validates the workflow and prepares a runner.
 func NewRunner(w *Workflow, gran Granularity, opts ...Option) (*Runner, error) {
 	if err := w.Validate(); err != nil {
@@ -112,10 +141,15 @@ func NewRunner(w *Workflow, gran Granularity, opts ...Option) (*Runner, error) {
 	}
 	r := &Runner{
 		W: w, Gran: gran, topo: topo,
-		bags:     make(eval.BagAnnotations),
-		state:    make(map[string]*stateEntry),
-		inSet:    make(map[string]bool),
-		lastZoom: make(map[string]provgraph.NodeID),
+		bags:        eval.NewBagAnnotations(),
+		state:       make(map[string]*stateEntry),
+		preds:       make(map[string][]string),
+		inSet:       make(map[string]bool),
+		parallelism: 1,
+		lastZoom:    make(map[string]provgraph.NodeID),
+	}
+	for _, e := range w.Edges() {
+		r.preds[e.To] = append(r.preds[e.To], e.From)
 	}
 	for _, n := range w.In {
 		r.inSet[n] = true
@@ -153,8 +187,11 @@ func (r *Runner) Graph() *provgraph.Graph {
 // Executions returns the number of executions run so far.
 func (r *Runner) Executions() int { return r.execs }
 
+// Parallelism returns the configured worker-pool bound.
+func (r *Runner) Parallelism() int { return r.parallelism }
+
 // BagAnnotations exposes the nested-bag annotation table (used by tests).
-func (r *Runner) BagAnnotations() eval.BagAnnotations { return r.bags }
+func (r *Runner) BagAnnotations() *eval.BagAnnotations { return r.bags }
 
 // SetState initializes a module's state relation from a bag; each tuple
 // receives a base provenance node labeled "<prefix><i>" in tracked modes.
@@ -194,8 +231,90 @@ func (r *Runner) State(module, rel string) (*eval.Relation, bool) {
 	return rel2, ok
 }
 
+// capture bundles everything one module invocation records while it runs:
+// the builder its provenance ops go to (possibly Recorder-backed), the
+// bag-annotation layer it writes, and the results the sequential path
+// applies immediately but the parallel scheduler defers to its drain
+// barrier (workflow-input nodes, the coarse zoom chain).
+type capture struct {
+	b    *provgraph.Builder
+	bags *eval.BagAnnotations
+	// inputNodes collects the "I" nodes an input node created, in bag
+	// order; commit appends them to the execution.
+	inputNodes []provgraph.NodeID
+	// prevZoom is the module's previous coarse zoom node, prefetched by
+	// the scheduler (reading lastZoom inside a worker would race).
+	prevZoom    provgraph.NodeID
+	hasPrevZoom bool
+	// zoom is the invocation's new coarse zoom node; commit chains it.
+	zoom    provgraph.NodeID
+	hasZoom bool
+}
+
+// newCapture prepares the invocation context for one node. b and bags
+// are the recording targets: the runner's own builder and root bag table
+// for direct (sequential) execution, or a Recorder-backed builder and an
+// overlay for a concurrent wave member. The coarse zoom chain is
+// prefetched here because the caller holds exclusive access to lastZoom;
+// workers must not read it.
+func (r *Runner) newCapture(node *Node, b *provgraph.Builder, bags *eval.BagAnnotations) *capture {
+	cap := &capture{b: b, bags: bags}
+	if r.Gran == Coarse && len(node.Module.State) > 0 {
+		cap.prevZoom, cap.hasPrevZoom = r.lastZoom[node.Module.Name]
+	}
+	return cap
+}
+
+// commit applies an invocation's deferred results: registers its outputs,
+// appends its workflow-input nodes, and advances the coarse zoom chain.
+// remap is non-nil when the invocation captured into a Recorder that was
+// just drained; it translates the capture's placeholder node ids.
+func (r *Runner) commit(name string, node *Node, cap *capture, out map[string]*eval.Relation,
+	remap *provgraph.Remap, exec *Execution, produced map[string]map[string]*eval.Relation) {
+	if remap != nil {
+		for _, rel := range out {
+			rel.RemapProv(remap.Node)
+		}
+		if entry := r.state[node.Module.Name]; entry != nil {
+			for _, rel := range entry.rels {
+				rel.RemapProv(remap.Node)
+			}
+		}
+		for i, id := range cap.inputNodes {
+			cap.inputNodes[i] = remap.Node(id)
+		}
+		if cap.hasZoom {
+			cap.zoom = remap.Node(cap.zoom)
+		}
+	}
+	if cap.bags != r.bags {
+		var fn func(provgraph.NodeID) provgraph.NodeID
+		if remap != nil {
+			fn = remap.Node
+		}
+		cap.bags.MergeInto(r.bags, fn)
+	}
+	exec.InputNodes = append(exec.InputNodes, cap.inputNodes...)
+	if cap.hasZoom {
+		r.lastZoom[node.Module.Name] = cap.zoom
+	}
+	produced[name] = out
+}
+
+// runNode dispatches one workflow node (input or module) under a capture.
+func (r *Runner) runNode(name string, inputs Inputs, produced map[string]map[string]*eval.Relation,
+	execIdx int, cap *capture) (map[string]*eval.Relation, error) {
+	node := r.W.Node(name)
+	if r.inSet[name] {
+		return r.runInputNode(node, inputs[name], execIdx, cap)
+	}
+	return r.runModuleNode(node, produced, execIdx, cap)
+}
+
 // Execute runs one workflow execution over the given inputs and returns
 // its outputs; module state is updated in place for the next execution.
+// After an error the runner's module state may be partially advanced (in
+// both sequential and parallel modes); discard the runner.
 func (r *Runner) Execute(inputs Inputs) (*Execution, error) {
 	execIdx := r.execs
 	r.execs++
@@ -203,19 +322,20 @@ func (r *Runner) Execute(inputs Inputs) (*Execution, error) {
 	// produced[node][rel] is the annotated output of each node.
 	produced := make(map[string]map[string]*eval.Relation, len(r.topo))
 
-	for _, nodeName := range r.topo {
-		node := r.W.Node(nodeName)
-		var out map[string]*eval.Relation
-		var err error
-		if r.inSet[nodeName] {
-			out, err = r.runInputNode(node, inputs[nodeName], execIdx, exec)
-		} else {
-			out, err = r.runModuleNode(node, produced, execIdx)
-		}
-		if err != nil {
+	if r.parallelism > 1 {
+		if err := r.executeParallel(inputs, execIdx, exec, produced); err != nil {
 			return nil, err
 		}
-		produced[nodeName] = out
+	} else {
+		for _, nodeName := range r.topo {
+			node := r.W.Node(nodeName)
+			cap := r.newCapture(node, r.builder, r.bags)
+			out, err := r.runNode(nodeName, inputs, produced, execIdx, cap)
+			if err != nil {
+				return nil, err
+			}
+			r.commit(nodeName, node, cap, out, nil, exec, produced)
+		}
 	}
 	for _, outNode := range r.W.Out {
 		exec.Outputs[outNode] = produced[outNode]
@@ -238,7 +358,7 @@ func (r *Runner) ExecuteSequence(seq []Inputs) ([]*Execution, error) {
 
 // runInputNode turns provided workflow inputs into annotated relations;
 // every tuple gets a workflow-input ("I") node in tracked modes.
-func (r *Runner) runInputNode(node *Node, bags map[string]*nested.Bag, execIdx int, exec *Execution) (map[string]*eval.Relation, error) {
+func (r *Runner) runInputNode(node *Node, bags map[string]*nested.Bag, execIdx int, cap *capture) (map[string]*eval.Relation, error) {
 	m := node.Module
 	out := make(map[string]*eval.Relation, len(m.Out))
 	for _, rel := range sortedNames(m.Out) {
@@ -254,11 +374,11 @@ func (r *Runner) runInputNode(node *Node, bags map[string]*nested.Bag, execIdx i
 					return nil, fmt.Errorf("workflow: input %s.%s: %w", node.Name, rel, err)
 				}
 				prov := provgraph.InvalidNode
-				if r.builder != nil {
-					prov = r.builder.WorkflowInput(fmt.Sprintf("I%d.%s.%s.%d", execIdx, node.Name, rel, i))
-					exec.InputNodes = append(exec.InputNodes, prov)
+				if cap.b != nil {
+					prov = cap.b.WorkflowInput(fmt.Sprintf("I%d.%s.%s.%d", execIdx, node.Name, rel, i))
+					cap.inputNodes = append(cap.inputNodes, prov)
 				}
-				res.Add(r.builder, eval.AnnTuple{Tuple: t, Prov: prov, Mult: 1})
+				res.Add(cap.b, eval.AnnTuple{Tuple: t, Prov: prov, Mult: 1})
 			}
 		}
 		out[rel] = res
@@ -269,15 +389,16 @@ func (r *Runner) runInputNode(node *Node, bags map[string]*nested.Bag, execIdx i
 // runModuleNode executes one module invocation: binds inputs (i-nodes) and
 // state (s-nodes), evaluates the program, persists new state (preserving
 // base nodes of unchanged tuples), and wraps outputs in o-nodes.
-func (r *Runner) runModuleNode(node *Node, produced map[string]map[string]*eval.Relation, execIdx int) (map[string]*eval.Relation, error) {
+func (r *Runner) runModuleNode(node *Node, produced map[string]map[string]*eval.Relation, execIdx int, cap *capture) (map[string]*eval.Relation, error) {
 	m := node.Module
+	b := cap.b
 	fine := r.Gran == Fine
 	var inv provgraph.InvID
-	if r.builder != nil {
-		inv = r.builder.BeginInvocation(m.Name, node.Name, execIdx)
+	if b != nil {
+		inv = b.BeginInvocation(m.Name, node.Name, execIdx)
 	}
 
-	env := &eval.Env{Rels: make(map[string]*eval.Relation), Bags: r.bags}
+	env := &eval.Env{Rels: make(map[string]*eval.Relation), Bags: cap.bags}
 
 	// Bind inputs from incoming edges, wrapping each tuple in an i-node.
 	var inputNodes []provgraph.NodeID
@@ -294,11 +415,11 @@ func (r *Runner) runModuleNode(node *Node, produced map[string]map[string]*eval.
 			bound := eval.NewRelation(m.In[rel])
 			for _, t := range srcRel.Tuples {
 				prov := provgraph.InvalidNode
-				if r.builder != nil {
-					prov = r.builder.ModuleInput(inv, t.Prov)
+				if b != nil {
+					prov = b.ModuleInput(inv, t.Prov)
 					inputNodes = append(inputNodes, prov)
 				}
-				bound.Add(r.builder, eval.AnnTuple{Tuple: t.Tuple, Prov: prov, Mult: t.Mult})
+				bound.Add(b, eval.AnnTuple{Tuple: t.Tuple, Prov: prov, Mult: t.Mult})
 			}
 			env.Set(rel, bound)
 		}
@@ -323,13 +444,13 @@ func (r *Runner) runModuleNode(node *Node, produced map[string]map[string]*eval.
 		switch {
 		case fine && r.eagerState:
 			bound = stateRel.Rebind(func(t eval.AnnTuple) eval.AnnTuple {
-				return eval.AnnTuple{Tuple: t.Tuple, Prov: r.builder.StateTuple(inv, t.Prov), Mult: t.Mult}
+				return eval.AnnTuple{Tuple: t.Tuple, Prov: b.StateTuple(inv, t.Prov), Mult: t.Mult}
 			})
 		case fine:
 			bound = stateRel.Rebind(func(t eval.AnnTuple) eval.AnnTuple {
 				base := t.Prov
 				return eval.LazyAnnTuple(t.Tuple, t.Mult, func() provgraph.NodeID {
-					return r.builder.StateTuple(inv, base)
+					return b.StateTuple(inv, base)
 				})
 			})
 		default:
@@ -344,7 +465,7 @@ func (r *Runner) runModuleNode(node *Node, produced map[string]map[string]*eval.
 	// Evaluate the module program. Fine mode tracks per-operator
 	// provenance; plain and coarse modes run the untracked engine.
 	if m.Program != "" {
-		engine := eval.New(pickBuilder(fine, r.builder))
+		engine := eval.New(pickBuilder(fine, b))
 		if err := engine.Run(m.Plan(), env); err != nil {
 			return nil, fmt.Errorf("workflow: node %s (%s): %w", node.Name, m.Name, err)
 		}
@@ -374,7 +495,7 @@ func (r *Runner) runModuleNode(node *Node, produced map[string]map[string]*eval.
 			} else {
 				base = provgraph.InvalidNode
 			}
-			fresh.Add(pickBuilder(fine, r.builder), eval.AnnTuple{Tuple: t.Tuple, Prov: base, Mult: t.Mult})
+			fresh.Add(pickBuilder(fine, b), eval.AnnTuple{Tuple: t.Tuple, Prov: base, Mult: t.Mult})
 		}
 		entry.rels[rel] = fresh
 	}
@@ -388,15 +509,15 @@ func (r *Runner) runModuleNode(node *Node, produced map[string]map[string]*eval.
 	// in the paper's Section 5.5 coarse-grained comparison.
 	var zoom provgraph.NodeID = provgraph.InvalidNode
 	if r.Gran == Coarse {
-		zoom = r.builder.ZoomNode(inv)
+		zoom = b.ZoomNode(inv)
 		for _, in := range inputNodes {
-			r.builder.G.AddEdge(in, zoom)
+			b.AddEdge(in, zoom)
 		}
 		if len(m.State) > 0 {
-			if prev, ok := r.lastZoom[m.Name]; ok {
-				r.builder.G.AddEdge(prev, zoom)
+			if cap.hasPrevZoom {
+				b.AddEdge(cap.prevZoom, zoom)
 			}
-			r.lastZoom[m.Name] = zoom
+			cap.zoom, cap.hasZoom = zoom, true
 		}
 	}
 
@@ -412,11 +533,11 @@ func (r *Runner) runModuleNode(node *Node, produced map[string]map[string]*eval.
 			prov := provgraph.InvalidNode
 			switch r.Gran {
 			case Fine:
-				prov = r.builder.ModuleOutput(inv, t.Node())
+				prov = b.ModuleOutput(inv, t.Node())
 			case Coarse:
-				prov = r.builder.ModuleOutput(inv, zoom)
+				prov = b.ModuleOutput(inv, zoom)
 			}
-			res.Add(r.builder, eval.AnnTuple{Tuple: t.Tuple, Prov: prov, Mult: t.Mult})
+			res.Add(b, eval.AnnTuple{Tuple: t.Tuple, Prov: prov, Mult: t.Mult})
 		}
 		out[rel] = res
 	}

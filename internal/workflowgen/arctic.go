@@ -154,6 +154,10 @@ type ArcticParams struct {
 	// HistoryYears limits each station's historical state (0 = the full
 	// 1961-2000 record of 480 observations), letting benchmarks scale.
 	HistoryYears int
+	// Parallelism bounds concurrent module invocations per execution:
+	// 0 keeps the sequential default, n > 1 enables the parallel
+	// scheduler, negative selects GOMAXPROCS (workflow.WithParallelism).
+	Parallelism int
 }
 
 // arcticLayout computes each station's predecessor list and the final
@@ -284,7 +288,11 @@ func NewArcticRun(p ArcticParams) (*ArcticRun, error) {
 	w.In = []string{"in"}
 	w.Out = []string{"out"}
 
-	runner, err := workflow.NewRunner(w, p.Gran)
+	var opts []workflow.Option
+	if p.Parallelism != 0 {
+		opts = append(opts, workflow.WithParallelism(p.Parallelism))
+	}
+	runner, err := workflow.NewRunner(w, p.Gran, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -387,6 +387,10 @@ type DealershipParams struct {
 	Gran           workflow.Granularity
 	// EagerState creates state nodes for all state tuples per invocation.
 	EagerState bool
+	// Parallelism bounds concurrent module invocations per execution:
+	// 0 keeps the sequential default, n > 1 enables the parallel
+	// scheduler, negative selects GOMAXPROCS (workflow.WithParallelism).
+	Parallelism int
 }
 
 // DealershipRun is the result of driving the dealership workflow.
@@ -425,6 +429,9 @@ func NewDealershipRun(p DealershipParams) (*DealershipRun, error) {
 	var opts []workflow.Option
 	if p.EagerState {
 		opts = append(opts, workflow.WithEagerStateNodes())
+	}
+	if p.Parallelism != 0 {
+		opts = append(opts, workflow.WithParallelism(p.Parallelism))
 	}
 	runner, err := workflow.NewRunner(w, p.Gran, opts...)
 	if err != nil {

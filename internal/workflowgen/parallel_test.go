@@ -1,0 +1,149 @@
+package workflowgen
+
+import (
+	"testing"
+
+	"lipstick/internal/workflow"
+)
+
+// TestDealershipParallelDeterminism is the acceptance contract of the
+// parallel scheduler: a dealership run with an 8-worker pool produces a
+// provenance graph StructurallyEqual to the sequential run's (in fact the
+// scheduler replays the identical operation stream, so node ids match
+// id-for-id), and identical outputs.
+func TestDealershipParallelDeterminism(t *testing.T) {
+	for _, gran := range []workflow.Granularity{workflow.Fine, workflow.Coarse} {
+		t.Run(gran.String(), func(t *testing.T) {
+			params := DealershipParams{
+				NumCars: 160, NumExec: 4, Seed: 11,
+				Gran: gran, StopOnPurchase: false,
+			}
+			seq, err := RunDealership(params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			params.Parallelism = 8
+			par, err := RunDealership(params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := par.Runner.Parallelism(); got != 8 {
+				t.Fatalf("parallelism = %d, want 8", got)
+			}
+			sg, pg := seq.Runner.Graph(), par.Runner.Graph()
+			if sg.TotalNodes() != pg.TotalNodes() {
+				t.Fatalf("node counts diverge: sequential %d, parallel %d",
+					sg.TotalNodes(), pg.TotalNodes())
+			}
+			if !sg.StructurallyEqual(pg) {
+				t.Fatal("parallel provenance graph is not StructurallyEqual to the sequential graph")
+			}
+			if sg.NumInvocations() != pg.NumInvocations() {
+				t.Fatalf("invocation counts diverge: %d vs %d", sg.NumInvocations(), pg.NumInvocations())
+			}
+			compareOutputs(t, seq.Executions, par.Executions)
+		})
+	}
+}
+
+// TestArcticParallelDeterminism covers the three Arctic topologies; the
+// parallel fan-out topology is where the scheduler actually runs station
+// invocations concurrently.
+func TestArcticParallelDeterminism(t *testing.T) {
+	for _, cfg := range []struct {
+		name   string
+		topo   Topology
+		fanOut int
+	}{{"parallel", Parallel, 0}, {"dense", Dense, 2}, {"serial", Serial, 0}} {
+		t.Run(cfg.name, func(t *testing.T) {
+			params := ArcticParams{
+				Stations: 6, Topology: cfg.topo, FanOut: cfg.fanOut,
+				Selectivity: SelMonth, NumExec: 3, Seed: 5,
+				Gran: workflow.Fine, HistoryYears: 2,
+			}
+			seq, err := NewArcticRun(params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := seq.ExecuteAll(); err != nil {
+				t.Fatal(err)
+			}
+			params.Parallelism = 8
+			par, err := NewArcticRun(params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := par.ExecuteAll(); err != nil {
+				t.Fatal(err)
+			}
+			if !seq.Runner.Graph().StructurallyEqual(par.Runner.Graph()) {
+				t.Fatal("parallel provenance graph is not StructurallyEqual to the sequential graph")
+			}
+			compareOutputs(t, seq.Executions, par.Executions)
+		})
+	}
+}
+
+// TestDealershipParallelPlainMode checks the no-provenance path (which
+// parallelizes without recorders) computes identical outputs.
+func TestDealershipParallelPlainMode(t *testing.T) {
+	params := DealershipParams{
+		NumCars: 160, NumExec: 4, Seed: 11,
+		Gran: workflow.Plain, StopOnPurchase: false,
+	}
+	seq, err := RunDealership(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params.Parallelism = -1 // GOMAXPROCS
+	par, err := RunDealership(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Purchased != par.Purchased {
+		t.Fatalf("purchase outcome diverged: sequential %v, parallel %v", seq.Purchased, par.Purchased)
+	}
+	compareOutputs(t, seq.Executions, par.Executions)
+}
+
+// compareOutputs asserts two execution sequences produced identical
+// output relations, including provenance annotations.
+func compareOutputs(t *testing.T, seq, par []*workflow.Execution) {
+	t.Helper()
+	if len(seq) != len(par) {
+		t.Fatalf("execution counts diverge: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if len(seq[i].InputNodes) != len(par[i].InputNodes) {
+			t.Fatalf("execution %d: input-node counts diverge", i)
+		}
+		for j := range seq[i].InputNodes {
+			if seq[i].InputNodes[j] != par[i].InputNodes[j] {
+				t.Fatalf("execution %d: input node %d diverges: %d vs %d",
+					i, j, seq[i].InputNodes[j], par[i].InputNodes[j])
+			}
+		}
+		for node, rels := range seq[i].Outputs {
+			prels, ok := par[i].Outputs[node]
+			if !ok {
+				t.Fatalf("execution %d: parallel run missing output node %s", i, node)
+			}
+			for rel, srel := range rels {
+				prel, ok := prels[rel]
+				if !ok {
+					t.Fatalf("execution %d: parallel run missing relation %s.%s", i, node, rel)
+				}
+				if !srel.Equal(prel) {
+					t.Fatalf("execution %d: relation %s.%s diverges:\n  sequential %s\n  parallel   %s",
+						i, node, rel, srel, prel)
+				}
+				for k, st := range srel.Tuples {
+					if pt := prel.Tuples[k]; st.Prov != pt.Prov {
+						t.Fatalf("execution %d: %s.%s tuple %d provenance diverges: %d vs %d",
+							i, node, rel, k, st.Prov, pt.Prov)
+					}
+				}
+			}
+		}
+	}
+}

@@ -26,6 +26,14 @@
 //	res := qp.WhatIfDelete(node)                     // deletion propagation
 //	ok := qp.DependsOn(bid, car)                     // dependency query
 //
+// Execution can be parallelized: NewTracker (and workflow.NewRunner)
+// accept WithParallelism(n), which dispatches independent module
+// invocations of each execution to a bounded worker pool (n <= 0 selects
+// GOMAXPROCS). Provenance capture stays deterministic — concurrent
+// invocations record into local buffers that are drained in sequential
+// invocation order, so the resulting graph is identical (id-for-id) to a
+// sequential run's.
+//
 // The facade re-exports the stable surface of the internal packages; the
 // full functionality (Pig Latin compiler, evaluation engine, provenance
 // semirings, NRC translation, OPM export, benchmark workloads) lives under
@@ -138,6 +146,10 @@ var (
 	// WithEagerStateNodes makes invocations wrap every state tuple
 	// eagerly (the letter of Section 3.2) instead of on first use.
 	WithEagerStateNodes = workflow.WithEagerStateNodes
+	// WithParallelism runs independent module invocations of each
+	// execution on a bounded worker pool (n <= 0 selects GOMAXPROCS)
+	// while keeping provenance capture deterministic.
+	WithParallelism = workflow.WithParallelism
 )
 
 // The Lipstick system (Section 5.1).
