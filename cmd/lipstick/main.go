@@ -1,5 +1,8 @@
 // Command lipstick inspects and queries persisted provenance snapshots
-// (the Query Processor of Section 5.1 as a CLI).
+// (the Query Processor of Section 5.1 as a CLI and as an HTTP service).
+// Every query subcommand is a thin caller of the shared handler layer in
+// internal/serve — the same code path `lipstick serve` exposes over HTTP,
+// answered from a cached, indexed processor.
 //
 // Usage:
 //
@@ -11,19 +14,21 @@
 //	lipstick delete run.lpsk 42           # what-if deletion from node 42
 //	lipstick subgraph run.lpsk 42         # subgraph query
 //	lipstick lineage run.lpsk 42          # classified ancestry of node 42
+//	lipstick find run.lpsk -type tuple -module M_dealer1   # node selection
 //	lipstick dot run.lpsk                 # Graphviz DOT on stdout
 //	lipstick opm run.lpsk                 # Open Provenance Model JSON
 //	lipstick json run.lpsk                # full snapshot as JSON
+//	lipstick serve -addr :8080 run.lpsk   # the same queries over HTTP
 package main
 
 import (
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 
-	"lipstick/internal/core"
-	"lipstick/internal/opm"
-	"lipstick/internal/provgraph"
+	"lipstick/internal/serve"
 	"lipstick/internal/store"
 	"lipstick/internal/workflow"
 	"lipstick/internal/workflowgen"
@@ -38,20 +43,18 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: lipstick <demo|info|outputs|zoom|delete|subgraph|lineage|dot|opm|json> ...")
+		return fmt.Errorf("usage: lipstick <demo|serve|info|outputs|zoom|delete|subgraph|lineage|find|dot|opm|json> ...")
 	}
 	switch args[0] {
 	case "demo":
 		return demo(args[1:])
-	case "info", "outputs", "zoom", "delete", "subgraph", "lineage", "dot", "opm", "json":
+	case "serve":
+		return serveCmd(args[1:])
+	case "info", "outputs", "zoom", "delete", "subgraph", "lineage", "find", "dot", "opm", "json":
 		if len(args) < 2 {
 			return fmt.Errorf("usage: lipstick %s <snapshot> ...", args[0])
 		}
-		qp, err := core.Load(args[1])
-		if err != nil {
-			return err
-		}
-		return query(args[0], qp, args[2:])
+		return query(args[0], serve.NewService(nil), args[1], args[2:])
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
@@ -105,19 +108,62 @@ func demo(args []string) error {
 	return nil
 }
 
-func query(cmd string, qp *core.QueryProcessor, args []string) error {
-	g := qp.Graph()
+// serveCmd starts the long-running query service: every query subcommand
+// as an HTTP endpoint over one snapshot, answered from the cached
+// processor.
+func serveCmd(args []string) error {
+	addr := ":8080"
+	snapshot := ""
+	for len(args) > 0 {
+		switch {
+		case len(args) >= 2 && args[0] == "-addr":
+			addr = args[1]
+			args = args[2:]
+		case snapshot == "" && len(args[0]) > 0 && args[0][0] != '-':
+			snapshot = args[0]
+			args = args[1:]
+		default:
+			return fmt.Errorf("usage: lipstick serve [-addr host:port] <snapshot>")
+		}
+	}
+	if snapshot == "" {
+		return fmt.Errorf("usage: lipstick serve [-addr host:port] <snapshot>")
+	}
+	svc := serve.NewService(nil)
+	// Load (and index) the snapshot before accepting traffic, so a bad
+	// path or corrupt file fails fast instead of on the first request.
+	if _, err := svc.Info(snapshot); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	fmt.Printf("lipstick: serving %s on http://%s\n", snapshot, ln.Addr())
+	return http.Serve(ln, svc.Handler(snapshot))
+}
+
+// query dispatches one query subcommand through the shared handler layer
+// and renders the structured result as text.
+func query(cmd string, svc *serve.Service, path string, args []string) error {
 	switch cmd {
 	case "info":
-		stats := g.ComputeStats()
+		r, err := svc.Info(path)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("nodes: %d (p: %d, v: %d)\nedges: %d\ninvocations: %d\n",
-			stats.Nodes, stats.PNodes, stats.VNodes, stats.Edges, stats.Invocations)
-		for t, n := range stats.ByType {
+			r.Nodes, r.PNodes, r.VNodes, r.Edges, r.Invocations)
+		for t, n := range r.ByType {
 			fmt.Printf("  %-6s %d\n", t, n)
 		}
 		return nil
 	case "outputs":
-		for _, d := range qp.Outputs() {
+		r, err := svc.Outputs(path)
+		if err != nil {
+			return err
+		}
+		for _, d := range r.Relations {
 			fmt.Printf("execution %d, %s.%s:\n", d.Execution, d.Node, d.Relation)
 			for _, t := range d.Tuples {
 				fmt.Printf("  node %-6d x%d  %s\n", t.Prov, t.Mult, t.Tuple)
@@ -128,59 +174,105 @@ func query(cmd string, qp *core.QueryProcessor, args []string) error {
 		if len(args) == 0 {
 			return fmt.Errorf("usage: lipstick zoom <snapshot> <module> ...")
 		}
-		before := g.NumNodes()
-		if err := qp.ZoomOut(args...); err != nil {
-			return err
-		}
-		fmt.Printf("zoomed out %v: %d -> %d nodes\n", args, before, g.NumNodes())
-		return nil
-	case "delete":
-		id, err := nodeArg(args, g)
+		r, err := svc.Zoom(path, args...)
 		if err != nil {
 			return err
 		}
-		res := qp.WhatIfDelete(id)
-		fmt.Printf("deleting node %d removes %d node(s):\n", id, res.Size())
-		for _, r := range res.Removed {
-			n := g.Node(r)
-			fmt.Printf("  %-6d %s %s %s\n", r, n.Type, n.Op, n.Label)
+		fmt.Printf("zoomed out %v: %d -> %d nodes\n", r.Modules, r.NodesBefore, r.NodesAfter)
+		return nil
+	case "delete":
+		node, err := nodeArg(args)
+		if err != nil {
+			return err
+		}
+		r, err := svc.Delete(path, node)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("deleting node %d removes %d node(s):\n", r.Node, r.RemovedCount)
+		for _, n := range r.Removed {
+			fmt.Printf("  %-6d %s %s %s\n", n.ID, n.Type, n.Op, n.Label)
 		}
 		return nil
 	case "subgraph":
-		id, err := nodeArg(args, g)
+		node, err := nodeArg(args)
 		if err != nil {
 			return err
 		}
-		sub := qp.Subgraph(id)
-		fmt.Printf("subgraph of node %d: %d node(s)\n", id, sub.Size())
+		r, err := svc.Subgraph(path, node)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("subgraph of node %d: %d node(s)\n", r.Root, r.Size)
 		return nil
 	case "lineage":
-		id, err := nodeArg(args, g)
+		node, err := nodeArg(args)
 		if err != nil {
 			return err
 		}
-		l := qp.Lineage(id)
+		r, err := svc.Lineage(path, node)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("node %d: %d ancestors; %d workflow input(s); %d state tuple(s); modules %v\n",
-			id, l.AncestorCount, len(l.Inputs), len(l.StateTuples), l.Modules)
-		fmt.Printf("provenance: %s\n", qp.Expr(id))
+			r.Node, r.AncestorCount, len(r.Inputs), len(r.StateTuples), r.Modules)
+		fmt.Printf("provenance: %s\n", r.Provenance)
+		return nil
+	case "find":
+		req, err := findArgs(args)
+		if err != nil {
+			return err
+		}
+		r, err := svc.Find(path, req)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d node(s)", r.Count)
+		if r.Count > 0 {
+			fmt.Printf(": %v", r.Nodes)
+		}
+		fmt.Println()
 		return nil
 	case "dot":
-		return g.WriteDOT(os.Stdout, "lipstick")
+		return svc.WriteDOT(path, os.Stdout)
 	case "opm":
-		return opm.Export(g).WriteJSON(os.Stdout)
+		return svc.WriteOPM(path, os.Stdout)
 	case "json":
-		return store.ExportJSON(os.Stdout, &store.Snapshot{Graph: g, Outputs: qp.Outputs()})
+		return svc.WriteJSON(path, os.Stdout)
 	}
 	return fmt.Errorf("unhandled command %q", cmd)
 }
 
-func nodeArg(args []string, g *provgraph.Graph) (provgraph.NodeID, error) {
+func nodeArg(args []string) (string, error) {
 	if len(args) != 1 {
-		return 0, fmt.Errorf("expected a node id argument")
+		return "", fmt.Errorf("expected a node id argument")
 	}
-	n, err := strconv.Atoi(args[0])
-	if err != nil || n < 0 || n >= g.TotalNodes() {
-		return 0, fmt.Errorf("invalid node id %q (graph has %d nodes)", args[0], g.TotalNodes())
+	return args[0], nil
+}
+
+// findArgs parses the find subcommand's filter flags.
+func findArgs(args []string) (serve.FindRequest, error) {
+	var req serve.FindRequest
+	for len(args) > 0 {
+		if len(args) < 2 {
+			return req, fmt.Errorf("usage: lipstick find <snapshot> [-class p|v] [-type t] [-op o] [-label l] [-module m]")
+		}
+		val := args[1]
+		switch args[0] {
+		case "-class":
+			req.Classes = append(req.Classes, val)
+		case "-type":
+			req.Types = append(req.Types, val)
+		case "-op":
+			req.Ops = append(req.Ops, val)
+		case "-label":
+			req.Label = val
+		case "-module":
+			req.Module = val
+		default:
+			return req, fmt.Errorf("find: unknown flag %q", args[0])
+		}
+		args = args[2:]
 	}
-	return provgraph.NodeID(n), nil
+	return req, nil
 }

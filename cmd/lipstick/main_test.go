@@ -1,10 +1,15 @@
 package main
 
 import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"lipstick/internal/serve"
 )
 
 // TestCLISmoke drives the quickstart flow end-to-end through the command
@@ -33,6 +38,9 @@ func TestCLISmoke(t *testing.T) {
 		{"delete", snap, "0"},
 		{"subgraph", snap, "0"},
 		{"lineage", snap, "0"},
+		{"find", snap, "-type", "m"},
+		{"find", snap, "-module", "M_dealer1", "-type", "o"},
+		{"find", snap, "-class", "v", "-op", "agg"},
 		{"dot", snap},
 		{"opm", snap},
 		{"json", snap},
@@ -52,10 +60,76 @@ func TestCLIErrors(t *testing.T) {
 		{"demo", "-o"},
 		{"demo", "-p", "x"},
 		{"info", filepath.Join(t.TempDir(), "missing.lpsk")},
+		{"serve"},
+		{"serve", "-addr", ":0"},
+		{"serve", "-addr", ":0", filepath.Join(t.TempDir(), "missing.lpsk")},
+		{"serve", "-bogus", "x", "y"},
 	} {
 		if err := run(cmd); err == nil {
 			t.Fatalf("%v: expected an error", cmd)
 		}
+	}
+}
+
+// TestCLIFindErrors checks the find flag parser against a real snapshot.
+func TestCLIFindErrors(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "run.lpsk")
+	muteStdout(t)
+	if err := run([]string{"demo", "-o", snap}); err != nil {
+		t.Fatal(err)
+	}
+	for _, cmd := range [][]string{
+		{"find", snap, "-type"},
+		{"find", snap, "-frob", "x"},
+		{"find", snap, "-type", "bogus"},
+		{"find", snap, "-class", "q"},
+	} {
+		if err := run(cmd); err == nil {
+			t.Fatalf("%v: expected an error", cmd)
+		}
+	}
+}
+
+// TestServeEndToEnd boots the HTTP service on a loopback port via the
+// same handler `lipstick serve` installs and round-trips two queries —
+// the CLI and the server sharing one code path is the point.
+func TestServeEndToEnd(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "run.lpsk")
+	muteStdout(t)
+	if err := run([]string{"demo", "-o", snap}); err != nil {
+		t.Fatal(err)
+	}
+	svc := serve.NewService(nil)
+	srv := httptest.NewServer(svc.Handler(snap))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("info status = %d", resp.StatusCode)
+	}
+	var info serve.InfoResult
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Nodes == 0 {
+		t.Errorf("info = %+v", info)
+	}
+
+	resp2, err := http.Get(srv.URL + "/v1/lineage?node=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var lin serve.LineageResult
+	if err := json.NewDecoder(resp2.Body).Decode(&lin); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.StatusCode != 200 {
+		t.Fatalf("lineage status = %d", resp2.StatusCode)
 	}
 }
 

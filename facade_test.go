@@ -1,6 +1,9 @@
 package lipstick_test
 
 import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"testing"
 
@@ -168,5 +171,65 @@ func TestFacadeEagerStateNodes(t *testing.T) {
 	// Only item A joins; lazy creates one s-node, eager creates three.
 	if sizes["eager"] != sizes["lazy"]+2 {
 		t.Errorf("eager = %d nodes, lazy = %d; want exactly 2 more (B and C)", sizes["eager"], sizes["lazy"])
+	}
+}
+
+// TestFacadeOpenAndQueryService covers the cached query path: Open
+// returns one shared processor per snapshot version, and the query
+// service answers over HTTP from the same cache.
+func TestFacadeOpenAndQueryService(t *testing.T) {
+	w := buildFacadeWorkflow(t)
+	tr, err := lipstick.NewTracker(w, lipstick.Fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := lipstick.NewBag(lipstick.NewTuple(lipstick.Str("A"), lipstick.Float(10)))
+	if err := tr.Runner().SetState("M_match", "Items", items, "item"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Execute(lipstick.Inputs{
+		"src": {"Req": lipstick.NewBag(lipstick.NewTuple(lipstick.Str("A")))},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.lpsk")
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	qp1, err := lipstick.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp2, err := lipstick.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qp1 != qp2 {
+		t.Error("Open did not return the cached processor")
+	}
+	if got := qp1.FindNodes(lipstick.NodeFilter{Label: "item0"}); len(got) != 1 {
+		t.Errorf("item0 via cached processor = %v", got)
+	}
+
+	svc := lipstick.NewQueryService(lipstick.NewSnapshotManager(2))
+	srv := httptest.NewServer(svc.Handler(path))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("info status = %d", resp.StatusCode)
+	}
+	var info struct {
+		Nodes int `json:"nodes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Nodes == 0 {
+		t.Error("served info reported an empty graph")
 	}
 }

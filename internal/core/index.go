@@ -1,0 +1,139 @@
+package core
+
+import (
+	"lipstick/internal/provgraph"
+	"lipstick/internal/store"
+)
+
+// Index is the query-side postings index a QueryProcessor answers
+// selection queries from. Indexed (v2) snapshots carry the postings on
+// disk, written at track time; for legacy v1 snapshots (or processors
+// built over a live tracker) the postings are computed once at
+// construction. Either way, FindNodes intersects sorted postings lists
+// instead of scanning every node.
+//
+// The index is immutable: graph transformations only flip node liveness
+// (which lookups re-check) or append nodes past the indexed range (which
+// lookups sweep separately), so it stays valid across ZoomOut/ZoomIn and
+// deletion propagation without maintenance.
+type Index struct {
+	data *store.Index
+}
+
+// newIndex adopts a snapshot's persisted postings or builds them from the
+// graph in one pass.
+func newIndex(snap *store.Snapshot) *Index {
+	d := snap.Index
+	if d == nil {
+		d = store.BuildIndex(snap.Graph)
+	}
+	return &Index{data: d}
+}
+
+// Coverage returns the number of node slots the postings cover. Nodes
+// appended after the index was built (e.g. zoom nodes installed by
+// ZoomOut) have ids >= Coverage() and are not in any postings list.
+func (ix *Index) Coverage() int { return ix.data.Nodes }
+
+// ModuleInvocations returns the indexed invocation ids of a module.
+func (ix *Index) ModuleInvocations(module string) []provgraph.InvID {
+	return ix.data.ModuleInvs[module]
+}
+
+// candidates returns the sorted intersection of the postings lists for
+// the filter's indexed dimensions (types, ops, label, module). The second
+// result is false when no indexed dimension constrains the filter — the
+// caller must fall back to a scan (Classes alone are near-useless as a
+// pre-filter: every node is one of two classes).
+func (ix *Index) candidates(f NodeFilter) ([]provgraph.NodeID, bool) {
+	var lists [][]provgraph.NodeID
+	if len(f.Types) > 0 {
+		per := make([][]provgraph.NodeID, 0, len(f.Types))
+		for _, t := range f.Types {
+			per = append(per, ix.data.ByType[t])
+		}
+		lists = append(lists, unionSorted(per))
+	}
+	if len(f.Ops) > 0 {
+		per := make([][]provgraph.NodeID, 0, len(f.Ops))
+		for _, o := range f.Ops {
+			per = append(per, ix.data.ByOp[o])
+		}
+		lists = append(lists, unionSorted(per))
+	}
+	if f.Label != "" {
+		lists = append(lists, ix.data.ByLabel[f.Label])
+	}
+	if f.Module != "" {
+		lists = append(lists, ix.data.ByModule[f.Module])
+	}
+	if len(lists) == 0 {
+		return nil, false
+	}
+	cand := lists[0]
+	for _, l := range lists[1:] {
+		if len(cand) == 0 {
+			break
+		}
+		cand = intersectSorted(cand, l)
+	}
+	return cand, true
+}
+
+// unionSorted merges sorted id lists into one sorted duplicate-free list.
+// Postings for distinct keys of one dimension are disjoint, but callers
+// may repeat a key (e.g. `?type=m&type=m` over HTTP), so the merge must
+// have set-union semantics to match what the scan path returns.
+func unionSorted(lists [][]provgraph.NodeID) []provgraph.NodeID {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	out := lists[0]
+	for _, l := range lists[1:] {
+		out = mergeSorted(out, l)
+	}
+	return out
+}
+
+func mergeSorted(a, b []provgraph.NodeID) []provgraph.NodeID {
+	out := make([]provgraph.NodeID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// intersectSorted returns the ids present in both sorted lists.
+func intersectSorted(a, b []provgraph.NodeID) []provgraph.NodeID {
+	var out []provgraph.NodeID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

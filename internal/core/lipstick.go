@@ -102,6 +102,7 @@ func (t *Tracker) WriteSnapshot(w io.Writer) error {
 type QueryProcessor struct {
 	graph   *provgraph.Graph
 	outputs []store.RelationDump
+	index   *Index
 	zooms   []*provgraph.ZoomRecord
 	zoomed  map[string]bool
 }
@@ -124,10 +125,21 @@ func Read(r io.Reader) (*QueryProcessor, error) {
 	return NewQueryProcessor(snap), nil
 }
 
-// NewQueryProcessor wraps an already-loaded snapshot.
+// NewQueryProcessor wraps an already-loaded snapshot. Indexed (v2)
+// snapshots contribute their persisted postings; otherwise the index is
+// built from the graph here, once, instead of rescanning per query.
 func NewQueryProcessor(snap *store.Snapshot) *QueryProcessor {
-	return &QueryProcessor{graph: snap.Graph, outputs: snap.Outputs, zoomed: map[string]bool{}}
+	return &QueryProcessor{
+		graph:   snap.Graph,
+		outputs: snap.Outputs,
+		index:   newIndex(snap),
+		zoomed:  map[string]bool{},
+	}
 }
+
+// Index exposes the processor's postings index (module→invocation lookups
+// and coverage introspection).
+func (qp *QueryProcessor) Index() *Index { return qp.index }
 
 // FromTracker builds a query processor directly over a tracker's live
 // graph (without a round-trip through the filesystem).

@@ -25,27 +25,11 @@ type NodeFilter struct {
 	Module string
 }
 
-func containsClass(cs []provgraph.Class, c provgraph.Class) bool {
-	for _, x := range cs {
-		if x == c {
-			return true
-		}
-	}
-	return false
-}
-
-func containsType(ts []provgraph.Type, t provgraph.Type) bool {
-	for _, x := range ts {
-		if x == t {
-			return true
-		}
-	}
-	return false
-}
-
-func containsOp(os []provgraph.Op, o provgraph.Op) bool {
-	for _, x := range os {
-		if x == o {
+// contains reports whether xs holds x (the multi-value filter dimensions
+// are tiny slices, so a linear probe beats any set structure).
+func contains[T comparable](xs []T, x T) bool {
+	for _, v := range xs {
+		if v == x {
 			return true
 		}
 	}
@@ -54,13 +38,13 @@ func containsOp(os []provgraph.Op, o provgraph.Op) bool {
 
 // Matches reports whether a node satisfies the filter.
 func (f NodeFilter) Matches(g *provgraph.Graph, n provgraph.Node) bool {
-	if len(f.Classes) > 0 && !containsClass(f.Classes, n.Class) {
+	if len(f.Classes) > 0 && !contains(f.Classes, n.Class) {
 		return false
 	}
-	if len(f.Types) > 0 && !containsType(f.Types, n.Type) {
+	if len(f.Types) > 0 && !contains(f.Types, n.Type) {
 		return false
 	}
-	if len(f.Ops) > 0 && !containsOp(f.Ops, n.Op) {
+	if len(f.Ops) > 0 && !contains(f.Ops, n.Op) {
 		return false
 	}
 	if f.Label != "" && n.Label != f.Label {
@@ -78,7 +62,37 @@ func (f NodeFilter) Matches(g *provgraph.Graph, n provgraph.Node) bool {
 }
 
 // FindNodes returns the live nodes matching the filter, in id order.
+//
+// When the filter constrains an indexed dimension (type, op, label, or
+// module) the candidates come from intersecting the snapshot's postings
+// lists; only nodes appended to the graph after the index was built (zoom
+// nodes installed at query time) are swept linearly. Unconstrained (or
+// class-only) filters fall back to the full scan, which is what they
+// would touch anyway.
 func (qp *QueryProcessor) FindNodes(f NodeFilter) []provgraph.NodeID {
+	cand, indexed := qp.index.candidates(f)
+	if !indexed {
+		return qp.findNodesScan(f)
+	}
+	g := qp.graph
+	var out []provgraph.NodeID
+	for _, id := range cand {
+		if g.Alive(id) && f.Matches(g, g.Node(id)) {
+			out = append(out, id)
+		}
+	}
+	for id := qp.index.Coverage(); id < g.TotalNodes(); id++ {
+		nid := provgraph.NodeID(id)
+		if g.Alive(nid) && f.Matches(g, g.Node(nid)) {
+			out = append(out, nid)
+		}
+	}
+	return out
+}
+
+// findNodesScan is the pre-index full scan, kept as the fallback for
+// unindexed filters and as the benchmark baseline.
+func (qp *QueryProcessor) findNodesScan(f NodeFilter) []provgraph.NodeID {
 	var out []provgraph.NodeID
 	qp.graph.Nodes(func(n provgraph.Node) bool {
 		if f.Matches(qp.graph, n) {

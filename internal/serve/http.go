@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os"
+)
+
+// Handler returns the HTTP interface of the query service for one
+// snapshot file: every CLI query subcommand as a GET endpoint with a JSON
+// response (DOT excepted — it answers Graphviz text).
+//
+//	GET /healthz                 liveness + snapshot path
+//	GET /v1/info                 graph statistics
+//	GET /v1/outputs              recorded output relations
+//	GET /v1/zoom?module=M1&module=M2   coarse view of the given modules
+//	GET /v1/delete?node=42       what-if deletion propagation
+//	GET /v1/subgraph?node=42     subgraph query
+//	GET /v1/lineage?node=42      classified ancestry + provenance expression
+//	GET /v1/find?type=tuple&op=agg&label=L&module=M&class=p   node selection
+//	GET /v1/dot                  Graphviz DOT (text/vnd.graphviz)
+//	GET /v1/opm                  Open Provenance Model JSON
+//	GET /v1/json                 full snapshot as JSON
+//
+// The snapshot is resolved through the service's SnapshotManager on every
+// request, so a snapshot replaced on disk is picked up without a restart,
+// and the common case is answered from the cached indexed processor.
+func (s *Service) Handler(snapshot string) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "snapshot": snapshot})
+	})
+	get := func(pattern string, fn func(r *http.Request) (any, error)) {
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet && r.Method != http.MethodHead {
+				writeError(w, http.StatusMethodNotAllowed, "method not allowed")
+				return
+			}
+			res, err := fn(r)
+			if err != nil {
+				writeError(w, statusFor(err), err.Error())
+				return
+			}
+			writeJSON(w, http.StatusOK, res)
+		})
+	}
+	get("/v1/info", func(*http.Request) (any, error) { return s.Info(snapshot) })
+	get("/v1/outputs", func(*http.Request) (any, error) { return s.Outputs(snapshot) })
+	get("/v1/zoom", func(r *http.Request) (any, error) {
+		return s.Zoom(snapshot, r.URL.Query()["module"]...)
+	})
+	get("/v1/delete", func(r *http.Request) (any, error) {
+		return s.Delete(snapshot, r.URL.Query().Get("node"))
+	})
+	get("/v1/subgraph", func(r *http.Request) (any, error) {
+		return s.Subgraph(snapshot, r.URL.Query().Get("node"))
+	})
+	get("/v1/lineage", func(r *http.Request) (any, error) {
+		return s.Lineage(snapshot, r.URL.Query().Get("node"))
+	})
+	get("/v1/find", func(r *http.Request) (any, error) {
+		q := r.URL.Query()
+		return s.Find(snapshot, FindRequest{
+			Classes: q["class"],
+			Types:   q["type"],
+			Ops:     q["op"],
+			Label:   q.Get("label"),
+			Module:  q.Get("module"),
+		})
+	})
+
+	stream := func(pattern, contentType string, fn func(w *bytes.Buffer) error) {
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet && r.Method != http.MethodHead {
+				writeError(w, http.StatusMethodNotAllowed, "method not allowed")
+				return
+			}
+			// Buffered so an export error still yields a proper status.
+			var buf bytes.Buffer
+			if err := fn(&buf); err != nil {
+				writeError(w, statusFor(err), err.Error())
+				return
+			}
+			w.Header().Set("Content-Type", contentType)
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(buf.Bytes())
+		})
+	}
+	stream("/v1/dot", "text/vnd.graphviz; charset=utf-8", func(buf *bytes.Buffer) error {
+		return s.WriteDOT(snapshot, buf)
+	})
+	stream("/v1/opm", "application/json; charset=utf-8", func(buf *bytes.Buffer) error {
+		return s.WriteOPM(snapshot, buf)
+	})
+	stream("/v1/json", "application/json; charset=utf-8", func(buf *bytes.Buffer) error {
+		return s.WriteJSON(snapshot, buf)
+	})
+	return mux
+}
+
+// statusFor maps service errors to HTTP statuses: argument problems are
+// 400s, a missing snapshot is a 404, everything else (corrupt snapshot,
+// I/O) a 500.
+func statusFor(err error) int {
+	var bad *BadRequestError
+	switch {
+	case errors.As(err, &bad):
+		return http.StatusBadRequest
+	case os.IsNotExist(err):
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -9,9 +9,20 @@ import (
 	"lipstick/internal/provgraph"
 )
 
-// magic identifies Lipstick provenance files; the trailing byte is the
-// format version.
-var magic = []byte{'L', 'P', 'S', 'K', 1}
+// magic identifies Lipstick provenance files; a format version byte
+// follows it.
+var magic = []byte{'L', 'P', 'S', 'K'}
+
+// Format versions. Version 1 is the original graph+outputs payload;
+// version 2 appends the postings index section (see Index) so the Query
+// Processor can select nodes without a post-load graph rescan. Readers
+// accept both; writers emit the current version unless WriteV1 is asked
+// for explicitly.
+const (
+	versionLegacy  = 1
+	versionIndexed = 2
+	currentVersion = versionIndexed
+)
 
 // AnnotatedTuple is one provenance-annotated output tuple as written by
 // the Provenance Tracker.
@@ -31,18 +42,36 @@ type RelationDump struct {
 }
 
 // Snapshot is everything the Query Processor needs: the provenance graph
-// and the annotated output relations that anchor queries.
+// and the annotated output relations that anchor queries. Index carries
+// the postings section of indexed (v2) snapshots; it is nil after reading
+// a legacy v1 snapshot, in which case the query layer rebuilds it from the
+// graph.
 type Snapshot struct {
 	Graph   *provgraph.Graph
 	Outputs []RelationDump
+	Index   *Index
 }
 
-// Write serializes the snapshot.
+// Write serializes the snapshot in the current (indexed) format. The
+// postings index is computed here, at write time, so readers never pay a
+// graph rescan.
 func Write(out io.Writer, s *Snapshot) error {
+	return writeVersion(out, s, currentVersion)
+}
+
+// WriteV1 serializes the snapshot in the legacy v1 format (no index
+// section), for interoperability with older readers and for compatibility
+// testing.
+func WriteV1(out io.Writer, s *Snapshot) error {
+	return writeVersion(out, s, versionLegacy)
+}
+
+func writeVersion(out io.Writer, s *Snapshot, version byte) error {
 	w := newWriter(out)
 	if _, err := w.w.Write(magic); err != nil {
 		return err
 	}
+	w.byte(version)
 	g := s.Graph
 
 	// Nodes (all slots, so transformations remain restorable).
@@ -96,6 +125,10 @@ func Write(out io.Writer, s *Snapshot) error {
 			w.uvarint(uint64(t.Mult))
 		}
 	}
+
+	if version >= versionIndexed {
+		writeIndex(w, BuildIndex(g))
+	}
 	return w.flush()
 }
 
@@ -106,17 +139,25 @@ func writeIDs(w *writer, ids []provgraph.NodeID) {
 	}
 }
 
-// Read deserializes a snapshot.
+// Read deserializes a snapshot in either the legacy (v1) or the indexed
+// (v2) format.
 func Read(in io.Reader) (*Snapshot, error) {
 	r := newReader(in)
-	head := make([]byte, len(magic))
+	head := make([]byte, len(magic)+1)
 	if _, err := io.ReadFull(r.r, head); err != nil {
 		return nil, fmt.Errorf("store: reading header: %w", err)
 	}
 	for i := range magic {
 		if head[i] != magic[i] {
-			return nil, fmt.Errorf("store: bad magic or unsupported version")
+			return nil, fmt.Errorf("store: bad magic (not a lipstick snapshot)")
 		}
+	}
+	version := head[len(magic)]
+	if version > currentVersion {
+		return nil, fmt.Errorf("store: snapshot written by a newer lipstick (format version %d; this build reads up to %d) — upgrade lipstick to query it", version, currentVersion)
+	}
+	if version < versionLegacy {
+		return nil, fmt.Errorf("store: invalid format version %d", version)
 	}
 
 	nodeCount, err := r.uvarint()
@@ -282,6 +323,14 @@ func Read(in io.Reader) (*Snapshot, error) {
 			rd.Tuples = append(rd.Tuples, AnnotatedTuple{Tuple: tup, Prov: provgraph.NodeID(prov), Mult: int(mult)})
 		}
 		snap.Outputs = append(snap.Outputs, rd)
+	}
+
+	if version >= versionIndexed {
+		idx, err := readIndex(r, nodeCount, invCount)
+		if err != nil {
+			return nil, err
+		}
+		snap.Index = idx
 	}
 	return snap, nil
 }

@@ -2,9 +2,11 @@ package store
 
 import (
 	"bytes"
+	"io"
 	"math/rand"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -81,10 +83,107 @@ func TestBinaryRoundTrip(t *testing.T) {
 	}
 }
 
-func TestBinaryRoundTripWithDeadNodes(t *testing.T) {
+// roundTripWriters enumerates the format versions a snapshot must survive.
+var roundTripWriters = []struct {
+	name      string
+	write     func(io.Writer, *Snapshot) error
+	wantIndex bool
+}{
+	{"v1-legacy", WriteV1, false},
+	{"v2-indexed", Write, true},
+}
+
+// TestRoundTripWithDeadNodes kills nodes via destructive deletion
+// propagation, then round-trips through both format versions.
+func TestRoundTripWithDeadNodes(t *testing.T) {
+	for _, v := range roundTripWriters {
+		t.Run(v.name, func(t *testing.T) {
+			snap := buildSampleSnapshot()
+			var base NodeIDs
+			snap.Graph.Nodes(func(n provgraph.Node) bool {
+				if n.Type == provgraph.TypeBaseTuple {
+					base = append(base, n.ID)
+				}
+				return true
+			})
+			if len(base) == 0 {
+				t.Fatal("sample has no base tuples")
+			}
+			if res := snap.Graph.Delete(base...); res.Size() == 0 {
+				t.Fatal("deletion removed nothing")
+			}
+			if len(snap.Graph.DeadNodes()) == 0 {
+				t.Fatal("no dead nodes after deletion")
+			}
+
+			var buf bytes.Buffer
+			if err := v.write(&buf, snap); err != nil {
+				t.Fatal(err)
+			}
+			got, err := Read(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !snap.Graph.StructurallyEqual(got.Graph) {
+				t.Error("graph with dead nodes round-trip mismatch")
+			}
+			if !reflect.DeepEqual(snap.Graph.DeadNodes(), got.Graph.DeadNodes()) {
+				t.Error("dead node set changed")
+			}
+			if (got.Index != nil) != v.wantIndex {
+				t.Errorf("index presence = %v, want %v", got.Index != nil, v.wantIndex)
+			}
+		})
+	}
+}
+
+// NodeIDs is a shorthand used by the round-trip tests.
+type NodeIDs = []provgraph.NodeID
+
+// TestRoundTripWithZoomRecords zooms a module out (installing a zoom node
+// and hiding intermediates), round-trips through both versions, and checks
+// the restored graph still supports ZoomIn-style liveness.
+func TestRoundTripWithZoomRecords(t *testing.T) {
+	for _, v := range roundTripWriters {
+		t.Run(v.name, func(t *testing.T) {
+			snap := buildSampleSnapshot()
+			rec := snap.Graph.ZoomOut("M_test")
+			if rec.HiddenCount() == 0 || len(rec.ZoomNodes()) == 0 {
+				t.Fatal("zoom hid nothing")
+			}
+			var buf bytes.Buffer
+			if err := v.write(&buf, snap); err != nil {
+				t.Fatal(err)
+			}
+			got, err := Read(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !snap.Graph.StructurallyEqual(got.Graph) {
+				t.Error("zoomed graph round-trip mismatch")
+			}
+			if got.Graph.NumNodes() != snap.Graph.NumNodes() {
+				t.Error("live node count changed")
+			}
+			// The zoom nodes survive the trip alive.
+			zooms := 0
+			got.Graph.Nodes(func(n provgraph.Node) bool {
+				if n.Type == provgraph.TypeZoom {
+					zooms++
+				}
+				return true
+			})
+			if zooms != len(rec.ZoomNodes()) {
+				t.Errorf("zoom nodes after round trip = %d, want %d", zooms, len(rec.ZoomNodes()))
+			}
+		})
+	}
+}
+
+// TestIndexRoundTrip verifies the persisted postings equal a fresh build
+// over the loaded graph (i.e. the index section carries no drift).
+func TestIndexRoundTrip(t *testing.T) {
 	snap := buildSampleSnapshot()
-	// Kill some nodes via a transformation, then round-trip.
-	rec := snap.Graph.ZoomOut("M_test")
 	var buf bytes.Buffer
 	if err := Write(&buf, snap); err != nil {
 		t.Fatal(err)
@@ -93,13 +192,100 @@ func TestBinaryRoundTripWithDeadNodes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if got.Index == nil {
+		t.Fatal("indexed snapshot loaded without an index")
+	}
+	if !reflect.DeepEqual(got.Index, BuildIndex(got.Graph)) {
+		t.Error("persisted index differs from a rebuild over the loaded graph")
+	}
+	if got.Index.Nodes != got.Graph.TotalNodes() {
+		t.Errorf("index covers %d slots, graph has %d", got.Index.Nodes, got.Graph.TotalNodes())
+	}
+}
+
+// TestV1ReadCompat: legacy snapshots load with no index and identical
+// structure.
+func TestV1ReadCompat(t *testing.T) {
+	snap := buildSampleSnapshot()
+	var buf bytes.Buffer
+	if err := WriteV1(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Index != nil {
+		t.Error("v1 snapshot produced an index section")
+	}
 	if !snap.Graph.StructurallyEqual(got.Graph) {
-		t.Error("zoomed graph round-trip mismatch")
+		t.Error("v1 round-trip mismatch")
 	}
-	if got.Graph.NumNodes() != snap.Graph.NumNodes() {
-		t.Error("live node count changed")
+}
+
+// TestCorruptPostingsRejected: a v2 file whose postings lists are out of
+// order (ids in range, so the bounds checks pass) must fail the load —
+// the query layer's intersections rely on sortedness.
+func TestCorruptPostingsRejected(t *testing.T) {
+	snap := buildSampleSnapshot()
+	idx := BuildIndex(snap.Graph)
+	var list []provgraph.NodeID
+	for _, ids := range idx.ByType {
+		if len(ids) >= 2 {
+			list = ids
+			break
+		}
 	}
-	_ = rec
+	if list == nil {
+		t.Fatal("no postings list with >= 2 ids in the sample")
+	}
+	// Re-encode the index section with one list reversed and splice it
+	// onto the valid graph payload.
+	var good bytes.Buffer
+	if err := Write(&good, snap); err != nil {
+		t.Fatal(err)
+	}
+	var v1 bytes.Buffer
+	if err := WriteV1(&v1, snap); err != nil {
+		t.Fatal(err)
+	}
+	list[0], list[len(list)-1] = list[len(list)-1], list[0]
+	var badIdx bytes.Buffer
+	w := newWriter(&badIdx)
+	writeIndex(w, idx)
+	if err := w.flush(); err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), good.Bytes()[:v1.Len()]...)
+	bad[4] = 2 // keep the indexed version byte
+	bad = append(bad, badIdx.Bytes()...)
+	_, err := Read(bytes.NewReader(bad))
+	if err == nil || !strings.Contains(err.Error(), "ascending") {
+		t.Errorf("out-of-order postings accepted: %v", err)
+	}
+}
+
+// TestNewerVersionRejected: a snapshot from a future lipstick yields the
+// actionable "newer" error rather than a generic magic failure.
+func TestNewerVersionRejected(t *testing.T) {
+	snap := buildSampleSnapshot()
+	var buf bytes.Buffer
+	if err := Write(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 9 // future format version
+	_, err := Read(bytes.NewReader(data))
+	if err == nil {
+		t.Fatal("future version accepted")
+	}
+	if !strings.Contains(err.Error(), "newer lipstick") {
+		t.Errorf("want 'newer lipstick' error, got: %v", err)
+	}
+	data[4] = 0 // below any released version
+	if _, err := Read(bytes.NewReader(data)); err == nil || strings.Contains(err.Error(), "newer") {
+		t.Errorf("version 0 should fail as invalid, got: %v", err)
+	}
 }
 
 func TestSaveLoadFile(t *testing.T) {

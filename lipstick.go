@@ -34,6 +34,14 @@
 // invocation order, so the resulting graph is identical (id-for-id) to a
 // sequential run's.
 //
+// Queries are index-backed and servable: snapshots persist postings lists
+// (node type, op, label, module) next to the graph, so FindNodes
+// intersects postings instead of scanning, and Open answers repeated
+// queries against one snapshot from a process-wide cache
+// (SnapshotManager). NewQueryService exposes the same handler layer the
+// `lipstick` CLI uses; its Handler method serves every query over HTTP
+// (`lipstick serve -addr :8080 run.lpsk`).
+//
 // The facade re-exports the stable surface of the internal packages; the
 // full functionality (Pig Latin compiler, evaluation engine, provenance
 // semirings, NRC translation, OPM export, benchmark workloads) lives under
@@ -45,6 +53,7 @@ import (
 	"lipstick/internal/nested"
 	"lipstick/internal/pig"
 	"lipstick/internal/provgraph"
+	"lipstick/internal/serve"
 	"lipstick/internal/store"
 	"lipstick/internal/workflow"
 )
@@ -158,7 +167,8 @@ type (
 	// provenance-annotated outputs plus the provenance graph.
 	Tracker = core.Tracker
 	// QueryProcessor answers zoom, deletion, subgraph, and dependency
-	// queries over a loaded provenance graph.
+	// queries over a loaded provenance graph, selecting nodes through the
+	// snapshot's postings index.
 	QueryProcessor = core.QueryProcessor
 	// NodeFilter selects graph nodes by structural properties.
 	NodeFilter = core.NodeFilter
@@ -166,14 +176,33 @@ type (
 	Lineage = core.Lineage
 	// Snapshot is the tracker's persistent output.
 	Snapshot = store.Snapshot
+	// SnapshotManager is an LRU cache of loaded query processors keyed by
+	// snapshot path, revalidated against file mtime+size.
+	SnapshotManager = core.SnapshotManager
+	// QueryService is the transport-agnostic query handler layer shared by
+	// the lipstick CLI and `lipstick serve`; its Handler method exposes
+	// every query over HTTP.
+	QueryService = serve.Service
 )
 
 // System constructors.
 var (
 	// NewTracker validates a workflow and prepares provenance tracking.
 	NewTracker = core.NewTracker
-	// Load reads a tracker snapshot from disk into a query processor.
+	// Load reads a tracker snapshot from disk into a query processor
+	// (a private instance; see Open for the cached one).
 	Load = core.Load
+	// Open returns the process-wide cached query processor for a snapshot
+	// path, loading it at most once per file version. The instance is
+	// shared — callers must stick to read-only queries and use Load when
+	// they need to transform the graph.
+	Open = core.Open
+	// NewSnapshotManager builds a private snapshot cache (capacity <= 0
+	// selects the default).
+	NewSnapshotManager = core.NewSnapshotManager
+	// NewQueryService builds the shared query handler layer over a
+	// snapshot cache (nil selects a private default cache).
+	NewQueryService = serve.NewService
 	// Read builds a query processor from a snapshot stream.
 	Read = core.Read
 	// FromTracker builds a query processor over a live tracker.
