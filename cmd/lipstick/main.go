@@ -19,14 +19,19 @@
 //	lipstick opm run.lpsk                 # Open Provenance Model JSON
 //	lipstick json run.lpsk                # full snapshot as JSON
 //	lipstick serve -addr :8080 run.lpsk   # the same queries over HTTP
+//	lipstick serve -dir snapshots/        # registry of snapshots + sessions
 package main
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
+	"time"
 
 	"lipstick/internal/serve"
 	"lipstick/internal/store"
@@ -109,38 +114,85 @@ func demo(args []string) error {
 }
 
 // serveCmd starts the long-running query service: every query subcommand
-// as an HTTP endpoint over one snapshot, answered from the cached
-// processor.
+// as an HTTP endpoint, answered from cached processors, plus the
+// snapshot registry and copy-on-write mutation sessions. `-dir` serves
+// every *.lpsk snapshot in a directory by name; a positional snapshot
+// becomes the default for the flat /v1/* endpoints. The server drains
+// gracefully on SIGINT/SIGTERM.
 func serveCmd(args []string) error {
+	const usage = "usage: lipstick serve [-addr host:port] [-dir snapshots/] [snapshot]"
 	addr := ":8080"
+	dir := ""
 	snapshot := ""
 	for len(args) > 0 {
 		switch {
 		case len(args) >= 2 && args[0] == "-addr":
 			addr = args[1]
 			args = args[2:]
+		case len(args) >= 2 && args[0] == "-dir":
+			dir = args[1]
+			args = args[2:]
 		case snapshot == "" && len(args[0]) > 0 && args[0][0] != '-':
 			snapshot = args[0]
 			args = args[1:]
 		default:
-			return fmt.Errorf("usage: lipstick serve [-addr host:port] <snapshot>")
+			return fmt.Errorf(usage)
 		}
 	}
-	if snapshot == "" {
-		return fmt.Errorf("usage: lipstick serve [-addr host:port] <snapshot>")
+	if snapshot == "" && dir == "" {
+		return fmt.Errorf(usage)
 	}
 	svc := serve.NewService(nil)
-	// Load (and index) the snapshot before accepting traffic, so a bad
-	// path or corrupt file fails fast instead of on the first request.
-	if _, err := svc.Info(snapshot); err != nil {
-		return fmt.Errorf("serve: %w", err)
+	if dir != "" {
+		names, err := svc.Registry().RegisterDir(dir)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		if len(names) == 0 {
+			return fmt.Errorf("serve: no *.lpsk snapshots in %s", dir)
+		}
+		fmt.Printf("lipstick: registered %d snapshot(s) from %s: %v\n", len(names), dir, names)
+	}
+	if snapshot != "" {
+		// Load (and index) the default snapshot before accepting traffic,
+		// so a bad path or corrupt file fails fast instead of on the
+		// first request.
+		if _, err := svc.Info(snapshot); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
-	fmt.Printf("lipstick: serving %s on http://%s\n", snapshot, ln.Addr())
-	return http.Serve(ln, svc.Handler(snapshot))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("lipstick: serving on http://%s\n", ln.Addr())
+	return serveHTTP(ctx, ln, svc.Handler(snapshot))
+}
+
+// shutdownTimeout bounds the graceful drain after SIGINT/SIGTERM.
+const shutdownTimeout = 5 * time.Second
+
+// serveHTTP serves h on ln until the listener fails or ctx is cancelled,
+// then drains in-flight requests via http.Server.Shutdown (bounded by
+// shutdownTimeout). A clean drain returns nil.
+func serveHTTP(ctx context.Context, ln net.Listener, h http.Handler) error {
+	srv := &http.Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return fmt.Errorf("serve: shutdown: %w", err)
+		}
+		fmt.Println("lipstick: shut down cleanly")
+		return nil
+	}
 }
 
 // query dispatches one query subcommand through the shared handler layer

@@ -1,13 +1,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"lipstick/internal/serve"
 )
@@ -144,6 +147,119 @@ func TestCLIDeleteRejectsBadNode(t *testing.T) {
 	err := run([]string{"delete", snap, "not-a-number"})
 	if err == nil || !strings.Contains(err.Error(), "invalid node id") {
 		t.Fatalf("want invalid node id error, got %v", err)
+	}
+}
+
+// TestServeGracefulShutdown drives the serve loop directly: cancel the
+// context (what SIGINT/SIGTERM do via signal.NotifyContext) and assert
+// the server drains and returns nil.
+func TestServeGracefulShutdown(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "run.lpsk")
+	muteStdout(t)
+	if err := run([]string{"demo", "-o", snap}); err != nil {
+		t.Fatal(err)
+	}
+	svc := serve.NewService(nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serveHTTP(ctx, ln, svc.Handler(snap)) }()
+
+	// The server must answer while running...
+	url := "http://" + ln.Addr().String()
+	var resp *http.Response
+	for i := 0; i < 50; i++ {
+		resp, err = http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("server never came up: %v", err)
+	}
+
+	// ...and drain cleanly when the signal context fires.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+// TestServeDirRegistry boots the multi-snapshot mode over a scanned
+// directory and round-trips a session through it.
+func TestServeDirRegistry(t *testing.T) {
+	dir := t.TempDir()
+	muteStdout(t)
+	for _, name := range []string{"alpha.lpsk", "beta.lpsk"} {
+		if err := run([]string{"demo", "-o", filepath.Join(dir, name)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc := serve.NewService(nil)
+	names, err := svc.Registry().RegisterDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("names = %v", names)
+	}
+	srv := httptest.NewServer(svc.Handler(""))
+	defer srv.Close()
+
+	var snaps struct {
+		Count int `json:"count"`
+	}
+	getBody(t, srv.URL+"/v1/snapshots", &snaps)
+	if snaps.Count != 2 {
+		t.Fatalf("snapshots = %+v", snaps)
+	}
+	var sess struct {
+		ID string `json:"id"`
+	}
+	resp, err := http.Post(srv.URL+"/v1/sessions", "application/json",
+		strings.NewReader(`{"snapshot":"alpha"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("create session = %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sess); err != nil {
+		t.Fatal(err)
+	}
+	if sess.ID == "" {
+		t.Fatal("no session id")
+	}
+
+	// Empty dirs fail fast.
+	if err := run([]string{"serve", "-addr", ":0", "-dir", t.TempDir()}); err == nil {
+		t.Fatal("serve over an empty dir should fail")
+	}
+}
+
+func getBody(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -2,6 +2,7 @@ package lipstick_test
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -233,3 +234,88 @@ func TestFacadeOpenAndQueryService(t *testing.T) {
 		t.Error("served info reported an empty graph")
 	}
 }
+
+// TestFacadeRegistryAndSession exercises the multi-snapshot registry and
+// a copy-on-write mutation session through the public API.
+func TestFacadeRegistryAndSession(t *testing.T) {
+	w := buildFacadeWorkflow(t)
+	tr, err := lipstick.NewTracker(w, lipstick.Fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := lipstick.NewBag(lipstick.NewTuple(lipstick.Str("A"), lipstick.Float(10)))
+	if err := tr.Runner().SetState("M_match", "Items", items, "item"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Execute(lipstick.Inputs{
+		"src": {"Req": lipstick.NewBag(lipstick.NewTuple(lipstick.Str("A")))},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := tr.Save(filepath.Join(dir, "run.lpsk")); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := lipstick.NewRegistry(nil, lipstick.WithSessionLimit(16))
+	names, err := reg.RegisterDir(dir)
+	if err != nil || len(names) != 1 || names[0] != "run" {
+		t.Fatalf("RegisterDir = %v, %v", names, err)
+	}
+	base, err := reg.Open("run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseNodes := base.Graph().NumNodes()
+
+	sess, err := reg.CreateSession("run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.ZoomOut("M_match"); err != nil {
+		t.Fatal(err)
+	}
+	var zoomFilter lipstick.NodeFilter
+	zoomFilter.Types = append(zoomFilter.Types, lipstick.TypeZoom)
+	zoomed := sess.FindNodes(zoomFilter)
+	if len(zoomed) != 1 {
+		t.Fatalf("zoom nodes in session view = %v", zoomed)
+	}
+	res, _ := sess.ApplyDelete(zoomed[0])
+	if res.Size() == 0 {
+		t.Fatal("session delete removed nothing")
+	}
+	if sess.Stats().Nodes >= baseNodes {
+		t.Errorf("session view did not shrink: %d vs base %d", sess.Stats().Nodes, baseNodes)
+	}
+	if base.Graph().NumNodes() != baseNodes {
+		t.Error("session mutation leaked into the shared base graph")
+	}
+
+	var nf *lipstick.NotFoundError
+	if _, err := reg.Session("sess-404"); err == nil {
+		t.Error("unknown session should fail")
+	} else if !errorsAs(err, &nf) || nf.Kind != "session" {
+		t.Errorf("unknown session error = %v", err)
+	}
+
+	svc := lipstick.NewRegistryService(reg)
+	srv := httptest.NewServer(svc.Handler(""))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/snapshots")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snaps struct {
+		Count int `json:"count"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snaps); err != nil {
+		t.Fatal(err)
+	}
+	if snaps.Count != 1 {
+		t.Errorf("snapshots = %+v", snaps)
+	}
+}
+
+func errorsAs(err error, target any) bool { return errors.As(err, target) }

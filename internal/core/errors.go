@@ -1,0 +1,19 @@
+package core
+
+import "fmt"
+
+// NotFoundError reports a lookup of a name the registry does not know —
+// an unregistered snapshot name or an unknown/expired session id. The
+// serving layer maps it to a structured 404.
+type NotFoundError struct {
+	// Kind is the namespace the lookup missed: "snapshot" or "session".
+	Kind string
+	// Name is the name or id that was looked up.
+	Name string
+}
+
+// Error implements error.
+func (e *NotFoundError) Error() string { return fmt.Sprintf("unknown %s %q", e.Kind, e.Name) }
+
+func unknownSnapshot(name string) error { return &NotFoundError{Kind: "snapshot", Name: name} }
+func unknownSession(id string) error    { return &NotFoundError{Kind: "session", Name: id} }

@@ -36,8 +36,9 @@ func contains[T comparable](xs []T, x T) bool {
 	return false
 }
 
-// Matches reports whether a node satisfies the filter.
-func (f NodeFilter) Matches(g *provgraph.Graph, n provgraph.Node) bool {
+// Matches reports whether a node satisfies the filter. The view may be a
+// materialized graph or a session overlay.
+func (f NodeFilter) Matches(g provgraph.GraphView, n provgraph.Node) bool {
 	if len(f.Classes) > 0 && !contains(f.Classes, n.Class) {
 		return false
 	}
@@ -70,20 +71,28 @@ func (f NodeFilter) Matches(g *provgraph.Graph, n provgraph.Node) bool {
 // class-only) filters fall back to the full scan, which is what they
 // would touch anyway.
 func (qp *QueryProcessor) FindNodes(f NodeFilter) []provgraph.NodeID {
-	cand, indexed := qp.index.candidates(f)
+	return findNodesIn(qp.graph, qp.index, f)
+}
+
+// findNodesIn is the shared selection engine: it works over any view (a
+// materialized graph or a session overlay) against the base snapshot's
+// postings. Liveness and field predicates are re-checked through the view,
+// so a session's kills and value overrides are honored; nodes the view
+// appended past the index's coverage (zoom nodes) are swept separately.
+func findNodesIn(v provgraph.GraphView, ix *Index, f NodeFilter) []provgraph.NodeID {
+	cand, indexed := ix.candidates(f)
 	if !indexed {
-		return qp.findNodesScan(f)
+		return findNodesScanIn(v, f)
 	}
-	g := qp.graph
 	var out []provgraph.NodeID
 	for _, id := range cand {
-		if g.Alive(id) && f.Matches(g, g.Node(id)) {
+		if v.Alive(id) && f.Matches(v, v.Node(id)) {
 			out = append(out, id)
 		}
 	}
-	for id := qp.index.Coverage(); id < g.TotalNodes(); id++ {
+	for id := ix.Coverage(); id < v.TotalNodes(); id++ {
 		nid := provgraph.NodeID(id)
-		if g.Alive(nid) && f.Matches(g, g.Node(nid)) {
+		if v.Alive(nid) && f.Matches(v, v.Node(nid)) {
 			out = append(out, nid)
 		}
 	}
@@ -93,9 +102,13 @@ func (qp *QueryProcessor) FindNodes(f NodeFilter) []provgraph.NodeID {
 // findNodesScan is the pre-index full scan, kept as the fallback for
 // unindexed filters and as the benchmark baseline.
 func (qp *QueryProcessor) findNodesScan(f NodeFilter) []provgraph.NodeID {
+	return findNodesScanIn(qp.graph, f)
+}
+
+func findNodesScanIn(v provgraph.GraphView, f NodeFilter) []provgraph.NodeID {
 	var out []provgraph.NodeID
-	qp.graph.Nodes(func(n provgraph.Node) bool {
-		if f.Matches(qp.graph, n) {
+	v.Nodes(func(n provgraph.Node) bool {
+		if f.Matches(v, n) {
 			out = append(out, n.ID)
 		}
 		return true
@@ -119,7 +132,11 @@ type Lineage struct {
 
 // Lineage computes the classified ancestry of a node.
 func (qp *QueryProcessor) Lineage(id provgraph.NodeID) Lineage {
-	g := qp.graph
+	return lineageIn(qp.graph, id)
+}
+
+// lineageIn classifies a node's ancestry through any view.
+func lineageIn(g provgraph.GraphView, id provgraph.NodeID) Lineage {
 	l := Lineage{Node: id}
 	moduleSet := map[string]bool{}
 	for _, anc := range g.Ancestors(id) {

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry defaults.
+const (
+	// DefaultSessionTTL is how long an idle session survives before the
+	// registry expires it.
+	DefaultSessionTTL = 30 * time.Minute
+	// DefaultSessionLimit caps live sessions per registry; creating past
+	// the cap evicts the least recently used session.
+	DefaultSessionLimit = 1024
+)
+
+// Registry names snapshots and manages mutation sessions over them — the
+// multi-tenant layer `lipstick serve -dir` exposes. Snapshot names map to
+// paths; loading and caching stays with the SnapshotManager underneath,
+// so every session and read query against one snapshot shares a single
+// loaded, indexed processor. Sessions are copy-on-write (see Session):
+// per-session state costs O(changes), which is what lets one process hold
+// thousands of concurrent what-if sessions over shared base graphs.
+//
+// The registry is safe for concurrent use.
+type Registry struct {
+	mgr        *SnapshotManager
+	sessionTTL time.Duration
+	maxSess    int
+	now        func() time.Time // injectable for expiry tests
+
+	mu       sync.Mutex
+	snaps    map[string]string // name -> path
+	sessions map[string]*Session
+	seq      uint64
+}
+
+// RegistryOption configures a Registry.
+type RegistryOption func(*Registry)
+
+// WithSessionTTL sets the idle lifetime of sessions (<= 0 disables
+// TTL-based expiry; the LRU cap still applies).
+func WithSessionTTL(d time.Duration) RegistryOption {
+	return func(r *Registry) { r.sessionTTL = d }
+}
+
+// WithSessionLimit caps concurrently live sessions (<= 0 selects
+// DefaultSessionLimit).
+func WithSessionLimit(n int) RegistryOption {
+	return func(r *Registry) {
+		if n > 0 {
+			r.maxSess = n
+		}
+	}
+}
+
+// NewRegistry builds a registry over the given snapshot cache; a nil
+// manager gets a private cache of default capacity.
+func NewRegistry(mgr *SnapshotManager, opts ...RegistryOption) *Registry {
+	if mgr == nil {
+		mgr = NewSnapshotManager(0)
+	}
+	r := &Registry{
+		mgr:        mgr,
+		sessionTTL: DefaultSessionTTL,
+		maxSess:    DefaultSessionLimit,
+		now:        time.Now,
+		snaps:      make(map[string]string),
+		sessions:   make(map[string]*Session),
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+// Manager exposes the underlying snapshot cache.
+func (r *Registry) Manager() *SnapshotManager { return r.mgr }
+
+// Register names a snapshot path. Re-registering a name with the same
+// path is a no-op; a different path is an error (use a distinct name).
+func (r *Registry) Register(name, path string) error {
+	if name == "" || strings.ContainsAny(name, "/\\") {
+		return fmt.Errorf("lipstick: invalid snapshot name %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.snaps[name]; ok && prev != path {
+		return fmt.Errorf("lipstick: snapshot name %q already registered for %s", name, prev)
+	}
+	r.snaps[name] = path
+	return nil
+}
+
+// SnapshotName derives the registry name for a snapshot path: the file's
+// base name without its .lpsk extension.
+func SnapshotName(path string) string {
+	return strings.TrimSuffix(filepath.Base(path), ".lpsk")
+}
+
+// RegisterDir scans dir for *.lpsk files and registers each under its
+// base name (without extension). It returns the sorted registered names.
+func (r *Registry) RegisterDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".lpsk") {
+			continue
+		}
+		name := SnapshotName(e.Name())
+		if err := r.Register(name, filepath.Join(dir, e.Name())); err != nil {
+			return names, err
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SnapshotInfo describes one registered snapshot.
+type SnapshotInfo struct {
+	Name string `json:"name"`
+	Path string `json:"path"`
+}
+
+// Snapshots lists the registered snapshots sorted by name.
+func (r *Registry) Snapshots() []SnapshotInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SnapshotInfo, 0, len(r.snaps))
+	for name, path := range r.snaps {
+		out = append(out, SnapshotInfo{Name: name, Path: path})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// NumSnapshots returns the number of registered snapshots.
+func (r *Registry) NumSnapshots() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.snaps)
+}
+
+// Single returns the lone registered snapshot when exactly one exists.
+func (r *Registry) Single() (SnapshotInfo, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.snaps) != 1 {
+		return SnapshotInfo{}, false
+	}
+	for name, path := range r.snaps {
+		return SnapshotInfo{Name: name, Path: path}, true
+	}
+	return SnapshotInfo{}, false // unreachable
+}
+
+// Lookup resolves a snapshot name to its path.
+func (r *Registry) Lookup(name string) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	path, ok := r.snaps[name]
+	if !ok {
+		return "", unknownSnapshot(name)
+	}
+	return path, nil
+}
+
+// Open returns the shared cached processor for a registered snapshot.
+// Callers must stick to its read-only queries — mutations go through
+// sessions.
+func (r *Registry) Open(name string) (*QueryProcessor, error) {
+	path, err := r.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return r.mgr.Open(path)
+}
+
+// CreateSession opens a copy-on-write mutation session over a registered
+// snapshot. Expired sessions are swept first; if the registry is at its
+// session cap the least recently used session is evicted.
+func (r *Registry) CreateSession(snapshot string) (*Session, error) {
+	base, err := r.Open(snapshot) // load outside the registry lock
+	if err != nil {
+		return nil, err
+	}
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.expireLocked(now)
+	for len(r.sessions) >= r.maxSess {
+		r.evictLRULocked()
+	}
+	r.seq++
+	id := newSessionID(r.seq)
+	s := newSession(id, snapshot, base, now)
+	r.sessions[id] = s
+	return s, nil
+}
+
+// newSessionID builds an id that is unguessable (random suffix — session
+// ids are capability tokens over the HTTP API) and unique even across
+// process restarts and random-source failure (the sequence prefix).
+func newSessionID(seq uint64) string {
+	var b [8]byte
+	_, _ = rand.Read(b[:]) // a short read only weakens the random suffix
+	return fmt.Sprintf("sess-%d-%s", seq, hex.EncodeToString(b[:]))
+}
+
+// Session resolves a session id, refreshing its TTL clock.
+func (r *Registry) Session(id string) (*Session, error) {
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.sessions[id]
+	if !ok {
+		return nil, unknownSession(id)
+	}
+	if s.expired(now, r.sessionTTL) {
+		delete(r.sessions, id)
+		return nil, unknownSession(id)
+	}
+	s.touch(now)
+	return s, nil
+}
+
+// CloseSession discards a session and its overlay.
+func (r *Registry) CloseSession(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.sessions[id]; !ok {
+		return unknownSession(id)
+	}
+	delete(r.sessions, id)
+	return nil
+}
+
+// Sessions returns the live (unexpired) sessions, most recent first.
+func (r *Registry) Sessions() []*Session {
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.expireLocked(now)
+	out := make([]*Session, 0, len(r.sessions))
+	for _, s := range r.sessions {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].lastUsed.Load() > out[j].lastUsed.Load()
+	})
+	return out
+}
+
+// NumSessions returns the number of live sessions.
+func (r *Registry) NumSessions() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sessions)
+}
+
+// ExpireSessions sweeps expired sessions now and returns how many were
+// dropped.
+func (r *Registry) ExpireSessions() int {
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.expireLocked(now)
+}
+
+func (r *Registry) expireLocked(now time.Time) int {
+	n := 0
+	for id, s := range r.sessions {
+		if s.expired(now, r.sessionTTL) {
+			delete(r.sessions, id)
+			n++
+		}
+	}
+	return n
+}
+
+func (r *Registry) evictLRULocked() {
+	var oldest *Session
+	for _, s := range r.sessions {
+		if oldest == nil || s.lastUsed.Load() < oldest.lastUsed.Load() {
+			oldest = s
+		}
+	}
+	if oldest != nil {
+		delete(r.sessions, oldest.id)
+	}
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lipstick/internal/provgraph"
+)
+
+// Session is a mutable what-if view over one registered snapshot: zoom
+// and deletion transformations apply to a copy-on-write overlay
+// (provgraph.Overlay) recorded as deltas over the shared base graph, so
+// creating a session never deep-copies the base and concurrent readers of
+// the snapshot stay untouched. Queries (find, subgraph, lineage, DOT,
+// provenance expressions) answer through the overlay and are equal to the
+// same queries on a Clone-then-mutate baseline.
+//
+// A session is safe for concurrent use; a mutex serializes access to its
+// overlay. Sessions are created by a Registry and expire by TTL and LRU
+// cap — see Registry.CreateSession.
+type Session struct {
+	id       string
+	snapshot string
+	base     *QueryProcessor
+	created  time.Time
+	lastUsed atomic.Int64 // unix nanos; touched by Registry.Session
+
+	mu      sync.Mutex
+	overlay *provgraph.Overlay
+	zooms   []*provgraph.ZoomRecord
+	zoomed  map[string]bool
+}
+
+func newSession(id, snapshot string, base *QueryProcessor, now time.Time) *Session {
+	s := &Session{
+		id:       id,
+		snapshot: snapshot,
+		base:     base,
+		created:  now,
+		overlay:  provgraph.NewOverlay(base.Graph()),
+		zoomed:   map[string]bool{},
+	}
+	s.lastUsed.Store(now.UnixNano())
+	return s
+}
+
+// ID returns the session's registry-assigned identifier.
+func (s *Session) ID() string { return s.id }
+
+// SnapshotName returns the name of the snapshot the session was opened on.
+func (s *Session) SnapshotName() string { return s.snapshot }
+
+// Created returns the session's creation time.
+func (s *Session) Created() time.Time { return s.created }
+
+// LastUsed returns the last time the registry resolved the session.
+func (s *Session) LastUsed() time.Time { return time.Unix(0, s.lastUsed.Load()) }
+
+// touch/expired are the registry's TTL hooks.
+func (s *Session) touch(now time.Time) { s.lastUsed.Store(now.UnixNano()) }
+func (s *Session) expired(now time.Time, ttl time.Duration) bool {
+	return ttl > 0 && now.Sub(time.Unix(0, s.lastUsed.Load())) > ttl
+}
+
+// Base exposes the shared read-only processor the session layers over.
+func (s *Session) Base() *QueryProcessor { return s.base }
+
+// Changes returns the number of deltas the session has recorded — its
+// memory cost in units of changes, not graph size.
+func (s *Session) Changes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.overlay.Changes()
+}
+
+// ZoomOut hides the internals of the given modules in the session view
+// (Section 4.1) and pushes the operation on the session's zoom stack.
+func (s *Session) ZoomOut(modules ...string) (*provgraph.ZoomRecord, error) {
+	if len(modules) == 0 {
+		return nil, fmt.Errorf("lipstick: zoom-out requires at least one module")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[string]bool, len(modules))
+	for _, m := range modules {
+		if seen[m] {
+			return nil, fmt.Errorf("lipstick: module %q given twice", m)
+		}
+		seen[m] = true
+		if s.zoomed[m] {
+			return nil, fmt.Errorf("lipstick: module %q is already zoomed out", m)
+		}
+		if len(s.base.Index().ModuleInvocations(m)) == 0 && len(s.overlay.InvocationsOf(m)) == 0 {
+			return nil, fmt.Errorf("lipstick: no invocations of module %q in the graph", m)
+		}
+	}
+	rec := s.overlay.ZoomOut(modules...)
+	s.zooms = append(s.zooms, rec)
+	for _, m := range modules {
+		s.zoomed[m] = true
+	}
+	return rec, nil
+}
+
+// ZoomIn undoes the most recent ZoomOut (zooms nest like a stack).
+func (s *Session) ZoomIn() (*provgraph.ZoomRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.zooms) == 0 {
+		return nil, fmt.Errorf("lipstick: nothing is zoomed out")
+	}
+	rec := s.zooms[len(s.zooms)-1]
+	s.zooms = s.zooms[:len(s.zooms)-1]
+	s.overlay.ZoomIn(rec)
+	for _, m := range rec.Modules {
+		delete(s.zoomed, m)
+	}
+	return rec, nil
+}
+
+// ZoomedOut lists the currently zoomed-out modules (sorted).
+func (s *Session) ZoomedOut() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.zoomed))
+	for m := range s.zoomed {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WhatIfDelete computes the effect of deleting the given nodes in the
+// session view without applying it.
+func (s *Session) WhatIfDelete(ids ...provgraph.NodeID) *provgraph.DeletionResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.overlay.PropagateDeletion(ids...)
+}
+
+// ApplyDelete propagates the deletion destructively in the session view
+// and recomputes affected aggregate values (Example 4.3). The base graph
+// is untouched: the kills and value changes are overlay deltas.
+func (s *Session) ApplyDelete(ids ...provgraph.NodeID) (*provgraph.DeletionResult, []provgraph.RecomputedAggregate) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res := s.overlay.Delete(ids...)
+	recs := s.overlay.RecomputeAggregates()
+	return res, recs
+}
+
+// FindNodes answers an index-backed node selection query through the
+// session view: postings come from the base snapshot's index, liveness
+// and values from the overlay.
+func (s *Session) FindNodes(f NodeFilter) []provgraph.NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return findNodesIn(s.overlay, s.base.Index(), f)
+}
+
+// Subgraph answers the subgraph query of Section 5.1 in the session view.
+func (s *Session) Subgraph(id provgraph.NodeID) *provgraph.SubgraphResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.overlay.Subgraph(id)
+}
+
+// Lineage classifies a node's ancestry in the session view.
+func (s *Session) Lineage(id provgraph.NodeID) Lineage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return lineageIn(s.overlay, id)
+}
+
+// Provenance renders a node's semiring provenance expression in the
+// session view.
+func (s *Session) Provenance(id provgraph.NodeID) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.overlay.Expr(id).String()
+}
+
+// DependsOn answers the dependency query of Section 4.3 in the session
+// view.
+func (s *Session) DependsOn(a, b provgraph.NodeID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.overlay.DependsOn(a, b)
+}
+
+// Node returns the node with the given id as seen by the session
+// (overlay value overrides applied).
+func (s *Session) Node(id provgraph.NodeID) provgraph.Node {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.overlay.Node(id)
+}
+
+// TotalNodes returns the session view's node-slot count (base + appended
+// zoom nodes).
+func (s *Session) TotalNodes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.overlay.TotalNodes()
+}
+
+// NumNodes returns the session view's live node count in O(1).
+func (s *Session) NumNodes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.overlay.NumNodes()
+}
+
+// Stats summarizes the session's live view.
+func (s *Session) Stats() provgraph.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.overlay.ComputeStats()
+}
+
+// WriteDOT streams the session's live view as Graphviz DOT.
+func (s *Session) WriteDOT(w io.Writer, title string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.overlay.WriteDOT(w, title)
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"lipstick/internal/provgraph"
+	"lipstick/internal/store"
+	"lipstick/internal/workflow"
+	"lipstick/internal/workflowgen"
+)
+
+// The session series contrasts copy-on-write sessions (provgraph.Overlay)
+// against the Clone() baseline the server used to pay per zoom request,
+// at two graph sizes — the overlay's costs must stay sub-linear in graph
+// size. Recorded runs live in EXPERIMENTS.md.
+
+// sessionBenchSizes are dealership scales; benchCars matches the rest of
+// the core suite.
+var sessionBenchSizes = []int{300, benchCars}
+
+func sessionBenchProcessor(b *testing.B, cars int) *QueryProcessor {
+	b.Helper()
+	if cars == benchCars {
+		return benchProcessor(b) // share the expensive build
+	}
+	run, err := workflowgen.RunDealership(workflowgen.DealershipParams{
+		NumCars: cars, NumExec: benchExecs, Seed: 1,
+		Gran: workflow.Fine, StopOnPurchase: false,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return NewQueryProcessor(&store.Snapshot{Graph: run.Runner.Graph()})
+}
+
+// BenchmarkSessionCreate measures opening a mutation session (overlay)
+// against deep-copying the graph (the Clone baseline).
+func BenchmarkSessionCreate(b *testing.B) {
+	for _, cars := range sessionBenchSizes {
+		qp := sessionBenchProcessor(b, cars)
+		g := qp.Graph()
+		path := filepath.Join(b.TempDir(), "bench.lpsk")
+		if err := store.Save(path, &store.Snapshot{Graph: g}); err != nil {
+			b.Fatal(err)
+		}
+		reg := NewRegistry(nil, WithSessionLimit(1<<20))
+		if err := reg.Register("bench", path); err != nil {
+			b.Fatal(err)
+		}
+		nodes := float64(g.TotalNodes())
+		b.Run(fmt.Sprintf("overlay/cars=%d", cars), func(b *testing.B) {
+			b.ReportMetric(nodes, "nodes")
+			for i := 0; i < b.N; i++ {
+				if _, err := reg.CreateSession("bench"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("clone/cars=%d", cars), func(b *testing.B) {
+			b.ReportMetric(nodes, "nodes")
+			for i := 0; i < b.N; i++ {
+				g.Clone()
+			}
+		})
+	}
+}
+
+// BenchmarkSessionFirstZoom measures session-create plus the first
+// zoom-out — the interactive "open a what-if view" operation `lipstick
+// serve` performs — via the overlay vs. via Clone.
+func BenchmarkSessionFirstZoom(b *testing.B) {
+	for _, cars := range sessionBenchSizes {
+		qp := sessionBenchProcessor(b, cars)
+		g := qp.Graph()
+		nodes := float64(g.TotalNodes())
+		b.Run(fmt.Sprintf("overlay/cars=%d", cars), func(b *testing.B) {
+			b.ReportMetric(nodes, "nodes")
+			for i := 0; i < b.N; i++ {
+				ov := provgraph.NewOverlay(g)
+				ov.ZoomOut("M_dealer1")
+			}
+		})
+		b.Run(fmt.Sprintf("clone/cars=%d", cars), func(b *testing.B) {
+			b.ReportMetric(nodes, "nodes")
+			for i := 0; i < b.N; i++ {
+				c := g.Clone()
+				c.ZoomOut("M_dealer1")
+			}
+		})
+	}
+}
+
+// BenchmarkSessionApplyDelete measures an applied deletion propagation
+// with aggregate recomputation through a fresh session view vs. Clone.
+func BenchmarkSessionApplyDelete(b *testing.B) {
+	qp := sessionBenchProcessor(b, benchCars)
+	g := qp.Graph()
+	targets := qp.FindNodes(NodeFilter{Types: []provgraph.Type{provgraph.TypeWorkflowInput}})
+	if len(targets) == 0 {
+		b.Fatal("no targets")
+	}
+	b.Run("overlay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ov := provgraph.NewOverlay(g)
+			ov.Delete(targets[i%len(targets)])
+			ov.RecomputeAggregates()
+		}
+	})
+	b.Run("clone", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := g.Clone()
+			c.Delete(targets[i%len(targets)])
+			c.RecomputeAggregates()
+		}
+	})
+}

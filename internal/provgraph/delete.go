@@ -2,6 +2,7 @@ package provgraph
 
 import (
 	"math"
+	"strconv"
 
 	"lipstick/internal/nested"
 	"lipstick/internal/semiring"
@@ -28,26 +29,37 @@ func (r *DeletionResult) Size() int { return len(r.Removed) }
 // least one of its incoming edges was deleted. Nodes with no incoming
 // edges (tokens, invocation nodes, constants) are never removed by rule (1).
 func (g *Graph) PropagateDeletion(ids ...NodeID) *DeletionResult {
+	return propagateDeletionOf(g, ids...)
+}
+
+// PropagateDeletion computes the deletion effect in the overlay view.
+func (o *Overlay) PropagateDeletion(ids ...NodeID) *DeletionResult {
+	return propagateDeletionOf(o, ids...)
+}
+
+func propagateDeletionOf(v view, ids ...NodeID) *DeletionResult {
 	res := &DeletionResult{removed: make(map[NodeID]bool)}
+	total := v.TotalNodes()
 	// remaining in-degree per node, counting only live edges.
-	indeg := make([]int32, len(g.nodes))
-	hadIn := make([]bool, len(g.nodes))
-	for id := range g.nodes {
-		if !g.alive[id] {
+	indeg := make([]int32, total)
+	hadIn := make([]bool, total)
+	for id := 0; id < total; id++ {
+		if !v.Alive(NodeID(id)) {
 			continue
 		}
 		d := int32(0)
-		for _, src := range g.in[id] {
-			if g.alive[src] {
+		v.eachInRaw(NodeID(id), func(src NodeID) bool {
+			if v.Alive(src) {
 				d++
 			}
-		}
+			return true
+		})
 		indeg[id] = d
 		hadIn[id] = d > 0
 	}
 	var queue []NodeID
 	remove := func(id NodeID) {
-		if res.removed[id] || !g.alive[id] {
+		if res.removed[id] || !v.Alive(id) {
 			return
 		}
 		res.removed[id] = true
@@ -60,12 +72,12 @@ func (g *Graph) PropagateDeletion(ids ...NodeID) *DeletionResult {
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, dst := range g.out[cur] {
-			if !g.alive[dst] || res.removed[dst] {
-				continue
+		v.eachOutRaw(cur, func(dst NodeID) bool {
+			if !v.Alive(dst) || res.removed[dst] {
+				return true
 			}
 			indeg[dst]--
-			op := g.nodes[dst].Op
+			op := v.Node(dst).Op
 			switch {
 			case indeg[dst] == 0 && hadIn[dst]:
 				remove(dst) // rule (1): all incoming edges deleted
@@ -77,17 +89,24 @@ func (g *Graph) PropagateDeletion(ids ...NodeID) *DeletionResult {
 				// products under deletion.
 				remove(dst)
 			}
-		}
+			return true
+		})
 	}
 	return res
 }
 
 // Delete applies a deletion propagation to the graph in place, marking the
 // removed nodes dead, and returns the result.
-func (g *Graph) Delete(ids ...NodeID) *DeletionResult {
-	res := g.PropagateDeletion(ids...)
+func (g *Graph) Delete(ids ...NodeID) *DeletionResult { return deleteOf(g, ids...) }
+
+// Delete applies a deletion propagation to the overlay, recording the
+// kills as deltas; the base graph is untouched.
+func (o *Overlay) Delete(ids ...NodeID) *DeletionResult { return deleteOf(o, ids...) }
+
+func deleteOf(mv mutableView, ids ...NodeID) *DeletionResult {
+	res := propagateDeletionOf(mv, ids...)
 	for _, id := range res.Removed {
-		g.kill(id)
+		mv.kill(id)
 	}
 	return res
 }
@@ -114,64 +133,80 @@ type RecomputedAggregate struct {
 // It requires the full (non-simplified) aggregation construction, in which
 // each ⊗ node has a constant-value in-neighbor.
 func (g *Graph) RecomputeAggregates() []RecomputedAggregate {
+	return recomputeAggregatesOf(g)
+}
+
+// RecomputeAggregates re-evaluates aggregates in the overlay view,
+// recording changed values as deltas.
+func (o *Overlay) RecomputeAggregates() []RecomputedAggregate {
+	return recomputeAggregatesOf(o)
+}
+
+func recomputeAggregatesOf(mv mutableView) []RecomputedAggregate {
 	var out []RecomputedAggregate
-	for id := range g.nodes {
-		if !g.alive[id] || g.nodes[id].Op != OpAgg {
+	total := mv.TotalNodes()
+	for id := 0; id < total; id++ {
+		if !mv.Alive(NodeID(id)) {
 			continue
 		}
-		n := g.nodes[id]
+		n := mv.Node(NodeID(id))
+		if n.Op != OpAgg {
+			continue
+		}
 		op, ok := semiring.ParseAggOp(n.Label)
 		if !ok {
 			continue
 		}
-		val, survivors, computed := g.recomputeAgg(NodeID(id), op)
+		val, survivors, computed := recomputeAggOf(mv, NodeID(id), op)
 		rec := RecomputedAggregate{Node: NodeID(id), Op: n.Label, Before: n.Value, Survivors: survivors}
 		if computed {
 			rec.After = val
 		}
 		if !rec.After.Equal(rec.Before) {
 			out = append(out, rec)
-			g.nodes[id].Value = rec.After
+			mv.setValue(NodeID(id), rec.After)
 		}
 	}
 	return out
 }
 
-// recomputeAgg folds the surviving ⊗ children of an aggregate node.
-func (g *Graph) recomputeAgg(id NodeID, op semiring.AggOp) (nested.Value, int, bool) {
+// recomputeAggOf folds the surviving ⊗ children of an aggregate node.
+func recomputeAggOf(v view, id NodeID, op semiring.AggOp) (nested.Value, int, bool) {
 	sum, cnt := 0.0, 0
 	lo, hi := math.Inf(1), math.Inf(-1)
 	allInt := true
-	for _, in := range g.In(id) {
-		t := g.nodes[in]
+	eachLiveIn(v, id, func(in NodeID) bool {
+		t := v.Node(in)
 		if t.Op != OpTensor {
-			continue
+			return true
 		}
 		// The tensor's constant in-neighbor holds the aggregated value.
-		var v nested.Value
+		var val nested.Value
 		found := false
-		for _, tin := range g.In(in) {
-			if g.nodes[tin].Op == OpConst {
-				v = g.nodes[tin].Value
+		eachLiveIn(v, in, func(tin NodeID) bool {
+			if v.Node(tin).Op == OpConst {
+				val = v.Node(tin).Value
 				found = true
-				break
+				return false
 			}
-		}
+			return true
+		})
 		if !found {
-			continue
+			return true
 		}
-		f, ok := v.Numeric()
+		f, ok := val.Numeric()
 		if !ok {
-			continue
+			return true
 		}
-		if v.Kind() != nested.KindInt {
+		if val.Kind() != nested.KindInt {
 			allInt = false
 		}
 		cnt++
 		sum += f
 		lo = math.Min(lo, f)
 		hi = math.Max(hi, f)
-	}
+		return true
+	})
 	if cnt == 0 {
 		switch op {
 		case semiring.AggSum:
@@ -212,29 +247,35 @@ func (g *Graph) recomputeAgg(id NodeID, op semiring.AggOp) (nested.Value, int, b
 // module. The result ties the graph representation back to the semiring
 // formalism of Section 2.3 and is used for differential testing of
 // deletion propagation.
-func (g *Graph) Expr(id NodeID) semiring.Expr {
+func (g *Graph) Expr(id NodeID) semiring.Expr { return exprRoot(g, id) }
+
+// Expr reconstructs a node's provenance expression in the overlay view.
+func (o *Overlay) Expr(id NodeID) semiring.Expr { return exprRoot(o, id) }
+
+func exprRoot(v view, id NodeID) semiring.Expr {
 	memo := make(map[NodeID]semiring.Expr)
-	return g.expr(id, memo)
+	return exprOf(v, id, memo)
 }
 
-func (g *Graph) expr(id NodeID, memo map[NodeID]semiring.Expr) semiring.Expr {
+func exprOf(v view, id NodeID, memo map[NodeID]semiring.Expr) semiring.Expr {
 	if e, ok := memo[id]; ok {
 		return e
 	}
-	if !g.alive[id] {
+	if !v.Alive(id) {
 		return semiring.Zero{}
 	}
-	n := g.nodes[id]
+	n := v.Node(id)
 	// Guard against (impossible) cycles while memoizing.
 	memo[id] = semiring.Zero{}
 	var children []semiring.Expr
-	for _, in := range g.In(id) {
+	eachLiveIn(v, id, func(in NodeID) bool {
 		// Value nodes do not contribute to the p-side expression.
-		if g.nodes[in].Class == ClassV {
-			continue
+		if v.Node(in).Class == ClassV {
+			return true
 		}
-		children = append(children, g.expr(in, memo))
-	}
+		children = append(children, exprOf(v, in, memo))
+		return true
+	})
 	var e semiring.Expr
 	switch {
 	case n.Type == TypeBaseTuple || n.Type == TypeWorkflowInput:
@@ -261,27 +302,5 @@ func tokenName(n Node) string {
 	if n.Label != "" {
 		return n.Label
 	}
-	return "n" + itoa(int(n.ID))
-}
-
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
-	}
-	neg := v < 0
-	if neg {
-		v = -v
-	}
-	var buf [20]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	if neg {
-		i--
-		buf[i] = '-'
-	}
-	return string(buf[i:])
+	return "n" + strconv.Itoa(int(n.ID))
 }

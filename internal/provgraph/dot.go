@@ -10,12 +10,18 @@ import (
 // paper's visual conventions: p-nodes are circles, v-nodes are squares,
 // module invocation nodes are labeled with the module name, and zoomed
 // module nodes are rounded rectangles.
-func (g *Graph) WriteDOT(w io.Writer, title string) error {
+func (g *Graph) WriteDOT(w io.Writer, title string) error { return writeDOTOf(g, w, title) }
+
+// WriteDOT renders the overlay's live view (the session's what-if graph)
+// in Graphviz DOT format.
+func (o *Overlay) WriteDOT(w io.Writer, title string) error { return writeDOTOf(o, w, title) }
+
+func writeDOTOf(v view, w io.Writer, title string) error {
 	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=BT;\n  node [fontsize=10];\n", title); err != nil {
 		return err
 	}
 	var err error
-	g.Nodes(func(n Node) bool {
+	nodesDo(v, func(n Node) bool {
 		shape := "circle"
 		if n.Class == ClassV {
 			shape = "box"
@@ -27,20 +33,19 @@ func (g *Graph) WriteDOT(w io.Writer, title string) error {
 		if n.Type == TypeZoom {
 			style = ",style=rounded"
 		}
-		label := g.dotLabel(n)
+		label := dotLabel(n)
 		_, err = fmt.Fprintf(w, "  n%d [label=%q,shape=%s%s];\n", n.ID, label, shape, style)
 		return err == nil
 	})
 	if err != nil {
 		return err
 	}
-	g.Nodes(func(n Node) bool {
-		for _, dst := range g.Out(n.ID) {
-			if _, err = fmt.Fprintf(w, "  n%d -> n%d;\n", n.ID, dst); err != nil {
-				return false
-			}
-		}
-		return true
+	nodesDo(v, func(n Node) bool {
+		eachLiveOut(v, n.ID, func(dst NodeID) bool {
+			_, err = fmt.Fprintf(w, "  n%d -> n%d;\n", n.ID, dst)
+			return err == nil
+		})
+		return err == nil
 	})
 	if err != nil {
 		return err
@@ -50,7 +55,7 @@ func (g *Graph) WriteDOT(w io.Writer, title string) error {
 }
 
 // dotLabel builds a human-readable label for a node.
-func (g *Graph) dotLabel(n Node) string {
+func dotLabel(n Node) string {
 	var parts []string
 	switch n.Type {
 	case TypeWorkflowInput:
@@ -88,5 +93,12 @@ func (g *Graph) dotLabel(n Node) string {
 func (g *Graph) DOT(title string) string {
 	var sb strings.Builder
 	_ = g.WriteDOT(&sb, title)
+	return sb.String()
+}
+
+// DOT renders the overlay's live view to a string.
+func (o *Overlay) DOT(title string) string {
+	var sb strings.Builder
+	_ = o.WriteDOT(&sb, title)
 	return sb.String()
 }

@@ -206,14 +206,21 @@ func New() *Graph {
 	return &Graph{constIndex: make(map[string]NodeID)}
 }
 
-// AddNode appends a node and returns its id.
-func (g *Graph) AddNode(n Node) NodeID {
-	id := NodeID(len(g.nodes))
-	n.ID = id
+// normalizeInv applies AddNode's invocation-attribution default: nodes
+// that are not structurally anchored to an invocation get Inv = -1.
+func normalizeInv(n Node) Node {
 	if n.Inv == 0 && n.Type != TypeInvocation && n.Type != TypeModuleInput &&
 		n.Type != TypeModuleOutput && n.Type != TypeState && n.Type != TypeZoom {
 		n.Inv = -1
 	}
+	return n
+}
+
+// AddNode appends a node and returns its id.
+func (g *Graph) AddNode(n Node) NodeID {
+	id := NodeID(len(g.nodes))
+	n = normalizeInv(n)
+	n.ID = id
 	g.nodes = append(g.nodes, n)
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
@@ -230,6 +237,28 @@ func (g *Graph) AddEdge(src, dst NodeID) {
 
 // setNodeInv attributes an existing node to an invocation (graphSink).
 func (g *Graph) setNodeInv(id NodeID, inv InvID) { g.nodes[id].Inv = inv }
+
+// setValue overwrites a node's carried value (aggregate recomputation).
+func (g *Graph) setValue(id NodeID, v nested.Value) { g.nodes[id].Value = v }
+
+// eachOutRaw iterates the raw out-adjacency of id, dead endpoints
+// included (the view primitive generic algorithms filter through Alive).
+func (g *Graph) eachOutRaw(id NodeID, fn func(NodeID) bool) {
+	for _, n := range g.out[id] {
+		if !fn(n) {
+			return
+		}
+	}
+}
+
+// eachInRaw iterates the raw in-adjacency of id.
+func (g *Graph) eachInRaw(id NodeID, fn func(NodeID) bool) {
+	for _, n := range g.in[id] {
+		if !fn(n) {
+			return
+		}
+	}
+}
 
 // Node returns the node with the given id.
 func (g *Graph) Node(id NodeID) Node { return g.nodes[id] }

@@ -1,0 +1,283 @@
+package provgraph
+
+import (
+	"lipstick/internal/nested"
+)
+
+// Overlay is a copy-on-write view over an immutable base Graph. Where
+// Clone deep-copies every node, edge, and invocation record up front, an
+// overlay starts empty and records only the deltas a session produces:
+//
+//   - node kills and revives (deletion propagation, ZoomOut/ZoomIn),
+//   - appended nodes and their adjacency (the zoom p-nodes ZoomOut
+//     installs),
+//   - edges appended to base nodes (the zoom wiring), and
+//   - value annotation changes (RecomputeAggregates after a deletion).
+//
+// Creating an overlay is O(1) and a mutated overlay costs O(changes)
+// memory, so thousands of concurrent what-if sessions can share one base
+// graph. Appended nodes take ids from TotalNodes() upward — exactly the
+// ids a Clone-then-mutate baseline would assign — so every query answered
+// through the view (find, subgraph, lineage, deletion propagation, DOT,
+// provenance expressions) is equal to the same query against a mutated
+// clone (asserted by the equivalence tests).
+//
+// The base graph is never written: concurrent readers of the base (and of
+// sibling overlays) stay race-free while this overlay mutates. One overlay
+// is NOT safe for concurrent use by itself — callers serialize access per
+// overlay (core.Session wraps one in a mutex).
+type Overlay struct {
+	base      *Graph
+	baseSlots int // == base.TotalNodes(); the base is immutable by contract
+
+	alive     map[NodeID]bool // liveness overrides for base and added nodes
+	liveDelta int             // live-node count delta vs. base (added nodes included)
+
+	added    []Node     // appended nodes; ids start at baseSlots
+	addedOut [][]NodeID // adjacency of appended nodes
+	addedIn  [][]NodeID
+
+	extraOut map[NodeID][]NodeID // edges appended to base nodes
+	extraIn  map[NodeID][]NodeID
+	// edgeLog holds every appended edge in insertion order, so
+	// Materialize can replay them exactly as a mutated clone would have
+	// inserted them (adjacency order is observable through Expr, BFS
+	// orders, and DOT output).
+	edgeLog [][2]NodeID
+
+	values map[NodeID]nested.Value // value overrides (aggregate recompute)
+}
+
+var _ GraphView = (*Overlay)(nil)
+var _ mutableView = (*Overlay)(nil)
+
+// NewOverlay returns an empty copy-on-write view over base. The caller
+// must treat base as immutable for the overlay's lifetime (the contract
+// SnapshotManager already imposes on shared cached processors).
+func NewOverlay(base *Graph) *Overlay {
+	return &Overlay{base: base, baseSlots: base.TotalNodes()}
+}
+
+// Base returns the graph the overlay is layered over.
+func (o *Overlay) Base() *Graph { return o.base }
+
+// Changes returns the number of recorded deltas (liveness overrides,
+// appended nodes, appended edges, and value overrides) — the session's
+// memory cost in units of changes, not graph size.
+func (o *Overlay) Changes() int {
+	return len(o.alive) + len(o.added) + len(o.edgeLog) + len(o.values)
+}
+
+// TotalNodes returns the number of node slots in the view (base + added).
+func (o *Overlay) TotalNodes() int { return o.baseSlots + len(o.added) }
+
+// NumNodes returns the number of live nodes in the view.
+func (o *Overlay) NumNodes() int { return o.base.NumNodes() + o.liveDelta }
+
+// NumEdges counts the edges between live nodes in the view.
+func (o *Overlay) NumEdges() int { return numEdgesOf(o) }
+
+// Node returns the node with the given id, with any overlay value
+// override applied.
+func (o *Overlay) Node(id NodeID) Node {
+	var n Node
+	if int(id) < o.baseSlots {
+		n = o.base.Node(id)
+	} else {
+		n = o.added[int(id)-o.baseSlots]
+	}
+	if v, ok := o.values[id]; ok {
+		n.Value = v
+	}
+	return n
+}
+
+// Alive reports whether the node is visible in the overlay view.
+func (o *Overlay) Alive(id NodeID) bool {
+	if v, ok := o.alive[id]; ok {
+		return v
+	}
+	if int(id) < o.baseSlots {
+		return o.base.Alive(id)
+	}
+	return true // appended nodes are born live
+}
+
+// kill marks a node dead in the view (the base is untouched).
+func (o *Overlay) kill(id NodeID) {
+	if !o.Alive(id) {
+		return
+	}
+	if o.alive == nil {
+		o.alive = make(map[NodeID]bool)
+	}
+	o.alive[id] = false
+	o.liveDelta--
+}
+
+// revive marks a node live again in the view.
+func (o *Overlay) revive(id NodeID) {
+	if o.Alive(id) {
+		return
+	}
+	if o.alive == nil {
+		o.alive = make(map[NodeID]bool)
+	}
+	o.alive[id] = true
+	o.liveDelta++
+}
+
+// setValue records a value override for the node.
+func (o *Overlay) setValue(id NodeID, v nested.Value) {
+	if o.values == nil {
+		o.values = make(map[NodeID]nested.Value)
+	}
+	o.values[id] = v
+}
+
+// AddNode appends a node to the view and returns its id. Ids continue
+// from the base graph's slot range, matching what a mutated clone would
+// assign.
+func (o *Overlay) AddNode(n Node) NodeID {
+	id := NodeID(o.TotalNodes())
+	n = normalizeInv(n)
+	n.ID = id
+	o.added = append(o.added, n)
+	o.addedOut = append(o.addedOut, nil)
+	o.addedIn = append(o.addedIn, nil)
+	o.liveDelta++
+	return id
+}
+
+// AddEdge appends a directed edge to the view (dst is derived from src).
+// Edges touching base nodes are recorded as deltas; the base adjacency is
+// never modified.
+func (o *Overlay) AddEdge(src, dst NodeID) {
+	if int(src) < o.baseSlots {
+		if o.extraOut == nil {
+			o.extraOut = make(map[NodeID][]NodeID)
+		}
+		o.extraOut[src] = append(o.extraOut[src], dst)
+	} else {
+		i := int(src) - o.baseSlots
+		o.addedOut[i] = append(o.addedOut[i], dst)
+	}
+	if int(dst) < o.baseSlots {
+		if o.extraIn == nil {
+			o.extraIn = make(map[NodeID][]NodeID)
+		}
+		o.extraIn[dst] = append(o.extraIn[dst], src)
+	} else {
+		i := int(dst) - o.baseSlots
+		o.addedIn[i] = append(o.addedIn[i], src)
+	}
+	o.edgeLog = append(o.edgeLog, [2]NodeID{src, dst})
+}
+
+// eachOutRaw iterates the raw out-adjacency: base edges first, then the
+// overlay's appended edges — the same order a mutated clone would hold.
+func (o *Overlay) eachOutRaw(id NodeID, fn func(NodeID) bool) {
+	if int(id) < o.baseSlots {
+		stopped := false
+		o.base.eachOutRaw(id, func(n NodeID) bool {
+			if !fn(n) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+		for _, n := range o.extraOut[id] {
+			if !fn(n) {
+				return
+			}
+		}
+		return
+	}
+	for _, n := range o.addedOut[int(id)-o.baseSlots] {
+		if !fn(n) {
+			return
+		}
+	}
+}
+
+// eachInRaw iterates the raw in-adjacency.
+func (o *Overlay) eachInRaw(id NodeID, fn func(NodeID) bool) {
+	if int(id) < o.baseSlots {
+		stopped := false
+		o.base.eachInRaw(id, func(n NodeID) bool {
+			if !fn(n) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+		for _, n := range o.extraIn[id] {
+			if !fn(n) {
+				return
+			}
+		}
+		return
+	}
+	for _, n := range o.addedIn[int(id)-o.baseSlots] {
+		if !fn(n) {
+			return
+		}
+	}
+}
+
+// Out returns the live out-neighbors of id in the view.
+func (o *Overlay) Out(id NodeID) []NodeID { return liveOut(o, id) }
+
+// In returns the live in-neighbors of id in the view.
+func (o *Overlay) In(id NodeID) []NodeID { return liveIn(o, id) }
+
+// Nodes calls fn for every live node in id order; fn returning false
+// stops iteration.
+func (o *Overlay) Nodes(fn func(Node) bool) { nodesDo(o, fn) }
+
+// Invocation returns the invocation record with the given id. Records
+// come from the base graph (sessions never add invocations) and must be
+// treated as read-only.
+func (o *Overlay) Invocation(id InvID) *Invocation { return o.base.Invocation(id) }
+
+// NumInvocations returns the number of recorded invocations.
+func (o *Overlay) NumInvocations() int { return o.base.NumInvocations() }
+
+// Invocations calls fn for each invocation record.
+func (o *Overlay) Invocations(fn func(*Invocation) bool) { invocationsDo(o, fn) }
+
+// InvocationsOf returns the invocation ids of the given module name.
+func (o *Overlay) InvocationsOf(module string) []InvID { return invocationsOf(o, module) }
+
+// ComputeStats walks the live view and tallies node classes and types.
+func (o *Overlay) ComputeStats() Stats { return computeStatsOf(o) }
+
+// Materialize builds a standalone Graph equal to the overlay view
+// (useful for persisting a session's what-if state). It is the expensive
+// operation overlays exist to avoid on the per-session hot path.
+func (o *Overlay) Materialize() *Graph {
+	c := o.base.Clone()
+	for i := range o.added {
+		c.AddNode(o.added[i])
+	}
+	for _, e := range o.edgeLog {
+		c.AddEdge(e[0], e[1])
+	}
+	for id, v := range o.values {
+		c.setValue(id, v)
+	}
+	for id, live := range o.alive {
+		if live {
+			c.revive(id)
+		} else {
+			c.kill(id)
+		}
+	}
+	return c
+}

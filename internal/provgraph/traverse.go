@@ -1,34 +1,49 @@
 package provgraph
 
+// The traversal queries are implemented once, generically over the view
+// primitives, so a copy-on-write Overlay answers them identically to a
+// materialized Graph (see view.go).
+
 // Ancestors returns the set of live nodes from which id is reachable
 // (the data id depends on), excluding id itself.
-func (g *Graph) Ancestors(id NodeID) []NodeID {
-	return g.bfs(id, g.in)
+func (g *Graph) Ancestors(id NodeID) []NodeID { return ancestorsOf(g, id) }
+
+// Ancestors returns the live ancestors of id in the overlay view.
+func (o *Overlay) Ancestors(id NodeID) []NodeID { return ancestorsOf(o, id) }
+
+func ancestorsOf(v view, id NodeID) []NodeID {
+	return bfsOf(v, id, view.eachInRaw)
 }
 
 // Descendants returns the set of live nodes reachable from id (the data
 // derived from id), excluding id itself.
-func (g *Graph) Descendants(id NodeID) []NodeID {
-	return g.bfs(id, g.out)
+func (g *Graph) Descendants(id NodeID) []NodeID { return descendantsOf(g, id) }
+
+// Descendants returns the live descendants of id in the overlay view.
+func (o *Overlay) Descendants(id NodeID) []NodeID { return descendantsOf(o, id) }
+
+func descendantsOf(v view, id NodeID) []NodeID {
+	return bfsOf(v, id, view.eachOutRaw)
 }
 
-// bfs walks the given adjacency from id, returning visited nodes in BFS
-// order (excluding the start node).
-func (g *Graph) bfs(id NodeID, adj [][]NodeID) []NodeID {
-	visited := make([]bool, len(g.nodes))
+// bfsOf walks the given adjacency from id, returning visited live nodes in
+// BFS order (excluding the start node).
+func bfsOf(v view, id NodeID, each func(view, NodeID, func(NodeID) bool)) []NodeID {
+	visited := make([]bool, v.TotalNodes())
 	visited[id] = true
 	queue := []NodeID{id}
 	var out []NodeID
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, next := range adj[cur] {
-			if !visited[next] && g.alive[next] {
+		each(v, cur, func(next NodeID) bool {
+			if !visited[next] && v.Alive(next) {
 				visited[next] = true
 				out = append(out, next)
 				queue = append(queue, next)
 			}
-		}
+			return true
+		})
 	}
 	return out
 }
@@ -36,9 +51,13 @@ func (g *Graph) bfs(id NodeID, adj [][]NodeID) []NodeID {
 // DependsOn reports whether the existence of node a depends on node b
 // (Section 4.3): it propagates the deletion of b and checks whether a
 // survives.
-func (g *Graph) DependsOn(a, b NodeID) bool {
-	res := g.PropagateDeletion(b)
-	return res.Deleted(a)
+func (g *Graph) DependsOn(a, b NodeID) bool { return dependsOnIn(g, a, b) }
+
+// DependsOn answers the dependency query in the overlay view.
+func (o *Overlay) DependsOn(a, b NodeID) bool { return dependsOnIn(o, a, b) }
+
+func dependsOnIn(v view, a, b NodeID) bool {
+	return propagateDeletionOf(v, b).Deleted(a)
 }
 
 // SubgraphResult is the output of a subgraph query.
@@ -61,7 +80,12 @@ func (r *SubgraphResult) Size() int { return len(r.Nodes) }
 // returns the subgraph induced by the node's ancestors, its descendants,
 // and all siblings of its descendants (nodes sharing an in-neighbor with a
 // descendant — the co-contributors needed to re-derive those descendants).
-func (g *Graph) Subgraph(id NodeID) *SubgraphResult {
+func (g *Graph) Subgraph(id NodeID) *SubgraphResult { return subgraphOf(g, id) }
+
+// Subgraph answers the subgraph query in the overlay view.
+func (o *Overlay) Subgraph(id NodeID) *SubgraphResult { return subgraphOf(o, id) }
+
+func subgraphOf(v view, id NodeID) *SubgraphResult {
 	member := map[NodeID]bool{id: true}
 	order := []NodeID{id}
 	add := func(n NodeID) {
@@ -70,21 +94,23 @@ func (g *Graph) Subgraph(id NodeID) *SubgraphResult {
 			order = append(order, n)
 		}
 	}
-	for _, n := range g.Ancestors(id) {
+	for _, n := range ancestorsOf(v, id) {
 		add(n)
 	}
-	descendants := g.Descendants(id)
+	descendants := descendantsOf(v, id)
 	for _, n := range descendants {
 		add(n)
 	}
 	for _, d := range descendants {
-		for _, parent := range g.In(d) {
-			for _, sib := range g.Out(parent) {
+		eachLiveIn(v, d, func(parent NodeID) bool {
+			eachLiveOut(v, parent, func(sib NodeID) bool {
 				if sib != d {
 					add(sib)
 				}
-			}
-		}
+				return true
+			})
+			return true
+		})
 	}
 	return &SubgraphResult{Root: id, Nodes: order, member: member}
 }
@@ -112,21 +138,28 @@ func (g *Graph) Sinks() []NodeID {
 	return out
 }
 
-// IsAcyclic verifies the graph is a DAG over live nodes (an invariant of
-// every construction in this package).
-func (g *Graph) IsAcyclic() bool {
-	indeg := make([]int, len(g.nodes))
+// IsAcyclic verifies the live view is a DAG (an invariant of every
+// construction in this package).
+func (g *Graph) IsAcyclic() bool { return isAcyclicOf(g) }
+
+// IsAcyclic verifies the overlay's live view is a DAG.
+func (o *Overlay) IsAcyclic() bool { return isAcyclicOf(o) }
+
+func isAcyclicOf(v view) bool {
+	total := v.TotalNodes()
+	indeg := make([]int, total)
 	liveCount := 0
-	for id := range g.nodes {
-		if !g.alive[id] {
+	queue := make([]NodeID, 0, total)
+	for id := 0; id < total; id++ {
+		if !v.Alive(NodeID(id)) {
 			continue
 		}
 		liveCount++
-		indeg[id] = len(g.In(NodeID(id)))
-	}
-	queue := make([]NodeID, 0, liveCount)
-	for id := range g.nodes {
-		if g.alive[id] && indeg[id] == 0 {
+		eachLiveIn(v, NodeID(id), func(NodeID) bool {
+			indeg[id]++
+			return true
+		})
+		if indeg[id] == 0 {
 			queue = append(queue, NodeID(id))
 		}
 	}
@@ -135,12 +168,13 @@ func (g *Graph) IsAcyclic() bool {
 		cur := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		seen++
-		for _, next := range g.Out(cur) {
+		eachLiveOut(v, cur, func(next NodeID) bool {
 			indeg[next]--
 			if indeg[next] == 0 {
 				queue = append(queue, next)
 			}
-		}
+			return true
+		})
 	}
 	return seen == liveCount
 }

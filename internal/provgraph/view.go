@@ -1,0 +1,221 @@
+package provgraph
+
+import (
+	"io"
+
+	"lipstick/internal/nested"
+	"lipstick/internal/semiring"
+)
+
+// GraphView is the read surface shared by *Graph and *Overlay: everything
+// the query layer needs to answer zoom, deletion, subgraph, lineage, and
+// export queries without knowing whether it is looking at a materialized
+// graph or a copy-on-write session view layered over one.
+type GraphView interface {
+	// Structure.
+	Node(id NodeID) Node
+	Alive(id NodeID) bool
+	NumNodes() int
+	TotalNodes() int
+	NumEdges() int
+	Out(id NodeID) []NodeID
+	In(id NodeID) []NodeID
+	Nodes(fn func(Node) bool)
+
+	// Invocation records.
+	Invocation(id InvID) *Invocation
+	NumInvocations() int
+	Invocations(fn func(*Invocation) bool)
+	InvocationsOf(module string) []InvID
+
+	// Queries (Sections 4 and 5.1).
+	Ancestors(id NodeID) []NodeID
+	Descendants(id NodeID) []NodeID
+	Subgraph(id NodeID) *SubgraphResult
+	PropagateDeletion(ids ...NodeID) *DeletionResult
+	DependsOn(a, b NodeID) bool
+	Expr(id NodeID) semiring.Expr
+
+	// Exports and summaries.
+	WriteDOT(w io.Writer, title string) error
+	ComputeStats() Stats
+}
+
+// view is the primitive read surface the generic algorithm implementations
+// run on. Raw adjacency iteration (dead endpoints included) keeps the
+// traversals allocation-free on both backings: *Graph iterates its slices,
+// *Overlay chains base adjacency with its recorded edge deltas.
+type view interface {
+	TotalNodes() int
+	Node(id NodeID) Node
+	Alive(id NodeID) bool
+	eachOutRaw(id NodeID, fn func(NodeID) bool)
+	eachInRaw(id NodeID, fn func(NodeID) bool)
+	NumInvocations() int
+	Invocation(id InvID) *Invocation
+}
+
+// mutableView adds the mutations graph transformations perform; the
+// overlay records them as deltas, the graph applies them in place.
+type mutableView interface {
+	view
+	kill(id NodeID)
+	revive(id NodeID)
+	AddNode(n Node) NodeID
+	AddEdge(src, dst NodeID)
+	setValue(id NodeID, v nested.Value)
+}
+
+// Interface conformance (the overlay's is asserted in overlay.go).
+var _ GraphView = (*Graph)(nil)
+var _ mutableView = (*Graph)(nil)
+
+// eachLiveOut calls fn for every live out-neighbor of a live-or-dead id.
+func eachLiveOut(v view, id NodeID, fn func(NodeID) bool) {
+	v.eachOutRaw(id, func(n NodeID) bool {
+		if !v.Alive(n) {
+			return true
+		}
+		return fn(n)
+	})
+}
+
+// eachLiveIn calls fn for every live in-neighbor.
+func eachLiveIn(v view, id NodeID, fn func(NodeID) bool) {
+	v.eachInRaw(id, func(n NodeID) bool {
+		if !v.Alive(n) {
+			return true
+		}
+		return fn(n)
+	})
+}
+
+// liveOut collects the live out-neighbors of id.
+func liveOut(v view, id NodeID) []NodeID {
+	var out []NodeID
+	eachLiveOut(v, id, func(n NodeID) bool {
+		out = append(out, n)
+		return true
+	})
+	return out
+}
+
+// liveIn collects the live in-neighbors of id.
+func liveIn(v view, id NodeID) []NodeID {
+	var out []NodeID
+	eachLiveIn(v, id, func(n NodeID) bool {
+		out = append(out, n)
+		return true
+	})
+	return out
+}
+
+// hasLiveOut reports whether id has at least one live out-neighbor without
+// materializing the neighbor list.
+func hasLiveOut(v view, id NodeID) bool {
+	found := false
+	v.eachOutRaw(id, func(n NodeID) bool {
+		if v.Alive(n) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// nodesDo calls fn for every live node in id order.
+func nodesDo(v view, fn func(Node) bool) {
+	total := v.TotalNodes()
+	for id := 0; id < total; id++ {
+		if v.Alive(NodeID(id)) {
+			if !fn(v.Node(NodeID(id))) {
+				return
+			}
+		}
+	}
+}
+
+// numEdgesOf counts the edges between live nodes.
+func numEdgesOf(v view) int {
+	n := 0
+	total := v.TotalNodes()
+	for id := 0; id < total; id++ {
+		if !v.Alive(NodeID(id)) {
+			continue
+		}
+		eachLiveOut(v, NodeID(id), func(NodeID) bool {
+			n++
+			return true
+		})
+	}
+	return n
+}
+
+// invocationsDo calls fn for each invocation record of the view.
+func invocationsDo(v view, fn func(*Invocation) bool) {
+	for i := 0; i < v.NumInvocations(); i++ {
+		if !fn(v.Invocation(InvID(i))) {
+			return
+		}
+	}
+}
+
+// invocationsOf returns the invocation ids of the given module name.
+func invocationsOf(v view, module string) []InvID {
+	var out []InvID
+	invocationsDo(v, func(inv *Invocation) bool {
+		if inv.Module == module {
+			out = append(out, inv.ID)
+		}
+		return true
+	})
+	return out
+}
+
+// computeStatsOf walks the live view and tallies node classes and types.
+func computeStatsOf(v view) Stats {
+	s := Stats{ByType: make(map[Type]int), Invocations: v.NumInvocations()}
+	nodesDo(v, func(n Node) bool {
+		s.Nodes++
+		if n.Class == ClassP {
+			s.PNodes++
+		} else {
+			s.VNodes++
+		}
+		s.ByType[n.Type]++
+		return true
+	})
+	s.Edges = numEdgesOf(v)
+	return s
+}
+
+// ViewsStructurallyEqual reports whether two views have the same live
+// nodes (by id, type, class, op, label) and the same live edge sets — the
+// view-polymorphic reading of Graph.StructurallyEqual, used to assert
+// overlay sessions match their Clone-then-mutate baseline.
+func ViewsStructurallyEqual(a, b GraphView) bool {
+	max := a.TotalNodes()
+	if n := b.TotalNodes(); n > max {
+		max = n
+	}
+	for id := 0; id < max; id++ {
+		nid := NodeID(id)
+		aa := id < a.TotalNodes() && a.Alive(nid)
+		ba := id < b.TotalNodes() && b.Alive(nid)
+		if aa != ba {
+			return false
+		}
+		if !aa {
+			continue
+		}
+		x, y := a.Node(nid), b.Node(nid)
+		if x.Class != y.Class || x.Type != y.Type || x.Op != y.Op || x.Label != y.Label {
+			return false
+		}
+		if !edgeSetEqual(a.Out(nid), b.Out(nid)) {
+			return false
+		}
+	}
+	return true
+}

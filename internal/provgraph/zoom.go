@@ -22,19 +22,27 @@ func (r *ZoomRecord) ZoomNodes() []NodeID { return append([]NodeID(nil), r.zoomN
 // set: nodes reachable from a module-input or state node of such an
 // invocation along a directed path that contains no module-output node.
 func (g *Graph) IntermediateNodes(modules map[string]bool) []NodeID {
+	return intermediateNodesOf(g, modules)
+}
+
+// IntermediateNodes answers Definition 4.1 in the overlay view.
+func (o *Overlay) IntermediateNodes(modules map[string]bool) []NodeID {
+	return intermediateNodesOf(o, modules)
+}
+
+func intermediateNodesOf(v view, modules map[string]bool) []NodeID {
 	var starts []NodeID
-	for i := range g.invocations {
-		inv := &g.invocations[i]
-		if !modules[inv.Module] {
-			continue
+	invocationsDo(v, func(inv *Invocation) bool {
+		if modules[inv.Module] {
+			starts = append(starts, inv.Inputs...)
+			starts = append(starts, inv.States...)
 		}
-		starts = append(starts, inv.Inputs...)
-		starts = append(starts, inv.States...)
-	}
-	visited := make([]bool, len(g.nodes))
+		return true
+	})
+	visited := make([]bool, v.TotalNodes())
 	queue := make([]NodeID, 0, len(starts))
 	for _, s := range starts {
-		if g.alive[s] && !visited[s] {
+		if v.Alive(s) && !visited[s] {
 			visited[s] = true
 			queue = append(queue, s)
 		}
@@ -43,20 +51,21 @@ func (g *Graph) IntermediateNodes(modules map[string]bool) []NodeID {
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, next := range g.out[cur] {
-			if visited[next] || !g.alive[next] {
-				continue
+		v.eachOutRaw(cur, func(next NodeID) bool {
+			if visited[next] || !v.Alive(next) {
+				return true
 			}
 			// Condition (2) of Definition 4.1: the path may not contain an
 			// output node (including the endpoint), so output nodes are
 			// neither collected nor traversed through.
-			if g.nodes[next].Type == TypeModuleOutput {
-				continue
+			if v.Node(next).Type == TypeModuleOutput {
+				return true
 			}
 			visited[next] = true
 			intermediates = append(intermediates, next)
 			queue = append(queue, next)
-		}
+			return true
+		})
 	}
 	return intermediates
 }
@@ -69,7 +78,13 @@ func (g *Graph) IntermediateNodes(modules map[string]bool) []NodeID {
 // Because invocations of the same module may share state, ZoomOut always
 // applies to all invocations of a module, across all executions represented
 // in the graph (Section 4.1).
-func (g *Graph) ZoomOut(modules ...string) *ZoomRecord {
+func (g *Graph) ZoomOut(modules ...string) *ZoomRecord { return zoomOutOf(g, modules...) }
+
+// ZoomOut hides module internals in the overlay view, recording the kills
+// and the installed zoom nodes as deltas over the untouched base graph.
+func (o *Overlay) ZoomOut(modules ...string) *ZoomRecord { return zoomOutOf(o, modules...) }
+
+func zoomOutOf(mv mutableView, modules ...string) *ZoomRecord {
 	modSet := make(map[string]bool, len(modules))
 	for _, m := range modules {
 		modSet[m] = true
@@ -77,38 +92,38 @@ func (g *Graph) ZoomOut(modules ...string) *ZoomRecord {
 	rec := &ZoomRecord{Modules: append([]string(nil), modules...)}
 
 	// Steps 1-3: find and remove intermediate computation nodes.
-	for _, id := range g.IntermediateNodes(modSet) {
-		g.kill(id)
+	for _, id := range intermediateNodesOf(mv, modSet) {
+		mv.kill(id)
 		rec.hidden = append(rec.hidden, id)
 	}
 
 	// Step 4: remove state nodes of the zoomed invocations, plus base
 	// tuple nodes that fed only those state nodes.
-	for i := range g.invocations {
-		inv := &g.invocations[i]
+	invocationsDo(mv, func(inv *Invocation) bool {
 		if !modSet[inv.Module] {
-			continue
+			return true
 		}
 		for _, s := range inv.States {
-			if !g.alive[s] {
+			if !mv.Alive(s) {
 				continue
 			}
-			baseCandidates := g.In(s)
-			g.kill(s)
+			baseCandidates := liveIn(mv, s)
+			mv.kill(s)
 			rec.hidden = append(rec.hidden, s)
 			for _, b := range baseCandidates {
-				if g.nodes[b].Type != TypeBaseTuple || !g.alive[b] {
+				if mv.Node(b).Type != TypeBaseTuple || !mv.Alive(b) {
 					continue
 				}
 				// Hide the base tuple only when nothing live still
 				// depends on it (state may be shared between modules).
-				if len(g.Out(b)) == 0 {
-					g.kill(b)
+				if !hasLiveOut(mv, b) {
+					mv.kill(b)
 					rec.hidden = append(rec.hidden, b)
 				}
 			}
 		}
-	}
+		return true
+	})
 
 	// Constant-value v-nodes have no in-edges, so Definition 4.1 never
 	// classifies them as intermediate; hide the ones the zoom orphaned so
@@ -116,46 +131,55 @@ func (g *Graph) ZoomOut(modules ...string) *ZoomRecord {
 	// graph of Figure 2(b) has no v-nodes). Base tuples whose state nodes
 	// never materialized (lazy state, untouched tuples) are likewise
 	// orphans and disappear with their module's state.
-	for id := range g.nodes {
-		n := &g.nodes[id]
+	total := mv.TotalNodes()
+	for id := 0; id < total; id++ {
+		if !mv.Alive(NodeID(id)) {
+			continue
+		}
+		n := mv.Node(NodeID(id))
 		orphanConst := n.Op == OpConst
 		orphanBase := n.Type == TypeBaseTuple
-		if g.alive[id] && (orphanConst || orphanBase) && len(g.Out(NodeID(id))) == 0 {
-			g.kill(NodeID(id))
+		if (orphanConst || orphanBase) && !hasLiveOut(mv, NodeID(id)) {
+			mv.kill(NodeID(id))
 			rec.hidden = append(rec.hidden, NodeID(id))
 		}
 	}
 
 	// Step 5: install a zoomed-module p-node per invocation.
-	for i := range g.invocations {
-		inv := &g.invocations[i]
+	invocationsDo(mv, func(inv *Invocation) bool {
 		if !modSet[inv.Module] {
-			continue
+			return true
 		}
-		z := g.AddNode(Node{Class: ClassP, Type: TypeZoom, Label: inv.Module, Inv: inv.ID})
+		z := mv.AddNode(Node{Class: ClassP, Type: TypeZoom, Label: inv.Module, Inv: inv.ID})
 		rec.zoomNodes = append(rec.zoomNodes, z)
 		for _, in := range inv.Inputs {
-			if g.alive[in] {
-				g.AddEdge(in, z)
+			if mv.Alive(in) {
+				mv.AddEdge(in, z)
 			}
 		}
 		for _, out := range inv.Outputs {
-			if g.alive[out] {
-				g.AddEdge(z, out)
+			if mv.Alive(out) {
+				mv.AddEdge(z, out)
 			}
 		}
-	}
+		return true
+	})
 	return rec
 }
 
 // ZoomIn restores the fine-grained view hidden by the given record: it
 // revives the hidden nodes and removes the zoomed-module nodes.
-func (g *Graph) ZoomIn(rec *ZoomRecord) {
+func (g *Graph) ZoomIn(rec *ZoomRecord) { zoomInOf(g, rec) }
+
+// ZoomIn restores the fine-grained view in the overlay.
+func (o *Overlay) ZoomIn(rec *ZoomRecord) { zoomInOf(o, rec) }
+
+func zoomInOf(mv mutableView, rec *ZoomRecord) {
 	for _, id := range rec.zoomNodes {
-		g.kill(id)
+		mv.kill(id)
 	}
 	for _, id := range rec.hidden {
-		g.revive(id)
+		mv.revive(id)
 	}
 }
 

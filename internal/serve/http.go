@@ -4,83 +4,187 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"os"
+
+	"lipstick/internal/core"
 )
 
-// Handler returns the HTTP interface of the query service for one
-// snapshot file: every CLI query subcommand as a GET endpoint with a JSON
-// response (DOT excepted — it answers Graphviz text).
+// Handler returns the HTTP interface of the query service: the classic
+// single-snapshot endpoints, the snapshot registry, and copy-on-write
+// mutation sessions.
 //
-//	GET /healthz                 liveness + snapshot path
-//	GET /v1/info                 graph statistics
+// Read-only queries (answered from the shared cached processor):
+//
+//	GET /healthz                 liveness + registry counters
+//	GET /v1/info                 graph statistics (default snapshot)
 //	GET /v1/outputs              recorded output relations
-//	GET /v1/zoom?module=M1&module=M2   coarse view of the given modules
+//	GET /v1/zoom?module=M1&module=M2   coarse view, computed on an overlay
 //	GET /v1/delete?node=42       what-if deletion propagation
 //	GET /v1/subgraph?node=42     subgraph query
 //	GET /v1/lineage?node=42      classified ancestry + provenance expression
 //	GET /v1/find?type=tuple&op=agg&label=L&module=M&class=p   node selection
-//	GET /v1/dot                  Graphviz DOT (text/vnd.graphviz)
-//	GET /v1/opm                  Open Provenance Model JSON
-//	GET /v1/json                 full snapshot as JSON
+//	GET /v1/dot | /v1/opm | /v1/json   exports
 //
-// The snapshot is resolved through the service's SnapshotManager on every
-// request, so a snapshot replaced on disk is picked up without a restart,
-// and the common case is answered from the cached indexed processor.
+// Registry (many snapshots per process, routed by name):
+//
+//	GET /v1/snapshots                     list registered snapshots
+//	GET /v1/snapshots/{name}/<query>      any read query above, by name
+//
+// Sessions (mutable what-if views; each costs O(changes) over the shared
+// base graph):
+//
+//	POST   /v1/sessions                   {"snapshot": name} -> session
+//	GET    /v1/sessions                   list live sessions
+//	GET    /v1/sessions/{id}              session info
+//	POST   /v1/sessions/{id}/zoom         {"modules": [...]} or {"in": true}
+//	POST   /v1/sessions/{id}/delete       {"nodes": [42], "whatIf": false}
+//	GET    /v1/sessions/{id}/find         session-scoped node selection
+//	GET    /v1/sessions/{id}/subgraph     session-scoped subgraph
+//	GET    /v1/sessions/{id}/lineage      session-scoped lineage
+//	GET    /v1/sessions/{id}/dot          session view as Graphviz DOT
+//	DELETE /v1/sessions/{id}              discard the session
+//
+// The default snapshot (the Handler argument, registered under its base
+// name) backs the flat /v1/* read endpoints; when the handler is built
+// without one (`lipstick serve -dir`), those endpoints answer only while
+// exactly one snapshot is registered, and name-routed queries otherwise.
+// Snapshots are resolved through the service's SnapshotManager on every
+// request, so a snapshot replaced on disk is picked up without a restart.
 func (s *Service) Handler(snapshot string) http.Handler {
+	if snapshot != "" {
+		// Surface the default snapshot in the registry; a name collision
+		// (e.g. an identically named file already scanned from a dir)
+		// falls back to serving it unregistered via the flat endpoints.
+		_ = s.reg.Register(core.SnapshotName(snapshot), snapshot)
+	}
+	defaultPath := func() (string, error) {
+		if snapshot != "" {
+			return snapshot, nil
+		}
+		if only, ok := s.reg.Single(); ok {
+			return only.Path, nil
+		}
+		return "", badRequestf("no default snapshot: address one by name via /v1/snapshots/{name}/...")
+	}
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "snapshot": snapshot})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":    "ok",
+			"snapshot":  snapshot,
+			"snapshots": s.reg.NumSnapshots(),
+			"sessions":  s.reg.NumSessions(),
+		})
 	})
-	get := func(pattern string, fn func(r *http.Request) (any, error)) {
+
+	handle := func(pattern string, fn func(r *http.Request) (any, error)) {
 		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-			if r.Method != http.MethodGet && r.Method != http.MethodHead {
-				writeError(w, http.StatusMethodNotAllowed, "method not allowed")
-				return
-			}
 			res, err := fn(r)
 			if err != nil {
-				writeError(w, statusFor(err), err.Error())
+				writeErr(w, err)
 				return
+			}
+			if res == nil {
+				res = map[string]string{"status": "ok"}
 			}
 			writeJSON(w, http.StatusOK, res)
 		})
 	}
-	get("/v1/info", func(*http.Request) (any, error) { return s.Info(snapshot) })
-	get("/v1/outputs", func(*http.Request) (any, error) { return s.Outputs(snapshot) })
-	get("/v1/zoom", func(r *http.Request) (any, error) {
-		return s.Zoom(snapshot, r.URL.Query()["module"]...)
+
+	// Flat read endpoints over the default snapshot, plus the same
+	// queries routed by registered name. path=="" means "resolve the
+	// default at request time".
+	query := func(suffix string, fn func(r *http.Request, path string) (any, error)) {
+		resolve := func(r *http.Request) (string, error) {
+			if name := r.PathValue("name"); name != "" {
+				return s.ResolveSnapshot(name)
+			}
+			return defaultPath()
+		}
+		for _, pattern := range []string{"GET /v1/" + suffix, "GET /v1/snapshots/{name}/" + suffix} {
+			handle(pattern, func(r *http.Request) (any, error) {
+				path, err := resolve(r)
+				if err != nil {
+					return nil, err
+				}
+				return fn(r, path)
+			})
+		}
+	}
+	query("info", func(r *http.Request, path string) (any, error) { return s.Info(path) })
+	query("outputs", func(r *http.Request, path string) (any, error) { return s.Outputs(path) })
+	query("zoom", func(r *http.Request, path string) (any, error) {
+		return s.Zoom(path, r.URL.Query()["module"]...)
 	})
-	get("/v1/delete", func(r *http.Request) (any, error) {
-		return s.Delete(snapshot, r.URL.Query().Get("node"))
+	query("delete", func(r *http.Request, path string) (any, error) {
+		return s.Delete(path, r.URL.Query().Get("node"))
 	})
-	get("/v1/subgraph", func(r *http.Request) (any, error) {
-		return s.Subgraph(snapshot, r.URL.Query().Get("node"))
+	query("subgraph", func(r *http.Request, path string) (any, error) {
+		return s.Subgraph(path, r.URL.Query().Get("node"))
 	})
-	get("/v1/lineage", func(r *http.Request) (any, error) {
-		return s.Lineage(snapshot, r.URL.Query().Get("node"))
+	query("lineage", func(r *http.Request, path string) (any, error) {
+		return s.Lineage(path, r.URL.Query().Get("node"))
 	})
-	get("/v1/find", func(r *http.Request) (any, error) {
-		q := r.URL.Query()
-		return s.Find(snapshot, FindRequest{
-			Classes: q["class"],
-			Types:   q["type"],
-			Ops:     q["op"],
-			Label:   q.Get("label"),
-			Module:  q.Get("module"),
-		})
+	query("find", func(r *http.Request, path string) (any, error) {
+		return s.Find(path, findRequestOf(r))
 	})
 
-	stream := func(pattern, contentType string, fn func(w *bytes.Buffer) error) {
+	// Registry.
+	handle("GET /v1/snapshots", func(*http.Request) (any, error) { return s.Snapshots(), nil })
+
+	// Session lifecycle and transformations.
+	handle("POST /v1/sessions", func(r *http.Request) (any, error) {
+		var req struct {
+			Snapshot string `json:"snapshot"`
+		}
+		if err := decodeJSON(r, &req); err != nil {
+			return nil, err
+		}
+		return s.CreateSession(req.Snapshot)
+	})
+	handle("GET /v1/sessions", func(*http.Request) (any, error) { return s.Sessions(), nil })
+	handle("GET /v1/sessions/{id}", func(r *http.Request) (any, error) {
+		return s.SessionInfo(r.PathValue("id"))
+	})
+	handle("DELETE /v1/sessions/{id}", func(r *http.Request) (any, error) {
+		if err := s.CloseSession(r.PathValue("id")); err != nil {
+			return nil, err
+		}
+		return map[string]string{"status": "closed", "session": r.PathValue("id")}, nil
+	})
+	handle("POST /v1/sessions/{id}/zoom", func(r *http.Request) (any, error) {
+		var req SessionZoomRequest
+		if err := decodeJSON(r, &req); err != nil {
+			return nil, err
+		}
+		return s.SessionZoom(r.PathValue("id"), req)
+	})
+	handle("POST /v1/sessions/{id}/delete", func(r *http.Request) (any, error) {
+		var req SessionDeleteRequest
+		if err := decodeJSON(r, &req); err != nil {
+			return nil, err
+		}
+		return s.SessionDelete(r.PathValue("id"), req)
+	})
+	handle("GET /v1/sessions/{id}/find", func(r *http.Request) (any, error) {
+		return s.SessionFind(r.PathValue("id"), findRequestOf(r))
+	})
+	handle("GET /v1/sessions/{id}/subgraph", func(r *http.Request) (any, error) {
+		return s.SessionSubgraph(r.PathValue("id"), r.URL.Query().Get("node"))
+	})
+	handle("GET /v1/sessions/{id}/lineage", func(r *http.Request) (any, error) {
+		return s.SessionLineage(r.PathValue("id"), r.URL.Query().Get("node"))
+	})
+
+	// Streaming exports (buffered so an export error still yields a
+	// proper status).
+	stream := func(pattern, contentType string, fn func(r *http.Request, w *bytes.Buffer) error) {
 		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-			if r.Method != http.MethodGet && r.Method != http.MethodHead {
-				writeError(w, http.StatusMethodNotAllowed, "method not allowed")
-				return
-			}
-			// Buffered so an export error still yields a proper status.
 			var buf bytes.Buffer
-			if err := fn(&buf); err != nil {
-				writeError(w, statusFor(err), err.Error())
+			if err := fn(r, &buf); err != nil {
+				writeErr(w, err)
 				return
 			}
 			w.Header().Set("Content-Type", contentType)
@@ -88,31 +192,138 @@ func (s *Service) Handler(snapshot string) http.Handler {
 			_, _ = w.Write(buf.Bytes())
 		})
 	}
-	stream("/v1/dot", "text/vnd.graphviz; charset=utf-8", func(buf *bytes.Buffer) error {
-		return s.WriteDOT(snapshot, buf)
+	export := func(suffix, contentType string, fn func(path string, w io.Writer) error) {
+		stream("GET /v1/"+suffix, contentType, func(r *http.Request, buf *bytes.Buffer) error {
+			path, err := defaultPath()
+			if err != nil {
+				return err
+			}
+			return fn(path, buf)
+		})
+		stream("GET /v1/snapshots/{name}/"+suffix, contentType, func(r *http.Request, buf *bytes.Buffer) error {
+			path, err := s.ResolveSnapshot(r.PathValue("name"))
+			if err != nil {
+				return err
+			}
+			return fn(path, buf)
+		})
+	}
+	export("dot", "text/vnd.graphviz; charset=utf-8", s.WriteDOT)
+	export("opm", "application/json; charset=utf-8", s.WriteOPM)
+	export("json", "application/json; charset=utf-8", s.WriteJSON)
+	stream("GET /v1/sessions/{id}/dot", "text/vnd.graphviz; charset=utf-8",
+		func(r *http.Request, buf *bytes.Buffer) error {
+			return s.SessionDOT(r.PathValue("id"), buf)
+		})
+
+	// Method-pattern muxes answer a wrong-method hit with a plain 405;
+	// wrap to keep the JSON error contract.
+	return jsonErrorMiddleware(mux)
+}
+
+// findRequestOf decodes the shared find query parameters.
+func findRequestOf(r *http.Request) FindRequest {
+	q := r.URL.Query()
+	return FindRequest{
+		Classes: q["class"],
+		Types:   q["type"],
+		Ops:     q["op"],
+		Label:   q.Get("label"),
+		Module:  q.Get("module"),
+	}
+}
+
+// maxBodyBytes caps request bodies; the session API's JSON bodies are a
+// few names or node ids, so 1 MiB is generous.
+const maxBodyBytes = 1 << 20
+
+// decodeJSON parses a size-bounded request body as JSON into v; an
+// empty body leaves v zero-valued.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		return badRequestf("invalid JSON body: %v", err)
+	}
+	return nil
+}
+
+// jsonErrorMiddleware rewrites the mux's plain-text 404/405 fallbacks
+// into the service's JSON error shape.
+func jsonErrorMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusCaptureWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
 	})
-	stream("/v1/opm", "application/json; charset=utf-8", func(buf *bytes.Buffer) error {
-		return s.WriteOPM(snapshot, buf)
-	})
-	stream("/v1/json", "application/json; charset=utf-8", func(buf *bytes.Buffer) error {
-		return s.WriteJSON(snapshot, buf)
-	})
-	return mux
+}
+
+// statusCaptureWriter swaps the body of plain-text error fallbacks
+// (route not found, method not allowed) for the JSON error shape while
+// passing every handler-produced response through untouched.
+type statusCaptureWriter struct {
+	http.ResponseWriter
+	intercept bool
+}
+
+func (w *statusCaptureWriter) WriteHeader(status int) {
+	if (status == http.StatusNotFound || status == http.StatusMethodNotAllowed) &&
+		w.Header().Get("Content-Type") != "application/json; charset=utf-8" {
+		// The mux's own fallback: replace the plain-text body.
+		w.intercept = true
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Del("X-Content-Type-Options")
+		w.ResponseWriter.WriteHeader(status)
+		msg := "not found"
+		if status == http.StatusMethodNotAllowed {
+			msg = "method not allowed"
+		}
+		body, _ := json.Marshal(map[string]string{"error": msg})
+		_, _ = w.ResponseWriter.Write(append(body, '\n'))
+		return
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusCaptureWriter) Write(p []byte) (int, error) {
+	if w.intercept {
+		// Swallow the plain-text fallback body; report it as written.
+		return len(p), nil
+	}
+	return w.ResponseWriter.Write(p)
 }
 
 // statusFor maps service errors to HTTP statuses: argument problems are
-// 400s, a missing snapshot is a 404, everything else (corrupt snapshot,
-// I/O) a 500.
+// 400s, unknown snapshot names / session ids / missing snapshot files
+// are 404s, everything else (corrupt snapshot, I/O) a 500.
 func statusFor(err error) int {
 	var bad *BadRequestError
+	var nf *core.NotFoundError
 	switch {
 	case errors.As(err, &bad):
 		return http.StatusBadRequest
+	case errors.As(err, &nf):
+		return http.StatusNotFound
 	case os.IsNotExist(err):
 		return http.StatusNotFound
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// writeErr renders an error with its mapped status. Registry misses
+// (unknown snapshot name, unknown session id) carry a structured body:
+// {"error": ..., "kind": "snapshot"|"session", "name": ...}.
+func writeErr(w http.ResponseWriter, err error) {
+	var nf *core.NotFoundError
+	if errors.As(err, &nf) {
+		writeJSON(w, http.StatusNotFound, map[string]string{
+			"error": err.Error(), "kind": nf.Kind, "name": nf.Name,
+		})
+		return
+	}
+	writeError(w, statusFor(err), err.Error())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -106,7 +106,7 @@ func getJSON(t *testing.T, url string, wantStatus int, into any) {
 func TestHTTPInfoOutputsHealth(t *testing.T) {
 	srv, _ := testServer(t)
 
-	var health map[string]string
+	var health map[string]any
 	getJSON(t, srv.URL+"/healthz", 200, &health)
 	if health["status"] != "ok" {
 		t.Errorf("health = %v", health)

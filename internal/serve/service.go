@@ -20,24 +20,38 @@ import (
 )
 
 // Service answers provenance queries against snapshot files, caching
-// loaded processors between calls. It is safe for concurrent use: every
-// handler treats the shared cached processor as read-only (zoom, the one
-// transforming query, works on a clone).
+// loaded processors between calls, and manages the registry of named
+// snapshots plus their copy-on-write mutation sessions. It is safe for
+// concurrent use: every read handler treats the shared cached processor
+// as read-only; transformations (zoom previews, session zoom/delete)
+// work on overlays, never on the shared graph.
 type Service struct {
 	mgr *core.SnapshotManager
+	reg *core.Registry
 }
 
 // NewService builds a service over the given snapshot cache; a nil
-// manager gets a private cache of default capacity.
+// manager gets a private cache of default capacity. The service's
+// registry uses default session TTL and cap — use NewRegistryService to
+// tune them.
 func NewService(mgr *core.SnapshotManager) *Service {
 	if mgr == nil {
 		mgr = core.NewSnapshotManager(0)
 	}
-	return &Service{mgr: mgr}
+	return &Service{mgr: mgr, reg: core.NewRegistry(mgr)}
+}
+
+// NewRegistryService builds a service over an existing snapshot registry
+// (and its snapshot cache).
+func NewRegistryService(reg *core.Registry) *Service {
+	return &Service{mgr: reg.Manager(), reg: reg}
 }
 
 // Manager exposes the underlying snapshot cache.
 func (s *Service) Manager() *core.SnapshotManager { return s.mgr }
+
+// Registry exposes the snapshot/session registry.
+func (s *Service) Registry() *core.Registry { return s.reg }
 
 // BadRequestError marks failures caused by the request's arguments
 // (unknown module, malformed node id, ...) as opposed to snapshot I/O
@@ -54,11 +68,11 @@ func (s *Service) open(path string) (*core.QueryProcessor, error) {
 	return s.mgr.Open(path)
 }
 
-// parseNode resolves a node-id argument against the graph's slot range.
-func parseNode(g *provgraph.Graph, arg string) (provgraph.NodeID, error) {
+// parseNode resolves a node-id argument against a view's slot range.
+func parseNode(total int, arg string) (provgraph.NodeID, error) {
 	n, err := strconv.Atoi(arg)
-	if err != nil || n < 0 || n >= g.TotalNodes() {
-		return 0, badRequestf("invalid node id %q (graph has %d nodes)", arg, g.TotalNodes())
+	if err != nil || n < 0 || n >= total {
+		return 0, badRequestf("invalid node id %q (graph has %d nodes)", arg, total)
 	}
 	return provgraph.NodeID(n), nil
 }
@@ -143,8 +157,9 @@ type ZoomResult struct {
 
 // Zoom computes the coarse view with the given modules zoomed out
 // (Section 4.1). The cached processor is shared between callers, so the
-// transformation is applied to a clone of the graph and reported, never
-// persisted.
+// transformation is applied to an ephemeral copy-on-write overlay — a
+// per-request cost of O(zoom work) instead of the full Clone() the
+// server used to pay — and reported, never persisted.
 func (s *Service) Zoom(path string, modules ...string) (*ZoomResult, error) {
 	if len(modules) == 0 {
 		return nil, badRequestf("zoom: at least one module is required")
@@ -164,12 +179,12 @@ func (s *Service) Zoom(path string, modules ...string) (*ZoomResult, error) {
 			return nil, badRequestf("zoom: no invocations of module %q in the graph", m)
 		}
 	}
-	clone := g.Clone()
-	rec := clone.ZoomOut(modules...)
+	view := provgraph.NewOverlay(g)
+	rec := view.ZoomOut(modules...)
 	return &ZoomResult{
 		Modules:     modules,
 		NodesBefore: g.NumNodes(),
-		NodesAfter:  clone.NumNodes(),
+		NodesAfter:  view.NumNodes(),
 		HiddenNodes: rec.HiddenCount(),
 		ZoomNodes:   len(rec.ZoomNodes()),
 	}, nil
@@ -198,7 +213,7 @@ func (s *Service) Delete(path, node string) (*DeleteResult, error) {
 		return nil, err
 	}
 	g := qp.Graph()
-	id, err := parseNode(g, node)
+	id, err := parseNode(g.TotalNodes(), node)
 	if err != nil {
 		return nil, err
 	}
@@ -226,7 +241,7 @@ func (s *Service) Subgraph(path, node string) (*SubgraphResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	id, err := parseNode(qp.Graph(), node)
+	id, err := parseNode(qp.Graph().TotalNodes(), node)
 	if err != nil {
 		return nil, err
 	}
@@ -251,7 +266,7 @@ func (s *Service) Lineage(path, node string) (*LineageResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	id, err := parseNode(qp.Graph(), node)
+	id, err := parseNode(qp.Graph().TotalNodes(), node)
 	if err != nil {
 		return nil, err
 	}
@@ -281,33 +296,43 @@ type FindResult struct {
 	Nodes []provgraph.NodeID `json:"nodes"`
 }
 
-// Find answers an index-backed node selection query.
-func (s *Service) Find(path string, req FindRequest) (*FindResult, error) {
-	qp, err := s.open(path)
-	if err != nil {
-		return nil, err
-	}
+// filter parses the request's string-encoded dimensions into a
+// core.NodeFilter.
+func (req FindRequest) filter() (core.NodeFilter, error) {
 	f := core.NodeFilter{Label: req.Label, Module: req.Module}
 	for _, c := range req.Classes {
 		cl, err := parseClass(c)
 		if err != nil {
-			return nil, err
+			return f, err
 		}
 		f.Classes = append(f.Classes, cl)
 	}
 	for _, t := range req.Types {
 		ty, err := parseType(t)
 		if err != nil {
-			return nil, err
+			return f, err
 		}
 		f.Types = append(f.Types, ty)
 	}
 	for _, o := range req.Ops {
 		op, err := parseOp(o)
 		if err != nil {
-			return nil, err
+			return f, err
 		}
 		f.Ops = append(f.Ops, op)
+	}
+	return f, nil
+}
+
+// Find answers an index-backed node selection query.
+func (s *Service) Find(path string, req FindRequest) (*FindResult, error) {
+	qp, err := s.open(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := req.filter()
+	if err != nil {
+		return nil, err
 	}
 	nodes := qp.FindNodes(f)
 	if nodes == nil {

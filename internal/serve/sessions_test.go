@@ -1,0 +1,297 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lipstick/internal/provgraph"
+)
+
+// postJSON sends a JSON body, asserts the status, and decodes the reply.
+func postJSON(t *testing.T, url string, body any, wantStatus int, into any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s = %d, want %d (body: %s)", url, resp.StatusCode, wantStatus, raw)
+	}
+	if into != nil {
+		if err := json.Unmarshal(raw, into); err != nil {
+			t.Fatalf("POST %s: invalid JSON %q: %v", url, raw, err)
+		}
+	}
+}
+
+func doDelete(t *testing.T, url string, wantStatus int, into any) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("DELETE %s = %d, want %d (body: %s)", url, resp.StatusCode, wantStatus, raw)
+	}
+	if into != nil {
+		if err := json.Unmarshal(raw, into); err != nil {
+			t.Fatalf("DELETE %s: invalid JSON %q: %v", url, raw, err)
+		}
+	}
+}
+
+func TestHTTPSnapshotRegistryRoutes(t *testing.T) {
+	path := saveSnapshot(t)
+	svc := NewService(nil)
+	srv := httptest.NewServer(svc.Handler(path))
+	defer srv.Close()
+
+	var snaps SnapshotsResult
+	getJSON(t, srv.URL+"/v1/snapshots", 200, &snaps)
+	if snaps.Count != 1 || snaps.Snapshots[0].Name != "serve" || snaps.Snapshots[0].Path != path {
+		t.Fatalf("snapshots = %+v", snaps)
+	}
+
+	// The same query must answer identically flat and by name.
+	var flat, named InfoResult
+	getJSON(t, srv.URL+"/v1/info", 200, &flat)
+	getJSON(t, srv.URL+"/v1/snapshots/serve/info", 200, &named)
+	if fmt.Sprintf("%+v", flat) != fmt.Sprintf("%+v", named) {
+		t.Errorf("flat info %+v != named info %+v", flat, named)
+	}
+	var find FindResult
+	getJSON(t, srv.URL+"/v1/snapshots/serve/find?type=m", 200, &find)
+	if find.Count != 1 {
+		t.Errorf("named find = %+v", find)
+	}
+	resp, err := http.Get(srv.URL + "/v1/snapshots/serve/dot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(dot), "digraph") {
+		t.Errorf("named dot: %d %.40s", resp.StatusCode, dot)
+	}
+}
+
+// TestHTTPNotFoundShapes asserts the structured 404 bodies for unknown
+// snapshot names and unknown session ids.
+func TestHTTPNotFoundShapes(t *testing.T) {
+	srv, _ := testServer(t)
+
+	var body map[string]string
+	getJSON(t, srv.URL+"/v1/snapshots/ghost/info", 404, &body)
+	if body["kind"] != "snapshot" || body["name"] != "ghost" || !strings.Contains(body["error"], "ghost") {
+		t.Errorf("snapshot 404 = %v", body)
+	}
+
+	getJSON(t, srv.URL+"/v1/sessions/sess-99/find", 404, &body)
+	if body["kind"] != "session" || body["name"] != "sess-99" || !strings.Contains(body["error"], "sess-99") {
+		t.Errorf("session 404 = %v", body)
+	}
+
+	postJSON(t, srv.URL+"/v1/sessions/sess-99/zoom", SessionZoomRequest{Modules: []string{"M"}}, 404, &body)
+	if body["kind"] != "session" {
+		t.Errorf("session zoom 404 = %v", body)
+	}
+	doDelete(t, srv.URL+"/v1/sessions/sess-99", 404, &body)
+	if body["kind"] != "session" {
+		t.Errorf("session delete 404 = %v", body)
+	}
+	postJSON(t, srv.URL+"/v1/sessions", map[string]string{"snapshot": "ghost"}, 404, &body)
+	if body["kind"] != "snapshot" {
+		t.Errorf("create-session 404 = %v", body)
+	}
+
+	// The mux fallbacks keep the JSON contract too.
+	getJSON(t, srv.URL+"/no/such/route", 404, &body)
+	if body["error"] == "" {
+		t.Errorf("route 404 = %v", body)
+	}
+}
+
+func TestHTTPSessionLifecycle(t *testing.T) {
+	srv, _ := testServer(t)
+
+	var sess SessionResult
+	postJSON(t, srv.URL+"/v1/sessions", map[string]string{"snapshot": "serve"}, 200, &sess)
+	if sess.ID == "" || sess.Snapshot != "serve" || sess.Nodes == 0 || sess.Changes != 0 {
+		t.Fatalf("created session = %+v", sess)
+	}
+	base := sess.Nodes
+	u := srv.URL + "/v1/sessions/" + sess.ID
+
+	// Zoom out, verify the view shrank and a zoom node appeared.
+	var zoom SessionZoomResult
+	postJSON(t, u+"/zoom", SessionZoomRequest{Modules: []string{"M_match"}}, 200, &zoom)
+	if zoom.Action != "out" || zoom.NodesAfter >= base || zoom.ZoomNodes != 1 ||
+		fmt.Sprint(zoom.ZoomedOut) != "[M_match]" {
+		t.Fatalf("zoom = %+v", zoom)
+	}
+	var find FindResult
+	getJSON(t, u+"/find?type=zoom", 200, &find)
+	if find.Count != 1 {
+		t.Fatalf("session find zoom = %+v", find)
+	}
+
+	// Zoom back in: the zoom node disappears from session queries.
+	postJSON(t, u+"/zoom", SessionZoomRequest{In: true}, 200, &zoom)
+	if zoom.Action != "in" || zoom.NodesAfter != base || len(zoom.ZoomedOut) != 0 {
+		t.Fatalf("zoom in = %+v", zoom)
+	}
+	getJSON(t, u+"/find?type=zoom", 200, &find)
+	if find.Count != 0 {
+		t.Fatalf("zoom node survived zoom-in: %+v", find)
+	}
+
+	// What-if delete does not change the view; applied delete does.
+	getJSON(t, srv.URL+"/v1/find?type=tuple&label=item0", 200, &find)
+	if find.Count != 1 {
+		t.Fatalf("find item0 = %+v", find)
+	}
+	target := find.Nodes[0]
+	var del SessionDeleteResult
+	postJSON(t, u+"/delete", SessionDeleteRequest{Nodes: []provgraph.NodeID{target}, WhatIf: true}, 200, &del)
+	if del.Applied || del.RemovedCount == 0 || del.NodesAfter != base {
+		t.Fatalf("what-if delete = %+v", del)
+	}
+	postJSON(t, u+"/delete", SessionDeleteRequest{Nodes: []provgraph.NodeID{target}}, 200, &del)
+	if !del.Applied || del.RemovedCount == 0 || del.NodesAfter >= base {
+		t.Fatalf("applied delete = %+v", del)
+	}
+
+	// Session-scoped queries see the mutation; the snapshot's don't.
+	var sessInfo SessionResult
+	getJSON(t, u, 200, &sessInfo)
+	if sessInfo.Nodes != base-del.RemovedCount || sessInfo.Changes == 0 {
+		t.Fatalf("session info after delete = %+v (base %d, removed %d)", sessInfo, base, del.RemovedCount)
+	}
+	var snapInfo InfoResult
+	getJSON(t, srv.URL+"/v1/info", 200, &snapInfo)
+	if snapInfo.Nodes != base {
+		t.Fatalf("mutation leaked into the shared snapshot: %+v", snapInfo)
+	}
+	var lin LineageResult
+	getJSON(t, u+"/lineage?node=0", 200, &lin)
+	if lin.Provenance == "" {
+		t.Errorf("session lineage = %+v", lin)
+	}
+	var sub SubgraphResult
+	getJSON(t, u+"/subgraph?node=0", 200, &sub)
+	if sub.Size == 0 {
+		t.Errorf("session subgraph = %+v", sub)
+	}
+	resp, err := http.Get(u + "/dot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(dot), "digraph") {
+		t.Errorf("session dot: %d %.40s", resp.StatusCode, dot)
+	}
+
+	// Listing shows the session; closing removes it.
+	var list SessionsResult
+	getJSON(t, srv.URL+"/v1/sessions", 200, &list)
+	if list.Count != 1 || list.Sessions[0].ID != sess.ID {
+		t.Fatalf("sessions = %+v", list)
+	}
+	doDelete(t, u, 200, nil)
+	getJSON(t, srv.URL+"/v1/sessions", 200, &list)
+	if list.Count != 0 {
+		t.Fatalf("sessions after close = %+v", list)
+	}
+	getJSON(t, u, 404, nil)
+}
+
+func TestHTTPSessionBadRequests(t *testing.T) {
+	srv, _ := testServer(t)
+
+	var sess SessionResult
+	postJSON(t, srv.URL+"/v1/sessions", map[string]string{"snapshot": "serve"}, 200, &sess)
+	u := srv.URL + "/v1/sessions/" + sess.ID
+
+	var body map[string]string
+	postJSON(t, srv.URL+"/v1/sessions", map[string]string{}, 400, &body) // no snapshot name
+	postJSON(t, srv.URL+"/v1/sessions", "not-json", 400, &body)          // malformed body
+	postJSON(t, u+"/zoom", SessionZoomRequest{}, 400, &body)             // no modules
+	postJSON(t, u+"/zoom", SessionZoomRequest{Modules: []string{"M_ghost"}}, 400, &body)
+	postJSON(t, u+"/zoom", SessionZoomRequest{Modules: []string{"M_match"}, In: true}, 400, &body)
+	postJSON(t, u+"/zoom", SessionZoomRequest{In: true}, 400, &body) // nothing zoomed out
+	postJSON(t, u+"/delete", SessionDeleteRequest{}, 400, &body)
+	postJSON(t, u+"/delete", SessionDeleteRequest{Nodes: []provgraph.NodeID{99999}}, 400, &body)
+	getJSON(t, u+"/find?type=bogus", 400, &body)
+	getJSON(t, u+"/subgraph?node=xx", 400, &body)
+	getJSON(t, u+"/lineage?node=-2", 400, &body)
+
+	// Double zoom-out of one module.
+	postJSON(t, u+"/zoom", SessionZoomRequest{Modules: []string{"M_match"}}, 200, nil)
+	postJSON(t, u+"/zoom", SessionZoomRequest{Modules: []string{"M_match"}}, 400, &body)
+	if !strings.Contains(body["error"], "already zoomed out") {
+		t.Errorf("double zoom error = %v", body)
+	}
+}
+
+// TestHTTPServeDirMode exercises the multi-snapshot mode: no default
+// snapshot, several registered names, flat endpoints rejected while
+// ambiguous.
+func TestHTTPServeDirMode(t *testing.T) {
+	pathA, pathB := saveSnapshot(t), saveSnapshot(t)
+	svc := NewService(nil)
+	if err := svc.Registry().Register("a", pathA); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Registry().Register("b", pathB); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler(""))
+	defer srv.Close()
+
+	var snaps SnapshotsResult
+	getJSON(t, srv.URL+"/v1/snapshots", 200, &snaps)
+	if snaps.Count != 2 {
+		t.Fatalf("snapshots = %+v", snaps)
+	}
+	var info InfoResult
+	getJSON(t, srv.URL+"/v1/snapshots/b/info", 200, &info)
+	if info.Nodes == 0 {
+		t.Fatalf("named info = %+v", info)
+	}
+	// Two snapshots registered: the flat endpoint is ambiguous.
+	var body map[string]string
+	getJSON(t, srv.URL+"/v1/info", 400, &body)
+	if !strings.Contains(body["error"], "no default snapshot") {
+		t.Errorf("flat info error = %v", body)
+	}
+	// Sessions work per name.
+	var sess SessionResult
+	postJSON(t, srv.URL+"/v1/sessions", map[string]string{"snapshot": "b"}, 200, &sess)
+	if sess.Snapshot != "b" {
+		t.Fatalf("session = %+v", sess)
+	}
+}

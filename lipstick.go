@@ -42,6 +42,15 @@
 // `lipstick` CLI uses; its Handler method serves every query over HTTP
 // (`lipstick serve -addr :8080 run.lpsk`).
 //
+// Serving is multi-tenant: a Registry names many snapshots (explicit
+// registration or a directory scan — `lipstick serve -dir snapshots/`)
+// and opens mutable Sessions over them. A session applies zoom and
+// deletion-propagation transformations to a copy-on-write overlay of the
+// shared base graph, so creating one never deep-copies the graph, its
+// state costs O(changes), sessions expire by TTL/LRU, and concurrent
+// read queries against the base snapshot stay untouched. Session queries
+// answer exactly as a Clone-then-mutate baseline would.
+//
 // The facade re-exports the stable surface of the internal packages; the
 // full functionality (Pig Latin compiler, evaluation engine, provenance
 // semirings, NRC translation, OPM export, benchmark workloads) lives under
@@ -132,8 +141,9 @@ type (
 	Granularity = workflow.Granularity
 	// UDF is a user-defined (black box) function callable from Pig Latin.
 	UDF = pig.UDF
-	// Registry resolves UDF names for a module's programs.
-	Registry = pig.Registry
+	// UDFRegistry resolves UDF names for a module's programs. (Registry
+	// names the snapshot/session registry of the serving layer.)
+	UDFRegistry = pig.Registry
 )
 
 // Tracking granularities.
@@ -150,8 +160,8 @@ const (
 var (
 	// NewWorkflow returns an empty workflow DAG.
 	NewWorkflow = workflow.New
-	// NewRegistry returns an empty UDF registry.
-	NewRegistry = pig.NewRegistry
+	// NewUDFRegistry returns an empty UDF registry.
+	NewUDFRegistry = pig.NewRegistry
 	// WithEagerStateNodes makes invocations wrap every state tuple
 	// eagerly (the letter of Section 3.2) instead of on first use.
 	WithEagerStateNodes = workflow.WithEagerStateNodes
@@ -183,6 +193,25 @@ type (
 	// the lipstick CLI and `lipstick serve`; its Handler method exposes
 	// every query over HTTP.
 	QueryService = serve.Service
+	// Registry names snapshots (explicit registration or directory scan)
+	// over a SnapshotManager and manages copy-on-write mutation sessions;
+	// `lipstick serve -dir` exposes it over HTTP.
+	Registry = core.Registry
+	// RegistryOption configures a Registry (session TTL, session cap).
+	RegistryOption = core.RegistryOption
+	// Session is a mutable what-if view over one snapshot: zoom and
+	// deletion transformations are recorded as overlay deltas over the
+	// shared base graph, so a session costs O(changes), not a deep copy.
+	Session = core.Session
+	// SnapshotInfo describes one registered snapshot (name + path).
+	SnapshotInfo = core.SnapshotInfo
+	// NotFoundError reports an unknown snapshot name or session id.
+	NotFoundError = core.NotFoundError
+	// GraphView is the read surface shared by a Graph and a session's
+	// copy-on-write overlay.
+	GraphView = provgraph.GraphView
+	// Overlay is a copy-on-write view over an immutable base Graph.
+	Overlay = provgraph.Overlay
 )
 
 // System constructors.
@@ -203,6 +232,19 @@ var (
 	// NewQueryService builds the shared query handler layer over a
 	// snapshot cache (nil selects a private default cache).
 	NewQueryService = serve.NewService
+	// NewRegistryService builds the query handler layer over an existing
+	// snapshot/session registry.
+	NewRegistryService = serve.NewRegistryService
+	// NewRegistry builds a snapshot/session registry over a snapshot
+	// cache (nil selects a private default cache).
+	NewRegistry = core.NewRegistry
+	// WithSessionTTL sets the idle lifetime of registry sessions.
+	WithSessionTTL = core.WithSessionTTL
+	// WithSessionLimit caps concurrently live sessions per registry.
+	WithSessionLimit = core.WithSessionLimit
+	// NewOverlay opens a copy-on-write view over an immutable base graph
+	// (sessions do this internally; exposed for library use).
+	NewOverlay = provgraph.NewOverlay
 	// Read builds a query processor from a snapshot stream.
 	Read = core.Read
 	// FromTracker builds a query processor over a live tracker.
