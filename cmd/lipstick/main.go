@@ -8,6 +8,8 @@
 //
 //	lipstick demo -o run.lpsk             # track a demo dealership run
 //	lipstick demo -o run.lpsk -p 4        # same, with a 4-worker pool
+//	lipstick track -remote http://host:8080 -name run1   # stream a run's
+//	                                      # provenance events to a server
 //	lipstick info run.lpsk                # graph statistics
 //	lipstick outputs run.lpsk             # recorded output relations
 //	lipstick zoom run.lpsk M_dealer1      # coarse view of given modules
@@ -20,6 +22,7 @@
 //	lipstick json run.lpsk                # full snapshot as JSON
 //	lipstick serve -addr :8080 run.lpsk   # the same queries over HTTP
 //	lipstick serve -dir snapshots/        # registry of snapshots + sessions
+//	lipstick serve -live wal/             # durable streaming ingestion
 package main
 
 import (
@@ -33,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"lipstick/internal/core"
 	"lipstick/internal/serve"
 	"lipstick/internal/store"
 	"lipstick/internal/workflow"
@@ -48,11 +52,13 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: lipstick <demo|serve|info|outputs|zoom|delete|subgraph|lineage|find|dot|opm|json> ...")
+		return fmt.Errorf("usage: lipstick <demo|track|serve|info|outputs|zoom|delete|subgraph|lineage|find|dot|opm|json> ...")
 	}
 	switch args[0] {
 	case "demo":
 		return demo(args[1:])
+	case "track":
+		return track(args[1:])
 	case "serve":
 		return serveCmd(args[1:])
 	case "info", "outputs", "zoom", "delete", "subgraph", "lineage", "find", "dot", "opm", "json":
@@ -92,6 +98,90 @@ func demo(args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := store.Save(out, dealershipSnapshot(run)); err != nil {
+		return err
+	}
+	fmt.Printf("tracked %d execution(s); buyer wanted a %s; purchased=%v\n",
+		len(run.Executions), run.Buyer.Model, run.Purchased)
+	fmt.Printf("saved provenance snapshot to %s (%d nodes)\n", out, run.Runner.Graph().NumNodes())
+	return nil
+}
+
+// track runs the demo dealership workflow while STREAMING its provenance
+// capture to a remote lipstick server: every graph mutation ships as a
+// typed event batch to POST /v1/ingest/{name}, so the server's live graph
+// answers queries before the workflow finishes. An optional -o also
+// persists the classic batch snapshot locally.
+func track(args []string) error {
+	const usage = "usage: lipstick track -remote http://host:port [-name stream] [-o file] [-cars n] [-execs n] [-batch events] [-p workers]"
+	remote, name, out := "", "track", ""
+	cars, execs, batch, parallel := 240, 10, 0, 0
+	for len(args) >= 2 {
+		val := args[1]
+		switch args[0] {
+		case "-remote":
+			remote = val
+		case "-name":
+			name = val
+		case "-o":
+			out = val
+		case "-cars":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("track: invalid -cars value %q", val)
+			}
+			cars = n
+		case "-execs":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("track: invalid -execs value %q", val)
+			}
+			execs = n
+		case "-batch":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("track: invalid -batch value %q", val)
+			}
+			batch = n
+		case "-p":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("track: invalid -p value %q", val)
+			}
+			parallel = n
+		default:
+			return fmt.Errorf("%s", usage)
+		}
+		args = args[2:]
+	}
+	if len(args) != 0 || remote == "" {
+		return fmt.Errorf("%s", usage)
+	}
+	client := serve.NewIngestClient(remote, name, batch)
+	run, err := workflowgen.RunDealership(workflowgen.DealershipParams{
+		NumCars: cars, NumExec: execs, Seed: 7,
+		Gran: workflow.Fine, StopOnPurchase: true, Parallelism: parallel,
+		EventSink: client.Record,
+	})
+	if err != nil {
+		return err
+	}
+	if err := client.Flush(); err != nil {
+		return fmt.Errorf("track: %w", err)
+	}
+	fmt.Printf("tracked %d execution(s); streamed %d events to %s/v1/ingest/%s\n",
+		len(run.Executions), client.Sent(), remote, name)
+	if out != "" {
+		if err := store.Save(out, dealershipSnapshot(run)); err != nil {
+			return err
+		}
+		fmt.Printf("saved provenance snapshot to %s (%d nodes)\n", out, run.Runner.Graph().NumNodes())
+	}
+	return nil
+}
+
+// dealershipSnapshot assembles a run's batch snapshot (graph + outputs).
+func dealershipSnapshot(run *workflowgen.DealershipRun) *store.Snapshot {
 	snap := &store.Snapshot{Graph: run.Runner.Graph()}
 	for _, e := range run.Executions {
 		for node, rels := range e.Outputs {
@@ -104,13 +194,7 @@ func demo(args []string) error {
 			}
 		}
 	}
-	if err := store.Save(out, snap); err != nil {
-		return err
-	}
-	fmt.Printf("tracked %d execution(s); buyer wanted a %s; purchased=%v\n",
-		len(run.Executions), run.Buyer.Model, run.Purchased)
-	fmt.Printf("saved provenance snapshot to %s (%d nodes)\n", out, run.Runner.Graph().NumNodes())
-	return nil
+	return snap
 }
 
 // serveCmd starts the long-running query service: every query subcommand
@@ -120,9 +204,10 @@ func demo(args []string) error {
 // becomes the default for the flat /v1/* endpoints. The server drains
 // gracefully on SIGINT/SIGTERM.
 func serveCmd(args []string) error {
-	const usage = "usage: lipstick serve [-addr host:port] [-dir snapshots/] [snapshot]"
+	const usage = "usage: lipstick serve [-addr host:port] [-dir snapshots/] [-live waldir/] [snapshot]"
 	addr := ":8080"
 	dir := ""
+	live := ""
 	snapshot := ""
 	for len(args) > 0 {
 		switch {
@@ -132,6 +217,9 @@ func serveCmd(args []string) error {
 		case len(args) >= 2 && args[0] == "-dir":
 			dir = args[1]
 			args = args[2:]
+		case len(args) >= 2 && args[0] == "-live":
+			live = args[1]
+			args = args[2:]
 		case snapshot == "" && len(args[0]) > 0 && args[0][0] != '-':
 			snapshot = args[0]
 			args = args[1:]
@@ -139,10 +227,25 @@ func serveCmd(args []string) error {
 			return fmt.Errorf(usage)
 		}
 	}
-	if snapshot == "" && dir == "" {
+	if snapshot == "" && dir == "" && live == "" {
 		return fmt.Errorf(usage)
 	}
-	svc := serve.NewService(nil)
+	var regOpts []core.RegistryOption
+	if live != "" {
+		regOpts = append(regOpts, core.WithLiveDir(live))
+	}
+	svc := serve.NewRegistryService(core.NewRegistry(nil, regOpts...))
+	if live != "" {
+		// Reopen persisted streams: checkpoint + WAL-tail recovery per
+		// live graph, so ingestion resumes where the last process left off.
+		names, err := svc.Registry().RestoreLiveDir()
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		if len(names) > 0 {
+			fmt.Printf("lipstick: restored %d live graph(s) from %s: %v\n", len(names), live, names)
+		}
+	}
 	if dir != "" {
 		names, err := svc.Registry().RegisterDir(dir)
 		if err != nil {
@@ -176,9 +279,17 @@ const shutdownTimeout = 5 * time.Second
 
 // serveHTTP serves h on ln until the listener fails or ctx is cancelled,
 // then drains in-flight requests via http.Server.Shutdown (bounded by
-// shutdownTimeout). A clean drain returns nil.
+// shutdownTimeout). A clean drain returns nil. The server is hardened
+// against slow clients: header reads, whole-request reads, and idle
+// keep-alives are all bounded (exports stream responses of arbitrary
+// size, so writes stay unbounded).
 func serveHTTP(ctx context.Context, ln net.Listener, h http.Handler) error {
-	srv := &http.Server{Handler: h}
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"lipstick/internal/core"
 	"lipstick/internal/serve"
 )
 
@@ -71,6 +72,110 @@ func TestCLIErrors(t *testing.T) {
 		if err := run(cmd); err == nil {
 			t.Fatalf("%v: expected an error", cmd)
 		}
+	}
+}
+
+// TestTrackStreamsToServer runs `lipstick track -remote` against an
+// in-process server and asserts the streamed live graph answers queries
+// and matches the locally saved batch snapshot.
+func TestTrackStreamsToServer(t *testing.T) {
+	dir := t.TempDir()
+	muteStdout(t)
+	svc := serve.NewService(nil)
+	srv := httptest.NewServer(svc.Handler(""))
+	defer srv.Close()
+
+	snap := filepath.Join(dir, "run.lpsk")
+	err := run([]string{"track", "-remote", srv.URL, "-name", "cli", "-cars", "80", "-execs", "2", "-o", snap, "-batch", "64"})
+	if err != nil {
+		t.Fatalf("track: %v", err)
+	}
+	resp, err := http.Get(srv.URL + "/v1/snapshots/cli/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info struct {
+		Nodes int `json:"nodes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Nodes == 0 {
+		t.Fatal("streamed live graph is empty")
+	}
+	// The local batch snapshot and the streamed live graph agree.
+	var local struct {
+		Nodes int
+	}
+	qp, err := serve.NewService(nil).Info(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local.Nodes = qp.Nodes
+	if local.Nodes != info.Nodes {
+		t.Fatalf("live graph has %d nodes, local snapshot %d", info.Nodes, local.Nodes)
+	}
+	// track argument validation.
+	for _, cmd := range [][]string{
+		{"track"},
+		{"track", "-remote"},
+		{"track", "-remote", srv.URL, "-cars", "x"},
+		{"track", "-bogus", "x"},
+	} {
+		if err := run(cmd); err == nil {
+			t.Fatalf("%v: expected an error", cmd)
+		}
+	}
+}
+
+// TestServeLiveDirRecovers boots serve with a -live WAL dir, streams a
+// run in, kills the server, reboots on the same dir, and asserts the
+// recovered live graph still answers.
+func TestServeLiveDirRecovers(t *testing.T) {
+	dir := t.TempDir()
+	muteStdout(t)
+	boot := func() (*httptest.Server, *serve.Service) {
+		reg := core.NewRegistry(nil, core.WithLiveDir(filepath.Join(dir, "wal")))
+		svc := serve.NewRegistryService(reg)
+		if _, err := reg.RestoreLiveDir(); err != nil {
+			t.Fatal(err)
+		}
+		return httptest.NewServer(svc.Handler("")), svc
+	}
+	srv, _ := boot()
+	if err := run([]string{"track", "-remote", srv.URL, "-name", "durable", "-cars", "80", "-execs", "2"}); err != nil {
+		t.Fatalf("track: %v", err)
+	}
+	var before struct {
+		Seq uint64 `json:"seq"`
+	}
+	resp, err := http.Get(srv.URL + "/v1/ingest/durable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&before); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	srv.Close() // simulated restart
+
+	srv2, _ := boot()
+	defer srv2.Close()
+	resp, err = http.Get(srv2.URL + "/v1/ingest/durable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var after struct {
+		Seq   uint64 `json:"seq"`
+		Nodes int    `json:"nodes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Seq != before.Seq || after.Nodes == 0 {
+		t.Fatalf("recovery lost events: before seq %d, after %+v", before.Seq, after)
 	}
 }
 

@@ -6,6 +6,8 @@
 //	workflowgen -fig fig5a              # one figure at default scale
 //	workflowgen -fig all -scale paper   # full evaluation at paper scale
 //	workflowgen -list                   # list experiment ids
+//	workflowgen -emit http://host:8080 -name run1   # stream a dealership
+//	                                    # run's provenance to a server
 //
 // Scales: "default" (seconds per figure, the scale EXPERIMENTS.md records)
 // and "paper" (Section 5.3's parameters: 20,000 cars, 24 stations, the
@@ -19,6 +21,9 @@ import (
 	"strings"
 	"time"
 
+	"lipstick/internal/provgraph"
+	"lipstick/internal/serve"
+	"lipstick/internal/workflow"
 	"lipstick/internal/workflowgen"
 )
 
@@ -31,10 +36,32 @@ func main() {
 	trials := flag.Int("trials", 0, "override the number of trials per measurement")
 	parallel := flag.Int("parallel", 0,
 		"worker-pool size for module invocations in fig5a/fig5b (0 = sequential, -1 = GOMAXPROCS)")
+	emit := flag.String("emit", "",
+		"stream a dealership run's provenance events to this lipstick server instead of running figures")
+	emitName := flag.String("name", "workflowgen", "live-graph name for -emit")
+	emitExecs := flag.Int("execs", 4, "workflow executions for -emit")
+	emitBatch := flag.Int("emitbatch", 0, "events per ingest batch for -emit (0 = default)")
+	emitDelay := flag.Duration("emitdelay", 0, "pause between ingest batches for -emit (paces the stream)")
 	flag.Parse()
 
 	if *list {
 		fmt.Println("experiments:", strings.Join(workflowgen.FigureIDs, " "))
+		return
+	}
+
+	if *emit != "" {
+		cars := *numCars
+		if cars == 0 {
+			cars = workflowgen.DefaultScale.NumCars
+		}
+		runSeed := *seed
+		if runSeed == 0 {
+			runSeed = workflowgen.DefaultScale.Seed
+		}
+		if err := emitRun(*emit, *emitName, cars, *emitExecs, runSeed, *emitBatch, *emitDelay); err != nil {
+			fmt.Fprintf(os.Stderr, "workflowgen: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -73,4 +100,42 @@ func main() {
 		figure.Print(os.Stdout)
 		fmt.Printf("   (experiment wall time: %s)\n\n", time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// emitRun drives a dealership run while streaming its provenance events
+// to a lipstick server's /v1/ingest/{name} endpoint — the run's graph is
+// queryable remotely while the workflow is still executing. An optional
+// inter-batch delay paces the stream (useful for demos and smoke tests
+// that query mid-ingest).
+func emitRun(server, name string, cars, execs int, seed int64, batch int, delay time.Duration) error {
+	client := serve.NewIngestClient(server, name, batch)
+	sink := client.Record
+	if delay > 0 {
+		if batch <= 0 {
+			batch = serve.DefaultIngestBatch
+		}
+		count := 0
+		sink = func(ev provgraph.Event) {
+			client.Record(ev)
+			if count++; count%batch == 0 {
+				time.Sleep(delay)
+			}
+		}
+	}
+	start := time.Now()
+	run, err := workflowgen.RunDealership(workflowgen.DealershipParams{
+		NumCars: cars, NumExec: execs, Seed: seed,
+		Gran: workflow.Fine, StopOnPurchase: false,
+		EventSink: sink,
+	})
+	if err != nil {
+		return err
+	}
+	if err := client.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("streamed %d events (%d executions, %d graph nodes) to %s/v1/ingest/%s in %s\n",
+		client.Sent(), len(run.Executions), run.Runner.Graph().NumNodes(),
+		server, name, time.Since(start).Round(time.Millisecond))
+	return nil
 }

@@ -319,3 +319,100 @@ func TestFacadeRegistryAndSession(t *testing.T) {
 }
 
 func errorsAs(err error, target any) bool { return errors.As(err, target) }
+
+// TestFacadeStreaming drives the streaming surface purely through the
+// public API: capture a run as events, replay it, serve it live over
+// HTTP via an IngestClient, and fork a session.
+func TestFacadeStreaming(t *testing.T) {
+	// Capture a tracked run into an EventLog.
+	w := buildFacadeWorkflow(t)
+	log := lipstick.NewEventLog()
+	tr, err := lipstick.NewTracker(w, lipstick.Fine, lipstick.WithEventSink(log.Record))
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := lipstick.NewBag(
+		lipstick.NewTuple(lipstick.Str("A"), lipstick.Float(10)),
+		lipstick.NewTuple(lipstick.Str("B"), lipstick.Float(20)),
+	)
+	if err := tr.Runner().SetState("M_match", "Items", items, "item"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Execute(lipstick.Inputs{
+		"src": {"Req": lipstick.NewBag(lipstick.NewTuple(lipstick.Str("A")))},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	events := log.Drain()
+	if len(events) == 0 {
+		t.Fatal("no events captured")
+	}
+
+	// Replay reconstructs the run's graph.
+	replayed, err := lipstick.Replay(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Runner().Graph().StructurallyEqual(replayed) {
+		t.Fatal("replay differs from the tracked graph")
+	}
+
+	// A LiveGraph ingests the stream batch by batch.
+	lg := lipstick.NewLiveGraph("facade")
+	if _, err := lg.Append(1, events); err != nil {
+		t.Fatal(err)
+	}
+	if lg.Seq() != uint64(len(events)) {
+		t.Fatalf("live seq %d, want %d", lg.Seq(), len(events))
+	}
+
+	// Stream to a server via IngestClient and query the live graph.
+	svc := lipstick.NewQueryService(nil)
+	srv := httptest.NewServer(svc.Handler(""))
+	defer srv.Close()
+	client := lipstick.NewIngestClient(srv.URL, "wire", 16)
+	for _, ev := range events {
+		client.Record(ev)
+	}
+	if err := client.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/v1/snapshots/wire/find?type=m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var find struct {
+		Count int `json:"count"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&find); err != nil {
+		t.Fatal(err)
+	}
+	if find.Count == 0 {
+		t.Fatal("live find over the facade pipeline returned nothing")
+	}
+
+	// Session forking through the registry facade.
+	path := filepath.Join(t.TempDir(), "run.lpsk")
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	reg := lipstick.NewRegistry(nil)
+	if err := reg.Register("run", path); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := reg.CreateSession("run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.ZoomOut("M_match"); err != nil {
+		t.Fatal(err)
+	}
+	fork, err := reg.ForkSession(sess.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fork.Changes() != sess.Changes() || fork.ID() == sess.ID() {
+		t.Fatalf("fork state: changes %d vs %d", fork.Changes(), sess.Changes())
+	}
+}

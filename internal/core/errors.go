@@ -17,3 +17,17 @@ func (e *NotFoundError) Error() string { return fmt.Sprintf("unknown %s %q", e.K
 
 func unknownSnapshot(name string) error { return &NotFoundError{Kind: "snapshot", Name: name} }
 func unknownSession(id string) error    { return &NotFoundError{Kind: "session", Name: id} }
+
+// NameError reports an unusable registry name: malformed, or already
+// taken by the other kind of entry (static snapshot vs live graph). The
+// serving layer maps it to a 400 — it is the caller's argument that is
+// wrong, not the server.
+type NameError struct {
+	Name   string
+	Reason string
+}
+
+// Error implements error.
+func (e *NameError) Error() string {
+	return fmt.Sprintf("lipstick: invalid snapshot name %q: %s", e.Name, e.Reason)
+}

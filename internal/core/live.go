@@ -1,0 +1,380 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"lipstick/internal/provgraph"
+	"lipstick/internal/store"
+)
+
+// LiveGraph is a provenance graph under construction: an ordered event
+// stream (provgraph.Event, numbered 1,2,3,...) is applied by a single
+// writer while concurrent readers answer the full query surface through a
+// QueryProcessor over the same graph. It is the serving-side half of
+// streaming ingestion — `POST /v1/ingest/{name}` appends batches here —
+// and turns the batch pipeline ("finish the workflow, write the snapshot,
+// then query") into one where every query endpoint answers mid-run.
+//
+// Queries stay indexed while events stream in: the postings index grows
+// incrementally with each applied node (appends arrive in id order, so
+// the sorted-postings invariant holds for free), and FindNodes' post-index
+// tail sweep covers whatever a reader races past.
+//
+// A LiveGraph can be durable: backed by a store.Log (write-ahead log), an
+// acknowledged batch survives a process kill, and reopening the directory
+// recovers checkpoint + WAL tail with no lost or duplicated events.
+// Ingestion is idempotent by sequence number — re-sent batches overlap is
+// skipped, gaps are rejected — which is what makes client retries safe.
+type LiveGraph struct {
+	name string
+
+	// writeMu serializes writers (Append, Checkpoint, Close). WAL I/O —
+	// including the per-batch fsync — happens under writeMu only, never
+	// under mu, so readers wait on memory mutation, not on the disk.
+	writeMu sync.Mutex
+	// log, pending, ckptEvery are writer-only state (guarded by writeMu).
+	log *store.Log // nil for in-memory live graphs
+	// pending holds events applied to the in-memory graph but not yet
+	// durable in the log (a WAL append failed). They are retried before
+	// any new events are logged — and before a duplicate retry batch is
+	// acknowledged — so the log's positional sequence numbering never
+	// diverges from the stream's and an acknowledged batch is durable.
+	pending   []provgraph.Event
+	ckptEvery uint64
+
+	// mu guards the queryable state below for concurrent readers; the
+	// writer holds it only while applying events to memory.
+	mu       sync.RWMutex
+	g        *provgraph.Graph
+	ix       *store.Index
+	qp       *QueryProcessor
+	seq      uint64 // last applied event sequence
+	lastCkpt uint64
+}
+
+// DefaultCheckpointEvery is how many events a durable live graph ingests
+// between automatic checkpoints.
+const DefaultCheckpointEvery = 1 << 16
+
+// liveConfig collects LiveOption state.
+type liveConfig struct {
+	ckptEvery uint64
+	logOpts   []store.LogOption
+}
+
+// LiveOption configures a durable live graph.
+type LiveOption func(*liveConfig)
+
+// WithCheckpointEvery sets the automatic checkpoint interval in events
+// (0 disables automatic checkpoints; Checkpoint can still be called).
+func WithCheckpointEvery(n uint64) LiveOption {
+	return func(c *liveConfig) { c.ckptEvery = n }
+}
+
+// WithLogOptions forwards options to the underlying write-ahead log
+// (segment size, fsync policy).
+func WithLogOptions(opts ...store.LogOption) LiveOption {
+	return func(c *liveConfig) { c.logOpts = append(c.logOpts, opts...) }
+}
+
+// NewLiveGraph returns an empty in-memory live graph (no durability).
+func NewLiveGraph(name string) *LiveGraph {
+	l := &LiveGraph{name: name, g: provgraph.New()}
+	l.ix = store.BuildIndex(l.g)
+	l.qp = &QueryProcessor{graph: l.g, index: &Index{data: l.ix}, zoomed: map[string]bool{}}
+	return l
+}
+
+// OpenLiveGraph opens (creating if needed) a durable live graph backed by
+// a write-ahead log directory, recovering checkpoint + tail state.
+func OpenLiveGraph(name, dir string, opts ...LiveOption) (*LiveGraph, error) {
+	cfg := liveConfig{ckptEvery: DefaultCheckpointEvery}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	log, rec, err := store.OpenLog(dir, cfg.logOpts...)
+	if err != nil {
+		return nil, err
+	}
+	l := &LiveGraph{name: name, log: log, ckptEvery: cfg.ckptEvery}
+	if rec.Snapshot != nil {
+		l.g = rec.Snapshot.Graph
+		l.ix = rec.Snapshot.Index
+		if l.ix == nil {
+			l.ix = store.BuildIndex(l.g)
+		}
+	} else {
+		l.g = provgraph.New()
+		l.ix = store.BuildIndex(l.g)
+	}
+	l.qp = &QueryProcessor{graph: l.g, index: &Index{data: l.ix}, zoomed: map[string]bool{}}
+	l.seq = rec.CheckpointSeq
+	l.lastCkpt = rec.CheckpointSeq
+	for i := range rec.Tail {
+		if err := l.applyLocked(rec.Tail[i]); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("lipstick: replaying wal event %d of %s: %w", l.seq+1, name, err)
+		}
+		l.seq++
+	}
+	return l, nil
+}
+
+// Name returns the registry name of the live graph.
+func (l *LiveGraph) Name() string { return l.name }
+
+// Seq returns the sequence number of the last applied event.
+func (l *LiveGraph) Seq() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.seq
+}
+
+// Durable reports whether the live graph is WAL-backed.
+func (l *LiveGraph) Durable() bool { return l.log != nil }
+
+// SeqGapError reports an ingest batch that starts past the live graph's
+// next expected sequence — events in between were never received.
+type SeqGapError struct {
+	Name     string
+	Expected uint64
+	Got      uint64
+}
+
+// Error implements error.
+func (e *SeqGapError) Error() string {
+	return fmt.Sprintf("lipstick: ingest gap on %q: expected sequence %d, batch starts at %d", e.Name, e.Expected, e.Got)
+}
+
+// IngestStatus reports the outcome of one Append.
+type IngestStatus struct {
+	// Seq is the live graph's last applied sequence after the batch.
+	Seq uint64
+	// Applied counts the events the batch actually added.
+	Applied int
+	// Duplicates counts re-sent events skipped by sequence overlap.
+	Duplicates int
+}
+
+// Append ingests a batch whose first event carries sequence firstSeq.
+// Batches must arrive in order: overlap with already-applied sequences is
+// skipped (idempotent retries), a gap is rejected with *SeqGapError. For
+// durable graphs the applied suffix is WAL-logged (and fsynced, per the
+// log's policy) before Append returns; only the in-memory application
+// holds the read lock, so concurrent queries never wait on the disk.
+func (l *LiveGraph) Append(firstSeq uint64, events []provgraph.Event) (IngestStatus, error) {
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	// seq only changes under writeMu, so this read needs no mu.
+	expected := l.seq + 1
+	if firstSeq > expected {
+		return IngestStatus{Seq: l.seq}, &SeqGapError{Name: l.name, Expected: expected, Got: firstSeq}
+	}
+	skip := int(expected - firstSeq)
+	if skip >= len(events) {
+		// A fully duplicate batch is a retry of events we may not have
+		// made durable yet (a prior WAL failure leaves them in pending);
+		// the acknowledgement below promises durability, so earn it.
+		if err := l.flushPending(); err != nil {
+			return IngestStatus{Seq: l.seq, Duplicates: len(events)}, err
+		}
+		return IngestStatus{Seq: l.seq, Duplicates: len(events)}, nil
+	}
+	fresh := events[skip:]
+	applied := 0
+	var applyErr error
+	l.mu.Lock()
+	for i := range fresh {
+		if applyErr = l.applyLocked(fresh[i]); applyErr != nil {
+			applyErr = fmt.Errorf("lipstick: ingest event %d of %s: %w", l.seq+uint64(applied)+1, l.name, applyErr)
+			break
+		}
+		applied++
+	}
+	l.seq += uint64(applied)
+	l.mu.Unlock()
+	// Counters track applied events; they must move even when the WAL
+	// write below fails, or a dup-skipped retry would leave them behind
+	// the stream position forever.
+	statIngestBatches.Add(1)
+	statIngestEvents.Add(int64(applied))
+	if applied > 0 && l.log != nil {
+		l.pending = append(l.pending, fresh[:applied]...)
+	}
+	if err := l.flushPending(); err != nil {
+		// The in-memory graph is ahead of the log; the unlogged suffix
+		// stays in pending and is retried before any later events are
+		// logged. Surface the durability failure to the sender.
+		return IngestStatus{Seq: l.seq, Applied: applied, Duplicates: skip}, err
+	}
+	st := IngestStatus{Seq: l.seq, Applied: applied, Duplicates: skip}
+	if applyErr != nil {
+		return st, applyErr
+	}
+	if l.log != nil && l.ckptEvery > 0 && l.seq-l.lastCkpt >= l.ckptEvery {
+		if err := l.checkpointHeld(); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// flushPending (writeMu held) writes the applied-but-unlogged events to
+// the WAL. store.Log.Append is all-or-nothing (a failed append rolls the
+// log back to its pre-batch state), so pending either drains completely
+// or stays queued for the next attempt — positions in the log and stream
+// sequences stay aligned across failures.
+func (l *LiveGraph) flushPending() error {
+	if l.log == nil || len(l.pending) == 0 {
+		return nil
+	}
+	if err := l.log.Append(l.pending); err != nil {
+		return err
+	}
+	l.pending = nil
+	return nil
+}
+
+// applyLocked applies one event to the graph and grows the postings index
+// in step, so index-backed selection stays exact mid-ingest.
+func (l *LiveGraph) applyLocked(ev provgraph.Event) error {
+	if err := provgraph.Apply(l.g, ev); err != nil {
+		return err
+	}
+	switch ev.Kind {
+	case provgraph.EvAddNode:
+		n := ev.Node
+		l.ix.Nodes++
+		l.ix.ByType[n.Type] = append(l.ix.ByType[n.Type], n.ID)
+		l.ix.ByOp[n.Op] = append(l.ix.ByOp[n.Op], n.ID)
+		if n.Label != "" {
+			l.ix.ByLabel[n.Label] = append(l.ix.ByLabel[n.Label], n.ID)
+		}
+		if n.Inv >= 0 {
+			m := l.g.Invocation(n.Inv).Module
+			l.ix.ByModule[m] = insertSortedID(l.ix.ByModule[m], n.ID)
+		}
+	case provgraph.EvOpenInvocation:
+		l.ix.ModuleInvs[ev.Module] = append(l.ix.ModuleInvs[ev.Module], ev.Inv)
+	case provgraph.EvSetNodeInv:
+		// The m-node joins its module's postings once the back-reference
+		// lands (it was created before its invocation record existed).
+		m := l.g.Invocation(ev.Inv).Module
+		l.ix.ByModule[m] = insertSortedID(l.ix.ByModule[m], ev.Src)
+	}
+	return nil
+}
+
+// insertSortedID appends id keeping the list sorted and duplicate-free.
+// Ids almost always arrive in ascending order (the O(1) fast path); the
+// binary-insert fallback keeps the postings invariant under any stream.
+func insertSortedID(list []provgraph.NodeID, id provgraph.NodeID) []provgraph.NodeID {
+	if n := len(list); n == 0 || list[n-1] < id {
+		return append(list, id)
+	}
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if list[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(list) && list[lo] == id {
+		return list
+	}
+	list = append(list, 0)
+	copy(list[lo+1:], list[lo:])
+	list[lo] = id
+	return list
+}
+
+// Read runs fn against the live graph's query processor under a read
+// lock: every read the processor supports (FindNodes, Subgraph, Lineage,
+// WhatIfDelete, Expr, exports, stats) is consistent with a fixed event
+// prefix, while ingestion continues the moment fn returns. Results must
+// be materialized inside fn, not aliased past it.
+func (l *LiveGraph) Read(fn func(*QueryProcessor) error) error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return fn(l.qp)
+}
+
+// Checkpoint compacts the durable log: the current graph is written as a
+// standard LPSK v2 snapshot and the WAL prefix it covers is deleted. It
+// is a no-op for in-memory live graphs.
+func (l *LiveGraph) Checkpoint() error {
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	if l.log == nil {
+		return nil
+	}
+	return l.checkpointHeld()
+}
+
+// checkpointHeld (writeMu held) snapshots and compacts. No writer can be
+// applying events, so the graph is stable for serialization; concurrent
+// readers share it harmlessly.
+func (l *LiveGraph) checkpointHeld() error {
+	// The checkpoint is named by the log's own sequence; events the log
+	// has not absorbed yet must land there first or the snapshot would
+	// contain events past the recorded checkpoint sequence.
+	if err := l.flushPending(); err != nil {
+		return fmt.Errorf("lipstick: checkpoint of %s: flushing unlogged events: %w", l.name, err)
+	}
+	if err := l.log.Checkpoint(&store.Snapshot{Graph: l.g}); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.lastCkpt = l.log.CheckpointSeq()
+	l.mu.Unlock()
+	return nil
+}
+
+// CheckpointSeq returns the sequence covered by the newest checkpoint
+// (0 for in-memory graphs or before the first checkpoint).
+func (l *LiveGraph) CheckpointSeq() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.lastCkpt
+}
+
+// Close flushes and closes the backing log (in-memory graphs: no-op).
+func (l *LiveGraph) Close() error {
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	if l.log == nil {
+		return nil
+	}
+	if err := l.flushPending(); err != nil {
+		l.log.Close()
+		return err
+	}
+	return l.log.Close()
+}
+
+// LiveInfo summarizes a live graph for listings and metrics.
+type LiveInfo struct {
+	Name          string `json:"name"`
+	Events        uint64 `json:"events"`
+	Nodes         int    `json:"nodes"`
+	Invocations   int    `json:"invocations"`
+	Durable       bool   `json:"durable"`
+	CheckpointSeq uint64 `json:"checkpointSeq"`
+}
+
+// Info snapshots the live graph's vital statistics.
+func (l *LiveGraph) Info() LiveInfo {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return LiveInfo{
+		Name:          l.name,
+		Events:        l.seq,
+		Nodes:         l.g.NumNodes(),
+		Invocations:   l.g.NumInvocations(),
+		Durable:       l.log != nil,
+		CheckpointSeq: l.lastCkpt,
+	}
+}

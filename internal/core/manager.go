@@ -72,8 +72,10 @@ func (m *SnapshotManager) Open(path string) (*QueryProcessor, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.qp != nil && e.mtime.Equal(fi.ModTime()) && e.size == fi.Size() {
+		statCacheHits.Add(1)
 		return e.qp, nil
 	}
+	statCacheMisses.Add(1)
 	qp, err := Load(path)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,46 @@
+package core
+
+import "expvar"
+
+// Process-wide operational counters, published through the standard expvar
+// registry (so any expvar scraper sees them) and snapshotted by
+// ReadCounters for the serving layer's /v1/stats endpoint. Counters are
+// global across registries and managers in the process — they answer "what
+// has this server done", not "what does this instance hold"; per-instance
+// gauges (snapshot count, session occupancy) are computed at request time.
+var (
+	statCacheHits       = expvar.NewInt("lipstick_snapshot_cache_hits")
+	statCacheMisses     = expvar.NewInt("lipstick_snapshot_cache_misses")
+	statSessionsCreated = expvar.NewInt("lipstick_sessions_created")
+	statSessionsForked  = expvar.NewInt("lipstick_sessions_forked")
+	statSessionsEvicted = expvar.NewInt("lipstick_sessions_evicted")
+	statSessionsExpired = expvar.NewInt("lipstick_sessions_expired")
+	statIngestBatches   = expvar.NewInt("lipstick_ingest_batches")
+	statIngestEvents    = expvar.NewInt("lipstick_ingest_events")
+)
+
+// Counters is a point-in-time snapshot of the process-wide counters.
+type Counters struct {
+	SnapshotCacheHits   int64
+	SnapshotCacheMisses int64
+	SessionsCreated     int64
+	SessionsForked      int64
+	SessionsEvicted     int64
+	SessionsExpired     int64
+	IngestBatches       int64
+	IngestEvents        int64
+}
+
+// ReadCounters snapshots the expvar-backed counters.
+func ReadCounters() Counters {
+	return Counters{
+		SnapshotCacheHits:   statCacheHits.Value(),
+		SnapshotCacheMisses: statCacheMisses.Value(),
+		SessionsCreated:     statSessionsCreated.Value(),
+		SessionsForked:      statSessionsForked.Value(),
+		SessionsEvicted:     statSessionsEvicted.Value(),
+		SessionsExpired:     statSessionsExpired.Value(),
+		IngestBatches:       statIngestBatches.Value(),
+		IngestEvents:        statIngestEvents.Value(),
+	}
+}

@@ -36,11 +36,18 @@ type Registry struct {
 	sessionTTL time.Duration
 	maxSess    int
 	now        func() time.Time // injectable for expiry tests
+	liveDir    string           // WAL root for durable live graphs ("" = in-memory)
+	liveOpts   []LiveOption
 
-	mu       sync.Mutex
-	snaps    map[string]string // name -> path
-	sessions map[string]*Session
-	seq      uint64
+	mu    sync.Mutex
+	snaps map[string]string // name -> path
+	live  map[string]*LiveGraph
+	// liveOpening marks names whose durable live graph is mid-recovery
+	// (opened outside the lock); liveOpened signals completion.
+	liveOpening map[string]bool
+	liveOpened  *sync.Cond // on mu
+	sessions    map[string]*Session
+	seq         uint64
 }
 
 // RegistryOption configures a Registry.
@@ -62,6 +69,19 @@ func WithSessionLimit(n int) RegistryOption {
 	}
 }
 
+// WithLiveDir makes the registry's live graphs durable: each ingested
+// stream gets a write-ahead log under dir/<name>/ (checkpoint + tail
+// recovery via RestoreLiveDir). Without it live graphs are in-memory.
+func WithLiveDir(dir string) RegistryOption {
+	return func(r *Registry) { r.liveDir = dir }
+}
+
+// WithLiveOptions forwards options (checkpoint cadence, WAL tuning) to
+// live graphs the registry opens.
+func WithLiveOptions(opts ...LiveOption) RegistryOption {
+	return func(r *Registry) { r.liveOpts = append(r.liveOpts, opts...) }
+}
+
 // NewRegistry builds a registry over the given snapshot cache; a nil
 // manager gets a private cache of default capacity.
 func NewRegistry(mgr *SnapshotManager, opts ...RegistryOption) *Registry {
@@ -69,13 +89,16 @@ func NewRegistry(mgr *SnapshotManager, opts ...RegistryOption) *Registry {
 		mgr = NewSnapshotManager(0)
 	}
 	r := &Registry{
-		mgr:        mgr,
-		sessionTTL: DefaultSessionTTL,
-		maxSess:    DefaultSessionLimit,
-		now:        time.Now,
-		snaps:      make(map[string]string),
-		sessions:   make(map[string]*Session),
+		mgr:         mgr,
+		sessionTTL:  DefaultSessionTTL,
+		maxSess:     DefaultSessionLimit,
+		now:         time.Now,
+		snaps:       make(map[string]string),
+		live:        make(map[string]*LiveGraph),
+		liveOpening: make(map[string]bool),
+		sessions:    make(map[string]*Session),
 	}
+	r.liveOpened = sync.NewCond(&r.mu)
 	for _, opt := range opts {
 		opt(r)
 	}
@@ -85,16 +108,33 @@ func NewRegistry(mgr *SnapshotManager, opts ...RegistryOption) *Registry {
 // Manager exposes the underlying snapshot cache.
 func (r *Registry) Manager() *SnapshotManager { return r.mgr }
 
+// validSnapshotName rejects names that cannot address a registry entry
+// (or, for durable live graphs, a directory).
+func validSnapshotName(name string) error {
+	if name == "" || name == "." || name == ".." || strings.ContainsAny(name, "/\\") {
+		return &NameError{Name: name, Reason: "must be a single non-empty path segment"}
+	}
+	return nil
+}
+
 // Register names a snapshot path. Re-registering a name with the same
 // path is a no-op; a different path is an error (use a distinct name).
 func (r *Registry) Register(name, path string) error {
-	if name == "" || strings.ContainsAny(name, "/\\") {
-		return fmt.Errorf("lipstick: invalid snapshot name %q", name)
+	if err := validSnapshotName(name); err != nil {
+		return err
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if _, ok := r.live[name]; ok {
+		return &NameError{Name: name, Reason: "already taken by a live graph"}
+	}
+	if r.liveOpening[name] {
+		// A live graph of this name is mid-recovery outside the lock;
+		// claiming the name now would let both kinds coexist.
+		return &NameError{Name: name, Reason: "already being opened as a live graph"}
+	}
 	if prev, ok := r.snaps[name]; ok && prev != path {
-		return fmt.Errorf("lipstick: snapshot name %q already registered for %s", name, prev)
+		return &NameError{Name: name, Reason: fmt.Sprintf("already registered for %s", prev)}
 	}
 	r.snaps[name] = path
 	return nil
@@ -128,32 +168,143 @@ func (r *Registry) RegisterDir(dir string) ([]string, error) {
 	return names, nil
 }
 
-// SnapshotInfo describes one registered snapshot.
+// SnapshotInfo describes one registered snapshot: a static .lpsk file
+// (Kind "static") or a live graph under ingestion (Kind "live").
 type SnapshotInfo struct {
 	Name string `json:"name"`
-	Path string `json:"path"`
+	Path string `json:"path,omitempty"`
+	Kind string `json:"kind"`
+	// Events is the live graph's applied event count (live only).
+	Events uint64 `json:"events,omitempty"`
+	// Durable reports whether a live graph is WAL-backed (live only).
+	Durable bool `json:"durable,omitempty"`
 }
 
-// Snapshots lists the registered snapshots sorted by name.
+// Snapshots lists the registered snapshots — static and live — sorted by
+// name.
 func (r *Registry) Snapshots() []SnapshotInfo {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]SnapshotInfo, 0, len(r.snaps))
+	live := make([]*LiveGraph, 0, len(r.live))
+	for _, lg := range r.live {
+		live = append(live, lg)
+	}
+	out := make([]SnapshotInfo, 0, len(r.snaps)+len(live))
 	for name, path := range r.snaps {
-		out = append(out, SnapshotInfo{Name: name, Path: path})
+		out = append(out, SnapshotInfo{Name: name, Path: path, Kind: "static"})
+	}
+	r.mu.Unlock()
+	for _, lg := range live { // Seq takes the graph's own lock; not under r.mu
+		out = append(out, SnapshotInfo{
+			Name: lg.Name(), Kind: "live", Events: lg.Seq(), Durable: lg.Durable(),
+		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
-// NumSnapshots returns the number of registered snapshots.
+// NumSnapshots returns the number of registered snapshots (static + live).
 func (r *Registry) NumSnapshots() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.snaps)
+	return len(r.snaps) + len(r.live)
 }
 
-// Single returns the lone registered snapshot when exactly one exists.
+// OpenLive returns the live graph registered under name, creating it on
+// first use (durable under the registry's live directory, if configured).
+// A name already taken by a static snapshot is rejected. Durable opens
+// perform WAL recovery (checkpoint load + tail replay) outside the
+// registry lock, so a long recovery never stalls unrelated registry
+// traffic; concurrent opens of the same name coalesce into one recovery.
+func (r *Registry) OpenLive(name string) (*LiveGraph, error) {
+	if err := validSnapshotName(name); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	for r.liveOpening[name] {
+		r.liveOpened.Wait()
+	}
+	if lg, ok := r.live[name]; ok {
+		r.mu.Unlock()
+		return lg, nil
+	}
+	if _, ok := r.snaps[name]; ok {
+		r.mu.Unlock()
+		return nil, &NameError{Name: name, Reason: "already registered for a static snapshot"}
+	}
+	if r.liveDir == "" {
+		lg := NewLiveGraph(name)
+		r.live[name] = lg
+		r.mu.Unlock()
+		return lg, nil
+	}
+	r.liveOpening[name] = true
+	r.mu.Unlock()
+
+	lg, err := OpenLiveGraph(name, filepath.Join(r.liveDir, name), r.liveOpts...)
+
+	r.mu.Lock()
+	delete(r.liveOpening, name)
+	if err == nil {
+		r.live[name] = lg
+	}
+	r.liveOpened.Broadcast()
+	r.mu.Unlock()
+	return lg, err
+}
+
+// LiveGraph resolves an existing live graph by name.
+func (r *Registry) LiveGraph(name string) (*LiveGraph, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lg, ok := r.live[name]
+	if !ok {
+		return nil, unknownSnapshot(name)
+	}
+	return lg, nil
+}
+
+// LiveGraphs lists the live graphs sorted by name.
+func (r *Registry) LiveGraphs() []*LiveGraph {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*LiveGraph, 0, len(r.live))
+	for _, lg := range r.live {
+		out = append(out, lg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// RestoreLiveDir reopens every live graph persisted under the registry's
+// live directory (one subdirectory per stream), returning the sorted
+// restored names. It is a no-op without a live directory.
+func (r *Registry) RestoreLiveDir() ([]string, error) {
+	if r.liveDir == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(r.liveDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if _, err := r.OpenLive(e.Name()); err != nil {
+			return names, fmt.Errorf("lipstick: restoring live graph %q: %w", e.Name(), err)
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Single returns the lone registered static snapshot when exactly one
+// exists.
 func (r *Registry) Single() (SnapshotInfo, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -161,9 +312,24 @@ func (r *Registry) Single() (SnapshotInfo, bool) {
 		return SnapshotInfo{}, false
 	}
 	for name, path := range r.snaps {
-		return SnapshotInfo{Name: name, Path: path}, true
+		return SnapshotInfo{Name: name, Path: path, Kind: "static"}, true
 	}
 	return SnapshotInfo{}, false // unreachable
+}
+
+// SingleLive returns the lone live graph when exactly one exists and no
+// static snapshot is registered (the default target of a pure-ingest
+// server).
+func (r *Registry) SingleLive() (*LiveGraph, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.snaps) != 0 || len(r.live) != 1 {
+		return nil, false
+	}
+	for _, lg := range r.live {
+		return lg, true
+	}
+	return nil, false // unreachable
 }
 
 // Lookup resolves a snapshot name to its path.
@@ -192,6 +358,11 @@ func (r *Registry) Open(name string) (*QueryProcessor, error) {
 // snapshot. Expired sessions are swept first; if the registry is at its
 // session cap the least recently used session is evicted.
 func (r *Registry) CreateSession(snapshot string) (*Session, error) {
+	if _, err := r.LiveGraph(snapshot); err == nil {
+		// Overlays require an immutable base; a live graph mutates under
+		// ingestion. Checkpointed snapshots of the stream are sessionable.
+		return nil, &NameError{Name: snapshot, Reason: "is a live graph; sessions require a static snapshot"}
+	}
 	base, err := r.Open(snapshot) // load outside the registry lock
 	if err != nil {
 		return nil, err
@@ -207,7 +378,32 @@ func (r *Registry) CreateSession(snapshot string) (*Session, error) {
 	id := newSessionID(r.seq)
 	s := newSession(id, snapshot, base, now)
 	r.sessions[id] = s
+	statSessionsCreated.Add(1)
 	return s, nil
+}
+
+// ForkSession clones a session's copy-on-write state into a fresh
+// session over the same snapshot: the overlay's delta sets and the zoom
+// stack are copied in O(changes) — the base graph is never copied — and
+// the two sessions mutate independently from that point.
+func (r *Registry) ForkSession(id string) (*Session, error) {
+	parent, err := r.Session(id)
+	if err != nil {
+		return nil, err
+	}
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.expireLocked(now)
+	for len(r.sessions) >= r.maxSess {
+		r.evictLRULocked()
+	}
+	r.seq++
+	child := parent.fork(newSessionID(r.seq), now)
+	r.sessions[child.id] = child
+	statSessionsCreated.Add(1)
+	statSessionsForked.Add(1)
+	return child, nil
 }
 
 // newSessionID builds an id that is unguessable (random suffix — session
@@ -287,6 +483,7 @@ func (r *Registry) expireLocked(now time.Time) int {
 			n++
 		}
 	}
+	statSessionsExpired.Add(int64(n))
 	return n
 }
 
@@ -299,5 +496,6 @@ func (r *Registry) evictLRULocked() {
 	}
 	if oldest != nil {
 		delete(r.sessions, oldest.id)
+		statSessionsEvicted.Add(1)
 	}
 }

@@ -48,6 +48,30 @@ func newSession(id, snapshot string, base *QueryProcessor, now time.Time) *Sessi
 	return s
 }
 
+// fork clones the session's copy-on-write state into a new session with
+// the given id: overlay deltas, zoom stack, and zoomed-module set are
+// copied (O(changes)); the shared base processor is referenced, never
+// copied. ZoomRecords are immutable after creation, so parent and child
+// can both replay the shared stack safely.
+func (s *Session) fork(id string, now time.Time) *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := &Session{
+		id:       id,
+		snapshot: s.snapshot,
+		base:     s.base,
+		created:  now,
+		overlay:  s.overlay.Fork(),
+		zooms:    append([]*provgraph.ZoomRecord(nil), s.zooms...),
+		zoomed:   make(map[string]bool, len(s.zoomed)),
+	}
+	for m := range s.zoomed {
+		c.zoomed[m] = true
+	}
+	c.lastUsed.Store(now.UnixNano())
+	return c
+}
+
 // ID returns the session's registry-assigned identifier.
 func (s *Session) ID() string { return s.id }
 

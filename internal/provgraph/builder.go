@@ -16,6 +16,7 @@ type graphSink interface {
 	Invocation(id InvID) *Invocation
 	ConstNode(v nested.Value) NodeID
 	setNodeInv(id NodeID, inv InvID)
+	addAnchor(inv InvID, kind AnchorKind, id NodeID)
 }
 
 // Builder applies the provenance-graph construction rules of Section 3 on
@@ -63,7 +64,10 @@ func (b *Builder) WorkflowInput(token string) NodeID {
 // records the invocation. nodeName distinguishes multiple workflow nodes
 // labeled with the same module; execution is the workflow execution index.
 func (b *Builder) BeginInvocation(module, nodeName string, execution int) InvID {
-	m := b.sink.AddNode(Node{Class: ClassP, Type: TypeInvocation, Label: module})
+	// The m-node carries Inv = -1 until the invocation record exists and
+	// setNodeInv back-references it; an explicit -1 (instead of a transient
+	// 0) keeps every captured add-node event's Inv a valid reference.
+	m := b.sink.AddNode(Node{Class: ClassP, Type: TypeInvocation, Label: module, Inv: -1})
 	id := b.sink.AddInvocation(Invocation{
 		Module:    module,
 		NodeName:  nodeName,
@@ -82,7 +86,7 @@ func (b *Builder) ModuleInput(inv InvID, tupleProv NodeID) NodeID {
 	id := b.sink.AddNode(Node{Class: ClassP, Type: TypeModuleInput, Op: OpTimes, Inv: inv})
 	b.sink.AddEdge(tupleProv, id)
 	b.sink.AddEdge(rec.MNode, id)
-	rec.Inputs = append(rec.Inputs, id)
+	b.sink.addAnchor(inv, AnchorInput, id)
 	return id
 }
 
@@ -98,7 +102,7 @@ func (b *Builder) ModuleOutput(inv InvID, derivation NodeID, valueNodes ...NodeI
 	for _, v := range valueNodes {
 		b.sink.AddEdge(v, id)
 	}
-	rec.Outputs = append(rec.Outputs, id)
+	b.sink.addAnchor(inv, AnchorOutput, id)
 	return id
 }
 
@@ -115,7 +119,7 @@ func (b *Builder) StateTuple(inv InvID, base NodeID) NodeID {
 	id := b.sink.AddNode(Node{Class: ClassP, Type: TypeState, Op: OpTimes, Inv: inv})
 	b.sink.AddEdge(base, id)
 	b.sink.AddEdge(rec.MNode, id)
-	rec.States = append(rec.States, id)
+	b.sink.addAnchor(inv, AnchorState, id)
 	return id
 }
 

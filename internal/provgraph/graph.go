@@ -199,6 +199,11 @@ type Graph struct {
 	invocations []Invocation
 	constIndex  map[string]NodeID // interned constant value v-nodes
 	numEdges    int
+
+	// events observes every mutation as a typed Event (see events.go);
+	// nil (the default) costs one branch per mutation. Clone does not
+	// copy it.
+	events func(Event)
 }
 
 // New returns an empty graph.
@@ -225,6 +230,9 @@ func (g *Graph) AddNode(n Node) NodeID {
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
 	g.alive = append(g.alive, true)
+	if g.events != nil {
+		g.emit(Event{Kind: EvAddNode, Node: g.nodes[id]})
+	}
 	return id
 }
 
@@ -233,13 +241,45 @@ func (g *Graph) AddEdge(src, dst NodeID) {
 	g.out[src] = append(g.out[src], dst)
 	g.in[dst] = append(g.in[dst], src)
 	g.numEdges++
+	if g.events != nil {
+		g.emit(Event{Kind: EvAddEdge, Src: src, Dst: dst})
+	}
 }
 
 // setNodeInv attributes an existing node to an invocation (graphSink).
-func (g *Graph) setNodeInv(id NodeID, inv InvID) { g.nodes[id].Inv = inv }
+func (g *Graph) setNodeInv(id NodeID, inv InvID) {
+	g.nodes[id].Inv = inv
+	if g.events != nil {
+		g.emit(Event{Kind: EvSetNodeInv, Src: id, Inv: inv})
+	}
+}
 
 // setValue overwrites a node's carried value (aggregate recomputation).
-func (g *Graph) setValue(id NodeID, v nested.Value) { g.nodes[id].Value = v }
+func (g *Graph) setValue(id NodeID, v nested.Value) {
+	g.nodes[id].Value = v
+	if g.events != nil {
+		g.emit(Event{Kind: EvSetValue, Src: id, Value: v})
+	}
+}
+
+// addAnchor appends a module input/output/state node to an invocation's
+// anchor list (graphSink). Anchors stream as events of their own, so an
+// invocation record can be rebuilt exactly from the event log without a
+// batch fixup pass.
+func (g *Graph) addAnchor(inv InvID, kind AnchorKind, id NodeID) {
+	rec := &g.invocations[inv]
+	switch kind {
+	case AnchorInput:
+		rec.Inputs = append(rec.Inputs, id)
+	case AnchorOutput:
+		rec.Outputs = append(rec.Outputs, id)
+	case AnchorState:
+		rec.States = append(rec.States, id)
+	}
+	if g.events != nil {
+		g.emit(Event{Kind: EvAnchor, Inv: inv, Anchor: kind, Src: id})
+	}
+}
 
 // eachOutRaw iterates the raw out-adjacency of id, dead endpoints
 // included (the view primitive generic algorithms filter through Alive).
@@ -324,6 +364,9 @@ func (g *Graph) kill(id NodeID) {
 	if g.alive[id] {
 		g.alive[id] = false
 		g.dead++
+		if g.events != nil {
+			g.emit(Event{Kind: EvKill, Src: id})
+		}
 	}
 }
 
@@ -332,6 +375,9 @@ func (g *Graph) revive(id NodeID) {
 	if !g.alive[id] {
 		g.alive[id] = true
 		g.dead--
+		if g.events != nil {
+			g.emit(Event{Kind: EvRevive, Src: id})
+		}
 	}
 }
 
@@ -339,6 +385,12 @@ func (g *Graph) revive(id NodeID) {
 func (g *Graph) AddInvocation(inv Invocation) InvID {
 	inv.ID = InvID(len(g.invocations))
 	g.invocations = append(g.invocations, inv)
+	if g.events != nil {
+		g.emit(Event{
+			Kind: EvOpenInvocation, Inv: inv.ID, Src: inv.MNode,
+			Module: inv.Module, NodeName: inv.NodeName, Execution: inv.Execution,
+		})
+	}
 	return inv.ID
 }
 

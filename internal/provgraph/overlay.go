@@ -258,6 +258,56 @@ func (o *Overlay) InvocationsOf(module string) []InvID { return invocationsOf(o,
 // ComputeStats walks the live view and tallies node classes and types.
 func (o *Overlay) ComputeStats() Stats { return computeStatsOf(o) }
 
+// Fork returns an independent copy of the overlay over the same base
+// graph: only the delta sets (liveness overrides, appended nodes and
+// edges, value overrides) are copied, so forking costs O(changes) and
+// never touches the base. Mutations of the fork and the original do not
+// observe each other.
+func (o *Overlay) Fork() *Overlay {
+	c := &Overlay{base: o.base, baseSlots: o.baseSlots, liveDelta: o.liveDelta}
+	if o.alive != nil {
+		c.alive = make(map[NodeID]bool, len(o.alive))
+		for k, v := range o.alive {
+			c.alive[k] = v
+		}
+	}
+	c.added = append([]Node(nil), o.added...)
+	c.addedOut = copyAdjacency(o.addedOut)
+	c.addedIn = copyAdjacency(o.addedIn)
+	c.extraOut = copyEdgeDeltas(o.extraOut)
+	c.extraIn = copyEdgeDeltas(o.extraIn)
+	c.edgeLog = append([][2]NodeID(nil), o.edgeLog...)
+	if o.values != nil {
+		c.values = make(map[NodeID]nested.Value, len(o.values))
+		for k, v := range o.values {
+			c.values[k] = v
+		}
+	}
+	return c
+}
+
+func copyAdjacency(adj [][]NodeID) [][]NodeID {
+	if adj == nil {
+		return nil
+	}
+	out := make([][]NodeID, len(adj))
+	for i, l := range adj {
+		out[i] = append([]NodeID(nil), l...)
+	}
+	return out
+}
+
+func copyEdgeDeltas(m map[NodeID][]NodeID) map[NodeID][]NodeID {
+	if m == nil {
+		return nil
+	}
+	out := make(map[NodeID][]NodeID, len(m))
+	for k, l := range m {
+		out[k] = append([]NodeID(nil), l...)
+	}
+	return out
+}
+
 // Materialize builds a standalone Graph equal to the overlay view
 // (useful for persisting a session's what-if state). It is the expensive
 // operation overlays exist to avoid on the per-session hot path.

@@ -30,13 +30,15 @@ const (
 	opInv
 	opSetInv
 	opConst
+	opAnchor
 )
 
 // recOp is one captured mutation. The fields used depend on kind:
 // opNode carries the node (its local id is implied by allocation order),
 // opEdge carries src/dst in a and b, opInv and opConst carry an index into
-// the recorder's invocation mirror / constant table, and opSetInv carries
-// the node id in a and the invocation id in inv.
+// the recorder's invocation mirror / constant table, opSetInv carries the
+// node id in a and the invocation id in inv, and opAnchor carries the
+// anchored node in a, the invocation in inv, and the anchor kind in idx.
 type recOp struct {
 	kind recOpKind
 	node Node
@@ -100,9 +102,10 @@ func (r *Recorder) AddEdge(src, dst NodeID) {
 	r.ops = append(r.ops, recOp{kind: opEdge, a: src, b: dst})
 }
 
-// AddInvocation buffers an invocation record and returns its local id. The
-// mirror copy keeps accumulating Inputs/Outputs/States through the pointer
-// returned by Invocation; Drain copies the final lists.
+// AddInvocation buffers an invocation record and returns its local id.
+// The mirror copy accumulates Inputs/Outputs/States as addAnchor ops are
+// buffered, so Invocation reflects the in-progress lists during capture;
+// Drain replays the anchor ops themselves (no batch fixup).
 func (r *Recorder) AddInvocation(inv Invocation) InvID {
 	id := localInvBase + InvID(len(r.invs))
 	inv.ID = id
@@ -145,6 +148,24 @@ func (r *Recorder) ConstNode(v nested.Value) NodeID {
 // setNodeInv buffers the invocation back-reference of an m-node.
 func (r *Recorder) setNodeInv(id NodeID, inv InvID) {
 	r.ops = append(r.ops, recOp{kind: opSetInv, a: id, inv: inv})
+}
+
+// addAnchor buffers an invocation anchor append and mirrors it locally so
+// that Invocation(inv) reflects the in-progress lists during capture.
+func (r *Recorder) addAnchor(inv InvID, kind AnchorKind, id NodeID) {
+	r.ops = append(r.ops, recOp{kind: opAnchor, inv: inv, a: id, idx: int(kind)})
+	if inv < localInvBase {
+		return // shared-graph invocation: buffered only, applied at drain
+	}
+	mir := &r.invs[inv-localInvBase]
+	switch kind {
+	case AnchorInput:
+		mir.Inputs = append(mir.Inputs, id)
+	case AnchorOutput:
+		mir.Outputs = append(mir.Outputs, id)
+	case AnchorState:
+		mir.States = append(mir.States, id)
+	}
 }
 
 // Remap translates a drained recorder's local placeholder ids to the real
@@ -210,27 +231,13 @@ func (r *Recorder) Drain() (*Remap, error) {
 			}))
 		case opSetInv:
 			g.setNodeInv(m.Node(op.a), m.Inv(op.inv))
+		case opAnchor:
+			// Anchors replay as first-class ops (in capture order), so the
+			// invocation records grow exactly as a sequential run grows them
+			// — and the destination graph's event sink sees them as the same
+			// typed events a sequential build emits.
+			g.addAnchor(m.Inv(op.inv), AnchorKind(op.idx), m.Node(op.a))
 		}
 	}
-	// The anchor lists kept growing after their opInv was buffered; copy
-	// the final state. List contents never influence id assignment, so
-	// fixing them up after the replay preserves equivalence.
-	for i := range r.invs {
-		rec := g.Invocation(m.invs[i])
-		rec.Inputs = m.nodeSlice(r.invs[i].Inputs)
-		rec.Outputs = m.nodeSlice(r.invs[i].Outputs)
-		rec.States = m.nodeSlice(r.invs[i].States)
-	}
 	return m, nil
-}
-
-func (m *Remap) nodeSlice(ids []NodeID) []NodeID {
-	if len(ids) == 0 {
-		return nil
-	}
-	out := make([]NodeID, len(ids))
-	for i, id := range ids {
-		out[i] = m.Node(id)
-	}
-	return out
 }

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"lipstick/internal/provgraph"
+	"lipstick/internal/store"
+)
+
+// Ingest posts one event batch — sequences firstSeq..firstSeq+len-1 of a
+// stream — to a lipstick server's POST /v1/ingest/{name} endpoint and
+// returns the stream's resulting sequence. Most callers want the stateful
+// IngestClient, which numbers and batches events automatically.
+func Ingest(serverURL, name string, firstSeq uint64, events []provgraph.Event) (seq uint64, err error) {
+	return ingest(http.DefaultClient, serverURL, name, firstSeq, events)
+}
+
+func ingest(c *http.Client, serverURL, name string, firstSeq uint64, events []provgraph.Event) (uint64, error) {
+	var body bytes.Buffer
+	if err := store.EncodeEventBatch(&body, firstSeq, events); err != nil {
+		return 0, err
+	}
+	u := fmt.Sprintf("%s/v1/ingest/%s", serverURL, url.PathEscape(name))
+	resp, err := c.Post(u, "application/octet-stream", &body)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("lipstick: ingest %s: server returned %s: %s",
+			name, resp.Status, bytes.TrimSpace(payload))
+	}
+	var res IngestResult
+	if err := json.Unmarshal(payload, &res); err != nil {
+		return 0, fmt.Errorf("lipstick: ingest %s: decoding response: %w", name, err)
+	}
+	return res.Seq, nil
+}
+
+// DefaultIngestBatch is the IngestClient's flush threshold in events.
+const DefaultIngestBatch = 512
+
+// IngestClient streams provenance events to a lipstick server as they
+// are captured: attach Record as an event sink (workflow.WithEventSink,
+// Graph.SetEventSink) and events are numbered, batched, and POSTed to
+// /v1/ingest/{name}. Errors are sticky — capture continues buffering, and
+// Flush (call it once the run finishes) reports the first failure.
+//
+// The client is safe for concurrent use, though capture itself is
+// single-writer; the zero batch size selects DefaultIngestBatch.
+type IngestClient struct {
+	// HTTPClient overrides http.DefaultClient (with its zero timeout) for
+	// transport control.
+	HTTPClient *http.Client
+
+	server string
+	name   string
+	batch  int
+
+	mu   sync.Mutex
+	buf  []provgraph.Event
+	sent uint64 // events acknowledged by the server
+	err  error
+}
+
+// NewIngestClient returns a streaming client for one named stream on one
+// server (e.g. NewIngestClient("http://localhost:8080", "run1")).
+// batchSize <= 0 selects DefaultIngestBatch.
+func NewIngestClient(serverURL, name string, batchSize int) *IngestClient {
+	if batchSize <= 0 {
+		batchSize = DefaultIngestBatch
+	}
+	return &IngestClient{
+		HTTPClient: &http.Client{Timeout: 30 * time.Second},
+		server:     serverURL,
+		name:       name,
+		batch:      batchSize,
+	}
+}
+
+// Record buffers one event, flushing a full batch synchronously. It
+// matches the event-sink signature. Once the error state is sticky the
+// stream can never resume (events in between would be lost), so further
+// events are dropped instead of accumulating a dead buffer.
+func (c *IngestClient) Record(ev provgraph.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return
+	}
+	c.buf = append(c.buf, ev)
+	if len(c.buf) >= c.batch {
+		c.flushLocked()
+	}
+}
+
+// Flush sends any buffered events and returns the sticky error state.
+func (c *IngestClient) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil && len(c.buf) > 0 {
+		c.flushLocked()
+	}
+	return c.err
+}
+
+// Err returns the sticky error without flushing.
+func (c *IngestClient) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Sent returns the number of events the server has acknowledged.
+func (c *IngestClient) Sent() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sent
+}
+
+func (c *IngestClient) flushLocked() {
+	seq, err := ingest(c.HTTPClient, c.server, c.name, c.sent+1, c.buf)
+	if err != nil {
+		c.err = err
+		return
+	}
+	want := c.sent + uint64(len(c.buf))
+	if seq != want {
+		// The server is past this client's position: the stream name is
+		// already in use (a previous run, another sender). Flag it now —
+		// silently "acknowledged" duplicates would discard this run.
+		c.err = fmt.Errorf("lipstick: ingest %s: server is at sequence %d, this sender at %d — stream name already in use; pick a fresh name", c.name, seq, want)
+		return
+	}
+	c.sent = want
+	c.buf = c.buf[:0]
+}

@@ -27,10 +27,19 @@ import (
 //	GET /v1/find?type=tuple&op=agg&label=L&module=M&class=p   node selection
 //	GET /v1/dot | /v1/opm | /v1/json   exports
 //
-// Registry (many snapshots per process, routed by name):
+// Registry (many snapshots per process, routed by name; live graphs
+// under ingestion answer the same queries as static snapshots):
 //
-//	GET /v1/snapshots                     list registered snapshots
+//	GET /v1/snapshots                     list snapshots (static + live)
 //	GET /v1/snapshots/{name}/<query>      any read query above, by name
+//	GET /v1/stats                         operational metrics (expvar-backed)
+//
+// Streaming ingestion (ordered event batches into named live graphs,
+// idempotent by sequence number; every read endpoint answers mid-ingest):
+//
+//	POST /v1/ingest/{name}               binary event batch -> {seq, applied}
+//	GET  /v1/ingest/{name}               stream position (sender resync)
+//	POST /v1/ingest/{name}/checkpoint    force a WAL checkpoint (durable)
 //
 // Sessions (mutable what-if views; each costs O(changes) over the shared
 // base graph):
@@ -40,6 +49,7 @@ import (
 //	GET    /v1/sessions/{id}              session info
 //	POST   /v1/sessions/{id}/zoom         {"modules": [...]} or {"in": true}
 //	POST   /v1/sessions/{id}/delete       {"nodes": [42], "whatIf": false}
+//	POST   /v1/sessions/{id}/fork         clone the session's deltas
 //	GET    /v1/sessions/{id}/find         session-scoped node selection
 //	GET    /v1/sessions/{id}/subgraph     session-scoped subgraph
 //	GET    /v1/sessions/{id}/lineage      session-scoped lineage
@@ -59,14 +69,20 @@ func (s *Service) Handler(snapshot string) http.Handler {
 		// falls back to serving it unregistered via the flat endpoints.
 		_ = s.reg.Register(core.SnapshotName(snapshot), snapshot)
 	}
-	defaultPath := func() (string, error) {
+	// defaultRun resolves the flat /v1/* endpoints' target at request
+	// time: the explicit default snapshot, else the only registered
+	// static snapshot, else the only live graph.
+	defaultRun := func() (runFn, error) {
 		if snapshot != "" {
-			return snapshot, nil
+			return s.pathRun(snapshot), nil
 		}
 		if only, ok := s.reg.Single(); ok {
-			return only.Path, nil
+			return s.pathRun(only.Path), nil
 		}
-		return "", badRequestf("no default snapshot: address one by name via /v1/snapshots/{name}/...")
+		if lg, ok := s.reg.SingleLive(); ok {
+			return lg.Read, nil
+		}
+		return nil, badRequestf("no default snapshot: address one by name via /v1/snapshots/{name}/...")
 	}
 
 	mux := http.NewServeMux()
@@ -93,46 +109,67 @@ func (s *Service) Handler(snapshot string) http.Handler {
 		})
 	}
 
-	// Flat read endpoints over the default snapshot, plus the same
-	// queries routed by registered name. path=="" means "resolve the
-	// default at request time".
-	query := func(suffix string, fn func(r *http.Request, path string) (any, error)) {
-		resolve := func(r *http.Request) (string, error) {
-			if name := r.PathValue("name"); name != "" {
-				return s.ResolveSnapshot(name)
-			}
-			return defaultPath()
+	// resolveRun picks the request's target: a name-routed live graph or
+	// static snapshot, else the default.
+	resolveRun := func(r *http.Request) (runFn, error) {
+		if name := r.PathValue("name"); name != "" {
+			return s.targetRun(name)
 		}
+		return defaultRun()
+	}
+
+	// Flat read endpoints over the default target, plus the same queries
+	// routed by registered name — answered identically from a static
+	// snapshot's cached processor or a live graph mid-ingest.
+	query := func(suffix string, fn func(r *http.Request, qp *core.QueryProcessor) (any, error)) {
 		for _, pattern := range []string{"GET /v1/" + suffix, "GET /v1/snapshots/{name}/" + suffix} {
 			handle(pattern, func(r *http.Request) (any, error) {
-				path, err := resolve(r)
+				run, err := resolveRun(r)
 				if err != nil {
 					return nil, err
 				}
-				return fn(r, path)
+				var res any
+				err = run(func(qp *core.QueryProcessor) error {
+					var qerr error
+					res, qerr = fn(r, qp)
+					return qerr
+				})
+				return res, err
 			})
 		}
 	}
-	query("info", func(r *http.Request, path string) (any, error) { return s.Info(path) })
-	query("outputs", func(r *http.Request, path string) (any, error) { return s.Outputs(path) })
-	query("zoom", func(r *http.Request, path string) (any, error) {
-		return s.Zoom(path, r.URL.Query()["module"]...)
+	query("info", func(r *http.Request, qp *core.QueryProcessor) (any, error) { return infoOf(qp) })
+	query("outputs", func(r *http.Request, qp *core.QueryProcessor) (any, error) { return outputsOf(qp) })
+	query("zoom", func(r *http.Request, qp *core.QueryProcessor) (any, error) {
+		return zoomOf(qp, r.URL.Query()["module"]...)
 	})
-	query("delete", func(r *http.Request, path string) (any, error) {
-		return s.Delete(path, r.URL.Query().Get("node"))
+	query("delete", func(r *http.Request, qp *core.QueryProcessor) (any, error) {
+		return deleteOf(qp, r.URL.Query().Get("node"))
 	})
-	query("subgraph", func(r *http.Request, path string) (any, error) {
-		return s.Subgraph(path, r.URL.Query().Get("node"))
+	query("subgraph", func(r *http.Request, qp *core.QueryProcessor) (any, error) {
+		return subgraphOf(qp, r.URL.Query().Get("node"))
 	})
-	query("lineage", func(r *http.Request, path string) (any, error) {
-		return s.Lineage(path, r.URL.Query().Get("node"))
+	query("lineage", func(r *http.Request, qp *core.QueryProcessor) (any, error) {
+		return lineageOf(qp, r.URL.Query().Get("node"))
 	})
-	query("find", func(r *http.Request, path string) (any, error) {
-		return s.Find(path, findRequestOf(r))
+	query("find", func(r *http.Request, qp *core.QueryProcessor) (any, error) {
+		return findOf(qp, findRequestOf(r))
 	})
 
-	// Registry.
+	// Registry and operational metrics.
 	handle("GET /v1/snapshots", func(*http.Request) (any, error) { return s.Snapshots(), nil })
+	handle("GET /v1/stats", func(*http.Request) (any, error) { return s.Stats(), nil })
+
+	// Streaming ingestion: binary event batches into named live graphs.
+	handle("POST /v1/ingest/{name}", func(r *http.Request) (any, error) {
+		return s.Ingest(r.PathValue("name"), http.MaxBytesReader(nil, r.Body, maxIngestBytes))
+	})
+	handle("GET /v1/ingest/{name}", func(r *http.Request) (any, error) {
+		return s.IngestStatus(r.PathValue("name"))
+	})
+	handle("POST /v1/ingest/{name}/checkpoint", func(r *http.Request) (any, error) {
+		return s.CheckpointLive(r.PathValue("name"))
+	})
 
 	// Session lifecycle and transformations.
 	handle("POST /v1/sessions", func(r *http.Request) (any, error) {
@@ -168,6 +205,9 @@ func (s *Service) Handler(snapshot string) http.Handler {
 		}
 		return s.SessionDelete(r.PathValue("id"), req)
 	})
+	handle("POST /v1/sessions/{id}/fork", func(r *http.Request) (any, error) {
+		return s.ForkSession(r.PathValue("id"))
+	})
 	handle("GET /v1/sessions/{id}/find", func(r *http.Request) (any, error) {
 		return s.SessionFind(r.PathValue("id"), findRequestOf(r))
 	})
@@ -192,25 +232,20 @@ func (s *Service) Handler(snapshot string) http.Handler {
 			_, _ = w.Write(buf.Bytes())
 		})
 	}
-	export := func(suffix, contentType string, fn func(path string, w io.Writer) error) {
-		stream("GET /v1/"+suffix, contentType, func(r *http.Request, buf *bytes.Buffer) error {
-			path, err := defaultPath()
-			if err != nil {
-				return err
-			}
-			return fn(path, buf)
-		})
-		stream("GET /v1/snapshots/{name}/"+suffix, contentType, func(r *http.Request, buf *bytes.Buffer) error {
-			path, err := s.ResolveSnapshot(r.PathValue("name"))
-			if err != nil {
-				return err
-			}
-			return fn(path, buf)
-		})
+	export := func(suffix, contentType string, fn func(qp *core.QueryProcessor, w io.Writer) error) {
+		for _, pattern := range []string{"GET /v1/" + suffix, "GET /v1/snapshots/{name}/" + suffix} {
+			stream(pattern, contentType, func(r *http.Request, buf *bytes.Buffer) error {
+				run, err := resolveRun(r)
+				if err != nil {
+					return err
+				}
+				return run(func(qp *core.QueryProcessor) error { return fn(qp, buf) })
+			})
+		}
 	}
-	export("dot", "text/vnd.graphviz; charset=utf-8", s.WriteDOT)
-	export("opm", "application/json; charset=utf-8", s.WriteOPM)
-	export("json", "application/json; charset=utf-8", s.WriteJSON)
+	export("dot", "text/vnd.graphviz; charset=utf-8", writeDOTOf)
+	export("opm", "application/json; charset=utf-8", writeOPMOf)
+	export("json", "application/json; charset=utf-8", writeJSONOf)
 	stream("GET /v1/sessions/{id}/dot", "text/vnd.graphviz; charset=utf-8",
 		func(r *http.Request, buf *bytes.Buffer) error {
 			return s.SessionDOT(r.PathValue("id"), buf)
@@ -236,6 +271,10 @@ func findRequestOf(r *http.Request) FindRequest {
 // maxBodyBytes caps request bodies; the session API's JSON bodies are a
 // few names or node ids, so 1 MiB is generous.
 const maxBodyBytes = 1 << 20
+
+// maxIngestBytes caps one ingest batch. Senders flush every few hundred
+// events, so 32 MiB leaves room for value-heavy streams.
+const maxIngestBytes = 32 << 20
 
 // decodeJSON parses a size-bounded request body as JSON into v; an
 // empty body leaves v zero-valued.
@@ -296,15 +335,22 @@ func (w *statusCaptureWriter) Write(p []byte) (int, error) {
 
 // statusFor maps service errors to HTTP statuses: argument problems are
 // 400s, unknown snapshot names / session ids / missing snapshot files
-// are 404s, everything else (corrupt snapshot, I/O) a 500.
+// are 404s, ingest sequence gaps are 409s, everything else (corrupt
+// snapshot, I/O) a 500.
 func statusFor(err error) int {
 	var bad *BadRequestError
+	var name *core.NameError
 	var nf *core.NotFoundError
+	var gap *core.SeqGapError
 	switch {
 	case errors.As(err, &bad):
 		return http.StatusBadRequest
+	case errors.As(err, &name):
+		return http.StatusBadRequest
 	case errors.As(err, &nf):
 		return http.StatusNotFound
+	case errors.As(err, &gap):
+		return http.StatusConflict
 	case os.IsNotExist(err):
 		return http.StatusNotFound
 	default:
@@ -314,12 +360,21 @@ func statusFor(err error) int {
 
 // writeErr renders an error with its mapped status. Registry misses
 // (unknown snapshot name, unknown session id) carry a structured body:
-// {"error": ..., "kind": "snapshot"|"session", "name": ...}.
+// {"error": ..., "kind": "snapshot"|"session", "name": ...}; ingest gaps
+// carry the stream's expected sequence so senders can resync.
 func writeErr(w http.ResponseWriter, err error) {
 	var nf *core.NotFoundError
 	if errors.As(err, &nf) {
 		writeJSON(w, http.StatusNotFound, map[string]string{
 			"error": err.Error(), "kind": nf.Kind, "name": nf.Name,
+		})
+		return
+	}
+	var gap *core.SeqGapError
+	if errors.As(err, &gap) {
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error": err.Error(), "kind": "ingest-gap", "name": gap.Name,
+			"expected": gap.Expected, "got": gap.Got,
 		})
 		return
 	}

@@ -93,6 +93,11 @@ func (s *Service) Info(path string) (*InfoResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return infoOf(qp)
+}
+
+// infoOf summarizes any processor's graph (static snapshot or live).
+func infoOf(qp *core.QueryProcessor) (*InfoResult, error) {
 	st := qp.Graph().ComputeStats()
 	byType := make(map[string]int, len(st.ByType))
 	for t, n := range st.ByType {
@@ -130,6 +135,10 @@ func (s *Service) Outputs(path string) (*OutputsResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return outputsOf(qp)
+}
+
+func outputsOf(qp *core.QueryProcessor) (*OutputsResult, error) {
 	res := &OutputsResult{Relations: []RelationResult{}}
 	for _, d := range qp.Outputs() {
 		rel := RelationResult{
@@ -161,12 +170,16 @@ type ZoomResult struct {
 // per-request cost of O(zoom work) instead of the full Clone() the
 // server used to pay — and reported, never persisted.
 func (s *Service) Zoom(path string, modules ...string) (*ZoomResult, error) {
-	if len(modules) == 0 {
-		return nil, badRequestf("zoom: at least one module is required")
-	}
 	qp, err := s.open(path)
 	if err != nil {
 		return nil, err
+	}
+	return zoomOf(qp, modules...)
+}
+
+func zoomOf(qp *core.QueryProcessor, modules ...string) (*ZoomResult, error) {
+	if len(modules) == 0 {
+		return nil, badRequestf("zoom: at least one module is required")
 	}
 	g := qp.Graph()
 	seen := make(map[string]bool, len(modules))
@@ -212,6 +225,10 @@ func (s *Service) Delete(path, node string) (*DeleteResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return deleteOf(qp, node)
+}
+
+func deleteOf(qp *core.QueryProcessor, node string) (*DeleteResult, error) {
 	g := qp.Graph()
 	id, err := parseNode(g.TotalNodes(), node)
 	if err != nil {
@@ -241,6 +258,10 @@ func (s *Service) Subgraph(path, node string) (*SubgraphResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return subgraphOf(qp, node)
+}
+
+func subgraphOf(qp *core.QueryProcessor, node string) (*SubgraphResult, error) {
 	id, err := parseNode(qp.Graph().TotalNodes(), node)
 	if err != nil {
 		return nil, err
@@ -266,6 +287,10 @@ func (s *Service) Lineage(path, node string) (*LineageResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return lineageOf(qp, node)
+}
+
+func lineageOf(qp *core.QueryProcessor, node string) (*LineageResult, error) {
 	id, err := parseNode(qp.Graph().TotalNodes(), node)
 	if err != nil {
 		return nil, err
@@ -330,6 +355,10 @@ func (s *Service) Find(path string, req FindRequest) (*FindResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return findOf(qp, req)
+}
+
+func findOf(qp *core.QueryProcessor, req FindRequest) (*FindResult, error) {
 	f, err := req.filter()
 	if err != nil {
 		return nil, err
@@ -375,6 +404,10 @@ func (s *Service) WriteDOT(path string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	return writeDOTOf(qp, w)
+}
+
+func writeDOTOf(qp *core.QueryProcessor, w io.Writer) error {
 	return qp.Graph().WriteDOT(w, "lipstick")
 }
 
@@ -384,6 +417,10 @@ func (s *Service) WriteOPM(path string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	return writeOPMOf(qp, w)
+}
+
+func writeOPMOf(qp *core.QueryProcessor, w io.Writer) error {
 	return opm.Export(qp.Graph()).WriteJSON(w)
 }
 
@@ -393,5 +430,9 @@ func (s *Service) WriteJSON(path string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	return writeJSONOf(qp, w)
+}
+
+func writeJSONOf(qp *core.QueryProcessor, w io.Writer) error {
 	return store.ExportJSON(w, &store.Snapshot{Graph: qp.Graph(), Outputs: qp.Outputs()})
 }

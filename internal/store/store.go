@@ -264,10 +264,20 @@ func Read(in io.Reader) (*Snapshot, error) {
 		if err != nil {
 			return nil, err
 		}
+		if mnode >= nodeCount {
+			return nil, fmt.Errorf("store: invocation m-node out of range")
+		}
 		invs[i] = provgraph.Invocation{
 			ID: provgraph.InvID(i), Module: module, NodeName: nodeName,
 			Execution: int(execIdx), MNode: provgraph.NodeID(mnode),
 			Inputs: inputs, Outputs: outputs, States: states,
+		}
+	}
+	// Node invocation back-references must land inside the invocation
+	// table: a corrupt file must fail here, not panic in the query layer.
+	for i := range nodes {
+		if nodes[i].Inv < -1 || nodes[i].Inv >= provgraph.InvID(invCount) {
+			return nil, fmt.Errorf("store: node invocation reference out of range")
 		}
 	}
 

@@ -1,0 +1,498 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"lipstick/internal/provgraph"
+)
+
+// Write-ahead log for provenance event streams. A log directory holds:
+//
+//	wal-<firstSeq>.lpwal        append-only segments of CRC-framed events
+//	checkpoint-<seq>.lpsk       a standard LPSK v2 snapshot compacting the
+//	                            event prefix 1..seq
+//
+// Events are numbered 1,2,3,... per stream. Each segment starts with a
+// header (magic, version, the sequence of its first record) and then holds
+// records numbered consecutively: uvarint payload length, the encoded
+// event (events.go), and a CRC32 of the payload. Recovery loads the
+// newest checkpoint and replays the segment tail after it; a torn final
+// record (a crash mid-write) is detected by the CRC or a short read and
+// truncated away, so the log always reopens to a consistent prefix.
+//
+// Checkpointing compacts: the snapshot is written atomically (temp file +
+// rename), then every segment and older checkpoint it covers is deleted,
+// bounding recovery to checkpoint-load + tail-replay.
+
+var walMagic = []byte{'L', 'P', 'W', 'L'}
+
+const walVersion = 1
+
+const (
+	walSegPrefix  = "wal-"
+	walSegSuffix  = ".lpwal"
+	ckptPrefix    = "checkpoint-"
+	ckptSuffix    = ".lpsk"
+	walTempSuffix = ".tmp"
+)
+
+// DefaultSegmentLimit is the rotation threshold for WAL segments.
+const DefaultSegmentLimit = 8 << 20
+
+// Log is the writer half of a WAL directory. It is not safe for
+// concurrent use; callers (core.LiveGraph) serialize Append/Checkpoint.
+type Log struct {
+	dir      string
+	segLimit int64
+	fsync    bool
+
+	f       *os.File
+	bw      *bufio.Writer
+	path    string // active segment path ("" when no segment is open)
+	size    int64  // logical bytes of the active segment; equals its disk size between Appends
+	seq     uint64 // last appended (or recovered) sequence number
+	ckptSeq uint64 // sequence covered by the newest checkpoint
+	scratch bytes.Buffer
+}
+
+// LogOption configures a Log.
+type LogOption func(*Log)
+
+// WithSegmentLimit sets the segment rotation threshold in bytes
+// (<= 0 selects DefaultSegmentLimit).
+func WithSegmentLimit(n int64) LogOption {
+	return func(l *Log) {
+		if n > 0 {
+			l.segLimit = n
+		}
+	}
+}
+
+// WithFsync controls whether every Append fsyncs the segment (default
+// true: an acknowledged batch survives a process kill and a power cut).
+// Disabling trades that durability for throughput; a kill then loses at
+// most the unsynced suffix, never consistency.
+func WithFsync(on bool) LogOption {
+	return func(l *Log) { l.fsync = on }
+}
+
+// Recovery is what OpenLog reconstructed from the directory.
+type Recovery struct {
+	// Snapshot is the newest checkpoint, nil if none was taken.
+	Snapshot *Snapshot
+	// CheckpointSeq is the event sequence the checkpoint covers (0 if
+	// none): the snapshot equals replaying events 1..CheckpointSeq.
+	CheckpointSeq uint64
+	// Tail holds the logged events after the checkpoint, in order
+	// (sequences CheckpointSeq+1 .. LastSeq).
+	Tail []provgraph.Event
+	// LastSeq is the sequence of the last durable event.
+	LastSeq uint64
+}
+
+// OpenLog opens (creating if needed) a WAL directory, recovers its state,
+// truncates any torn tail record, and returns a Log positioned to append
+// event LastSeq+1.
+func OpenLog(dir string, opts ...LogOption) (*Log, *Recovery, error) {
+	l := &Log{dir: dir, segLimit: DefaultSegmentLimit, fsync: true}
+	for _, opt := range opts {
+		opt(l)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	segs, ckpts, err := scanLogDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	rec := &Recovery{}
+	if len(ckpts) > 0 {
+		best := ckpts[len(ckpts)-1]
+		snap, err := Load(filepath.Join(dir, ckptName(best)))
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: loading checkpoint %d: %w", best, err)
+		}
+		rec.Snapshot, rec.CheckpointSeq = snap, best
+	}
+	l.ckptSeq = rec.CheckpointSeq
+	l.seq = rec.CheckpointSeq
+
+	for i, first := range segs {
+		path := filepath.Join(dir, segName(first))
+		last := i == len(segs)-1
+		// Skip everything already recovered (the checkpoint and earlier
+		// segments): compacted leftovers and the overlap a failed-then-
+		// retried Append leaves behind both dedupe by sequence here.
+		events, lastSeq, goodLen, torn, err := readSegment(path, first, l.seq)
+		if err != nil {
+			// Environmental or structural failure (unopenable file, bad
+			// magic): never destructive — durable records must not be
+			// truncated because of a transient read problem.
+			return nil, nil, fmt.Errorf("store: wal segment %s: %w", segName(first), err)
+		}
+		if torn && last {
+			// A torn tail is the expected signature of a crash (newest
+			// segment) or of a failed Append the writer recovered from by
+			// rotating (any segment). Keep the consistent prefix; for the
+			// newest segment also truncate the damage away so appends
+			// resume on clean bytes. Real corruption — a segment whose
+			// good prefix does not connect to the next segment — fails
+			// the continuity check below.
+			if terr := os.Truncate(path, goodLen); terr != nil {
+				return nil, nil, fmt.Errorf("store: truncating torn wal tail: %w", terr)
+			}
+		}
+		if first > l.seq+1 {
+			return nil, nil, fmt.Errorf("store: wal gap: segment %s starts after sequence %d", segName(first), l.seq)
+		}
+		if lastSeq > l.seq {
+			l.seq = lastSeq
+		}
+		rec.Tail = append(rec.Tail, events...)
+	}
+	rec.LastSeq = l.seq
+	return l, rec, nil
+}
+
+// Append logs events with sequences LastSeq+1..LastSeq+len(events),
+// flushing (and, unless disabled, fsyncing) before returning. A failed
+// Append rolls the on-disk state back to exactly what the last
+// successful Append left: LastSeq is unchanged, segments the failed
+// batch created are removed, and the previously active segment is
+// truncated to its pre-batch length — so no torn bytes survive and a
+// retry re-logs the batch at the same positions.
+func (l *Log) Append(events []provgraph.Event) error {
+	entrySeq, entryPath, entrySize := l.seq, l.path, l.size
+	var created []string
+	err := l.appendAll(events, &created)
+	if err != nil {
+		if l.f != nil {
+			l.f.Close()
+			l.f, l.bw = nil, nil
+		}
+		for _, p := range created {
+			os.Remove(p)
+		}
+		if entryPath != "" {
+			// Between Appends the disk length equals the logical size, so
+			// this cut removes every byte the failed batch may have
+			// flushed — including a torn partial record.
+			if terr := os.Truncate(entryPath, entrySize); terr != nil {
+				return fmt.Errorf("store: rolling back failed wal append: %w (after %w)", terr, err)
+			}
+		}
+		l.seq, l.path, l.size = entrySeq, "", 0
+		return err
+	}
+	return nil
+}
+
+func (l *Log) appendAll(events []provgraph.Event, created *[]string) error {
+	for i := range events {
+		next := l.seq + 1
+		if l.f == nil || l.size >= l.segLimit {
+			prev := l.path
+			if err := l.rotate(next); err != nil {
+				return err
+			}
+			if l.path != prev {
+				*created = append(*created, l.path)
+			}
+		}
+		l.scratch.Reset()
+		sw := newWriter(&l.scratch)
+		sw.event(&events[i])
+		if err := sw.flush(); err != nil {
+			return err
+		}
+		payload := l.scratch.Bytes()
+		var head [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(head[:], uint64(len(payload)))
+		if _, err := l.bw.Write(head[:n]); err != nil {
+			return err
+		}
+		if _, err := l.bw.Write(payload); err != nil {
+			return err
+		}
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+		if _, err := l.bw.Write(crc[:]); err != nil {
+			return err
+		}
+		l.size += int64(n + len(payload) + 4)
+		l.seq = next
+	}
+	if l.bw != nil {
+		if err := l.bw.Flush(); err != nil {
+			return err
+		}
+	}
+	if l.fsync && l.f != nil {
+		return l.f.Sync()
+	}
+	return nil
+}
+
+// LastSeq returns the sequence of the last appended event.
+func (l *Log) LastSeq() uint64 { return l.seq }
+
+// CheckpointSeq returns the sequence covered by the newest checkpoint.
+func (l *Log) CheckpointSeq() uint64 { return l.ckptSeq }
+
+// Checkpoint atomically writes snap — which must equal replaying events
+// 1..LastSeq — as the new checkpoint, then deletes the segments and older
+// checkpoints it covers.
+func (l *Log) Checkpoint(snap *Snapshot) error {
+	seq := l.seq
+	final := filepath.Join(l.dir, ckptName(seq))
+	tmp := final + walTempSuffix
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, snap); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// The checkpoint is durable; everything it covers is garbage. The
+	// current segment's events are all <= seq (Append and Checkpoint are
+	// serialized), so the whole segment set goes.
+	if l.f != nil {
+		l.bw.Flush()
+		l.f.Close()
+		l.f, l.bw = nil, nil
+	}
+	l.path, l.size = "", 0
+	segs, ckpts, err := scanLogDir(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, first := range segs {
+		if first <= seq {
+			os.Remove(filepath.Join(l.dir, segName(first)))
+		}
+	}
+	for _, c := range ckpts {
+		if c < seq {
+			os.Remove(filepath.Join(l.dir, ckptName(c)))
+		}
+	}
+	l.ckptSeq = seq
+	return nil
+}
+
+// Close flushes and closes the active segment.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	if err := l.bw.Flush(); err != nil {
+		l.f.Close()
+		return err
+	}
+	if l.fsync {
+		if err := l.f.Sync(); err != nil {
+			l.f.Close()
+			return err
+		}
+	}
+	err := l.f.Close()
+	l.f, l.bw = nil, nil
+	return err
+}
+
+// rotate closes the active segment and starts wal-<firstSeq>.
+func (l *Log) rotate(firstSeq uint64) error {
+	if l.f != nil {
+		if err := l.bw.Flush(); err != nil {
+			return err
+		}
+		if l.fsync {
+			if err := l.f.Sync(); err != nil {
+				return err
+			}
+		}
+		if err := l.f.Close(); err != nil {
+			return err
+		}
+		l.f, l.bw = nil, nil
+	}
+	path := filepath.Join(l.dir, segName(firstSeq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.bw = bufio.NewWriter(f)
+	l.path = path
+	l.size = fi.Size()
+	if l.size == 0 {
+		if _, err := l.bw.Write(walMagic); err != nil {
+			return err
+		}
+		if err := l.bw.WriteByte(walVersion); err != nil {
+			return err
+		}
+		var head [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(head[:], firstSeq)
+		if _, err := l.bw.Write(head[:n]); err != nil {
+			return err
+		}
+		l.size = int64(len(walMagic) + 1 + n)
+	}
+	return nil
+}
+
+// readSegment decodes a segment's records, skipping events at or below
+// skipThrough. It returns the decoded tail events, the last sequence
+// seen, and the byte length of the consistent prefix. torn reports that
+// the stream stopped at a damaged or incomplete record — the expected
+// crash signature, whose consistent prefix is trustworthy. err is
+// reserved for environmental or structural failures (unopenable file,
+// wrong magic/version) where nothing about the content may be assumed
+// and the caller must not repair destructively.
+func readSegment(path string, wantFirst, skipThrough uint64) (events []provgraph.Event, lastSeq uint64, goodLen int64, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+
+	head := make([]byte, len(walMagic)+1)
+	if _, herr := io.ReadFull(br, head); herr != nil {
+		if errors.Is(herr, io.EOF) || errors.Is(herr, io.ErrUnexpectedEOF) {
+			// Crash during segment creation: a header-short file holds no
+			// records; its consistent prefix is empty.
+			return nil, wantFirst - 1, 0, true, nil
+		}
+		return nil, 0, 0, false, fmt.Errorf("segment header: %w", herr)
+	}
+	if !bytes.Equal(head[:len(walMagic)], walMagic) {
+		return nil, 0, 0, false, fmt.Errorf("bad segment magic")
+	}
+	if head[len(walMagic)] != walVersion {
+		return nil, 0, 0, false, fmt.Errorf("unsupported segment version %d", head[len(walMagic)])
+	}
+	firstSeq, herr := binary.ReadUvarint(br)
+	if herr != nil {
+		if errors.Is(herr, io.EOF) || errors.Is(herr, io.ErrUnexpectedEOF) {
+			return nil, wantFirst - 1, 0, true, nil
+		}
+		return nil, 0, 0, false, fmt.Errorf("segment header: %w", herr)
+	}
+	if firstSeq != wantFirst {
+		return nil, 0, 0, false, fmt.Errorf("segment header sequence %d does not match filename %d", firstSeq, wantFirst)
+	}
+	goodLen = int64(len(walMagic) + 1 + uvarintLen(firstSeq))
+
+	seq := firstSeq - 1
+	for {
+		plen, rerr := binary.ReadUvarint(br)
+		if rerr != nil {
+			if errors.Is(rerr, io.EOF) {
+				return events, seq, goodLen, false, nil // clean end
+			}
+			return events, seq, goodLen, true, nil // torn length prefix
+		}
+		if plen > maxLen {
+			return events, seq, goodLen, true, nil
+		}
+		payload := make([]byte, plen)
+		if _, rerr := io.ReadFull(br, payload); rerr != nil {
+			return events, seq, goodLen, true, nil
+		}
+		var crc [4]byte
+		if _, rerr := io.ReadFull(br, crc[:]); rerr != nil {
+			return events, seq, goodLen, true, nil
+		}
+		if binary.LittleEndian.Uint32(crc[:]) != crc32.ChecksumIEEE(payload) {
+			return events, seq, goodLen, true, nil
+		}
+		ev, rerr := newReader(bytes.NewReader(payload)).event()
+		if rerr != nil {
+			return events, seq, goodLen, true, nil
+		}
+		seq++
+		goodLen += int64(uvarintLen(plen)) + int64(plen) + 4
+		if seq > skipThrough {
+			events = append(events, ev)
+		}
+	}
+}
+
+func uvarintLen(v uint64) int {
+	var buf [binary.MaxVarintLen64]byte
+	return binary.PutUvarint(buf[:], v)
+}
+
+func segName(firstSeq uint64) string {
+	return fmt.Sprintf("%s%016d%s", walSegPrefix, firstSeq, walSegSuffix)
+}
+
+func ckptName(seq uint64) string {
+	return fmt.Sprintf("%s%016d%s", ckptPrefix, seq, ckptSuffix)
+}
+
+// scanLogDir lists segment first-sequences and checkpoint sequences, both
+// ascending. Leftover temp files from a crashed checkpoint are removed.
+func scanLogDir(dir string) (segs, ckpts []uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case e.IsDir():
+		case strings.HasSuffix(name, walTempSuffix):
+			os.Remove(filepath.Join(dir, name))
+		case strings.HasPrefix(name, walSegPrefix) && strings.HasSuffix(name, walSegSuffix):
+			if n, perr := parseSeq(name, walSegPrefix, walSegSuffix); perr == nil {
+				segs = append(segs, n)
+			}
+		case strings.HasPrefix(name, ckptPrefix) && strings.HasSuffix(name, ckptSuffix):
+			if n, perr := parseSeq(name, ckptPrefix, ckptSuffix); perr == nil {
+				ckpts = append(ckpts, n)
+			}
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i] < ckpts[j] })
+	return segs, ckpts, nil
+}
+
+func parseSeq(name, prefix, suffix string) (uint64, error) {
+	return strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix), 10, 64)
+}

@@ -1,0 +1,326 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lipstick/internal/provgraph"
+)
+
+// chainEvents builds n valid consecutive events (a growing node chain).
+func chainEvents(n int) []provgraph.Event {
+	events := make([]provgraph.Event, 0, n)
+	nodes := 0
+	for len(events) < n {
+		ev := provgraph.Event{Kind: provgraph.EvAddNode, Node: provgraph.Node{
+			ID: provgraph.NodeID(nodes), Class: provgraph.ClassP,
+			Type: provgraph.TypeBaseTuple, Label: "tok", Inv: -1,
+		}}
+		events = append(events, ev)
+		nodes++
+		if nodes >= 2 && len(events) < n {
+			events = append(events, provgraph.Event{
+				Kind: provgraph.EvAddEdge,
+				Src:  provgraph.NodeID(nodes - 2), Dst: provgraph.NodeID(nodes - 1),
+			})
+		}
+	}
+	return events
+}
+
+func openLogT(t *testing.T, dir string, opts ...LogOption) (*Log, *Recovery) {
+	t.Helper()
+	l, rec, err := OpenLog(dir, opts...)
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	return l, rec
+}
+
+func TestWALAppendRecover(t *testing.T) {
+	dir := t.TempDir()
+	events := chainEvents(100)
+	l, rec := openLogT(t, dir)
+	if rec.LastSeq != 0 || rec.Snapshot != nil || len(rec.Tail) != 0 {
+		t.Fatalf("fresh log recovered non-empty state: %+v", rec)
+	}
+	if err := l.Append(events[:60]); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := l.Append(events[60:]); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if l.LastSeq() != 100 {
+		t.Fatalf("LastSeq = %d, want 100", l.LastSeq())
+	}
+	// Simulated kill: no Close. Reopen and compare the tail.
+	_, rec = openLogT(t, dir)
+	if rec.LastSeq != 100 || len(rec.Tail) != 100 {
+		t.Fatalf("recovered LastSeq=%d tail=%d, want 100/100", rec.LastSeq, len(rec.Tail))
+	}
+	want, err := provgraph.Replay(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := provgraph.Replay(rec.Tail)
+	if err != nil {
+		t.Fatalf("replaying recovered tail: %v", err)
+	}
+	if !want.StructurallyEqual(got) {
+		t.Fatal("recovered tail replays to a different graph")
+	}
+}
+
+func TestWALSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLogT(t, dir, WithSegmentLimit(256), WithFsync(false))
+	events := chainEvents(200)
+	for i := 0; i < len(events); i += 10 {
+		if err := l.Append(events[i : i+10]); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	segs, _, err := scanLogDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %d", len(segs))
+	}
+	_, rec := openLogT(t, dir)
+	if rec.LastSeq != 200 || len(rec.Tail) != 200 {
+		t.Fatalf("recovered %d/%d, want 200/200", rec.LastSeq, len(rec.Tail))
+	}
+}
+
+func TestWALCheckpointCompaction(t *testing.T) {
+	dir := t.TempDir()
+	events := chainEvents(150)
+	l, _ := openLogT(t, dir, WithSegmentLimit(256), WithFsync(false))
+	if err := l.Append(events[:90]); err != nil {
+		t.Fatal(err)
+	}
+	g, err := provgraph.Replay(events[:90])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(&Snapshot{Graph: g}); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	segs, ckpts, err := scanLogDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 0 {
+		t.Fatalf("checkpoint left %d uncompacted segments", len(segs))
+	}
+	if len(ckpts) != 1 || ckpts[0] != 90 {
+		t.Fatalf("checkpoints = %v, want [90]", ckpts)
+	}
+	if err := l.Append(events[90:]); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec := openLogT(t, dir)
+	if rec.Snapshot == nil || rec.CheckpointSeq != 90 {
+		t.Fatalf("recovery missed the checkpoint: seq=%d", rec.CheckpointSeq)
+	}
+	if rec.LastSeq != 150 || len(rec.Tail) != 60 {
+		t.Fatalf("recovered LastSeq=%d tail=%d, want 150/60", rec.LastSeq, len(rec.Tail))
+	}
+	// Checkpoint + tail equals the full replay.
+	restored := rec.Snapshot.Graph
+	for i, ev := range rec.Tail {
+		if err := provgraph.Apply(restored, ev); err != nil {
+			t.Fatalf("tail event %d: %v", i, err)
+		}
+	}
+	want, err := provgraph.Replay(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.StructurallyEqual(restored) {
+		t.Fatal("checkpoint+tail differs from full replay")
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	events := chainEvents(40)
+	l, _ := openLogT(t, dir, WithFsync(false))
+	if err := l.Append(events); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _, err := scanLogDir(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v (err %v)", segs, err)
+	}
+	path := filepath.Join(dir, segName(segs[0]))
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-write leaves a truncated final record.
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec := openLogT(t, dir)
+	if rec.LastSeq != 39 || len(rec.Tail) != 39 {
+		t.Fatalf("recovered LastSeq=%d tail=%d, want 39/39", rec.LastSeq, len(rec.Tail))
+	}
+	// The torn record was truncated away; re-appending the lost event and
+	// reopening yields the full stream.
+	if err := l2.Append(events[39:]); err != nil {
+		t.Fatal(err)
+	}
+	_, rec = openLogT(t, dir)
+	if rec.LastSeq != 40 || len(rec.Tail) != 40 {
+		t.Fatalf("after repair: LastSeq=%d tail=%d, want 40/40", rec.LastSeq, len(rec.Tail))
+	}
+}
+
+func TestWALCorruptMiddleSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLogT(t, dir, WithSegmentLimit(128), WithFsync(false))
+	if err := l.Append(chainEvents(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _, err := scanLogDir(dir)
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("need >= 2 segments, got %v (err %v)", segs, err)
+	}
+	path := filepath.Join(dir, segName(segs[0]))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xff // corrupt a CRC in a non-final segment
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The good prefix of the damaged segment no longer connects to the
+	// next segment's first sequence: recovery must refuse, not drop data.
+	if _, _, err := OpenLog(dir); err == nil || !strings.Contains(err.Error(), "wal gap") {
+		t.Fatalf("OpenLog accepted a corrupt middle segment (err = %v)", err)
+	}
+}
+
+// TestWALOverlappingSegmentsDedupe covers the failed-Append retry
+// signature: a failed batch may leave some records durable in the old
+// segment while the retry re-writes them into a fresh segment, so two
+// segments can carry overlapping sequences. Recovery must apply each
+// sequence exactly once.
+func TestWALOverlappingSegmentsDedupe(t *testing.T) {
+	dir := t.TempDir()
+	events := chainEvents(25)
+	l, _ := openLogT(t, dir, WithFsync(false))
+	if err := l.Append(events[:20]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Craft the retry's fresh segment starting inside the first one:
+	// wal-16 carries sequences 16..25 while wal-1 carries 1..20.
+	l2 := &Log{dir: dir, segLimit: DefaultSegmentLimit, seq: 15}
+	if err := l2.Append(events[15:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _, err := scanLogDir(dir)
+	if err != nil || len(segs) != 2 || segs[1] != 16 {
+		t.Fatalf("segments: %v (%v)", segs, err)
+	}
+
+	_, rec := openLogT(t, dir)
+	if rec.LastSeq != 25 || len(rec.Tail) != 25 {
+		t.Fatalf("recovered %d/%d, want 25/25 (overlap not deduped)", rec.LastSeq, len(rec.Tail))
+	}
+	want, err := provgraph.Replay(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := provgraph.Replay(rec.Tail)
+	if err != nil {
+		t.Fatalf("replaying deduped tail: %v", err)
+	}
+	if !want.StructurallyEqual(got) {
+		t.Fatal("deduped recovery differs from the source stream")
+	}
+}
+
+// TestWALHeaderShortSegmentRecovers covers a crash during segment
+// creation: a next segment whose header never finished holds no records
+// and must not block recovery.
+func TestWALHeaderShortSegmentRecovers(t *testing.T) {
+	dir := t.TempDir()
+	events := chainEvents(12)
+	l, _ := openLogT(t, dir, WithFsync(false))
+	if err := l.Append(events[:10]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stub := filepath.Join(dir, segName(11))
+	if err := os.WriteFile(stub, []byte("LP"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec := openLogT(t, dir)
+	if rec.LastSeq != 10 || len(rec.Tail) != 10 {
+		t.Fatalf("recovered %d/%d, want 10/10", rec.LastSeq, len(rec.Tail))
+	}
+	if err := l2.Append(events[10:]); err != nil {
+		t.Fatal(err)
+	}
+	_, rec = openLogT(t, dir)
+	if rec.LastSeq != 12 || len(rec.Tail) != 12 {
+		t.Fatalf("after resume: %d/%d, want 12/12", rec.LastSeq, len(rec.Tail))
+	}
+}
+
+// TestWALAppendFailureRollsBack pins the failed-Append contract: LastSeq
+// is unchanged and the segment is abandoned, so the retry starts a fresh
+// segment at the same sequence.
+func TestWALAppendFailureRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	events := chainEvents(10)
+	l, _ := openLogT(t, dir, WithFsync(false))
+	if err := l.Append(events[:5]); err != nil {
+		t.Fatal(err)
+	}
+	// Force the active segment's file descriptor to fail writes.
+	if err := l.bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(events[5:]); err == nil {
+		t.Fatal("append on a closed segment should fail")
+	}
+	if l.LastSeq() != 5 {
+		t.Fatalf("failed append moved LastSeq to %d, want 5", l.LastSeq())
+	}
+	// The retry succeeds on a fresh segment and recovery sees one copy.
+	if err := l.Append(events[5:]); err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openLogT(t, dir)
+	if rec.LastSeq != 10 || len(rec.Tail) != 10 {
+		t.Fatalf("recovered %d/%d, want 10/10", rec.LastSeq, len(rec.Tail))
+	}
+}

@@ -95,6 +95,9 @@ type Runner struct {
 	// letter of Section 3.2); the default materializes state nodes lazily,
 	// only for tuples the invocation's queries actually use.
 	eagerState bool
+	// eventSink observes every provenance-graph mutation as a typed event
+	// (streaming capture); nil disables capture.
+	eventSink func(provgraph.Event)
 	// lastZoom chains coarse-grained invocations of stateful modules.
 	lastZoom map[string]provgraph.NodeID
 }
@@ -118,6 +121,19 @@ func WithEagerStateNodes() Option {
 // run's.
 func WithParallelism(n int) Option {
 	return func(r *Runner) { r.parallelism = ResolveParallelism(n) }
+}
+
+// WithEventSink streams provenance capture: every graph mutation the run
+// records is reported to fn as a typed provgraph.Event, in deterministic
+// order (parallel runs drain their capture buffers in sequential
+// invocation order, so the stream is identical to a sequential run's).
+// Replaying the stream with provgraph.Replay — locally or on a lipstick
+// server via /v1/ingest — reconstructs the run's graph event-for-event.
+// fn is called synchronously from the executing goroutine; hand events to
+// a provgraph.EventLog (or another buffered sink) if the consumer is
+// slow. No-op in Plain granularity.
+func WithEventSink(fn func(provgraph.Event)) Option {
+	return func(r *Runner) { r.eventSink = fn }
 }
 
 // ResolveParallelism applies WithParallelism's convention: n <= 0 means
@@ -159,6 +175,9 @@ func NewRunner(w *Workflow, gran Granularity, opts ...Option) (*Runner, error) {
 	}
 	if gran != Plain {
 		r.builder = provgraph.NewBuilder()
+		if r.eventSink != nil {
+			r.builder.G.SetEventSink(r.eventSink)
+		}
 	}
 	for _, name := range w.Nodes() {
 		m := w.Node(name).Module

@@ -6,6 +6,7 @@ import (
 
 	"lipstick/internal/nested"
 	"lipstick/internal/pig"
+	"lipstick/internal/provgraph"
 	"lipstick/internal/workflow"
 )
 
@@ -158,6 +159,9 @@ type ArcticParams struct {
 	// 0 keeps the sequential default, n > 1 enables the parallel
 	// scheduler, negative selects GOMAXPROCS (workflow.WithParallelism).
 	Parallelism int
+	// EventSink, when non-nil, streams every provenance-graph mutation of
+	// the run as a typed event (workflow.WithEventSink).
+	EventSink func(provgraph.Event)
 }
 
 // arcticLayout computes each station's predecessor list and the final
@@ -291,6 +295,9 @@ func NewArcticRun(p ArcticParams) (*ArcticRun, error) {
 	var opts []workflow.Option
 	if p.Parallelism != 0 {
 		opts = append(opts, workflow.WithParallelism(p.Parallelism))
+	}
+	if p.EventSink != nil {
+		opts = append(opts, workflow.WithEventSink(p.EventSink))
 	}
 	runner, err := workflow.NewRunner(w, p.Gran, opts...)
 	if err != nil {

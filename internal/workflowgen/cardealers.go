@@ -16,6 +16,7 @@ import (
 
 	"lipstick/internal/nested"
 	"lipstick/internal/pig"
+	"lipstick/internal/provgraph"
 	"lipstick/internal/workflow"
 )
 
@@ -391,6 +392,10 @@ type DealershipParams struct {
 	// 0 keeps the sequential default, n > 1 enables the parallel
 	// scheduler, negative selects GOMAXPROCS (workflow.WithParallelism).
 	Parallelism int
+	// EventSink, when non-nil, streams every provenance-graph mutation of
+	// the run as a typed event (workflow.WithEventSink) — including the
+	// state seeding performed at construction time.
+	EventSink func(provgraph.Event)
 }
 
 // DealershipRun is the result of driving the dealership workflow.
@@ -432,6 +437,9 @@ func NewDealershipRun(p DealershipParams) (*DealershipRun, error) {
 	}
 	if p.Parallelism != 0 {
 		opts = append(opts, workflow.WithParallelism(p.Parallelism))
+	}
+	if p.EventSink != nil {
+		opts = append(opts, workflow.WithEventSink(p.EventSink))
 	}
 	runner, err := workflow.NewRunner(w, p.Gran, opts...)
 	if err != nil {

@@ -49,7 +49,21 @@
 // shared base graph, so creating one never deep-copies the graph, its
 // state costs O(changes), sessions expire by TTL/LRU, and concurrent
 // read queries against the base snapshot stay untouched. Session queries
-// answer exactly as a Clone-then-mutate baseline would.
+// answer exactly as a Clone-then-mutate baseline would. Sessions fork:
+// ForkSession clones a session's delta sets (never the base) into an
+// independent what-if branch.
+//
+// Capture streams: WithEventSink observes every provenance-graph mutation
+// of a run as a typed Event, in deterministic order (parallel runs
+// included). Replay reconstructs a graph event-for-event from the stream;
+// a LiveGraph applies events behind a single writer while serving every
+// read query concurrently, with incrementally maintained postings so live
+// selection stays indexed; and an IngestClient ships batches to a running
+// `lipstick serve` (`POST /v1/ingest/{name}`), which answers all read
+// endpoints against the stream mid-workflow. Live graphs can be durable:
+// a segmented write-ahead log with periodic LPSK v2 checkpoints makes
+// crash recovery checkpoint-load + tail-replay, idempotent by sequence
+// number.
 //
 // The facade re-exports the stable surface of the internal packages; the
 // full functionality (Pig Latin compiler, evaluation engine, provenance
@@ -212,6 +226,32 @@ type (
 	GraphView = provgraph.GraphView
 	// Overlay is a copy-on-write view over an immutable base Graph.
 	Overlay = provgraph.Overlay
+
+	// Event is one captured provenance-graph mutation (the unit of
+	// streaming capture and ingestion).
+	Event = provgraph.Event
+	// EventKind tags an Event's mutation type.
+	EventKind = provgraph.EventKind
+	// EventLog is a concurrency-safe capture buffer usable as an event
+	// sink; senders drain batches from it.
+	EventLog = provgraph.EventLog
+	// LiveGraph is a provenance graph under streaming construction:
+	// single-writer event application, concurrent indexed reads, and
+	// optional WAL-backed durability with checkpoint compaction.
+	LiveGraph = core.LiveGraph
+	// LiveInfo summarizes a live graph (event count, nodes, durability).
+	LiveInfo = core.LiveInfo
+	// LiveOption configures a durable live graph (checkpoint cadence,
+	// WAL tuning).
+	LiveOption = core.LiveOption
+	// IngestStatus reports one applied event batch.
+	IngestStatus = core.IngestStatus
+	// SeqGapError reports an ingest batch that skips ahead of a live
+	// graph's event sequence.
+	SeqGapError = core.SeqGapError
+	// IngestClient streams captured events to a lipstick server's
+	// /v1/ingest/{name} endpoint as they are recorded.
+	IngestClient = serve.IngestClient
 )
 
 // System constructors.
@@ -251,6 +291,38 @@ var (
 	FromTracker = core.FromTracker
 	// NewQueryProcessor wraps an already-loaded snapshot.
 	NewQueryProcessor = core.NewQueryProcessor
+
+	// WithEventSink streams a run's provenance capture: every graph
+	// mutation is reported as a typed Event in deterministic order.
+	WithEventSink = workflow.WithEventSink
+	// NewEventLog returns an empty concurrency-safe event buffer.
+	NewEventLog = provgraph.NewEventLog
+	// Replay reconstructs a graph from a captured event stream,
+	// event-for-event identical to the source build.
+	Replay = provgraph.Replay
+	// ApplyEvent applies one captured event to a graph, validating ids
+	// and sequencing.
+	ApplyEvent = provgraph.Apply
+	// NewLiveGraph returns an empty in-memory live graph.
+	NewLiveGraph = core.NewLiveGraph
+	// OpenLiveGraph opens a durable live graph over a write-ahead-log
+	// directory, recovering checkpoint + tail state.
+	OpenLiveGraph = core.OpenLiveGraph
+	// WithCheckpointEvery sets a durable live graph's automatic
+	// checkpoint interval in events.
+	WithCheckpointEvery = core.WithCheckpointEvery
+	// WithLiveDir makes a Registry's live graphs durable under a
+	// directory (one WAL per stream).
+	WithLiveDir = core.WithLiveDir
+	// NewIngestClient returns a streaming client for one named stream on
+	// one lipstick server.
+	NewIngestClient = serve.NewIngestClient
+	// Ingest posts one event batch to a lipstick server.
+	Ingest = serve.Ingest
+	// EncodeEventBatch frames events in the binary ingest wire format.
+	EncodeEventBatch = store.EncodeEventBatch
+	// DecodeEventBatch reads one encoded event batch.
+	DecodeEventBatch = store.DecodeEventBatch
 )
 
 // Provenance graph model (Section 3).
