@@ -23,6 +23,11 @@
 //	lipstick serve -addr :8080 run.lpsk   # the same queries over HTTP
 //	lipstick serve -dir snapshots/        # registry of snapshots + sessions
 //	lipstick serve -live wal/             # durable streaming ingestion
+//	                                      # (group-committed WAL; tune with
+//	                                      # -gcdelay/-gcbytes/-queue/-nogroup)
+//	lipstick loadgen -remote http://host:8080 -streams 4 -duration 10s
+//	                                      # drive synthetic ingest streams,
+//	                                      # report events/s + p50/p99
 package main
 
 import (
@@ -32,11 +37,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
+	"sync"
 	"syscall"
 	"time"
 
 	"lipstick/internal/core"
+	"lipstick/internal/provgraph"
 	"lipstick/internal/serve"
 	"lipstick/internal/store"
 	"lipstick/internal/workflow"
@@ -52,7 +60,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: lipstick <demo|track|serve|info|outputs|zoom|delete|subgraph|lineage|find|dot|opm|json> ...")
+		return fmt.Errorf("usage: lipstick <demo|track|serve|loadgen|info|outputs|zoom|delete|subgraph|lineage|find|dot|opm|json> ...")
 	}
 	switch args[0] {
 	case "demo":
@@ -61,6 +69,8 @@ func run(args []string) error {
 		return track(args[1:])
 	case "serve":
 		return serveCmd(args[1:])
+	case "loadgen":
+		return loadgen(args[1:])
 	case "info", "outputs", "zoom", "delete", "subgraph", "lineage", "find", "dot", "opm", "json":
 		if len(args) < 2 {
 			return fmt.Errorf("usage: lipstick %s <snapshot> ...", args[0])
@@ -204,11 +214,15 @@ func dealershipSnapshot(run *workflowgen.DealershipRun) *store.Snapshot {
 // becomes the default for the flat /v1/* endpoints. The server drains
 // gracefully on SIGINT/SIGTERM.
 func serveCmd(args []string) error {
-	const usage = "usage: lipstick serve [-addr host:port] [-dir snapshots/] [-live waldir/] [snapshot]"
+	const usage = "usage: lipstick serve [-addr host:port] [-dir snapshots/] [-live waldir/] [-gcdelay dur] [-gcbytes n] [-queue n] [-nogroup] [snapshot]"
 	addr := ":8080"
 	dir := ""
 	live := ""
 	snapshot := ""
+	gcDelay := store.DefaultGroupCommitDelay
+	gcBytes := store.DefaultGroupCommitBytes
+	queueDepth := 0 // 0 = core.DefaultIngestQueueDepth
+	group := true
 	for len(args) > 0 {
 		switch {
 		case len(args) >= 2 && args[0] == "-addr":
@@ -220,6 +234,30 @@ func serveCmd(args []string) error {
 		case len(args) >= 2 && args[0] == "-live":
 			live = args[1]
 			args = args[2:]
+		case len(args) >= 2 && args[0] == "-gcdelay":
+			d, err := time.ParseDuration(args[1])
+			if err != nil {
+				return fmt.Errorf("serve: invalid -gcdelay value %q", args[1])
+			}
+			gcDelay = d
+			args = args[2:]
+		case len(args) >= 2 && args[0] == "-gcbytes":
+			n, err := strconv.Atoi(args[1])
+			if err != nil {
+				return fmt.Errorf("serve: invalid -gcbytes value %q", args[1])
+			}
+			gcBytes = n
+			args = args[2:]
+		case len(args) >= 2 && args[0] == "-queue":
+			n, err := strconv.Atoi(args[1])
+			if err != nil {
+				return fmt.Errorf("serve: invalid -queue value %q", args[1])
+			}
+			queueDepth = n
+			args = args[2:]
+		case args[0] == "-nogroup":
+			group = false
+			args = args[1:]
 		case snapshot == "" && len(args[0]) > 0 && args[0][0] != '-':
 			snapshot = args[0]
 			args = args[1:]
@@ -231,6 +269,14 @@ func serveCmd(args []string) error {
 		return fmt.Errorf(usage)
 	}
 	var regOpts []core.RegistryOption
+	// Admission control applies to every live graph; the group-commit WAL
+	// discipline is the durable default (-nogroup reverts to one fsync
+	// per batch).
+	liveOpts := []core.LiveOption{core.WithIngestQueueDepth(queueDepth)}
+	if group {
+		liveOpts = append(liveOpts, core.WithLogOptions(store.WithGroupCommit(gcDelay, gcBytes)))
+	}
+	regOpts = append(regOpts, core.WithLiveOptions(liveOpts...))
 	if live != "" {
 		regOpts = append(regOpts, core.WithLiveDir(live))
 	}
@@ -272,6 +318,236 @@ func serveCmd(args []string) error {
 	defer stop()
 	fmt.Printf("lipstick: serving on http://%s\n", ln.Addr())
 	return serveHTTP(ctx, ln, svc.Handler(snapshot))
+}
+
+// loadgen drives N concurrent synthetic provenance streams at a target
+// rate against a running lipstick server and reports sustained ingest
+// throughput, append-batch latency percentiles, query-under-load latency
+// percentiles, and the HTTP status histogram. 429s (admission shedding)
+// are retried with jittered backoff — they are the backpressure working,
+// not a failure — so the histogram shows how often the server shed load
+// while the events/s line shows what it sustained anyway.
+func loadgen(args []string) error {
+	const usage = "usage: lipstick loadgen -remote http://host:port [-streams n] [-duration d] [-rate events/s] [-batch n] [-cars n] [-execs n] [-name prefix]"
+	remote, prefix := "", "load"
+	streams, batchSize, cars, execs := 4, 256, 240, 4
+	duration, rate := 5*time.Second, 0
+	for len(args) >= 2 {
+		val := args[1]
+		var err error
+		switch args[0] {
+		case "-remote":
+			remote = val
+		case "-name":
+			prefix = val
+		case "-streams":
+			streams, err = strconv.Atoi(val)
+		case "-batch":
+			batchSize, err = strconv.Atoi(val)
+		case "-cars":
+			cars, err = strconv.Atoi(val)
+		case "-execs":
+			execs, err = strconv.Atoi(val)
+		case "-rate":
+			rate, err = strconv.Atoi(val)
+		case "-duration":
+			duration, err = time.ParseDuration(val)
+		default:
+			return fmt.Errorf("%s", usage)
+		}
+		if err != nil {
+			return fmt.Errorf("loadgen: invalid %s value %q", args[0], val)
+		}
+		args = args[2:]
+	}
+	if len(args) != 0 || remote == "" || streams < 1 || batchSize < 1 {
+		return fmt.Errorf("%s", usage)
+	}
+
+	// One captured run is the synthetic stream every worker replays (each
+	// into its own named live graph; a worker that exhausts the capture
+	// starts a fresh stream name and keeps the load sustained).
+	log := provgraph.NewEventLog()
+	if _, err := workflowgen.RunDealership(workflowgen.DealershipParams{
+		NumCars: cars, NumExec: execs, Seed: 7, Gran: workflow.Fine,
+		EventSink: log.Record,
+	}); err != nil {
+		return err
+	}
+	events := log.Drain()
+
+	var (
+		mu        sync.Mutex
+		appendLat []time.Duration
+		queryLat  []time.Duration
+		statuses  = map[int]int{}
+		applied   int64
+		workerErr error
+	)
+	start := time.Now()
+	deadline := start.Add(duration)
+	var interval time.Duration
+	if rate > 0 {
+		interval = time.Duration(float64(batchSize) / float64(rate) * float64(time.Second))
+	}
+
+	// The streams send through the real serve.IngestClient — sequence
+	// numbering, batching, and 429/503 backoff retry are the shipped
+	// client's, not a reimplementation — with a measuring transport
+	// recording every attempt's status and the latency of accepted
+	// batches.
+	probe := &measuringTransport{
+		base: http.DefaultTransport,
+		observe: func(status int, elapsed time.Duration) {
+			mu.Lock()
+			statuses[status]++
+			if status == http.StatusOK {
+				appendLat = append(appendLat, elapsed)
+			}
+			mu.Unlock()
+		},
+	}
+	httpClient := &http.Client{Timeout: 30 * time.Second, Transport: probe}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	fail := func(w int, err error) {
+		mu.Lock()
+		if workerErr == nil {
+			workerErr = fmt.Errorf("stream %d: %w", w, err)
+		}
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < streams; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for run := 0; time.Now().Before(deadline); run++ {
+				// One IngestClient per stream incarnation; a worker that
+				// exhausts the capture starts a fresh stream name so the
+				// load stays sustained.
+				c := serve.NewIngestClient(remote, fmt.Sprintf("%s-%d-%d", prefix, w, run), batchSize)
+				c.HTTPClient = httpClient
+				c.MaxRetries = 1 << 20 // persevere through overload for the whole run
+				c.RetryBase = 5 * time.Millisecond
+				for next := 0; next < len(events) && time.Now().Before(deadline); {
+					tick := time.Now()
+					end := next + batchSize
+					if end > len(events) {
+						end = len(events)
+					}
+					for _, ev := range events[next:end] {
+						c.Record(ev) // flushes synchronously at each full batch
+					}
+					next = end
+					if err := c.Err(); err != nil {
+						fail(w, err)
+						return
+					}
+					if interval > 0 {
+						if rest := interval - time.Since(tick); rest > 0 {
+							time.Sleep(rest)
+						}
+					}
+				}
+				if err := c.Flush(); err != nil {
+					fail(w, err)
+					return
+				}
+				mu.Lock()
+				applied += int64(c.Sent())
+				mu.Unlock()
+			}
+		}(w)
+	}
+
+	// Query-under-load prober: the read path's latency while ingestion
+	// hammers the same process.
+	stopQuery := make(chan struct{})
+	var queryWG sync.WaitGroup
+	queryWG.Add(1)
+	go func() {
+		defer queryWG.Done()
+		target := fmt.Sprintf("%s/v1/snapshots/%s-0-0/find?type=m", remote, prefix)
+		for {
+			select {
+			case <-stopQuery:
+				return
+			case <-time.After(50 * time.Millisecond):
+			}
+			start := time.Now()
+			resp, err := client.Get(target)
+			if err != nil {
+				continue
+			}
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				mu.Lock()
+				queryLat = append(queryLat, time.Since(start))
+				mu.Unlock()
+			}
+		}
+	}()
+
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stopQuery)
+	queryWG.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if workerErr != nil {
+		return fmt.Errorf("loadgen: %w", workerErr)
+	}
+	fmt.Printf("loadgen: %d stream(s) x %v against %s: %d batches, %d events applied\n",
+		streams, duration, remote, len(appendLat), applied)
+	fmt.Printf("events/s: %.0f\n", float64(applied)/elapsed.Seconds())
+	fmt.Printf("append latency p50: %v  p99: %v\n", percentile(appendLat, 50), percentile(appendLat, 99))
+	fmt.Printf("query latency p50: %v  p99: %v  (%d queries)\n",
+		percentile(queryLat, 50), percentile(queryLat, 99), len(queryLat))
+	codes := make([]int, 0, len(statuses))
+	for code := range statuses {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	for _, code := range codes {
+		fmt.Printf("status %d: %d\n", code, statuses[code])
+	}
+	if applied == 0 {
+		return fmt.Errorf("loadgen: no events were applied")
+	}
+	return nil
+}
+
+// measuringTransport records each HTTP attempt's status code and round-
+// trip latency, so loadgen's histogram covers every attempt the ingest
+// client makes — including the 429s its retry loop absorbs.
+type measuringTransport struct {
+	base    http.RoundTripper
+	observe func(status int, elapsed time.Duration)
+}
+
+func (t *measuringTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	start := time.Now()
+	resp, err := t.base.RoundTrip(req)
+	if err == nil {
+		t.observe(resp.StatusCode, time.Since(start))
+	}
+	return resp, err
+}
+
+// percentile returns the p-th percentile of the (unsorted) samples.
+func percentile(samples []time.Duration, p int) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := len(sorted) * p / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }
 
 // shutdownTimeout bounds the graceful drain after SIGINT/SIGTERM.

@@ -14,6 +14,7 @@ import (
 
 	"lipstick/internal/core"
 	"lipstick/internal/serve"
+	"lipstick/internal/store"
 )
 
 // TestCLISmoke drives the quickstart flow end-to-end through the command
@@ -381,4 +382,51 @@ func muteStdout(t *testing.T) {
 		os.Stdout = stdout
 		null.Close()
 	})
+}
+
+// TestLoadgenAgainstServer drives `lipstick loadgen` at a small scale
+// against an in-process durable server and checks it applies events.
+func TestLoadgenAgainstServer(t *testing.T) {
+	muteStdout(t)
+	reg := core.NewRegistry(nil,
+		core.WithLiveDir(filepath.Join(t.TempDir(), "wal")),
+		core.WithLiveOptions(core.WithLogOptions(store.WithGroupCommit(0, 0))))
+	svc := serve.NewRegistryService(reg)
+	srv := httptest.NewServer(svc.Handler(""))
+	defer srv.Close()
+
+	err := run([]string{"loadgen", "-remote", srv.URL, "-streams", "2",
+		"-duration", "500ms", "-batch", "64", "-cars", "60", "-execs", "2"})
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	stats := svc.Stats()
+	if stats.Ingest.GroupCommits < 1 {
+		t.Fatalf("loadgen produced no group commits: %+v", stats.Ingest)
+	}
+
+	// Argument validation.
+	for _, cmd := range [][]string{
+		{"loadgen"},
+		{"loadgen", "-remote"},
+		{"loadgen", "-remote", srv.URL, "-streams", "x"},
+		{"loadgen", "-remote", srv.URL, "-bogus", "1"},
+	} {
+		if err := run(cmd); err == nil {
+			t.Fatalf("%v: expected an error", cmd)
+		}
+	}
+}
+
+// TestServeFlagParsing covers the new ingest-pipeline knobs.
+func TestServeFlagParsing(t *testing.T) {
+	for _, cmd := range [][]string{
+		{"serve", "-gcdelay", "bogus", "x.lpsk"},
+		{"serve", "-gcbytes", "x", "y.lpsk"},
+		{"serve", "-queue", "x", "y.lpsk"},
+	} {
+		if err := run(cmd); err == nil {
+			t.Fatalf("%v: expected an error", cmd)
+		}
+	}
 }

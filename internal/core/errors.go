@@ -31,3 +31,21 @@ type NameError struct {
 func (e *NameError) Error() string {
 	return fmt.Sprintf("lipstick: invalid snapshot name %q: %s", e.Name, e.Reason)
 }
+
+// OverloadedError reports an ingest batch rejected by admission control:
+// the live graph's bounded queue of in-flight batches is full, so instead
+// of growing memory without bound the server sheds the request. The
+// serving layer maps it to HTTP 429 with a Retry-After hint; senders
+// (IngestClient) retry with backoff and lose nothing — ingestion is
+// idempotent by sequence number.
+type OverloadedError struct {
+	// Name is the live graph whose queue is full.
+	Name string
+	// Depth is the configured queue depth.
+	Depth int
+}
+
+// Error implements error.
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("lipstick: ingest queue of %q is full (depth %d); retry with backoff", e.Name, e.Depth)
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"lipstick/internal/provgraph"
 	"lipstick/internal/store"
@@ -29,19 +30,40 @@ import (
 type LiveGraph struct {
 	name string
 
-	// writeMu serializes writers (Append, Checkpoint, Close). WAL I/O —
-	// including the per-batch fsync — happens under writeMu only, never
-	// under mu, so readers wait on memory mutation, not on the disk.
+	// writeMu serializes the staging half of ingestion (validate, apply,
+	// WAL submission order) plus Checkpoint and Close. In group-commit
+	// mode the durability wait happens OUTSIDE writeMu (Wait on the
+	// commit handle), so while one batch's fsync is in flight the next
+	// batches decode, validate, apply, and enqueue — the pipeline that
+	// lets one disk flush absorb many concurrent requests. WAL I/O never
+	// runs under mu, so readers wait on memory mutation, not the disk.
 	writeMu sync.Mutex
 	// log, pending, ckptEvery are writer-only state (guarded by writeMu).
-	log *store.Log // nil for in-memory live graphs
+	log   *store.Log // nil for in-memory live graphs
+	group bool       // log runs in group-commit mode
 	// pending holds events applied to the in-memory graph but not yet
-	// durable in the log (a WAL append failed). They are retried before
-	// any new events are logged — and before a duplicate retry batch is
-	// acknowledged — so the log's positional sequence numbering never
-	// diverges from the stream's and an acknowledged batch is durable.
+	// durable in the log (a serial-mode WAL append failed). They are
+	// retried before any new events are logged — and before a duplicate
+	// retry batch is acknowledged — so the log's positional sequence
+	// numbering never diverges from the stream's and an acknowledged
+	// batch is durable. Group mode tracks the same obligation in
+	// inflight below.
 	pending   []provgraph.Event
 	ckptEvery uint64
+
+	// sem is the admission gate: one token per in-flight batch between
+	// AppendAsync and Wait. A full gate rejects with *OverloadedError
+	// instead of queueing unboundedly. nil = unbounded.
+	sem     chan struct{}
+	queueHW atomic.Int64 // deepest the admission queue has been
+
+	// inflight (group mode) lists batches applied to the in-memory graph
+	// whose durability is not yet confirmed, in sequence order (entries
+	// are added under writeMu at submission). After a failed group
+	// commit the log rolls back and these are the events that must be
+	// re-logged before any new ones.
+	inflightMu sync.Mutex
+	inflight   []pendingBatch
 
 	// mu guards the queryable state below for concurrent readers; the
 	// writer holds it only while applying events to memory.
@@ -53,14 +75,25 @@ type LiveGraph struct {
 	lastCkpt uint64
 }
 
+// pendingBatch is one applied-but-not-yet-durable span of the stream.
+type pendingBatch struct {
+	firstSeq uint64
+	events   []provgraph.Event
+}
+
 // DefaultCheckpointEvery is how many events a durable live graph ingests
 // between automatic checkpoints.
 const DefaultCheckpointEvery = 1 << 16
 
+// DefaultIngestQueueDepth is how many batches may sit between admission
+// and durability before new ones are shed with *OverloadedError.
+const DefaultIngestQueueDepth = 64
+
 // liveConfig collects LiveOption state.
 type liveConfig struct {
-	ckptEvery uint64
-	logOpts   []store.LogOption
+	ckptEvery  uint64
+	logOpts    []store.LogOption
+	queueDepth int
 }
 
 // LiveOption configures a durable live graph.
@@ -73,14 +106,38 @@ func WithCheckpointEvery(n uint64) LiveOption {
 }
 
 // WithLogOptions forwards options to the underlying write-ahead log
-// (segment size, fsync policy).
+// (segment size, fsync policy, group commit).
 func WithLogOptions(opts ...store.LogOption) LiveOption {
 	return func(c *liveConfig) { c.logOpts = append(c.logOpts, opts...) }
 }
 
+// WithIngestQueueDepth bounds the batches in flight between admission
+// and durability: past the bound, Append rejects with *OverloadedError
+// (HTTP 429) instead of growing memory without bound. 0 selects
+// DefaultIngestQueueDepth; negative disables admission control.
+func WithIngestQueueDepth(n int) LiveOption {
+	return func(c *liveConfig) { c.queueDepth = n }
+}
+
+// admissionGate builds the semaphore for a configured depth.
+func admissionGate(depth int) chan struct{} {
+	if depth == 0 {
+		depth = DefaultIngestQueueDepth
+	}
+	if depth < 0 {
+		return nil
+	}
+	return make(chan struct{}, depth)
+}
+
 // NewLiveGraph returns an empty in-memory live graph (no durability).
-func NewLiveGraph(name string) *LiveGraph {
-	l := &LiveGraph{name: name, g: provgraph.New()}
+// Log-related options are ignored; the ingest queue depth applies.
+func NewLiveGraph(name string, opts ...LiveOption) *LiveGraph {
+	cfg := liveConfig{}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	l := &LiveGraph{name: name, g: provgraph.New(), sem: admissionGate(cfg.queueDepth)}
 	l.ix = store.BuildIndex(l.g)
 	l.qp = &QueryProcessor{graph: l.g, index: &Index{data: l.ix}, zoomed: map[string]bool{}}
 	return l
@@ -97,7 +154,10 @@ func OpenLiveGraph(name, dir string, opts ...LiveOption) (*LiveGraph, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := &LiveGraph{name: name, log: log, ckptEvery: cfg.ckptEvery}
+	l := &LiveGraph{
+		name: name, log: log, group: log.GroupCommit(),
+		ckptEvery: cfg.ckptEvery, sem: admissionGate(cfg.queueDepth),
+	}
 	if rec.Snapshot != nil {
 		l.g = rec.Snapshot.Graph
 		l.ix = rec.Snapshot.Index
@@ -159,35 +219,121 @@ type IngestStatus struct {
 
 // Append ingests a batch whose first event carries sequence firstSeq.
 // Batches must arrive in order: overlap with already-applied sequences is
-// skipped (idempotent retries), a gap is rejected with *SeqGapError. For
-// durable graphs the applied suffix is WAL-logged (and fsynced, per the
-// log's policy) before Append returns; only the in-memory application
-// holds the read lock, so concurrent queries never wait on the disk.
+// skipped (idempotent retries), a gap is rejected with *SeqGapError, and
+// a full admission queue with *OverloadedError. For durable graphs the
+// applied suffix is WAL-logged (and fsynced, per the log's policy) before
+// Append returns; only the in-memory application holds the read lock, so
+// concurrent queries never wait on the disk.
 func (l *LiveGraph) Append(firstSeq uint64, events []provgraph.Event) (IngestStatus, error) {
+	return l.AppendAsync(firstSeq, events).Wait()
+}
+
+// PendingAppend is a staged ingest batch: admitted, validated, applied to
+// the in-memory graph, and (durable graphs) enqueued for group commit.
+// Wait must be called exactly once; until then the batch holds its
+// admission slot.
+type PendingAppend struct {
+	l        *LiveGraph
+	st       IngestStatus
+	err      error // admission/validation/durability error
+	applyErr error
+	commit   *store.Commit
+	slot     bool
+}
+
+// AppendAsync runs the ingest pipeline's staging half — admission,
+// sequence validation (dup-skip / gap), in-memory application, and WAL
+// submission — and returns without waiting for durability. WAL record
+// encoding happens before any lock is taken, and the fsync wait happens
+// in Wait, outside writeMu: while one batch's flush is in flight the
+// next requests stage and enqueue, so one group commit absorbs them all.
+// For in-memory and serial-WAL graphs the returned handle is already
+// resolved (those paths stay synchronous).
+func (l *LiveGraph) AppendAsync(firstSeq uint64, events []provgraph.Event) *PendingAppend {
+	p := &PendingAppend{l: l}
+	// Admission: shed load instead of queueing without bound.
+	if l.sem != nil {
+		select {
+		case l.sem <- struct{}{}:
+			p.slot = true
+			// CAS max: a concurrent lower observation must not overwrite a
+			// higher watermark.
+			for hw := int64(len(l.sem)); ; {
+				cur := l.queueHW.Load()
+				if hw <= cur || l.queueHW.CompareAndSwap(cur, hw) {
+					break
+				}
+			}
+		default:
+			statIngestOverloads.Add(1)
+			p.st.Seq = l.Seq()
+			p.err = &OverloadedError{Name: l.name, Depth: cap(l.sem)}
+			return p
+		}
+	}
+	// Encode WAL records outside every lock (group mode): concurrent
+	// requests encode in parallel with each other and with the committer.
+	var recs *store.Records
+	if l.group {
+		r, err := store.EncodeRecords(events)
+		if err != nil {
+			p.err = err
+			return p
+		}
+		recs = r
+	}
 	l.writeMu.Lock()
-	defer l.writeMu.Unlock()
+	// Re-log anything a failed commit left undurable before accepting new
+	// events, so WAL positions stay aligned with stream sequences.
+	if err := l.flushPendingLocked(); err != nil {
+		l.writeMu.Unlock()
+		if recs != nil {
+			recs.Recycle()
+		}
+		p.st.Seq, p.err = l.Seq(), err
+		return p
+	}
 	// seq only changes under writeMu, so this read needs no mu.
 	expected := l.seq + 1
 	if firstSeq > expected {
-		return IngestStatus{Seq: l.seq}, &SeqGapError{Name: l.name, Expected: expected, Got: firstSeq}
+		seq := l.seq
+		l.writeMu.Unlock()
+		if recs != nil {
+			recs.Recycle()
+		}
+		p.st.Seq = seq
+		p.err = &SeqGapError{Name: l.name, Expected: expected, Got: firstSeq}
+		return p
 	}
 	skip := int(expected - firstSeq)
 	if skip >= len(events) {
-		// A fully duplicate batch is a retry of events we may not have
-		// made durable yet (a prior WAL failure leaves them in pending);
-		// the acknowledgement below promises durability, so earn it.
-		if err := l.flushPending(); err != nil {
-			return IngestStatus{Seq: l.seq, Duplicates: len(events)}, err
+		// A fully duplicate batch is a retry of events that may not be
+		// durable yet; the acknowledgement promises durability, so earn
+		// it — serial mode flushed pending above, group mode orders a
+		// barrier behind every queued commit.
+		p.st = IngestStatus{Seq: l.seq, Duplicates: len(events)}
+		if l.group && l.log != nil {
+			if c, err := l.log.Barrier(); err != nil {
+				p.err = err
+			} else {
+				p.commit = c
+			}
 		}
-		return IngestStatus{Seq: l.seq, Duplicates: len(events)}, nil
+		l.writeMu.Unlock()
+		if recs != nil {
+			recs.Recycle()
+		}
+		return p
 	}
 	fresh := events[skip:]
+	if recs != nil {
+		recs.Skip(skip)
+	}
 	applied := 0
-	var applyErr error
 	l.mu.Lock()
 	for i := range fresh {
-		if applyErr = l.applyLocked(fresh[i]); applyErr != nil {
-			applyErr = fmt.Errorf("lipstick: ingest event %d of %s: %w", l.seq+uint64(applied)+1, l.name, applyErr)
+		if err := l.applyLocked(fresh[i]); err != nil {
+			p.applyErr = fmt.Errorf("lipstick: ingest event %d of %s: %w", l.seq+uint64(applied)+1, l.name, err)
 			break
 		}
 		applied++
@@ -199,32 +345,90 @@ func (l *LiveGraph) Append(firstSeq uint64, events []provgraph.Event) (IngestSta
 	// the stream position forever.
 	statIngestBatches.Add(1)
 	statIngestEvents.Add(int64(applied))
-	if applied > 0 && l.log != nil {
-		l.pending = append(l.pending, fresh[:applied]...)
-	}
-	if err := l.flushPending(); err != nil {
-		// The in-memory graph is ahead of the log; the unlogged suffix
-		// stays in pending and is retried before any later events are
-		// logged. Surface the durability failure to the sender.
-		return IngestStatus{Seq: l.seq, Applied: applied, Duplicates: skip}, err
-	}
-	st := IngestStatus{Seq: l.seq, Applied: applied, Duplicates: skip}
-	if applyErr != nil {
-		return st, applyErr
-	}
-	if l.log != nil && l.ckptEvery > 0 && l.seq-l.lastCkpt >= l.ckptEvery {
-		if err := l.checkpointHeld(); err != nil {
-			return st, err
+	p.st = IngestStatus{Seq: l.seq, Applied: applied, Duplicates: skip}
+	if l.log != nil && applied > 0 {
+		if l.group {
+			recs.Truncate(applied)
+			l.inflightMu.Lock()
+			l.inflight = append(l.inflight, pendingBatch{firstSeq: expected, events: fresh[:applied]})
+			l.inflightMu.Unlock()
+			c, err := l.log.AppendRecords(recs)
+			recs = nil // ownership transferred (recycled by the log)
+			if err != nil {
+				// Submission refused (failed/closed log): the events stay
+				// in inflight for the next flush; surface the failure.
+				p.err = err
+			} else {
+				p.commit = c
+			}
+		} else {
+			l.pending = append(l.pending, fresh[:applied]...)
+			if err := l.flushPending(); err != nil {
+				p.err = err
+			}
 		}
 	}
-	return st, nil
+	if p.err == nil && p.applyErr == nil &&
+		l.log != nil && l.ckptEvery > 0 && l.seq-l.lastCkpt >= l.ckptEvery {
+		// The checkpoint op queues behind this batch's commit, so it
+		// covers exactly the events applied so far; writeMu is held
+		// throughout, keeping the graph stable for serialization.
+		if err := l.checkpointHeld(); err != nil {
+			p.err = err
+		}
+	}
+	l.writeMu.Unlock()
+	if recs != nil {
+		recs.Recycle()
+	}
+	return p
 }
 
-// flushPending (writeMu held) writes the applied-but-unlogged events to
-// the WAL. store.Log.Append is all-or-nothing (a failed append rolls the
-// log back to its pre-batch state), so pending either drains completely
-// or stays queued for the next attempt — positions in the log and stream
-// sequences stay aligned across failures.
+// Wait blocks until the staged batch is durable (write + fsync per the
+// log's policy) and returns the ingest outcome, releasing the admission
+// slot. Durability failures take precedence over mid-batch apply errors,
+// matching the synchronous Append contract.
+func (p *PendingAppend) Wait() (IngestStatus, error) {
+	if p.commit != nil {
+		werr := p.commit.Wait()
+		p.commit = nil
+		if werr == nil {
+			p.l.pruneInflight()
+		} else if p.err == nil {
+			p.err = fmt.Errorf("lipstick: logging ingest batch of %s: %w", p.l.name, werr)
+		}
+	}
+	if p.slot {
+		p.slot = false
+		<-p.l.sem
+	}
+	if p.err != nil {
+		return p.st, p.err
+	}
+	return p.st, p.applyErr
+}
+
+// pruneInflight drops inflight entries the log has made durable.
+func (l *LiveGraph) pruneInflight() {
+	durable := l.log.LastSeq()
+	l.inflightMu.Lock()
+	i := 0
+	for i < len(l.inflight) {
+		b := l.inflight[i]
+		if b.firstSeq+uint64(len(b.events))-1 > durable {
+			break
+		}
+		i++
+	}
+	l.inflight = l.inflight[i:]
+	l.inflightMu.Unlock()
+}
+
+// flushPending (writeMu held, serial mode) writes the applied-but-
+// unlogged events to the WAL. store.Log.Append is all-or-nothing (a
+// failed append rolls the log back to its pre-batch state), so pending
+// either drains completely or stays queued for the next attempt —
+// positions in the log and stream sequences stay aligned across failures.
 func (l *LiveGraph) flushPending() error {
 	if l.log == nil || len(l.pending) == 0 {
 		return nil
@@ -233,6 +437,58 @@ func (l *LiveGraph) flushPending() error {
 		return err
 	}
 	l.pending = nil
+	return nil
+}
+
+// flushPendingLocked (writeMu held) restores the durable log to the
+// stream's position: serial mode drains pending; group mode, after a
+// failed group commit rolled the log back, re-logs the inflight suffix
+// (inserted in order at submission, so the backlog is always contiguous)
+// and clears the log's sticky failure.
+func (l *LiveGraph) flushPendingLocked() error {
+	if l.log == nil {
+		return nil
+	}
+	if !l.group {
+		return l.flushPending()
+	}
+	ferr := l.log.Failed()
+	if ferr == nil {
+		return nil
+	}
+	durable := l.log.LastSeq()
+	need := durable + 1
+	var events []provgraph.Event
+	l.inflightMu.Lock()
+	for _, b := range l.inflight {
+		last := b.firstSeq + uint64(len(b.events)) - 1
+		if last < need {
+			continue // already durable before the failure
+		}
+		if b.firstSeq > need {
+			l.inflightMu.Unlock()
+			return fmt.Errorf("lipstick: durability backlog of %s has a hole at sequence %d: %w", l.name, need, ferr)
+		}
+		events = append(events, b.events[need-b.firstSeq:]...)
+		need = last + 1
+	}
+	l.inflightMu.Unlock()
+	l.log.ResetFailed()
+	if len(events) == 0 {
+		return nil
+	}
+	recs, err := store.EncodeRecords(events)
+	if err != nil {
+		return err
+	}
+	c, err := l.log.AppendRecords(recs)
+	if err != nil {
+		return err
+	}
+	if err := c.Wait(); err != nil {
+		return fmt.Errorf("lipstick: re-logging %d events of %s: %w", len(events), l.name, err)
+	}
+	l.pruneInflight()
 	return nil
 }
 
@@ -320,8 +576,10 @@ func (l *LiveGraph) Checkpoint() error {
 func (l *LiveGraph) checkpointHeld() error {
 	// The checkpoint is named by the log's own sequence; events the log
 	// has not absorbed yet must land there first or the snapshot would
-	// contain events past the recorded checkpoint sequence.
-	if err := l.flushPending(); err != nil {
+	// contain events past the recorded checkpoint sequence. (In group
+	// mode healthy queued commits need no flush — the checkpoint op
+	// queues behind them and covers them.)
+	if err := l.flushPendingLocked(); err != nil {
 		return fmt.Errorf("lipstick: checkpoint of %s: flushing unlogged events: %w", l.name, err)
 	}
 	if err := l.log.Checkpoint(&store.Snapshot{Graph: l.g}); err != nil {
@@ -348,11 +606,35 @@ func (l *LiveGraph) Close() error {
 	if l.log == nil {
 		return nil
 	}
-	if err := l.flushPending(); err != nil {
+	if err := l.flushPendingLocked(); err != nil {
 		l.log.Close()
 		return err
 	}
 	return l.log.Close()
+}
+
+// PipelineStats are the ingest pipeline's operational counters: how many
+// coalesced group commits the WAL performed, how many batches they
+// absorbed (Batches/Commits is the fsync amortization factor), the
+// admission queue's configured depth, and the deepest it has been.
+type PipelineStats struct {
+	GroupCommits   int64 `json:"groupCommits"`
+	GroupBatches   int64 `json:"groupBatches"`
+	QueueDepth     int   `json:"queueDepth"`
+	QueueHighWater int64 `json:"queueHighWater"`
+}
+
+// PipelineStats snapshots the graph's ingest pipeline counters.
+func (l *LiveGraph) PipelineStats() PipelineStats {
+	ps := PipelineStats{QueueHighWater: l.queueHW.Load()}
+	if l.sem != nil {
+		ps.QueueDepth = cap(l.sem)
+	}
+	if l.log != nil {
+		gs := l.log.GroupStats()
+		ps.GroupCommits, ps.GroupBatches = gs.Commits, gs.Batches
+	}
+	return ps
 }
 
 // LiveInfo summarizes a live graph for listings and metrics.

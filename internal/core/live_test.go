@@ -176,57 +176,78 @@ func TestLiveGraphDuplicateAndGapBatches(t *testing.T) {
 	}
 }
 
-func TestLiveGraphCrashRecovery(t *testing.T) {
-	dir := t.TempDir()
-	batch, events := captureDealership(t, 120, 3)
-	mid := len(events) / 2
-
-	lg, err := OpenLiveGraph("d", dir, WithLogOptions(store.WithSegmentLimit(64<<10), store.WithFsync(false)))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := lg.Append(1, events[:mid]); err != nil {
-		t.Fatal(err)
-	}
-	if err := lg.Checkpoint(); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := lg.Append(uint64(mid)+1, events[mid:]); err != nil {
-		t.Fatal(err)
-	}
-	// Simulated kill: the process dies without Close. (Appends flush per
-	// batch, so the on-disk log is complete.)
-	lg = nil
-
-	restored, err := OpenLiveGraph("d", dir)
-	if err != nil {
-		t.Fatalf("recovery: %v", err)
-	}
-	if restored.Seq() != uint64(len(events)) {
-		t.Fatalf("recovered seq %d, want %d (lost or duplicated events)", restored.Seq(), len(events))
-	}
-	if restored.CheckpointSeq() != uint64(mid) {
-		t.Fatalf("checkpoint seq %d, want %d", restored.CheckpointSeq(), mid)
-	}
-	if err := restored.Read(func(qp *QueryProcessor) error {
-		if !batch.StructurallyEqual(qp.Graph()) {
-			t.Fatal("recovered graph differs from batch build")
-		}
-		return nil
-	}); err != nil {
-		t.Fatal(err)
-	}
-	// A client retry of the final batch after restart must dedupe.
-	st, err := restored.Append(uint64(mid)+1, events[mid:])
-	if err != nil || st.Applied != 0 {
-		t.Fatalf("post-recovery retry applied %d events (err %v)", st.Applied, err)
+// commitModes runs a durable-graph test under both WAL disciplines:
+// fsync-per-append (serial) and group commit. Recovery semantics must be
+// identical — the on-disk format is shared.
+func commitModes(t *testing.T, fn func(t *testing.T, opts []LiveOption)) {
+	t.Helper()
+	for name, logOpts := range map[string][]store.LogOption{
+		"serial": nil,
+		"group":  {store.WithGroupCommit(0, 0)},
+	} {
+		t.Run(name, func(t *testing.T) {
+			fn(t, []LiveOption{WithLogOptions(append(logOpts, store.WithFsync(false))...)})
+		})
 	}
 }
 
+func TestLiveGraphCrashRecovery(t *testing.T) {
+	batch, events := captureDealership(t, 120, 3)
+	commitModes(t, func(t *testing.T, opts []LiveOption) {
+		dir := t.TempDir()
+		mid := len(events) / 2
+
+		lg, err := OpenLiveGraph("d", dir, append(opts, WithLogOptions(store.WithSegmentLimit(64<<10)))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := lg.Append(1, events[:mid]); err != nil {
+			t.Fatal(err)
+		}
+		if err := lg.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := lg.Append(uint64(mid)+1, events[mid:]); err != nil {
+			t.Fatal(err)
+		}
+		// Simulated kill: the process dies without Close. (Commits flush
+		// per batch, so the on-disk log is complete.)
+		lg = nil
+
+		restored, err := OpenLiveGraph("d", dir)
+		if err != nil {
+			t.Fatalf("recovery: %v", err)
+		}
+		if restored.Seq() != uint64(len(events)) {
+			t.Fatalf("recovered seq %d, want %d (lost or duplicated events)", restored.Seq(), len(events))
+		}
+		if restored.CheckpointSeq() != uint64(mid) {
+			t.Fatalf("checkpoint seq %d, want %d", restored.CheckpointSeq(), mid)
+		}
+		if err := restored.Read(func(qp *QueryProcessor) error {
+			if !batch.StructurallyEqual(qp.Graph()) {
+				t.Fatal("recovered graph differs from batch build")
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// A client retry of the final batch after restart must dedupe.
+		st, err := restored.Append(uint64(mid)+1, events[mid:])
+		if err != nil || st.Applied != 0 {
+			t.Fatalf("post-recovery retry applied %d events (err %v)", st.Applied, err)
+		}
+	})
+}
+
 func TestLiveGraphTornTailRecovery(t *testing.T) {
-	dir := t.TempDir()
 	batch, events := captureDealership(t, 60, 2)
-	lg, err := OpenLiveGraph("d", dir, WithLogOptions(store.WithFsync(false)))
+	commitModes(t, func(t *testing.T, opts []LiveOption) { testTornTailRecovery(t, opts, batch, events) })
+}
+
+func testTornTailRecovery(t *testing.T, opts []LiveOption, batch *provgraph.Graph, events []provgraph.Event) {
+	dir := t.TempDir()
+	lg, err := OpenLiveGraph("d", dir, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -482,29 +503,84 @@ func BenchmarkLiveIngest(b *testing.B) {
 	b.ReportMetric(float64(len(events)*b.N)/b.Elapsed().Seconds(), "events/s")
 }
 
+// BenchmarkLiveIngestDurable measures durable ingest throughput under the
+// three WAL disciplines — fsync-per-append (the pre-group-commit
+// production discipline), fsync disabled (the log path without the disk
+// flush), and group commit with fsync ON — each with a single pipelined
+// writer and with 4 concurrent writers streaming one ordered stream
+// (claim + submit serialized, durability waits overlapping, as a
+// multi-connection sender would). The headline comparison is
+// group/w4 vs fsync/w4: how much durable throughput group commit
+// recovers once concurrent batches share each disk flush.
 func BenchmarkLiveIngestDurable(b *testing.B) {
 	_, events := captureDealership(b, benchCars, benchExecs)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		lg, err := OpenLiveGraph("b", b.TempDir(), WithLogOptions(store.WithFsync(false)))
-		if err != nil {
-			b.Fatal(err)
-		}
-		seq := uint64(1)
-		const chunk = 512
-		for j := 0; j < len(events); j += chunk {
-			end := j + chunk
-			if end > len(events) {
-				end = len(events)
-			}
-			if _, err := lg.Append(seq, events[j:end]); err != nil {
+	const chunk = 256
+	const window = 4 // outstanding batches per writer
+	run := func(b *testing.B, opts []LiveOption, writers int) {
+		for i := 0; i < b.N; i++ {
+			lg, err := OpenLiveGraph("b", b.TempDir(), opts...)
+			if err != nil {
 				b.Fatal(err)
 			}
-			seq += uint64(end - j)
+			var submitMu sync.Mutex
+			next := uint64(1)
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					var outstanding []*PendingAppend
+					for {
+						submitMu.Lock()
+						if next > uint64(len(events)) {
+							submitMu.Unlock()
+							break
+						}
+						first := next
+						end := first + chunk - 1
+						if end > uint64(len(events)) {
+							end = uint64(len(events))
+						}
+						next = end + 1
+						p := lg.AppendAsync(first, events[first-1:end])
+						submitMu.Unlock()
+						outstanding = append(outstanding, p)
+						if len(outstanding) >= window {
+							if _, err := outstanding[0].Wait(); err != nil {
+								b.Error(err)
+								return
+							}
+							outstanding = outstanding[1:]
+						}
+					}
+					for _, p := range outstanding {
+						if _, err := p.Wait(); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			lg.Close()
 		}
-		lg.Close()
+		b.ReportMetric(float64(len(events)*b.N)/b.Elapsed().Seconds(), "events/s")
 	}
-	b.ReportMetric(float64(len(events)*b.N)/b.Elapsed().Seconds(), "events/s")
+	modes := []struct {
+		name string
+		opts []LiveOption
+	}{
+		{"fsync", nil},
+		{"nofsync", []LiveOption{WithLogOptions(store.WithFsync(false))}},
+		{"group", []LiveOption{WithLogOptions(store.WithGroupCommit(-1, 0))}},
+	}
+	for _, m := range modes {
+		for _, writers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/w%d", m.name, writers), func(b *testing.B) {
+				run(b, m.opts, writers)
+			})
+		}
+	}
 }
 
 func BenchmarkLiveFindMidIngest(b *testing.B) {
@@ -548,4 +624,146 @@ func BenchmarkLiveFindMidIngest(b *testing.B) {
 	b.StopTimer()
 	close(stop)
 	wg.Wait()
+}
+
+func TestLiveGraphGroupCommitPipelinedMatchesBatch(t *testing.T) {
+	// Four writers pipeline ordered batches of one stream through
+	// AppendAsync (claim + submit under a shared lock, durability waits
+	// overlapping) into a group-committed WAL. The result must be
+	// indistinguishable from the batch build, and recovery must see every
+	// event exactly once.
+	batch, events := captureDealership(t, 120, 3)
+	dir := t.TempDir()
+	lg, err := OpenLiveGraph("d", dir, WithLogOptions(store.WithGroupCommit(0, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunk = 64
+	var submitMu sync.Mutex
+	next := uint64(1)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				submitMu.Lock()
+				if next > uint64(len(events)) {
+					submitMu.Unlock()
+					return
+				}
+				first := next
+				end := first + chunk - 1
+				if end > uint64(len(events)) {
+					end = uint64(len(events))
+				}
+				next = end + 1
+				p := lg.AppendAsync(first, events[first-1:end])
+				submitMu.Unlock()
+				if st, err := p.Wait(); err != nil {
+					t.Errorf("batch at %d: %v (status %+v)", first, err, st)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if lg.Seq() != uint64(len(events)) {
+		t.Fatalf("seq = %d, want %d", lg.Seq(), len(events))
+	}
+	ps := lg.PipelineStats()
+	if ps.GroupCommits < 1 || ps.GroupBatches < ps.GroupCommits {
+		t.Fatalf("pipeline stats: %+v", ps)
+	}
+	if err := lg.Read(func(qp *QueryProcessor) error {
+		if !batch.StructurallyEqual(qp.Graph()) {
+			t.Fatal("pipelined ingest differs from batch build")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := OpenLiveGraph("d", dir)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	if restored.Seq() != uint64(len(events)) {
+		t.Fatalf("recovered seq %d, want %d", restored.Seq(), len(events))
+	}
+	if err := restored.Read(func(qp *QueryProcessor) error {
+		if !batch.StructurallyEqual(qp.Graph()) {
+			t.Fatal("recovered group-committed graph differs from batch build")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiveGraphGroupCommitDuplicateAndGap(t *testing.T) {
+	// The idempotence contract (dup-skip, gap rejection) holds unchanged
+	// under group commit, including the durable ack of a full duplicate.
+	_, events := captureDealership(t, 60, 2)
+	lg, err := OpenLiveGraph("d", t.TempDir(), WithLogOptions(store.WithGroupCommit(0, 0), store.WithFsync(false)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg.Close()
+	if _, err := lg.Append(1, events[:50]); err != nil {
+		t.Fatal(err)
+	}
+	st, err := lg.Append(21, events[20:80])
+	if err != nil || st.Duplicates != 30 || st.Applied != 30 || st.Seq != 80 {
+		t.Fatalf("overlapping retry: %+v err %v", st, err)
+	}
+	st, err = lg.Append(1, events[:80])
+	if err != nil || st.Applied != 0 || st.Duplicates != 80 {
+		t.Fatalf("full duplicate: %+v err %v", st, err)
+	}
+	if lg.Seq() != 80 || lg.log.LastSeq() != 80 {
+		t.Fatalf("graph at %d, log at %d, want 80/80", lg.Seq(), lg.log.LastSeq())
+	}
+	if _, err := lg.Append(100, events[99:]); err == nil {
+		t.Fatal("gap accepted")
+	} else if _, ok := err.(*SeqGapError); !ok {
+		t.Fatalf("gap error type %T", err)
+	}
+}
+
+func TestLiveGraphAdmissionOverload(t *testing.T) {
+	// A full admission queue rejects deterministically with
+	// *OverloadedError; draining a slot re-admits.
+	_, events := captureDealership(t, 60, 2)
+	lg := NewLiveGraph("t", WithIngestQueueDepth(1))
+	p := lg.AppendAsync(1, events[:10]) // holds the only slot until Wait
+	if p.err != nil {
+		t.Fatalf("first append rejected: %v", p.err)
+	}
+	if _, err := lg.Append(11, events[10:20]); err == nil {
+		t.Fatal("overload accepted")
+	} else {
+		over, ok := err.(*OverloadedError)
+		if !ok || over.Name != "t" || over.Depth != 1 {
+			t.Fatalf("overload error = %v", err)
+		}
+	}
+	if _, err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := lg.Append(11, events[10:20]); err != nil || st.Seq != 20 {
+		t.Fatalf("post-drain append: %+v err %v", st, err)
+	}
+	ps := lg.PipelineStats()
+	if ps.QueueDepth != 1 || ps.QueueHighWater != 1 {
+		t.Fatalf("pipeline stats: %+v", ps)
+	}
 }

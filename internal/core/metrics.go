@@ -17,6 +17,7 @@ var (
 	statSessionsExpired = expvar.NewInt("lipstick_sessions_expired")
 	statIngestBatches   = expvar.NewInt("lipstick_ingest_batches")
 	statIngestEvents    = expvar.NewInt("lipstick_ingest_events")
+	statIngestOverloads = expvar.NewInt("lipstick_ingest_overloads")
 )
 
 // Counters is a point-in-time snapshot of the process-wide counters.
@@ -29,6 +30,9 @@ type Counters struct {
 	SessionsExpired     int64
 	IngestBatches       int64
 	IngestEvents        int64
+	// IngestOverloads counts batches shed by admission control (the
+	// serving layer's 429s).
+	IngestOverloads int64
 }
 
 // ReadCounters snapshots the expvar-backed counters.
@@ -42,5 +46,6 @@ func ReadCounters() Counters {
 		SessionsExpired:     statSessionsExpired.Value(),
 		IngestBatches:       statIngestBatches.Value(),
 		IngestEvents:        statIngestEvents.Value(),
+		IngestOverloads:     statIngestOverloads.Value(),
 	}
 }

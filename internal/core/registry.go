@@ -232,7 +232,7 @@ func (r *Registry) OpenLive(name string) (*LiveGraph, error) {
 		return nil, &NameError{Name: name, Reason: "already registered for a static snapshot"}
 	}
 	if r.liveDir == "" {
-		lg := NewLiveGraph(name)
+		lg := NewLiveGraph(name, r.liveOpts...)
 		r.live[name] = lg
 		r.mu.Unlock()
 		return lg, nil

@@ -3,10 +3,33 @@ package provgraph
 import (
 	"math"
 	"strconv"
+	"sync"
 
 	"lipstick/internal/nested"
 	"lipstick/internal/semiring"
 )
+
+// delScratch is pooled working memory for deletion propagation. The
+// arrays are reused dirty: the setup pass assigns indeg/hadIn for every
+// live node before any read, and dead nodes are never consulted, so no
+// zeroing is needed between runs.
+type delScratch struct {
+	indeg []int32
+	hadIn []bool
+	queue []NodeID
+}
+
+var delPool = sync.Pool{New: func() any { return new(delScratch) }}
+
+func getDelScratch(total int) *delScratch {
+	s := delPool.Get().(*delScratch)
+	if len(s.indeg) < total {
+		s.indeg = make([]int32, total)
+		s.hadIn = make([]bool, total)
+	}
+	s.queue = s.queue[:0]
+	return s
+}
 
 // DeletionResult reports which nodes a deletion propagation removed.
 type DeletionResult struct {
@@ -40,38 +63,41 @@ func (o *Overlay) PropagateDeletion(ids ...NodeID) *DeletionResult {
 func propagateDeletionOf(v view, ids ...NodeID) *DeletionResult {
 	res := &DeletionResult{removed: make(map[NodeID]bool)}
 	total := v.TotalNodes()
-	// remaining in-degree per node, counting only live edges.
-	indeg := make([]int32, total)
-	hadIn := make([]bool, total)
+	s := getDelScratch(total)
+	defer delPool.Put(s)
+	// remaining in-degree per node, counting only live edges. One hoisted
+	// closure serves every node — a per-node closure would allocate twice
+	// per node slot.
+	indeg, hadIn := s.indeg, s.hadIn
+	var d int32
+	countLive := func(src NodeID) bool {
+		if v.Alive(src) {
+			d++
+		}
+		return true
+	}
 	for id := 0; id < total; id++ {
 		if !v.Alive(NodeID(id)) {
 			continue
 		}
-		d := int32(0)
-		v.eachInRaw(NodeID(id), func(src NodeID) bool {
-			if v.Alive(src) {
-				d++
-			}
-			return true
-		})
+		d = 0
+		v.eachInRaw(NodeID(id), countLive)
 		indeg[id] = d
 		hadIn[id] = d > 0
 	}
-	var queue []NodeID
 	remove := func(id NodeID) {
 		if res.removed[id] || !v.Alive(id) {
 			return
 		}
 		res.removed[id] = true
 		res.Removed = append(res.Removed, id)
-		queue = append(queue, id)
+		s.queue = append(s.queue, id)
 	}
 	for _, id := range ids {
 		remove(id)
 	}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(s.queue); head++ {
+		cur := s.queue[head]
 		v.eachOutRaw(cur, func(dst NodeID) bool {
 			if !v.Alive(dst) || res.removed[dst] {
 				return true

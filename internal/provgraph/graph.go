@@ -339,8 +339,18 @@ func (g *Graph) liveNeighbors(adj []NodeID) []NodeID {
 	if g.dead == 0 {
 		return adj
 	}
-	live := make([]NodeID, 0, len(adj))
-	for _, n := range adj {
+	// Even on a kill-heavy graph most adjacency lists contain no dead
+	// endpoint; scan first and copy only from the first dead neighbor.
+	i := 0
+	for i < len(adj) && g.alive[adj[i]] {
+		i++
+	}
+	if i == len(adj) {
+		return adj
+	}
+	live := make([]NodeID, i, len(adj)-1)
+	copy(live, adj[:i])
+	for _, n := range adj[i+1:] {
 		if g.alive[n] {
 			live = append(live, n)
 		}

@@ -84,3 +84,76 @@ func TestOutNoDeletionsDoesNotAllocate(t *testing.T) {
 		t.Fatalf("Out with g.dead == 0 allocated %.1f times per call, want 0", allocs)
 	}
 }
+
+// BenchmarkOutKillHeavy pins the liveNeighbors fast path on kill-heavy
+// graphs: when the graph carries many dead nodes but the queried node's
+// adjacency has no dead endpoint, Out must return the original slice
+// (zero allocations) instead of copying; only an adjacency that really
+// contains a dead neighbor pays for a filtered copy.
+func BenchmarkOutKillHeavy(b *testing.B) {
+	build := func() (*Graph, NodeID, NodeID) {
+		g := New()
+		center := g.AddNode(Node{Class: ClassP, Type: TypeOp, Op: OpPlus})
+		for i := 0; i < 8; i++ {
+			n := g.AddNode(Node{Class: ClassP, Type: TypeOp, Op: OpPlus})
+			g.AddEdge(center, n)
+		}
+		mixed := g.AddNode(Node{Class: ClassP, Type: TypeOp, Op: OpPlus})
+		var victim NodeID
+		for i := 0; i < 8; i++ {
+			n := g.AddNode(Node{Class: ClassP, Type: TypeOp, Op: OpPlus})
+			g.AddEdge(mixed, n)
+			if i == 3 {
+				victim = n
+			}
+		}
+		// Kill a large dead population elsewhere plus one of mixed's
+		// neighbors, so g.dead > 0 on every Out call.
+		for i := 0; i < 1000; i++ {
+			g.kill(g.AddNode(Node{Class: ClassP, Type: TypeOp, Op: OpPlus}))
+		}
+		g.kill(victim)
+		return g, center, mixed
+	}
+	g, center, mixed := build()
+	b.Run("all-neighbors-live", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if len(g.Out(center)) != 8 {
+				b.Fatal("wrong fan-out")
+			}
+		}
+	})
+	b.Run("one-dead-neighbor", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if len(g.Out(mixed)) != 7 {
+				b.Fatal("wrong fan-out")
+			}
+		}
+	})
+}
+
+// TestOutKillHeavyFastPath asserts the fast path's allocation contract
+// directly: no copy when the adjacency is clean, a filtered copy when a
+// neighbor is dead.
+func TestOutKillHeavyFastPath(t *testing.T) {
+	g, ids := neighborGraph()
+	a, d := ids[0], ids[3]
+	g.kill(ids[4]) // e: dead population elsewhere, not a's neighbor
+	if g.dead == 0 {
+		t.Fatal("setup: no dead nodes")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if len(g.Out(a)) != 3 {
+			t.Fatal("wrong fan-out")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Out with a clean adjacency on a kill-heavy graph allocated %.1f times, want 0", allocs)
+	}
+	g.kill(d)
+	if got := g.Out(a); !idsEqual(got, []NodeID{ids[1], ids[2]}) {
+		t.Fatalf("Out(a) = %v after killing d", got)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package provgraph
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package provgraph
+
+// raceEnabled reports a -race build: sync.Pool drops Puts randomly under
+// the race detector, so pooled-scratch allocation profiles are not
+// representative there.
+const raceEnabled = true

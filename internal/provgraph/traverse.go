@@ -1,8 +1,54 @@
 package provgraph
 
+import "sync"
+
 // The traversal queries are implemented once, generically over the view
 // primitives, so a copy-on-write Overlay answers them identically to a
 // materialized Graph (see view.go).
+
+// visitScratch is pooled per-traversal working memory: an epoch-stamped
+// visited set (mark[id] == epoch means visited this traversal — bumping
+// the epoch resets the whole set without touching memory) and a reusable
+// BFS queue. Pooling keeps BFS-shaped queries (ancestors, descendants,
+// subgraph, deletion propagation) from allocating O(graph) scratch per
+// call; allocations scale with the result set only. The pool, not the
+// view, owns the scratch: concurrent readers traverse the same graph
+// under a shared read lock, so per-view scratch would race.
+type visitScratch struct {
+	epoch uint32
+	mark  []uint32
+	queue []NodeID
+}
+
+var visitPool = sync.Pool{New: func() any { return new(visitScratch) }}
+
+// getVisit returns a scratch sized for total node slots with an empty
+// visited set and queue.
+func getVisit(total int) *visitScratch {
+	s := visitPool.Get().(*visitScratch)
+	if len(s.mark) < total {
+		s.mark = make([]uint32, total)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch == 0 { // wrapped: stale stamps could collide, wipe once
+		clear(s.mark)
+		s.epoch = 1
+	}
+	s.queue = s.queue[:0]
+	return s
+}
+
+func putVisit(s *visitScratch) { visitPool.Put(s) }
+
+// visit marks id, reporting whether it was unseen.
+func (s *visitScratch) visit(id NodeID) bool {
+	if s.mark[id] == s.epoch {
+		return false
+	}
+	s.mark[id] = s.epoch
+	return true
+}
 
 // Ancestors returns the set of live nodes from which id is reachable
 // (the data id depends on), excluding id itself.
@@ -27,20 +73,20 @@ func descendantsOf(v view, id NodeID) []NodeID {
 }
 
 // bfsOf walks the given adjacency from id, returning visited live nodes in
-// BFS order (excluding the start node).
+// BFS order (excluding the start node). Scratch comes from the pool, so
+// only the result slice is allocated.
 func bfsOf(v view, id NodeID, each func(view, NodeID, func(NodeID) bool)) []NodeID {
-	visited := make([]bool, v.TotalNodes())
-	visited[id] = true
-	queue := []NodeID{id}
+	s := getVisit(v.TotalNodes())
+	defer putVisit(s)
+	s.visit(id)
+	s.queue = append(s.queue, id)
 	var out []NodeID
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(s.queue); head++ {
+		cur := s.queue[head]
 		each(v, cur, func(next NodeID) bool {
-			if !visited[next] && v.Alive(next) {
-				visited[next] = true
+			if v.Alive(next) && s.visit(next) {
 				out = append(out, next)
-				queue = append(queue, next)
+				s.queue = append(s.queue, next)
 			}
 			return true
 		})

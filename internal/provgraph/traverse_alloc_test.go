@@ -1,0 +1,77 @@
+package provgraph
+
+import (
+	"runtime"
+	"testing"
+)
+
+// pairGraph builds n disconnected a -> b pairs, returning the graph and
+// the b-node of the first pair. Traversal results from b are tiny (one
+// ancestor) no matter how large the graph is, which is exactly the shape
+// where per-call O(graph) scratch allocation used to dominate.
+func pairGraph(n int) (*Graph, NodeID) {
+	g := New()
+	var firstB NodeID
+	for i := 0; i < n; i++ {
+		a := g.AddNode(Node{Class: ClassP, Type: TypeOp, Op: OpPlus})
+		b := g.AddNode(Node{Class: ClassP, Type: TypeOp, Op: OpPlus})
+		g.AddEdge(a, b)
+		if i == 0 {
+			firstB = b
+		}
+	}
+	return g, firstB
+}
+
+// bytesPerRun measures average heap bytes allocated per call to f.
+func bytesPerRun(runs int, f func()) uint64 {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return (after.TotalAlloc - before.TotalAlloc) / uint64(runs)
+}
+
+// TestTraversalAllocsDoNotScaleWithGraphSize pins the pooled-scratch
+// contract behind subgraph/lineage/dependency queries: BFS (Ancestors,
+// Subgraph) and deletion propagation (DependsOn) must not allocate
+// O(graph) visited/in-degree scratch per call, so a 40x larger graph
+// answers a constant-size query with the same allocation profile.
+func TestTraversalAllocsDoNotScaleWithGraphSize(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under the race detector; the allocation profile is not representative")
+	}
+	small, smallB := pairGraph(100)
+	big, bigB := pairGraph(4000)
+
+	queries := []struct {
+		name string
+		run  func(g *Graph, b NodeID)
+	}{
+		{"ancestors", func(g *Graph, b NodeID) { g.Ancestors(b) }},
+		{"subgraph", func(g *Graph, b NodeID) { g.Subgraph(b) }},
+		{"dependsOn", func(g *Graph, b NodeID) { g.DependsOn(b, b-1) }},
+	}
+	for _, q := range queries {
+		// Warm the pools so the first-use growth is not measured.
+		q.run(small, smallB)
+		q.run(big, bigB)
+
+		smallAllocs := testing.AllocsPerRun(200, func() { q.run(small, smallB) })
+		bigAllocs := testing.AllocsPerRun(200, func() { q.run(big, bigB) })
+		if bigAllocs > smallAllocs+1 {
+			t.Errorf("%s: allocations grew with graph size: %.1f at 200 slots vs %.1f at 8000", q.name, smallAllocs, bigAllocs)
+		}
+
+		bigBytes := bytesPerRun(1000, func() { q.run(big, bigB) })
+		// The pre-pool implementation allocated >= one byte per node slot
+		// per call (visited []bool, indeg []int32); 8000 slots must now
+		// cost a small constant.
+		if bigBytes > 2048 {
+			t.Errorf("%s: %d bytes/op on an 8000-slot graph — scratch is scaling with the graph again", q.name, bigBytes)
+		}
+	}
+}

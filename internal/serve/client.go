@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"sync"
@@ -17,35 +18,39 @@ import (
 // Ingest posts one event batch — sequences firstSeq..firstSeq+len-1 of a
 // stream — to a lipstick server's POST /v1/ingest/{name} endpoint and
 // returns the stream's resulting sequence. Most callers want the stateful
-// IngestClient, which numbers and batches events automatically.
+// IngestClient, which numbers and batches events automatically and
+// retries overload rejections.
 func Ingest(serverURL, name string, firstSeq uint64, events []provgraph.Event) (seq uint64, err error) {
-	return ingest(http.DefaultClient, serverURL, name, firstSeq, events)
+	seq, _, err = ingest(http.DefaultClient, serverURL, name, firstSeq, events)
+	return seq, err
 }
 
-func ingest(c *http.Client, serverURL, name string, firstSeq uint64, events []provgraph.Event) (uint64, error) {
+// ingest sends one batch and reports the HTTP status alongside the error,
+// so callers can tell retryable rejections (429/503) from fatal ones.
+func ingest(c *http.Client, serverURL, name string, firstSeq uint64, events []provgraph.Event) (uint64, int, error) {
 	var body bytes.Buffer
 	if err := store.EncodeEventBatch(&body, firstSeq, events); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	u := fmt.Sprintf("%s/v1/ingest/%s", serverURL, url.PathEscape(name))
 	resp, err := c.Post(u, "application/octet-stream", &body)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer resp.Body.Close()
 	payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	if err != nil {
-		return 0, err
+		return 0, resp.StatusCode, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("lipstick: ingest %s: server returned %s: %s",
+		return 0, resp.StatusCode, fmt.Errorf("lipstick: ingest %s: server returned %s: %s",
 			name, resp.Status, bytes.TrimSpace(payload))
 	}
 	var res IngestResult
 	if err := json.Unmarshal(payload, &res); err != nil {
-		return 0, fmt.Errorf("lipstick: ingest %s: decoding response: %w", name, err)
+		return 0, resp.StatusCode, fmt.Errorf("lipstick: ingest %s: decoding response: %w", name, err)
 	}
-	return res.Seq, nil
+	return res.Seq, resp.StatusCode, nil
 }
 
 // DefaultIngestBatch is the IngestClient's flush threshold in events.
@@ -63,6 +68,14 @@ type IngestClient struct {
 	// HTTPClient overrides http.DefaultClient (with its zero timeout) for
 	// transport control.
 	HTTPClient *http.Client
+	// MaxRetries bounds how often one batch is retried after a retryable
+	// rejection (HTTP 429 overload, 503) before the error turns sticky.
+	// 0 selects DefaultMaxRetries; negative disables retries.
+	MaxRetries int
+	// RetryBase is the initial backoff before the first retry; it doubles
+	// per attempt (±50% jitter, capped at 2s), propagating the server's
+	// backpressure to the capture source. 0 selects DefaultRetryBase.
+	RetryBase time.Duration
 
 	server string
 	name   string
@@ -73,6 +86,14 @@ type IngestClient struct {
 	sent uint64 // events acknowledged by the server
 	err  error
 }
+
+// Retry defaults: eight attempts starting at 25ms cover ~6s of sustained
+// overload before giving up.
+const (
+	DefaultMaxRetries = 8
+	DefaultRetryBase  = 25 * time.Millisecond
+	maxRetryBackoff   = 2 * time.Second
+)
 
 // NewIngestClient returns a streaming client for one named stream on one
 // server (e.g. NewIngestClient("http://localhost:8080", "run1")).
@@ -129,11 +150,44 @@ func (c *IngestClient) Sent() uint64 {
 	return c.sent
 }
 
+// flushLocked sends the buffered batch, retrying overload rejections
+// (429/503) with jittered exponential backoff. Retries are safe: batches
+// carry their sequence numbers and the server dedupes, so a retried
+// batch is applied exactly once even if an earlier attempt landed.
 func (c *IngestClient) flushLocked() {
-	seq, err := ingest(c.HTTPClient, c.server, c.name, c.sent+1, c.buf)
-	if err != nil {
-		c.err = err
-		return
+	maxRetries := c.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = DefaultMaxRetries
+	}
+	backoff := c.RetryBase
+	if backoff <= 0 {
+		backoff = DefaultRetryBase
+	}
+	var seq uint64
+	var err error
+	for attempt := 0; ; attempt++ {
+		var status int
+		seq, status, err = ingest(c.HTTPClient, c.server, c.name, c.sent+1, c.buf)
+		if err == nil {
+			break
+		}
+		retryable := status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+		if !retryable || attempt >= maxRetries {
+			c.err = err
+			return
+		}
+		// Full jitter in [backoff/2, backoff): desynchronizes a fleet of
+		// shed senders so they do not stampede back in lockstep. The half
+		// is clamped to a positive value so a sub-2ns RetryBase cannot
+		// feed rand.Int63n a zero.
+		half := backoff / 2
+		if half <= 0 {
+			half = 1
+		}
+		time.Sleep(half + time.Duration(rand.Int63n(int64(half))))
+		if backoff *= 2; backoff > maxRetryBackoff {
+			backoff = maxRetryBackoff
+		}
 	}
 	want := c.sent + uint64(len(c.buf))
 	if seq != want {

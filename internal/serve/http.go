@@ -335,13 +335,14 @@ func (w *statusCaptureWriter) Write(p []byte) (int, error) {
 
 // statusFor maps service errors to HTTP statuses: argument problems are
 // 400s, unknown snapshot names / session ids / missing snapshot files
-// are 404s, ingest sequence gaps are 409s, everything else (corrupt
-// snapshot, I/O) a 500.
+// are 404s, ingest sequence gaps are 409s, a full ingest queue is a 429,
+// everything else (corrupt snapshot, I/O) a 500.
 func statusFor(err error) int {
 	var bad *BadRequestError
 	var name *core.NameError
 	var nf *core.NotFoundError
 	var gap *core.SeqGapError
+	var over *core.OverloadedError
 	switch {
 	case errors.As(err, &bad):
 		return http.StatusBadRequest
@@ -351,12 +352,19 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.As(err, &gap):
 		return http.StatusConflict
+	case errors.As(err, &over):
+		return http.StatusTooManyRequests
 	case os.IsNotExist(err):
 		return http.StatusNotFound
 	default:
 		return http.StatusInternalServerError
 	}
 }
+
+// overloadRetryAfter is the Retry-After hint on 429s: admission queues
+// drain at fsync cadence, so a client backing off for about a second
+// rejoins a healthy queue.
+const overloadRetryAfter = "1"
 
 // writeErr renders an error with its mapped status. Registry misses
 // (unknown snapshot name, unknown session id) carry a structured body:
@@ -375,6 +383,15 @@ func writeErr(w http.ResponseWriter, err error) {
 		writeJSON(w, http.StatusConflict, map[string]any{
 			"error": err.Error(), "kind": "ingest-gap", "name": gap.Name,
 			"expected": gap.Expected, "got": gap.Got,
+		})
+		return
+	}
+	var over *core.OverloadedError
+	if errors.As(err, &over) {
+		w.Header().Set("Retry-After", overloadRetryAfter)
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error": err.Error(), "kind": "overloaded", "name": over.Name,
+			"depth": over.Depth,
 		})
 		return
 	}

@@ -70,7 +70,9 @@ type IngestResult struct {
 // Ingest decodes one binary event batch (store.EncodeEventBatch framing)
 // and appends it to the named live graph, creating the graph on first
 // use. Ingestion is idempotent by sequence number: retried batches are
-// absorbed, gaps are rejected with *core.SeqGapError (HTTP 409).
+// absorbed, gaps are rejected with *core.SeqGapError (HTTP 409), and a
+// full admission queue with *core.OverloadedError (HTTP 429 + Retry-After
+// — senders back off and retry; nothing is lost or duplicated).
 func (s *Service) Ingest(name string, body io.Reader) (*IngestResult, error) {
 	firstSeq, events, err := store.DecodeEventBatch(body)
 	if err != nil {
@@ -166,6 +168,16 @@ type StatsResult struct {
 	Ingest struct {
 		Batches int64 `json:"batches"`
 		Events  int64 `json:"events"`
+		// Overloads counts batches shed by admission control (429s).
+		Overloads int64 `json:"overloads"`
+		// GroupCommits / GroupBatches: coalesced WAL flush cycles and the
+		// batches they absorbed, summed over live graphs (their ratio is
+		// the fsync amortization factor).
+		GroupCommits int64 `json:"groupCommits"`
+		GroupBatches int64 `json:"groupBatches"`
+		// QueueHighWater is the deepest any live graph's admission queue
+		// has been.
+		QueueHighWater int64 `json:"queueHighWater"`
 	} `json:"ingest"`
 }
 
@@ -195,5 +207,14 @@ func (s *Service) Stats() *StatsResult {
 	res.SnapshotCache.Misses = c.SnapshotCacheMisses
 	res.Ingest.Batches = c.IngestBatches
 	res.Ingest.Events = c.IngestEvents
+	res.Ingest.Overloads = c.IngestOverloads
+	for _, lg := range s.reg.LiveGraphs() {
+		ps := lg.PipelineStats()
+		res.Ingest.GroupCommits += ps.GroupCommits
+		res.Ingest.GroupBatches += ps.GroupBatches
+		if ps.QueueHighWater > res.Ingest.QueueHighWater {
+			res.Ingest.QueueHighWater = ps.QueueHighWater
+		}
+	}
 	return res
 }

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"lipstick/internal/core"
 	"lipstick/internal/provgraph"
@@ -265,6 +266,156 @@ func TestHTTPStats(t *testing.T) {
 	}
 	if stats.Sessions.Created < 1 || stats.Ingest.Batches < 1 || stats.Ingest.Events < 100 {
 		t.Fatalf("counters: %+v", stats)
+	}
+	// The ingest above held one admission slot, so the queue high-water
+	// gauge must register it even on this in-memory live graph.
+	if stats.Ingest.QueueHighWater < 1 {
+		t.Fatalf("queue high-water: %+v", stats.Ingest)
+	}
+}
+
+func TestHTTPStatsIngestPipeline(t *testing.T) {
+	// A durable, group-committed live graph surfaces its pipeline
+	// counters — group commits, batches per commit, queue depth
+	// high-water, and shed batches — through GET /v1/stats.
+	reg := core.NewRegistry(nil,
+		core.WithLiveDir(t.TempDir()),
+		core.WithLiveOptions(
+			core.WithLogOptions(store.WithGroupCommit(0, 0), store.WithFsync(false)),
+			core.WithIngestQueueDepth(4),
+		))
+	svc := NewRegistryService(reg)
+	srv := httptest.NewServer(svc.Handler(""))
+	defer srv.Close()
+
+	_, events := captureRun(t)
+	for i := 0; i < 400; i += 100 {
+		postBatch(t, srv, "pipe", uint64(i)+1, events[i:i+100])
+	}
+	// Force a shed batch: saturate the admission gate directly.
+	lg, err := reg.LiveGraph("pipe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var held []*core.PendingAppend
+	overloaded := false
+	for i := 0; i < 5; i++ {
+		p := lg.AppendAsync(401, events[400:420])
+		held = append(held, p)
+	}
+	var body bytes.Buffer
+	if err := store.EncodeEventBatch(&body, 401, events[400:420]); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/ingest/pipe", "application/octet-stream", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		overloaded = true
+		if ra := resp.Header.Get("Retry-After"); ra == "" {
+			t.Fatal("429 without Retry-After")
+		}
+		var shed struct {
+			Kind  string `json:"kind"`
+			Name  string `json:"name"`
+			Depth int    `json:"depth"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&shed); err != nil {
+			t.Fatal(err)
+		}
+		if shed.Kind != "overloaded" || shed.Name != "pipe" || shed.Depth != 4 {
+			t.Fatalf("429 body: %+v", shed)
+		}
+	}
+	resp.Body.Close()
+	for _, p := range held {
+		p.Wait() // drain; duplicates resolve without error
+	}
+	if !overloaded {
+		t.Fatal("saturated queue did not shed the HTTP batch")
+	}
+
+	var stats StatsResult
+	if code := fetchJSON(t, srv, "/v1/stats", &stats); code != 200 {
+		t.Fatalf("stats returned %d", code)
+	}
+	if stats.Ingest.GroupCommits < 1 || stats.Ingest.GroupBatches < stats.Ingest.GroupCommits {
+		t.Fatalf("group counters: %+v", stats.Ingest)
+	}
+	if stats.Ingest.QueueHighWater < 4 || stats.Ingest.Overloads < 1 {
+		t.Fatalf("admission counters: %+v", stats.Ingest)
+	}
+}
+
+func TestHTTPIngestClientRetriesOverload(t *testing.T) {
+	// Every batch's first attempt is shed with a synthetic 429; the
+	// client's backoff retry must complete the stream with zero lost or
+	// duplicated events (asserted by replay equality against the batch
+	// build).
+	batch, events := captureRun(t)
+	svc := NewService(nil)
+	inner := svc.Handler("")
+	var mu sync.Mutex
+	attempts := make(map[string]int)
+	shed := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/v1/ingest/") {
+			mu.Lock()
+			attempts[r.URL.Path]++
+			first := attempts[r.URL.Path]%2 == 1
+			if first {
+				shed++
+			}
+			mu.Unlock()
+			if first {
+				w.Header().Set("Retry-After", "1")
+				w.WriteHeader(http.StatusTooManyRequests)
+				fmt.Fprint(w, `{"error":"synthetic overload","kind":"overloaded"}`)
+				return
+			}
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	client := NewIngestClient(srv.URL, "retry", 64)
+	client.RetryBase = time.Millisecond
+	for _, ev := range events {
+		client.Record(ev)
+	}
+	if err := client.Flush(); err != nil {
+		t.Fatalf("flush with retries: %v", err)
+	}
+	mu.Lock()
+	if shed == 0 {
+		t.Fatal("no batch was shed; the retry path was not exercised")
+	}
+	mu.Unlock()
+	if client.Sent() != uint64(len(events)) {
+		t.Fatalf("client acked %d of %d events", client.Sent(), len(events))
+	}
+	if err := svc.ReadTarget("retry", func(qp *core.QueryProcessor) error {
+		if !batch.StructurallyEqual(qp.Graph()) {
+			t.Fatal("retried stream differs from batch build (lost or duplicated events)")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Non-retryable statuses stay sticky immediately.
+	deadSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	defer deadSrv.Close()
+	c2 := NewIngestClient(deadSrv.URL, "dead", 4)
+	c2.RetryBase = time.Millisecond
+	for _, ev := range events[:8] {
+		c2.Record(ev)
+	}
+	if err := c2.Flush(); err == nil {
+		t.Fatal("400 did not turn the client sticky")
 	}
 }
 

@@ -1,0 +1,600 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lipstick/internal/provgraph"
+)
+
+// Group commit: the classic database fix for fsync-bound write paths.
+// Concurrent Appends encode their events into WAL record frames (outside
+// any log lock), enqueue them to a single committer goroutine, and block
+// on a per-batch Commit handle. The committer coalesces everything
+// pending — bounded by a gather delay and a byte budget — into one
+// segment write and one fsync, then fans the outcome back to each waiter.
+// One disk flush is thereby amortized over every batch that arrived while
+// the previous flush was in flight, and callers overlap their CPU work
+// (decode, validate, graph application) with the disk.
+//
+// The on-disk format is exactly the serial log's: recovery, torn-tail
+// truncation, and checkpoint compaction are unchanged. A failed group
+// write rolls the segment back to its pre-group state (so no torn bytes
+// survive), fails every queued waiter, and leaves the log in a sticky
+// failed state until ResetFailed — the caller (core.LiveGraph) re-logs
+// the lost suffix before accepting new events, keeping WAL positions
+// aligned with stream sequences.
+
+// ErrLogClosed reports an append to a closed log.
+var ErrLogClosed = errors.New("store: wal closed")
+
+// maxPooledRecordBytes caps the encode buffers kept in the pool so one
+// giant batch does not pin its buffer forever.
+const maxPooledRecordBytes = 1 << 22
+
+// Records is a batch of events framed as WAL records — uvarint(len) +
+// payload + crc32, concatenated — ready for the committer to write
+// verbatim. Records handed to AppendRecords are owned by the log and
+// recycled after the commit completes.
+type Records struct {
+	buf   []byte
+	ends  []int // ends[i] is the end offset of record i in buf
+	first int   // records [first, len(ends)) are live
+}
+
+// Len returns the number of live records.
+func (r *Records) Len() int { return len(r.ends) - r.first }
+
+// Skip drops the first n live records (a duplicate batch prefix).
+func (r *Records) Skip(n int) {
+	if r.first += n; r.first > len(r.ends) {
+		r.first = len(r.ends)
+	}
+}
+
+// Truncate keeps only the first n live records (a partially applied
+// batch logs only its applied prefix).
+func (r *Records) Truncate(n int) {
+	if r.first+n < len(r.ends) {
+		r.ends = r.ends[:r.first+n]
+	}
+}
+
+// record returns the framed bytes of live record i.
+func (r *Records) record(i int) []byte {
+	idx := r.first + i
+	start := 0
+	if idx > 0 {
+		start = r.ends[idx-1]
+	}
+	return r.buf[start:r.ends[idx]]
+}
+
+// bytesLive returns the total framed size of the live records.
+func (r *Records) bytesLive() int {
+	if r.Len() == 0 {
+		return 0
+	}
+	start := 0
+	if r.first > 0 {
+		start = r.ends[r.first-1]
+	}
+	return r.ends[len(r.ends)-1] - start
+}
+
+// Recycle returns the Records to the pool. AppendRecords does this
+// automatically; only callers that never submitted need to call it.
+func (r *Records) Recycle() {
+	if cap(r.buf) <= maxPooledRecordBytes {
+		recordsPool.Put(r)
+	}
+}
+
+var recordsPool = sync.Pool{New: func() any { return new(Records) }}
+
+// batchEncoder reuses the per-batch encode state: one scratch buffer and
+// one bufio.Writer for the whole batch (the serial path pays a fresh
+// 4 KiB bufio.Writer per event).
+type batchEncoder struct {
+	scratch bytes.Buffer
+	bw      *bufio.Writer
+}
+
+var encoderPool = sync.Pool{New: func() any { return new(batchEncoder) }}
+
+// EncodeRecords frames events as WAL records using pooled buffers. The
+// result is ready for AppendRecords; encoding happens entirely outside
+// the log's locks, so concurrent producers encode in parallel.
+func EncodeRecords(events []provgraph.Event) (*Records, error) {
+	r := recordsPool.Get().(*Records)
+	r.buf, r.ends, r.first = r.buf[:0], r.ends[:0], 0
+	enc := encoderPool.Get().(*batchEncoder)
+	defer encoderPool.Put(enc)
+	if enc.bw == nil {
+		enc.bw = bufio.NewWriter(&enc.scratch)
+	}
+	for i := range events {
+		enc.scratch.Reset()
+		enc.bw.Reset(&enc.scratch)
+		w := writer{w: enc.bw}
+		w.event(&events[i])
+		if err := w.flush(); err != nil {
+			r.Recycle()
+			return nil, err
+		}
+		payload := enc.scratch.Bytes()
+		var head [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(head[:], uint64(len(payload)))
+		r.buf = append(r.buf, head[:n]...)
+		r.buf = append(r.buf, payload...)
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+		r.buf = append(r.buf, crc[:]...)
+		r.ends = append(r.ends, len(r.buf))
+	}
+	return r, nil
+}
+
+// Commit is the waitable handle of one enqueued batch.
+type Commit struct {
+	done chan struct{}
+	err  error
+}
+
+// Wait blocks until the batch's group commit completes (write + fsync,
+// per the log's policy) and returns its outcome.
+func (c *Commit) Wait() error {
+	<-c.done
+	return c.err
+}
+
+// commitOp is one queue entry: an append (recs != nil), a checkpoint
+// (snap != nil), a close, or a pure ordering barrier (all zero).
+type commitOp struct {
+	recs  *Records
+	snap  *Snapshot
+	close bool
+	c     *Commit
+}
+
+// GroupStats are the committer's operational counters.
+type GroupStats struct {
+	// Commits counts coalesced write+fsync cycles; Batches counts the
+	// Append batches they covered (Batches/Commits = amortization factor).
+	Commits int64
+	Batches int64
+	// QueueHighWater is the deepest the commit queue has been.
+	QueueHighWater int64
+}
+
+// GroupStats returns the committer's counters (zero in serial mode).
+func (l *Log) GroupStats() GroupStats {
+	if l.gc == nil {
+		return GroupStats{}
+	}
+	return GroupStats{
+		Commits:        l.gc.commits.Load(),
+		Batches:        l.gc.batches.Load(),
+		QueueHighWater: l.gc.queueHW.Load(),
+	}
+}
+
+// Failed returns the sticky error of a failed group commit, nil when the
+// log is healthy (or serial).
+func (l *Log) Failed() error {
+	if l.gc == nil {
+		return nil
+	}
+	l.gc.mu.Lock()
+	defer l.gc.mu.Unlock()
+	return l.gc.failed
+}
+
+// ResetFailed clears the sticky failure so appends may resume. The caller
+// must first re-log every event acknowledged to it but lost by the failed
+// commits (LastSeq tells it where the durable prefix ends).
+func (l *Log) ResetFailed() {
+	if l.gc == nil {
+		return
+	}
+	l.gc.mu.Lock()
+	l.gc.failed = nil
+	l.gc.mu.Unlock()
+}
+
+// AppendRecords enqueues a pre-encoded batch for group commit and returns
+// its Commit handle. The log takes ownership of recs (it is recycled when
+// the commit completes, or on a refused submit). Only valid in
+// group-commit mode.
+func (l *Log) AppendRecords(recs *Records) (*Commit, error) {
+	if l.gc == nil {
+		return nil, errors.New("store: AppendRecords requires group-commit mode")
+	}
+	return l.gc.submit(commitOp{recs: recs})
+}
+
+// Barrier enqueues an ordering-only commit: its Wait returns once every
+// previously enqueued batch is durable. Used to honor the durability
+// promise of acknowledging a fully duplicate batch.
+func (l *Log) Barrier() (*Commit, error) {
+	if l.gc == nil {
+		return nil, errors.New("store: Barrier requires group-commit mode")
+	}
+	return l.gc.submit(commitOp{})
+}
+
+// storeMax raises a monotonic gauge to v (CAS loop: a concurrent lower
+// observation must never overwrite a higher one).
+func storeMax(gauge *atomic.Int64, v int64) {
+	for {
+		cur := gauge.Load()
+		if v <= cur || gauge.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// committer owns the log's file state in group-commit mode: every
+// segment write, rotation, checkpoint, and close runs on its goroutine,
+// in queue order.
+type committer struct {
+	l *Log
+
+	mu     sync.Mutex
+	queue  []commitOp
+	qbytes int
+	failed error
+	closed bool
+	wake   chan struct{}
+
+	// spare is the next segment file, created ahead of time by a
+	// background goroutine so rotation inside the commit loop is a rename
+	// plus a header write, never a create-stall.
+	spareMu   sync.Mutex
+	spare     *os.File
+	sparePath string
+	preparing bool
+	prepWG    sync.WaitGroup
+
+	commits atomic.Int64
+	batches atomic.Int64
+	queueHW atomic.Int64
+}
+
+func newCommitter(l *Log) *committer {
+	return &committer{
+		l:         l,
+		wake:      make(chan struct{}, 1),
+		sparePath: filepath.Join(l.dir, walSegPrefix+"spare"+walTempSuffix),
+	}
+}
+
+// submit enqueues op and wakes the committer. Appends and checkpoints are
+// refused while the log is failed (the stream owner must ResetFailed
+// after re-syncing) or closed; close ops always go through.
+func (g *committer) submit(op commitOp) (*Commit, error) {
+	c := &Commit{done: make(chan struct{})}
+	op.c = c
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		if op.recs != nil {
+			op.recs.Recycle()
+		}
+		return nil, ErrLogClosed
+	}
+	if g.failed != nil && !op.close {
+		err := g.failed
+		g.mu.Unlock()
+		if op.recs != nil {
+			op.recs.Recycle()
+		}
+		return nil, fmt.Errorf("store: wal is failed (ResetFailed to resume): %w", err)
+	}
+	g.queue = append(g.queue, op)
+	if op.recs != nil {
+		g.qbytes += op.recs.bytesLive()
+	}
+	storeMax(&g.queueHW, int64(len(g.queue)))
+	g.mu.Unlock()
+	select {
+	case g.wake <- struct{}{}:
+	default:
+	}
+	return c, nil
+}
+
+// run is the committer loop: gather a group, commit it, fan out results.
+func (g *committer) run() {
+	for range g.wake {
+		for {
+			g.mu.Lock()
+			if len(g.queue) == 0 {
+				g.mu.Unlock()
+				break
+			}
+			// A lone append may wait out the gather window for company —
+			// a deeper queue has already gathered naturally during the
+			// previous commit.
+			if g.l.groupDelay > 0 && len(g.queue) == 1 && g.queue[0].recs != nil {
+				g.mu.Unlock()
+				time.Sleep(g.l.groupDelay)
+				g.mu.Lock()
+			}
+			// Take a group: the maximal prefix of append ops within the
+			// byte budget (always at least one), or one control op.
+			var ops []commitOp
+			if g.queue[0].recs == nil {
+				ops = []commitOp{g.queue[0]}
+				g.queue = g.queue[1:]
+			} else {
+				take, taken := 0, 0
+				for take < len(g.queue) && g.queue[take].recs != nil {
+					sz := g.queue[take].recs.bytesLive()
+					if take > 0 && taken+sz > g.l.groupBytes {
+						break
+					}
+					taken += sz
+					take++
+				}
+				ops = append([]commitOp(nil), g.queue[:take]...)
+				g.queue = g.queue[take:]
+				g.qbytes -= taken
+			}
+			g.mu.Unlock()
+
+			if ops[0].recs != nil {
+				if g.commitGroup(ops) {
+					return // a queued close was handled in the failure drain
+				}
+				continue
+			}
+			op := ops[0]
+			switch {
+			case op.close:
+				g.doClose(op)
+				return
+			case op.snap != nil:
+				g.complete(op, g.l.checkpointNow(op.snap))
+			default: // barrier
+				g.complete(op, nil)
+			}
+		}
+	}
+}
+
+// commitGroup writes the group's records (rotating segments as needed),
+// flushes, fsyncs once, and fans the outcome to every waiter. The write
+// is all-or-nothing: on failure the on-disk state is rolled back to the
+// pre-group position and the log enters the sticky failed state. It
+// reports whether a close op queued behind a failed group was executed
+// (the caller's loop must exit — nothing will wake it again).
+func (g *committer) commitGroup(ops []commitOp) (closed bool) {
+	l := g.l
+	entrySeq, entryPath, entrySize := l.seq.Load(), l.path, l.size
+	var created []string
+	written := 0
+	var err error
+
+write:
+	for _, op := range ops {
+		for i := 0; i < op.recs.Len(); i++ {
+			if l.f == nil || l.size >= l.segLimit {
+				if err = g.rotate(entrySeq+uint64(written)+1, &created); err != nil {
+					break write
+				}
+			}
+			rec := op.recs.record(i)
+			if _, err = l.bw.Write(rec); err != nil {
+				break write
+			}
+			l.size += int64(len(rec))
+			written++
+		}
+	}
+	if err == nil && l.bw != nil {
+		err = l.bw.Flush()
+	}
+	if err == nil && l.fsync && l.f != nil && written > 0 {
+		err = l.f.Sync()
+	}
+
+	if err != nil {
+		// Roll back to the pre-group state, exactly like a failed serial
+		// Append: close the damaged segment, drop segments the group
+		// created, truncate the entry segment to its pre-group length.
+		if l.f != nil {
+			l.f.Close()
+			l.f, l.bw = nil, nil
+		}
+		for _, p := range created {
+			os.Remove(p)
+		}
+		if entryPath != "" {
+			if terr := os.Truncate(entryPath, entrySize); terr != nil {
+				err = fmt.Errorf("store: rolling back failed group commit: %w (after %w)", terr, err)
+			}
+		}
+		l.path, l.size = "", 0
+		g.mu.Lock()
+		g.failed = err
+		rest := g.queue
+		g.queue, g.qbytes = nil, 0
+		g.mu.Unlock()
+		for _, op := range ops {
+			g.complete(op, err)
+		}
+		// Queued ops after the failed group cannot land at their assigned
+		// positions; fail them too (a queued close still closes).
+		for _, op := range rest {
+			if op.close {
+				g.doClose(op)
+				closed = true
+				continue
+			}
+			g.complete(op, fmt.Errorf("store: wal group commit failed upstream: %w", err))
+		}
+		return closed
+	}
+
+	l.seq.Store(entrySeq + uint64(written))
+	g.commits.Add(1)
+	g.batches.Add(int64(len(ops)))
+	for _, op := range ops {
+		g.complete(op, nil)
+	}
+	return false
+}
+
+// complete resolves one op's Commit handle and recycles its buffers.
+func (g *committer) complete(op commitOp, err error) {
+	if op.recs != nil {
+		op.recs.Recycle()
+	}
+	op.c.err = err
+	close(op.c.done)
+}
+
+// doClose flushes and closes the active segment, removes the spare,
+// marks the log closed, and fails anything still queued.
+func (g *committer) doClose(op commitOp) {
+	l := g.l
+	var err error
+	if l.f != nil {
+		if ferr := l.bw.Flush(); ferr != nil {
+			err = ferr
+		} else if l.fsync {
+			err = l.f.Sync()
+		}
+		if cerr := l.f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		l.f, l.bw = nil, nil
+	}
+	l.path, l.size = "", 0
+	g.mu.Lock()
+	g.closed = true
+	rest := g.queue
+	g.queue, g.qbytes = nil, 0
+	g.mu.Unlock()
+	// Closed is set, so a prepare that is still in flight removes its own
+	// file; wait it out, then drop any installed spare.
+	g.prepWG.Wait()
+	g.spareMu.Lock()
+	if g.spare != nil {
+		g.spare.Close()
+		os.Remove(g.sparePath)
+		g.spare = nil
+	}
+	g.spareMu.Unlock()
+	for _, o := range rest {
+		g.complete(o, ErrLogClosed)
+	}
+	g.complete(op, err)
+}
+
+// rotate closes the active segment and opens wal-<firstSeq>, preferring
+// the pre-created spare file (rename + header write instead of a create).
+func (g *committer) rotate(firstSeq uint64, created *[]string) error {
+	l := g.l
+	if l.f != nil {
+		if err := l.bw.Flush(); err != nil {
+			return err
+		}
+		if l.fsync {
+			if err := l.f.Sync(); err != nil {
+				return err
+			}
+		}
+		if err := l.f.Close(); err != nil {
+			return err
+		}
+		l.f, l.bw = nil, nil
+	}
+	path := filepath.Join(l.dir, segName(firstSeq))
+	f := g.takeSpare(path)
+	if f == nil {
+		var err error
+		f, err = os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+	}
+	*created = append(*created, path)
+	l.f = f
+	l.bw = bufio.NewWriter(f)
+	l.path = path
+	if _, err := l.bw.Write(walMagic); err != nil {
+		return err
+	}
+	if err := l.bw.WriteByte(walVersion); err != nil {
+		return err
+	}
+	var head [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(head[:], firstSeq)
+	if _, err := l.bw.Write(head[:n]); err != nil {
+		return err
+	}
+	l.size = int64(len(walMagic) + 1 + n)
+	g.prepareSpare()
+	return nil
+}
+
+// takeSpare claims the pre-created spare file under its final segment
+// name, or returns nil if none is ready.
+func (g *committer) takeSpare(path string) *os.File {
+	g.spareMu.Lock()
+	defer g.spareMu.Unlock()
+	if g.spare == nil {
+		return nil
+	}
+	f := g.spare
+	g.spare = nil
+	if err := os.Rename(g.sparePath, path); err != nil {
+		f.Close()
+		os.Remove(g.sparePath)
+		return nil
+	}
+	return f
+}
+
+// prepareSpare creates the next segment file in the background. Created
+// under a temp name (cleaned up by OpenLog after a crash) and renamed
+// into place at rotation.
+func (g *committer) prepareSpare() {
+	g.spareMu.Lock()
+	if g.spare != nil || g.preparing {
+		g.spareMu.Unlock()
+		return
+	}
+	g.preparing = true
+	g.prepWG.Add(1)
+	g.spareMu.Unlock()
+	go func() {
+		defer g.prepWG.Done()
+		f, err := os.Create(g.sparePath)
+		g.spareMu.Lock()
+		g.preparing = false
+		if err == nil {
+			g.mu.Lock()
+			closed := g.closed
+			g.mu.Unlock()
+			if closed || g.spare != nil {
+				f.Close()
+				os.Remove(g.sparePath)
+			} else {
+				g.spare = f
+			}
+		}
+		g.spareMu.Unlock()
+	}()
+}

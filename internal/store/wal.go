@@ -13,6 +13,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"lipstick/internal/provgraph"
 )
@@ -50,19 +52,28 @@ const (
 // DefaultSegmentLimit is the rotation threshold for WAL segments.
 const DefaultSegmentLimit = 8 << 20
 
-// Log is the writer half of a WAL directory. It is not safe for
-// concurrent use; callers (core.LiveGraph) serialize Append/Checkpoint.
+// Log is the writer half of a WAL directory. In its default (serial) mode
+// it is not safe for concurrent use; callers (core.LiveGraph) serialize
+// Append/Checkpoint. With WithGroupCommit, Append/AppendRecords/Checkpoint
+// /Close are safe for concurrent use: batches are enqueued to a committer
+// goroutine that coalesces everything pending into one write + fsync (see
+// groupcommit.go).
 type Log struct {
 	dir      string
 	segLimit int64
 	fsync    bool
 
+	groupOn    bool
+	groupDelay time.Duration
+	groupBytes int
+	gc         *committer // non-nil iff group commit is enabled
+
 	f       *os.File
 	bw      *bufio.Writer
-	path    string // active segment path ("" when no segment is open)
-	size    int64  // logical bytes of the active segment; equals its disk size between Appends
-	seq     uint64 // last appended (or recovered) sequence number
-	ckptSeq uint64 // sequence covered by the newest checkpoint
+	path    string        // active segment path ("" when no segment is open)
+	size    int64         // logical bytes of the active segment; equals its disk size between commits
+	seq     atomic.Uint64 // last appended (or recovered) sequence number
+	ckptSeq atomic.Uint64 // sequence covered by the newest checkpoint
 	scratch bytes.Buffer
 }
 
@@ -85,6 +96,38 @@ func WithSegmentLimit(n int64) LogOption {
 // most the unsynced suffix, never consistency.
 func WithFsync(on bool) LogOption {
 	return func(l *Log) { l.fsync = on }
+}
+
+// Group-commit defaults.
+const (
+	// DefaultGroupCommitDelay is the gather window a lone pending batch
+	// waits for company before the committer flushes it.
+	DefaultGroupCommitDelay = 200 * time.Microsecond
+	// DefaultGroupCommitBytes caps the payload of one coalesced commit.
+	DefaultGroupCommitBytes = 4 << 20
+)
+
+// WithGroupCommit switches the log to group-commit mode: concurrent
+// Appends enqueue encoded batches to a committer goroutine that coalesces
+// everything pending into a single write + fsync, amortizing the flush
+// across every waiter. maxDelay bounds how long a lone batch waits for
+// company (negative selects DefaultGroupCommitDelay; 0 commits as soon as
+// the committer is free, coalescing only what piled up naturally) and
+// maxBytes caps one commit's payload (<= 0 selects
+// DefaultGroupCommitBytes). Recovery semantics are unchanged: the on-disk
+// format is identical and a commit is acknowledged only after its fsync.
+func WithGroupCommit(maxDelay time.Duration, maxBytes int) LogOption {
+	return func(l *Log) {
+		l.groupOn = true
+		l.groupDelay = maxDelay
+		if maxDelay < 0 {
+			l.groupDelay = DefaultGroupCommitDelay
+		}
+		l.groupBytes = maxBytes
+		if maxBytes <= 0 {
+			l.groupBytes = DefaultGroupCommitBytes
+		}
+	}
 }
 
 // Recovery is what OpenLog reconstructed from the directory.
@@ -126,8 +169,8 @@ func OpenLog(dir string, opts ...LogOption) (*Log, *Recovery, error) {
 		}
 		rec.Snapshot, rec.CheckpointSeq = snap, best
 	}
-	l.ckptSeq = rec.CheckpointSeq
-	l.seq = rec.CheckpointSeq
+	l.ckptSeq.Store(rec.CheckpointSeq)
+	l.seq.Store(rec.CheckpointSeq)
 
 	for i, first := range segs {
 		path := filepath.Join(dir, segName(first))
@@ -135,7 +178,7 @@ func OpenLog(dir string, opts ...LogOption) (*Log, *Recovery, error) {
 		// Skip everything already recovered (the checkpoint and earlier
 		// segments): compacted leftovers and the overlap a failed-then-
 		// retried Append leaves behind both dedupe by sequence here.
-		events, lastSeq, goodLen, torn, err := readSegment(path, first, l.seq)
+		events, lastSeq, goodLen, torn, err := readSegment(path, first, l.seq.Load())
 		if err != nil {
 			// Environmental or structural failure (unopenable file, bad
 			// magic): never destructive — durable records must not be
@@ -154,15 +197,20 @@ func OpenLog(dir string, opts ...LogOption) (*Log, *Recovery, error) {
 				return nil, nil, fmt.Errorf("store: truncating torn wal tail: %w", terr)
 			}
 		}
-		if first > l.seq+1 {
-			return nil, nil, fmt.Errorf("store: wal gap: segment %s starts after sequence %d", segName(first), l.seq)
+		if first > l.seq.Load()+1 {
+			return nil, nil, fmt.Errorf("store: wal gap: segment %s starts after sequence %d", segName(first), l.seq.Load())
 		}
-		if lastSeq > l.seq {
-			l.seq = lastSeq
+		if lastSeq > l.seq.Load() {
+			l.seq.Store(lastSeq)
 		}
 		rec.Tail = append(rec.Tail, events...)
 	}
-	rec.LastSeq = l.seq
+	rec.LastSeq = l.seq.Load()
+	if l.groupOn {
+		l.gc = newCommitter(l)
+		go l.gc.run()
+		l.gc.prepareSpare()
+	}
 	return l, rec, nil
 }
 
@@ -174,7 +222,18 @@ func OpenLog(dir string, opts ...LogOption) (*Log, *Recovery, error) {
 // truncated to its pre-batch length — so no torn bytes survive and a
 // retry re-logs the batch at the same positions.
 func (l *Log) Append(events []provgraph.Event) error {
-	entrySeq, entryPath, entrySize := l.seq, l.path, l.size
+	if l.gc != nil {
+		recs, err := EncodeRecords(events)
+		if err != nil {
+			return err
+		}
+		c, err := l.AppendRecords(recs)
+		if err != nil {
+			return err
+		}
+		return c.Wait()
+	}
+	entrySeq, entryPath, entrySize := l.seq.Load(), l.path, l.size
 	var created []string
 	err := l.appendAll(events, &created)
 	if err != nil {
@@ -193,7 +252,8 @@ func (l *Log) Append(events []provgraph.Event) error {
 				return fmt.Errorf("store: rolling back failed wal append: %w (after %w)", terr, err)
 			}
 		}
-		l.seq, l.path, l.size = entrySeq, "", 0
+		l.seq.Store(entrySeq)
+		l.path, l.size = "", 0
 		return err
 	}
 	return nil
@@ -201,7 +261,7 @@ func (l *Log) Append(events []provgraph.Event) error {
 
 func (l *Log) appendAll(events []provgraph.Event, created *[]string) error {
 	for i := range events {
-		next := l.seq + 1
+		next := l.seq.Load() + 1
 		if l.f == nil || l.size >= l.segLimit {
 			prev := l.path
 			if err := l.rotate(next); err != nil {
@@ -232,7 +292,7 @@ func (l *Log) appendAll(events []provgraph.Event, created *[]string) error {
 			return err
 		}
 		l.size += int64(n + len(payload) + 4)
-		l.seq = next
+		l.seq.Store(next)
 	}
 	if l.bw != nil {
 		if err := l.bw.Flush(); err != nil {
@@ -245,17 +305,37 @@ func (l *Log) appendAll(events []provgraph.Event, created *[]string) error {
 	return nil
 }
 
-// LastSeq returns the sequence of the last appended event.
-func (l *Log) LastSeq() uint64 { return l.seq }
+// LastSeq returns the sequence of the last appended event. In group-commit
+// mode this is the last durable sequence: it advances only when a commit's
+// write (and fsync, per policy) has completed.
+func (l *Log) LastSeq() uint64 { return l.seq.Load() }
 
 // CheckpointSeq returns the sequence covered by the newest checkpoint.
-func (l *Log) CheckpointSeq() uint64 { return l.ckptSeq }
+func (l *Log) CheckpointSeq() uint64 { return l.ckptSeq.Load() }
+
+// GroupCommit reports whether the log runs in group-commit mode.
+func (l *Log) GroupCommit() bool { return l.gc != nil }
 
 // Checkpoint atomically writes snap — which must equal replaying events
 // 1..LastSeq — as the new checkpoint, then deletes the segments and older
-// checkpoints it covers.
+// checkpoints it covers. In group-commit mode the checkpoint is queued
+// behind every pending commit and performed by the committer, so it
+// covers exactly the events enqueued before it.
 func (l *Log) Checkpoint(snap *Snapshot) error {
-	seq := l.seq
+	if l.gc != nil {
+		c, err := l.gc.submit(commitOp{snap: snap})
+		if err != nil {
+			return err
+		}
+		return c.Wait()
+	}
+	return l.checkpointNow(snap)
+}
+
+// checkpointNow writes and installs the checkpoint; serial callers own the
+// log, the committer goroutine calls it for queued checkpoint ops.
+func (l *Log) checkpointNow(snap *Snapshot) error {
+	seq := l.seq.Load()
 	final := filepath.Join(l.dir, ckptName(seq))
 	tmp := final + walTempSuffix
 	f, err := os.Create(tmp)
@@ -303,12 +383,24 @@ func (l *Log) Checkpoint(snap *Snapshot) error {
 			os.Remove(filepath.Join(l.dir, ckptName(c)))
 		}
 	}
-	l.ckptSeq = seq
+	l.ckptSeq.Store(seq)
 	return nil
 }
 
-// Close flushes and closes the active segment.
+// Close flushes and closes the active segment. In group-commit mode it
+// drains the committer (queued commits still complete) and stops it;
+// Close is idempotent.
 func (l *Log) Close() error {
+	if l.gc != nil {
+		c, err := l.gc.submit(commitOp{close: true})
+		if err != nil {
+			if errors.Is(err, ErrLogClosed) {
+				return nil
+			}
+			return err
+		}
+		return c.Wait()
+	}
 	if l.f == nil {
 		return nil
 	}

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"lipstick/internal/provgraph"
@@ -230,7 +231,8 @@ func TestWALOverlappingSegmentsDedupe(t *testing.T) {
 	}
 	// Craft the retry's fresh segment starting inside the first one:
 	// wal-16 carries sequences 16..25 while wal-1 carries 1..20.
-	l2 := &Log{dir: dir, segLimit: DefaultSegmentLimit, seq: 15}
+	l2 := &Log{dir: dir, segLimit: DefaultSegmentLimit}
+	l2.seq.Store(15)
 	if err := l2.Append(events[15:]); err != nil {
 		t.Fatal(err)
 	}
@@ -322,5 +324,162 @@ func TestWALAppendFailureRollsBack(t *testing.T) {
 	_, rec := openLogT(t, dir)
 	if rec.LastSeq != 10 || len(rec.Tail) != 10 {
 		t.Fatalf("recovered %d/%d, want 10/10", rec.LastSeq, len(rec.Tail))
+	}
+}
+
+func TestWALGroupCommitAppendRecover(t *testing.T) {
+	dir := t.TempDir()
+	events := chainEvents(120)
+	l, rec := openLogT(t, dir, WithGroupCommit(0, 0))
+	if rec.LastSeq != 0 {
+		t.Fatalf("fresh log at seq %d", rec.LastSeq)
+	}
+	if !l.GroupCommit() {
+		t.Fatal("GroupCommit() = false with WithGroupCommit")
+	}
+	for i := 0; i < len(events); i += 30 {
+		if err := l.Append(events[i : i+30]); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if l.LastSeq() != 120 {
+		t.Fatalf("LastSeq = %d, want 120", l.LastSeq())
+	}
+	gs := l.GroupStats()
+	if gs.Commits < 1 || gs.Batches < 4 {
+		t.Fatalf("group stats = %+v, want >= 1 commit covering 4 batches", gs)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	_, rec = openLogT(t, dir)
+	if rec.LastSeq != 120 || len(rec.Tail) != 120 {
+		t.Fatalf("recovered %d/%d, want 120/120", rec.LastSeq, len(rec.Tail))
+	}
+	want, err := provgraph.Replay(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := provgraph.Replay(rec.Tail)
+	if err != nil {
+		t.Fatalf("replaying recovered tail: %v", err)
+	}
+	if !want.StructurallyEqual(got) {
+		t.Fatal("group-committed log replays to a different graph")
+	}
+}
+
+func TestWALGroupCommitConcurrentAppends(t *testing.T) {
+	// Concurrent writers share one committer; every batch must land
+	// exactly once, in some serialization of the submit order.
+	dir := t.TempDir()
+	l, _ := openLogT(t, dir, WithGroupCommit(0, 0))
+	const writers, perWriter = 8, 20
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				ev := provgraph.Event{Kind: provgraph.EvKill, Src: provgraph.NodeID(w*perWriter + i)}
+				if err := l.Append([]provgraph.Event{ev}); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.LastSeq() != writers*perWriter {
+		t.Fatalf("LastSeq = %d, want %d", l.LastSeq(), writers*perWriter)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := openLogT(t, dir)
+	if len(rec.Tail) != writers*perWriter {
+		t.Fatalf("recovered %d events, want %d", len(rec.Tail), writers*perWriter)
+	}
+	seen := make(map[provgraph.NodeID]bool)
+	for _, ev := range rec.Tail {
+		if ev.Kind != provgraph.EvKill || seen[ev.Src] {
+			t.Fatalf("event %+v duplicated or mangled", ev)
+		}
+		seen[ev.Src] = true
+	}
+}
+
+func TestWALGroupCommitRotationCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	events := chainEvents(150)
+	l, _ := openLogT(t, dir, WithGroupCommit(0, 0), WithSegmentLimit(256), WithFsync(false))
+	if err := l.Append(events[:90]); err != nil {
+		t.Fatal(err)
+	}
+	g, err := provgraph.Replay(events[:90])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(&Snapshot{Graph: g}); err != nil {
+		t.Fatalf("checkpoint through committer: %v", err)
+	}
+	if l.CheckpointSeq() != 90 {
+		t.Fatalf("CheckpointSeq = %d, want 90", l.CheckpointSeq())
+	}
+	if err := l.Append(events[90:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// No spare/temp leftovers survive Close.
+	leftovers, err := filepath.Glob(filepath.Join(dir, "*"+walTempSuffix))
+	if err != nil || len(leftovers) != 0 {
+		t.Fatalf("temp leftovers after Close: %v (err %v)", leftovers, err)
+	}
+	_, rec := openLogT(t, dir)
+	if rec.CheckpointSeq != 90 || rec.LastSeq != 150 || len(rec.Tail) != 60 {
+		t.Fatalf("recovered ckpt=%d last=%d tail=%d, want 90/150/60",
+			rec.CheckpointSeq, rec.LastSeq, len(rec.Tail))
+	}
+	restored := rec.Snapshot.Graph
+	for i, ev := range rec.Tail {
+		if err := provgraph.Apply(restored, ev); err != nil {
+			t.Fatalf("tail event %d: %v", i, err)
+		}
+	}
+	want, err := provgraph.Replay(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.StructurallyEqual(restored) {
+		t.Fatal("group-commit checkpoint+tail differs from full replay")
+	}
+}
+
+func TestWALGroupCommitBarrierAndClose(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLogT(t, dir, WithGroupCommit(0, 0))
+	if err := l.Append(chainEvents(5)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Barrier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Wait(); err != nil {
+		t.Fatalf("barrier: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(chainEvents(5)); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+	if _, err := l.Barrier(); err == nil {
+		t.Fatal("barrier after Close succeeded")
 	}
 }

@@ -246,11 +246,21 @@ type (
 	LiveOption = core.LiveOption
 	// IngestStatus reports one applied event batch.
 	IngestStatus = core.IngestStatus
+	// PendingAppend is a staged ingest batch whose durability wait
+	// happens in Wait — the pipelined half of LiveGraph.AppendAsync.
+	PendingAppend = core.PendingAppend
+	// PipelineStats are a live graph's ingest-pipeline counters (group
+	// commits, batches per commit, admission queue high-water).
+	PipelineStats = core.PipelineStats
 	// SeqGapError reports an ingest batch that skips ahead of a live
 	// graph's event sequence.
 	SeqGapError = core.SeqGapError
+	// OverloadedError reports an ingest batch shed by admission control
+	// (the HTTP layer's 429).
+	OverloadedError = core.OverloadedError
 	// IngestClient streams captured events to a lipstick server's
-	// /v1/ingest/{name} endpoint as they are recorded.
+	// /v1/ingest/{name} endpoint as they are recorded, retrying overload
+	// rejections with jittered backoff.
 	IngestClient = serve.IngestClient
 )
 
@@ -311,6 +321,17 @@ var (
 	// WithCheckpointEvery sets a durable live graph's automatic
 	// checkpoint interval in events.
 	WithCheckpointEvery = core.WithCheckpointEvery
+	// WithIngestQueueDepth bounds a live graph's in-flight ingest
+	// batches; past the bound, appends are shed with *OverloadedError.
+	WithIngestQueueDepth = core.WithIngestQueueDepth
+	// WithLogOptions forwards WAL options (fsync policy, segment size,
+	// group commit) to a durable live graph.
+	WithLogOptions = core.WithLogOptions
+	// WithGroupCommit switches a WAL to group-commit mode: concurrent
+	// appends coalesce into one write + fsync.
+	WithGroupCommit = store.WithGroupCommit
+	// WithFsync controls whether WAL commits fsync (default true).
+	WithFsync = store.WithFsync
 	// WithLiveDir makes a Registry's live graphs durable under a
 	// directory (one WAL per stream).
 	WithLiveDir = core.WithLiveDir
