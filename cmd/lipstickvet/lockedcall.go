@@ -1,0 +1,163 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// lockedcall enforces the *Locked suffix contract from both sides of the
+// call:
+//
+//   - a call to x.somethingLocked() must happen while the caller holds at
+//     least one mutex field of x (so exported entry points cannot reach
+//     lock-requiring internals bare), unless the caller is itself a
+//     *Locked helper or x is a value still under construction;
+//   - the callee must not re-acquire a mutex the call site already holds
+//     on the same receiver — that is a self-deadlock for sync.Mutex and
+//     for writer-held sync.RWMutex.
+var lockedcallAnalyzer = &Analyzer{
+	Name: "lockedcall",
+	Doc:  "*Locked helpers are called with a lock held and never re-acquire it",
+	Run:  runLockedcall,
+}
+
+func runLockedcall(p *Pass) {
+	acquires := collectLockedAcquires(p)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			callerLocked := strings.HasSuffix(fn.Name.Name, "Locked")
+			checkLockedCalls(p, fn, callerLocked, acquires)
+		}
+	}
+}
+
+// collectLockedAcquires maps each *Locked method in the package to the
+// receiver mutex fields it acquires itself (for the re-entry check).
+func collectLockedAcquires(p *Pass) map[*types.Func]map[string]bool {
+	out := map[*types.Func]map[string]bool{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil || !strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue
+			}
+			obj, ok := p.Info.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recvName := ""
+			if len(fn.Recv.List) > 0 && len(fn.Recv.List[0].Names) > 0 {
+				recvName = fn.Recv.List[0].Names[0].Name
+			}
+			if recvName == "" {
+				continue
+			}
+			taken := map[string]bool{}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+					return true
+				}
+				if !isMutexType(p.Info.TypeOf(sel.X)) {
+					return true
+				}
+				// Only receiver-based mutexes: recv.mu.Lock().
+				if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+					if id, ok := inner.X.(*ast.Ident); ok && id.Name == recvName {
+						taken[inner.Sel.Name] = true
+					}
+				}
+				return true
+			})
+			if len(taken) > 0 {
+				out[obj] = taken
+			}
+		}
+	}
+	return out
+}
+
+func checkLockedCalls(p *Pass, fn *ast.FuncDecl, callerLocked bool, acquires map[*types.Func]map[string]bool) {
+	ctorLocals := localCompositeVars(p.Info, fn.Body)
+	s := &scanner{
+		info:  p.Info,
+		onSel: func(sel *ast.SelectorExpr, held lockSet, write bool) {},
+		onCall: func(call *ast.CallExpr, held lockSet) {
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !strings.HasSuffix(sel.Sel.Name, "Locked") {
+				return
+			}
+			callee, ok := identUse(p.Info, sel.Sel).(*types.Func)
+			if !ok {
+				return
+			}
+			recv := callee.Type().(*types.Signature).Recv()
+			if recv == nil {
+				return
+			}
+			if root := rootIdent(sel.X); root != nil {
+				if obj := identObj(p.Info, root); obj != nil && ctorLocals[obj] {
+					return // receiver under construction; no sharing yet
+				}
+			}
+			base := types.ExprString(sel.X)
+			muFields := mutexFieldsOf(p.Info.TypeOf(sel.X))
+
+			// Deadlock: the callee re-acquires a mutex this call site holds.
+			for mu := range acquires[callee] {
+				if _, ok := held[base+"."+mu]; ok {
+					p.Reportf(call.Pos(), "call to %s re-acquires %s.%s already held at the call site (self-deadlock)",
+						sel.Sel.Name, base, mu)
+				}
+			}
+
+			if callerLocked {
+				return // the caller's own held set is understated; holding is its caller's job
+			}
+			for _, mu := range muFields {
+				if _, ok := held[base+"."+mu]; ok {
+					return
+				}
+			}
+			p.Reportf(call.Pos(), "call to %s without holding any mutex of %s (callers of *Locked helpers must hold the lock)",
+				sel.Sel.Name, base)
+		},
+	}
+	s.scanFunc(fn.Body)
+}
+
+// mutexFieldsOf lists the sync.Mutex/RWMutex field names of a (possibly
+// pointer-to) struct type.
+func mutexFieldsOf(t types.Type) []string {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if isMutexType(f.Type()) {
+			out = append(out, f.Name())
+		}
+	}
+	return out
+}
+
+func identUse(info *types.Info, id *ast.Ident) types.Object {
+	return info.Uses[id]
+}

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// lockguard enforces the `// guarded by <mu>` field annotation: every
+// access to an annotated field must happen with one of its guard mutexes
+// held on a dominating path, or inside a *Locked helper (whose contract —
+// checked by lockedcall — is that the caller holds a lock), or on a value
+// still under construction (a local initialized from a composite literal).
+//
+// Grammar: the field comment contains "guarded by m" or
+// "guarded by a or b" where each name is a sync.Mutex or sync.RWMutex
+// field of the same struct. Holding any listed guard legalizes a read;
+// a write additionally requires the hold to be exclusive (Lock, not
+// RLock) for RWMutex guards.
+var lockguardAnalyzer = &Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated 'guarded by <mu>' are only accessed with the mutex held",
+	Run:  runLockguard,
+}
+
+var guardedByRE = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*(?:\s+or\s+[A-Za-z_][A-Za-z0-9_]*)*)`)
+
+// guardRef is one mutex a field may be protected by.
+type guardRef struct {
+	name string
+	rw   bool // sync.RWMutex (shared holds exist)
+}
+
+type guardAnnot struct {
+	guards []guardRef
+}
+
+func (a guardAnnot) describe() string {
+	names := make([]string, len(a.guards))
+	for i, g := range a.guards {
+		names[i] = g.name
+	}
+	return strings.Join(names, " or ")
+}
+
+func runLockguard(p *Pass) {
+	annotated := collectGuardAnnotations(p)
+	if len(annotated) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue // contract: the caller holds the lock (lockedcall checks that)
+			}
+			checkFuncGuards(p, fn, annotated)
+		}
+	}
+}
+
+// collectGuardAnnotations finds annotated struct fields and validates that
+// each named guard is a mutex field of the same struct.
+func collectGuardAnnotations(p *Pass) map[*types.Var]guardAnnot {
+	out := map[*types.Var]guardAnnot{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			// Mutex fields of this struct, by name.
+			mutexes := map[string]bool{} // name -> isRWMutex
+			hasMutex := map[string]bool{}
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					if obj, ok := p.Info.Defs[name].(*types.Var); ok && isMutexType(obj.Type()) {
+						hasMutex[name.Name] = true
+						mutexes[name.Name] = isRWMutexType(obj.Type())
+					}
+				}
+			}
+			for _, fld := range st.Fields.List {
+				text := fieldCommentText(fld)
+				m := guardedByRE.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				var annot guardAnnot
+				bad := false
+				for _, name := range strings.Split(m[1], " or ") {
+					name = strings.TrimSpace(name)
+					if !hasMutex[name] {
+						p.Reportf(fld.Pos(), "guard %q named in annotation is not a sync.Mutex/RWMutex field of this struct", name)
+						bad = true
+						continue
+					}
+					annot.guards = append(annot.guards, guardRef{name: name, rw: mutexes[name]})
+				}
+				if bad || len(annot.guards) == 0 {
+					continue
+				}
+				for _, name := range fld.Names {
+					if obj, ok := p.Info.Defs[name].(*types.Var); ok {
+						out[obj] = annot
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// fieldCommentText joins a field's doc and trailing comments.
+func fieldCommentText(fld *ast.Field) string {
+	var parts []string
+	if fld.Doc != nil {
+		parts = append(parts, fld.Doc.Text())
+	}
+	if fld.Comment != nil {
+		parts = append(parts, fld.Comment.Text())
+	}
+	return strings.Join(parts, " ")
+}
+
+func checkFuncGuards(p *Pass, fn *ast.FuncDecl, annotated map[*types.Var]guardAnnot) {
+	ctorLocals := localCompositeVars(p.Info, fn.Body)
+	reported := map[string]bool{} // dedupe per (pos, field)
+	s := &scanner{
+		info: p.Info,
+		onSel: func(sel *ast.SelectorExpr, held lockSet, write bool) {
+			selection := p.Info.Selections[sel]
+			if selection == nil || selection.Kind() != types.FieldVal {
+				return
+			}
+			fieldVar, ok := selection.Obj().(*types.Var)
+			if !ok {
+				return
+			}
+			annot, ok := annotated[fieldVar]
+			if !ok {
+				return
+			}
+			if root := rootIdent(sel.X); root != nil {
+				if obj := identObj(p.Info, root); obj != nil && ctorLocals[obj] {
+					return // value under construction, not yet shared
+				}
+			}
+			base := types.ExprString(sel.X)
+			for _, g := range annot.guards {
+				kind, heldOK := held[base+"."+g.name]
+				if !heldOK {
+					continue
+				}
+				if !write || kind == holdExclusive {
+					return
+				}
+			}
+			verb := "read of"
+			if write {
+				verb = "write to"
+			}
+			key := fmt.Sprintf("%d/%s", sel.Sel.Pos(), verb)
+			if reported[key] {
+				return
+			}
+			reported[key] = true
+			need := annot.describe()
+			if write {
+				p.Reportf(sel.Sel.Pos(), "%s %s.%s without exclusively holding %s.{%s} (guarded by %s)",
+					verb, base, fieldVar.Name(), base, need, need)
+			} else {
+				p.Reportf(sel.Sel.Pos(), "%s %s.%s without holding %s.{%s} (guarded by %s)",
+					verb, base, fieldVar.Name(), base, need, need)
+			}
+		},
+		onCall: func(call *ast.CallExpr, held lockSet) {},
+	}
+	s.scanFunc(fn.Body)
+}
+
+// identObj resolves an identifier to its object via Uses or Defs.
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

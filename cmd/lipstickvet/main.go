@@ -1,0 +1,58 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := vet(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lipstickvet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "lipstickvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// vet loads every package matching patterns (resolved from dir) and runs
+// the full analyzer suite, returning findings sorted by position.
+func vet(dir string, patterns []string) ([]Diagnostic, error) {
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgDirs, err := loader.Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, d := range pkgDirs {
+		pkg, err := loader.LoadDir(d)
+		if err != nil {
+			return nil, err
+		}
+		runAnalyzers(pkg, &diags)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

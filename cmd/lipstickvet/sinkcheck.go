@@ -1,0 +1,187 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// sinkcheck guards the event-sourcing contract at the heart of the
+// streaming provenance model: a provgraph.Graph replays event-for-event
+// identical to its in-process build only if every mutation of replicated
+// graph state emits a typed Event. The analyzer finds the Graph struct in
+// any package named "provgraph", treats all its fields except the sink
+// itself (events) and derived caches (constIndex) as replicated state, and
+// requires every method that writes such state through its receiver to
+// call recv.emit(...) or invoke the sink directly.
+//
+// Known approximation: writes through a local alias (p := &g.nodes[i];
+// p.X = ...) are attributed to the alias, not the receiver. Direct
+// selector writes — the style used throughout provgraph — are all caught.
+var sinkcheckAnalyzer = &Analyzer{
+	Name: "sinkcheck",
+	Doc:  "every mutating provgraph.Graph method emits a typed Event through the sink",
+	Run:  runSinkcheck,
+}
+
+// sinkExempt are Graph fields whose mutation is not replicated state:
+// the sink itself and the constant-interning cache rebuilt by Apply.
+var sinkExempt = map[string]bool{"events": true, "constIndex": true}
+
+func runSinkcheck(p *Pass) {
+	if p.Pkg.Name() != "provgraph" {
+		return
+	}
+	graphObj, stateFields := findGraphType(p)
+	if graphObj == nil {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil {
+				continue
+			}
+			if recvNamed(p.Info, fn) != graphObj {
+				continue
+			}
+			if fn.Name.Name == "emit" || fn.Name.Name == "SetEventSink" {
+				continue
+			}
+			checkGraphMethod(p, fn, stateFields)
+		}
+	}
+}
+
+// findGraphType locates type Graph struct{...} and returns its type object
+// plus the set of replicated-state field vars.
+func findGraphType(p *Pass) (*types.TypeName, map[*types.Var]bool) {
+	obj, ok := p.Pkg.Scope().Lookup("Graph").(*types.TypeName)
+	if !ok {
+		return nil, nil
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	fields := map[*types.Var]bool{}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !sinkExempt[f.Name()] {
+			fields[f] = true
+		}
+	}
+	return obj, fields
+}
+
+// recvNamed resolves a method's receiver to its named-type object.
+func recvNamed(info *types.Info, fn *ast.FuncDecl) *types.TypeName {
+	if len(fn.Recv.List) == 0 {
+		return nil
+	}
+	t := info.TypeOf(fn.Recv.List[0].Type)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
+func checkGraphMethod(p *Pass, fn *ast.FuncDecl, stateFields map[*types.Var]bool) {
+	recvObj := receiverObj(p.Info, fn)
+	if recvObj == nil {
+		return
+	}
+	var mutated []string
+	var firstWrite ast.Node
+	emits := false
+
+	recordWrite := func(e ast.Expr) {
+		name, node := receiverStateWrite(p.Info, e, recvObj, stateFields)
+		if name == "" {
+			return
+		}
+		mutated = append(mutated, name)
+		if firstWrite == nil {
+			firstWrite = node
+		}
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range t.Lhs {
+				recordWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			recordWrite(t.X)
+		case *ast.CallExpr:
+			if isDeleteBuiltin(t) && len(t.Args) > 0 {
+				recordWrite(t.Args[0])
+			}
+			if sel, ok := t.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && identObj(p.Info, id) == recvObj {
+					// recv.emit(...) or a direct sink invocation recv.events(...)
+					if sel.Sel.Name == "emit" || sel.Sel.Name == "events" {
+						emits = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	if len(mutated) == 0 || emits {
+		return
+	}
+	sort.Strings(mutated)
+	uniq := mutated[:0]
+	for i, m := range mutated {
+		if i == 0 || m != mutated[i-1] {
+			uniq = append(uniq, m)
+		}
+	}
+	p.Reportf(firstWrite.Pos(), "method %s mutates Graph state (%s) but never emits an Event through the sink — replay will diverge",
+		fn.Name.Name, strings.Join(uniq, ", "))
+}
+
+// receiverObj returns the receiver variable's object.
+func receiverObj(info *types.Info, fn *ast.FuncDecl) types.Object {
+	if len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return info.Defs[fn.Recv.List[0].Names[0]]
+}
+
+// receiverStateWrite reports whether expr is a store whose base chain is
+// rooted at the receiver and passes through a replicated-state field;
+// returns the field name and the node to anchor the diagnostic on.
+func receiverStateWrite(info *types.Info, e ast.Expr, recvObj types.Object, stateFields map[*types.Var]bool) (string, ast.Node) {
+	for {
+		switch t := e.(type) {
+		case *ast.SelectorExpr:
+			if sel := info.Selections[t]; sel != nil && sel.Kind() == types.FieldVal {
+				if v, ok := sel.Obj().(*types.Var); ok && stateFields[v] {
+					if root := rootIdent(t.X); root != nil && identObj(info, root) == recvObj {
+						return v.Name(), t
+					}
+				}
+			}
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.SliceExpr:
+			e = t.X
+		default:
+			return "", nil
+		}
+	}
+}

@@ -1,0 +1,35 @@
+// Package clean exercises every rule's happy path; the fixture test
+// asserts the suite reports nothing here.
+package clean
+
+import "sync"
+
+type gauge struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Add holds the guard and delegates to the Locked helper correctly.
+func (g *gauge) Add(d int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.addLocked(d)
+}
+
+func (g *gauge) addLocked(d int) {
+	g.n += d
+}
+
+// Snapshot reads under the guard.
+func (g *gauge) Snapshot() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// NewGauge initializes a value under construction.
+func NewGauge(start int) *gauge {
+	g := &gauge{}
+	g.n = start
+	return g
+}

@@ -1,0 +1,54 @@
+// Package lockedcall seeds violations of the *Locked suffix contract for
+// the lockedcall analyzer fixture tests.
+package lockedcall
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bumpLocked assumes the caller holds b.mu.
+func (b *box) bumpLocked() {
+	b.n++
+}
+
+// relockLocked takes its own lock (legal in isolation — some helpers
+// lock a *different* mutex than the one their callers hold).
+func (b *box) relockLocked() {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// Good calls the helper with the lock held.
+func (b *box) Good() {
+	b.mu.Lock()
+	b.bumpLocked()
+	b.mu.Unlock()
+}
+
+// Bare is an entry point that reaches the helper without any lock.
+func (b *box) Bare() {
+	b.bumpLocked() // want `call to bumpLocked without holding any mutex of b`
+}
+
+// Deadlock holds the mutex the helper re-acquires.
+func (b *box) Deadlock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.relockLocked() // want `re-acquires b\.mu already held at the call site`
+}
+
+// chainLocked may call siblings bare: its own caller holds the lock.
+func (b *box) chainLocked() {
+	b.bumpLocked()
+}
+
+// newBox touches a value under construction: exempt.
+func newBox() *box {
+	b := &box{}
+	b.bumpLocked()
+	return b
+}

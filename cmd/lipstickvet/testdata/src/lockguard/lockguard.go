@@ -1,0 +1,105 @@
+// Package lockguard seeds violations of the `guarded by` annotation for
+// the lockguard analyzer fixture tests.
+package lockguard
+
+import "sync"
+
+var cond bool
+
+type counter struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+
+	n    int // guarded by mu
+	view int // guarded by rw
+	both int // guarded by mu or rw
+	bad  int // guarded by missing — want `guard "missing" named in annotation is not a sync.Mutex`
+}
+
+// Good holds the guard across the write.
+func (c *counter) Good() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// DeferGood releases via defer; the body keeps the lock.
+func (c *counter) DeferGood() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Bad writes without the lock.
+func (c *counter) Bad() {
+	c.n++ // want `write to c\.n without exclusively holding`
+}
+
+// BadRead reads without the lock.
+func (c *counter) BadRead() int {
+	return c.n // want `read of c\.n without holding`
+}
+
+// SharedWrite only holds the read side: not enough for a write.
+func (c *counter) SharedWrite() {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	c.view++ // want `write to c\.view without exclusively holding`
+}
+
+// SharedRead is fine: RLock suffices for reads.
+func (c *counter) SharedRead() int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.view
+}
+
+// EitherGuard holds one of the two allowed guards.
+func (c *counter) EitherGuard() {
+	c.rw.Lock()
+	c.both++
+	c.rw.Unlock()
+}
+
+// EarlyReturn unlocks only on the terminating branch, so the fall-through
+// path still holds the lock.
+func (c *counter) EarlyReturn() {
+	c.mu.Lock()
+	if cond {
+		c.mu.Unlock()
+		return
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// MaybeUnlocked falls through a branch that released the lock: the merge
+// no longer dominates the access.
+func (c *counter) MaybeUnlocked() {
+	c.mu.Lock()
+	if cond {
+		c.mu.Unlock()
+	}
+	c.n++ // want `write to c\.n without exclusively holding`
+}
+
+// Spawn holds the lock, but the goroutine it starts does not inherit it.
+func (c *counter) Spawn() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `write to c\.n without exclusively holding`
+	}()
+}
+
+// bumpLocked relies on the caller's lock: exempt by the suffix contract.
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+// newCounter initializes a value under construction: exempt.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}

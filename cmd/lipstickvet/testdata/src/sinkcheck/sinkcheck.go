@@ -1,0 +1,55 @@
+// Package provgraph (fixture) seeds a Graph mutation with the event
+// emission deleted, for the sinkcheck analyzer fixture tests.
+package provgraph
+
+// Event is the fixture's stand-in for the typed event stream.
+type Event struct {
+	Kind int
+	Node string
+}
+
+// Graph mirrors the real event-sourced shape: replicated state plus an
+// event sink and a derived cache.
+type Graph struct {
+	nodes      map[string]int
+	edges      int
+	constIndex map[string]string // derived cache: exempt
+	events     func(Event)       // the sink: exempt
+}
+
+func (g *Graph) emit(ev Event) {
+	if g.events != nil {
+		g.events(ev)
+	}
+}
+
+// SetEventSink installs the sink (writes only the exempt field).
+func (g *Graph) SetEventSink(fn func(Event)) {
+	g.events = fn
+}
+
+// AddNode mutates and emits: the contract holds.
+func (g *Graph) AddNode(id string) {
+	g.nodes[id] = 1
+	g.emit(Event{Kind: 1, Node: id})
+}
+
+// BumpEdges is the seeded violation: state changes, no event.
+func (g *Graph) BumpEdges() {
+	g.edges++ // want `method BumpEdges mutates Graph state \(edges\) but never emits an Event`
+}
+
+// Remove deletes replicated state without emitting.
+func (g *Graph) Remove(id string) {
+	delete(g.nodes, id) // want `method Remove mutates Graph state \(nodes\) but never emits an Event`
+}
+
+// Intern writes only the derived cache: exempt.
+func (g *Graph) Intern(k, v string) {
+	g.constIndex[k] = v
+}
+
+// Size reads: no event required.
+func (g *Graph) Size() int {
+	return g.edges
+}

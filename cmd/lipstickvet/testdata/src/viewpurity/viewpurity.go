@@ -1,0 +1,50 @@
+// Package provgraph (fixture) seeds a mutation reached from a
+// GraphView-taking function, for the viewpurity analyzer fixture tests.
+package provgraph
+
+// Event is the fixture event type.
+type Event struct{ Node string }
+
+// Graph is the fixture's mutable graph.
+type Graph struct {
+	n      int
+	events func(Event)
+}
+
+func (g *Graph) emit(ev Event) {
+	if g.events != nil {
+		g.events(ev)
+	}
+}
+
+// AddNode mutates the graph.
+func (g *Graph) AddNode(id string) {
+	g.n++
+	g.emit(Event{Node: id})
+}
+
+// NumNodes reads.
+func (g *Graph) NumNodes() int { return g.n }
+
+// GraphView is the read-only lens.
+type GraphView interface {
+	NumNodes() int
+}
+
+// CountNodes stays on the read surface.
+func CountNodes(v GraphView) int {
+	return v.NumNodes()
+}
+
+// CompareAndPatch takes a view but mutates the graph on the side: the
+// seeded violation.
+func CompareAndPatch(v GraphView, g *Graph) {
+	if v.NumNodes() < 1 {
+		g.AddNode("patch") // want `takes a provgraph\.GraphView but calls mutating Graph\.AddNode`
+	}
+}
+
+// MutateElsewhere has no view parameter: out of scope for the rule.
+func MutateElsewhere(g *Graph) {
+	g.AddNode("free")
+}

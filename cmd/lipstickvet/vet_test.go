@@ -1,0 +1,145 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRE extracts `// want `regex“ expectations from fixture sources.
+var wantRE = regexp.MustCompile("want `([^`]+)`")
+
+// expectation is one // want comment: a regexp that must match a
+// diagnostic reported on the same line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// collectWants parses the fixture package's sources for expectations.
+func collectWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, m[1], err)
+				}
+				wants = append(wants, &expectation{file: path, line: i + 1, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture vets one fixture package and checks its findings against the
+// // want expectations — every expectation matched, nothing unexpected.
+func runFixture(t *testing.T, name string) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []Diagnostic
+	runAnalyzers(pkg, &diags)
+
+	wants := collectWants(t, dir)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected a diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestLockguardFixture(t *testing.T)  { runFixture(t, "lockguard") }
+func TestLockedcallFixture(t *testing.T) { runFixture(t, "lockedcall") }
+func TestSinkcheckFixture(t *testing.T)  { runFixture(t, "sinkcheck") }
+func TestViewpurityFixture(t *testing.T) { runFixture(t, "viewpurity") }
+func TestWalerrFixture(t *testing.T)     { runFixture(t, "walerr") }
+
+// TestCleanFixture asserts the suite stays quiet on conforming code.
+func TestCleanFixture(t *testing.T) { runFixture(t, "clean") }
+
+// TestRepoIsVetClean is the gate in test form: the real tree must produce
+// zero findings.
+func TestRepoIsVetClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := vet(root, []string{filepath.Join(root, "...")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("finding on the real tree: %s", d)
+	}
+}
+
+// TestDiagnosticFormat pins the file:line:col shape CI greps for.
+func TestDiagnosticFormat(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "walerr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []Diagnostic
+	runAnalyzers(pkg, &diags)
+	if len(diags) == 0 {
+		t.Fatal("walerr fixture produced no findings")
+	}
+	want := fmt.Sprintf("%s:%d:", diags[0].Pos.Filename, diags[0].Pos.Line)
+	if !strings.HasPrefix(diags[0].String(), want) {
+		t.Errorf("diagnostic %q does not start with file:line prefix %q", diags[0].String(), want)
+	}
+}

@@ -38,7 +38,8 @@ type LiveGraph struct {
 	// lets one disk flush absorb many concurrent requests. WAL I/O never
 	// runs under mu, so readers wait on memory mutation, not the disk.
 	writeMu sync.Mutex
-	// log, pending, ckptEvery are writer-only state (guarded by writeMu).
+	// log and group are fixed at construction; the log synchronizes its
+	// own I/O, so reading the pointer needs no lock.
 	log   *store.Log // nil for in-memory live graphs
 	group bool       // log runs in group-commit mode
 	// pending holds events applied to the in-memory graph but not yet
@@ -48,8 +49,8 @@ type LiveGraph struct {
 	// numbering never diverges from the stream's and an acknowledged
 	// batch is durable. Group mode tracks the same obligation in
 	// inflight below.
-	pending   []provgraph.Event
-	ckptEvery uint64
+	pending   []provgraph.Event // guarded by writeMu
+	ckptEvery uint64            // guarded by writeMu
 
 	// sem is the admission gate: one token per in-flight batch between
 	// AppendAsync and Wait. A full gate rejects with *OverloadedError
@@ -63,16 +64,18 @@ type LiveGraph struct {
 	// commit the log rolls back and these are the events that must be
 	// re-logged before any new ones.
 	inflightMu sync.Mutex
-	inflight   []pendingBatch
+	inflight   []pendingBatch // guarded by inflightMu
 
 	// mu guards the queryable state below for concurrent readers; the
-	// writer holds it only while applying events to memory.
+	// writer holds it only while applying events to memory. Writes happen
+	// with BOTH writeMu and mu held, so a reader may hold either one —
+	// hence the two-guard annotations.
 	mu       sync.RWMutex
-	g        *provgraph.Graph
-	ix       *store.Index
-	qp       *QueryProcessor
-	seq      uint64 // last applied event sequence
-	lastCkpt uint64
+	g        *provgraph.Graph // guarded by mu or writeMu
+	ix       *store.Index     // guarded by mu or writeMu
+	qp       *QueryProcessor  // guarded by mu or writeMu
+	seq      uint64           // last applied event sequence; guarded by mu or writeMu
+	lastCkpt uint64           // guarded by mu or writeMu
 }
 
 // pendingBatch is one applied-but-not-yet-durable span of the stream.
@@ -285,7 +288,7 @@ func (l *LiveGraph) AppendAsync(firstSeq uint64, events []provgraph.Event) *Pend
 	l.writeMu.Lock()
 	// Re-log anything a failed commit left undurable before accepting new
 	// events, so WAL positions stay aligned with stream sequences.
-	if err := l.flushPendingLocked(); err != nil {
+	if err := l.flushBacklogLocked(); err != nil {
 		l.writeMu.Unlock()
 		if recs != nil {
 			recs.Recycle()
@@ -363,7 +366,7 @@ func (l *LiveGraph) AppendAsync(firstSeq uint64, events []provgraph.Event) *Pend
 			}
 		} else {
 			l.pending = append(l.pending, fresh[:applied]...)
-			if err := l.flushPending(); err != nil {
+			if err := l.drainPendingLocked(); err != nil {
 				p.err = err
 			}
 		}
@@ -373,7 +376,7 @@ func (l *LiveGraph) AppendAsync(firstSeq uint64, events []provgraph.Event) *Pend
 		// The checkpoint op queues behind this batch's commit, so it
 		// covers exactly the events applied so far; writeMu is held
 		// throughout, keeping the graph stable for serialization.
-		if err := l.checkpointHeld(); err != nil {
+		if err := l.checkpointLocked(); err != nil {
 			p.err = err
 		}
 	}
@@ -424,12 +427,12 @@ func (l *LiveGraph) pruneInflight() {
 	l.inflightMu.Unlock()
 }
 
-// flushPending (writeMu held, serial mode) writes the applied-but-
+// drainPendingLocked (writeMu held, serial mode) writes the applied-but-
 // unlogged events to the WAL. store.Log.Append is all-or-nothing (a
 // failed append rolls the log back to its pre-batch state), so pending
 // either drains completely or stays queued for the next attempt —
 // positions in the log and stream sequences stay aligned across failures.
-func (l *LiveGraph) flushPending() error {
+func (l *LiveGraph) drainPendingLocked() error {
 	if l.log == nil || len(l.pending) == 0 {
 		return nil
 	}
@@ -440,17 +443,17 @@ func (l *LiveGraph) flushPending() error {
 	return nil
 }
 
-// flushPendingLocked (writeMu held) restores the durable log to the
+// flushBacklogLocked (writeMu held) restores the durable log to the
 // stream's position: serial mode drains pending; group mode, after a
 // failed group commit rolled the log back, re-logs the inflight suffix
 // (inserted in order at submission, so the backlog is always contiguous)
 // and clears the log's sticky failure.
-func (l *LiveGraph) flushPendingLocked() error {
+func (l *LiveGraph) flushBacklogLocked() error {
 	if l.log == nil {
 		return nil
 	}
 	if !l.group {
-		return l.flushPending()
+		return l.drainPendingLocked()
 	}
 	ferr := l.log.Failed()
 	if ferr == nil {
@@ -567,19 +570,19 @@ func (l *LiveGraph) Checkpoint() error {
 	if l.log == nil {
 		return nil
 	}
-	return l.checkpointHeld()
+	return l.checkpointLocked()
 }
 
-// checkpointHeld (writeMu held) snapshots and compacts. No writer can be
+// checkpointLocked (writeMu held) snapshots and compacts. No writer can be
 // applying events, so the graph is stable for serialization; concurrent
 // readers share it harmlessly.
-func (l *LiveGraph) checkpointHeld() error {
+func (l *LiveGraph) checkpointLocked() error {
 	// The checkpoint is named by the log's own sequence; events the log
 	// has not absorbed yet must land there first or the snapshot would
 	// contain events past the recorded checkpoint sequence. (In group
 	// mode healthy queued commits need no flush — the checkpoint op
 	// queues behind them and covers them.)
-	if err := l.flushPendingLocked(); err != nil {
+	if err := l.flushBacklogLocked(); err != nil {
 		return fmt.Errorf("lipstick: checkpoint of %s: flushing unlogged events: %w", l.name, err)
 	}
 	if err := l.log.Checkpoint(&store.Snapshot{Graph: l.g}); err != nil {
@@ -606,7 +609,7 @@ func (l *LiveGraph) Close() error {
 	if l.log == nil {
 		return nil
 	}
-	if err := l.flushPendingLocked(); err != nil {
+	if err := l.flushBacklogLocked(); err != nil {
 		l.log.Close()
 		return err
 	}

@@ -10,6 +10,7 @@ import (
 
 	"lipstick/internal/provgraph"
 	"lipstick/internal/store"
+	"lipstick/internal/testutil"
 	"lipstick/internal/workflow"
 	"lipstick/internal/workflowgen"
 )
@@ -111,6 +112,7 @@ func assertLiveMatchesBatch(t *testing.T, batch *provgraph.Graph, events []provg
 }
 
 func TestLiveGraphMatchesBatchDealership(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	batch, events := captureDealership(t, 120, 3)
 	if len(events) == 0 {
 		t.Fatal("capture produced no events")
@@ -119,11 +121,13 @@ func TestLiveGraphMatchesBatchDealership(t *testing.T) {
 }
 
 func TestLiveGraphMatchesBatchArctic(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	batch, events := captureArctic(t)
 	assertLiveMatchesBatch(t, batch, events)
 }
 
 func TestLiveGraphMatchesBatchParallelCapture(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	// A parallel run's drained event stream must replay to the same graph
 	// a sequential run builds.
 	log := provgraph.NewEventLog()
@@ -147,6 +151,7 @@ func TestLiveGraphMatchesBatchParallelCapture(t *testing.T) {
 }
 
 func TestLiveGraphDuplicateAndGapBatches(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	_, events := captureDealership(t, 60, 2)
 	lg := NewLiveGraph("t")
 	if _, err := lg.Append(1, events[:50]); err != nil {
@@ -192,6 +197,7 @@ func commitModes(t *testing.T, fn func(t *testing.T, opts []LiveOption)) {
 }
 
 func TestLiveGraphCrashRecovery(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	batch, events := captureDealership(t, 120, 3)
 	commitModes(t, func(t *testing.T, opts []LiveOption) {
 		dir := t.TempDir()
@@ -210,9 +216,14 @@ func TestLiveGraphCrashRecovery(t *testing.T) {
 		if _, err := lg.Append(uint64(mid)+1, events[mid:]); err != nil {
 			t.Fatal(err)
 		}
-		// Simulated kill: the process dies without Close. (Commits flush
-		// per batch, so the on-disk log is complete.)
-		lg = nil
+		// Simulated kill: every append above already waited for its
+		// commit, and the log has no clean-shutdown marker, so the disk
+		// state Close leaves behind is byte-identical to a kill here.
+		// (Recovery from a genuinely unclosed log is covered by the
+		// store-level WAL tests, which run without a committer.)
+		if err := lg.Close(); err != nil {
+			t.Fatal(err)
+		}
 
 		restored, err := OpenLiveGraph("d", dir)
 		if err != nil {
@@ -237,10 +248,14 @@ func TestLiveGraphCrashRecovery(t *testing.T) {
 		if err != nil || st.Applied != 0 {
 			t.Fatalf("post-recovery retry applied %d events (err %v)", st.Applied, err)
 		}
+		if err := restored.Close(); err != nil {
+			t.Fatal(err)
+		}
 	})
 }
 
 func TestLiveGraphTornTailRecovery(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	batch, events := captureDealership(t, 60, 2)
 	commitModes(t, func(t *testing.T, opts []LiveOption) { testTornTailRecovery(t, opts, batch, events) })
 }
@@ -298,6 +313,7 @@ func testTornTailRecovery(t *testing.T, opts []LiveOption, batch *provgraph.Grap
 }
 
 func TestLiveGraphConcurrentIngestAndReads(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	// Readers query through the full surface while the writer streams
 	// batches — run under -race in CI.
 	_, events := captureDealership(t, 120, 3)
@@ -384,6 +400,7 @@ func TestRegistryLiveGraphs(t *testing.T) {
 }
 
 func TestRegistryRestoreLiveDir(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	dir := t.TempDir()
 	liveDir := filepath.Join(dir, "live")
 	_, events := captureDealership(t, 60, 2)
@@ -397,6 +414,9 @@ func TestRegistryRestoreLiveDir(t *testing.T) {
 		t.Fatal("live graph under a live dir must be durable")
 	}
 	if _, err := lg.Append(1, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -414,6 +434,9 @@ func TestRegistryRestoreLiveDir(t *testing.T) {
 	}
 	if restored.Seq() != uint64(len(events)) {
 		t.Fatalf("restored seq %d, want %d", restored.Seq(), len(events))
+	}
+	if err := r2.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -627,6 +650,7 @@ func BenchmarkLiveFindMidIngest(b *testing.B) {
 }
 
 func TestLiveGraphGroupCommitPipelinedMatchesBatch(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	// Four writers pipeline ordered batches of one stream through
 	// AppendAsync (claim + submit under a shared lock, durability waits
 	// overlapping) into a group-committed WAL. The result must be
@@ -710,6 +734,7 @@ func TestLiveGraphGroupCommitPipelinedMatchesBatch(t *testing.T) {
 }
 
 func TestLiveGraphGroupCommitDuplicateAndGap(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	// The idempotence contract (dup-skip, gap rejection) holds unchanged
 	// under group commit, including the durable ack of a full duplicate.
 	_, events := captureDealership(t, 60, 2)
@@ -740,6 +765,7 @@ func TestLiveGraphGroupCommitDuplicateAndGap(t *testing.T) {
 }
 
 func TestLiveGraphAdmissionOverload(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	// A full admission queue rejects deterministically with
 	// *OverloadedError; draining a slot re-admits.
 	_, events := captureDealership(t, 60, 2)

@@ -28,17 +28,17 @@ const DefaultSnapshotCacheSize = 8
 type SnapshotManager struct {
 	mu       sync.Mutex
 	capacity int
-	entries  map[string]*list.Element
-	lru      *list.List // of *snapshotEntry; front = most recently used
+	entries  map[string]*list.Element // guarded by mu
+	lru      *list.List               // of *snapshotEntry; front = most recently used; guarded by mu
 }
 
 type snapshotEntry struct {
 	path string
 
-	mu    sync.Mutex // serializes (re)loads of this path
-	qp    *QueryProcessor
-	mtime time.Time
-	size  int64
+	mu    sync.Mutex      // serializes (re)loads of this path
+	qp    *QueryProcessor // guarded by mu
+	mtime time.Time       // guarded by mu
+	size  int64           // guarded by mu
 }
 
 // NewSnapshotManager returns a manager caching up to capacity loaded

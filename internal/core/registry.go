@@ -40,14 +40,14 @@ type Registry struct {
 	liveOpts   []LiveOption
 
 	mu    sync.Mutex
-	snaps map[string]string // name -> path
-	live  map[string]*LiveGraph
+	snaps map[string]string     // name -> path; guarded by mu
+	live  map[string]*LiveGraph // guarded by mu
 	// liveOpening marks names whose durable live graph is mid-recovery
 	// (opened outside the lock); liveOpened signals completion.
-	liveOpening map[string]bool
-	liveOpened  *sync.Cond // on mu
-	sessions    map[string]*Session
-	seq         uint64
+	liveOpening map[string]bool     // guarded by mu
+	liveOpened  *sync.Cond          // on mu
+	sessions    map[string]*Session // guarded by mu
+	seq         uint64              // guarded by mu
 }
 
 // RegistryOption configures a Registry.
@@ -498,4 +498,26 @@ func (r *Registry) evictLRULocked() {
 		delete(r.sessions, oldest.id)
 		statSessionsEvicted.Add(1)
 	}
+}
+
+// Close shuts the registry down: every durable live graph is flushed and
+// its write-ahead log closed, releasing the committer goroutine and file
+// handles. The first close error is returned; the registry must not be
+// used afterwards.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	live := make([]*LiveGraph, 0, len(r.live))
+	for _, lg := range r.live {
+		live = append(live, lg)
+	}
+	r.live = map[string]*LiveGraph{}
+	r.sessions = map[string]*Session{}
+	r.mu.Unlock()
+	var first error
+	for _, lg := range live {
+		if err := lg.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }

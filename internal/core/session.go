@@ -30,9 +30,9 @@ type Session struct {
 	lastUsed atomic.Int64 // unix nanos; touched by Registry.Session
 
 	mu      sync.Mutex
-	overlay *provgraph.Overlay
-	zooms   []*provgraph.ZoomRecord
-	zoomed  map[string]bool
+	overlay *provgraph.Overlay      // guarded by mu
+	zooms   []*provgraph.ZoomRecord // guarded by mu
+	zoomed  map[string]bool         // guarded by mu
 }
 
 func newSession(id, snapshot string, base *QueryProcessor, now time.Time) *Session {

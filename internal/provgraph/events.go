@@ -226,8 +226,8 @@ func Replay(events []Event) (*Graph, error) {
 // so a sender can number batches with stable sequence numbers.
 type EventLog struct {
 	mu    sync.Mutex
-	buf   []Event
-	total uint64
+	buf   []Event // guarded by mu
+	total uint64  // guarded by mu
 }
 
 // NewEventLog returns an empty event buffer.

@@ -82,9 +82,9 @@ type IngestClient struct {
 	batch  int
 
 	mu   sync.Mutex
-	buf  []provgraph.Event
-	sent uint64 // events acknowledged by the server
-	err  error
+	buf  []provgraph.Event // guarded by mu
+	sent uint64            // events acknowledged by the server; guarded by mu
+	err  error             // guarded by mu
 }
 
 // Retry defaults: eight attempts starting at 25ms cover ~6s of sustained

@@ -13,6 +13,7 @@ import (
 	"lipstick/internal/core"
 	"lipstick/internal/nested"
 	"lipstick/internal/pig"
+	"lipstick/internal/testutil"
 	"lipstick/internal/workflow"
 )
 
@@ -104,6 +105,7 @@ func getJSON(t *testing.T, url string, wantStatus int, into any) {
 }
 
 func TestHTTPInfoOutputsHealth(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	srv, _ := testServer(t)
 
 	var health map[string]any
@@ -137,6 +139,7 @@ func TestHTTPInfoOutputsHealth(t *testing.T) {
 }
 
 func TestHTTPZoom(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	srv, _ := testServer(t)
 
 	var zoom ZoomResult
@@ -161,6 +164,7 @@ func TestHTTPZoom(t *testing.T) {
 }
 
 func TestHTTPDeleteSubgraphLineage(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	srv, _ := testServer(t)
 
 	// Find a base tuple to query from.
@@ -213,6 +217,7 @@ func TestHTTPDeleteSubgraphLineage(t *testing.T) {
 }
 
 func TestHTTPExports(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	srv, _ := testServer(t)
 
 	resp, err := http.Get(srv.URL + "/v1/dot")
@@ -238,6 +243,7 @@ func TestHTTPExports(t *testing.T) {
 }
 
 func TestHTTPErrorsAndMethods(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	svc := NewService(nil)
 	missing := filepath.Join(t.TempDir(), "missing.lpsk")
 	srv := httptest.NewServer(svc.Handler(missing))
@@ -272,6 +278,7 @@ func TestHTTPErrorsAndMethods(t *testing.T) {
 // loaded processor (the tentpole: serve answers from the cache, not
 // load-per-query).
 func TestHTTPCachedProcessorIsShared(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	path := saveSnapshot(t)
 	svc := NewService(core.NewSnapshotManager(2))
 	srv := httptest.NewServer(svc.Handler(path))

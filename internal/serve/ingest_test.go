@@ -14,6 +14,7 @@ import (
 	"lipstick/internal/core"
 	"lipstick/internal/provgraph"
 	"lipstick/internal/store"
+	"lipstick/internal/testutil"
 	"lipstick/internal/workflow"
 	"lipstick/internal/workflowgen"
 )
@@ -70,6 +71,7 @@ func fetchJSON(t *testing.T, srv *httptest.Server, path string, into any) int {
 }
 
 func TestHTTPIngestLiveQueries(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	batch, events := captureRun(t)
 	svc := NewService(nil)
 	srv := httptest.NewServer(svc.Handler(""))
@@ -170,6 +172,7 @@ func TestHTTPIngestLiveQueries(t *testing.T) {
 }
 
 func TestHTTPIngestClientStreamsWhileServing(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	// End-to-end: a workflow run streams through IngestClient into the
 	// server while a reader polls live queries — the full capture ->
 	// encode -> HTTP -> live-graph -> query pipeline, race-tested in CI.
@@ -225,6 +228,7 @@ func TestHTTPIngestClientStreamsWhileServing(t *testing.T) {
 }
 
 func TestHTTPStats(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	path := saveSnapshot(t)
 	svc := NewService(nil)
 	srv := httptest.NewServer(svc.Handler(path))
@@ -275,6 +279,7 @@ func TestHTTPStats(t *testing.T) {
 }
 
 func TestHTTPStatsIngestPipeline(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	// A durable, group-committed live graph surfaces its pipeline
 	// counters — group commits, batches per commit, queue depth
 	// high-water, and shed batches — through GET /v1/stats.
@@ -284,6 +289,7 @@ func TestHTTPStatsIngestPipeline(t *testing.T) {
 			core.WithLogOptions(store.WithGroupCommit(0, 0), store.WithFsync(false)),
 			core.WithIngestQueueDepth(4),
 		))
+	defer reg.Close()
 	svc := NewRegistryService(reg)
 	srv := httptest.NewServer(svc.Handler(""))
 	defer srv.Close()
@@ -349,6 +355,7 @@ func TestHTTPStatsIngestPipeline(t *testing.T) {
 }
 
 func TestHTTPIngestClientRetriesOverload(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	// Every batch's first attempt is shed with a synthetic 429; the
 	// client's backoff retry must complete the stream with zero lost or
 	// duplicated events (asserted by replay equality against the batch
@@ -420,6 +427,7 @@ func TestHTTPIngestClientRetriesOverload(t *testing.T) {
 }
 
 func TestHTTPSessionFork(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	path := saveSnapshot(t)
 	svc := NewService(nil)
 	srv := httptest.NewServer(svc.Handler(path))
@@ -488,6 +496,7 @@ func TestHTTPSessionFork(t *testing.T) {
 }
 
 func TestHTTPIngestGuards(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	svc := NewService(nil)
 	srv := httptest.NewServer(svc.Handler(""))
 	defer srv.Close()

@@ -250,19 +250,19 @@ type committer struct {
 	l *Log
 
 	mu     sync.Mutex
-	queue  []commitOp
-	qbytes int
-	failed error
-	closed bool
+	queue  []commitOp // guarded by mu
+	qbytes int        // guarded by mu
+	failed error      // guarded by mu
+	closed bool       // guarded by mu
 	wake   chan struct{}
 
 	// spare is the next segment file, created ahead of time by a
 	// background goroutine so rotation inside the commit loop is a rename
 	// plus a header write, never a create-stall.
 	spareMu   sync.Mutex
-	spare     *os.File
+	spare     *os.File // guarded by spareMu
 	sparePath string
-	preparing bool
+	preparing bool // guarded by spareMu
 	prepWG    sync.WaitGroup
 
 	commits atomic.Int64
@@ -413,7 +413,7 @@ write:
 		// Append: close the damaged segment, drop segments the group
 		// created, truncate the entry segment to its pre-group length.
 		if l.f != nil {
-			l.f.Close()
+			_ = l.f.Close() // the write already failed; rollback proceeds regardless
 			l.f, l.bw = nil, nil
 		}
 		for _, p := range created {
@@ -491,7 +491,7 @@ func (g *committer) doClose(op commitOp) {
 	g.prepWG.Wait()
 	g.spareMu.Lock()
 	if g.spare != nil {
-		g.spare.Close()
+		_ = g.spare.Close() // never written; the file is removed next
 		os.Remove(g.sparePath)
 		g.spare = nil
 	}
@@ -560,7 +560,7 @@ func (g *committer) takeSpare(path string) *os.File {
 	f := g.spare
 	g.spare = nil
 	if err := os.Rename(g.sparePath, path); err != nil {
-		f.Close()
+		_ = f.Close() // spare is abandoned and removed
 		os.Remove(g.sparePath)
 		return nil
 	}
@@ -589,7 +589,7 @@ func (g *committer) prepareSpare() {
 			closed := g.closed
 			g.mu.Unlock()
 			if closed || g.spare != nil {
-				f.Close()
+				_ = f.Close() // never written; the file is removed next
 				os.Remove(g.sparePath)
 			} else {
 				g.spare = f

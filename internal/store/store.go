@@ -377,7 +377,7 @@ func Save(path string, s *Snapshot) error {
 		return err
 	}
 	if err := Write(f, s); err != nil {
-		f.Close()
+		_ = f.Close() // the write error wins
 		return err
 	}
 	return f.Close()
@@ -389,6 +389,6 @@ func Load(path string) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // opened read-only
 	return Read(f)
 }

@@ -238,7 +238,7 @@ func (l *Log) Append(events []provgraph.Event) error {
 	err := l.appendAll(events, &created)
 	if err != nil {
 		if l.f != nil {
-			l.f.Close()
+			_ = l.f.Close() // append already failed; rollback proceeds regardless
 			l.f, l.bw = nil, nil
 		}
 		for _, p := range created {
@@ -343,12 +343,12 @@ func (l *Log) checkpointNow(snap *Snapshot) error {
 		return err
 	}
 	if err := Write(f, snap); err != nil {
-		f.Close()
+		_ = f.Close() // checkpoint temp is removed; the write error wins
 		os.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // checkpoint temp is removed; the sync error wins
 		os.Remove(tmp)
 		return err
 	}
@@ -364,8 +364,10 @@ func (l *Log) checkpointNow(snap *Snapshot) error {
 	// current segment's events are all <= seq (Append and Checkpoint are
 	// serialized), so the whole segment set goes.
 	if l.f != nil {
-		l.bw.Flush()
-		l.f.Close()
+		// The durable checkpoint supersedes this whole segment set; the
+		// files are deleted below, so flush/close failures are moot.
+		_ = l.bw.Flush()
+		_ = l.f.Close()
 		l.f, l.bw = nil, nil
 	}
 	l.path, l.size = "", 0
@@ -405,12 +407,12 @@ func (l *Log) Close() error {
 		return nil
 	}
 	if err := l.bw.Flush(); err != nil {
-		l.f.Close()
+		_ = l.f.Close() // the flush error wins
 		return err
 	}
 	if l.fsync {
 		if err := l.f.Sync(); err != nil {
-			l.f.Close()
+			_ = l.f.Close() // the sync error wins
 			return err
 		}
 	}
@@ -442,7 +444,7 @@ func (l *Log) rotate(firstSeq uint64) error {
 	}
 	fi, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close() // segment is not adopted; the stat error wins
 		return err
 	}
 	l.f = f
@@ -479,7 +481,7 @@ func readSegment(path string, wantFirst, skipThrough uint64) (events []provgraph
 	if err != nil {
 		return nil, 0, 0, false, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // opened read-only
 	br := bufio.NewReader(f)
 
 	head := make([]byte, len(walMagic)+1)

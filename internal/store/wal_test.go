@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"lipstick/internal/provgraph"
+	"lipstick/internal/testutil"
 )
 
 // chainEvents builds n valid consecutive events (a growing node chain).
@@ -328,6 +329,7 @@ func TestWALAppendFailureRollsBack(t *testing.T) {
 }
 
 func TestWALGroupCommitAppendRecover(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	dir := t.TempDir()
 	events := chainEvents(120)
 	l, rec := openLogT(t, dir, WithGroupCommit(0, 0))
@@ -373,6 +375,7 @@ func TestWALGroupCommitAppendRecover(t *testing.T) {
 }
 
 func TestWALGroupCommitConcurrentAppends(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	// Concurrent writers share one committer; every batch must land
 	// exactly once, in some serialization of the submit order.
 	dir := t.TempDir()
@@ -413,6 +416,7 @@ func TestWALGroupCommitConcurrentAppends(t *testing.T) {
 }
 
 func TestWALGroupCommitRotationCheckpoint(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	dir := t.TempDir()
 	events := chainEvents(150)
 	l, _ := openLogT(t, dir, WithGroupCommit(0, 0), WithSegmentLimit(256), WithFsync(false))
@@ -461,6 +465,7 @@ func TestWALGroupCommitRotationCheckpoint(t *testing.T) {
 }
 
 func TestWALGroupCommitBarrierAndClose(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	dir := t.TempDir()
 	l, _ := openLogT(t, dir, WithGroupCommit(0, 0))
 	if err := l.Append(chainEvents(5)); err != nil {

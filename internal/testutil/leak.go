@@ -1,0 +1,108 @@
+// Package testutil holds stdlib-only test helpers shared across the
+// lipstick test suites.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// VerifyNoLeaks snapshots the running goroutines and registers a cleanup
+// that fails the test if goroutines created during it are still alive
+// once it ends. Shutdown paths (server Close, ingest pipeline drain, the
+// group-commit committer loop) must release every goroutine they started;
+// a leak here is a leak in production.
+//
+// Goroutines are compared by stack identity, not count, so unrelated
+// tests running in parallel do not trip the check. Runtime-internal and
+// test-harness goroutines are ignored. Call it first in the test body:
+//
+//	func TestServerShutdown(t *testing.T) {
+//		testutil.VerifyNoLeaks(t)
+//		...
+//	}
+func VerifyNoLeaks(t *testing.T) {
+	t.Helper()
+	before := goroutineSet()
+	t.Cleanup(func() {
+		// Give exiting goroutines a moment to unwind: Close-style APIs
+		// often return after signalling, a hair before the loop exits.
+		deadline := time.Now().Add(2 * time.Second)
+		var leaked []string
+		for {
+			leaked = leaked[:0]
+			for id, stack := range goroutineSet() {
+				if before[id] == "" && !ignoredStack(stack) {
+					leaked = append(leaked, stack)
+				}
+			}
+			if len(leaked) == 0 || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		for _, stack := range leaked {
+			t.Errorf("leaked goroutine:\n%s", stack)
+		}
+	})
+}
+
+// goroutineSet captures all current goroutines keyed by id.
+func goroutineSet() map[string]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	out := map[string]string{}
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if id := goroutineID(g); id != "" {
+			out[id] = g
+		}
+	}
+	return out
+}
+
+// goroutineID extracts the numeric id from a "goroutine N [state]:" header.
+func goroutineID(stack string) string {
+	var id int
+	var state string
+	if _, err := fmt.Sscanf(stack, "goroutine %d [%s", &id, &state); err != nil {
+		return ""
+	}
+	return fmt.Sprint(id)
+}
+
+// ignoredStack filters goroutines whose lifetime the test does not own:
+// the runtime, the testing harness, and net/http's shared transport
+// machinery (idle connections park briefly after a client request).
+var ignoredPatterns = []string{
+	"testing.(*T).Run",
+	"testing.tRunner",
+	"testing.runFuzzing",
+	"runtime.goexit0",
+	"runtime.gc",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"created by runtime",
+	"net/http.(*persistConn)",
+	"net/http.(*Transport)",
+	"net/http.setRequestCancel",
+	"internal/poll.runtime_pollWait",
+}
+
+func ignoredStack(stack string) bool {
+	for _, p := range ignoredPatterns {
+		if strings.Contains(stack, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,48 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGoroutineSetParsesIDs(t *testing.T) {
+	set := goroutineSet()
+	if len(set) == 0 {
+		t.Fatal("no goroutines captured")
+	}
+	for id, stack := range set {
+		if id == "" || !strings.HasPrefix(stack, "goroutine ") {
+			t.Fatalf("bad entry %q -> %q", id, stack)
+		}
+	}
+}
+
+func TestVerifyNoLeaksAllowsExitingGoroutine(t *testing.T) {
+	VerifyNoLeaks(t)
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(done)
+	}()
+	<-done
+	// The goroutine may still be unwinding here; the cleanup's grace
+	// period must absorb that.
+}
+
+func TestLeakDetectionCatchesAStuckGoroutine(t *testing.T) {
+	before := goroutineSet()
+	block := make(chan struct{})
+	go func() { <-block }()
+	time.Sleep(10 * time.Millisecond)
+	var leaked []string
+	for id, stack := range goroutineSet() {
+		if before[id] == "" && !ignoredStack(stack) {
+			leaked = append(leaked, stack)
+		}
+	}
+	close(block)
+	if len(leaked) == 0 {
+		t.Fatal("deliberately stuck goroutine was not detected")
+	}
+}
