@@ -36,6 +36,10 @@ func main() {
 	trials := flag.Int("trials", 0, "override the number of trials per measurement")
 	parallel := flag.Int("parallel", 0,
 		"worker-pool size for module invocations in fig5a/fig5b (0 = sequential, -1 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "",
+		"write the graphmem storage report (machine-readable JSON) to this file")
+	benchSmoke := flag.String("benchsmoke", "",
+		"run a graphmem smoke point and compare against this baseline report; exits non-zero on >20% regression")
 	emit := flag.String("emit", "",
 		"stream a dealership run's provenance events to this lipstick server instead of running figures")
 	emitName := flag.String("name", "workflowgen", "live-graph name for -emit")
@@ -60,6 +64,14 @@ func main() {
 		}
 		if err := emitRun(*emit, *emitName, cars, *emitExecs, runSeed, *emitBatch, *emitDelay); err != nil {
 			fmt.Fprintf(os.Stderr, "workflowgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *benchSmoke != "" {
+		if err := runBenchSmoke(*benchSmoke); err != nil {
+			fmt.Fprintf(os.Stderr, "workflowgen: bench-smoke: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -91,8 +103,19 @@ func main() {
 		ids = strings.Split(*fig, ",")
 	}
 	for _, id := range ids {
+		id = strings.TrimSpace(id)
 		start := time.Now()
-		figure, err := workflowgen.RunFigure(strings.TrimSpace(id), scale)
+		var figure *workflowgen.Figure
+		var err error
+		if id == "graphmem" && *jsonPath != "" {
+			var report *workflowgen.GraphMemReport
+			figure, report, err = workflowgen.RunGraphMem(scale)
+			if err == nil {
+				err = writeGraphMemReport(*jsonPath, report)
+			}
+		} else {
+			figure, err = workflowgen.RunFigure(id, scale)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "workflowgen: %s: %v\n", id, err)
 			os.Exit(1)
@@ -100,6 +123,50 @@ func main() {
 		figure.Print(os.Stdout)
 		fmt.Printf("   (experiment wall time: %s)\n\n", time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// writeGraphMemReport persists the machine-readable graphmem metrics
+// (the file CI's bench-smoke gate diffs against).
+func writeGraphMemReport(path string, report *workflowgen.GraphMemReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runBenchSmoke re-measures the baseline's smallest scale point and fails
+// on a >20% regression of the hardware-portable metrics (bytes/node, v3/v2
+// open ratio).
+func runBenchSmoke(baselinePath string) error {
+	baseline, err := workflowgen.ReadGraphMemReport(baselinePath)
+	if err != nil {
+		return err
+	}
+	if len(baseline.Points) == 0 {
+		return fmt.Errorf("baseline %s has no points", baselinePath)
+	}
+	small := baseline.Points[0]
+	for _, p := range baseline.Points[1:] {
+		if p.Nodes < small.Nodes {
+			small = p
+		}
+	}
+	report, err := workflowgen.GraphMemSeries([]int{small.Nodes}, workflowgen.DefaultScale.Seed)
+	if err != nil {
+		return err
+	}
+	if err := workflowgen.CompareGraphMem(baseline, report, 0.20); err != nil {
+		return err
+	}
+	cur := report.Points[0]
+	fmt.Printf("bench-smoke ok: %d nodes, bytes/node %.1f (baseline %.1f), open ratio v3/v2 %.4f (baseline %.4f)\n",
+		cur.Nodes, cur.BytesPerNode, small.BytesPerNode, cur.OpenRatio(), small.OpenRatio())
+	return nil
 }
 
 // emitRun drives a dealership run while streaming its provenance events

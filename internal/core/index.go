@@ -6,25 +6,30 @@ import (
 )
 
 // Index is the query-side postings index a QueryProcessor answers
-// selection queries from. Indexed (v2) snapshots carry the postings on
-// disk, written at track time; for legacy v1 snapshots (or processors
-// built over a live tracker) the postings are computed once at
-// construction. Either way, FindNodes intersects sorted postings lists
-// instead of scanning every node.
+// selection queries from. Snapshots carry the postings on disk, written
+// at track time — map-based for v2, columnar (possibly mmap'd) for v3;
+// for legacy v1 snapshots (or processors built over a live tracker) the
+// postings are computed once at construction. Either way, FindNodes
+// intersects sorted postings lists instead of scanning every node.
 //
 // The index is immutable: graph transformations only flip node liveness
 // (which lookups re-check) or append nodes past the indexed range (which
 // lookups sweep separately), so it stays valid across ZoomOut/ZoomIn and
 // deletion propagation without maintenance.
 type Index struct {
-	data *store.Index
+	data store.Postings
 }
 
 // newIndex adopts a snapshot's persisted postings or builds them from the
 // graph in one pass.
 func newIndex(snap *store.Snapshot) *Index {
-	d := snap.Index
-	if d == nil {
+	var d store.Postings
+	switch {
+	case snap.Postings != nil:
+		d = snap.Postings
+	case snap.Index != nil:
+		d = snap.Index
+	default:
 		d = store.BuildIndex(snap.Graph)
 	}
 	return &Index{data: d}
@@ -33,11 +38,11 @@ func newIndex(snap *store.Snapshot) *Index {
 // Coverage returns the number of node slots the postings cover. Nodes
 // appended after the index was built (e.g. zoom nodes installed by
 // ZoomOut) have ids >= Coverage() and are not in any postings list.
-func (ix *Index) Coverage() int { return ix.data.Nodes }
+func (ix *Index) Coverage() int { return ix.data.Coverage() }
 
 // ModuleInvocations returns the indexed invocation ids of a module.
 func (ix *Index) ModuleInvocations(module string) []provgraph.InvID {
-	return ix.data.ModuleInvs[module]
+	return ix.data.ModuleInvocations(module)
 }
 
 // candidates returns the sorted intersection of the postings lists for
@@ -50,22 +55,22 @@ func (ix *Index) candidates(f NodeFilter) ([]provgraph.NodeID, bool) {
 	if len(f.Types) > 0 {
 		per := make([][]provgraph.NodeID, 0, len(f.Types))
 		for _, t := range f.Types {
-			per = append(per, ix.data.ByType[t])
+			per = append(per, ix.data.TypeIDs(t))
 		}
 		lists = append(lists, unionSorted(per))
 	}
 	if len(f.Ops) > 0 {
 		per := make([][]provgraph.NodeID, 0, len(f.Ops))
 		for _, o := range f.Ops {
-			per = append(per, ix.data.ByOp[o])
+			per = append(per, ix.data.OpIDs(o))
 		}
 		lists = append(lists, unionSorted(per))
 	}
 	if f.Label != "" {
-		lists = append(lists, ix.data.ByLabel[f.Label])
+		lists = append(lists, ix.data.LabelIDs(f.Label))
 	}
 	if f.Module != "" {
-		lists = append(lists, ix.data.ByModule[f.Module])
+		lists = append(lists, ix.data.ModuleIDs(f.Module))
 	}
 	if len(lists) == 0 {
 		return nil, false

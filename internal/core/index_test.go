@@ -92,8 +92,8 @@ func TestIndexFromPersistedSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if snap.Index == nil {
-		t.Fatal("tracker wrote an unindexed snapshot")
+	if snap.Postings == nil {
+		t.Fatal("tracker wrote a snapshot without columnar postings")
 	}
 	qp := NewQueryProcessor(snap)
 	assertIndexMatchesScan(t, qp, "persisted")

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"lipstick/internal/nested"
 	"lipstick/internal/provgraph"
@@ -100,16 +101,26 @@ func (t *Tracker) WriteSnapshot(w io.Writer) error {
 // graph: zoom (Section 4.1), deletion propagation (Section 4.2), and
 // subgraph/dependency queries (Sections 4.3, 5.1).
 type QueryProcessor struct {
-	graph   *provgraph.Graph
-	outputs []store.RelationDump
-	index   *Index
-	zooms   []*provgraph.ZoomRecord
-	zoomed  map[string]bool
+	graph *provgraph.Graph
+	index *Index
+
+	// outputs is populated eagerly for buffered snapshots; mapped (v3)
+	// opens defer the decode behind outputsFn until the first accessor
+	// needs it, so opening a snapshot stays O(1) in its size.
+	outputs     []store.RelationDump
+	outputsFn   func() ([]store.RelationDump, error)
+	outputsOnce sync.Once
+	outputsErr  error
+
+	zooms  []*provgraph.ZoomRecord
+	zoomed map[string]bool
 }
 
-// Load reads a tracker snapshot from disk and builds the in-memory graph.
+// Load opens a tracker snapshot from disk and builds the in-memory graph.
+// Columnar (v3) snapshots are memory-mapped where the platform allows it,
+// making the open O(1) in snapshot size; older formats decode as before.
 func Load(path string) (*QueryProcessor, error) {
-	snap, err := store.Load(path)
+	snap, err := store.LoadMapped(path)
 	if err != nil {
 		return nil, err
 	}
@@ -130,10 +141,11 @@ func Read(r io.Reader) (*QueryProcessor, error) {
 // built from the graph here, once, instead of rescanning per query.
 func NewQueryProcessor(snap *store.Snapshot) *QueryProcessor {
 	return &QueryProcessor{
-		graph:   snap.Graph,
-		outputs: snap.Outputs,
-		index:   newIndex(snap),
-		zoomed:  map[string]bool{},
+		graph:     snap.Graph,
+		outputs:   snap.Outputs,
+		outputsFn: snap.LazyOutputs,
+		index:     newIndex(snap),
+		zoomed:    map[string]bool{},
 	}
 }
 
@@ -150,12 +162,32 @@ func FromTracker(t *Tracker) *QueryProcessor {
 // Graph exposes the in-memory provenance graph.
 func (qp *QueryProcessor) Graph() *provgraph.Graph { return qp.graph }
 
-// Outputs returns the annotated output relations recorded by the tracker.
-func (qp *QueryProcessor) Outputs() []store.RelationDump { return qp.outputs }
+// Outputs returns the annotated output relations recorded by the tracker,
+// decoding them on first use for mapped snapshots. A decode failure (a
+// corrupted mapped file) yields nil; OutputsErr reports the cause.
+func (qp *QueryProcessor) Outputs() []store.RelationDump { return qp.resolveOutputs() }
+
+// OutputsErr reports the deferred output-decode error of a mapped
+// snapshot, if any. It forces the decode.
+func (qp *QueryProcessor) OutputsErr() error {
+	qp.resolveOutputs()
+	return qp.outputsErr
+}
+
+func (qp *QueryProcessor) resolveOutputs() []store.RelationDump {
+	qp.outputsOnce.Do(func() {
+		if qp.outputsFn == nil {
+			return
+		}
+		qp.outputs, qp.outputsErr = qp.outputsFn()
+		qp.outputsFn = nil
+	})
+	return qp.outputs
+}
 
 // Output finds one recorded relation by execution, node and relation name.
 func (qp *QueryProcessor) Output(execution int, node, rel string) (*store.RelationDump, bool) {
-	for i := range qp.outputs {
+	for i := range qp.resolveOutputs() {
 		d := &qp.outputs[i]
 		if d.Execution == execution && d.Node == node && d.Relation == rel {
 			return d, true
@@ -166,7 +198,7 @@ func (qp *QueryProcessor) Output(execution int, node, rel string) (*store.Relati
 
 // FindOutputTuple locates the provenance node of an output tuple by value.
 func (qp *QueryProcessor) FindOutputTuple(node, rel string, tuple *nested.Tuple) (provgraph.NodeID, bool) {
-	for i := range qp.outputs {
+	for i := range qp.resolveOutputs() {
 		d := &qp.outputs[i]
 		if d.Node != node || d.Relation != rel {
 			continue

@@ -1,0 +1,185 @@
+package provgraph
+
+// Struct-of-arrays storage primitives. Graph state lives in dense typed
+// columns instead of a []Node of pointer-heavy structs: a column is a
+// read-only base region (possibly aliasing a mapped snapshot file) plus a
+// heap-owned tail for nodes appended after the base was built. Mutating a
+// base slot copies the base to the heap once (copy-on-write), so a graph
+// opened from an mmap'd snapshot never writes through the mapping.
+
+// col is one dense column of node attributes.
+type col[T any] struct {
+	// base is the read-only region covering the first len(base) slots. It
+	// may alias mapped file memory and must not be written unless owned.
+	base []T
+	// tail holds slots appended after base; always heap-owned.
+	tail []T
+	// owned reports that base is a private heap copy and may be written
+	// in place.
+	owned bool
+}
+
+func (c *col[T]) len() int { return len(c.base) + len(c.tail) }
+
+func (c *col[T]) at(i int) T {
+	if i < len(c.base) {
+		return c.base[i]
+	}
+	return c.tail[i-len(c.base)]
+}
+
+func (c *col[T]) add(v T) { c.tail = append(c.tail, v) }
+
+// set writes slot i, copying the base region to the heap first if it is
+// still shared with (or aliasing) read-only memory.
+func (c *col[T]) set(i int, v T) {
+	if i < len(c.base) {
+		if !c.owned {
+			c.base = append([]T(nil), c.base...)
+			c.owned = true
+		}
+		c.base[i] = v
+		return
+	}
+	c.tail[i-len(c.base)] = v
+}
+
+// cloneShared returns a copy that shares the read-only base (copying it
+// only when this column already owns a writable base, to keep the two
+// writers independent) and deep-copies the tail.
+func (c *col[T]) cloneShared() col[T] {
+	base := c.base
+	if c.owned {
+		base = append([]T(nil), base...)
+	}
+	return col[T]{base: base, tail: append([]T(nil), c.tail...), owned: c.owned}
+}
+
+// bitset is a packed liveness set. It is always heap-owned: snapshot opens
+// copy it (one bit per node, so the copy stays trivially small) because
+// kill/revive are the most common post-open mutations.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func (b bitset) set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+func (b bitset) clear(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// setGrow sets bit i, extending the set as needed (node append path).
+func (b *bitset) setGrow(i int) {
+	for i>>6 >= len(*b) {
+		*b = append(*b, 0)
+	}
+	b.set(i)
+}
+
+// adjHalf is one direction of adjacency: a frozen CSR base (offs/edges)
+// covering the first baseN node slots, per-node append lists for slots
+// added after the base was built, and a rare spill map for edges added to
+// base-covered nodes post-load.
+type adjHalf struct {
+	baseN int
+	offs  []uint32 // len baseN+1; read-only, may alias mapped memory
+	edges []NodeID // read-only, may alias mapped memory
+	spill map[NodeID][]NodeID
+	tail  [][]NodeID
+}
+
+// addSlot extends the adjacency to cover one appended node.
+func (a *adjHalf) addSlot() { a.tail = append(a.tail, nil) }
+
+// add appends one edge endpoint to id's list.
+func (a *adjHalf) add(id NodeID, to NodeID) {
+	if int(id) < a.baseN {
+		if a.spill == nil {
+			a.spill = make(map[NodeID][]NodeID)
+		}
+		a.spill[id] = append(a.spill[id], to)
+		return
+	}
+	i := int(id) - a.baseN
+	a.tail[i] = append(a.tail[i], to)
+}
+
+// each iterates id's endpoints in append order.
+func (a *adjHalf) each(id NodeID, fn func(NodeID) bool) {
+	i := int(id)
+	if i < a.baseN {
+		for _, n := range a.edges[a.offs[i]:a.offs[i+1]] {
+			if !fn(n) {
+				return
+			}
+		}
+		if a.spill != nil {
+			for _, n := range a.spill[id] {
+				if !fn(n) {
+					return
+				}
+			}
+		}
+		return
+	}
+	for _, n := range a.tail[i-a.baseN] {
+		if !fn(n) {
+			return
+		}
+	}
+}
+
+// slice returns id's endpoints as one slice. The fast paths return a view
+// of existing storage (the CSR base subslice is capacity-clipped so a
+// caller's append can never clobber a neighbor's edges); only base nodes
+// with spilled edges pay an allocation.
+func (a *adjHalf) slice(id NodeID) []NodeID {
+	i := int(id)
+	if i < a.baseN {
+		lo, hi := a.offs[i], a.offs[i+1]
+		s := a.edges[lo:hi:hi]
+		if a.spill == nil {
+			return s
+		}
+		sp := a.spill[id]
+		if len(sp) == 0 {
+			return s
+		}
+		out := make([]NodeID, 0, len(s)+len(sp))
+		return append(append(out, s...), sp...)
+	}
+	t := a.tail[i-a.baseN]
+	return t[:len(t):len(t)]
+}
+
+// count returns id's endpoint count.
+func (a *adjHalf) count(id NodeID) int {
+	i := int(id)
+	if i < a.baseN {
+		n := int(a.offs[i+1] - a.offs[i])
+		if a.spill != nil {
+			n += len(a.spill[id])
+		}
+		return n
+	}
+	return len(a.tail[i-a.baseN])
+}
+
+// cloneShared shares the immutable CSR base and deep-copies the mutable
+// spill and tail lists.
+func (a *adjHalf) cloneShared() adjHalf {
+	c := adjHalf{baseN: a.baseN, offs: a.offs, edges: a.edges}
+	if a.spill != nil {
+		c.spill = make(map[NodeID][]NodeID, len(a.spill))
+		for id, l := range a.spill {
+			c.spill[id] = append([]NodeID(nil), l...)
+		}
+	}
+	if a.tail != nil {
+		c.tail = make([][]NodeID, len(a.tail))
+		for i, l := range a.tail {
+			c.tail[i] = append([]NodeID(nil), l...)
+		}
+	}
+	return c
+}

@@ -142,12 +142,9 @@ func Apply(g *Graph, ev Event) error {
 			return fmt.Errorf("provgraph: add-node event references invocation %d (graph has %d)", n.Inv, numInv)
 		}
 		id := g.AddNode(n)
-		g.nodes[id].Inv = n.Inv // AddNode normalizes; restore verbatim
+		g.inv.set(int(id), n.Inv) // AddNode normalizes; restore verbatim
 		if n.Op == OpConst {
-			key := n.Value.Key()
-			if _, ok := g.constIndex[key]; !ok {
-				g.constIndex[key] = id
-			}
+			internConst(g, id, n.Value.Key())
 		}
 	case EvAddEdge:
 		if err := checkNode(ev.Src); err != nil {

@@ -16,6 +16,7 @@ package provgraph
 
 import (
 	"fmt"
+	"sync"
 
 	"lipstick/internal/nested"
 )
@@ -167,7 +168,9 @@ type Invocation struct {
 	States    []NodeID
 }
 
-// Node is one provenance-graph node.
+// Node is one provenance-graph node. It is the package's lookup and
+// serialization record; storage is columnar (see below), so Node values
+// are assembled on access rather than held in an array.
 type Node struct {
 	ID    NodeID
 	Class Class
@@ -189,16 +192,51 @@ type Node struct {
 // transformations (deletion propagation, ZoomOut) mark nodes dead, which
 // keeps NodeIDs stable and makes ZoomIn an exact inverse. All traversals
 // skip dead nodes.
+//
+// Storage is struct-of-arrays: one dense typed column per node attribute,
+// labels interned through a symbol table, adjacency in CSR form with
+// per-node append lists for the live-ingest grow path, and liveness as a
+// packed bitset. Each column splits into a read-only base — which may
+// alias an mmap'd LPSK v3 snapshot — and a heap tail; mutating a base
+// slot copies that column to the heap first (see columns.go), so a
+// mapped graph never writes through the file mapping.
 type Graph struct {
-	nodes []Node
-	out   [][]NodeID
-	in    [][]NodeID
-	alive []bool
+	n     int // allocated node slots
+	class col[Class]
+	typ   col[Type]
+	op    col[Op]
+	label col[uint32] // symbol ids (symtab)
+	inv   col[InvID]
+	valIx col[int32] // index into the value store; -1 = Null
+	syms  symtab
+	alive bitset
 	dead  int // number of dead nodes
 
+	out, in  adjHalf
+	numEdges int // total edges ever added (dead endpoints included)
+
+	// Values: indexes below valBase resolve through valAt (a decoder over
+	// a frozen snapshot's value section); valBase+i resolves to vals[i].
+	valBase int
+	valAt   func(int) nested.Value
+	vals    []nested.Value
+
+	// frozenInvs holds the columnar invocation records of an opened
+	// snapshot; invocations materializes from it lazily (invOnce) so an
+	// O(1) mapped open does not pay a per-invocation rebuild. frozenInvs
+	// is set only at construction and never reassigned.
+	frozenInvs  *Frozen
+	invOnce     *sync.Once
 	invocations []Invocation
-	constIndex  map[string]NodeID // interned constant value v-nodes
-	numEdges    int
+
+	// constIndex interns constant value v-nodes; built lazily (constOnce)
+	// from the OpConst nodes on first lookup.
+	constIndex map[string]NodeID
+	constOnce  *sync.Once
+
+	// mapRef pins the memory mapping (if any) backing the read-only
+	// column bases for the lifetime of the graph.
+	mapRef any
 
 	// events observes every mutation as a typed Event (see events.go);
 	// nil (the default) costs one branch per mutation. Clone does not
@@ -206,9 +244,15 @@ type Graph struct {
 	events func(Event)
 }
 
+func newEmpty() *Graph {
+	return &Graph{invOnce: new(sync.Once), constOnce: new(sync.Once)}
+}
+
 // New returns an empty graph.
 func New() *Graph {
-	return &Graph{constIndex: make(map[string]NodeID)}
+	g := newEmpty()
+	g.syms.init()
+	return g
 }
 
 // normalizeInv applies AddNode's invocation-attribution default: nodes
@@ -223,23 +267,34 @@ func normalizeInv(n Node) Node {
 
 // AddNode appends a node and returns its id.
 func (g *Graph) AddNode(n Node) NodeID {
-	id := NodeID(len(g.nodes))
+	id := NodeID(g.n)
 	n = normalizeInv(n)
 	n.ID = id
-	g.nodes = append(g.nodes, n)
-	g.out = append(g.out, nil)
-	g.in = append(g.in, nil)
-	g.alive = append(g.alive, true)
+	g.class.add(n.Class)
+	g.typ.add(n.Type)
+	g.op.add(n.Op)
+	g.label.add(g.syms.intern(n.Label))
+	g.inv.add(n.Inv)
+	if n.Value.IsNull() {
+		g.valIx.add(-1)
+	} else {
+		g.valIx.add(int32(g.valBase + len(g.vals)))
+		g.vals = append(g.vals, n.Value)
+	}
+	g.out.addSlot()
+	g.in.addSlot()
+	g.alive.setGrow(g.n)
+	g.n++
 	if g.events != nil {
-		g.emit(Event{Kind: EvAddNode, Node: g.nodes[id]})
+		g.emit(Event{Kind: EvAddNode, Node: n})
 	}
 	return id
 }
 
 // AddEdge adds a directed edge from src to dst (dst is derived from src).
 func (g *Graph) AddEdge(src, dst NodeID) {
-	g.out[src] = append(g.out[src], dst)
-	g.in[dst] = append(g.in[dst], src)
+	g.out.add(src, dst)
+	g.in.add(dst, src)
 	g.numEdges++
 	if g.events != nil {
 		g.emit(Event{Kind: EvAddEdge, Src: src, Dst: dst})
@@ -248,7 +303,7 @@ func (g *Graph) AddEdge(src, dst NodeID) {
 
 // setNodeInv attributes an existing node to an invocation (graphSink).
 func (g *Graph) setNodeInv(id NodeID, inv InvID) {
-	g.nodes[id].Inv = inv
+	g.inv.set(int(id), inv)
 	if g.events != nil {
 		g.emit(Event{Kind: EvSetNodeInv, Src: id, Inv: inv})
 	}
@@ -256,7 +311,15 @@ func (g *Graph) setNodeInv(id NodeID, inv InvID) {
 
 // setValue overwrites a node's carried value (aggregate recomputation).
 func (g *Graph) setValue(id NodeID, v nested.Value) {
-	g.nodes[id].Value = v
+	i := int(id)
+	if ix := int(g.valIx.at(i)); ix >= g.valBase {
+		// The node already owns a heap value slot; overwrite in place.
+		g.vals[ix-g.valBase] = v
+	} else {
+		// No slot, or a read-only frozen slot: allocate a heap slot.
+		g.valIx.set(i, int32(g.valBase+len(g.vals)))
+		g.vals = append(g.vals, v)
+	}
 	if g.events != nil {
 		g.emit(Event{Kind: EvSetValue, Src: id, Value: v})
 	}
@@ -267,6 +330,7 @@ func (g *Graph) setValue(id NodeID, v nested.Value) {
 // invocation record can be rebuilt exactly from the event log without a
 // batch fixup pass.
 func (g *Graph) addAnchor(inv InvID, kind AnchorKind, id NodeID) {
+	materializeInvs(g)
 	rec := &g.invocations[inv]
 	switch kind {
 	case AnchorInput:
@@ -284,56 +348,77 @@ func (g *Graph) addAnchor(inv InvID, kind AnchorKind, id NodeID) {
 // eachOutRaw iterates the raw out-adjacency of id, dead endpoints
 // included (the view primitive generic algorithms filter through Alive).
 func (g *Graph) eachOutRaw(id NodeID, fn func(NodeID) bool) {
-	for _, n := range g.out[id] {
-		if !fn(n) {
-			return
-		}
-	}
+	g.out.each(id, fn)
 }
 
 // eachInRaw iterates the raw in-adjacency of id.
 func (g *Graph) eachInRaw(id NodeID, fn func(NodeID) bool) {
-	for _, n := range g.in[id] {
-		if !fn(n) {
-			return
-		}
+	g.in.each(id, fn)
+}
+
+// valueByIx resolves a value-store index.
+func (g *Graph) valueByIx(ix int) nested.Value {
+	if ix < g.valBase {
+		return g.valAt(ix)
+	}
+	return g.vals[ix-g.valBase]
+}
+
+// nodeValue returns slot i's carried value (Null when none is stored).
+func (g *Graph) nodeValue(i int) nested.Value {
+	ix := int(g.valIx.at(i))
+	if ix < 0 {
+		return nested.Null()
+	}
+	return g.valueByIx(ix)
+}
+
+// Node returns the node with the given id, assembled from the columns.
+func (g *Graph) Node(id NodeID) Node {
+	i := int(id)
+	return Node{
+		ID:    id,
+		Class: g.class.at(i),
+		Type:  g.typ.at(i),
+		Op:    g.op.at(i),
+		Label: g.syms.str(g.label.at(i)),
+		Inv:   g.inv.at(i),
+		Value: g.nodeValue(i),
 	}
 }
 
-// Node returns the node with the given id.
-func (g *Graph) Node(id NodeID) Node { return g.nodes[id] }
-
 // Alive reports whether the node is visible (not removed by a
 // transformation).
-func (g *Graph) Alive(id NodeID) bool { return g.alive[id] }
+func (g *Graph) Alive(id NodeID) bool { return g.alive.get(int(id)) }
 
 // NumNodes returns the number of live nodes.
-func (g *Graph) NumNodes() int { return len(g.nodes) - g.dead }
+func (g *Graph) NumNodes() int { return g.n - g.dead }
 
 // TotalNodes returns the number of allocated node slots (live + dead).
-func (g *Graph) TotalNodes() int { return len(g.nodes) }
+func (g *Graph) TotalNodes() int { return g.n }
 
 // NumEdges returns the number of live edges (both endpoints alive).
 func (g *Graph) NumEdges() int {
 	n := 0
-	for id := range g.nodes {
-		if !g.alive[id] {
+	for id := 0; id < g.n; id++ {
+		if !g.alive.get(id) {
 			continue
 		}
-		for _, dst := range g.out[id] {
-			if g.alive[dst] {
+		g.out.each(NodeID(id), func(dst NodeID) bool {
+			if g.alive.get(int(dst)) {
 				n++
 			}
-		}
+			return true
+		})
 	}
 	return n
 }
 
 // Out returns the live out-neighbors of id.
-func (g *Graph) Out(id NodeID) []NodeID { return g.liveNeighbors(g.out[id]) }
+func (g *Graph) Out(id NodeID) []NodeID { return g.liveNeighbors(g.out.slice(id)) }
 
 // In returns the live in-neighbors of id.
-func (g *Graph) In(id NodeID) []NodeID { return g.liveNeighbors(g.in[id]) }
+func (g *Graph) In(id NodeID) []NodeID { return g.liveNeighbors(g.in.slice(id)) }
 
 func (g *Graph) liveNeighbors(adj []NodeID) []NodeID {
 	if g.dead == 0 {
@@ -342,7 +427,7 @@ func (g *Graph) liveNeighbors(adj []NodeID) []NodeID {
 	// Even on a kill-heavy graph most adjacency lists contain no dead
 	// endpoint; scan first and copy only from the first dead neighbor.
 	i := 0
-	for i < len(adj) && g.alive[adj[i]] {
+	for i < len(adj) && g.alive.get(int(adj[i])) {
 		i++
 	}
 	if i == len(adj) {
@@ -351,7 +436,7 @@ func (g *Graph) liveNeighbors(adj []NodeID) []NodeID {
 	live := make([]NodeID, i, len(adj)-1)
 	copy(live, adj[:i])
 	for _, n := range adj[i+1:] {
-		if g.alive[n] {
+		if g.alive.get(int(n)) {
 			live = append(live, n)
 		}
 	}
@@ -360,9 +445,9 @@ func (g *Graph) liveNeighbors(adj []NodeID) []NodeID {
 
 // Nodes calls fn for every live node; fn returning false stops iteration.
 func (g *Graph) Nodes(fn func(Node) bool) {
-	for id := range g.nodes {
-		if g.alive[id] {
-			if !fn(g.nodes[id]) {
+	for id := 0; id < g.n; id++ {
+		if g.alive.get(id) {
+			if !fn(g.Node(NodeID(id))) {
 				return
 			}
 		}
@@ -371,8 +456,8 @@ func (g *Graph) Nodes(fn func(Node) bool) {
 
 // kill marks a node dead.
 func (g *Graph) kill(id NodeID) {
-	if g.alive[id] {
-		g.alive[id] = false
+	if g.alive.get(int(id)) {
+		g.alive.clear(int(id))
 		g.dead++
 		if g.events != nil {
 			g.emit(Event{Kind: EvKill, Src: id})
@@ -382,8 +467,8 @@ func (g *Graph) kill(id NodeID) {
 
 // revive marks a node live again.
 func (g *Graph) revive(id NodeID) {
-	if !g.alive[id] {
-		g.alive[id] = true
+	if !g.alive.get(int(id)) {
+		g.alive.set(int(id))
 		g.dead--
 		if g.events != nil {
 			g.emit(Event{Kind: EvRevive, Src: id})
@@ -391,9 +476,14 @@ func (g *Graph) revive(id NodeID) {
 	}
 }
 
-// AddInvocation records a module invocation and returns its id.
+// AddInvocation records a module invocation and returns its id. The
+// module and node-name strings are interned through the symbol table so
+// repeated invocations of one module share a single string copy.
 func (g *Graph) AddInvocation(inv Invocation) InvID {
+	materializeInvs(g)
 	inv.ID = InvID(len(g.invocations))
+	inv.Module = g.syms.str(g.syms.intern(inv.Module))
+	inv.NodeName = g.syms.str(g.syms.intern(inv.NodeName))
 	g.invocations = append(g.invocations, inv)
 	if g.events != nil {
 		g.emit(Event{
@@ -405,13 +495,20 @@ func (g *Graph) AddInvocation(inv Invocation) InvID {
 }
 
 // Invocation returns the invocation record with the given id.
-func (g *Graph) Invocation(id InvID) *Invocation { return &g.invocations[id] }
+func (g *Graph) Invocation(id InvID) *Invocation {
+	materializeInvs(g)
+	return &g.invocations[id]
+}
 
 // NumInvocations returns the number of recorded invocations.
-func (g *Graph) NumInvocations() int { return len(g.invocations) }
+func (g *Graph) NumInvocations() int {
+	materializeInvs(g)
+	return len(g.invocations)
+}
 
 // Invocations calls fn for each invocation record.
 func (g *Graph) Invocations(fn func(*Invocation) bool) {
+	materializeInvs(g)
 	for i := range g.invocations {
 		if !fn(&g.invocations[i]) {
 			return
@@ -421,6 +518,7 @@ func (g *Graph) Invocations(fn func(*Invocation) bool) {
 
 // InvocationsOf returns the invocation ids of the given module name.
 func (g *Graph) InvocationsOf(module string) []InvID {
+	materializeInvs(g)
 	var out []InvID
 	for i := range g.invocations {
 		if g.invocations[i].Module == module {
@@ -446,36 +544,56 @@ func (g *Graph) ConstNode(v nested.Value) NodeID {
 // constLookup returns the live interned constant node for a value key.
 // Recorders consult it read-only while capturing concurrently.
 func (g *Graph) constLookup(key string) (NodeID, bool) {
-	if id, ok := g.constIndex[key]; ok && g.alive[id] {
+	ensureConstIndex(g)
+	if id, ok := g.constIndex[key]; ok && g.alive.get(int(id)) {
 		return id, true
 	}
 	return InvalidNode, false
 }
 
-// Clone returns a deep copy of the graph (alive state included).
+// Clone returns a deep copy of the graph (alive state included). Clones
+// share the read-only column bases — cloning a snapshot-backed graph
+// copies one bit per node plus the heap tails, not the node data.
 func (g *Graph) Clone() *Graph {
+	materializeInvs(g)
 	c := &Graph{
-		nodes:       append([]Node(nil), g.nodes...),
-		out:         make([][]NodeID, len(g.out)),
-		in:          make([][]NodeID, len(g.in)),
-		alive:       append([]bool(nil), g.alive...),
-		dead:        g.dead,
-		invocations: make([]Invocation, len(g.invocations)),
-		constIndex:  make(map[string]NodeID, len(g.constIndex)),
-		numEdges:    g.numEdges,
+		n:         g.n,
+		class:     g.class.cloneShared(),
+		typ:       g.typ.cloneShared(),
+		op:        g.op.cloneShared(),
+		label:     g.label.cloneShared(),
+		inv:       g.inv.cloneShared(),
+		valIx:     g.valIx.cloneShared(),
+		syms:      g.syms.cloneShared(),
+		alive:     append(bitset(nil), g.alive...),
+		dead:      g.dead,
+		out:       g.out.cloneShared(),
+		in:        g.in.cloneShared(),
+		numEdges:  g.numEdges,
+		valBase:   g.valBase,
+		valAt:     g.valAt,
+		vals:      append([]nested.Value(nil), g.vals...),
+		invOnce:   new(sync.Once),
+		constOnce: new(sync.Once),
+		mapRef:    g.mapRef,
 	}
-	for i := range g.out {
-		c.out[i] = append([]NodeID(nil), g.out[i]...)
-		c.in[i] = append([]NodeID(nil), g.in[i]...)
-	}
+	// Invocations are materialized above, so the clone keeps the heap
+	// records and drops the frozen source (its columns stay pinned via
+	// the shared bases and mapRef).
+	c.invocations = make([]Invocation, len(g.invocations))
 	for i, inv := range g.invocations {
 		inv.Inputs = append([]NodeID(nil), inv.Inputs...)
 		inv.Outputs = append([]NodeID(nil), inv.Outputs...)
 		inv.States = append([]NodeID(nil), inv.States...)
 		c.invocations[i] = inv
 	}
-	for k, v := range g.constIndex {
-		c.constIndex[k] = v
+	if g.constIndex != nil {
+		m := make(map[string]NodeID, len(g.constIndex))
+		for k, v := range g.constIndex {
+			m[k] = v
+		}
+		c.constIndex = m
+		c.constOnce.Do(func() {}) // consume: the copied map is authoritative
 	}
 	return c
 }
@@ -486,21 +604,22 @@ func (g *Graph) Clone() *Graph {
 func (g *Graph) StructurallyEqual(o *Graph) bool {
 	// Graphs may differ in allocated slots (e.g. zoom nodes added then
 	// removed); compare the live structure over the union of slots.
-	max := len(g.nodes)
-	if len(o.nodes) > max {
-		max = len(o.nodes)
+	max := g.n
+	if o.n > max {
+		max = o.n
 	}
 	for id := 0; id < max; id++ {
-		ga := id < len(g.nodes) && g.alive[id]
-		oa := id < len(o.nodes) && o.alive[id]
+		ga := id < g.n && g.alive.get(id)
+		oa := id < o.n && o.alive.get(id)
 		if ga != oa {
 			return false
 		}
 		if !ga {
 			continue
 		}
-		a, b := g.nodes[id], o.nodes[id]
-		if a.Class != b.Class || a.Type != b.Type || a.Op != b.Op || a.Label != b.Label {
+		if g.class.at(id) != o.class.at(id) || g.typ.at(id) != o.typ.at(id) ||
+			g.op.at(id) != o.op.at(id) ||
+			g.syms.str(g.label.at(id)) != o.syms.str(o.label.at(id)) {
 			return false
 		}
 		if !edgeSetEqual(g.Out(NodeID(id)), o.Out(NodeID(id))) {
@@ -527,54 +646,35 @@ func edgeSetEqual(a, b []NodeID) bool {
 	return true
 }
 
-// Reconstruct rebuilds a graph from serialized parts: nodes in id order,
-// edges, invocation records, and the ids of dead (transformed-away) nodes.
-// It is the loading half of the Provenance Tracker's filesystem format
-// (package store).
-func Reconstruct(nodes []Node, edges [][2]NodeID, invs []Invocation, dead []NodeID) *Graph {
-	g := New()
-	for _, n := range nodes {
-		id := g.AddNode(n)
-		g.nodes[id].Inv = n.Inv // AddNode normalizes; restore verbatim
-		if n.Op == OpConst {
-			g.constIndex[n.Value.Key()] = id
-		}
-	}
-	for _, e := range edges {
-		g.AddEdge(e[0], e[1])
-	}
-	for _, inv := range invs {
-		g.AddInvocation(inv)
-	}
-	for _, id := range dead {
-		g.kill(id)
-	}
-	return g
-}
-
 // DeadNodes returns the ids of dead (hidden/deleted) node slots.
 func (g *Graph) DeadNodes() []NodeID {
 	var out []NodeID
-	for id := range g.nodes {
-		if !g.alive[id] {
+	for id := 0; id < g.n; id++ {
+		if !g.alive.get(id) {
 			out = append(out, NodeID(id))
 		}
 	}
 	return out
 }
 
-// Edges calls fn for every edge between live nodes.
+// EdgesDo calls fn for every edge between live nodes.
 func (g *Graph) EdgesDo(fn func(src, dst NodeID) bool) {
-	for id := range g.nodes {
-		if !g.alive[id] {
+	for id := 0; id < g.n; id++ {
+		if !g.alive.get(id) {
 			continue
 		}
-		for _, dst := range g.out[id] {
-			if g.alive[dst] {
+		stop := false
+		g.out.each(NodeID(id), func(dst NodeID) bool {
+			if g.alive.get(int(dst)) {
 				if !fn(NodeID(id), dst) {
-					return
+					stop = true
+					return false
 				}
 			}
+			return true
+		})
+		if stop {
+			return
 		}
 	}
 }
@@ -582,19 +682,25 @@ func (g *Graph) EdgesDo(fn func(src, dst NodeID) bool) {
 // AllEdgesDo calls fn for every edge including those touching dead nodes
 // (used by serialization, which must preserve restorability).
 func (g *Graph) AllEdgesDo(fn func(src, dst NodeID) bool) {
-	for id := range g.nodes {
-		for _, dst := range g.out[id] {
+	for id := 0; id < g.n; id++ {
+		stop := false
+		g.out.each(NodeID(id), func(dst NodeID) bool {
 			if !fn(NodeID(id), dst) {
-				return
+				stop = true
+				return false
 			}
+			return true
+		})
+		if stop {
+			return
 		}
 	}
 }
 
 // AllNodesDo calls fn for every node slot including dead ones.
 func (g *Graph) AllNodesDo(fn func(Node) bool) {
-	for id := range g.nodes {
-		if !fn(g.nodes[id]) {
+	for id := 0; id < g.n; id++ {
+		if !fn(g.Node(NodeID(id))) {
 			return
 		}
 	}
@@ -612,17 +718,19 @@ type Stats struct {
 
 // ComputeStats walks the live graph and tallies node classes and types.
 func (g *Graph) ComputeStats() Stats {
-	s := Stats{ByType: make(map[Type]int), Invocations: len(g.invocations)}
-	g.Nodes(func(n Node) bool {
+	s := Stats{ByType: make(map[Type]int), Invocations: g.NumInvocations()}
+	for id := 0; id < g.n; id++ {
+		if !g.alive.get(id) {
+			continue
+		}
 		s.Nodes++
-		if n.Class == ClassP {
+		if g.class.at(id) == ClassP {
 			s.PNodes++
 		} else {
 			s.VNodes++
 		}
-		s.ByType[n.Type]++
-		return true
-	})
+		s.ByType[g.typ.at(id)]++
+	}
 	s.Edges = g.NumEdges()
 	return s
 }

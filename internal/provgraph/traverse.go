@@ -165,8 +165,8 @@ func subgraphOf(v view, id NodeID) *SubgraphResult {
 // invocation nodes, constants).
 func (g *Graph) Roots() []NodeID {
 	var out []NodeID
-	for id := range g.nodes {
-		if g.alive[id] && len(g.In(NodeID(id))) == 0 {
+	for id := 0; id < g.n; id++ {
+		if g.alive.get(id) && len(g.In(NodeID(id))) == 0 {
 			out = append(out, NodeID(id))
 		}
 	}
@@ -176,8 +176,8 @@ func (g *Graph) Roots() []NodeID {
 // Sinks returns live nodes with no live out-edges.
 func (g *Graph) Sinks() []NodeID {
 	var out []NodeID
-	for id := range g.nodes {
-		if g.alive[id] && len(g.Out(NodeID(id))) == 0 {
+	for id := 0; id < g.n; id++ {
+		if g.alive.get(id) && len(g.Out(NodeID(id))) == 0 {
 			out = append(out, NodeID(id))
 		}
 	}
@@ -228,11 +228,11 @@ func isAcyclicOf(v view) bool {
 // TopDownOrder returns all live nodes in a topological order (sources
 // first); it panics if the live graph is cyclic.
 func (g *Graph) TopDownOrder() []NodeID {
-	indeg := make([]int, len(g.nodes))
+	indeg := make([]int, g.n)
 	var queue []NodeID
 	liveCount := 0
-	for id := range g.nodes {
-		if !g.alive[id] {
+	for id := 0; id < g.n; id++ {
+		if !g.alive.get(id) {
 			continue
 		}
 		liveCount++

@@ -189,12 +189,12 @@ func zoomInOf(mv mutableView, rec *ZoomRecord) {
 func (g *Graph) CoarseGrained() *ZoomRecord {
 	seen := map[string]bool{}
 	var modules []string
-	for i := range g.invocations {
-		m := g.invocations[i].Module
-		if !seen[m] {
-			seen[m] = true
-			modules = append(modules, m)
+	g.Invocations(func(inv *Invocation) bool {
+		if !seen[inv.Module] {
+			seen[inv.Module] = true
+			modules = append(modules, inv.Module)
 		}
-	}
+		return true
+	})
 	return g.ZoomOut(modules...)
 }

@@ -102,12 +102,26 @@ func (w *writer) tuple(t *nested.Tuple) {
 	}
 }
 
-// reader wraps a bufio.Reader with varint helpers and bounded allocation.
-type reader struct {
-	r *bufio.Reader
+// byteReader is the reader the codec decodes from: sequential reads plus
+// single-byte reads for varints. *bufio.Reader and *bytes.Reader both
+// satisfy it, so the v3 value blob can be decoded per value without
+// allocating a buffered wrapper.
+type byteReader interface {
+	io.Reader
+	io.ByteReader
 }
 
-func newReader(r io.Reader) *reader { return &reader{r: bufio.NewReader(r)} }
+// reader wraps a byte source with varint helpers and bounded allocation.
+type reader struct {
+	r byteReader
+}
+
+func newReader(r io.Reader) *reader {
+	if br, ok := r.(byteReader); ok {
+		return &reader{r: br}
+	}
+	return &reader{r: bufio.NewReader(r)}
+}
 
 func (r *reader) byte() (byte, error) { return r.r.ReadByte() }
 

@@ -38,10 +38,19 @@ func fuzzSnapshotSeed(t testing.TB, writeFn func(io.Writer, *Snapshot) error) []
 // FuzzLoadSnapshot asserts the snapshot reader never panics: arbitrary
 // bytes either load or return an error.
 func FuzzLoadSnapshot(f *testing.F) {
-	f.Add(fuzzSnapshotSeed(f, Write))
+	f.Add(fuzzSnapshotSeed(f, Write)) // columnar v3
 	f.Add(fuzzSnapshotSeed(f, WriteV1))
+	f.Add(fuzzSnapshotSeed(f, WriteV2))
 	f.Add([]byte("LPSK"))
 	f.Add([]byte{'L', 'P', 'S', 'K', 2, 0xff, 0xff, 0xff})
+	f.Add([]byte{'L', 'P', 'S', 'K', 3, 0, 0, 0})
+	// v3 with a flipped byte in the trailer and one in the footer region.
+	badTrailer := fuzzSnapshotSeed(f, Write)
+	badTrailer[len(badTrailer)-1] ^= 0xff
+	f.Add(badTrailer)
+	badFooter := fuzzSnapshotSeed(f, Write)
+	badFooter[len(badFooter)-v3TrailerLen-5] ^= 0xff
+	f.Add(badFooter)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		snap, err := Read(bytes.NewReader(data))
 		if err != nil {

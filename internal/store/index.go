@@ -37,6 +37,41 @@ type Index struct {
 	ModuleInvs map[string][]provgraph.InvID
 }
 
+// Postings is the read interface over a snapshot's postings section. It
+// is implemented by the map-based *Index (v1/v2 decode path, live builds)
+// and by the columnar section view of an opened v3 snapshot, which serves
+// lookups straight from (possibly mapped) file memory. Returned slices
+// are shared — callers must not mutate them.
+type Postings interface {
+	// Coverage is the number of node slots the postings cover; slots with
+	// ids >= Coverage were appended after the index was built and must be
+	// scanned separately.
+	Coverage() int
+	TypeIDs(provgraph.Type) []provgraph.NodeID
+	OpIDs(provgraph.Op) []provgraph.NodeID
+	LabelIDs(string) []provgraph.NodeID
+	ModuleIDs(string) []provgraph.NodeID
+	ModuleInvocations(string) []provgraph.InvID
+}
+
+// Coverage implements Postings.
+func (idx *Index) Coverage() int { return idx.Nodes }
+
+// TypeIDs implements Postings.
+func (idx *Index) TypeIDs(t provgraph.Type) []provgraph.NodeID { return idx.ByType[t] }
+
+// OpIDs implements Postings.
+func (idx *Index) OpIDs(o provgraph.Op) []provgraph.NodeID { return idx.ByOp[o] }
+
+// LabelIDs implements Postings.
+func (idx *Index) LabelIDs(label string) []provgraph.NodeID { return idx.ByLabel[label] }
+
+// ModuleIDs implements Postings.
+func (idx *Index) ModuleIDs(module string) []provgraph.NodeID { return idx.ByModule[module] }
+
+// ModuleInvocations implements Postings.
+func (idx *Index) ModuleInvocations(module string) []provgraph.InvID { return idx.ModuleInvs[module] }
+
 // BuildIndex computes the postings for a graph in one pass over all node
 // slots. Postings come out sorted because slots are visited in id order.
 func BuildIndex(g *provgraph.Graph) *Index {

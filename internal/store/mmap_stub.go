@@ -1,0 +1,18 @@
+//go:build !unix
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+type mappedFile struct {
+	data []byte
+}
+
+func mapFile(*os.File, int64) (*mappedFile, error) {
+	return nil, errors.New("store: mmap unavailable on this platform")
+}

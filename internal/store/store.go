@@ -15,13 +15,16 @@ var magic = []byte{'L', 'P', 'S', 'K'}
 
 // Format versions. Version 1 is the original graph+outputs payload;
 // version 2 appends the postings index section (see Index) so the Query
-// Processor can select nodes without a post-load graph rescan. Readers
-// accept both; writers emit the current version unless WriteV1 is asked
-// for explicitly.
+// Processor can select nodes without a post-load graph rescan. Version 3
+// abandons the streaming encode for the graph's columnar arrays written
+// verbatim (see v3.go), so opening a snapshot is an mmap plus pointer
+// casts instead of a full decode. Readers accept all three; writers emit
+// the current version unless WriteV1/WriteV2 is asked for explicitly.
 const (
-	versionLegacy  = 1
-	versionIndexed = 2
-	currentVersion = versionIndexed
+	versionLegacy   = 1
+	versionIndexed  = 2
+	versionColumnar = 3
+	currentVersion  = versionColumnar
 )
 
 // AnnotatedTuple is one provenance-annotated output tuple as written by
@@ -42,21 +45,41 @@ type RelationDump struct {
 }
 
 // Snapshot is everything the Query Processor needs: the provenance graph
-// and the annotated output relations that anchor queries. Index carries
-// the postings section of indexed (v2) snapshots; it is nil after reading
-// a legacy v1 snapshot, in which case the query layer rebuilds it from the
-// graph.
+// and the annotated output relations that anchor queries.
+//
+// Index carries the postings section of indexed (v2) snapshots; it is nil
+// after reading a legacy v1 snapshot, in which case the query layer
+// rebuilds it from the graph. Postings is the columnar postings view of a
+// v3 snapshot (Index stays nil there). LazyOutputs is set instead of
+// Outputs by mapped v3 opens: the output relations decode on first use,
+// keeping the open O(1).
 type Snapshot struct {
-	Graph   *provgraph.Graph
-	Outputs []RelationDump
-	Index   *Index
+	Graph       *provgraph.Graph
+	Outputs     []RelationDump
+	Index       *Index
+	Postings    Postings
+	LazyOutputs func() ([]RelationDump, error)
 }
 
-// Write serializes the snapshot in the current (indexed) format. The
+// ResolveOutputs returns the output relations, decoding them on first
+// call if the snapshot was opened lazily (mapped v3).
+func (s *Snapshot) ResolveOutputs() ([]RelationDump, error) {
+	if s.Outputs == nil && s.LazyOutputs != nil {
+		outs, err := s.LazyOutputs()
+		if err != nil {
+			return nil, err
+		}
+		s.Outputs = outs
+		s.LazyOutputs = nil
+	}
+	return s.Outputs, nil
+}
+
+// Write serializes the snapshot in the current (columnar v3) format. The
 // postings index is computed here, at write time, so readers never pay a
 // graph rescan.
 func Write(out io.Writer, s *Snapshot) error {
-	return writeVersion(out, s, currentVersion)
+	return writeV3(out, s)
 }
 
 // WriteV1 serializes the snapshot in the legacy v1 format (no index
@@ -64,6 +87,12 @@ func Write(out io.Writer, s *Snapshot) error {
 // testing.
 func WriteV1(out io.Writer, s *Snapshot) error {
 	return writeVersion(out, s, versionLegacy)
+}
+
+// WriteV2 serializes the snapshot in the v2 streaming-indexed format, for
+// downgrades to pre-columnar readers and for compatibility testing.
+func WriteV2(out io.Writer, s *Snapshot) error {
+	return writeVersion(out, s, versionIndexed)
 }
 
 func writeVersion(out io.Writer, s *Snapshot, version byte) error {
@@ -113,18 +142,7 @@ func writeVersion(out io.Writer, s *Snapshot, version byte) error {
 	writeIDs(w, g.DeadNodes())
 
 	// Output relations.
-	w.uvarint(uint64(len(s.Outputs)))
-	for _, rd := range s.Outputs {
-		w.uvarint(uint64(rd.Execution))
-		w.str(rd.Node)
-		w.str(rd.Relation)
-		w.uvarint(uint64(len(rd.Tuples)))
-		for _, t := range rd.Tuples {
-			w.tuple(t.Tuple)
-			w.varint(int64(t.Prov))
-			w.uvarint(uint64(t.Mult))
-		}
-	}
+	writeOutputs(w, s.Outputs)
 
 	if version >= versionIndexed {
 		writeIndex(w, BuildIndex(g))
@@ -139,8 +157,77 @@ func writeIDs(w *writer, ids []provgraph.NodeID) {
 	}
 }
 
-// Read deserializes a snapshot in either the legacy (v1) or the indexed
-// (v2) format.
+// writeOutputs encodes the output-relation dumps (shared by the v1/v2
+// payload and the v3 outputs blob).
+func writeOutputs(w *writer, outs []RelationDump) {
+	w.uvarint(uint64(len(outs)))
+	for _, rd := range outs {
+		w.uvarint(uint64(rd.Execution))
+		w.str(rd.Node)
+		w.str(rd.Relation)
+		w.uvarint(uint64(len(rd.Tuples)))
+		for _, t := range rd.Tuples {
+			w.tuple(t.Tuple)
+			w.varint(int64(t.Prov))
+			w.uvarint(uint64(t.Mult))
+		}
+	}
+}
+
+// readOutputs decodes the output-relation dumps.
+func readOutputs(r *reader) ([]RelationDump, error) {
+	outCount, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if outCount > maxLen {
+		return nil, fmt.Errorf("store: output count exceeds limit")
+	}
+	var outs []RelationDump
+	for i := uint64(0); i < outCount; i++ {
+		execIdx, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		node, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		rel, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > maxLen {
+			return nil, fmt.Errorf("store: relation size exceeds limit")
+		}
+		rd := RelationDump{Execution: int(execIdx), Node: node, Relation: rel}
+		for j := uint64(0); j < n; j++ {
+			tup, err := r.tuple()
+			if err != nil {
+				return nil, err
+			}
+			prov, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			mult, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			rd.Tuples = append(rd.Tuples, AnnotatedTuple{Tuple: tup, Prov: provgraph.NodeID(prov), Mult: int(mult)})
+		}
+		outs = append(outs, rd)
+	}
+	return outs, nil
+}
+
+// Read deserializes a snapshot in any supported format (v1-v3). All
+// bytes pass full validation — this is the path for data of unknown
+// origin; see LoadMapped for the trusted O(1) open of v3 files.
 func Read(in io.Reader) (*Snapshot, error) {
 	r := newReader(in)
 	head := make([]byte, len(magic)+1)
@@ -158,6 +245,17 @@ func Read(in io.Reader) (*Snapshot, error) {
 	}
 	if version < versionLegacy {
 		return nil, fmt.Errorf("store: invalid format version %d", version)
+	}
+	if version == versionColumnar {
+		// The columnar format is offset-addressed, not streamed: slurp the
+		// rest and parse strictly (the buffered-read fallback path).
+		rest, err := io.ReadAll(r.r)
+		if err != nil {
+			return nil, err
+		}
+		data := make([]byte, 0, len(head)+len(rest))
+		data = append(append(data, head...), rest...)
+		return parseV3(data, true, nil)
 	}
 
 	nodeCount, err := r.uvarint()
@@ -288,51 +386,9 @@ func Read(in io.Reader) (*Snapshot, error) {
 
 	g := provgraph.Reconstruct(nodes, edges, invs, dead)
 
-	outCount, err := r.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	if outCount > maxLen {
-		return nil, fmt.Errorf("store: output count exceeds limit")
-	}
 	snap := &Snapshot{Graph: g}
-	for i := uint64(0); i < outCount; i++ {
-		execIdx, err := r.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		node, err := r.str()
-		if err != nil {
-			return nil, err
-		}
-		rel, err := r.str()
-		if err != nil {
-			return nil, err
-		}
-		n, err := r.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		if n > maxLen {
-			return nil, fmt.Errorf("store: relation size exceeds limit")
-		}
-		rd := RelationDump{Execution: int(execIdx), Node: node, Relation: rel}
-		for j := uint64(0); j < n; j++ {
-			tup, err := r.tuple()
-			if err != nil {
-				return nil, err
-			}
-			prov, err := r.varint()
-			if err != nil {
-				return nil, err
-			}
-			mult, err := r.uvarint()
-			if err != nil {
-				return nil, err
-			}
-			rd.Tuples = append(rd.Tuples, AnnotatedTuple{Tuple: tup, Prov: provgraph.NodeID(prov), Mult: int(mult)})
-		}
-		snap.Outputs = append(snap.Outputs, rd)
+	if snap.Outputs, err = readOutputs(r); err != nil {
+		return nil, err
 	}
 
 	if version >= versionIndexed {
@@ -383,7 +439,7 @@ func Save(path string, s *Snapshot) error {
 	return f.Close()
 }
 
-// Load reads a snapshot from a file.
+// Load reads a snapshot from a file with full validation.
 func Load(path string) (*Snapshot, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -391,4 +447,38 @@ func Load(path string) (*Snapshot, error) {
 	}
 	defer func() { _ = f.Close() }() // opened read-only
 	return Read(f)
+}
+
+// LoadMapped opens a snapshot for querying at minimal cost: a v3 file is
+// memory-mapped and its columns served straight from the page cache, so
+// the open is O(1) in graph size — pages fault in as queries touch them.
+// The file is trusted (typically one this process wrote); only the footer
+// checksum and section bounds are verified. Pre-v3 files, and platforms
+// without mmap, fall back to the buffered full-decode path.
+func LoadMapped(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }() // the mapping outlives the descriptor
+
+	head := make([]byte, len(magic)+1)
+	if _, err := io.ReadFull(f, head); err != nil {
+		return nil, fmt.Errorf("store: reading header: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if head[len(magic)] != versionColumnar || !mmapSupported || fi.Size() == 0 {
+		return Read(f)
+	}
+	mf, err := mapFile(f, fi.Size())
+	if err != nil {
+		return Read(f) // e.g. mmap limits; correctness is unaffected
+	}
+	return parseV3(mf.data, false, mf)
 }

@@ -90,7 +90,8 @@ var roundTripWriters = []struct {
 	wantIndex bool
 }{
 	{"v1-legacy", WriteV1, false},
-	{"v2-indexed", Write, true},
+	{"v2-indexed", WriteV2, true},
+	{"v3-columnar", Write, false}, // v3 carries Postings instead of Index
 }
 
 // TestRoundTripWithDeadNodes kills nodes via destructive deletion
@@ -185,7 +186,7 @@ func TestRoundTripWithZoomRecords(t *testing.T) {
 func TestIndexRoundTrip(t *testing.T) {
 	snap := buildSampleSnapshot()
 	var buf bytes.Buffer
-	if err := Write(&buf, snap); err != nil {
+	if err := WriteV2(&buf, snap); err != nil {
 		t.Fatal(err)
 	}
 	got, err := Read(&buf)
@@ -242,7 +243,7 @@ func TestCorruptPostingsRejected(t *testing.T) {
 	// Re-encode the index section with one list reversed and splice it
 	// onto the valid graph payload.
 	var good bytes.Buffer
-	if err := Write(&good, snap); err != nil {
+	if err := WriteV2(&good, snap); err != nil {
 		t.Fatal(err)
 	}
 	var v1 bytes.Buffer

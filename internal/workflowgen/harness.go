@@ -32,6 +32,9 @@ type Scale struct {
 	// the execution-time figures (5a/5b): 0 = sequential, n > 1 = worker
 	// pool of n, negative = GOMAXPROCS.
 	Parallelism int
+	// GraphMemNodes lists the synthetic graph sizes of the graphmem
+	// storage benchmark; empty selects a small smoke series.
+	GraphMemNodes []int
 }
 
 // DefaultScale is sized for tests and quick local runs.
@@ -46,6 +49,7 @@ var DefaultScale = Scale{
 	Reducers:           []int{1, 2, 3, 4, 6, 10, 20, 30, 40, 54},
 	Trials:             1,
 	Seed:               1,
+	GraphMemNodes:      []int{100_000, 250_000},
 }
 
 // PaperScale reproduces Section 5.3's parameters.
@@ -60,6 +64,7 @@ var PaperScale = Scale{
 	Reducers:           []int{1, 2, 3, 4, 6, 10, 20, 30, 40, 54},
 	Trials:             5,
 	Seed:               1,
+	GraphMemNodes:      []int{100_000, 500_000, 1_000_000, 2_000_000, 5_000_000},
 }
 
 // Point is one measurement of one series.
@@ -710,6 +715,7 @@ func FigNodes(s Scale) (*Figure, error) {
 var FigureIDs = []string{
 	"fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig6c",
 	"fig7a", "fig7b", "fig7c", "delete", "finegrained", "nodes",
+	"graphmem",
 }
 
 // RunFigure dispatches a figure by id.
@@ -739,6 +745,8 @@ func RunFigure(id string, s Scale) (*Figure, error) {
 		return FigFineGrained(s)
 	case "nodes":
 		return FigNodes(s)
+	case "graphmem":
+		return FigGraphMem(s)
 	default:
 		return nil, fmt.Errorf("workflowgen: unknown figure %q (known: %v)", id, FigureIDs)
 	}
