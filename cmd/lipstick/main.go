@@ -24,17 +24,23 @@
 //	lipstick serve -dir snapshots/        # registry of snapshots + sessions
 //	lipstick serve -live wal/             # durable streaming ingestion
 //	                                      # (group-committed WAL; tune with
-//	                                      # -gcdelay/-gcbytes/-queue/-nogroup)
-//	lipstick loadgen -remote http://host:8080 -streams 4 -duration 10s
-//	                                      # drive synthetic ingest streams,
-//	                                      # report events/s + p50/p99
+//	                                      # -gcdelay/-gcbytes/-queue/-nogroup;
+//	                                      # view publish cadence with
+//	                                      # -pubevery/-pubstale; -pprof addr
+//	                                      # opens a profiling side listener)
+//	lipstick loadgen -remote http://host:8080 -streams 4 -readers 8 -duration 10s
+//	                                      # drive synthetic ingest streams +
+//	                                      # closed-loop readers, report
+//	                                      # events/s, reads/s + p50/p99
 package main
 
 import (
 	"context"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints for the -pprof side listener
 	"os"
 	"os/signal"
 	"sort"
@@ -214,19 +220,39 @@ func dealershipSnapshot(run *workflowgen.DealershipRun) *store.Snapshot {
 // becomes the default for the flat /v1/* endpoints. The server drains
 // gracefully on SIGINT/SIGTERM.
 func serveCmd(args []string) error {
-	const usage = "usage: lipstick serve [-addr host:port] [-dir snapshots/] [-live waldir/] [-gcdelay dur] [-gcbytes n] [-queue n] [-nogroup] [snapshot]"
+	const usage = "usage: lipstick serve [-addr host:port] [-dir snapshots/] [-live waldir/] [-gcdelay dur] [-gcbytes n] [-queue n] [-nogroup] [-pubevery n] [-pubstale dur] [-pprof host:port] [snapshot]"
 	addr := ":8080"
 	dir := ""
 	live := ""
 	snapshot := ""
+	pprofAddr := ""
 	gcDelay := store.DefaultGroupCommitDelay
 	gcBytes := store.DefaultGroupCommitBytes
-	queueDepth := 0 // 0 = core.DefaultIngestQueueDepth
+	queueDepth := 0               // 0 = core.DefaultIngestQueueDepth
+	pubEvery := -1                // -1 = core.DefaultPublishEvery
+	pubStale := time.Duration(-1) // -1 = unset (read-your-writes); "25ms" trades staleness for lock-free reads
 	group := true
 	for len(args) > 0 {
 		switch {
 		case len(args) >= 2 && args[0] == "-addr":
 			addr = args[1]
+			args = args[2:]
+		case len(args) >= 2 && args[0] == "-pprof":
+			pprofAddr = args[1]
+			args = args[2:]
+		case len(args) >= 2 && args[0] == "-pubevery":
+			n, err := strconv.Atoi(args[1])
+			if err != nil {
+				return fmt.Errorf("serve: invalid -pubevery value %q", args[1])
+			}
+			pubEvery = n
+			args = args[2:]
+		case len(args) >= 2 && args[0] == "-pubstale":
+			d, err := time.ParseDuration(args[1])
+			if err != nil {
+				return fmt.Errorf("serve: invalid -pubstale value %q", args[1])
+			}
+			pubStale = d
 			args = args[2:]
 		case len(args) >= 2 && args[0] == "-dir":
 			dir = args[1]
@@ -276,6 +302,12 @@ func serveCmd(args []string) error {
 	if group {
 		liveOpts = append(liveOpts, core.WithLogOptions(store.WithGroupCommit(gcDelay, gcBytes)))
 	}
+	if pubEvery >= 0 {
+		liveOpts = append(liveOpts, core.WithPublishEvery(pubEvery))
+	}
+	if pubStale >= 0 {
+		liveOpts = append(liveOpts, core.WithPublishMaxStale(pubStale))
+	}
 	regOpts = append(regOpts, core.WithLiveOptions(liveOpts...))
 	if live != "" {
 		regOpts = append(regOpts, core.WithLiveDir(live))
@@ -310,6 +342,18 @@ func serveCmd(args []string) error {
 			return fmt.Errorf("serve: %w", err)
 		}
 	}
+	if pprofAddr != "" {
+		// Side listener on http.DefaultServeMux: net/http/pprof's profile
+		// endpoints plus expvar's /debug/vars (query latency quantiles,
+		// cache hit counters) — kept off the service mux so profiling is
+		// opt-in and never exposed on the serving address.
+		go func() {
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "lipstick: pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("lipstick: pprof+expvar on http://%s/debug/pprof/\n", pprofAddr)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
@@ -328,9 +372,10 @@ func serveCmd(args []string) error {
 // not a failure — so the histogram shows how often the server shed load
 // while the events/s line shows what it sustained anyway.
 func loadgen(args []string) error {
-	const usage = "usage: lipstick loadgen -remote http://host:port [-streams n] [-duration d] [-rate events/s] [-batch n] [-cars n] [-execs n] [-name prefix]"
+	const usage = "usage: lipstick loadgen -remote http://host:port [-streams n] [-readers n] [-duration d] [-rate events/s] [-batch n] [-cars n] [-execs n] [-name prefix]"
 	remote, prefix := "", "load"
 	streams, batchSize, cars, execs := 4, 256, 240, 4
+	readers := 1
 	duration, rate := 5*time.Second, 0
 	for len(args) >= 2 {
 		val := args[1]
@@ -342,6 +387,8 @@ func loadgen(args []string) error {
 			prefix = val
 		case "-streams":
 			streams, err = strconv.Atoi(val)
+		case "-readers":
+			readers, err = strconv.Atoi(val)
 		case "-batch":
 			batchSize, err = strconv.Atoi(val)
 		case "-cars":
@@ -360,7 +407,7 @@ func loadgen(args []string) error {
 		}
 		args = args[2:]
 	}
-	if len(args) != 0 || remote == "" || streams < 1 || batchSize < 1 {
+	if len(args) != 0 || remote == "" || streams < 1 || batchSize < 1 || readers < 0 {
 		return fmt.Errorf("%s", usage)
 	}
 
@@ -461,33 +508,44 @@ func loadgen(args []string) error {
 		}(w)
 	}
 
-	// Query-under-load prober: the read path's latency while ingestion
-	// hammers the same process.
+	// Query-under-load readers: -readers closed-loop goroutines hammer the
+	// read path while ingestion hammers the same process, measuring the
+	// mixed-workload read throughput and latency the published-view path
+	// exists to protect. Each reader rotates through a few endpoints so
+	// the sample is not a single cached body.
 	stopQuery := make(chan struct{})
 	var queryWG sync.WaitGroup
-	queryWG.Add(1)
-	go func() {
-		defer queryWG.Done()
-		target := fmt.Sprintf("%s/v1/snapshots/%s-0-0/find?type=m", remote, prefix)
-		for {
-			select {
-			case <-stopQuery:
-				return
-			case <-time.After(50 * time.Millisecond):
+	targets := []string{
+		fmt.Sprintf("%s/v1/snapshots/%s-0-0/find?type=m", remote, prefix),
+		fmt.Sprintf("%s/v1/snapshots/%s-0-0/info", remote, prefix),
+		fmt.Sprintf("%s/v1/snapshots/%s-0-0/outputs", remote, prefix),
+		fmt.Sprintf("%s/v1/snapshots/%s-0-0/find?class=p", remote, prefix),
+	}
+	for rd := 0; rd < readers; rd++ {
+		queryWG.Add(1)
+		go func(rd int) {
+			defer queryWG.Done()
+			for i := rd; ; i++ {
+				select {
+				case <-stopQuery:
+					return
+				default:
+				}
+				start := time.Now()
+				resp, err := client.Get(targets[i%len(targets)])
+				if err != nil {
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					mu.Lock()
+					queryLat = append(queryLat, time.Since(start))
+					mu.Unlock()
+				}
 			}
-			start := time.Now()
-			resp, err := client.Get(target)
-			if err != nil {
-				continue
-			}
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				mu.Lock()
-				queryLat = append(queryLat, time.Since(start))
-				mu.Unlock()
-			}
-		}
-	}()
+		}(rd)
+	}
 
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -503,6 +561,7 @@ func loadgen(args []string) error {
 		streams, duration, remote, len(appendLat), applied)
 	fmt.Printf("events/s: %.0f\n", float64(applied)/elapsed.Seconds())
 	fmt.Printf("append latency p50: %v  p99: %v\n", percentile(appendLat, 50), percentile(appendLat, 99))
+	fmt.Printf("reads/s: %.0f  (%d readers)\n", float64(len(queryLat))/elapsed.Seconds(), readers)
 	fmt.Printf("query latency p50: %v  p99: %v  (%d queries)\n",
 		percentile(queryLat, 50), percentile(queryLat, 99), len(queryLat))
 	codes := make([]int, 0, len(statuses))

@@ -7,6 +7,9 @@
 //	            accessed with that mutex held (or from *Locked helpers)
 //	lockedcall  *Locked helpers are only called with a lock held and
 //	            never re-acquire a mutex their caller already holds
+//	published   struct fields annotated "published via <ptr>" (epoch-
+//	            published, immutable once stored) are never written or
+//	            address-taken through a selector
 //	sinkcheck   every provgraph.Graph mutation emits a typed Event, so
 //	            Apply/Replay equivalence cannot silently rot
 //	viewpurity  functions taking a provgraph.GraphView never call a
@@ -69,6 +72,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 var analyzers = []*Analyzer{
 	lockguardAnalyzer,
 	lockedcallAnalyzer,
+	publishedAnalyzer,
 	sinkcheckAnalyzer,
 	viewpurityAnalyzer,
 	walerrAnalyzer,

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// published enforces the `// published via <ptr>` field annotation used by
+// the epoch-publication pattern: a struct published through an atomic
+// pointer (Store = release, Load = acquire) is immutable from the moment
+// it is stored, so readers need no lock. The annotation marks the fields
+// that contract covers; they may be set in a composite literal while the
+// value is being built, but must never be assigned through a selector —
+// in-place mutation after publication is a data race the race detector
+// only catches when a reader happens to overlap. The fix the diagnostic
+// points at is always the same: build a new value and republish it.
+//
+// Grammar: the field comment contains "published via name", where name
+// is the publishing pointer (documentation for the reader; the analyzer
+// does not resolve it). Enforced everywhere: selector assignments,
+// compound assignments, ++/--, and taking the field's address.
+var publishedAnalyzer = &Analyzer{
+	Name: "published",
+	Doc:  "fields annotated 'published via <ptr>' are never written through a selector",
+	Run:  runPublished,
+}
+
+var publishedViaRE = regexp.MustCompile(`published via ([A-Za-z_][A-Za-z0-9_.]*)`)
+
+func runPublished(p *Pass) {
+	annotated := collectPublishedAnnotations(p)
+	if len(annotated) == 0 {
+		return
+	}
+	report := func(sel *ast.SelectorExpr, how string) {
+		selection := p.Info.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return
+		}
+		fieldVar, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return
+		}
+		via, ok := annotated[fieldVar]
+		if !ok {
+			return
+		}
+		p.Reportf(sel.Sel.Pos(), "%s %s.%s: the field is published via %s and immutable after publication (build a new value and republish)",
+			how, types.ExprString(sel.X), fieldVar.Name(), via)
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if sel, ok := lhs.(*ast.SelectorExpr); ok {
+						report(sel, "write to")
+					}
+				}
+			case *ast.IncDecStmt:
+				if sel, ok := n.X.(*ast.SelectorExpr); ok {
+					report(sel, "write to")
+				}
+			case *ast.UnaryExpr:
+				// &v.field escapes a write capability; forbid it outright.
+				if n.Op == token.AND {
+					if sel, ok := n.X.(*ast.SelectorExpr); ok {
+						report(sel, "address of")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// collectPublishedAnnotations finds `published via <name>` field
+// annotations, keyed by field object.
+func collectPublishedAnnotations(p *Pass) map[*types.Var]string {
+	out := map[*types.Var]string{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				m := publishedViaRE.FindStringSubmatch(fieldCommentText(fld))
+				if m == nil {
+					continue
+				}
+				for _, name := range fld.Names {
+					if obj, ok := p.Info.Defs[name].(*types.Var); ok {
+						out[obj] = m[1]
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

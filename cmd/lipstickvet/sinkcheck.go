@@ -25,9 +25,11 @@ var sinkcheckAnalyzer = &Analyzer{
 	Run:  runSinkcheck,
 }
 
-// sinkExempt are Graph fields whose mutation is not replicated state:
-// the sink itself and the constant-interning cache rebuilt by Apply.
-var sinkExempt = map[string]bool{"events": true, "constIndex": true}
+// sinkExempt are Graph fields whose mutation is not replicated state: the
+// sink itself, the constant-interning cache rebuilt by Apply, and the
+// publish watermark (local copy-on-write bookkeeping that never changes
+// what a query observes, so replay needs no record of it).
+var sinkExempt = map[string]bool{"events": true, "constIndex": true, "valsShared": true}
 
 func runSinkcheck(p *Pass) {
 	if p.Pkg.Name() != "provgraph" {

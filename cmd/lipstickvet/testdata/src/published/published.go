@@ -1,0 +1,55 @@
+// Package published seeds violations of the `published via` annotation
+// for the published analyzer fixture tests.
+package published
+
+import "sync/atomic"
+
+// view is an epoch-published value: built as a composite literal, stored
+// through owner.ptr, immutable from then on.
+type view struct {
+	seq  uint64 // published via ptr
+	data []int  // published via ptr
+	note string // unannotated: the analyzer leaves it alone
+}
+
+type owner struct {
+	ptr atomic.Pointer[view]
+}
+
+// Good builds a fresh value and republishes — the only legal mutation.
+func (o *owner) Good(seq uint64) {
+	o.ptr.Store(&view{seq: seq, data: []int{1, 2}})
+}
+
+// GoodRead reads published fields without restriction.
+func (o *owner) GoodRead() uint64 {
+	return o.ptr.Load().seq
+}
+
+// Bad mutates a published field in place.
+func (o *owner) Bad(seq uint64) {
+	v := o.ptr.Load()
+	v.seq = seq // want `write to v\.seq: the field is published via ptr`
+}
+
+// BadInc increments through the loaded pointer.
+func (o *owner) BadInc() {
+	o.ptr.Load().seq++ // want `write to o\.ptr\.Load\(\)\.seq: the field is published via ptr`
+}
+
+// BadAppend reassigns a published slice field.
+func (o *owner) BadAppend(x int) {
+	v := o.ptr.Load()
+	v.data = append(v.data, x) // want `write to v\.data: the field is published via ptr`
+}
+
+// BadAddr escapes a write capability to a published field.
+func (o *owner) BadAddr() *uint64 {
+	v := o.ptr.Load()
+	return &v.seq // want `address of v\.seq: the field is published via ptr`
+}
+
+// OtherField writes an unannotated field: out of the annotation's scope.
+func (o *owner) OtherField(v *view) {
+	v.note = "x"
+}

@@ -96,6 +96,7 @@ func runFixture(t *testing.T, name string) {
 
 func TestLockguardFixture(t *testing.T)  { runFixture(t, "lockguard") }
 func TestLockedcallFixture(t *testing.T) { runFixture(t, "lockedcall") }
+func TestPublishedFixture(t *testing.T)  { runFixture(t, "published") }
 func TestSinkcheckFixture(t *testing.T)  { runFixture(t, "sinkcheck") }
 func TestViewpurityFixture(t *testing.T) { runFixture(t, "viewpurity") }
 func TestWalerrFixture(t *testing.T)     { runFixture(t, "walerr") }

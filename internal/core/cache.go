@@ -1,0 +1,114 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+)
+
+// QueryCache is a seq-stamped LRU cache of marshaled query responses.
+// Correctness comes from the key, not from invalidation: callers include
+// the graph name and the published view's sequence number in the key, so
+// a cached body can only ever be served for the exact immutable view
+// that produced it — a republished view changes the sequence and misses.
+// Stale entries age out through LRU pressure; nothing is ever explicitly
+// invalidated.
+//
+// Bodies are cached as encoded bytes, which both skips re-encoding on a
+// hit and guarantees hits cannot observe later mutation of shared result
+// structures.
+type QueryCache struct {
+	mu       sync.Mutex
+	maxItems int
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+// cacheItem is one cached response body.
+type cacheItem struct {
+	key  string
+	body []byte
+}
+
+// DefaultQueryCacheItems bounds the entry count of a serving query cache.
+const DefaultQueryCacheItems = 4096
+
+// DefaultQueryCacheBytes bounds the total cached body bytes (64 MiB).
+const DefaultQueryCacheBytes = 64 << 20
+
+// NewQueryCache builds a cache holding at most maxItems entries and
+// maxBytes of body data (<= 0 selects the defaults).
+func NewQueryCache(maxItems int, maxBytes int64) *QueryCache {
+	if maxItems <= 0 {
+		maxItems = DefaultQueryCacheItems
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultQueryCacheBytes
+	}
+	return &QueryCache{
+		maxItems: maxItems,
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached body for key, refreshing its recency. The
+// returned slice is shared: callers must treat it as read-only.
+func (c *QueryCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		statQueryCacheMisses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	statQueryCacheHits.Add(1)
+	return el.Value.(*cacheItem).body, true
+}
+
+// Put caches body under key, evicting least-recently-used entries to
+// respect the bounds. Bodies larger than the byte budget are not cached.
+// The cache takes ownership of body; callers must not mutate it after.
+func (c *QueryCache) Put(key string, body []byte) {
+	if int64(len(body)) > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		it := el.Value.(*cacheItem)
+		c.bytes += int64(len(body)) - int64(len(it.body))
+		it.body = body
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheItem{key: key, body: body})
+		c.bytes += int64(len(body))
+	}
+	for len(c.items) > c.maxItems || c.bytes > c.maxBytes {
+		el := c.ll.Back()
+		if el == nil {
+			break
+		}
+		it := el.Value.(*cacheItem)
+		c.ll.Remove(el)
+		delete(c.items, it.key)
+		c.bytes -= int64(len(it.body))
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *QueryCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Bytes returns the total cached body bytes.
+func (c *QueryCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lipstick/internal/provgraph"
 	"lipstick/internal/store"
@@ -72,10 +73,36 @@ type LiveGraph struct {
 	// hence the two-guard annotations.
 	mu       sync.RWMutex
 	g        *provgraph.Graph // guarded by mu or writeMu
-	ix       *store.Index     // guarded by mu or writeMu
+	ix       *liveIndex       // guarded by mu or writeMu
 	qp       *QueryProcessor  // guarded by mu or writeMu
 	seq      uint64           // last applied event sequence; guarded by mu or writeMu
 	lastCkpt uint64           // guarded by mu or writeMu
+	sincePub uint64           // events applied since the last publish; guarded by mu or writeMu
+
+	// view is the newest published read view. Store is the release half of
+	// the epoch-publish protocol: everything the view's graph and postings
+	// reference was written before the Store, and published structures are
+	// never overwritten afterwards, so a Load-ing reader needs no lock.
+	view atomic.Pointer[LiveView]
+	// appliedSeq mirrors seq for the lock-free staleness check in
+	// ReadView (it is stored after each apply batch, inside mu).
+	appliedSeq atomic.Uint64
+
+	pubEvery uint64        // republish after this many applied events (0 = only on demand)
+	pubStale time.Duration // max view staleness ReadView tolerates (0 = read-your-writes)
+}
+
+// LiveView is one published, immutable snapshot of a live graph: a query
+// processor over an epoch-published graph view and postings snapshot.
+// Any number of goroutines may query it concurrently without locks, and
+// it stays valid (frozen at its sequence) for as long as it is retained.
+type LiveView struct {
+	// Seq is the last event sequence the view includes.
+	Seq uint64 // published via view
+	// QP answers the full query surface over the frozen view.
+	QP *QueryProcessor // published via view
+	// At is when the view was published (staleness accounting).
+	At time.Time // published via view
 }
 
 // pendingBatch is one applied-but-not-yet-durable span of the stream.
@@ -92,11 +119,17 @@ const DefaultCheckpointEvery = 1 << 16
 // and durability before new ones are shed with *OverloadedError.
 const DefaultIngestQueueDepth = 64
 
+// DefaultPublishEvery is how many applied events trigger an automatic
+// view republish during ingest.
+const DefaultPublishEvery = 4096
+
 // liveConfig collects LiveOption state.
 type liveConfig struct {
 	ckptEvery  uint64
 	logOpts    []store.LogOption
 	queueDepth int
+	pubEvery   uint64
+	pubStale   time.Duration
 }
 
 // LiveOption configures a durable live graph.
@@ -122,6 +155,29 @@ func WithIngestQueueDepth(n int) LiveOption {
 	return func(c *liveConfig) { c.queueDepth = n }
 }
 
+// WithPublishEvery sets how many applied events trigger an automatic
+// view republish on the ingest path (default DefaultPublishEvery;
+// n <= 0 disables event-count republish — views then refresh only when
+// a reader finds its view too stale).
+func WithPublishEvery(n int) LiveOption {
+	return func(c *liveConfig) {
+		if n <= 0 {
+			c.pubEvery = 0
+		} else {
+			c.pubEvery = uint64(n)
+		}
+	}
+}
+
+// WithPublishMaxStale bounds how far behind the applied stream a view
+// ReadView hands out may be. 0 (the default) means read-your-writes:
+// any staleness forces a republish before the read proceeds. A serving
+// deployment typically tolerates a few tens of milliseconds so that
+// republish cost amortizes over many requests.
+func WithPublishMaxStale(d time.Duration) LiveOption {
+	return func(c *liveConfig) { c.pubStale = d }
+}
+
 // admissionGate builds the semaphore for a configured depth.
 func admissionGate(depth int) chan struct{} {
 	if depth == 0 {
@@ -136,20 +192,27 @@ func admissionGate(depth int) chan struct{} {
 // NewLiveGraph returns an empty in-memory live graph (no durability).
 // Log-related options are ignored; the ingest queue depth applies.
 func NewLiveGraph(name string, opts ...LiveOption) *LiveGraph {
-	cfg := liveConfig{}
+	cfg := liveConfig{pubEvery: DefaultPublishEvery}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	l := &LiveGraph{name: name, g: provgraph.New(), sem: admissionGate(cfg.queueDepth)}
-	l.ix = store.BuildIndex(l.g)
+	l := &LiveGraph{
+		name: name, g: provgraph.New(), sem: admissionGate(cfg.queueDepth),
+		pubEvery: cfg.pubEvery, pubStale: cfg.pubStale,
+	}
+	l.g.PrepareForIngest()
+	l.ix = newLiveIndex(l.g, nil)
 	l.qp = &QueryProcessor{graph: l.g, index: &Index{data: l.ix}, zoomed: map[string]bool{}}
+	l.mu.Lock()
+	l.publishLocked()
+	l.mu.Unlock()
 	return l
 }
 
 // OpenLiveGraph opens (creating if needed) a durable live graph backed by
 // a write-ahead log directory, recovering checkpoint + tail state.
 func OpenLiveGraph(name, dir string, opts ...LiveOption) (*LiveGraph, error) {
-	cfg := liveConfig{ckptEvery: DefaultCheckpointEvery}
+	cfg := liveConfig{ckptEvery: DefaultCheckpointEvery, pubEvery: DefaultPublishEvery}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
@@ -160,17 +223,24 @@ func OpenLiveGraph(name, dir string, opts ...LiveOption) (*LiveGraph, error) {
 	l := &LiveGraph{
 		name: name, log: log, group: log.GroupCommit(),
 		ckptEvery: cfg.ckptEvery, sem: admissionGate(cfg.queueDepth),
+		pubEvery: cfg.pubEvery, pubStale: cfg.pubStale,
 	}
+	var base store.Postings
 	if rec.Snapshot != nil {
 		l.g = rec.Snapshot.Graph
-		l.ix = rec.Snapshot.Index
-		if l.ix == nil {
-			l.ix = store.BuildIndex(l.g)
+		switch {
+		case rec.Snapshot.Postings != nil:
+			base = rec.Snapshot.Postings
+		case rec.Snapshot.Index != nil:
+			base = rec.Snapshot.Index
+		default:
+			base = store.BuildIndex(l.g)
 		}
 	} else {
 		l.g = provgraph.New()
-		l.ix = store.BuildIndex(l.g)
 	}
+	l.g.PrepareForIngest()
+	l.ix = newLiveIndex(l.g, base)
 	l.qp = &QueryProcessor{graph: l.g, index: &Index{data: l.ix}, zoomed: map[string]bool{}}
 	l.seq = rec.CheckpointSeq
 	l.lastCkpt = rec.CheckpointSeq
@@ -181,6 +251,9 @@ func OpenLiveGraph(name, dir string, opts ...LiveOption) (*LiveGraph, error) {
 		}
 		l.seq++
 	}
+	l.mu.Lock()
+	l.publishLocked()
+	l.mu.Unlock()
 	return l, nil
 }
 
@@ -342,6 +415,14 @@ func (l *LiveGraph) AppendAsync(firstSeq uint64, events []provgraph.Event) *Pend
 		applied++
 	}
 	l.seq += uint64(applied)
+	l.sincePub += uint64(applied)
+	// Republish inside the same exclusive window that applied the events:
+	// the ingest path pays the (cheap, O(1)-amortized) publish so steady
+	// reads stay entirely lock-free.
+	if l.pubEvery > 0 && l.sincePub >= l.pubEvery {
+		l.publishLocked()
+	}
+	l.appliedSeq.Store(l.seq)
 	l.mu.Unlock()
 	// Counters track applied events; they must move even when the WAL
 	// write below fails, or a dup-skipped retry would leave them behind
@@ -504,50 +585,19 @@ func (l *LiveGraph) applyLocked(ev provgraph.Event) error {
 	switch ev.Kind {
 	case provgraph.EvAddNode:
 		n := ev.Node
-		l.ix.Nodes++
-		l.ix.ByType[n.Type] = append(l.ix.ByType[n.Type], n.ID)
-		l.ix.ByOp[n.Op] = append(l.ix.ByOp[n.Op], n.ID)
-		if n.Label != "" {
-			l.ix.ByLabel[n.Label] = append(l.ix.ByLabel[n.Label], n.ID)
-		}
+		module := ""
 		if n.Inv >= 0 {
-			m := l.g.Invocation(n.Inv).Module
-			l.ix.ByModule[m] = insertSortedID(l.ix.ByModule[m], n.ID)
+			module = l.g.Invocation(n.Inv).Module
 		}
+		l.ix.addNode(n, module)
 	case provgraph.EvOpenInvocation:
-		l.ix.ModuleInvs[ev.Module] = append(l.ix.ModuleInvs[ev.Module], ev.Inv)
+		l.ix.addInvocation(ev.Module, ev.Inv)
 	case provgraph.EvSetNodeInv:
 		// The m-node joins its module's postings once the back-reference
 		// lands (it was created before its invocation record existed).
-		m := l.g.Invocation(ev.Inv).Module
-		l.ix.ByModule[m] = insertSortedID(l.ix.ByModule[m], ev.Src)
+		l.ix.setNodeModule(l.g.Invocation(ev.Inv).Module, ev.Src)
 	}
 	return nil
-}
-
-// insertSortedID appends id keeping the list sorted and duplicate-free.
-// Ids almost always arrive in ascending order (the O(1) fast path); the
-// binary-insert fallback keeps the postings invariant under any stream.
-func insertSortedID(list []provgraph.NodeID, id provgraph.NodeID) []provgraph.NodeID {
-	if n := len(list); n == 0 || list[n-1] < id {
-		return append(list, id)
-	}
-	lo, hi := 0, len(list)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if list[mid] < id {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo < len(list) && list[lo] == id {
-		return list
-	}
-	list = append(list, 0)
-	copy(list[lo+1:], list[lo:])
-	list[lo] = id
-	return list
 }
 
 // Read runs fn against the live graph's query processor under a read
@@ -559,6 +609,41 @@ func (l *LiveGraph) Read(fn func(*QueryProcessor) error) error {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	return fn(l.qp)
+}
+
+// publishLocked (mu held exclusively) publishes a fresh immutable view:
+// an epoch-published graph view, a sealed postings snapshot, and a query
+// processor over both, stamped with the applied sequence. The atomic
+// Store is the release edge readers pair their Load with.
+func (l *LiveGraph) publishLocked() {
+	vg := l.g.PublishView()
+	qp := &QueryProcessor{graph: vg, index: &Index{data: l.ix.publish()}, zoomed: map[string]bool{}}
+	l.view.Store(&LiveView{Seq: l.seq, QP: qp, At: time.Now()})
+	l.sincePub = 0
+}
+
+// ReadView returns a published view to query without any locking. The
+// fast path is two atomic loads: when the newest view already covers the
+// applied stream (or is within the configured staleness bound), readers
+// share it and never touch a mutex — mid-ingest reads scale with cores
+// instead of serializing against the writer. Otherwise ReadView takes
+// the write lock once, republishes, and the view it returns is exact.
+func (l *LiveGraph) ReadView() *LiveView {
+	if v := l.view.Load(); v != nil {
+		if v.Seq == l.appliedSeq.Load() {
+			return v
+		}
+		if l.pubStale > 0 && time.Since(v.At) <= l.pubStale {
+			return v
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if v := l.view.Load(); v != nil && v.Seq == l.seq {
+		return v
+	}
+	l.publishLocked()
+	return l.view.Load()
 }
 
 // Checkpoint compacts the durable log: the current graph is written as a
@@ -585,7 +670,15 @@ func (l *LiveGraph) checkpointLocked() error {
 	if err := l.flushBacklogLocked(); err != nil {
 		return fmt.Errorf("lipstick: checkpoint of %s: flushing unlogged events: %w", l.name, err)
 	}
-	if err := l.log.Checkpoint(&store.Snapshot{Graph: l.g}); err != nil {
+	// Serialize from a freshly published view: the view's graph is
+	// immutable and shares the columns' frozen tails, so readers keep
+	// answering (and the snapshot is exactly the applied prefix) while
+	// the checkpoint encodes.
+	l.mu.Lock()
+	l.publishLocked()
+	v := l.view.Load()
+	l.mu.Unlock()
+	if err := l.log.Checkpoint(&store.Snapshot{Graph: v.QP.graph}); err != nil {
 		return err
 	}
 	l.mu.Lock()

@@ -1,6 +1,11 @@
 package core
 
-import "expvar"
+import (
+	"expvar"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
 
 // Process-wide operational counters, published through the standard expvar
 // registry (so any expvar scraper sees them) and snapshotted by
@@ -9,15 +14,17 @@ import "expvar"
 // has this server done", not "what does this instance hold"; per-instance
 // gauges (snapshot count, session occupancy) are computed at request time.
 var (
-	statCacheHits       = expvar.NewInt("lipstick_snapshot_cache_hits")
-	statCacheMisses     = expvar.NewInt("lipstick_snapshot_cache_misses")
-	statSessionsCreated = expvar.NewInt("lipstick_sessions_created")
-	statSessionsForked  = expvar.NewInt("lipstick_sessions_forked")
-	statSessionsEvicted = expvar.NewInt("lipstick_sessions_evicted")
-	statSessionsExpired = expvar.NewInt("lipstick_sessions_expired")
-	statIngestBatches   = expvar.NewInt("lipstick_ingest_batches")
-	statIngestEvents    = expvar.NewInt("lipstick_ingest_events")
-	statIngestOverloads = expvar.NewInt("lipstick_ingest_overloads")
+	statCacheHits        = expvar.NewInt("lipstick_snapshot_cache_hits")
+	statCacheMisses      = expvar.NewInt("lipstick_snapshot_cache_misses")
+	statSessionsCreated  = expvar.NewInt("lipstick_sessions_created")
+	statSessionsForked   = expvar.NewInt("lipstick_sessions_forked")
+	statSessionsEvicted  = expvar.NewInt("lipstick_sessions_evicted")
+	statSessionsExpired  = expvar.NewInt("lipstick_sessions_expired")
+	statIngestBatches    = expvar.NewInt("lipstick_ingest_batches")
+	statIngestEvents     = expvar.NewInt("lipstick_ingest_events")
+	statIngestOverloads  = expvar.NewInt("lipstick_ingest_overloads")
+	statQueryCacheHits   = expvar.NewInt("lipstick_query_cache_hits")
+	statQueryCacheMisses = expvar.NewInt("lipstick_query_cache_misses")
 )
 
 // Counters is a point-in-time snapshot of the process-wide counters.
@@ -33,6 +40,9 @@ type Counters struct {
 	// IngestOverloads counts batches shed by admission control (the
 	// serving layer's 429s).
 	IngestOverloads int64
+	// QueryCacheHits/Misses count seq-stamped query-result cache outcomes.
+	QueryCacheHits   int64
+	QueryCacheMisses int64
 }
 
 // ReadCounters snapshots the expvar-backed counters.
@@ -47,5 +57,90 @@ func ReadCounters() Counters {
 		IngestBatches:       statIngestBatches.Value(),
 		IngestEvents:        statIngestEvents.Value(),
 		IngestOverloads:     statIngestOverloads.Value(),
+		QueryCacheHits:      statQueryCacheHits.Value(),
+		QueryCacheMisses:    statQueryCacheMisses.Value(),
+	}
+}
+
+// latencyHist is a lock-free log-bucketed latency histogram: bucket i
+// counts observations in [2^i, 2^(i+1)) microseconds, which spans 1µs to
+// ~36 minutes in 32 buckets at ~2x resolution — plenty for quantile
+// dashboards, and each Observe is one atomic add.
+type latencyHist struct {
+	buckets [32]atomic.Int64
+	count   atomic.Int64
+}
+
+// Observe records one duration.
+func (h *latencyHist) Observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 1 {
+		us = 1
+	}
+	b := bits.Len64(uint64(us)) - 1
+	if b >= len(h.buckets) {
+		b = len(h.buckets) - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+}
+
+// Quantile returns an upper bound on the q-th quantile (0 < q <= 1) of
+// the observed durations, or 0 before any observation. Concurrent
+// observations make the scan approximate, which is fine for monitoring.
+func (h *latencyHist) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return time.Duration(uint64(1)<<(i+1)) * time.Microsecond
+		}
+	}
+	return time.Duration(uint64(1)<<len(h.buckets)) * time.Microsecond
+}
+
+// queryLatency is the process-wide query endpoint latency histogram.
+var queryLatency latencyHist
+
+func init() {
+	expvar.Publish("lipstick_query_latency_p50_us", expvar.Func(func() any {
+		return queryLatency.Quantile(0.50).Microseconds()
+	}))
+	expvar.Publish("lipstick_query_latency_p99_us", expvar.Func(func() any {
+		return queryLatency.Quantile(0.99).Microseconds()
+	}))
+	expvar.Publish("lipstick_query_count", expvar.Func(func() any {
+		return queryLatency.count.Load()
+	}))
+}
+
+// ObserveQueryLatency records one query endpoint's service time.
+func ObserveQueryLatency(d time.Duration) { queryLatency.Observe(d) }
+
+// QueryLatencyStats summarizes the query latency histogram.
+type QueryLatencyStats struct {
+	Count int64         `json:"count"`
+	P50   time.Duration `json:"-"`
+	P99   time.Duration `json:"-"`
+	P50us int64         `json:"p50Micros"`
+	P99us int64         `json:"p99Micros"`
+}
+
+// ReadQueryLatency snapshots the query latency summary.
+func ReadQueryLatency() QueryLatencyStats {
+	p50 := queryLatency.Quantile(0.50)
+	p99 := queryLatency.Quantile(0.99)
+	return QueryLatencyStats{
+		Count: queryLatency.count.Load(),
+		P50:   p50, P99: p99,
+		P50us: p50.Microseconds(), P99us: p99.Microseconds(),
 	}
 }

@@ -94,9 +94,10 @@ func Freeze(g *Graph) *Frozen {
 	for i := 0; i < n; i++ {
 		symOf[g.syms.str(g.label.at(i))] = 0
 	}
-	for i := range g.invocations {
-		symOf[g.invocations[i].Module] = 0
-		symOf[g.invocations[i].NodeName] = 0
+	for i := 0; i < g.invocations.len(); i++ {
+		rec := g.invocations.roPtr(i)
+		symOf[rec.Module] = 0
+		symOf[rec.NodeName] = 0
 	}
 	delete(symOf, "")
 	sorted := make([]string, 0, len(symOf))
@@ -138,7 +139,7 @@ func Freeze(g *Graph) *Frozen {
 	fr.InOffs, fr.InEdges = inCSRFromOut(fr.OutOffs, fr.OutEdges, n)
 
 	// Invocation columns and anchor CSRs.
-	ni := len(g.invocations)
+	ni := g.invocations.len()
 	fr.InvModule = make([]uint32, ni)
 	fr.InvNodeName = make([]uint32, ni)
 	fr.InvExec = make([]int32, ni)
@@ -146,8 +147,8 @@ func Freeze(g *Graph) *Frozen {
 	fr.AnchorInOffs = make([]uint32, ni+1)
 	fr.AnchorOutOffs = make([]uint32, ni+1)
 	fr.AnchorStOffs = make([]uint32, ni+1)
-	for i := range g.invocations {
-		inv := &g.invocations[i]
+	for i := 0; i < ni; i++ {
+		inv := g.invocations.roPtr(i)
 		fr.InvModule[i] = symOf[inv.Module]
 		fr.InvNodeName[i] = symOf[inv.NodeName]
 		fr.InvExec[i] = int32(inv.Execution)
@@ -224,8 +225,8 @@ func FromFrozen(fr *Frozen, mapRef any) *Graph {
 	g.typ.base = fr.Typ
 	g.op.base = fr.Op
 	g.label.base = fr.Label
-	g.inv.base = fr.Inv
-	g.valIx.base = fr.ValIx
+	g.inv = thawChunked(fr.Inv)
+	g.valIx = thawChunked(fr.ValIx)
 	g.syms.baseOffs = fr.SymOffs
 	g.syms.baseSlab = fr.SymSlab
 	g.alive = append(bitset(nil), fr.Alive...)
@@ -252,9 +253,9 @@ func materializeInvs(g *Graph) {
 	}
 	g.invOnce.Do(func() {
 		ni := fr.NumInvocations()
-		recs := make([]Invocation, ni)
+		recs := chunked[Invocation]{epoch: 1}
 		for i := 0; i < ni; i++ {
-			recs[i] = Invocation{
+			recs.add(Invocation{
 				ID:        InvID(i),
 				Module:    g.syms.str(fr.InvModule[i]),
 				NodeName:  g.syms.str(fr.InvNodeName[i]),
@@ -263,7 +264,7 @@ func materializeInvs(g *Graph) {
 				Inputs:    copyIDs(fr.AnchorIn[fr.AnchorInOffs[i]:fr.AnchorInOffs[i+1]]),
 				Outputs:   copyIDs(fr.AnchorOut[fr.AnchorOutOffs[i]:fr.AnchorOutOffs[i+1]]),
 				States:    copyIDs(fr.AnchorSt[fr.AnchorStOffs[i]:fr.AnchorStOffs[i+1]]),
-			}
+			})
 		}
 		g.invocations = recs
 	})
@@ -318,8 +319,6 @@ func Reconstruct(nodes []Node, edges [][2]NodeID, invs []Invocation, dead []Node
 	g.typ.tail = make([]Type, n)
 	g.op.tail = make([]Op, n)
 	g.label.tail = make([]uint32, n)
-	g.inv.tail = make([]InvID, n)
-	g.valIx.tail = make([]int32, n)
 	g.syms.init()
 	g.alive = newBitset(n)
 	for i := range nodes {
@@ -328,11 +327,11 @@ func Reconstruct(nodes []Node, edges [][2]NodeID, invs []Invocation, dead []Node
 		g.typ.tail[i] = nd.Type
 		g.op.tail[i] = nd.Op
 		g.label.tail[i] = g.syms.intern(nd.Label)
-		g.inv.tail[i] = nd.Inv // stored verbatim, no normalization
+		g.inv.add(nd.Inv) // stored verbatim, no normalization
 		if nd.Value.IsNull() {
-			g.valIx.tail[i] = -1
+			g.valIx.add(-1)
 		} else {
-			g.valIx.tail[i] = int32(len(g.vals))
+			g.valIx.add(int32(len(g.vals)))
 			g.vals = append(g.vals, nd.Value)
 		}
 		g.alive.set(i)
@@ -364,13 +363,12 @@ func Reconstruct(nodes []Node, edges [][2]NodeID, invs []Invocation, dead []Node
 	g.in = adjHalf{baseN: n, offs: inOffs, edges: inEdges}
 	g.numEdges = len(edges)
 
-	g.invocations = make([]Invocation, len(invs))
 	for i, inv := range invs {
 		inv.ID = InvID(i)
 		// Share the interned bytes so duplicate module names cost one copy.
 		inv.Module = g.syms.str(g.syms.intern(inv.Module))
 		inv.NodeName = g.syms.str(g.syms.intern(inv.NodeName))
-		g.invocations[i] = inv
+		g.invocations.add(inv)
 	}
 	for _, id := range dead {
 		if g.alive.get(int(id)) {

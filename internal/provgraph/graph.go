@@ -206,8 +206,8 @@ type Graph struct {
 	typ   col[Type]
 	op    col[Op]
 	label col[uint32] // symbol ids (symtab)
-	inv   col[InvID]
-	valIx col[int32] // index into the value store; -1 = Null
+	inv   chunked[InvID]
+	valIx chunked[int32] // index into the value store; -1 = Null
 	syms  symtab
 	alive bitset
 	dead  int // number of dead nodes
@@ -217,9 +217,12 @@ type Graph struct {
 
 	// Values: indexes below valBase resolve through valAt (a decoder over
 	// a frozen snapshot's value section); valBase+i resolves to vals[i].
-	valBase int
-	valAt   func(int) nested.Value
-	vals    []nested.Value
+	// Slots below valsShared are visible to a published view and must not
+	// be overwritten in place (setValue allocates a fresh slot instead).
+	valBase    int
+	valAt      func(int) nested.Value
+	vals       []nested.Value
+	valsShared int
 
 	// frozenInvs holds the columnar invocation records of an opened
 	// snapshot; invocations materializes from it lazily (invOnce) so an
@@ -227,7 +230,7 @@ type Graph struct {
 	// is set only at construction and never reassigned.
 	frozenInvs  *Frozen
 	invOnce     *sync.Once
-	invocations []Invocation
+	invocations chunked[Invocation]
 
 	// constIndex interns constant value v-nodes; built lazily (constOnce)
 	// from the OpConst nodes on first lookup.
@@ -312,11 +315,13 @@ func (g *Graph) setNodeInv(id NodeID, inv InvID) {
 // setValue overwrites a node's carried value (aggregate recomputation).
 func (g *Graph) setValue(id NodeID, v nested.Value) {
 	i := int(id)
-	if ix := int(g.valIx.at(i)); ix >= g.valBase {
-		// The node already owns a heap value slot; overwrite in place.
+	if ix := int(g.valIx.at(i)); ix >= g.valBase && ix-g.valBase >= g.valsShared {
+		// The node owns a heap value slot no published view can see;
+		// overwrite in place.
 		g.vals[ix-g.valBase] = v
 	} else {
-		// No slot, or a read-only frozen slot: allocate a heap slot.
+		// No slot, a read-only frozen slot, or a slot shared with a
+		// published view: allocate a fresh heap slot.
 		g.valIx.set(i, int32(g.valBase+len(g.vals)))
 		g.vals = append(g.vals, v)
 	}
@@ -331,7 +336,7 @@ func (g *Graph) setValue(id NodeID, v nested.Value) {
 // batch fixup pass.
 func (g *Graph) addAnchor(inv InvID, kind AnchorKind, id NodeID) {
 	materializeInvs(g)
-	rec := &g.invocations[inv]
+	rec := g.invocations.ptr(int(inv))
 	switch kind {
 	case AnchorInput:
 		rec.Inputs = append(rec.Inputs, id)
@@ -481,10 +486,10 @@ func (g *Graph) revive(id NodeID) {
 // repeated invocations of one module share a single string copy.
 func (g *Graph) AddInvocation(inv Invocation) InvID {
 	materializeInvs(g)
-	inv.ID = InvID(len(g.invocations))
+	inv.ID = InvID(g.invocations.len())
 	inv.Module = g.syms.str(g.syms.intern(inv.Module))
 	inv.NodeName = g.syms.str(g.syms.intern(inv.NodeName))
-	g.invocations = append(g.invocations, inv)
+	g.invocations.add(inv)
 	if g.events != nil {
 		g.emit(Event{
 			Kind: EvOpenInvocation, Inv: inv.ID, Src: inv.MNode,
@@ -494,23 +499,24 @@ func (g *Graph) AddInvocation(inv Invocation) InvID {
 	return inv.ID
 }
 
-// Invocation returns the invocation record with the given id.
+// Invocation returns the invocation record with the given id. The record
+// must be treated as read-only; addAnchor is the only mutation path.
 func (g *Graph) Invocation(id InvID) *Invocation {
 	materializeInvs(g)
-	return &g.invocations[id]
+	return g.invocations.roPtr(int(id))
 }
 
 // NumInvocations returns the number of recorded invocations.
 func (g *Graph) NumInvocations() int {
 	materializeInvs(g)
-	return len(g.invocations)
+	return g.invocations.len()
 }
 
 // Invocations calls fn for each invocation record.
 func (g *Graph) Invocations(fn func(*Invocation) bool) {
 	materializeInvs(g)
-	for i := range g.invocations {
-		if !fn(&g.invocations[i]) {
+	for i := 0; i < g.invocations.len(); i++ {
+		if !fn(g.invocations.roPtr(i)) {
 			return
 		}
 	}
@@ -520,9 +526,9 @@ func (g *Graph) Invocations(fn func(*Invocation) bool) {
 func (g *Graph) InvocationsOf(module string) []InvID {
 	materializeInvs(g)
 	var out []InvID
-	for i := range g.invocations {
-		if g.invocations[i].Module == module {
-			out = append(out, g.invocations[i].ID)
+	for i := 0; i < g.invocations.len(); i++ {
+		if rec := g.invocations.roPtr(i); rec.Module == module {
+			out = append(out, rec.ID)
 		}
 	}
 	return out
@@ -579,13 +585,15 @@ func (g *Graph) Clone() *Graph {
 	}
 	// Invocations are materialized above, so the clone keeps the heap
 	// records and drops the frozen source (its columns stay pinned via
-	// the shared bases and mapRef).
-	c.invocations = make([]Invocation, len(g.invocations))
-	for i, inv := range g.invocations {
+	// the shared bases and mapRef). Anchor lists are deep-copied: two
+	// independent writers must not share the append-able inner arrays.
+	c.invocations = chunked[Invocation]{epoch: 1}
+	for i := 0; i < g.invocations.len(); i++ {
+		inv := *g.invocations.roPtr(i)
 		inv.Inputs = append([]NodeID(nil), inv.Inputs...)
 		inv.Outputs = append([]NodeID(nil), inv.Outputs...)
 		inv.States = append([]NodeID(nil), inv.States...)
-		c.invocations[i] = inv
+		c.invocations.add(inv)
 	}
 	if g.constIndex != nil {
 		m := make(map[string]NodeID, len(g.constIndex))

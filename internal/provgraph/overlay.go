@@ -61,6 +61,25 @@ func NewOverlay(base *Graph) *Overlay {
 // Base returns the graph the overlay is layered over.
 func (o *Overlay) Base() *Graph { return o.base }
 
+// Reset rebinds the overlay to base with every delta cleared, keeping
+// the already-allocated delta containers. Serving paths pool ephemeral
+// overlays with it (one zoom preview per request), so steady-state
+// request handling reuses scratch instead of allocating a fresh overlay
+// and letting its maps and slices become garbage.
+func (o *Overlay) Reset(base *Graph) {
+	o.base = base
+	o.baseSlots = base.TotalNodes()
+	clear(o.alive)
+	o.liveDelta = 0
+	o.added = o.added[:0]
+	o.addedOut = o.addedOut[:0]
+	o.addedIn = o.addedIn[:0]
+	clear(o.extraOut)
+	clear(o.extraIn)
+	o.edgeLog = o.edgeLog[:0]
+	clear(o.values)
+}
+
 // Changes returns the number of recorded deltas (liveness overrides,
 // appended nodes, appended edges, and value overrides) — the session's
 // memory cost in units of changes, not graph size.

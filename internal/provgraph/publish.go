@@ -1,0 +1,67 @@
+package provgraph
+
+import "sync"
+
+// Epoch-published read views. PublishView returns an immutable
+// point-in-time *Graph that shares almost all storage with the writer:
+// flat columns are shared outright (they are append-only, and appends land
+// at indices beyond the view's clipped lengths), chunked columns share
+// their block tables (the writer's next overwrite copies just the touched
+// block), and only the liveness bitset is copied — one bit per node.
+//
+// The memory-model contract: the caller publishes the returned view
+// through an atomic pointer (core.LiveGraph does) and readers load it
+// through the same pointer. That store/load pair is the release/acquire
+// edge making every write that happened before PublishView visible to the
+// readers; the writer's post-publish writes only touch storage no view
+// index reaches, so readers and the writer never race.
+
+// PrepareForIngest converts a snapshot-opened graph's CSR adjacency into
+// the chunked copy-on-write representation, so the graph can publish views
+// while ingesting. Static (query-only) opens skip this and keep the
+// zero-copy CSR. O(nodes) in block headers; no edge data is copied.
+func (g *Graph) PrepareForIngest() {
+	materializeInvs(g)
+	g.out.thaw()
+	g.in.thaw()
+}
+
+// PublishView returns an immutable snapshot of the graph's current state.
+// The view answers every read query identically to the writer at this
+// instant and stays valid (and race-free) while the writer keeps mutating.
+// The writer must not be mutated concurrently with the call itself, and
+// must have been prepared with PrepareForIngest if it was opened from a
+// snapshot. Cost: O(n/chunkSize) block headers plus one bit per node.
+func (g *Graph) PublishView() *Graph {
+	materializeInvs(g)
+	v := &Graph{
+		n:           g.n,
+		class:       g.class.publish(),
+		typ:         g.typ.publish(),
+		op:          g.op.publish(),
+		label:       g.label.publish(),
+		inv:         g.inv.publish(),
+		valIx:       g.valIx.publish(),
+		syms:        g.syms.publish(),
+		alive:       append(bitset(nil), g.alive...),
+		dead:        g.dead,
+		out:         g.out.publish(),
+		in:          g.in.publish(),
+		numEdges:    g.numEdges,
+		valBase:     g.valBase,
+		valAt:       g.valAt,
+		vals:        g.vals[:len(g.vals):len(g.vals)],
+		invocations: g.invocations.publish(),
+		invOnce:     new(sync.Once),
+		constOnce:   new(sync.Once),
+		mapRef:      g.mapRef,
+	}
+	// Invocations are already materialized into the shared blocks; the
+	// view must never consult frozenInvs (it stays nil) nor re-run the
+	// materialize step.
+	v.invOnce.Do(func() {})
+	// Heap value slots that existed at publish time are now visible to a
+	// reader; the writer's setValue must stop overwriting them in place.
+	g.valsShared = len(g.vals)
+	return v
+}

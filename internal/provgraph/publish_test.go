@@ -1,0 +1,214 @@
+package provgraph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"lipstick/internal/nested"
+)
+
+// randomDAG builds a deterministic layered DAG with roughly fan edges per
+// node, via the event-emitting mutators so it resembles a live ingest.
+func randomDAG(t *testing.T, nodes, fan int, seed int64) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := New()
+	for i := 0; i < nodes; i++ {
+		typ := TypeOp
+		op := OpTimes
+		if i%17 == 0 {
+			typ, op = TypeBaseTuple, OpNone
+		}
+		id := g.AddNode(Node{Class: ClassP, Type: typ, Op: op, Label: "n"})
+		for e := 0; e < fan && i > 0; e++ {
+			src := NodeID(rng.Intn(i))
+			g.AddEdge(src, id)
+		}
+		if i%31 == 30 {
+			g.kill(NodeID(rng.Intn(i + 1)))
+		}
+	}
+	return g
+}
+
+// mutateSome applies a burst of post-publish mutations of every kind that
+// writes below the publish watermark.
+func mutateSome(g *Graph, rng *rand.Rand, rounds int) {
+	for i := 0; i < rounds; i++ {
+		n := g.TotalNodes()
+		id := g.AddNode(Node{Class: ClassV, Type: TypeValue, Op: OpConst, Value: nested.Int(int64(i))})
+		g.AddEdge(NodeID(rng.Intn(n)), id)
+		g.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+		g.kill(NodeID(rng.Intn(n)))
+		g.revive(NodeID(rng.Intn(n)))
+		g.setValue(NodeID(rng.Intn(n)), nested.Int(int64(rng.Intn(1000))))
+		if g.NumInvocations() > 0 {
+			inv := InvID(rng.Intn(g.NumInvocations()))
+			g.setNodeInv(NodeID(rng.Intn(n)), inv)
+			g.addAnchor(inv, AnchorInput, NodeID(rng.Intn(n)))
+		} else {
+			g.AddInvocation(Invocation{Module: "M", NodeName: "m0", MNode: id})
+		}
+	}
+}
+
+// assertViewEquals asserts the published view answers structure and
+// traversal queries identically to the reference graph.
+func assertViewEquals(t *testing.T, view, ref *Graph, probes []NodeID) {
+	t.Helper()
+	if !view.StructurallyEqual(ref) {
+		t.Fatalf("published view diverged structurally from the publish-time clone")
+	}
+	if view.NumNodes() != ref.NumNodes() || view.TotalNodes() != ref.TotalNodes() {
+		t.Fatalf("node counts diverged: view %d/%d ref %d/%d",
+			view.NumNodes(), view.TotalNodes(), ref.NumNodes(), ref.TotalNodes())
+	}
+	if view.NumInvocations() != ref.NumInvocations() {
+		t.Fatalf("invocation counts diverged: %d vs %d", view.NumInvocations(), ref.NumInvocations())
+	}
+	for i := 0; i < view.NumInvocations(); i++ {
+		vi, ri := view.Invocation(InvID(i)), ref.Invocation(InvID(i))
+		if vi.Module != ri.Module || !reflect.DeepEqual(vi.Inputs, ri.Inputs) ||
+			!reflect.DeepEqual(vi.Outputs, ri.Outputs) || !reflect.DeepEqual(vi.States, ri.States) {
+			t.Fatalf("invocation %d diverged: %+v vs %+v", i, vi, ri)
+		}
+	}
+	for _, id := range probes {
+		if !reflect.DeepEqual(view.Node(id), ref.Node(id)) {
+			t.Fatalf("node %d diverged: %+v vs %+v", id, view.Node(id), ref.Node(id))
+		}
+		if got, want := view.Ancestors(id), ref.Ancestors(id); !reflect.DeepEqual(got, want) {
+			t.Fatalf("ancestors(%d) diverged", id)
+		}
+		if got, want := view.Descendants(id), ref.Descendants(id); !reflect.DeepEqual(got, want) {
+			t.Fatalf("descendants(%d) diverged", id)
+		}
+	}
+}
+
+func probeIDs(g *Graph, rng *rand.Rand, k int) []NodeID {
+	out := make([]NodeID, 0, k)
+	for len(out) < k {
+		out = append(out, NodeID(rng.Intn(g.TotalNodes())))
+	}
+	return out
+}
+
+// TestPublishViewImmutable publishes views across many epochs of heavy
+// mutation and asserts every retained view still answers queries exactly
+// as a deep clone taken at its publish instant.
+func TestPublishViewImmutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomDAG(t, 3000, 2, 1)
+	type epoch struct {
+		view, ref *Graph
+		probes    []NodeID
+	}
+	var epochs []epoch
+	for e := 0; e < 8; e++ {
+		view := g.PublishView()
+		ref := g.Clone()
+		epochs = append(epochs, epoch{view, ref, probeIDs(ref, rng, 16)})
+		mutateSome(g, rng, 200)
+	}
+	for i, ep := range epochs {
+		assertViewEquals(t, ep.view, ep.ref, ep.probes)
+		_ = i
+	}
+}
+
+// TestPublishViewFromThawedSnapshot covers the snapshot-open ingest path:
+// freeze, reopen from the frozen columns, thaw for ingest, then publish
+// and mutate across epochs.
+func TestPublishViewFromThawedSnapshot(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	src := randomDAG(t, 2000, 2, 3)
+	mutateSome(src, rng, 50)
+	g := FromFrozen(Freeze(src), nil)
+	g.PrepareForIngest()
+	if !g.StructurallyEqual(src) {
+		t.Fatalf("thawed reopen diverged from source")
+	}
+	var views, refs []*Graph
+	var probes [][]NodeID
+	for e := 0; e < 5; e++ {
+		views = append(views, g.PublishView())
+		refs = append(refs, g.Clone())
+		probes = append(probes, probeIDs(g, rng, 12))
+		mutateSome(g, rng, 150)
+	}
+	for i := range views {
+		assertViewEquals(t, views[i], refs[i], probes[i])
+	}
+}
+
+// TestParallelTraversalMatchesSequential forces the frontier-parallel path
+// (threshold 1) and asserts the traversal outputs are byte-identical to
+// the sequential path on a graph large enough for real fan-out.
+func TestParallelTraversalMatchesSequential(t *testing.T) {
+	g := randomDAG(t, 20000, 3, 5)
+	rng := rand.New(rand.NewSource(13))
+	probes := probeIDs(g, rng, 40)
+	probes = append(probes, 0, NodeID(g.TotalNodes()-1))
+
+	type answers struct {
+		anc, desc [][]NodeID
+		sub       [][]NodeID
+	}
+	collect := func() answers {
+		var a answers
+		for _, id := range probes {
+			a.anc = append(a.anc, g.Ancestors(id))
+			a.desc = append(a.desc, g.Descendants(id))
+			a.sub = append(a.sub, g.Subgraph(id).Nodes)
+		}
+		return a
+	}
+
+	old := SetParallelFrontierThreshold(0) // disable: pure sequential
+	seq := collect()
+	SetParallelFrontierThreshold(1) // force parallel on every step
+	par := collect()
+	SetParallelFrontierThreshold(old)
+
+	for i := range probes {
+		if !reflect.DeepEqual(seq.anc[i], par.anc[i]) {
+			t.Fatalf("ancestors(%d): parallel diverged from sequential", probes[i])
+		}
+		if !reflect.DeepEqual(seq.desc[i], par.desc[i]) {
+			t.Fatalf("descendants(%d): parallel diverged from sequential", probes[i])
+		}
+		if !reflect.DeepEqual(seq.sub[i], par.sub[i]) {
+			t.Fatalf("subgraph(%d): parallel diverged from sequential", probes[i])
+		}
+	}
+}
+
+// TestPublishViewConcurrentReaders hammers retained views from many
+// goroutines while the writer keeps mutating — the race detector turns
+// this into the proof that publish really severs reader/writer sharing.
+func TestPublishViewConcurrentReaders(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randomDAG(t, 4000, 2, 9)
+	done := make(chan struct{})
+	for e := 0; e < 6; e++ {
+		view := g.PublishView()
+		probes := probeIDs(view, rand.New(rand.NewSource(int64(e))), 8)
+		for r := 0; r < 2; r++ {
+			go func(v *Graph, ids []NodeID) {
+				for _, id := range ids {
+					v.Ancestors(id)
+					v.Descendants(id)
+					v.Node(id)
+					v.ComputeStats()
+				}
+				done <- struct{}{}
+			}(view, probes)
+		}
+		mutateSome(g, rng, 300)
+	}
+	for i := 0; i < 12; i++ {
+		<-done
+	}
+}

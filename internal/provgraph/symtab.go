@@ -90,6 +90,19 @@ func (t *symtab) buildLookup() {
 	}
 }
 
+// publish returns a read-only copy for a published view: bases are shared
+// and the grow region is length-clipped. The writer's later interns append
+// past the clipped lengths (or reallocate), which view readers never
+// touch; str never consults the lookup map, so it is dropped.
+func (t *symtab) publish() symtab {
+	return symtab{
+		baseOffs: t.baseOffs,
+		baseSlab: t.baseSlab,
+		offs:     t.offs[:len(t.offs):len(t.offs)],
+		slab:     t.slab[:len(t.slab):len(t.slab)],
+	}
+}
+
 // cloneShared shares the read-only base and deep-copies the grow region;
 // the clone rebuilds its lookup map on its next intern.
 func (t *symtab) cloneShared() symtab {

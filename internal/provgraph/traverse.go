@@ -74,15 +74,25 @@ func descendantsOf(v view, id NodeID) []NodeID {
 
 // bfsOf walks the given adjacency from id, returning visited live nodes in
 // BFS order (excluding the start node). Scratch comes from the pool, so
-// only the result slice is allocated.
+// only the result slice is allocated. Once the pending queue outgrows the
+// parallel threshold, whole segments are expanded by the frontier-parallel
+// batch path (traverse_parallel.go), whose merge keeps the output
+// byte-identical to this sequential loop.
 func bfsOf(v view, id NodeID, each func(view, NodeID, func(NodeID) bool)) []NodeID {
 	s := getVisit(v.TotalNodes())
 	defer putVisit(s)
 	s.visit(id)
 	s.queue = append(s.queue, id)
 	var out []NodeID
-	for head := 0; head < len(s.queue); head++ {
+	for head := 0; head < len(s.queue); {
+		if len(s.queue)-head >= parallelFrontierThreshold {
+			end := len(s.queue)
+			out = expandFrontierParallel(v, s, head, each, out)
+			head = end
+			continue
+		}
 		cur := s.queue[head]
+		head++
 		each(v, cur, func(next NodeID) bool {
 			if v.Alive(next) && s.visit(next) {
 				out = append(out, next)

@@ -6,7 +6,12 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
 
 	"lipstick/internal/core"
 )
@@ -118,15 +123,69 @@ func (s *Service) Handler(snapshot string) http.Handler {
 		return defaultRun()
 	}
 
+	// resolveLive returns the live graph a request targets, when it does
+	// (name-routed, or the default resolving to the only live graph) —
+	// the targets whose responses are seq-stamped and cacheable. Its
+	// precedence mirrors resolveRun exactly.
+	resolveLive := func(r *http.Request) (*core.LiveGraph, bool) {
+		if name := r.PathValue("name"); name != "" {
+			lg, err := s.reg.LiveGraph(name)
+			return lg, err == nil
+		}
+		if snapshot == "" {
+			if _, ok := s.reg.Single(); !ok {
+				if lg, ok := s.reg.SingleLive(); ok {
+					return lg, true
+				}
+			}
+		}
+		return nil, false
+	}
+
 	// Flat read endpoints over the default target, plus the same queries
 	// routed by registered name — answered identically from a static
 	// snapshot's cached processor or a live graph mid-ingest.
+	//
+	// Live targets take the lock-free path: the newest published view
+	// answers, the response carries its sequence in X-Lipstick-Seq, and
+	// the marshaled body is cached keyed by (graph, seq, endpoint,
+	// normalized query) — a view is immutable, so a hit is exact by
+	// construction and skips both the query and the JSON encode.
 	query := func(suffix string, fn func(r *http.Request, qp *core.QueryProcessor) (any, error)) {
 		for _, pattern := range []string{"GET /v1/" + suffix, "GET /v1/snapshots/{name}/" + suffix} {
-			handle(pattern, func(r *http.Request) (any, error) {
+			mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+				start := time.Now()
+				defer func() { core.ObserveQueryLatency(time.Since(start)) }()
+				if lg, ok := resolveLive(r); ok {
+					v := lg.ReadView()
+					w.Header().Set("X-Lipstick-Seq", strconv.FormatUint(v.Seq, 10))
+					key := queryCacheKey(lg.Name(), v.Seq, suffix, r.URL.Query())
+					if body, ok := s.cache.Get(key); ok {
+						w.Header().Set("X-Lipstick-Cache", "hit")
+						writeJSONBody(w, http.StatusOK, body)
+						return
+					}
+					res, err := fn(r, v.QP)
+					if err != nil {
+						writeErr(w, err)
+						return
+					}
+					if res == nil {
+						res = map[string]string{"status": "ok"}
+					}
+					body, err := encodeJSONBody(res)
+					if err != nil {
+						writeErr(w, err)
+						return
+					}
+					s.cache.Put(key, body)
+					writeJSONBody(w, http.StatusOK, body)
+					return
+				}
 				run, err := resolveRun(r)
 				if err != nil {
-					return nil, err
+					writeErr(w, err)
+					return
 				}
 				var res any
 				err = run(func(qp *core.QueryProcessor) error {
@@ -134,7 +193,14 @@ func (s *Service) Handler(snapshot string) http.Handler {
 					res, qerr = fn(r, qp)
 					return qerr
 				})
-				return res, err
+				if err != nil {
+					writeErr(w, err)
+					return
+				}
+				if res == nil {
+					res = map[string]string{"status": "ok"}
+				}
+				writeJSON(w, http.StatusOK, res)
 			})
 		}
 	}
@@ -232,14 +298,37 @@ func (s *Service) Handler(snapshot string) http.Handler {
 			_, _ = w.Write(buf.Bytes())
 		})
 	}
+	// Exports resolve live targets through the published view too (and
+	// stamp X-Lipstick-Seq), but their bodies — whole-graph DOT/OPM/JSON
+	// dumps — are not worth holding in the query cache.
 	export := func(suffix, contentType string, fn func(qp *core.QueryProcessor, w io.Writer) error) {
 		for _, pattern := range []string{"GET /v1/" + suffix, "GET /v1/snapshots/{name}/" + suffix} {
-			stream(pattern, contentType, func(r *http.Request, buf *bytes.Buffer) error {
-				run, err := resolveRun(r)
-				if err != nil {
-					return err
+			mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+				start := time.Now()
+				defer func() { core.ObserveQueryLatency(time.Since(start)) }()
+				var buf bytes.Buffer
+				if lg, ok := resolveLive(r); ok {
+					v := lg.ReadView()
+					w.Header().Set("X-Lipstick-Seq", strconv.FormatUint(v.Seq, 10))
+					if err := fn(v.QP, &buf); err != nil {
+						writeErr(w, err)
+						return
+					}
+				} else {
+					run, err := resolveRun(r)
+					if err != nil {
+						writeErr(w, err)
+						return
+					}
+					err = run(func(qp *core.QueryProcessor) error { return fn(qp, &buf) })
+					if err != nil {
+						writeErr(w, err)
+						return
+					}
 				}
-				return run(func(qp *core.QueryProcessor) error { return fn(qp, buf) })
+				w.Header().Set("Content-Type", contentType)
+				w.WriteHeader(http.StatusOK)
+				_, _ = w.Write(buf.Bytes())
 			})
 		}
 	}
@@ -404,6 +493,55 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	_ = enc.Encode(v)
+}
+
+// encodeJSONBody marshals v exactly as writeJSON would stream it
+// (unescaped HTML, trailing newline), yielding the byte body the query
+// cache stores — a hit replays the identical response.
+func encodeJSONBody(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// writeJSONBody writes a pre-encoded JSON body.
+func writeJSONBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// queryCacheKey normalizes a request into its cache identity:
+// graph name, view sequence, endpoint, and the query parameters with
+// KEYS sorted but each key's values kept in request order. Key order is
+// irrelevant to every handler, so ?a=1&b=2 and ?b=2&a=1 share an entry;
+// value order is observable (ZoomResult echoes modules in request
+// order), so ?module=A&module=B and ?module=B&module=A must not.
+func queryCacheKey(name string, seq uint64, suffix string, q url.Values) string {
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte(0)
+	b.WriteString(strconv.FormatUint(seq, 10))
+	b.WriteByte(0)
+	b.WriteString(suffix)
+	keys := make([]string, 0, len(q))
+	for k := range q {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, v := range q[k] {
+			b.WriteByte(0)
+			b.WriteString(k)
+			b.WriteByte('=')
+			b.WriteString(v)
+		}
+	}
+	return b.String()
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"lipstick/internal/testutil"
+)
+
+// fetchRaw returns a response's status, X-Lipstick-* headers, and body.
+func fetchRaw(t *testing.T, srv *httptest.Server, path string) (status int, seq, cache string, body []byte) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("X-Lipstick-Seq"), resp.Header.Get("X-Lipstick-Cache"), body
+}
+
+// TestLiveQuerySeqHeaderAndCache pins the lock-free read path's serving
+// contract: live-target responses carry the answering view's sequence in
+// X-Lipstick-Seq, a repeated query at the same sequence is a cache hit
+// with a byte-identical body, and the cache key normalizes query-param
+// KEY order while preserving value order (module order is observable in
+// zoom responses).
+func TestLiveQuerySeqHeaderAndCache(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	_, events := captureRun(t)
+	svc := NewService(nil)
+	srv := httptest.NewServer(svc.Handler(""))
+	defer srv.Close()
+
+	postBatch(t, srv, "stream", 1, events)
+
+	status, seq, cache, body1 := fetchRaw(t, srv, "/v1/snapshots/stream/find?type=tuple&op=agg")
+	if status != http.StatusOK {
+		t.Fatalf("find returned %d", status)
+	}
+	if want := strconv.Itoa(len(events)); seq != want {
+		t.Fatalf("X-Lipstick-Seq = %q, want %q", seq, want)
+	}
+	if cache != "" {
+		t.Fatalf("first query marked X-Lipstick-Cache=%q", cache)
+	}
+
+	// Same query, same sequence: a hit, byte-identical.
+	_, seq2, cache2, body2 := fetchRaw(t, srv, "/v1/snapshots/stream/find?type=tuple&op=agg")
+	if seq2 != seq {
+		t.Fatalf("stable graph changed seq: %q then %q", seq, seq2)
+	}
+	if cache2 != "hit" {
+		t.Fatalf("repeat query X-Lipstick-Cache = %q, want \"hit\"", cache2)
+	}
+	if string(body1) != string(body2) {
+		t.Fatal("cache hit body differs from the computed body")
+	}
+
+	// Key order is normalized: swapped parameter keys share the entry.
+	_, _, cache3, body3 := fetchRaw(t, srv, "/v1/snapshots/stream/find?op=agg&type=tuple")
+	if cache3 != "hit" {
+		t.Fatalf("key-reordered query X-Lipstick-Cache = %q, want \"hit\"", cache3)
+	}
+	if string(body1) != string(body3) {
+		t.Fatal("key-reordered query body differs")
+	}
+
+	// Value order is NOT normalized: zoom echoes modules in request
+	// order, so swapped values must be distinct entries with distinct
+	// bodies.
+	_, _, _, zoomAB := fetchRaw(t, srv, "/v1/snapshots/stream/zoom?module=M_dealer1&module=M_dealer2")
+	_, _, zoomCache, zoomBA := fetchRaw(t, srv, "/v1/snapshots/stream/zoom?module=M_dealer2&module=M_dealer1")
+	if zoomCache == "hit" {
+		t.Fatal("value-reordered zoom served from the other order's cache entry")
+	}
+	if string(zoomAB) == string(zoomBA) {
+		t.Fatal("zoom bodies identical despite swapped module order (expected order echoed)")
+	}
+
+	// The default-target route resolves the same live graph: seq-stamped
+	// there too.
+	_, flatSeq, _, _ := fetchRaw(t, srv, "/v1/info")
+	if flatSeq != seq {
+		t.Fatalf("flat route X-Lipstick-Seq = %q, want %q", flatSeq, seq)
+	}
+
+	// Ingesting more events moves the sequence, which changes the key:
+	// the next read recomputes instead of serving the stale entry.
+	postBatch(t, srv, "stream", uint64(len(events))+1, events[:0])
+	var stats StatsResult
+	if code := fetchJSON(t, srv, "/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats returned %d", code)
+	}
+	if stats.Queries.CacheEntries == 0 {
+		t.Fatal("stats report zero cache entries after cached queries")
+	}
+	if stats.Queries.Count == 0 {
+		t.Fatal("stats report zero observed queries")
+	}
+}

@@ -27,12 +27,21 @@ func (s *Service) pathRun(path string) runFn {
 	}
 }
 
+// liveRun answers queries from the graph's newest published view: a
+// consistent, immutable event prefix reached by two atomic loads on the
+// steady path — no lock is shared with the ingesting writer.
+func liveRun(lg *core.LiveGraph) runFn {
+	return func(fn func(*core.QueryProcessor) error) error {
+		return fn(lg.ReadView().QP)
+	}
+}
+
 // targetRun resolves a registered name — live graph or static snapshot —
-// to a query runner. Live reads run under the graph's read lock, so they
-// see a consistent event prefix while ingestion continues.
+// to a query runner. Live reads run against the newest published view,
+// so they see a consistent event prefix without blocking ingestion.
 func (s *Service) targetRun(name string) (runFn, error) {
 	if lg, err := s.reg.LiveGraph(name); err == nil {
-		return lg.Read, nil
+		return liveRun(lg), nil
 	}
 	path, err := s.reg.Lookup(name)
 	if err != nil {
@@ -41,10 +50,10 @@ func (s *Service) targetRun(name string) (runFn, error) {
 	return s.pathRun(path), nil
 }
 
-// ReadTarget runs fn against the named target: a live graph (under its
-// read lock) or a static snapshot's shared cached processor. fn must
-// treat the processor as read-only and must not retain results that alias
-// graph internals past its return.
+// ReadTarget runs fn against the named target: a live graph (its newest
+// published view) or a static snapshot's shared cached processor. fn
+// must treat the processor as read-only and must not retain results that
+// alias graph internals past its return.
 func (s *Service) ReadTarget(name string, fn func(*core.QueryProcessor) error) error {
 	run, err := s.targetRun(name)
 	if err != nil {
@@ -179,6 +188,18 @@ type StatsResult struct {
 		// has been.
 		QueueHighWater int64 `json:"queueHighWater"`
 	} `json:"ingest"`
+	Queries struct {
+		// Count / P50Micros / P99Micros summarize query endpoint service
+		// time (log-bucketed histogram; quantiles are bucket upper bounds).
+		Count     int64 `json:"count"`
+		P50Micros int64 `json:"p50Micros"`
+		P99Micros int64 `json:"p99Micros"`
+		// Cache* describe the seq-stamped query-result cache.
+		CacheEntries int   `json:"cacheEntries"`
+		CacheBytes   int64 `json:"cacheBytes"`
+		CacheHits    int64 `json:"cacheHits"`
+		CacheMisses  int64 `json:"cacheMisses"`
+	} `json:"queries"`
 }
 
 // Stats snapshots the service's operational metrics.
@@ -216,5 +237,13 @@ func (s *Service) Stats() *StatsResult {
 			res.Ingest.QueueHighWater = ps.QueueHighWater
 		}
 	}
+	ql := core.ReadQueryLatency()
+	res.Queries.Count = ql.Count
+	res.Queries.P50Micros = ql.P50us
+	res.Queries.P99Micros = ql.P99us
+	res.Queries.CacheEntries = s.cache.Len()
+	res.Queries.CacheBytes = s.cache.Bytes()
+	res.Queries.CacheHits = c.QueryCacheHits
+	res.Queries.CacheMisses = c.QueryCacheMisses
 	return res
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"sync"
 
 	"lipstick/internal/core"
 	"lipstick/internal/opm"
@@ -28,6 +29,10 @@ import (
 type Service struct {
 	mgr *core.SnapshotManager
 	reg *core.Registry
+	// cache holds marshaled query responses keyed by (graph, published
+	// sequence, endpoint, normalized query) — correct by construction
+	// over immutable views, so it needs no invalidation hooks.
+	cache *core.QueryCache
 }
 
 // NewService builds a service over the given snapshot cache; a nil
@@ -38,13 +43,13 @@ func NewService(mgr *core.SnapshotManager) *Service {
 	if mgr == nil {
 		mgr = core.NewSnapshotManager(0)
 	}
-	return &Service{mgr: mgr, reg: core.NewRegistry(mgr)}
+	return &Service{mgr: mgr, reg: core.NewRegistry(mgr), cache: core.NewQueryCache(0, 0)}
 }
 
 // NewRegistryService builds a service over an existing snapshot registry
 // (and its snapshot cache).
 func NewRegistryService(reg *core.Registry) *Service {
-	return &Service{mgr: reg.Manager(), reg: reg}
+	return &Service{mgr: reg.Manager(), reg: reg, cache: core.NewQueryCache(0, 0)}
 }
 
 // Manager exposes the underlying snapshot cache.
@@ -177,6 +182,11 @@ func (s *Service) Zoom(path string, modules ...string) (*ZoomResult, error) {
 	return zoomOf(qp, modules...)
 }
 
+// overlayPool recycles the ephemeral copy-on-write overlays zoom
+// previews are computed on: each request Resets a pooled overlay over
+// the shared graph instead of allocating delta containers from scratch.
+var overlayPool = sync.Pool{New: func() any { return new(provgraph.Overlay) }}
+
 func zoomOf(qp *core.QueryProcessor, modules ...string) (*ZoomResult, error) {
 	if len(modules) == 0 {
 		return nil, badRequestf("zoom: at least one module is required")
@@ -192,15 +202,18 @@ func zoomOf(qp *core.QueryProcessor, modules ...string) (*ZoomResult, error) {
 			return nil, badRequestf("zoom: no invocations of module %q in the graph", m)
 		}
 	}
-	view := provgraph.NewOverlay(g)
+	view := overlayPool.Get().(*provgraph.Overlay)
+	view.Reset(g)
 	rec := view.ZoomOut(modules...)
-	return &ZoomResult{
+	res := &ZoomResult{
 		Modules:     modules,
 		NodesBefore: g.NumNodes(),
 		NodesAfter:  view.NumNodes(),
 		HiddenNodes: rec.HiddenCount(),
 		ZoomNodes:   len(rec.ZoomNodes()),
-	}, nil
+	}
+	overlayPool.Put(view)
+	return res, nil
 }
 
 // RemovedNode describes one node a deletion would remove.

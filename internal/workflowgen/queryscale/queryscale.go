@@ -1,0 +1,379 @@
+// Package queryscale is the mixed read/write scaling benchmark behind
+// BENCH_queryscale.json: it replays a captured dealership event stream
+// into durable, group-committed live graphs through concurrent writers
+// while 1..N closed-loop readers query the same graphs, and contrasts the
+// locked read path (LiveGraph.Read, which serializes against ingestion)
+// with the epoch-published one (LiveGraph.ReadView, two atomic loads on
+// the steady path). The ratio between the two — read throughput speedup
+// and tail-latency ratio at the highest reader count — is the hardware-
+// portable number the CI bench-smoke gate holds steady.
+//
+// The package sits beside (not inside) workflowgen because core's
+// in-package tests import workflowgen: driving core.LiveGraph from
+// workflowgen itself would cycle the test binary's import graph.
+package queryscale
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lipstick/internal/core"
+	"lipstick/internal/provgraph"
+	"lipstick/internal/store"
+	"lipstick/internal/workflow"
+	"lipstick/internal/workflowgen"
+)
+
+// ReportKind tags the JSON report so the bench-smoke driver can dispatch
+// baselines by shape.
+const ReportKind = "queryscale"
+
+// writers is the fixed ingest side of every point: four live graphs, one
+// pipelined writer each, group-committed WAL.
+const writers = 4
+
+// Point is one reader-count measurement: the same mixed workload run
+// twice, once per read path.
+type Point struct {
+	Readers int `json:"readers"`
+	// *ReadsPerSec is sustained read throughput across all readers;
+	// *P99Ns the per-query tail latency.
+	LockedReadsPerSec    float64 `json:"lockedReadsPerSec"`
+	PublishedReadsPerSec float64 `json:"publishedReadsPerSec"`
+	LockedP99Ns          int64   `json:"lockedP99Ns"`
+	PublishedP99Ns       int64   `json:"publishedP99Ns"`
+	// *IngestPerSec is the concurrent durable ingest rate the four
+	// writers sustained while the readers ran.
+	LockedIngestPerSec    float64 `json:"lockedIngestPerSec"`
+	PublishedIngestPerSec float64 `json:"publishedIngestPerSec"`
+}
+
+// Speedup is the headline ratio: published-view read throughput over
+// locked read throughput under the same write load.
+func (p Point) Speedup() float64 {
+	if p.LockedReadsPerSec == 0 {
+		return 0
+	}
+	return p.PublishedReadsPerSec / p.LockedReadsPerSec
+}
+
+// P99Ratio is published tail latency as a fraction of locked tail
+// latency (lower is better; < 1 means the published path's tail is
+// shorter than the locked path's).
+func (p Point) P99Ratio() float64 {
+	if p.LockedP99Ns == 0 {
+		return 0
+	}
+	return float64(p.PublishedP99Ns) / float64(p.LockedP99Ns)
+}
+
+// IngestRatio is published-mode ingest throughput over locked-mode
+// ingest throughput — how much write bandwidth the lock-free read path
+// gives back to the writers.
+func (p Point) IngestRatio() float64 {
+	if p.LockedIngestPerSec == 0 {
+		return 0
+	}
+	return p.PublishedIngestPerSec / p.LockedIngestPerSec
+}
+
+// Report is the machine-readable result (written to
+// BENCH_queryscale.json; CI's bench-smoke gate compares against the
+// checked-in copy).
+type Report struct {
+	Kind   string  `json:"kind"`
+	Points []Point `json:"points"`
+}
+
+// WriteJSON emits the report.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport loads a previously written report.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("queryscale: %s: %w", path, err)
+	}
+	if r.Kind != ReportKind {
+		return nil, fmt.Errorf("queryscale: %s: kind %q, want %q", path, r.Kind, ReportKind)
+	}
+	return &r, nil
+}
+
+// captureEvents records one dealership run as a replayable event stream.
+func captureEvents(cars, execs int) ([]provgraph.Event, error) {
+	log := provgraph.NewEventLog()
+	if _, err := workflowgen.RunDealership(workflowgen.DealershipParams{
+		NumCars: cars, NumExec: execs, Seed: 7, Gran: workflow.Fine,
+		EventSink: log.Record,
+	}); err != nil {
+		return nil, err
+	}
+	return log.Drain(), nil
+}
+
+// Series measures one Point per reader count, each under both read
+// paths, holding the write side fixed. perPoint bounds the wall time of
+// each (mode, readers) run.
+func Series(readerCounts []int, perPoint time.Duration) (*Report, error) {
+	events, err := captureEvents(240, 4)
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{Kind: ReportKind}
+	for _, readers := range readerCounts {
+		if readers < 1 {
+			return nil, fmt.Errorf("queryscale: reader count %d < 1", readers)
+		}
+		pt := Point{Readers: readers}
+		lockedReads, lockedLat, lockedIngest, err := measure(false, readers, events, perPoint)
+		if err != nil {
+			return nil, err
+		}
+		pubReads, pubLat, pubIngest, err := measure(true, readers, events, perPoint)
+		if err != nil {
+			return nil, err
+		}
+		pt.LockedReadsPerSec, pt.LockedP99Ns, pt.LockedIngestPerSec = lockedReads, lockedLat, lockedIngest
+		pt.PublishedReadsPerSec, pt.PublishedP99Ns, pt.PublishedIngestPerSec = pubReads, pubLat, pubIngest
+		report.Points = append(report.Points, pt)
+	}
+	return report, nil
+}
+
+// measure runs one (mode, readers) point: `writers` live graphs ingest
+// the capture on repeat (each repeat into a fresh graph, since an event
+// stream applies once) while `readers` goroutines round-robin queries
+// over whichever incarnation each writer currently serves.
+func measure(published bool, readers int, events []provgraph.Event, perPoint time.Duration) (readsPerSec float64, p99Ns int64, ingestPerSec float64, err error) {
+	dir, err := os.MkdirTemp("", "queryscale")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+
+	// current[w] is writer w's live incarnation; retired graphs stay open
+	// (readers may still hold views into them) and close at the end.
+	var current [writers]atomic.Pointer[core.LiveGraph]
+	var retired struct {
+		sync.Mutex
+		graphs []*core.LiveGraph
+	}
+	var applied atomic.Int64
+	var stop atomic.Bool
+	var firstErr atomic.Pointer[error]
+	fail := func(e error) {
+		firstErr.CompareAndSwap(nil, &e)
+		stop.Store(true)
+	}
+
+	start := time.Now()
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			const chunk = 256
+			const window = 4 // outstanding batches (overlapping group commits)
+			for run := 0; time.Since(start) < perPoint && !stop.Load(); run++ {
+				wdir, err := os.MkdirTemp(dir, "w")
+				if err != nil {
+					fail(err)
+					return
+				}
+				// Bounded staleness engages ReadView's lock-free fast path
+				// mid-ingest; the locked mode ignores it (lg.Read never
+				// consults views), so both modes share one configuration.
+				lg, err := core.OpenLiveGraph(fmt.Sprintf("qs-w%d-%d", w, run), wdir,
+					core.WithLogOptions(store.WithGroupCommit(-1, 0)),
+					core.WithPublishMaxStale(25*time.Millisecond))
+				if err != nil {
+					fail(err)
+					return
+				}
+				retired.Lock()
+				retired.graphs = append(retired.graphs, lg)
+				retired.Unlock()
+				current[w].Store(lg)
+				var outstanding []*core.PendingAppend
+				for next := 0; next < len(events); next += chunk {
+					end := next + chunk
+					if end > len(events) {
+						end = len(events)
+					}
+					outstanding = append(outstanding, lg.AppendAsync(uint64(next+1), events[next:end]))
+					if len(outstanding) >= window {
+						if _, err := outstanding[0].Wait(); err != nil {
+							fail(err)
+							return
+						}
+						outstanding = outstanding[1:]
+					}
+				}
+				for _, p := range outstanding {
+					if _, err := p.Wait(); err != nil {
+						fail(err)
+						return
+					}
+				}
+				applied.Add(int64(len(events)))
+			}
+		}(w)
+	}
+
+	lats := make([][]time.Duration, readers)
+	var readerWG sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			for i := r; !stop.Load(); i++ {
+				lg := current[i%writers].Load()
+				if lg == nil {
+					continue
+				}
+				t0 := time.Now()
+				if published {
+					readWorkload(lg.ReadView().QP)
+				} else if err := lg.Read(func(qp *core.QueryProcessor) error {
+					readWorkload(qp)
+					return nil
+				}); err != nil {
+					fail(err)
+					return
+				}
+				lats[r] = append(lats[r], time.Since(t0))
+			}
+		}(r)
+	}
+
+	writerWG.Wait()
+	ingestWall := time.Since(start)
+	stop.Store(true)
+	readerWG.Wait()
+	readWall := time.Since(start)
+	retired.Lock()
+	for _, lg := range retired.graphs {
+		lg.Close()
+	}
+	retired.Unlock()
+	if e := firstErr.Load(); e != nil {
+		return 0, 0, 0, *e
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return 0, 0, 0, fmt.Errorf("queryscale: no reads completed (readers=%d published=%v)", readers, published)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	p99 := all[len(all)*99/100]
+	return float64(len(all)) / readWall.Seconds(), p99.Nanoseconds(),
+		float64(applied.Load()) / ingestWall.Seconds(), nil
+}
+
+// readWorkload is the per-query read mix: an indexed find over the
+// invocation postings plus a lineage traversal from the newest hit — the
+// selection + ancestry pair every serving endpoint composes.
+func readWorkload(qp *core.QueryProcessor) {
+	ids := qp.FindNodes(core.NodeFilter{Types: []provgraph.Type{provgraph.TypeInvocation}})
+	if len(ids) > 0 {
+		_ = qp.Lineage(ids[len(ids)-1])
+	}
+}
+
+// Summary collapses a report's shared-ratio series into geometric means
+// — single-point mutex-contention numbers swing hard run to run (lock
+// handoff fairness under oversubscription), while the geomean across the
+// reader series is stable enough to gate on.
+type Summary struct {
+	Speedup     float64
+	P99Ratio    float64
+	IngestRatio float64
+}
+
+// summarize geo-averages the points whose reader counts are in keep.
+func summarize(r *Report, keep map[int]bool) Summary {
+	var s Summary
+	logSum := [3]float64{}
+	n := 0
+	for _, p := range r.Points {
+		if !keep[p.Readers] || p.Speedup() <= 0 || p.P99Ratio() <= 0 || p.IngestRatio() <= 0 {
+			continue
+		}
+		logSum[0] += math.Log(p.Speedup())
+		logSum[1] += math.Log(p.P99Ratio())
+		logSum[2] += math.Log(p.IngestRatio())
+		n++
+	}
+	if n == 0 {
+		return s
+	}
+	s.Speedup = math.Exp(logSum[0] / float64(n))
+	s.P99Ratio = math.Exp(logSum[1] / float64(n))
+	s.IngestRatio = math.Exp(logSum[2] / float64(n))
+	return s
+}
+
+// Compare gates a current report against the checked-in baseline over
+// the geometric mean of the shared reader counts: the published/locked
+// read-throughput speedup and ingest ratio may not drop by more than tol
+// (fractional, e.g. 0.20), and the tail-latency ratio may not exceed
+// max(baseline*(1+tol), 1.0) — published tails may be noisy, but they
+// must never be worse than the locked path they replace. All three are
+// *ratios* between two paths measured on the same machine in the same
+// process, so they hold across hardware where absolute rates do not.
+func Compare(baseline, current *Report, tol float64) error {
+	shared := map[int]bool{}
+	inBase := map[int]bool{}
+	for _, p := range baseline.Points {
+		inBase[p.Readers] = true
+	}
+	for _, p := range current.Points {
+		if inBase[p.Readers] {
+			shared[p.Readers] = true
+		}
+	}
+	if len(shared) == 0 {
+		return fmt.Errorf("queryscale: no reader counts shared with the baseline report")
+	}
+	base := summarize(baseline, shared)
+	cur := summarize(current, shared)
+	if base.Speedup > 0 && cur.Speedup < base.Speedup*(1-tol) {
+		return fmt.Errorf("queryscale regression: published/locked speedup %.2fx below baseline %.2fx by more than %.0f%% (geomean over shared reader counts)",
+			cur.Speedup, base.Speedup, tol*100)
+	}
+	if bound := maxf(base.P99Ratio*(1+tol), 1.0); base.P99Ratio > 0 && cur.P99Ratio > bound {
+		return fmt.Errorf("queryscale regression: published/locked p99 ratio %.3f exceeds bound %.3f (baseline %.3f, geomean over shared reader counts)",
+			cur.P99Ratio, bound, base.P99Ratio)
+	}
+	if base.IngestRatio > 0 && cur.IngestRatio < base.IngestRatio*(1-tol) {
+		return fmt.Errorf("queryscale regression: published/locked ingest ratio %.3f below baseline %.3f by more than %.0f%% (geomean over shared reader counts)",
+			cur.IngestRatio, base.IngestRatio, tol*100)
+	}
+	return nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,106 @@
+package workflowgen
+
+import (
+	"fmt"
+	"testing"
+
+	"lipstick/internal/provgraph"
+	"lipstick/internal/workflow"
+)
+
+// TestParallelTraversalByteIdentity is the acceptance contract of the
+// frontier-parallel BFS kernels: over the three tracked workloads
+// (dealership, arctic, and the synthetic graphmem generator), Ancestors
+// and Descendants forced through the parallel frontier expansion return
+// the exact node-id sequence the sequential expansion returns — same
+// ids, same order, element for element — from a stride sample of start
+// nodes plus every workflow input and output.
+func TestParallelTraversalByteIdentity(t *testing.T) {
+	graphs := map[string]*provgraph.Graph{}
+
+	deal, err := RunDealership(DealershipParams{
+		NumCars: 160, NumExec: 4, Seed: 11, Gran: workflow.Fine,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs["dealership"] = deal.Runner.Graph()
+
+	arctic, err := NewArcticRun(ArcticParams{
+		Stations: 6, Topology: Dense, FanOut: 2, NumExec: 2,
+		Seed: 11, Gran: workflow.Fine, HistoryYears: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs["arctic"] = arctic.Runner.Graph()
+
+	synth, _ := SyntheticGraph(30_000, 7)
+	graphs["graphmem"] = synth
+
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			starts := sampleStarts(g)
+			if len(starts) < 8 {
+				t.Fatalf("only %d start nodes sampled", len(starts))
+			}
+			for _, id := range starts {
+				old := provgraph.SetParallelFrontierThreshold(0) // sequential only
+				seqAnc := g.Ancestors(id)
+				seqDesc := g.Descendants(id)
+				provgraph.SetParallelFrontierThreshold(1) // parallel on every step
+				parAnc := g.Ancestors(id)
+				parDesc := g.Descendants(id)
+				provgraph.SetParallelFrontierThreshold(old)
+				if err := sameIDSeq(seqAnc, parAnc); err != nil {
+					t.Fatalf("Ancestors(%d): %v", id, err)
+				}
+				if err := sameIDSeq(seqDesc, parDesc); err != nil {
+					t.Fatalf("Descendants(%d): %v", id, err)
+				}
+			}
+		})
+	}
+}
+
+// sampleStarts picks traversal roots: every workflow input (forward
+// sweeps), every module output (ancestry sweeps), and a stride sample of
+// the id space for everything in between.
+func sampleStarts(g *provgraph.Graph) []provgraph.NodeID {
+	var starts []provgraph.NodeID
+	seen := map[provgraph.NodeID]bool{}
+	add := func(id provgraph.NodeID) {
+		if !seen[id] && g.Alive(id) {
+			seen[id] = true
+			starts = append(starts, id)
+		}
+	}
+	count := 0
+	g.Nodes(func(n provgraph.Node) bool {
+		if n.Type == provgraph.TypeWorkflowInput || n.Type == provgraph.TypeModuleOutput {
+			if count++; count%17 == 0 { // every 17th keeps the sweep bounded
+				add(n.ID)
+			}
+		}
+		return true
+	})
+	stride := g.TotalNodes()/16 + 1
+	for i := 0; i < g.TotalNodes(); i += stride {
+		add(provgraph.NodeID(i))
+	}
+	return starts
+}
+
+// sameIDSeq demands exact element-for-element equality (nil and empty
+// are interchangeable; order is part of the contract).
+func sameIDSeq(want, got []provgraph.NodeID) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return fmt.Errorf("element %d is %d, want %d", i, got[i], want[i])
+		}
+	}
+	return nil
+}
