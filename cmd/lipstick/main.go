@@ -28,14 +28,25 @@
 //	                                      # view publish cadence with
 //	                                      # -pubevery/-pubstale; -pprof addr
 //	                                      # opens a profiling side listener)
+//	lipstick serve -live wal2/ -addr :8081 -follow http://primary:8080
+//	                                      # read replica: seeds from the
+//	                                      # primary's checkpoint, tails its
+//	                                      # WAL, serves reads with lag
+//	lipstick proxy -nodes http://a:8080,http://b:8080 -addr :8090
+//	                                      # shard router: graph names
+//	                                      # consistent-hash across nodes
 //	lipstick loadgen -remote http://host:8080 -streams 4 -readers 8 -duration 10s
 //	                                      # drive synthetic ingest streams +
 //	                                      # closed-loop readers, report
 //	                                      # events/s, reads/s + p50/p99
+//	                                      # (-json file for the machine-
+//	                                      # readable summary; -remote takes
+//	                                      # a comma-separated target list)
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -45,13 +56,16 @@ import (
 	"os/signal"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"lipstick/internal/core"
 	"lipstick/internal/provgraph"
+	"lipstick/internal/replica"
 	"lipstick/internal/serve"
+	"lipstick/internal/shard"
 	"lipstick/internal/store"
 	"lipstick/internal/workflow"
 	"lipstick/internal/workflowgen"
@@ -66,7 +80,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: lipstick <demo|track|serve|loadgen|info|outputs|zoom|delete|subgraph|lineage|find|dot|opm|json> ...")
+		return fmt.Errorf("usage: lipstick <demo|track|serve|proxy|loadgen|info|outputs|zoom|delete|subgraph|lineage|find|dot|opm|json> ...")
 	}
 	switch args[0] {
 	case "demo":
@@ -75,6 +89,8 @@ func run(args []string) error {
 		return track(args[1:])
 	case "serve":
 		return serveCmd(args[1:])
+	case "proxy":
+		return proxyCmd(args[1:])
 	case "loadgen":
 		return loadgen(args[1:])
 	case "info", "outputs", "zoom", "delete", "subgraph", "lineage", "find", "dot", "opm", "json":
@@ -220,10 +236,11 @@ func dealershipSnapshot(run *workflowgen.DealershipRun) *store.Snapshot {
 // becomes the default for the flat /v1/* endpoints. The server drains
 // gracefully on SIGINT/SIGTERM.
 func serveCmd(args []string) error {
-	const usage = "usage: lipstick serve [-addr host:port] [-dir snapshots/] [-live waldir/] [-gcdelay dur] [-gcbytes n] [-queue n] [-nogroup] [-pubevery n] [-pubstale dur] [-pprof host:port] [snapshot]"
+	const usage = "usage: lipstick serve [-addr host:port] [-dir snapshots/] [-live waldir/] [-follow http://primary:port] [-gcdelay dur] [-gcbytes n] [-queue n] [-nogroup] [-pubevery n] [-pubstale dur] [-pprof host:port] [snapshot]"
 	addr := ":8080"
 	dir := ""
 	live := ""
+	follow := ""
 	snapshot := ""
 	pprofAddr := ""
 	gcDelay := store.DefaultGroupCommitDelay
@@ -260,6 +277,9 @@ func serveCmd(args []string) error {
 		case len(args) >= 2 && args[0] == "-live":
 			live = args[1]
 			args = args[2:]
+		case len(args) >= 2 && args[0] == "-follow":
+			follow = args[1]
+			args = args[2:]
 		case len(args) >= 2 && args[0] == "-gcdelay":
 			d, err := time.ParseDuration(args[1])
 			if err != nil {
@@ -293,6 +313,9 @@ func serveCmd(args []string) error {
 	}
 	if snapshot == "" && dir == "" && live == "" {
 		return fmt.Errorf(usage)
+	}
+	if follow != "" && live == "" {
+		return fmt.Errorf("serve: -follow requires -live — a follower's replica is its own durable WAL directory")
 	}
 	var regOpts []core.RegistryOption
 	// Admission control applies to every live graph; the group-commit WAL
@@ -354,14 +377,72 @@ func serveCmd(args []string) error {
 		}()
 		fmt.Printf("lipstick: pprof+expvar on http://%s/debug/pprof/\n", pprofAddr)
 	}
+	var mgr *replica.Manager
+	if follow != "" {
+		// Follower mode: tail the primary's durable streams into the local
+		// WAL directory, reject writes (403 points clients at the primary),
+		// and advertise replication lag on reads and /v1/stats. Restarting
+		// without -follow is the promotion path — the local WAL holds the
+		// acked prefix.
+		mgr = replica.NewManager(svc.Registry(), follow)
+		mgr.Start()
+		svc.SetFollower(follow)
+		svc.SetReplicationLag(mgr.Lag)
+		fmt.Printf("lipstick: following %s (read-only replica; restart without -follow to promote)\n", follow)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		if mgr != nil {
+			_ = mgr.Close()
+		}
 		return fmt.Errorf("serve: %w", err)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	fmt.Printf("lipstick: serving on http://%s\n", ln.Addr())
-	return serveHTTP(ctx, ln, svc.Handler(snapshot))
+	err = serveHTTP(ctx, ln, svc.Handler(snapshot))
+	if mgr != nil {
+		_ = mgr.Close() // stop the tail loops before the process exits
+	}
+	return err
+}
+
+// proxyCmd starts the shard router: a thin proxy that consistent-hashes
+// graph names over the node list, forwards every name-addressed /v1/*
+// endpoint to its owner (retrying overloaded nodes with jittered
+// backoff), keeps sessions sticky to their home node, and aggregates
+// /v1/stats, /v1/snapshots, and /v1/cluster across the fleet. Clients
+// keep the exact single-node API; only the base URL changes.
+func proxyCmd(args []string) error {
+	const usage = "usage: lipstick proxy -nodes http://a:8080,http://b:8080 [-addr host:port]"
+	addr := ":8081"
+	nodesArg := ""
+	for len(args) >= 2 {
+		switch args[0] {
+		case "-addr":
+			addr = args[1]
+		case "-nodes":
+			nodesArg = args[1]
+		default:
+			return fmt.Errorf("%s", usage)
+		}
+		args = args[2:]
+	}
+	if len(args) != 0 || nodesArg == "" {
+		return fmt.Errorf("%s", usage)
+	}
+	p, err := shard.NewProxy(strings.Split(nodesArg, ","))
+	if err != nil {
+		return fmt.Errorf("proxy: %w", err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("proxy: %w", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("lipstick: proxying %d node(s) on http://%s\n", len(p.Ring().Nodes()), ln.Addr())
+	return serveHTTP(ctx, ln, p.Handler())
 }
 
 // loadgen drives N concurrent synthetic provenance streams at a target
@@ -372,8 +453,8 @@ func serveCmd(args []string) error {
 // not a failure — so the histogram shows how often the server shed load
 // while the events/s line shows what it sustained anyway.
 func loadgen(args []string) error {
-	const usage = "usage: lipstick loadgen -remote http://host:port [-streams n] [-readers n] [-duration d] [-rate events/s] [-batch n] [-cars n] [-execs n] [-name prefix]"
-	remote, prefix := "", "load"
+	const usage = "usage: lipstick loadgen -remote http://a:8080[,http://b:8080] [-streams n] [-readers n] [-duration d] [-rate events/s] [-batch n] [-cars n] [-execs n] [-name prefix] [-json file]"
+	remote, prefix, jsonPath := "", "load", ""
 	streams, batchSize, cars, execs := 4, 256, 240, 4
 	readers := 1
 	duration, rate := 5*time.Second, 0
@@ -385,6 +466,8 @@ func loadgen(args []string) error {
 			remote = val
 		case "-name":
 			prefix = val
+		case "-json":
+			jsonPath = val
 		case "-streams":
 			streams, err = strconv.Atoi(val)
 		case "-readers":
@@ -409,6 +492,16 @@ func loadgen(args []string) error {
 	}
 	if len(args) != 0 || remote == "" || streams < 1 || batchSize < 1 || readers < 0 {
 		return fmt.Errorf("%s", usage)
+	}
+	// Comma-separated -remote spreads the load: stream w writes through
+	// remotes[w mod n], so a shard proxy plus its nodes (or several
+	// independent nodes) can be driven from one invocation.
+	remotes := strings.Split(remote, ",")
+	for i := range remotes {
+		remotes[i] = strings.TrimRight(strings.TrimSpace(remotes[i]), "/")
+		if remotes[i] == "" {
+			return fmt.Errorf("loadgen: empty -remote target")
+		}
 	}
 
 	// One captured run is the synthetic stream every worker replays (each
@@ -473,7 +566,7 @@ func loadgen(args []string) error {
 				// One IngestClient per stream incarnation; a worker that
 				// exhausts the capture starts a fresh stream name so the
 				// load stays sustained.
-				c := serve.NewIngestClient(remote, fmt.Sprintf("%s-%d-%d", prefix, w, run), batchSize)
+				c := serve.NewIngestClient(remotes[w%len(remotes)], fmt.Sprintf("%s-%d-%d", prefix, w, run), batchSize)
 				c.HTTPClient = httpClient
 				c.MaxRetries = 1 << 20 // persevere through overload for the whole run
 				c.RetryBase = 5 * time.Millisecond
@@ -515,11 +608,18 @@ func loadgen(args []string) error {
 	// the sample is not a single cached body.
 	stopQuery := make(chan struct{})
 	var queryWG sync.WaitGroup
-	targets := []string{
-		fmt.Sprintf("%s/v1/snapshots/%s-0-0/find?type=m", remote, prefix),
-		fmt.Sprintf("%s/v1/snapshots/%s-0-0/info", remote, prefix),
-		fmt.Sprintf("%s/v1/snapshots/%s-0-0/outputs", remote, prefix),
-		fmt.Sprintf("%s/v1/snapshots/%s-0-0/find?class=p", remote, prefix),
+	var targets []string
+	for w := 0; w < streams; w++ {
+		// Each stream's first-incarnation graph is queried on the target it
+		// writes through, so multi-target runs never read a name from a node
+		// that doesn't own it.
+		rm, name := remotes[w%len(remotes)], fmt.Sprintf("%s-%d-0", prefix, w)
+		targets = append(targets,
+			fmt.Sprintf("%s/v1/snapshots/%s/find?type=m", rm, name),
+			fmt.Sprintf("%s/v1/snapshots/%s/info", rm, name),
+			fmt.Sprintf("%s/v1/snapshots/%s/outputs", rm, name),
+			fmt.Sprintf("%s/v1/snapshots/%s/find?class=p", rm, name),
+		)
 	}
 	for rd := 0; rd < readers; rd++ {
 		queryWG.Add(1)
@@ -558,7 +658,7 @@ func loadgen(args []string) error {
 		return fmt.Errorf("loadgen: %w", workerErr)
 	}
 	fmt.Printf("loadgen: %d stream(s) x %v against %s: %d batches, %d events applied\n",
-		streams, duration, remote, len(appendLat), applied)
+		streams, duration, strings.Join(remotes, ","), len(appendLat), applied)
 	fmt.Printf("events/s: %.0f\n", float64(applied)/elapsed.Seconds())
 	fmt.Printf("append latency p50: %v  p99: %v\n", percentile(appendLat, 50), percentile(appendLat, 99))
 	fmt.Printf("reads/s: %.0f  (%d readers)\n", float64(len(queryLat))/elapsed.Seconds(), readers)
@@ -572,10 +672,65 @@ func loadgen(args []string) error {
 	for _, code := range codes {
 		fmt.Printf("status %d: %d\n", code, statuses[code])
 	}
+	if jsonPath != "" {
+		report := loadgenReport{
+			Kind: "loadgen", Remotes: remotes,
+			Streams: streams, Readers: readers,
+			DurationSec:   elapsed.Seconds(),
+			EventsApplied: applied,
+			EventsPerSec:  float64(applied) / elapsed.Seconds(),
+			AppendP50Ms:   float64(percentile(appendLat, 50)) / float64(time.Millisecond),
+			AppendP99Ms:   float64(percentile(appendLat, 99)) / float64(time.Millisecond),
+			ReadsPerSec:   float64(len(queryLat)) / elapsed.Seconds(),
+			QueryP50Ms:    float64(percentile(queryLat, 50)) / float64(time.Millisecond),
+			QueryP99Ms:    float64(percentile(queryLat, 99)) / float64(time.Millisecond),
+			Statuses:      make(map[string]int, len(statuses)),
+		}
+		for code, n := range statuses {
+			report.Statuses[strconv.Itoa(code)] = n
+		}
+		if err := writeLoadgenReport(jsonPath, &report); err != nil {
+			return fmt.Errorf("loadgen: %w", err)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
 	if applied == 0 {
 		return fmt.Errorf("loadgen: no events were applied")
 	}
 	return nil
+}
+
+// loadgenReport is loadgen's machine-readable summary (-json): the same
+// numbers the text output prints, in the kind-tagged shape the other
+// benchmark reports use.
+type loadgenReport struct {
+	Kind          string         `json:"kind"`
+	Remotes       []string       `json:"remotes"`
+	Streams       int            `json:"streams"`
+	Readers       int            `json:"readers"`
+	DurationSec   float64        `json:"durationSec"`
+	EventsApplied int64          `json:"eventsApplied"`
+	EventsPerSec  float64        `json:"eventsPerSec"`
+	AppendP50Ms   float64        `json:"appendP50Ms"`
+	AppendP99Ms   float64        `json:"appendP99Ms"`
+	ReadsPerSec   float64        `json:"readsPerSec"`
+	QueryP50Ms    float64        `json:"queryP50Ms"`
+	QueryP99Ms    float64        `json:"queryP99Ms"`
+	Statuses      map[string]int `json:"statuses"`
+}
+
+func writeLoadgenReport(path string, report *loadgenReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // measuringTransport records each HTTP attempt's status code and round-

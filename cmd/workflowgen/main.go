@@ -27,6 +27,7 @@ import (
 	"lipstick/internal/workflow"
 	"lipstick/internal/workflowgen"
 	"lipstick/internal/workflowgen/queryscale"
+	"lipstick/internal/workflowgen/scaleout"
 )
 
 func main() {
@@ -111,6 +112,8 @@ func main() {
 		var err error
 		if id == "queryscale" {
 			figure, err = runQueryScale(*jsonPath)
+		} else if id == "scaleout" {
+			figure, err = runScaleout(*jsonPath)
 		} else if id == "graphmem" && *jsonPath != "" {
 			var report *workflowgen.GraphMemReport
 			figure, report, err = workflowgen.RunGraphMem(scale)
@@ -194,8 +197,8 @@ func runQueryScale(jsonPath string) (*workflowgen.Figure, error) {
 // runBenchSmoke dispatches on the baseline report's "kind" field: absent
 // or "graphmem" re-measures the storage smoke point; "queryscale"
 // re-measures the read-scaling ratios at the baseline's largest reader
-// count. Both gates compare only hardware-portable metrics, with 20%
-// tolerance.
+// count; "scaleout" re-measures the shard/replica topology speedups. All
+// gates compare only hardware-portable metrics, with 20% tolerance.
 func runBenchSmoke(baselinePath string) error {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -207,10 +210,70 @@ func runBenchSmoke(baselinePath string) error {
 	if err := json.Unmarshal(data, &sniff); err != nil {
 		return fmt.Errorf("%s: %v", baselinePath, err)
 	}
-	if sniff.Kind == queryscale.ReportKind {
+	switch sniff.Kind {
+	case queryscale.ReportKind:
 		return runQueryScaleSmoke(baselinePath)
+	case scaleout.ReportKind:
+		return runScaleoutSmoke(baselinePath)
 	}
 	return runGraphMemSmoke(baselinePath)
+}
+
+// scaleoutPerScenario bounds each of the four topology scenarios (1/2
+// shard ingest, 0/1 follower reads) BENCH_scaleout.json records.
+const scaleoutPerScenario = 1500 * time.Millisecond
+
+// runScaleout measures the horizontal-scaling series (sharded ingest,
+// replicated reads) and renders it as a figure, optionally persisting
+// the machine-readable report.
+func runScaleout(jsonPath string) (*workflowgen.Figure, error) {
+	report, err := scaleout.Series(scaleoutPerScenario)
+	if err != nil {
+		return nil, err
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+	}
+	fig := &workflowgen.Figure{
+		ID: "scaleout", Title: "Scale-out: sharded ingest and replicated reads vs one node",
+		XLabel: "nodes", YLabel: "events/s, reads/s",
+	}
+	fig.Add("proxied ingest ev/s", 1, report.Ingest.OneShardEventsPerSec)
+	fig.Add("proxied ingest ev/s", 2, report.Ingest.TwoShardEventsPerSec)
+	fig.Add("reads/s", 1, report.Reads.PrimaryOnlyReadsPerSec)
+	fig.Add("reads/s", 2, report.Reads.WithFollowerReadsPerSec)
+	fig.Note("ingest speedup %.2fx (2 shards), read speedup %.2fx (1 follower), geomean %.2fx",
+		report.Ingest.Speedup(), report.Reads.Speedup(), report.Geomean())
+	return fig, nil
+}
+
+// runScaleoutSmoke re-measures the topology speedups and fails on a >20%
+// regression of their geomean.
+func runScaleoutSmoke(baselinePath string) error {
+	baseline, err := scaleout.ReadReport(baselinePath)
+	if err != nil {
+		return err
+	}
+	report, err := scaleout.Series(scaleoutPerScenario)
+	if err != nil {
+		return err
+	}
+	if err := scaleout.Compare(baseline, report, 0.20); err != nil {
+		return err
+	}
+	fmt.Printf("bench-smoke ok: ingest speedup %.2fx, read speedup %.2fx, geomean %.2fx (baseline %.2fx, gated vs %s)\n",
+		report.Ingest.Speedup(), report.Reads.Speedup(), report.Geomean(), baseline.Geomean(), baselinePath)
+	return nil
 }
 
 // runQueryScaleSmoke re-measures the baseline's full reader series and

@@ -252,6 +252,30 @@ func (r *Registry) OpenLive(name string) (*LiveGraph, error) {
 	return lg, err
 }
 
+// LiveDir returns the registry's WAL root for durable live graphs ("" when
+// live graphs are in-memory). Followers seed a stream's directory under it
+// (checkpoint download) before OpenLive recovers the graph.
+func (r *Registry) LiveDir() string { return r.liveDir }
+
+// CloseLive removes a live graph from the registry and closes its log.
+// The name becomes free to reopen — which is how a follower re-bootstraps
+// after the primary compacted past its position: close, wipe the stream
+// directory, re-seed from the newer checkpoint, OpenLive again.
+func (r *Registry) CloseLive(name string) error {
+	r.mu.Lock()
+	for r.liveOpening[name] {
+		r.liveOpened.Wait()
+	}
+	lg, ok := r.live[name]
+	if !ok {
+		r.mu.Unlock()
+		return unknownSnapshot(name)
+	}
+	delete(r.live, name)
+	r.mu.Unlock()
+	return lg.Close()
+}
+
 // LiveGraph resolves an existing live graph by name.
 func (r *Registry) LiveGraph(name string) (*LiveGraph, error) {
 	r.mu.Lock()

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+
+	"lipstick/internal/provgraph"
+)
+
+// Replication accessors of a live graph: a primary exposes its durable
+// WAL suffix and newest checkpoint so a follower can bootstrap (download
+// the checkpoint, recover it) and then tail (poll DurableEventsSince,
+// re-Append locally). Both delegate to the log, which synchronizes its
+// own I/O, so no LiveGraph lock is involved.
+
+// NotDurableError reports a replication request against an in-memory
+// live graph: without a WAL there is no durable stream to follow.
+type NotDurableError struct {
+	Name string
+}
+
+// Error implements error.
+func (e *NotDurableError) Error() string {
+	return fmt.Sprintf("lipstick: live graph %q has no write-ahead log; replication requires a durable (-live) primary", e.Name)
+}
+
+// DurableSeq returns the sequence of the last durable (written + synced,
+// per the log's policy) event. It can trail Seq: events applied to memory
+// whose group commit has not completed are not yet offered to followers.
+func (l *LiveGraph) DurableSeq() (uint64, error) {
+	if l.log == nil {
+		return 0, &NotDurableError{Name: l.name}
+	}
+	return l.log.LastSeq(), nil
+}
+
+// DurableEventsSince returns up to max (<= 0: unbounded) durable events
+// with sequences afterSeq+1, afterSeq+2, ... — the follower-catchup read.
+// A *store.CompactedError means the suffix was checkpointed away and the
+// follower must re-seed from CheckpointFile.
+func (l *LiveGraph) DurableEventsSince(afterSeq uint64, max int) ([]provgraph.Event, error) {
+	if l.log == nil {
+		return nil, &NotDurableError{Name: l.name}
+	}
+	return l.log.EventsSince(afterSeq, max)
+}
+
+// CheckpointFile returns the path of the newest durable checkpoint and
+// the sequence it covers; ok is false when no checkpoint exists yet (the
+// follower then replays the stream from sequence 1).
+func (l *LiveGraph) CheckpointFile() (path string, seq uint64, ok bool, err error) {
+	if l.log == nil {
+		return "", 0, false, &NotDurableError{Name: l.name}
+	}
+	path, seq, ok = l.log.CheckpointPath()
+	return path, seq, ok, nil
+}

@@ -1,0 +1,156 @@
+// Package replica turns a lipstick server into a streaming follower of
+// another: it bootstraps each durable live graph from the primary's
+// newest checkpoint (the checkpoint+tail recovery protocol is the
+// catchup protocol), tails the primary's durable WAL suffix over HTTP,
+// and applies the events into local LiveGraphs — which serve every read
+// endpoint from published views while trailing the primary by a bounded,
+// advertised lag. A promoted follower is a primary: its local WAL holds
+// exactly the prefix it acked, byte-compatible with the original.
+package replica
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"lipstick/internal/core"
+	"lipstick/internal/provgraph"
+	"lipstick/internal/serve"
+	"lipstick/internal/store"
+)
+
+// ErrNoCheckpoint reports that the primary has not checkpointed a stream
+// yet; the follower then replays the event stream from sequence 1.
+var ErrNoCheckpoint = errors.New("replica: primary has no checkpoint for this stream")
+
+// Client speaks the primary's replication endpoints
+// (/v1/replica/{name}/...). It is safe for concurrent use; all state
+// lives in the http.Client.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a replication client for the primary at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{base: baseURL, http: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// get issues one GET and returns the response; non-2xx responses are
+// drained, closed, and turned into errors (410 → *store.CompactedError,
+// mirroring the primary's own log).
+func (c *Client) get(path string) (*http.Response, error) {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusOK {
+		return resp, nil
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<14))
+	_ = resp.Body.Close() // the status/body already tell the story
+	if resp.StatusCode == http.StatusGone {
+		var gone struct {
+			CheckpointSeq uint64 `json:"checkpointSeq"`
+		}
+		_ = json.Unmarshal(body, &gone) // a bare 410 still means compacted
+		return nil, &store.CompactedError{CheckpointSeq: gone.CheckpointSeq}
+	}
+	return nil, fmt.Errorf("replica: GET %s: %s: %s", path, resp.Status, body)
+}
+
+// Status fetches a stream's replication positions.
+func (c *Client) Status(name string) (serve.ReplicaStatusResult, error) {
+	var st serve.ReplicaStatusResult
+	resp, err := c.get("/v1/replica/" + url.PathEscape(name) + "/status")
+	if err != nil {
+		return st, err
+	}
+	defer func() { _ = resp.Body.Close() }() // fully decoded below
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("replica: decoding status of %s: %w", name, err)
+	}
+	return st, nil
+}
+
+// Events fetches up to max durable events starting at sequence from.
+// A *store.CompactedError means the suffix was checkpointed away on the
+// primary and the follower must re-seed via Checkpoint.
+func (c *Client) Events(name string, from uint64, max int) ([]provgraph.Event, error) {
+	resp, err := c.get(fmt.Sprintf("/v1/replica/%s/events?from=%d&max=%d",
+		url.PathEscape(name), from, max))
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }() // fully decoded below
+	gotFirst, events, err := store.DecodeEventBatch(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("replica: decoding event batch of %s: %w", name, err)
+	}
+	if gotFirst != from {
+		return nil, fmt.Errorf("replica: event batch of %s starts at %d, requested %d", name, gotFirst, from)
+	}
+	return events, nil
+}
+
+// Checkpoint streams the primary's newest checkpoint file for a stream,
+// returning the body and the sequence it covers. ErrNoCheckpoint means
+// the stream has never been checkpointed. The caller closes the body.
+func (c *Client) Checkpoint(name string) (io.ReadCloser, uint64, error) {
+	resp, err := c.http.Get(c.base + "/v1/replica/" + url.PathEscape(name) + "/checkpoint")
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<14)) // drain for reuse
+		_ = resp.Body.Close()                                        // 404 carries no payload of interest
+		return nil, 0, ErrNoCheckpoint
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<14))
+		_ = resp.Body.Close() // the status/body already tell the story
+		return nil, 0, fmt.Errorf("replica: GET checkpoint of %s: %s: %s", name, resp.Status, body)
+	}
+	seq, perr := parseSeqHeader(resp.Header.Get("X-Lipstick-Checkpoint-Seq"))
+	if perr != nil {
+		_ = resp.Body.Close() // header is unusable; abandon the stream
+		return nil, 0, fmt.Errorf("replica: checkpoint of %s: %w", name, perr)
+	}
+	return resp.Body, seq, nil
+}
+
+// LiveNames lists the primary's durable live graphs — the streams a
+// follower replicates.
+func (c *Client) LiveNames() ([]string, error) {
+	resp, err := c.get("/v1/snapshots")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }() // fully decoded below
+	var list struct {
+		Snapshots []core.SnapshotInfo `json:"snapshots"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return nil, fmt.Errorf("replica: decoding snapshot list: %w", err)
+	}
+	var names []string
+	for _, s := range list.Snapshots {
+		if s.Kind == "live" && s.Durable {
+			names = append(names, s.Name)
+		}
+	}
+	return names, nil
+}
+
+// parseSeqHeader decodes a decimal sequence header value.
+func parseSeqHeader(v string) (uint64, error) {
+	var seq uint64
+	if _, err := fmt.Sscanf(v, "%d", &seq); err != nil {
+		return 0, fmt.Errorf("bad sequence header %q", v)
+	}
+	return seq, nil
+}

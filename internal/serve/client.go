@@ -80,6 +80,8 @@ type IngestClient struct {
 	server string
 	name   string
 	batch  int
+	// sleep is the backoff clock; tests inject a recorder. nil = time.Sleep.
+	sleep func(time.Duration)
 
 	mu   sync.Mutex
 	buf  []provgraph.Event // guarded by mu
@@ -184,7 +186,12 @@ func (c *IngestClient) flushLocked() {
 		if half <= 0 {
 			half = 1
 		}
-		time.Sleep(half + time.Duration(rand.Int63n(int64(half))))
+		delay := half + time.Duration(rand.Int63n(int64(half)))
+		if c.sleep != nil {
+			c.sleep(delay)
+		} else {
+			time.Sleep(delay)
+		}
 		if backoff *= 2; backoff > maxRetryBackoff {
 			backoff = maxRetryBackoff
 		}

@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lipstick/internal/provgraph"
+	"lipstick/internal/store"
+	"lipstick/internal/testutil"
+)
+
+// retryBackend is an ingest endpoint that rejects the first `reject`
+// attempts with the given status, then accepts, tracking the stream
+// sequence like the real handler (idempotent by batch first-sequence).
+type retryBackend struct {
+	mu       sync.Mutex
+	reject   int // remaining rejections; guarded by mu
+	status   int
+	attempts int    // guarded by mu
+	seq      uint64 // guarded by mu
+}
+
+func (b *retryBackend) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		b.attempts++
+		if b.reject > 0 {
+			b.reject--
+			http.Error(w, "overloaded", b.status)
+			return
+		}
+		first, events, err := store.DecodeEventBatch(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if first == b.seq+1 {
+			b.seq += uint64(len(events))
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{"seq": b.seq})
+	})
+}
+
+// testEvents builds n consecutive valid node-add events.
+func testEvents(n int) []provgraph.Event {
+	events := make([]provgraph.Event, n)
+	for i := range events {
+		events[i] = provgraph.Event{Kind: provgraph.EvAddNode, Node: provgraph.Node{
+			ID: provgraph.NodeID(i), Class: provgraph.ClassP,
+			Type: provgraph.TypeBaseTuple, Label: "tok", Inv: -1,
+		}}
+	}
+	return events
+}
+
+func TestIngestClientRetriesThroughOverloadBurst(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	for _, status := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable} {
+		t.Run(fmt.Sprint(status), func(t *testing.T) {
+			backend := &retryBackend{reject: 3, status: status}
+			srv := httptest.NewServer(backend.handler())
+			defer srv.Close()
+
+			var delays []time.Duration
+			c := NewIngestClient(srv.URL, "burst", 4)
+			c.RetryBase = 8 * time.Millisecond
+			c.sleep = func(d time.Duration) { delays = append(delays, d) }
+			for _, ev := range testEvents(4) {
+				c.Record(ev)
+			}
+			if err := c.Flush(); err != nil {
+				t.Fatalf("flush after burst: %v", err)
+			}
+			if got := c.Sent(); got != 4 {
+				t.Fatalf("Sent = %d, want 4", got)
+			}
+			if backend.attempts != 4 {
+				t.Fatalf("server saw %d attempts, want 4 (3 rejections + 1 success)", backend.attempts)
+			}
+			// Full jitter: attempt i sleeps in [base*2^i/2, base*2^i).
+			if len(delays) != 3 {
+				t.Fatalf("recorded %d backoff sleeps, want 3", len(delays))
+			}
+			base := c.RetryBase
+			for i, d := range delays {
+				lo, hi := base/2, base
+				if d < lo || d >= hi {
+					t.Fatalf("delay %d = %v outside jitter window [%v, %v)", i, d, lo, hi)
+				}
+				base *= 2
+			}
+		})
+	}
+}
+
+func TestIngestClientBackoffCapsAtTwoSeconds(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	backend := &retryBackend{reject: 12, status: http.StatusTooManyRequests}
+	srv := httptest.NewServer(backend.handler())
+	defer srv.Close()
+
+	var delays []time.Duration
+	c := NewIngestClient(srv.URL, "cap", 2)
+	c.RetryBase = 500 * time.Millisecond
+	c.MaxRetries = 12
+	c.sleep = func(d time.Duration) { delays = append(delays, d) }
+	for _, ev := range testEvents(2) {
+		c.Record(ev)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if len(delays) != 12 {
+		t.Fatalf("recorded %d sleeps, want 12", len(delays))
+	}
+	for i, d := range delays {
+		if d >= maxRetryBackoff {
+			t.Fatalf("delay %d = %v reached the %v cap (jitter keeps it strictly below)", i, d, maxRetryBackoff)
+		}
+	}
+	// Deep into the schedule every delay sits in the capped window.
+	for _, d := range delays[3:] {
+		if d < maxRetryBackoff/2 {
+			t.Fatalf("capped-phase delay %v below %v", d, maxRetryBackoff/2)
+		}
+	}
+}
+
+func TestIngestClientGivesUpAfterMaxRetries(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	backend := &retryBackend{reject: 1 << 30, status: http.StatusServiceUnavailable}
+	srv := httptest.NewServer(backend.handler())
+	defer srv.Close()
+
+	c := NewIngestClient(srv.URL, "doomed", 2)
+	c.RetryBase = time.Millisecond
+	c.MaxRetries = 3
+	var sleeps int
+	c.sleep = func(time.Duration) { sleeps++ }
+	for _, ev := range testEvents(2) {
+		c.Record(ev)
+	}
+	err := c.Flush()
+	if err == nil {
+		t.Fatal("flush succeeded against a permanently overloaded server")
+	}
+	// The sticky error preserves the last rejection's status line.
+	if !strings.Contains(err.Error(), "503") {
+		t.Fatalf("error %q does not carry the last HTTP status", err)
+	}
+	if backend.attempts != 4 {
+		t.Fatalf("server saw %d attempts, want 4 (initial + MaxRetries)", backend.attempts)
+	}
+	if sleeps != 3 {
+		t.Fatalf("slept %d times, want 3", sleeps)
+	}
+	// Sticky: later records are dropped, not buffered behind a dead stream.
+	c.Record(testEvents(1)[0])
+	if got := c.Err(); got == nil || got.Error() != err.Error() {
+		t.Fatalf("sticky error changed: %v", got)
+	}
+}
+
+func TestIngestClientFatalStatusIsNotRetried(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	backend := &retryBackend{reject: 1, status: http.StatusBadRequest}
+	srv := httptest.NewServer(backend.handler())
+	defer srv.Close()
+
+	c := NewIngestClient(srv.URL, "fatal", 2)
+	c.sleep = func(time.Duration) { t.Fatal("a 400 must not back off and retry") }
+	for _, ev := range testEvents(2) {
+		c.Record(ev)
+	}
+	if err := c.Flush(); err == nil {
+		t.Fatal("flush swallowed a fatal rejection")
+	}
+	if backend.attempts != 1 {
+		t.Fatalf("server saw %d attempts, want 1", backend.attempts)
+	}
+}

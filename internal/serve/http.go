@@ -159,6 +159,9 @@ func (s *Service) Handler(snapshot string) http.Handler {
 				if lg, ok := resolveLive(r); ok {
 					v := lg.ReadView()
 					w.Header().Set("X-Lipstick-Seq", strconv.FormatUint(v.Seq, 10))
+					if lag, ok := s.replicaLag(lg.Name()); ok {
+						w.Header().Set("X-Lipstick-Replica-Lag", strconv.FormatUint(lag.LagSeq, 10))
+					}
 					key := queryCacheKey(lg.Name(), v.Seq, suffix, r.URL.Query())
 					if body, ok := s.cache.Get(key); ok {
 						w.Header().Set("X-Lipstick-Cache", "hit")
@@ -225,6 +228,9 @@ func (s *Service) Handler(snapshot string) http.Handler {
 	// Registry and operational metrics.
 	handle("GET /v1/snapshots", func(*http.Request) (any, error) { return s.Snapshots(), nil })
 	handle("GET /v1/stats", func(*http.Request) (any, error) { return s.Stats(), nil })
+
+	// Replication: status/events/checkpoint reads a follower tails.
+	s.replicaRoutes(mux, handle)
 
 	// Streaming ingestion: binary event batches into named live graphs.
 	handle("POST /v1/ingest/{name}", func(r *http.Request) (any, error) {
@@ -310,6 +316,9 @@ func (s *Service) Handler(snapshot string) http.Handler {
 				if lg, ok := resolveLive(r); ok {
 					v := lg.ReadView()
 					w.Header().Set("X-Lipstick-Seq", strconv.FormatUint(v.Seq, 10))
+					if lag, ok := s.replicaLag(lg.Name()); ok {
+						w.Header().Set("X-Lipstick-Replica-Lag", strconv.FormatUint(lag.LagSeq, 10))
+					}
 					if err := fn(v.QP, &buf); err != nil {
 						writeErr(w, err)
 						return
@@ -432,6 +441,7 @@ func statusFor(err error) int {
 	var nf *core.NotFoundError
 	var gap *core.SeqGapError
 	var over *core.OverloadedError
+	var fol *FollowerError
 	switch {
 	case errors.As(err, &bad):
 		return http.StatusBadRequest
@@ -443,6 +453,10 @@ func statusFor(err error) int {
 		return http.StatusConflict
 	case errors.As(err, &over):
 		return http.StatusTooManyRequests
+	case errors.As(err, &fol):
+		// 403, not 429/503: follower rejections are not retryable on this
+		// node — the client must redirect writes to the primary.
+		return http.StatusForbidden
 	case os.IsNotExist(err):
 		return http.StatusNotFound
 	default:
@@ -481,6 +495,13 @@ func writeErr(w http.ResponseWriter, err error) {
 		writeJSON(w, http.StatusTooManyRequests, map[string]any{
 			"error": err.Error(), "kind": "overloaded", "name": over.Name,
 			"depth": over.Depth,
+		})
+		return
+	}
+	var fol *FollowerError
+	if errors.As(err, &fol) {
+		writeJSON(w, http.StatusForbidden, map[string]string{
+			"error": err.Error(), "kind": "follower", "primary": fol.Primary,
 		})
 		return
 	}

@@ -83,6 +83,9 @@ type IngestResult struct {
 // full admission queue with *core.OverloadedError (HTTP 429 + Retry-After
 // — senders back off and retry; nothing is lost or duplicated).
 func (s *Service) Ingest(name string, body io.Reader) (*IngestResult, error) {
+	if err := s.rejectFollowerWrite(); err != nil {
+		return nil, err
+	}
 	firstSeq, events, err := store.DecodeEventBatch(body)
 	if err != nil {
 		return nil, badRequestf("ingest: %v", err)
@@ -134,6 +137,9 @@ type CheckpointResult struct {
 // CheckpointLive forces a WAL checkpoint of the named live graph,
 // compacting its log prefix into an LPSK v2 snapshot.
 func (s *Service) CheckpointLive(name string) (*CheckpointResult, error) {
+	if err := s.rejectFollowerWrite(); err != nil {
+		return nil, err
+	}
 	lg, err := s.reg.LiveGraph(name)
 	if err != nil {
 		return nil, err
@@ -188,7 +194,10 @@ type StatsResult struct {
 		// has been.
 		QueueHighWater int64 `json:"queueHighWater"`
 	} `json:"ingest"`
-	Queries struct {
+	// Replication is present on followers (and on any server with a lag
+	// reporter installed): the worst lag across followed streams.
+	Replication *ReplicationStats `json:"replication,omitempty"`
+	Queries     struct {
 		// Count / P50Micros / P99Micros summarize query endpoint service
 		// time (log-bucketed histogram; quantiles are bucket upper bounds).
 		Count     int64 `json:"count"`
@@ -236,6 +245,9 @@ func (s *Service) Stats() *StatsResult {
 		if ps.QueueHighWater > res.Ingest.QueueHighWater {
 			res.Ingest.QueueHighWater = ps.QueueHighWater
 		}
+	}
+	if repl := s.replicationStats(); repl != nil {
+		res.Replication = repl
 	}
 	ql := core.ReadQueryLatency()
 	res.Queries.Count = ql.Count

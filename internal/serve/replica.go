@@ -1,0 +1,270 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"sync/atomic"
+
+	"lipstick/internal/core"
+	"lipstick/internal/store"
+)
+
+// Replication surface of the server. A primary exposes, per durable live
+// graph:
+//
+//	GET /v1/replica/{name}/status            durable position + checkpoint seq
+//	GET /v1/replica/{name}/events?from=N     binary event batch (catchup tail)
+//	GET /v1/replica/{name}/checkpoint        newest checkpoint file (bootstrap)
+//
+// A follower (serve -follow) runs the same process in follower mode: it
+// applies the primary's stream into its own live graphs and serves every
+// read endpoint from published views, but rejects direct ingestion —
+// writes belong to the primary until promotion. Live reads on a follower
+// carry an X-Lipstick-Replica-Lag header (events behind the primary), and
+// /v1/stats reports replicationLagSeq/replicationLagMs gauges.
+
+// ReplicaLag describes how far one followed stream trails its primary.
+type ReplicaLag struct {
+	// PrimarySeq is the primary's last advertised durable sequence;
+	// AppliedSeq is what this follower has applied locally.
+	PrimarySeq uint64 `json:"primarySeq"`
+	AppliedSeq uint64 `json:"appliedSeq"`
+	// LagSeq = PrimarySeq - AppliedSeq; LagMs is the age of the last
+	// successful poll of the primary (freshness of PrimarySeq itself).
+	LagSeq uint64 `json:"replicationLagSeq"`
+	LagMs  int64  `json:"replicationLagMs"`
+}
+
+// ReplicaLagFunc reports the replication lag of one followed stream; ok
+// is false for streams this process does not follow.
+type ReplicaLagFunc func(name string) (ReplicaLag, bool)
+
+// replicaState is the Service's runtime replication role. Promotion flips
+// the role while requests are in flight, so the fields are atomics.
+type replicaState struct {
+	primary atomic.Pointer[string]         // published via primary; non-nil = follower mode
+	lagFn   atomic.Pointer[ReplicaLagFunc] // published via lagFn
+}
+
+// SetFollower puts the service in follower mode: ingestion and forced
+// checkpoints are rejected with *FollowerError (writes belong to the
+// primary at primaryURL) until Promote.
+func (s *Service) SetFollower(primaryURL string) {
+	s.replica.primary.Store(&primaryURL)
+}
+
+// Promote clears follower mode: the process accepts writes from here on.
+// The caller is responsible for having stopped the follower tail first.
+func (s *Service) Promote() {
+	s.replica.primary.Store(nil)
+}
+
+// FollowerPrimary returns the followed primary's URL and whether the
+// service is in follower mode.
+func (s *Service) FollowerPrimary() (string, bool) {
+	p := s.replica.primary.Load()
+	if p == nil {
+		return "", false
+	}
+	return *p, true
+}
+
+// SetReplicationLag installs the per-stream lag reporter (the replica
+// manager's view); live reads and /v1/stats advertise it.
+func (s *Service) SetReplicationLag(fn ReplicaLagFunc) {
+	s.replica.lagFn.Store(&fn)
+}
+
+// replicaLag reports the lag of one followed stream, when known.
+func (s *Service) replicaLag(name string) (ReplicaLag, bool) {
+	fn := s.replica.lagFn.Load()
+	if fn == nil {
+		return ReplicaLag{}, false
+	}
+	return (*fn)(name)
+}
+
+// ReplicationStats is the /v1/stats replication section: the follower
+// role plus the worst lag across followed streams (expvar mirrors live
+// in the replica package).
+type ReplicationStats struct {
+	Follower bool   `json:"follower"`
+	Primary  string `json:"primary,omitempty"`
+	// LagSeq / LagMs are the maxima across followed streams: events
+	// behind the primary, and the age of the freshest primary poll.
+	LagSeq uint64 `json:"replicationLagSeq"`
+	LagMs  int64  `json:"replicationLagMs"`
+}
+
+// replicationStats summarizes the replication role for Stats; nil when
+// the process neither follows nor reports lag.
+func (s *Service) replicationStats() *ReplicationStats {
+	primary, follower := s.FollowerPrimary()
+	fn := s.replica.lagFn.Load()
+	if !follower && fn == nil {
+		return nil
+	}
+	res := &ReplicationStats{Follower: follower, Primary: primary}
+	if fn != nil {
+		for _, lg := range s.reg.LiveGraphs() {
+			lag, ok := (*fn)(lg.Name())
+			if !ok {
+				continue
+			}
+			if lag.LagSeq > res.LagSeq {
+				res.LagSeq = lag.LagSeq
+			}
+			if lag.LagMs > res.LagMs {
+				res.LagMs = lag.LagMs
+			}
+		}
+	}
+	return res
+}
+
+// FollowerError rejects a write addressed to a follower.
+type FollowerError struct {
+	// Primary is where writes belong.
+	Primary string
+}
+
+// Error implements error.
+func (e *FollowerError) Error() string {
+	return fmt.Sprintf("lipstick: this server is a follower; send writes to the primary at %s", e.Primary)
+}
+
+// rejectFollowerWrite returns the rejection when the service is in
+// follower mode.
+func (s *Service) rejectFollowerWrite() error {
+	if primary, ok := s.FollowerPrimary(); ok {
+		return &FollowerError{Primary: primary}
+	}
+	return nil
+}
+
+// ReplicaStatusResult is the /v1/replica/{name}/status payload.
+type ReplicaStatusResult struct {
+	Name string `json:"name"`
+	// Seq is the last durable sequence — the upper bound of what
+	// /events will serve. AppliedSeq is the in-memory position (it can
+	// run ahead of Seq while a group commit is in flight).
+	Seq           uint64 `json:"seq"`
+	AppliedSeq    uint64 `json:"appliedSeq"`
+	CheckpointSeq uint64 `json:"checkpointSeq"`
+}
+
+// ReplicaStatus reports a durable live graph's replication positions.
+func (s *Service) ReplicaStatus(name string) (*ReplicaStatusResult, error) {
+	lg, err := s.reg.LiveGraph(name)
+	if err != nil {
+		return nil, err
+	}
+	durable, err := lg.DurableSeq()
+	if err != nil {
+		return nil, badRequestf("%v", err)
+	}
+	return &ReplicaStatusResult{
+		Name: name, Seq: durable, AppliedSeq: lg.Seq(), CheckpointSeq: lg.CheckpointSeq(),
+	}, nil
+}
+
+// defaultReplicaBatch caps one /events response when the follower does
+// not ask for a bound.
+const defaultReplicaBatch = 4096
+
+// replicaRoutes wires the replication endpoints. The events and
+// checkpoint responses are binary (event-batch framing / raw LPSK), so
+// they bypass the JSON handle helper.
+func (s *Service) replicaRoutes(mux *http.ServeMux, handle func(pattern string, fn func(r *http.Request) (any, error))) {
+	handle("GET /v1/replica/{name}/status", func(r *http.Request) (any, error) {
+		return s.ReplicaStatus(r.PathValue("name"))
+	})
+
+	mux.HandleFunc("GET /v1/replica/{name}/events", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		lg, err := s.reg.LiveGraph(name)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		q := r.URL.Query()
+		from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+		if err != nil || from == 0 {
+			writeErr(w, badRequestf("replica events: 'from' must be a sequence >= 1, got %q", q.Get("from")))
+			return
+		}
+		max := defaultReplicaBatch
+		if ms := q.Get("max"); ms != "" {
+			m, merr := strconv.Atoi(ms)
+			if merr != nil || m <= 0 {
+				writeErr(w, badRequestf("replica events: invalid max %q", ms))
+				return
+			}
+			max = m
+		}
+		events, err := lg.DurableEventsSince(from-1, max)
+		if err != nil {
+			var compacted *store.CompactedError
+			if errors.As(err, &compacted) {
+				// 410 Gone: the suffix was checkpointed away; the follower
+				// re-seeds from /checkpoint.
+				writeJSON(w, http.StatusGone, map[string]any{
+					"error": err.Error(), "kind": "compacted",
+					"name": name, "checkpointSeq": compacted.CheckpointSeq,
+				})
+				return
+			}
+			var notDurable *core.NotDurableError
+			if errors.As(err, &notDurable) {
+				err = badRequestf("%v", err)
+			}
+			writeErr(w, err)
+			return
+		}
+		durable, _ := lg.DurableSeq() // DurableEventsSince succeeded, so the log exists
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Lipstick-Seq", strconv.FormatUint(durable, 10))
+		if err := store.EncodeEventBatch(w, from, events); err != nil {
+			// Headers are gone; the follower's batch decode fails and it
+			// retries. Nothing useful left to write.
+			return
+		}
+	})
+
+	mux.HandleFunc("GET /v1/replica/{name}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		lg, err := s.reg.LiveGraph(name)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		path, seq, ok, err := lg.CheckpointFile()
+		if err != nil {
+			writeErr(w, badRequestf("%v", err))
+			return
+		}
+		if !ok {
+			writeErr(w, &core.NotFoundError{Kind: "checkpoint", Name: name})
+			return
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				// Compacted between CheckpointFile and Open: a newer
+				// checkpoint replaced it. The follower just asks again.
+				writeErr(w, &core.NotFoundError{Kind: "checkpoint", Name: name})
+				return
+			}
+			writeErr(w, err)
+			return
+		}
+		defer func() { _ = f.Close() }() // opened read-only
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Lipstick-Checkpoint-Seq", strconv.FormatUint(seq, 10))
+		_, _ = io.Copy(w, f) // a broken pipe mid-copy is the client's problem
+	})
+}

@@ -33,6 +33,9 @@ type Service struct {
 	// sequence, endpoint, normalized query) — correct by construction
 	// over immutable views, so it needs no invalidation hooks.
 	cache *core.QueryCache
+	// replica is the runtime replication role (follower mode, lag
+	// reporter); see replica.go.
+	replica replicaState
 }
 
 // NewService builds a service over the given snapshot cache; a nil

@@ -1,0 +1,302 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"lipstick/internal/core"
+	"lipstick/internal/serve"
+)
+
+// Registry-wide endpoints: /v1/cluster (health + ring), /v1/stats
+// (aggregated counters), /v1/snapshots (merged listing), and the session
+// affinity layer. Each fans out to every node concurrently and degrades
+// per node — one dead shard marks itself unhealthy instead of failing
+// the whole cluster view.
+
+// NodeHealth is one node's row in the /v1/cluster report.
+type NodeHealth struct {
+	Node    string `json:"node"`
+	Healthy bool   `json:"healthy"`
+	Error   string `json:"error,omitempty"`
+	// Snapshots/Sessions echo the node's /healthz counters when healthy.
+	Snapshots int `json:"snapshots"`
+	Sessions  int `json:"sessions"`
+}
+
+// ClusterResult is the /v1/cluster payload: per-node health plus the
+// consistent-hash ring's state.
+type ClusterResult struct {
+	Nodes []NodeHealth `json:"nodes"`
+	Ring  RingState    `json:"ring"`
+}
+
+func (p *Proxy) handleCluster(w http.ResponseWriter, r *http.Request) {
+	nodes, bodies, errs := p.fanout("/healthz")
+	res := ClusterResult{Ring: p.ring.State(), Nodes: make([]NodeHealth, len(nodes))}
+	for i, node := range nodes {
+		h := NodeHealth{Node: node}
+		if errs[i] != nil {
+			h.Error = errs[i].Error()
+		} else {
+			var hz struct {
+				Snapshots int `json:"snapshots"`
+				Sessions  int `json:"sessions"`
+			}
+			if err := json.Unmarshal(bodies[i], &hz); err != nil {
+				h.Error = fmt.Sprintf("decoding healthz: %v", err)
+			} else {
+				h.Healthy = true
+				h.Snapshots, h.Sessions = hz.Snapshots, hz.Sessions
+			}
+		}
+		res.Nodes[i] = h
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// NodeStats pairs a node with its raw /v1/stats payload.
+type NodeStats struct {
+	Node  string             `json:"node"`
+	Error string             `json:"error,omitempty"`
+	Stats *serve.StatsResult `json:"stats,omitempty"`
+}
+
+// ClusterStats is the proxy's /v1/stats payload: the per-node payloads
+// plus cluster-aggregated counters (sums; queue high-water is a max).
+type ClusterStats struct {
+	Nodes     []NodeStats `json:"nodes"`
+	Snapshots struct {
+		Static int `json:"static"`
+		Live   int `json:"live"`
+	} `json:"snapshots"`
+	Ingest struct {
+		Batches        int64 `json:"batches"`
+		Events         int64 `json:"events"`
+		Overloads      int64 `json:"overloads"`
+		GroupCommits   int64 `json:"groupCommits"`
+		GroupBatches   int64 `json:"groupBatches"`
+		QueueHighWater int64 `json:"queueHighWater"`
+	} `json:"ingest"`
+	Queries struct {
+		Count       int64 `json:"count"`
+		CacheHits   int64 `json:"cacheHits"`
+		CacheMisses int64 `json:"cacheMisses"`
+	} `json:"queries"`
+	Replication struct {
+		// Followers counts nodes reporting a replication section; the lag
+		// gauges are cluster maxima.
+		Followers int    `json:"followers"`
+		LagSeq    uint64 `json:"replicationLagSeq"`
+		LagMs     int64  `json:"replicationLagMs"`
+	} `json:"replication"`
+}
+
+func (p *Proxy) handleStats(w http.ResponseWriter, r *http.Request) {
+	nodes, bodies, errs := p.fanout("/v1/stats")
+	res := ClusterStats{Nodes: make([]NodeStats, len(nodes))}
+	for i, node := range nodes {
+		ns := NodeStats{Node: node}
+		if errs[i] != nil {
+			ns.Error = errs[i].Error()
+			res.Nodes[i] = ns
+			continue
+		}
+		var st serve.StatsResult
+		if err := json.Unmarshal(bodies[i], &st); err != nil {
+			ns.Error = fmt.Sprintf("decoding stats: %v", err)
+			res.Nodes[i] = ns
+			continue
+		}
+		ns.Stats = &st
+		res.Nodes[i] = ns
+		res.Snapshots.Static += st.Snapshots.Static
+		res.Snapshots.Live += st.Snapshots.Live
+		res.Ingest.Batches += st.Ingest.Batches
+		res.Ingest.Events += st.Ingest.Events
+		res.Ingest.Overloads += st.Ingest.Overloads
+		res.Ingest.GroupCommits += st.Ingest.GroupCommits
+		res.Ingest.GroupBatches += st.Ingest.GroupBatches
+		if st.Ingest.QueueHighWater > res.Ingest.QueueHighWater {
+			res.Ingest.QueueHighWater = st.Ingest.QueueHighWater
+		}
+		res.Queries.Count += st.Queries.Count
+		res.Queries.CacheHits += st.Queries.CacheHits
+		res.Queries.CacheMisses += st.Queries.CacheMisses
+		if st.Replication != nil {
+			res.Replication.Followers++
+			if st.Replication.LagSeq > res.Replication.LagSeq {
+				res.Replication.LagSeq = st.Replication.LagSeq
+			}
+			if st.Replication.LagMs > res.Replication.LagMs {
+				res.Replication.LagMs = st.Replication.LagMs
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (p *Proxy) handleSnapshotList(w http.ResponseWriter, r *http.Request) {
+	_, bodies, errs := p.fanout("/v1/snapshots")
+	merged := make([]core.SnapshotInfo, 0, 16)
+	for i := range bodies {
+		if errs[i] != nil {
+			continue // a dead shard's snapshots are simply absent
+		}
+		var list struct {
+			Snapshots []core.SnapshotInfo `json:"snapshots"`
+		}
+		if err := json.Unmarshal(bodies[i], &list); err != nil {
+			continue
+		}
+		merged = append(merged, list.Snapshots...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Name < merged[j].Name })
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(merged), "snapshots": merged})
+}
+
+// handleSessionCreate routes session creation to the snapshot's owner
+// and learns the returned session id's home node.
+func (p *Proxy) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Snapshot string `json:"snapshot"`
+	}
+	body, err := readBody(r, 1<<20)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("invalid JSON body: %v", err)})
+			return
+		}
+	}
+	if req.Snapshot == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "session create needs a snapshot name to route by"})
+		return
+	}
+	node := p.ring.Node(req.Snapshot)
+	resp, err := p.roundTrip(r, node, body)
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, map[string]string{
+			"error": fmt.Sprintf("proxy: forwarding to %s: %v", node, err), "node": node,
+		})
+		return
+	}
+	defer func() { _ = resp.Body.Close() }() // fully read below
+	payload, rerr := readAll(resp, maxProxyBody)
+	if rerr != nil {
+		writeJSON(w, http.StatusBadGateway, map[string]string{"error": rerr.Error(), "node": node})
+		return
+	}
+	if resp.StatusCode == http.StatusOK {
+		var created struct {
+			ID string `json:"id"`
+		}
+		if json.Unmarshal(payload, &created) == nil && created.ID != "" {
+			p.mu.Lock()
+			p.sessions[created.ID] = node
+			p.mu.Unlock()
+		}
+	}
+	relayBytes(w, resp, node, payload)
+}
+
+// handleSessionList merges every node's session listing.
+func (p *Proxy) handleSessionList(w http.ResponseWriter, r *http.Request) {
+	_, bodies, errs := p.fanout("/v1/sessions")
+	merged := make([]json.RawMessage, 0, 16)
+	for i := range bodies {
+		if errs[i] != nil {
+			continue
+		}
+		var list struct {
+			Sessions []json.RawMessage `json:"sessions"`
+		}
+		if err := json.Unmarshal(bodies[i], &list); err != nil {
+			continue
+		}
+		merged = append(merged, list.Sessions...)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(merged), "sessions": merged})
+}
+
+// handleSessionByID forwards to the session's learned home node; an
+// unknown id (proxy restart) is re-resolved by probing every node.
+func (p *Proxy) handleSessionByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	p.mu.Lock()
+	node, ok := p.sessions[id]
+	p.mu.Unlock()
+	if !ok {
+		node, ok = p.findSession(id)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]string{
+				"error": fmt.Sprintf("unknown session %q on any node", id), "kind": "session", "name": id,
+			})
+			return
+		}
+		p.mu.Lock()
+		p.sessions[id] = node
+		p.mu.Unlock()
+	}
+	if r.Method == http.MethodDelete {
+		p.mu.Lock()
+		delete(p.sessions, id)
+		p.mu.Unlock()
+	}
+	p.forward(w, r, node)
+}
+
+// findSession probes every node for a session id (affinity cache miss).
+func (p *Proxy) findSession(id string) (string, bool) {
+	nodes, bodies, errs := p.fanout("/v1/sessions/" + id)
+	for i := range nodes {
+		if errs[i] == nil && bodies[i] != nil {
+			return nodes[i], true
+		}
+	}
+	return "", false
+}
+
+// readBody drains a request body up to limit bytes.
+func readBody(r *http.Request, limit int64) ([]byte, error) {
+	if r.Body == nil {
+		return nil, nil
+	}
+	b, err := readAllReader(http.MaxBytesReader(nil, r.Body, limit))
+	if err != nil {
+		return nil, fmt.Errorf("proxy: reading request body: %w", err)
+	}
+	return b, nil
+}
+
+// readAll drains a response body up to limit bytes.
+func readAll(resp *http.Response, limit int64) ([]byte, error) {
+	return readAllReader(http.MaxBytesReader(nil, resp.Body, limit))
+}
+
+func readAllReader(r interface{ Read([]byte) (int, error) }) ([]byte, error) {
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(r)
+	return buf.Bytes(), err
+}
+
+// relayBytes replays an already-read node response to the client.
+func relayBytes(w http.ResponseWriter, resp *http.Response, node string, body []byte) {
+	for k, vs := range resp.Header {
+		if k == "Content-Length" {
+			continue // the body below sets its own length
+		}
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Set("X-Lipstick-Node", node)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(body) // a broken client pipe is the client's problem
+}

@@ -1,0 +1,306 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lipstick/internal/testutil"
+)
+
+// fakeNode is a stand-in shard recording which paths reached it.
+type fakeNode struct {
+	mu    sync.Mutex
+	paths []string // guarded by mu
+	srv   *httptest.Server
+	// rejectIngest counts down 429 responses before accepting; guarded by mu.
+	rejectIngest int
+}
+
+func newFakeNode(t *testing.T) *fakeNode {
+	t.Helper()
+	n := &fakeNode{}
+	mux := http.NewServeMux()
+	record := func(r *http.Request) {
+		n.mu.Lock()
+		n.paths = append(n.paths, r.URL.Path)
+		n.mu.Unlock()
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		record(r)
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "snapshots": 1, "sessions": 0})
+	})
+	mux.HandleFunc("/v1/ingest/", func(w http.ResponseWriter, r *http.Request) {
+		record(r)
+		n.mu.Lock()
+		reject := n.rejectIngest > 0
+		if reject {
+			n.rejectIngest--
+		}
+		n.mu.Unlock()
+		if reject {
+			http.Error(w, "overloaded", http.StatusTooManyRequests)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"seq": 1})
+	})
+	mux.HandleFunc("/v1/snapshots/", func(w http.ResponseWriter, r *http.Request) {
+		record(r)
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET /v1/snapshots", func(w http.ResponseWriter, r *http.Request) {
+		record(r)
+		writeJSON(w, http.StatusOK, map[string]any{"count": 0, "snapshots": []any{}})
+	})
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		record(r)
+		writeJSON(w, http.StatusOK, map[string]any{"id": "sess-" + n.srv.Listener.Addr().String()})
+	})
+	mux.HandleFunc("/v1/sessions/", func(w http.ResponseWriter, r *http.Request) {
+		record(r)
+		writeJSON(w, http.StatusOK, map[string]any{"id": strings.TrimPrefix(r.URL.Path, "/v1/sessions/")})
+	})
+	n.srv = httptest.NewServer(mux)
+	t.Cleanup(n.srv.Close)
+	return n
+}
+
+func (n *fakeNode) sawPrefix(prefix string) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	count := 0
+	for _, p := range n.paths {
+		if strings.HasPrefix(p, prefix) {
+			count++
+		}
+	}
+	return count
+}
+
+func newTestProxy(t *testing.T, nodes []*fakeNode, opts ...ProxyOption) (*Proxy, *httptest.Server) {
+	t.Helper()
+	urls := make([]string, len(nodes))
+	for i, n := range nodes {
+		urls[i] = n.srv.URL
+	}
+	p, err := NewProxy(urls, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(p.Handler())
+	t.Cleanup(srv.Close)
+	return p, srv
+}
+
+func getJSON(t *testing.T, url string, into any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if into != nil {
+		if err := json.Unmarshal(body, into); err != nil {
+			t.Fatalf("GET %s: decoding %q: %v", url, body, err)
+		}
+	}
+	return resp
+}
+
+func TestProxyRoutesByGraphName(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	a, b := newFakeNode(t), newFakeNode(t)
+	p, srv := newTestProxy(t, []*fakeNode{a, b})
+
+	// Every request for one name lands on the ring owner, whatever the
+	// endpoint under it.
+	for i := 0; i < 20; i++ {
+		name := fmt.Sprintf("g%d", i)
+		owner := p.Ring().Node(name)
+		var ownerNode, otherNode *fakeNode = a, b
+		if owner == b.srv.URL {
+			ownerNode, otherNode = b, a
+		}
+		before := ownerNode.sawPrefix("/v1/snapshots/" + name)
+		resp := getJSON(t, fmt.Sprintf("%s/v1/snapshots/%s/info", srv.URL, name), nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("proxy returned %d for %s", resp.StatusCode, name)
+		}
+		if got := resp.Header.Get("X-Lipstick-Node"); got != owner {
+			t.Fatalf("X-Lipstick-Node = %q, want ring owner %q", got, owner)
+		}
+		if ownerNode.sawPrefix("/v1/snapshots/"+name) != before+1 {
+			t.Fatalf("owner of %s did not receive the request", name)
+		}
+		if otherNode.sawPrefix("/v1/snapshots/"+name) != 0 {
+			t.Fatalf("non-owner received a request for %s", name)
+		}
+	}
+}
+
+func TestProxyRetriesOverloadedNode(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	a := newFakeNode(t)
+	a.rejectIngest = 2
+	var delays []time.Duration
+	p, srv := newTestProxy(t, []*fakeNode{a}, WithRetry(4, 2*time.Millisecond))
+	p.sleep = func(d time.Duration) { delays = append(delays, d) }
+
+	resp, err := http.Post(srv.URL+"/v1/ingest/g1", "application/octet-stream", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxy returned %d after retries, want 200", resp.StatusCode)
+	}
+	if got := a.sawPrefix("/v1/ingest/g1"); got != 3 {
+		t.Fatalf("node saw %d attempts, want 3 (2 rejections + 1 success)", got)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("proxy backed off %d times, want 2", len(delays))
+	}
+	base := 2 * time.Millisecond
+	for i, d := range delays {
+		if d < base/2 || d >= base {
+			t.Fatalf("delay %d = %v outside jitter window [%v, %v)", i, d, base/2, base)
+		}
+		base *= 2
+	}
+}
+
+func TestProxyPassesThroughExhaustedRetries(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	a := newFakeNode(t)
+	a.rejectIngest = 1 << 30
+	p, srv := newTestProxy(t, []*fakeNode{a}, WithRetry(2, time.Millisecond))
+	p.sleep = func(time.Duration) {}
+
+	resp, err := http.Post(srv.URL+"/v1/ingest/g1", "application/octet-stream", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("proxy returned %d, want the node's 429 passed through", resp.StatusCode)
+	}
+	if got := a.sawPrefix("/v1/ingest/g1"); got != 3 {
+		t.Fatalf("node saw %d attempts, want 3 (initial + 2 retries)", got)
+	}
+}
+
+func TestProxySessionAffinity(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	a, b := newFakeNode(t), newFakeNode(t)
+	p, srv := newTestProxy(t, []*fakeNode{a, b})
+
+	// Create routes by the snapshot's ring owner and learns the id.
+	var created struct {
+		ID string `json:"id"`
+	}
+	resp, err := http.Post(srv.URL+"/v1/sessions", "application/json", strings.NewReader(`{"snapshot":"g1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(body, &created); err != nil || created.ID == "" {
+		t.Fatalf("session create returned %q: %v", body, err)
+	}
+	owner := p.Ring().Node("g1")
+	home := a
+	if owner == b.srv.URL {
+		home = b
+	}
+
+	// Follow-up requests stick to the home node.
+	for i := 0; i < 3; i++ {
+		r := getJSON(t, srv.URL+"/v1/sessions/"+created.ID, nil)
+		if got := r.Header.Get("X-Lipstick-Node"); got != owner {
+			t.Fatalf("session request %d went to %q, want home %q", i, got, owner)
+		}
+	}
+	if home.sawPrefix("/v1/sessions/"+created.ID) != 3 {
+		t.Fatal("home node did not receive the session requests")
+	}
+
+	// An unknown id (e.g. proxy restart) is re-resolved by probing; a
+	// fresh proxy over the same nodes finds the session again.
+	p2, err := NewProxy([]string{a.srv.URL, b.srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(p2.Handler())
+	defer srv2.Close()
+	if r := getJSON(t, srv2.URL+"/v1/sessions/"+created.ID, nil); r.StatusCode != http.StatusOK {
+		t.Fatalf("restarted proxy returned %d for a live session", r.StatusCode)
+	}
+
+	// DELETE evicts the affinity entry.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/sessions/"+created.ID, nil)
+	if dresp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		dresp.Body.Close()
+	}
+	p.mu.Lock()
+	_, still := p.sessions[created.ID]
+	p.mu.Unlock()
+	if still {
+		t.Fatal("DELETE left the session affinity entry behind")
+	}
+}
+
+func TestProxyClusterAndFlatEndpoints(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	a, b := newFakeNode(t), newFakeNode(t)
+	_, srv := newTestProxy(t, []*fakeNode{a, b})
+
+	var cluster ClusterResult
+	if r := getJSON(t, srv.URL+"/v1/cluster", &cluster); r.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/cluster returned %d", r.StatusCode)
+	}
+	if len(cluster.Nodes) != 2 {
+		t.Fatalf("cluster reports %d nodes, want 2", len(cluster.Nodes))
+	}
+	for _, n := range cluster.Nodes {
+		if !n.Healthy || n.Snapshots != 1 {
+			t.Fatalf("node %s: healthy=%v snapshots=%d, want healthy with 1 snapshot", n.Node, n.Healthy, n.Snapshots)
+		}
+	}
+	var shareSum float64
+	for _, s := range cluster.Ring.Shares {
+		shareSum += s
+	}
+	if shareSum < 0.999 || shareSum > 1.001 {
+		t.Fatalf("ring shares sum to %f", shareSum)
+	}
+
+	// A dead node degrades to unhealthy instead of failing the view.
+	b.srv.Close()
+	var degraded ClusterResult
+	getJSON(t, srv.URL+"/v1/cluster", &degraded)
+	healthy := 0
+	for _, n := range degraded.Nodes {
+		if n.Healthy {
+			healthy++
+		} else if n.Error == "" {
+			t.Fatal("unhealthy node carries no error")
+		}
+	}
+	if healthy != 1 {
+		t.Fatalf("%d healthy nodes after killing one of two", healthy)
+	}
+
+	// Flat single-node conveniences answer with routing guidance.
+	if r := getJSON(t, srv.URL+"/v1/info", nil); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("/v1/info returned %d, want 400 with guidance", r.StatusCode)
+	}
+}

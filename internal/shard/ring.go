@@ -1,0 +1,138 @@
+// Package shard routes graph traffic across lipstick nodes: a thin
+// proxy consistent-hashes graph names over N servers, forwards ingest
+// and read endpoints with connection reuse, retries overloaded nodes
+// with the ingest client's jittered backoff, and reports per-node health
+// plus ring state on /v1/cluster. Clients keep the exact single-node
+// API; only the base URL changes — the ingest ceiling becomes per shard
+// instead of per process.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVNodes is how many virtual points each node contributes to the
+// hash ring. 128 keeps the ownership spread within a few percent of even
+// for small clusters while the ring stays tiny (N*128 points).
+const DefaultVNodes = 128
+
+// Ring is an immutable consistent-hash ring over node base URLs: a graph
+// name hashes to a point, and the first vnode clockwise owns it. Adding
+// a node moves only the keys that fall into its vnodes' arcs — the
+// property that makes resharding incremental. Safe for concurrent use
+// (never mutated after construction).
+type Ring struct {
+	nodes  []string    // sorted unique node base URLs
+	points []ringPoint // sorted by hash
+	vnodes int
+}
+
+// ringPoint is one virtual node: a position on the hash circle owned by
+// a physical node.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring over the node base URLs with vnodes virtual
+// points each (<= 0 selects DefaultVNodes). Duplicate nodes are an
+// error — they would silently double a node's ownership share.
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("shard: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	sorted := append([]string(nil), nodes...)
+	sort.Strings(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return nil, fmt.Errorf("shard: duplicate node %q", sorted[i])
+		}
+	}
+	r := &Ring{nodes: sorted, vnodes: vnodes}
+	r.points = make([]ringPoint, 0, len(sorted)*vnodes)
+	for _, node := range sorted {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s|%d", node, v)), node: node})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (astronomically rare) break deterministically by node
+		// so every proxy instance routes identically.
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// ringHash is 64-bit FNV-1a pushed through an avalanche finalizer. Raw
+// FNV of short, near-identical strings ("http://a:8080|7" vs "...|8")
+// leaves the high bits — which dominate ring ordering — poorly mixed:
+// measured arc shares on a 4-node ring ranged 0.08..0.36 without the
+// finalizer, 0.22..0.28 with it.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s)) // fnv.Write cannot fail
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer: a bijective scramble whose output
+// bits each depend on every input bit.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Node returns the node that owns key: the first vnode at or clockwise
+// of the key's hash.
+func (r *Ring) Node(key string) string {
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the circle's first point
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the ring's node base URLs, sorted.
+func (r *Ring) Nodes() []string {
+	return append([]string(nil), r.nodes...)
+}
+
+// RingState describes the ring for /v1/cluster: the vnode count and each
+// node's share of the hash space (arc length / 2^64; an even ring has
+// shares near 1/N).
+type RingState struct {
+	VNodes int                `json:"vnodes"`
+	Points int                `json:"points"`
+	Shares map[string]float64 `json:"shares"`
+}
+
+// State computes the ring's ownership shares.
+func (r *Ring) State() RingState {
+	st := RingState{VNodes: r.vnodes, Points: len(r.points), Shares: make(map[string]float64, len(r.nodes))}
+	if len(r.points) == 0 {
+		return st
+	}
+	for i, p := range r.points {
+		// The arc ending at points[i] belongs to points[i]'s node.
+		var arc uint64
+		if i == 0 {
+			arc = p.hash + (^uint64(0) - r.points[len(r.points)-1].hash) + 1
+		} else {
+			arc = p.hash - r.points[i-1].hash
+		}
+		st.Shares[p.node] += float64(arc) / (1 << 64)
+	}
+	return st
+}

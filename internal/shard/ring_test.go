@@ -1,0 +1,96 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestRingRejectsBadNodeSets(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty node set accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+}
+
+func TestRingRoutingIsDeterministic(t *testing.T) {
+	nodes := []string{"http://c:8080", "http://a:8080", "http://b:8080"}
+	r1, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same nodes in a different order build an identical routing function
+	// — every proxy instance in a fleet must agree.
+	r2, err := NewRing([]string{"http://b:8080", "http://a:8080", "http://c:8080"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("graph-%d", i)
+		if r1.Node(key) != r2.Node(key) {
+			t.Fatalf("key %q routes to %q vs %q across identical rings", key, r1.Node(key), r2.Node(key))
+		}
+	}
+}
+
+func TestRingSpreadsKeysRoughlyEvenly(t *testing.T) {
+	nodes := []string{"http://a:8080", "http://b:8080", "http://c:8080", "http://d:8080"}
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		counts[r.Node(fmt.Sprintf("stream-%d", i))]++
+	}
+	// 128 vnodes keeps shares within a few tens of percent of even, not
+	// exact — the bound catches gross skew, not statistical wobble.
+	want := float64(keys) / float64(len(nodes))
+	for node, n := range counts {
+		if math.Abs(float64(n)-want)/want > 0.35 {
+			t.Fatalf("node %s owns %d of %d keys (expected ~%.0f ±35%%)", node, n, keys, want)
+		}
+	}
+	// State's arc shares sum to 1 and roughly match the observed spread.
+	st := r.State()
+	if st.Points != len(nodes)*DefaultVNodes {
+		t.Fatalf("ring has %d points, want %d", st.Points, len(nodes)*DefaultVNodes)
+	}
+	var total float64
+	for node, share := range st.Shares {
+		total += share
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("node %s arc share %.3f implausible for a 4-node ring", node, share)
+		}
+	}
+	if math.Abs(total-1.0) > 1e-9 {
+		t.Fatalf("arc shares sum to %.9f, want 1", total)
+	}
+}
+
+func TestRingGrowthMovesOnlyAFraction(t *testing.T) {
+	three, err := NewRing([]string{"http://a", "http://b", "http://c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := NewRing([]string{"http://a", "http://b", "http://c", "http://d"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 10000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("stream-%d", i)
+		if three.Node(key) != four.Node(key) {
+			moved++
+		}
+	}
+	// Consistent hashing's whole point: adding the 4th node should move
+	// about 1/4 of the keys, not rehash the world.
+	if frac := float64(moved) / keys; frac > 0.40 {
+		t.Fatalf("adding one node moved %.0f%% of keys (want ~25%%)", frac*100)
+	}
+}

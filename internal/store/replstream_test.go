@@ -1,0 +1,172 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lipstick/internal/provgraph"
+	"lipstick/internal/testutil"
+)
+
+// appendSeq appends events one batch per call so segment rotation and
+// sequence bookkeeping exercise the same paths a live server does.
+func appendSeq(t *testing.T, l *Log, events []provgraph.Event, batch int) {
+	t.Helper()
+	for next := 0; next < len(events); next += batch {
+		end := next + batch
+		if end > len(events) {
+			end = len(events)
+		}
+		if err := l.Append(events[next:end]); err != nil {
+			t.Fatalf("append [%d:%d): %v", next, end, err)
+		}
+	}
+}
+
+func TestEventsSinceReturnsOrderedSuffix(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	dir := t.TempDir()
+	events := chainEvents(100)
+	l, _ := openLogT(t, dir)
+	defer l.Close()
+	appendSeq(t, l, events, 7)
+
+	got, err := l.EventsSince(0, 0)
+	if err != nil {
+		t.Fatalf("EventsSince(0): %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("EventsSince(0) returned %d events, want %d", len(got), len(events))
+	}
+	want, _ := provgraph.Replay(events)
+	replayed, err := provgraph.Replay(got)
+	if err != nil {
+		t.Fatalf("replaying streamed events: %v", err)
+	}
+	if !want.StructurallyEqual(replayed) {
+		t.Fatal("streamed events replay to a different graph")
+	}
+
+	// A mid-log cursor with a cap returns exactly the next max events.
+	mid, err := l.EventsSince(40, 10)
+	if err != nil {
+		t.Fatalf("EventsSince(40, 10): %v", err)
+	}
+	if len(mid) != 10 {
+		t.Fatalf("EventsSince(40, 10) returned %d events, want 10", len(mid))
+	}
+	for i := range mid {
+		if mid[i].Kind != events[40+i].Kind || mid[i].Node.ID != events[40+i].Node.ID {
+			t.Fatalf("event %d of the suffix differs from the appended stream", i)
+		}
+	}
+
+	// Caught up (and beyond): empty, no error.
+	for _, after := range []uint64{100, 250} {
+		if got, err := l.EventsSince(after, 0); err != nil || len(got) != 0 {
+			t.Fatalf("EventsSince(%d) = %d events, %v; want empty, nil", after, len(got), err)
+		}
+	}
+}
+
+func TestEventsSinceAcrossSegments(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	dir := t.TempDir()
+	events := chainEvents(300)
+	// A tiny segment limit forces several rotations, so the suffix walk
+	// crosses segment boundaries.
+	l, _ := openLogT(t, dir, WithSegmentLimit(512), WithFsync(false))
+	defer l.Close()
+	appendSeq(t, l, events, 11)
+	segs, _, err := scanLogDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected multiple segments, got %d", len(segs))
+	}
+	got, err := l.EventsSince(5, 0)
+	if err != nil {
+		t.Fatalf("EventsSince(5): %v", err)
+	}
+	if len(got) != len(events)-5 {
+		t.Fatalf("EventsSince(5) returned %d events, want %d", len(got), len(events)-5)
+	}
+}
+
+func TestEventsSinceCompaction(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	dir := t.TempDir()
+	events := chainEvents(80)
+	l, _ := openLogT(t, dir)
+	defer l.Close()
+	appendSeq(t, l, events, 20)
+	snap, err := provgraph.Replay(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(&Snapshot{Graph: snap}); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+
+	// The whole prefix now lives only inside the checkpoint.
+	var compacted *CompactedError
+	if _, err := l.EventsSince(10, 0); !errors.As(err, &compacted) {
+		t.Fatalf("EventsSince(10) after checkpoint: %v, want CompactedError", err)
+	}
+	if compacted.CheckpointSeq != 80 {
+		t.Fatalf("CompactedError.CheckpointSeq = %d, want 80", compacted.CheckpointSeq)
+	}
+
+	// The post-checkpoint suffix streams normally again.
+	more := chainEvents(100)[80:]
+	if err := l.Append(more); err != nil {
+		t.Fatal(err)
+	}
+	got, err := l.EventsSince(80, 0)
+	if err != nil {
+		t.Fatalf("EventsSince(80) after new appends: %v", err)
+	}
+	if len(got) != len(more) {
+		t.Fatalf("EventsSince(80) returned %d events, want %d", len(got), len(more))
+	}
+}
+
+func TestCheckpointPath(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	dir := t.TempDir()
+	events := chainEvents(30)
+	l, _ := openLogT(t, dir)
+	defer l.Close()
+	if _, _, ok := l.CheckpointPath(); ok {
+		t.Fatal("CheckpointPath ok on a never-checkpointed log")
+	}
+	appendSeq(t, l, events, 30)
+	snap, err := provgraph.Replay(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(&Snapshot{Graph: snap}); err != nil {
+		t.Fatal(err)
+	}
+	path, seq, ok := l.CheckpointPath()
+	if !ok || seq != 30 {
+		t.Fatalf("CheckpointPath = ok=%v seq=%d, want ok seq=30", ok, seq)
+	}
+	if filepath.Base(path) != CheckpointFileName(30) {
+		t.Fatalf("checkpoint file %q, want %q", filepath.Base(path), CheckpointFileName(30))
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("checkpoint file missing: %v", err)
+	}
+	// The file is a loadable snapshot equal to the replayed prefix.
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatalf("loading checkpoint: %v", err)
+	}
+	if !snap.StructurallyEqual(loaded.Graph) {
+		t.Fatal("checkpoint snapshot differs from the replayed prefix")
+	}
+}
