@@ -1,0 +1,291 @@
+// Package failover turns the shard proxy's failure detector into
+// automatic fenced promotion: when a primary is declared down, the
+// coordinator promotes its most-caught-up follower under a bumped
+// generation, repoints the proxy's routing overlay at it, and — when
+// the zombie ex-primary answers probes again — demotes it to a follower
+// of the node that replaced it. Every role change travels over the
+// nodes' own /v1/promote and /v1/demote endpoints, so the generation
+// fence (not the coordinator's memory) is what keeps a stale primary
+// from accepting writes.
+package failover
+
+import (
+	"bytes"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"lipstick/internal/core"
+	"lipstick/internal/shard"
+)
+
+// Record is one completed promotion, kept for /v1/cluster-style
+// reporting and the failover-time experiment.
+type Record struct {
+	Node            string        `json:"node"`   // the primary declared down
+	Target          string        `json:"target"` // the promoted follower
+	Generation      uint64        `json:"generation"`
+	DetectToPromote time.Duration `json:"detectToPromoteNs"` // first suspicion -> promoted
+	PromotedAt      time.Time     `json:"promotedAt"`
+}
+
+// Coordinator reacts to detector transitions. Wire HandleTransition as
+// the detector's OnTransition before Start; Close waits for in-flight
+// promotions/demotions.
+type Coordinator struct {
+	proxy     *shard.Proxy
+	followers map[string][]string // node -> candidate followers; read-only after New
+	client    *http.Client
+	logf      func(format string, args ...any)
+
+	mu        sync.Mutex
+	suspectAt map[string]time.Time // first suspicion per node; guarded by mu
+	promoting map[string]bool      // failover in flight per node; guarded by mu
+	last      *Record              // guarded by mu
+
+	wg sync.WaitGroup
+}
+
+// Option configures a Coordinator.
+type Option func(*Coordinator)
+
+// WithLogf routes the coordinator's diagnostics (default log.Printf).
+func WithLogf(fn func(format string, args ...any)) Option {
+	return func(c *Coordinator) {
+		if fn != nil {
+			c.logf = fn
+		}
+	}
+}
+
+// New builds a coordinator over proxy. followers maps each primary's
+// base URL to its candidate follower URLs; the proxy's degraded-read
+// route is set to the first candidate of each.
+func New(proxy *shard.Proxy, followers map[string][]string, opts ...Option) *Coordinator {
+	c := &Coordinator{
+		proxy:     proxy,
+		followers: followers,
+		client:    &http.Client{Timeout: 10 * time.Second},
+		logf:      log.Printf,
+		suspectAt: make(map[string]time.Time),
+		promoting: make(map[string]bool),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	for node, cands := range followers {
+		if len(cands) > 0 {
+			proxy.SetFailover(node, cands[0])
+		}
+	}
+	return c
+}
+
+// Close waits for in-flight failover goroutines. The detector must be
+// closed first so no new transitions arrive.
+func (c *Coordinator) Close() { c.wg.Wait() }
+
+// LastFailover returns the most recent completed promotion (nil if
+// none).
+func (c *Coordinator) LastFailover() *Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.last == nil {
+		return nil
+	}
+	r := *c.last
+	return &r
+}
+
+// HandleTransition is the detector callback: suspect flips the proxy
+// into degraded mode, down starts a promotion, recovering fences the
+// returning zombie, healthy clears the degraded window.
+func (c *Coordinator) HandleTransition(tr shard.Transition) {
+	switch tr.To {
+	case shard.StateSuspect:
+		c.mu.Lock()
+		if _, ok := c.suspectAt[tr.Node]; !ok {
+			c.suspectAt[tr.Node] = time.Now()
+		}
+		c.mu.Unlock()
+		c.proxy.MarkSuspect(tr.Node, true)
+	case shard.StateHealthy:
+		c.mu.Lock()
+		delete(c.suspectAt, tr.Node)
+		c.mu.Unlock()
+		c.proxy.MarkSuspect(tr.Node, false)
+	case shard.StateDown:
+		c.mu.Lock()
+		inflight := c.promoting[tr.Node]
+		if !inflight {
+			c.promoting[tr.Node] = true
+		}
+		c.mu.Unlock()
+		if inflight {
+			return
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.failover(tr.Node, tr.Generation)
+		}()
+	case shard.StateRecovering:
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.fence(tr.Node)
+		}()
+	}
+}
+
+// failover promotes node's most-caught-up follower under a generation
+// above every generation the cluster has seen for this route.
+func (c *Coordinator) failover(node string, downGen uint64) {
+	defer func() {
+		c.mu.Lock()
+		delete(c.promoting, node)
+		c.mu.Unlock()
+	}()
+	if c.proxy.Routes()[node].Target != "" {
+		return // already promoted past this node
+	}
+	candidates := c.followers[node]
+	if len(candidates) == 0 {
+		c.logf("failover: %s is down and has no candidate followers", node)
+		return
+	}
+	target, targetGen := "", uint64(0)
+	best := uint64(0)
+	for _, cand := range candidates {
+		events, gen, err := c.position(cand)
+		if err != nil {
+			c.logf("failover: probing candidate %s: %v", cand, err)
+			continue
+		}
+		if gen > targetGen {
+			targetGen = gen
+		}
+		if target == "" || events > best {
+			target, best = cand, events
+		}
+	}
+	if target == "" {
+		c.logf("failover: %s is down and every candidate is unreachable", node)
+		return
+	}
+	newGen := targetGen + 1
+	if downGen >= newGen {
+		newGen = downGen + 1
+	}
+	var res struct {
+		Generation uint64 `json:"generation"`
+	}
+	if err := c.post(target, "/v1/promote", map[string]any{"generation": newGen}, &res); err != nil {
+		c.logf("failover: promoting %s to generation %d: %v", target, newGen, err)
+		return
+	}
+	c.proxy.PromoteRoute(node, target, newGen)
+	promotions.Add(1)
+	rec := &Record{Node: node, Target: target, Generation: newGen, PromotedAt: time.Now()}
+	c.mu.Lock()
+	if at, ok := c.suspectAt[node]; ok {
+		rec.DetectToPromote = time.Since(at)
+		delete(c.suspectAt, node)
+	}
+	c.last = rec
+	c.mu.Unlock()
+	c.logf("failover: promoted %s to generation %d for %s (detect->promote %v)",
+		target, newGen, node, rec.DetectToPromote)
+}
+
+// fence demotes a recovering ex-primary to a follower of whoever
+// replaced it. Without a promoted route there is nothing to fence —
+// the node recovered inside the suspect window.
+func (c *Coordinator) fence(node string) {
+	route := c.proxy.Routes()[node]
+	if route.Target == "" {
+		return
+	}
+	err := c.post(node, "/v1/demote", map[string]any{
+		"generation": route.Generation, "primary": route.Target,
+	}, nil)
+	if err != nil {
+		c.logf("failover: fencing recovered %s behind %s: %v", node, route.Target, err)
+		return
+	}
+	demotions.Add(1)
+	c.logf("failover: fenced recovered %s as follower of %s at generation %d",
+		node, route.Target, route.Generation)
+}
+
+// position reads a candidate follower's total applied events (its
+// catch-up position) and its current generation.
+func (c *Coordinator) position(candidate string) (events, gen uint64, err error) {
+	resp, err := c.client.Get(candidate + "/v1/snapshots")
+	if err != nil {
+		return 0, 0, err
+	}
+	var list struct {
+		Snapshots []core.SnapshotInfo `json:"snapshots"`
+	}
+	if err := decode(resp, &list); err != nil {
+		return 0, 0, err
+	}
+	for _, s := range list.Snapshots {
+		if s.Kind == "live" {
+			events += s.Events
+		}
+	}
+	resp, err = c.client.Get(candidate + "/healthz")
+	if err != nil {
+		return 0, 0, err
+	}
+	var hz struct {
+		Generation uint64 `json:"generation"`
+	}
+	if err := decode(resp, &hz); err != nil {
+		return 0, 0, err
+	}
+	return events, hz.Generation, nil
+}
+
+// post issues one JSON POST and decodes a 200 answer into out (nil =
+// discard).
+func (c *Coordinator) post(node, path string, body any, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Post(node+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		out = &struct{}{}
+	}
+	return decode(resp, out)
+}
+
+// decode consumes one response, turning non-200 statuses into errors.
+func decode(resp *http.Response, out any) error {
+	defer func() { _ = resp.Body.Close() }() // fully read below
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(b))
+	}
+	return json.Unmarshal(b, out)
+}
+
+// Process-wide failover counters, exported as expvars.
+var (
+	promotions = expvar.NewInt("failoverPromotions")
+	demotions  = expvar.NewInt("failoverDemotions")
+)

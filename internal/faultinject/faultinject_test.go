@@ -1,0 +1,120 @@
+package faultinject
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestFireDisarmedIsNil(t *testing.T) {
+	defer Reset()
+	if f := Fire("nope"); f != nil {
+		t.Fatalf("disarmed point fired: %+v", f)
+	}
+	if err := Err("nope"); err != nil {
+		t.Fatalf("disarmed Err = %v", err)
+	}
+}
+
+func TestCountDisarmsAfterExhaustion(t *testing.T) {
+	defer Reset()
+	injected := errors.New("boom")
+	Arm("p", Fault{Err: injected, Count: 2})
+	for i := 0; i < 2; i++ {
+		if err := Err("p"); !errors.Is(err, injected) {
+			t.Fatalf("fire %d: err = %v, want %v", i, err, injected)
+		}
+	}
+	if err := Err("p"); err != nil {
+		t.Fatalf("exhausted point still fired: %v", err)
+	}
+	if names := Active(); len(names) != 0 {
+		t.Fatalf("exhausted point still armed: %v", names)
+	}
+}
+
+func TestTornDefaultsToCrashError(t *testing.T) {
+	defer Reset()
+	Arm("p", Fault{Torn: true})
+	err := Err("p")
+	if !IsCrash(err) {
+		t.Fatalf("torn fault error %v is not a crash", err)
+	}
+}
+
+func TestMatchFiltersWithoutConsumingCount(t *testing.T) {
+	defer Reset()
+	Arm("p", Fault{Err: errors.New("cut"), Match: "/v1/ingest/", Count: 1})
+	if f := FireURL("p", "http://a/v1/stats"); f != nil {
+		t.Fatalf("non-matching URL fired: %+v", f)
+	}
+	if f := FireURL("p", "http://a/v1/ingest/s"); f == nil {
+		t.Fatal("matching URL did not fire")
+	}
+	if f := FireURL("p", "http://a/v1/ingest/s"); f != nil {
+		t.Fatal("count=1 point fired twice")
+	}
+}
+
+func TestTransportDropsAndRecovers(t *testing.T) {
+	defer Reset()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	cli := &http.Client{Transport: Transport("t.transport", nil)}
+	Arm("t.transport", Fault{Err: errors.New("cable cut"), Count: 1})
+	if _, err := cli.Get(srv.URL); err == nil {
+		t.Fatal("armed transport let the request through")
+	}
+	resp, err := cli.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("recovered transport failed: %v", err)
+	}
+	_ = resp.Body.Close() // empty test response
+}
+
+func TestParseScheduleRoundTrip(t *testing.T) {
+	steps, err := ParseSchedule("3s:kill=http://a:1; 100ms:arm=http://b:2@wal.fsync,err=dead disk,count=3,delay=20ms,torn ;1s:arm=@wal.slow,delay=5ms;4s:reset=http://b:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 4 {
+		t.Fatalf("parsed %d steps, want 4", len(steps))
+	}
+	if steps[0].Action != "kill" || steps[0].Target != "http://a:1" || steps[0].At != 3*time.Second {
+		t.Fatalf("kill step parsed as %+v", steps[0])
+	}
+	arm := steps[1]
+	if arm.Target != "http://b:2" || arm.Spec.Point != "wal.fsync" || arm.Spec.ErrMsg != "dead disk" ||
+		arm.Spec.Count != 3 || arm.Spec.DelayMs != 20 || !arm.Spec.Torn {
+		t.Fatalf("arm step parsed as %+v", arm)
+	}
+	if local := steps[2]; local.Target != "" || local.Spec.Point != "wal.slow" {
+		t.Fatalf("in-process step parsed as %+v", local)
+	}
+	if steps[3].Action != "reset" || steps[3].Spec.Action != "reset" {
+		t.Fatalf("reset step parsed as %+v", steps[3])
+	}
+	for _, bad := range []string{"nocolon", "1s:frob=x", "1s:arm=http://a", "xs:kill=http://a", "1s:kill="} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Fatalf("schedule %q parsed without error", bad)
+		}
+	}
+}
+
+func TestFaultSpecApply(t *testing.T) {
+	defer Reset()
+	if err := (FaultSpec{Action: "arm", Point: "x", ErrMsg: "io error", Count: 1}).Apply(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Err("x"); err == nil || !errors.Is(err, err) {
+		t.Fatalf("armed spec did not fire: %v", err)
+	}
+	if err := (FaultSpec{Action: "frob"}).Apply(); err == nil {
+		t.Fatal("unknown action applied")
+	}
+	if err := (FaultSpec{Action: "reset"}).Apply(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// FaultSpec is the wire form of an Arm/Disarm/Reset request — what the
+// chaos endpoints (`lipstick serve -chaos` registers /v1/chaos/fault)
+// accept and the schedule runner posts.
+type FaultSpec struct {
+	Action  string `json:"action"` // arm | disarm | reset
+	Point   string `json:"point,omitempty"`
+	ErrMsg  string `json:"err,omitempty"`
+	DelayMs int64  `json:"delayMs,omitempty"`
+	Torn    bool   `json:"torn,omitempty"`
+	Match   string `json:"match,omitempty"`
+	Count   int64  `json:"count,omitempty"`
+}
+
+// Apply executes the spec against this process's registry.
+func (s FaultSpec) Apply() error {
+	switch s.Action {
+	case "arm":
+		if s.Point == "" {
+			return fmt.Errorf("faultinject: arm needs a point name")
+		}
+		f := Fault{Delay: time.Duration(s.DelayMs) * time.Millisecond, Torn: s.Torn, Match: s.Match, Count: s.Count}
+		if s.ErrMsg != "" {
+			f.Err = fmt.Errorf("faultinject: %s", s.ErrMsg)
+		}
+		Arm(s.Point, f)
+	case "disarm":
+		if s.Point == "" {
+			return fmt.Errorf("faultinject: disarm needs a point name")
+		}
+		Disarm(s.Point)
+	case "reset":
+		Reset()
+	default:
+		return fmt.Errorf("faultinject: unknown action %q", s.Action)
+	}
+	return nil
+}
+
+// Step is one timed chaos action against a running topology.
+type Step struct {
+	At     time.Duration // offset from schedule start
+	Action string        // kill | arm | disarm | reset
+	Target string        // node base URL; "" applies arm/disarm/reset in-process
+	Spec   FaultSpec     // arm/disarm/reset payload
+}
+
+// ParseSchedule decodes a chaos schedule: semicolon-separated steps of
+// the form
+//
+//	<offset>:kill=<nodeURL>
+//	<offset>:arm=<nodeURL>@<point>[,err=<msg>][,delay=<dur>][,torn][,match=<s>][,count=<n>]
+//	<offset>:disarm=<nodeURL>@<point>
+//	<offset>:reset=<nodeURL>
+//
+// where <offset> is a Go duration from schedule start (e.g. "3s"). An
+// empty <nodeURL> (a leading "@") applies the fault inside the calling
+// process. Example:
+//
+//	3s:kill=http://127.0.0.1:8301;5s:arm=@wal.slow,delay=20ms
+func ParseSchedule(s string) ([]Step, error) {
+	var steps []Step
+	for _, raw := range strings.Split(s, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		offsetStr, rest, ok := strings.Cut(raw, ":")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: step %q: want <offset>:<action>=<args>", raw)
+		}
+		at, err := time.ParseDuration(strings.TrimSpace(offsetStr))
+		if err != nil || at < 0 {
+			return nil, fmt.Errorf("faultinject: step %q: bad offset %q", raw, offsetStr)
+		}
+		action, args, ok := strings.Cut(rest, "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: step %q: want <action>=<args>", raw)
+		}
+		step := Step{At: at, Action: strings.TrimSpace(action)}
+		switch step.Action {
+		case "kill", "reset":
+			step.Target = strings.TrimSpace(args)
+			step.Spec = FaultSpec{Action: "reset"}
+		case "arm", "disarm":
+			parts := strings.Split(args, ",")
+			target, point, ok := strings.Cut(strings.TrimSpace(parts[0]), "@")
+			if !ok || point == "" {
+				return nil, fmt.Errorf("faultinject: step %q: want %s=<nodeURL>@<point>", raw, step.Action)
+			}
+			step.Target = target
+			step.Spec = FaultSpec{Action: step.Action, Point: point}
+			for _, opt := range parts[1:] {
+				key, val, _ := strings.Cut(strings.TrimSpace(opt), "=")
+				switch key {
+				case "err":
+					step.Spec.ErrMsg = val
+				case "delay":
+					d, err := time.ParseDuration(val)
+					if err != nil {
+						return nil, fmt.Errorf("faultinject: step %q: bad delay %q", raw, val)
+					}
+					step.Spec.DelayMs = d.Milliseconds()
+				case "torn":
+					step.Spec.Torn = true
+				case "match":
+					step.Spec.Match = val
+				case "count":
+					n, err := strconv.ParseInt(val, 10, 64)
+					if err != nil {
+						return nil, fmt.Errorf("faultinject: step %q: bad count %q", raw, val)
+					}
+					step.Spec.Count = n
+				default:
+					return nil, fmt.Errorf("faultinject: step %q: unknown option %q", raw, opt)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("faultinject: step %q: unknown action %q (kill|arm|disarm|reset)", raw, step.Action)
+		}
+		if step.Action == "kill" && step.Target == "" {
+			return nil, fmt.Errorf("faultinject: step %q: kill needs a node URL", raw)
+		}
+		steps = append(steps, step)
+	}
+	return steps, nil
+}
+
+// RunSchedule executes the steps in offset order against their targets:
+// kill posts /v1/chaos/kill (the node answers, then exits non-zero —
+// connection errors after the post are the expected outcome);
+// arm/disarm/reset post /v1/chaos/fault, or apply in-process when the
+// step has no target. It returns on context cancellation or the first
+// step that fails to apply.
+func RunSchedule(ctx context.Context, steps []Step, logf func(format string, args ...any)) error {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	cli := &http.Client{Timeout: 5 * time.Second}
+	start := time.Now()
+	for _, step := range steps {
+		if d := step.At - time.Since(start); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+		}
+		if err := runStep(cli, step, logf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runStep(cli *http.Client, step Step, logf func(format string, args ...any)) error {
+	switch step.Action {
+	case "kill":
+		logf("chaos: killing %s", step.Target)
+		resp, err := cli.Post(step.Target+"/v1/chaos/kill", "application/json", nil)
+		if err != nil {
+			// The node may die before finishing the response — that IS
+			// the kill landing, not a schedule failure.
+			logf("chaos: kill %s: %v (node likely already down)", step.Target, err)
+			return nil
+		}
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12)) // drain for reuse
+		_ = resp.Body.Close()                                        // status already tells the story
+		return nil
+	case "arm", "disarm", "reset":
+		if step.Target == "" {
+			logf("chaos: %s %s (in-process)", step.Spec.Action, step.Spec.Point)
+			return step.Spec.Apply()
+		}
+		logf("chaos: %s %s on %s", step.Spec.Action, step.Spec.Point, step.Target)
+		body, err := json.Marshal(step.Spec)
+		if err != nil {
+			return err
+		}
+		resp, err := cli.Post(step.Target+"/v1/chaos/fault", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("faultinject: %s on %s: %w", step.Spec.Action, step.Target, err)
+		}
+		payload, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		_ = resp.Body.Close() // status/body captured above
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("faultinject: %s on %s: %s: %s", step.Spec.Action, step.Target, resp.Status, payload)
+		}
+		return nil
+	default:
+		return fmt.Errorf("faultinject: unknown action %q", step.Action)
+	}
+}

@@ -1,0 +1,32 @@
+package faultinject
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Transport wraps base so every request consults the named failpoint
+// before hitting the wire: an armed Err drops the request (a cut
+// cable), Delay alone makes the link slow, and Match restricts the
+// fault to URLs containing a substring. Because each side of a
+// conversation owns its own transport, arming only one side's point
+// partitions the link in one direction — the classic asymmetric
+// network split.
+func Transport(name string, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &transport{name: name, base: base}
+}
+
+type transport struct {
+	name string
+	base http.RoundTripper
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if f := FireURL(t.name, req.URL.String()); f != nil && f.Err != nil {
+		return nil, fmt.Errorf("faultinject: %s dropped %s %s: %w", t.name, req.Method, req.URL, f.Err)
+	}
+	return t.base.RoundTrip(req)
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"lipstick/internal/core"
+	"lipstick/internal/faultinject"
 	"lipstick/internal/provgraph"
 	"lipstick/internal/serve"
 	"lipstick/internal/store"
@@ -36,8 +37,13 @@ type Client struct {
 }
 
 // NewClient returns a replication client for the primary at baseURL.
+// The transport passes through the "replica.transport" failpoint so
+// chaos schedules can drop or delay the replication stream.
 func NewClient(baseURL string) *Client {
-	return &Client{base: baseURL, http: &http.Client{Timeout: 30 * time.Second}}
+	return &Client{base: baseURL, http: &http.Client{
+		Timeout:   30 * time.Second,
+		Transport: faultinject.Transport("replica.transport", nil),
+	}}
 }
 
 // get issues one GET and returns the response; non-2xx responses are

@@ -35,21 +35,31 @@ type Follower struct {
 	poll  time.Duration
 	batch int
 	logf  func(format string, args ...any)
+	gen   func() uint64 // local node generation for zombie-primary checks
 
 	// Lag gauges, written by the tail loop only. primarySeq/lastPollNs
 	// describe the last successful status poll of the primary;
-	// appliedSeq is the local durable position.
+	// appliedSeq is the local durable position; pollFails counts
+	// consecutive failed polls (the primary-gone signal).
 	primarySeq atomic.Uint64 // published via primarySeq
 	appliedSeq atomic.Uint64 // published via appliedSeq
 	lastPollNs atomic.Int64  // published via lastPollNs
+	pollFails  atomic.Int64  // published via pollFails
 
 	stop chan struct{}
 	done chan struct{}
 }
 
-// Lag reports how far this follower trails its primary. LagMs is the age
-// of the freshest primary poll — 0 lag with a stale poll means the
-// primary is unreachable, not caught up.
+// unreachableAfter is how many consecutive failed primary polls flip a
+// stream's health state to "unreachable": enough to ride out one
+// dropped packet, few enough that a dead primary shows within ~3 polls.
+const unreachableAfter = 3
+
+// Lag reports how far this follower trails its primary, plus the
+// stream's health state: "tailing" (caught up), "catching-up", or
+// "unreachable" once unreachableAfter consecutive polls failed — the
+// state aggregators use to keep a dead primary's ever-growing poll age
+// out of the worst-lag gauges.
 func (f *Follower) Lag() serve.ReplicaLag {
 	primary, applied := f.primarySeq.Load(), f.appliedSeq.Load()
 	lag := serve.ReplicaLag{PrimarySeq: primary, AppliedSeq: applied}
@@ -58,6 +68,15 @@ func (f *Follower) Lag() serve.ReplicaLag {
 	}
 	if last := f.lastPollNs.Load(); last > 0 {
 		lag.LagMs = time.Since(time.Unix(0, last)).Milliseconds()
+	}
+	switch {
+	case f.pollFails.Load() >= unreachableAfter:
+		lag.State = "unreachable"
+		lag.Unreachable = true
+	case lag.LagSeq > 0:
+		lag.State = "catching-up"
+	default:
+		lag.State = "tailing"
 	}
 	return lag
 }
@@ -84,12 +103,27 @@ func (f *Follower) run() {
 		}
 		st, err := f.cli.Status(f.name)
 		if err != nil {
+			f.pollFails.Add(1)
 			f.logf("replica: %s: polling primary: %v", f.name, err)
 			if !f.sleep(f.poll) {
 				return
 			}
 			continue
 		}
+		if gen := f.gen(); gen > 0 && st.Generation > 0 && st.Generation < gen {
+			// The "primary" answers with an older generation than ours: a
+			// zombie ex-primary came back after we were promoted past it.
+			// Tailing it would apply a forked history — refuse and report
+			// it unreachable until it rejoins at a current generation.
+			f.pollFails.Add(1)
+			f.logf("replica: %s: primary at stale generation %d (local %d); refusing to tail a zombie",
+				f.name, st.Generation, gen)
+			if !f.sleep(f.poll) {
+				return
+			}
+			continue
+		}
+		f.pollFails.Store(0)
 		f.primarySeq.Store(st.Seq)
 		f.lastPollNs.Store(time.Now().UnixNano())
 		applied := lg.Seq()

@@ -23,6 +23,7 @@ type Manager struct {
 	poll  time.Duration
 	batch int
 	logf  func(format string, args ...any)
+	gen   func() uint64 // local node generation; zero value means "don't check"
 
 	mu        sync.Mutex
 	followers map[string]*Follower // guarded by mu
@@ -54,6 +55,19 @@ func WithBatchEvents(n int) ManagerOption {
 	}
 }
 
+// WithGenerationFunc supplies the local node's failover generation
+// (serve.Service.Generation). When set, a follower refuses to tail a
+// primary reporting an older generation — a zombie ex-primary that came
+// back after this node was promoted past it — and reports the stream
+// unreachable instead of applying a forked history.
+func WithGenerationFunc(fn func() uint64) ManagerOption {
+	return func(m *Manager) {
+		if fn != nil {
+			m.gen = fn
+		}
+	}
+}
+
 // WithLogf routes the manager's diagnostics (default log.Printf).
 func WithLogf(fn func(format string, args ...any)) ManagerOption {
 	return func(m *Manager) {
@@ -73,6 +87,7 @@ func NewManager(reg *core.Registry, primaryURL string, opts ...ManagerOption) *M
 		poll:      DefaultPollInterval,
 		batch:     DefaultBatchEvents,
 		logf:      log.Printf,
+		gen:       func() uint64 { return 0 },
 		followers: make(map[string]*Follower),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
@@ -129,7 +144,7 @@ func (m *Manager) follow(name string) {
 	}
 	f := &Follower{
 		name: name, reg: m.reg, cli: m.cli,
-		poll: m.poll, batch: m.batch, logf: m.logf,
+		poll: m.poll, batch: m.batch, logf: m.logf, gen: m.gen,
 		stop: m.stop, done: make(chan struct{}),
 	}
 	m.followers[name] = f
@@ -209,8 +224,11 @@ func deregisterManager(m *Manager) {
 	delete(managers, m)
 }
 
-// worstLag folds every follower's lag into the two gauge values.
-func worstLag() (lagSeq uint64, lagMs int64) {
+// worstLag folds every reachable follower's lag into the two gauge
+// values. Streams whose primary is unreachable are excluded — their
+// poll age grows without bound once the primary is gone, which used to
+// pin the worst-lag gauges at "stuck forever" — and counted separately.
+func worstLag() (lagSeq uint64, lagMs int64, unreachable int) {
 	managersMu.Lock()
 	mgrs := make([]*Manager, 0, len(managers))
 	for m := range managers {
@@ -226,6 +244,10 @@ func worstLag() (lagSeq uint64, lagMs int64) {
 		m.mu.Unlock()
 		for _, f := range followers {
 			lag := f.Lag()
+			if lag.Unreachable {
+				unreachable++
+				continue
+			}
 			if lag.LagSeq > lagSeq {
 				lagSeq = lag.LagSeq
 			}
@@ -234,16 +256,20 @@ func worstLag() (lagSeq uint64, lagMs int64) {
 			}
 		}
 	}
-	return lagSeq, lagMs
+	return lagSeq, lagMs, unreachable
 }
 
 func init() {
 	expvar.Publish("replicationLagSeq", expvar.Func(func() any {
-		s, _ := worstLag()
+		s, _, _ := worstLag()
 		return s
 	}))
 	expvar.Publish("replicationLagMs", expvar.Func(func() any {
-		_, ms := worstLag()
+		_, ms, _ := worstLag()
 		return ms
+	}))
+	expvar.Publish("replicationUnreachable", expvar.Func(func() any {
+		_, _, n := worstLag()
+		return n
 	}))
 }

@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"net/http"
+	"os"
+	"time"
+
+	"lipstick/internal/faultinject"
+)
+
+// Chaos control plane, opt-in via EnableChaos (the `serve -chaos` flag)
+// and meant for test topologies only: it lets a schedule runner arm
+// failpoints in a remote process and kill it mid-stream.
+//
+//	POST /v1/chaos/fault   {"action":"arm"|"disarm"|"reset", "point":..., ...}
+//	GET  /v1/chaos/points  {"points": [...]}
+//	POST /v1/chaos/kill    {"status":"dying"} — then the process exits 137
+//
+// EnableChaos must be called before Handler builds the mux.
+
+// chaosExitDelay gives the kill response time to flush before exit.
+const chaosExitDelay = 150 * time.Millisecond
+
+// EnableChaos turns the chaos endpoints on. exit overrides os.Exit for
+// tests; nil selects os.Exit.
+func (s *Service) EnableChaos(exit func(code int)) {
+	if exit == nil {
+		exit = os.Exit
+	}
+	s.chaosExit = exit
+}
+
+// chaosRoutes registers the chaos endpoints when EnableChaos was called.
+func (s *Service) chaosRoutes(handle func(pattern string, fn func(r *http.Request) (any, error))) {
+	if s.chaosExit == nil {
+		return
+	}
+	handle("POST /v1/chaos/fault", func(r *http.Request) (any, error) {
+		var spec faultinject.FaultSpec
+		if err := decodeJSON(r, &spec); err != nil {
+			return nil, err
+		}
+		if err := spec.Apply(); err != nil {
+			return nil, badRequestf("%v", err)
+		}
+		return map[string]any{"status": "ok", "points": faultinject.Active()}, nil
+	})
+	handle("GET /v1/chaos/points", func(*http.Request) (any, error) {
+		return map[string]any{"points": faultinject.Active()}, nil
+	})
+	handle("POST /v1/chaos/kill", func(*http.Request) (any, error) {
+		exit := s.chaosExit
+		go func() {
+			time.Sleep(chaosExitDelay)
+			exit(137)
+		}()
+		return map[string]string{"status": "dying"}, nil
+	})
+}

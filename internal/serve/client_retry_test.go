@@ -186,3 +186,137 @@ func TestIngestClientFatalStatusIsNotRetried(t *testing.T) {
 		t.Fatalf("server saw %d attempts, want 1", backend.attempts)
 	}
 }
+
+// failoverBackend acks writes like retryBackend, then simulates a
+// failover to a trailing promoted follower: its sequence rolls back and
+// a configurable window of 503+Retry-After rejections precedes it.
+type failoverBackend struct {
+	mu        sync.Mutex
+	seq       uint64 // guarded by mu
+	reject503 int    // remaining suspect-window rejections; guarded by mu
+	gaps      int    // ingest-gap responses served; guarded by mu
+	applied   []uint64
+}
+
+func (b *failoverBackend) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if b.reject503 > 0 {
+			b.reject503--
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]any{"error": "failover in progress", "kind": "failover"})
+			return
+		}
+		first, events, err := store.DecodeEventBatch(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		switch {
+		case first == b.seq+1:
+			for i := range events {
+				b.applied = append(b.applied, first+uint64(i))
+			}
+			b.seq += uint64(len(events))
+		case first > b.seq+1:
+			b.gaps++
+			w.WriteHeader(http.StatusConflict)
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"error": "sequence gap", "kind": "ingest-gap",
+				"expected": b.seq + 1, "got": first,
+			})
+			return
+		default:
+			// Duplicate prefix: dedupe by sequence, apply the rest.
+			for i := range events {
+				if s := first + uint64(i); s > b.seq {
+					b.applied = append(b.applied, s)
+					b.seq = s
+				}
+			}
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{"seq": b.seq})
+	})
+}
+
+func TestIngestClientRewindsThroughFailover(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	backend := &failoverBackend{}
+	srv := httptest.NewServer(backend.handler())
+	defer srv.Close()
+
+	c := NewIngestClient(srv.URL, "failover", 4)
+	c.RetryBase = time.Millisecond
+	c.sleep = func(time.Duration) {}
+	events := testEvents(12)
+	for _, ev := range events[:8] {
+		c.Record(ev)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("pre-failover flush: %v", err)
+	}
+	// The primary dies: the promoted follower only replicated 5 of the 8
+	// acked events and rejects writes during the suspect window.
+	backend.mu.Lock()
+	backend.seq = 5
+	backend.applied = backend.applied[:5]
+	backend.reject503 = 2
+	backend.mu.Unlock()
+	for _, ev := range events[8:] {
+		c.Record(ev)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("post-failover flush: %v", err)
+	}
+	if got := c.Sent(); got != 12 {
+		t.Fatalf("Sent = %d, want 12", got)
+	}
+	backend.mu.Lock()
+	defer backend.mu.Unlock()
+	if backend.seq != 12 {
+		t.Fatalf("server seq = %d, want 12 (zero acked-write loss)", backend.seq)
+	}
+	if backend.gaps == 0 {
+		t.Fatal("the rewind path was never exercised")
+	}
+	// Exactly-once: every sequence applied once, in order, no duplicates.
+	seen := map[uint64]bool{}
+	for _, s := range backend.applied {
+		if seen[s] {
+			t.Fatalf("sequence %d applied twice", s)
+		}
+		seen[s] = true
+	}
+	for s := uint64(1); s <= 12; s++ {
+		if !seen[s] {
+			t.Fatalf("sequence %d never applied", s)
+		}
+	}
+}
+
+func TestIngestClientRewindBeyondRetainWindowIsSticky(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	backend := &failoverBackend{}
+	srv := httptest.NewServer(backend.handler())
+	defer srv.Close()
+
+	c := NewIngestClient(srv.URL, "lost", 4)
+	c.RetryBase = time.Millisecond
+	c.RetainEvents = -1 // no replay window
+	c.sleep = func(time.Duration) {}
+	for _, ev := range testEvents(8) {
+		c.Record(ev)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	backend.mu.Lock()
+	backend.seq = 3 // promoted follower lost acked events 4..8
+	backend.mu.Unlock()
+	c.Record(testEvents(1)[0])
+	if err := c.Flush(); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("unrecoverable gap error = %v, want a loud 409 failure", err)
+	}
+}

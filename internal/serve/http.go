@@ -92,11 +92,14 @@ func (s *Service) Handler(snapshot string) http.Handler {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		_, follower := s.FollowerPrimary()
 		writeJSON(w, http.StatusOK, map[string]any{
-			"status":    "ok",
-			"snapshot":  snapshot,
-			"snapshots": s.reg.NumSnapshots(),
-			"sessions":  s.reg.NumSessions(),
+			"status":     "ok",
+			"snapshot":   snapshot,
+			"snapshots":  s.reg.NumSnapshots(),
+			"sessions":   s.reg.NumSessions(),
+			"generation": s.Generation(),
+			"follower":   follower,
 		})
 	})
 
@@ -233,15 +236,50 @@ func (s *Service) Handler(snapshot string) http.Handler {
 	s.replicaRoutes(mux, handle)
 
 	// Streaming ingestion: binary event batches into named live graphs.
+	// Writes are generation-fenced: a stamped request whose epoch does
+	// not match this node's is rejected 409 (see fenceCheck).
 	handle("POST /v1/ingest/{name}", func(r *http.Request) (any, error) {
+		if err := s.fenceCheck(r); err != nil {
+			return nil, err
+		}
 		return s.Ingest(r.PathValue("name"), http.MaxBytesReader(nil, r.Body, maxIngestBytes))
 	})
 	handle("GET /v1/ingest/{name}", func(r *http.Request) (any, error) {
 		return s.IngestStatus(r.PathValue("name"))
 	})
 	handle("POST /v1/ingest/{name}/checkpoint", func(r *http.Request) (any, error) {
+		if err := s.fenceCheck(r); err != nil {
+			return nil, err
+		}
 		return s.CheckpointLive(r.PathValue("name"))
 	})
+
+	// Failover control plane: the coordinator promotes the most
+	// caught-up follower with a bumped generation and demotes a zombie
+	// ex-primary back to follower.
+	handle("POST /v1/promote", func(r *http.Request) (any, error) {
+		var req struct {
+			Generation uint64 `json:"generation"`
+		}
+		if err := decodeJSON(r, &req); err != nil {
+			return nil, err
+		}
+		return s.PromoteToPrimary(req.Generation)
+	})
+	handle("POST /v1/demote", func(r *http.Request) (any, error) {
+		var req struct {
+			Generation uint64 `json:"generation"`
+			Primary    string `json:"primary"`
+		}
+		if err := decodeJSON(r, &req); err != nil {
+			return nil, err
+		}
+		return s.DemoteToFollower(req.Primary, req.Generation)
+	})
+
+	// Chaos endpoints (opt-in via serve -chaos): remote-controlled
+	// failpoints and a kill switch for the schedule runner.
+	s.chaosRoutes(handle)
 
 	// Session lifecycle and transformations.
 	handle("POST /v1/sessions", func(r *http.Request) (any, error) {
@@ -442,7 +480,12 @@ func statusFor(err error) int {
 	var gap *core.SeqGapError
 	var over *core.OverloadedError
 	var fol *FollowerError
+	var fenced *FencedError
 	switch {
+	case errors.As(err, &fenced):
+		// 409 like an ingest gap: the request and the node disagree about
+		// cluster state, and retrying verbatim cannot help.
+		return http.StatusConflict
 	case errors.As(err, &bad):
 		return http.StatusBadRequest
 	case errors.As(err, &name):
@@ -502,6 +545,14 @@ func writeErr(w http.ResponseWriter, err error) {
 	if errors.As(err, &fol) {
 		writeJSON(w, http.StatusForbidden, map[string]string{
 			"error": err.Error(), "kind": "follower", "primary": fol.Primary,
+		})
+		return
+	}
+	var fenced *FencedError
+	if errors.As(err, &fenced) {
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error": err.Error(), "kind": "fenced",
+			"nodeGeneration": fenced.NodeGeneration, "requestGeneration": fenced.RequestGeneration,
 		})
 		return
 	}

@@ -6,7 +6,10 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 
 	"lipstick/internal/core"
@@ -37,6 +40,14 @@ type ReplicaLag struct {
 	// successful poll of the primary (freshness of PrimarySeq itself).
 	LagSeq uint64 `json:"replicationLagSeq"`
 	LagMs  int64  `json:"replicationLagMs"`
+	// State is the follower's health view of the stream: "tailing"
+	// (caught up), "catching-up" (applying a backlog), or "unreachable"
+	// (consecutive primary polls failed — the primary is likely gone).
+	State string `json:"state,omitempty"`
+	// Unreachable mirrors State == "unreachable"; aggregations exclude
+	// such streams from the LagMs maxima, which would otherwise read as
+	// ever-growing lag for a dead primary.
+	Unreachable bool `json:"unreachable,omitempty"`
 }
 
 // ReplicaLagFunc reports the replication lag of one followed stream; ok
@@ -44,10 +55,19 @@ type ReplicaLag struct {
 type ReplicaLagFunc func(name string) (ReplicaLag, bool)
 
 // replicaState is the Service's runtime replication role. Promotion flips
-// the role while requests are in flight, so the fields are atomics.
+// the role while requests are in flight, so the fields are atomics;
+// roleMu serializes whole role transitions (promote/demote), which span
+// several of them plus the hooks.
 type replicaState struct {
 	primary atomic.Pointer[string]         // published via primary; non-nil = follower mode
 	lagFn   atomic.Pointer[ReplicaLagFunc] // published via lagFn
+	// generation is the node's fencing epoch: writes stamped with a
+	// different generation are rejected (see fenceCheck). Persisted to
+	// <liveDir>/GENERATION so a restarted ex-primary stays fenced.
+	generation  atomic.Uint64                      // published via generation
+	promoteHook atomic.Pointer[func() error]       // published via promoteHook
+	demoteHook  atomic.Pointer[func(string) error] // published via demoteHook
+	roleMu      sync.Mutex
 }
 
 // SetFollower puts the service in follower mode: ingestion and forced
@@ -94,10 +114,18 @@ func (s *Service) replicaLag(name string) (ReplicaLag, bool) {
 type ReplicationStats struct {
 	Follower bool   `json:"follower"`
 	Primary  string `json:"primary,omitempty"`
-	// LagSeq / LagMs are the maxima across followed streams: events
-	// behind the primary, and the age of the freshest primary poll.
+	// Generation is the node's fencing epoch (bumped by promotion).
+	Generation uint64 `json:"generation"`
+	// LagSeq / LagMs are the maxima across reachable followed streams:
+	// events behind the primary, and the age of the freshest primary
+	// poll. Streams whose primary stopped answering are excluded (their
+	// poll age grows without bound) and counted in Unreachable instead.
 	LagSeq uint64 `json:"replicationLagSeq"`
 	LagMs  int64  `json:"replicationLagMs"`
+	// Unreachable counts followed streams whose primary is gone; States
+	// maps each followed stream to its health state.
+	Unreachable int               `json:"unreachableStreams,omitempty"`
+	States      map[string]string `json:"streamStates,omitempty"`
 }
 
 // replicationStats summarizes the replication role for Stats; nil when
@@ -108,11 +136,21 @@ func (s *Service) replicationStats() *ReplicationStats {
 	if !follower && fn == nil {
 		return nil
 	}
-	res := &ReplicationStats{Follower: follower, Primary: primary}
+	res := &ReplicationStats{Follower: follower, Primary: primary, Generation: s.Generation()}
 	if fn != nil {
 		for _, lg := range s.reg.LiveGraphs() {
 			lag, ok := (*fn)(lg.Name())
 			if !ok {
+				continue
+			}
+			if lag.State != "" {
+				if res.States == nil {
+					res.States = map[string]string{}
+				}
+				res.States[lg.Name()] = lag.State
+			}
+			if lag.Unreachable {
+				res.Unreachable++
 				continue
 			}
 			if lag.LagSeq > res.LagSeq {
@@ -155,6 +193,9 @@ type ReplicaStatusResult struct {
 	Seq           uint64 `json:"seq"`
 	AppliedSeq    uint64 `json:"appliedSeq"`
 	CheckpointSeq uint64 `json:"checkpointSeq"`
+	// Generation is the serving node's fencing epoch: a follower tailing
+	// a primary whose generation fell behind its own is tailing a zombie.
+	Generation uint64 `json:"generation"`
 }
 
 // ReplicaStatus reports a durable live graph's replication positions.
@@ -169,6 +210,7 @@ func (s *Service) ReplicaStatus(name string) (*ReplicaStatusResult, error) {
 	}
 	return &ReplicaStatusResult{
 		Name: name, Seq: durable, AppliedSeq: lg.Seq(), CheckpointSeq: lg.CheckpointSeq(),
+		Generation: s.Generation(),
 	}, nil
 }
 
@@ -267,4 +309,200 @@ func (s *Service) replicaRoutes(mux *http.ServeMux, handle func(pattern string, 
 		w.Header().Set("X-Lipstick-Checkpoint-Seq", strconv.FormatUint(seq, 10))
 		_, _ = io.Copy(w, f) // a broken pipe mid-copy is the client's problem
 	})
+}
+
+// Generation fencing. Every node carries a monotonic generation (epoch)
+// token, persisted under its live directory. The failover coordinator
+// promotes a follower with generation G+1; from then on the proxy stamps
+// writes with X-Lipstick-Generation, so a zombie ex-primary that rejoins
+// at the old generation rejects nothing silently: a stamped write hits
+// it with a NEWER generation, which is proof positive it was replaced —
+// it answers with a structured 409 ("fenced") and demotes itself to
+// follower of the primary named in X-Lipstick-Primary. Symmetrically, a
+// write stamped with an OLDER generation (a stale proxy) is rejected
+// without a role change.
+
+// generationFile is the per-node epoch persisted in the live directory.
+const generationFile = "GENERATION"
+
+// headers carrying the fencing epoch on proxied writes.
+const (
+	GenerationHeader = "X-Lipstick-Generation"
+	PrimaryHeader    = "X-Lipstick-Primary"
+)
+
+// FencedError rejects a write whose generation token does not match the
+// node's epoch — either side may be the zombie; the payload says which.
+type FencedError struct {
+	NodeGeneration    uint64
+	RequestGeneration uint64
+}
+
+// Error implements error.
+func (e *FencedError) Error() string {
+	if e.RequestGeneration > e.NodeGeneration {
+		return fmt.Sprintf("lipstick: this node is fenced: a newer generation %d exists (node is at %d)",
+			e.RequestGeneration, e.NodeGeneration)
+	}
+	return fmt.Sprintf("lipstick: stale generation %d rejected (node is at %d)",
+		e.RequestGeneration, e.NodeGeneration)
+}
+
+// Generation returns the node's fencing epoch (1 for a fresh node).
+func (s *Service) Generation() uint64 {
+	return s.replica.generation.Load()
+}
+
+// initGeneration loads the persisted epoch (default 1). Constructors
+// call it; an unreadable file degrades to the default — the node then
+// fences on the first stamped write, which is the safe direction.
+func (s *Service) initGeneration() {
+	gen := uint64(1)
+	if dir := s.reg.LiveDir(); dir != "" {
+		if raw, err := os.ReadFile(filepath.Join(dir, generationFile)); err == nil {
+			if g, perr := strconv.ParseUint(strings.TrimSpace(string(raw)), 10, 64); perr == nil && g > 0 {
+				gen = g
+			}
+		}
+	}
+	s.replica.generation.Store(gen)
+}
+
+// storeGeneration adopts and persists a new epoch.
+func (s *Service) storeGeneration(gen uint64) error {
+	s.replica.generation.Store(gen)
+	dir := s.reg.LiveDir()
+	if dir == "" {
+		return nil // in-memory node: the epoch lives and dies with the process
+	}
+	path := filepath.Join(dir, generationFile)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(strconv.FormatUint(gen, 10)+"\n"), 0o644); err != nil {
+		return fmt.Errorf("lipstick: persisting generation: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("lipstick: persisting generation: %w", err)
+	}
+	return nil
+}
+
+// SetPromoteHook installs the step a promotion runs before the role
+// flips — the server wires the replica manager's Promote (stop tailing,
+// deregister) here.
+func (s *Service) SetPromoteHook(fn func() error) {
+	s.replica.promoteHook.Store(&fn)
+}
+
+// SetDemoteHook installs the step a demotion runs before follower mode
+// engages — the server wires "start a replica manager against the new
+// primary" here.
+func (s *Service) SetDemoteHook(fn func(primary string) error) {
+	s.replica.demoteHook.Store(&fn)
+}
+
+// PromoteResult is the POST /v1/promote payload: the adopted generation
+// and the durable position of every local stream at promotion time.
+type PromoteResult struct {
+	Generation uint64           `json:"generation"`
+	Promoted   bool             `json:"promoted"`
+	Streams    []StreamPosition `json:"streams,omitempty"`
+}
+
+// StreamPosition is one stream's applied position.
+type StreamPosition struct {
+	Name string `json:"name"`
+	Seq  uint64 `json:"seq"`
+}
+
+// PromoteToPrimary adopts generation gen and, if the node is a
+// follower, stops the tail (promote hook) and starts accepting writes.
+// gen must exceed the node's epoch — equal or lower is fenced, which
+// makes promotion idempotent-safe: a duplicate request loses.
+func (s *Service) PromoteToPrimary(gen uint64) (*PromoteResult, error) {
+	s.replica.roleMu.Lock()
+	defer s.replica.roleMu.Unlock()
+	cur := s.Generation()
+	if gen <= cur {
+		return nil, &FencedError{NodeGeneration: cur, RequestGeneration: gen}
+	}
+	if _, follower := s.FollowerPrimary(); follower {
+		if hook := s.replica.promoteHook.Load(); hook != nil {
+			if err := (*hook)(); err != nil {
+				return nil, fmt.Errorf("lipstick: promote hook: %w", err)
+			}
+		}
+		s.Promote()
+	}
+	if err := s.storeGeneration(gen); err != nil {
+		return nil, err
+	}
+	res := &PromoteResult{Generation: gen, Promoted: true}
+	for _, lg := range s.reg.LiveGraphs() {
+		res.Streams = append(res.Streams, StreamPosition{Name: lg.Name(), Seq: lg.Seq()})
+	}
+	return res, nil
+}
+
+// DemoteResult is the POST /v1/demote payload.
+type DemoteResult struct {
+	Generation uint64 `json:"generation"`
+	Primary    string `json:"primary"`
+}
+
+// DemoteToFollower fences the node at generation gen and turns it into
+// a follower of primary — how a zombie ex-primary rejoins the cluster.
+// gen below the node's epoch is fenced (a stale coordinator must not
+// demote a newer primary).
+func (s *Service) DemoteToFollower(primary string, gen uint64) (*DemoteResult, error) {
+	if primary == "" {
+		return nil, badRequestf("demote: a primary URL is required")
+	}
+	s.replica.roleMu.Lock()
+	defer s.replica.roleMu.Unlock()
+	cur := s.Generation()
+	if gen < cur {
+		return nil, &FencedError{NodeGeneration: cur, RequestGeneration: gen}
+	}
+	if p, follower := s.FollowerPrimary(); !follower || p != primary {
+		if hook := s.replica.demoteHook.Load(); hook != nil {
+			if err := (*hook)(primary); err != nil {
+				return nil, fmt.Errorf("lipstick: demote hook: %w", err)
+			}
+		}
+		s.SetFollower(primary)
+	}
+	if gen > cur {
+		if err := s.storeGeneration(gen); err != nil {
+			return nil, err
+		}
+	}
+	return &DemoteResult{Generation: s.Generation(), Primary: primary}, nil
+}
+
+// fenceCheck guards a write endpoint: an unstamped request passes (a
+// direct client of a single node), a matching generation passes, and a
+// mismatch is a structured 409. A request carrying a NEWER generation
+// additionally proves this node was replaced while it was away — it
+// demotes itself to follower of the named new primary before rejecting.
+func (s *Service) fenceCheck(r *http.Request) error {
+	h := r.Header.Get(GenerationHeader)
+	if h == "" {
+		return nil
+	}
+	gen, err := strconv.ParseUint(h, 10, 64)
+	if err != nil || gen == 0 {
+		return badRequestf("bad %s header %q", GenerationHeader, h)
+	}
+	cur := s.Generation()
+	if gen == cur {
+		return nil
+	}
+	if gen > cur {
+		if primary := r.Header.Get(PrimaryHeader); primary != "" {
+			// Self-demotion may fail (hook error); the write is rejected
+			// either way, and the next stamped write retries the demotion.
+			_, _ = s.DemoteToFollower(primary, gen)
+		}
+	}
+	return &FencedError{NodeGeneration: cur, RequestGeneration: gen}
 }

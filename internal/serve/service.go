@@ -36,6 +36,9 @@ type Service struct {
 	// replica is the runtime replication role (follower mode, lag
 	// reporter); see replica.go.
 	replica replicaState
+	// chaosExit enables the chaos endpoints (see chaos.go); set once via
+	// EnableChaos before Handler builds the mux, nil keeps them off.
+	chaosExit func(code int)
 }
 
 // NewService builds a service over the given snapshot cache; a nil
@@ -46,13 +49,17 @@ func NewService(mgr *core.SnapshotManager) *Service {
 	if mgr == nil {
 		mgr = core.NewSnapshotManager(0)
 	}
-	return &Service{mgr: mgr, reg: core.NewRegistry(mgr), cache: core.NewQueryCache(0, 0)}
+	s := &Service{mgr: mgr, reg: core.NewRegistry(mgr), cache: core.NewQueryCache(0, 0)}
+	s.initGeneration()
+	return s
 }
 
 // NewRegistryService builds a service over an existing snapshot registry
 // (and its snapshot cache).
 func NewRegistryService(reg *core.Registry) *Service {
-	return &Service{mgr: reg.Manager(), reg: reg, cache: core.NewQueryCache(0, 0)}
+	s := &Service{mgr: reg.Manager(), reg: reg, cache: core.NewQueryCache(0, 0)}
+	s.initGeneration()
+	return s
 }
 
 // Manager exposes the underlying snapshot cache.

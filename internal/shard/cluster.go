@@ -28,15 +28,24 @@ type NodeHealth struct {
 }
 
 // ClusterResult is the /v1/cluster payload: per-node health plus the
-// consistent-hash ring's state.
+// consistent-hash ring's state, and — when the proxy runs a failure
+// detector — the probe states and failover routing overlay.
 type ClusterResult struct {
-	Nodes []NodeHealth `json:"nodes"`
-	Ring  RingState    `json:"ring"`
+	Nodes    []NodeHealth         `json:"nodes"`
+	Ring     RingState            `json:"ring"`
+	Detector map[string]NodeProbe `json:"detector,omitempty"`
+	Failover map[string]RouteInfo `json:"failover,omitempty"`
 }
 
 func (p *Proxy) handleCluster(w http.ResponseWriter, r *http.Request) {
 	nodes, bodies, errs := p.fanout("/healthz")
 	res := ClusterResult{Ring: p.ring.State(), Nodes: make([]NodeHealth, len(nodes))}
+	if p.detector != nil {
+		res.Detector = p.detector.States()
+	}
+	if routes := p.Routes(); len(routes) > 0 {
+		res.Failover = routes
+	}
 	for i, node := range nodes {
 		h := NodeHealth{Node: node}
 		if errs[i] != nil {
@@ -88,10 +97,12 @@ type ClusterStats struct {
 	} `json:"queries"`
 	Replication struct {
 		// Followers counts nodes reporting a replication section; the lag
-		// gauges are cluster maxima.
-		Followers int    `json:"followers"`
-		LagSeq    uint64 `json:"replicationLagSeq"`
-		LagMs     int64  `json:"replicationLagMs"`
+		// gauges are cluster maxima over reachable streams, and
+		// Unreachable sums streams whose primary is gone.
+		Followers   int    `json:"followers"`
+		LagSeq      uint64 `json:"replicationLagSeq"`
+		LagMs       int64  `json:"replicationLagMs"`
+		Unreachable int    `json:"unreachableStreams,omitempty"`
 	} `json:"replication"`
 }
 
@@ -134,6 +145,7 @@ func (p *Proxy) handleStats(w http.ResponseWriter, r *http.Request) {
 			if st.Replication.LagMs > res.Replication.LagMs {
 				res.Replication.LagMs = st.Replication.LagMs
 			}
+			res.Replication.Unreachable += st.Replication.Unreachable
 		}
 	}
 	writeJSON(w, http.StatusOK, res)

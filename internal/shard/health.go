@@ -1,0 +1,313 @@
+package shard
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"lipstick/internal/faultinject"
+)
+
+// Failure detector: the proxy actively probes every node's /healthz and
+// drives a per-node state machine. A node is never declared down off a
+// single dropped packet (suspect first, then down after more consecutive
+// failures), and a node that answers again after being down must prove
+// itself over several probes (recovering) before it is healthy — the
+// window the failover coordinator uses to fence a zombie ex-primary
+// before traffic returns to it.
+
+// NodeState is one node's position in the detector's state machine.
+type NodeState int
+
+const (
+	StateHealthy NodeState = iota
+	StateSuspect
+	StateDown
+	StateRecovering
+)
+
+func (s NodeState) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateSuspect:
+		return "suspect"
+	case StateDown:
+		return "down"
+	case StateRecovering:
+		return "recovering"
+	}
+	return "unknown"
+}
+
+// MarshalJSON renders the state name, not the enum ordinal.
+func (s NodeState) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// Transition is one state-machine edge, delivered to OnTransition.
+type Transition struct {
+	Node       string    `json:"node"`
+	From       NodeState `json:"from"`
+	To         NodeState `json:"to"`
+	Generation uint64    `json:"generation"` // node's last advertised generation
+}
+
+// NodeProbe is one node's row in Detector.States() and /v1/cluster.
+type NodeProbe struct {
+	State      NodeState `json:"state"`
+	Generation uint64    `json:"generation,omitempty"`
+	Fails      int       `json:"consecutiveFails,omitempty"`
+	LastError  string    `json:"lastError,omitempty"`
+}
+
+// Detector defaults: at 250ms probes a dead primary is suspect within
+// ~500ms and down within ~1s — fast enough that failover is snappy,
+// slow enough that one GC pause does not trigger a promotion.
+const (
+	DefaultProbeInterval = 250 * time.Millisecond
+	DefaultSuspectAfter  = 2
+	DefaultDownAfter     = 4
+	DefaultRecoverAfter  = 2
+)
+
+// Detector probes a fixed node set. Construct with NewDetector, set
+// OnTransition, then Start; Close stops every probe goroutine.
+type Detector struct {
+	nodes    []string
+	client   *http.Client
+	interval time.Duration
+	suspect  int // consecutive fails: healthy -> suspect
+	down     int // consecutive fails: suspect -> down
+	recover  int // consecutive oks: suspect/recovering -> healthy
+
+	// OnTransition is invoked from a probe goroutine on every state
+	// change. Set it before Start; it must not block for long (it delays
+	// that node's next probe, nobody else's).
+	OnTransition func(Transition)
+
+	mu     sync.Mutex
+	probes map[string]*probeState // guarded by mu
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// probeState is one node's detector bookkeeping.
+type probeState struct {
+	state   NodeState
+	fails   int // consecutive failed probes
+	oks     int // consecutive ok probes since entering a non-healthy state
+	gen     uint64
+	lastErr string
+}
+
+// DetectorOption configures a Detector.
+type DetectorOption func(*Detector)
+
+// WithProbeInterval sets the per-node probe period (<= 0 keeps the
+// default). The probe timeout follows the interval, capped at 2s.
+func WithProbeInterval(d time.Duration) DetectorOption {
+	return func(det *Detector) {
+		if d > 0 {
+			det.interval = d
+		}
+	}
+}
+
+// WithThresholds overrides the consecutive-probe counts for the
+// healthy->suspect, suspect->down, and *->healthy edges (values < 1 keep
+// the defaults).
+func WithThresholds(suspectAfter, downAfter, recoverAfter int) DetectorOption {
+	return func(det *Detector) {
+		if suspectAfter >= 1 {
+			det.suspect = suspectAfter
+		}
+		if downAfter >= 1 {
+			det.down = downAfter
+		}
+		if recoverAfter >= 1 {
+			det.recover = recoverAfter
+		}
+	}
+}
+
+// NewDetector builds (without starting) a detector over the node base
+// URLs. Probes pass through the "proxy.transport" failpoint, so a chaos
+// partition that drops proxy->node traffic also starves the detector —
+// exactly the signal that drives failover.
+func NewDetector(nodes []string, opts ...DetectorOption) *Detector {
+	det := &Detector{
+		nodes:    append([]string(nil), nodes...),
+		interval: DefaultProbeInterval,
+		suspect:  DefaultSuspectAfter,
+		down:     DefaultDownAfter,
+		recover:  DefaultRecoverAfter,
+		probes:   make(map[string]*probeState),
+		stop:     make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(det)
+	}
+	timeout := 2 * det.interval
+	if timeout > 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	det.client = &http.Client{
+		Timeout:   timeout,
+		Transport: faultinject.Transport("proxy.transport", nil),
+	}
+	for _, n := range det.nodes {
+		det.probes[n] = &probeState{state: StateHealthy}
+	}
+	return det
+}
+
+// Start launches one probe goroutine per node.
+func (det *Detector) Start() {
+	for _, node := range det.nodes {
+		det.wg.Add(1)
+		go det.probeLoop(node)
+	}
+}
+
+// Close stops probing and waits for the probe goroutines (idempotent).
+func (det *Detector) Close() {
+	det.stopOnce.Do(func() { close(det.stop) })
+	det.wg.Wait()
+}
+
+// States snapshots every node's probe state for /v1/cluster.
+func (det *Detector) States() map[string]NodeProbe {
+	det.mu.Lock()
+	defer det.mu.Unlock()
+	out := make(map[string]NodeProbe, len(det.probes))
+	for node, ps := range det.probes {
+		out[node] = NodeProbe{State: ps.state, Generation: ps.gen, Fails: ps.fails, LastError: ps.lastErr}
+	}
+	return out
+}
+
+// probeLoop probes one node until Close. The first probe fires
+// immediately so a topology that boots against a dead node converges
+// without waiting out a full interval.
+func (det *Detector) probeLoop(node string) {
+	defer det.wg.Done()
+	t := time.NewTicker(det.interval)
+	defer t.Stop()
+	for {
+		gen, err := det.probe(node)
+		det.observe(node, gen, err)
+		select {
+		case <-det.stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// probe issues one /healthz round trip and extracts the node's
+// advertised failover generation.
+func (det *Detector) probe(node string) (uint64, error) {
+	resp, err := det.client.Get(node + "/healthz")
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = resp.Body.Close() }() // decoded (or drained) below
+	var hz struct {
+		Generation uint64 `json:"generation"`
+	}
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<14))
+		return 0, &probeStatusError{node: node, status: resp.Status}
+	}
+	if derr := json.NewDecoder(resp.Body).Decode(&hz); derr != nil {
+		return 0, derr
+	}
+	return hz.Generation, nil
+}
+
+// probeStatusError is a non-200 healthz answer.
+type probeStatusError struct {
+	node   string
+	status string
+}
+
+func (e *probeStatusError) Error() string { return "healthz of " + e.node + ": " + e.status }
+
+// observe applies one probe result to the node's state machine and
+// fires OnTransition outside the lock.
+func (det *Detector) observe(node string, gen uint64, err error) {
+	det.mu.Lock()
+	ps := det.probes[node]
+	from := ps.state
+	if err != nil {
+		ps.fails++
+		ps.oks = 0
+		ps.lastErr = err.Error()
+		switch {
+		case ps.state == StateHealthy && ps.fails >= det.suspect:
+			ps.state = StateSuspect
+		case ps.state == StateSuspect && ps.fails >= det.down:
+			ps.state = StateDown
+		case ps.state == StateRecovering:
+			// A relapse mid-recovery goes straight back to down.
+			ps.state = StateDown
+		}
+	} else {
+		ps.fails = 0
+		ps.oks++
+		ps.gen = gen
+		ps.lastErr = ""
+		switch ps.state {
+		case StateSuspect, StateRecovering:
+			if ps.oks >= det.recover {
+				ps.state = StateHealthy
+			}
+		case StateDown:
+			ps.state = StateRecovering
+			ps.oks = 1
+		}
+	}
+	to, outGen := ps.state, ps.gen
+	det.mu.Unlock()
+	if to != from && det.OnTransition != nil {
+		det.OnTransition(Transition{Node: node, From: from, To: to, Generation: outGen})
+	}
+}
+
+// Package-level expvar gauge: every running detector's node states,
+// published once (expvar panics on re-publish).
+var (
+	detectorsMu sync.Mutex
+	detectors   = map[*Detector]struct{}{} // guarded by detectorsMu
+)
+
+// PublishExpvar registers this detector in the process-wide
+// "shardNodeStates" expvar map (deregistered by Close via Deregister is
+// not needed — a closed detector just reports its final states).
+func (det *Detector) PublishExpvar() {
+	detectorsMu.Lock()
+	defer detectorsMu.Unlock()
+	detectors[det] = struct{}{}
+}
+
+func init() {
+	expvar.Publish("shardNodeStates", expvar.Func(func() any {
+		detectorsMu.Lock()
+		dets := make([]*Detector, 0, len(detectors))
+		for d := range detectors {
+			dets = append(dets, d)
+		}
+		detectorsMu.Unlock()
+		merged := map[string]string{}
+		for _, d := range dets {
+			for node, ps := range d.States() {
+				merged[node] = ps.State.String()
+			}
+		}
+		return merged
+	}))
+}

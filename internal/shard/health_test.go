@@ -1,0 +1,247 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lipstick/internal/testutil"
+)
+
+// flakyNode is a /healthz backend whose availability tests toggle.
+type flakyNode struct {
+	mu   sync.Mutex
+	up   bool   // guarded by mu
+	gen  uint64 // guarded by mu
+	hits int    // guarded by mu
+}
+
+func (n *flakyNode) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		n.hits++
+		if !n.up {
+			http.Error(w, "dying", http.StatusServiceUnavailable)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{"status": "ok", "generation": n.gen})
+	})
+}
+
+// waitState polls until the detector reports node in want (or fails).
+func waitState(t *testing.T, det *Detector, node string, want NodeState) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if det.States()[node].State == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("node %s never reached %v (now %v)", node, want, det.States()[node].State)
+}
+
+func TestDetectorWalksTheStateMachine(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	node := &flakyNode{up: true, gen: 3}
+	srv := httptest.NewServer(node.handler())
+	defer srv.Close()
+
+	var transMu sync.Mutex
+	var transitions []Transition // guarded by transMu
+	det := NewDetector([]string{srv.URL},
+		WithProbeInterval(2*time.Millisecond),
+		WithThresholds(2, 4, 2))
+	det.OnTransition = func(tr Transition) {
+		transMu.Lock()
+		transitions = append(transitions, tr)
+		transMu.Unlock()
+	}
+	det.Start()
+	defer det.Close()
+
+	// Nodes start healthy; the first successful probe proves it by
+	// capturing the advertised generation.
+	waitGen := func(want uint64) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if det.States()[srv.URL].Generation == want {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("generation never reached %d (now %d)", want, det.States()[srv.URL].Generation)
+	}
+	waitGen(3)
+
+	node.mu.Lock()
+	node.up = false
+	node.mu.Unlock()
+	waitState(t, det, srv.URL, StateSuspect)
+	waitState(t, det, srv.URL, StateDown)
+
+	node.mu.Lock()
+	node.up = true
+	node.gen = 4
+	node.mu.Unlock()
+	waitState(t, det, srv.URL, StateHealthy)
+	waitGen(4)
+
+	// The transition log walks every edge exactly once, in order.
+	det.Close()
+	transMu.Lock()
+	defer transMu.Unlock()
+	want := []NodeState{StateSuspect, StateDown, StateRecovering, StateHealthy}
+	if len(transitions) != len(want) {
+		t.Fatalf("saw %d transitions %v, want %d", len(transitions), transitions, len(want))
+	}
+	for i, tr := range transitions {
+		if tr.To != want[i] {
+			t.Fatalf("transition %d = %v -> %v, want -> %v", i, tr.From, tr.To, want[i])
+		}
+	}
+}
+
+func TestProxySuspectModeDegradesGracefully(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	primary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"served": "primary"})
+	}))
+	defer primary.Close()
+	follower := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Lipstick-Replica-Lag", "2")
+		writeJSON(w, http.StatusOK, map[string]string{"served": "follower"})
+	}))
+	defer follower.Close()
+
+	p, err := NewProxy([]string{primary.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetFailover(primary.URL, follower.URL)
+	p.MarkSuspect(primary.URL, true)
+	h := p.Handler()
+
+	// Suspect write: immediate 503 with a Retry-After hint.
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("POST", "/v1/ingest/g", strings.NewReader("{}")))
+	if rw.Code != http.StatusServiceUnavailable {
+		t.Fatalf("suspect write status = %d, want 503", rw.Code)
+	}
+	if rw.Header().Get("Retry-After") == "" {
+		t.Fatal("suspect write rejection carries no Retry-After")
+	}
+	if !strings.Contains(rw.Body.String(), `"failover"`) {
+		t.Fatalf("suspect write body %q lacks the failover kind", rw.Body.String())
+	}
+
+	// Suspect read: served by the follower, stale marker intact.
+	rw = httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("GET", "/v1/snapshots/g/info", nil))
+	if rw.Code != http.StatusOK || !strings.Contains(rw.Body.String(), "follower") {
+		t.Fatalf("suspect read = %d %q, want follower answer", rw.Code, rw.Body.String())
+	}
+	if rw.Header().Get("X-Lipstick-Replica-Lag") == "" {
+		t.Fatal("degraded read lost the replica-lag stale marker")
+	}
+
+	// Promotion ends the degraded window: everything routes to the target.
+	p.PromoteRoute(primary.URL, follower.URL, 2)
+	rw = httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("POST", "/v1/ingest/g", strings.NewReader("{}")))
+	if rw.Code != http.StatusOK || !strings.Contains(rw.Body.String(), "follower") {
+		t.Fatalf("post-promotion write = %d %q, want follower answer", rw.Code, rw.Body.String())
+	}
+}
+
+func TestProxyStampsGenerationOnPromotedWrites(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	var gotGen, gotPrimary string
+	var target *httptest.Server
+	target = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotGen = r.Header.Get("X-Lipstick-Generation")
+		gotPrimary = r.Header.Get("X-Lipstick-Primary")
+		writeJSON(w, http.StatusOK, map[string]string{"ok": "1"})
+	}))
+	defer target.Close()
+
+	p, err := NewProxy([]string{"http://127.0.0.1:1"}) // dead nominal owner
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.PromoteRoute("http://127.0.0.1:1", target.URL, 7)
+	rw := httptest.NewRecorder()
+	p.Handler().ServeHTTP(rw, httptest.NewRequest("POST", "/v1/ingest/g", strings.NewReader("{}")))
+	if rw.Code != http.StatusOK {
+		t.Fatalf("promoted write status = %d", rw.Code)
+	}
+	if gotGen != "7" || gotPrimary != target.URL {
+		t.Fatalf("stamped gen=%q primary=%q, want 7/%s", gotGen, gotPrimary, target.URL)
+	}
+
+	// Reads are not stamped: no fencing headers on the query path.
+	gotGen, gotPrimary = "", ""
+	rw = httptest.NewRecorder()
+	p.Handler().ServeHTTP(rw, httptest.NewRequest("GET", "/v1/snapshots/g/info", nil))
+	if gotGen != "" {
+		t.Fatalf("read was stamped with generation %q", gotGen)
+	}
+}
+
+func TestProxyHonorsRetryAfterAndContextCancel(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	node := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+	}))
+	defer node.Close()
+
+	// The injected sleep observes the Retry-After override.
+	var delays []time.Duration
+	p, err := NewProxy([]string{node.URL}, WithRetry(2, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.sleep = func(d time.Duration) { delays = append(delays, d) }
+	rw := httptest.NewRecorder()
+	p.Handler().ServeHTTP(rw, httptest.NewRequest("POST", "/v1/ingest/g", strings.NewReader("{}")))
+	if rw.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 after exhausted retries", rw.Code)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("slept %d times, want 2", len(delays))
+	}
+	for i, d := range delays {
+		if d != time.Second {
+			t.Fatalf("delay %d = %v, want the node's 1s Retry-After (not jitter)", i, d)
+		}
+	}
+
+	// With the real clock, a canceled request context aborts the backoff
+	// instead of sleeping out the hint.
+	p2, err := NewProxy([]string{node.URL}, WithRetry(4, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest("POST", "/v1/ingest/g", strings.NewReader("{}")).WithContext(ctx)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p2.Handler().ServeHTTP(httptest.NewRecorder(), req)
+	}()
+	time.Sleep(10 * time.Millisecond) // let the first attempt hit the node
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(500 * time.Millisecond):
+		t.Fatal("canceled request still blocked in backoff (would have slept ~4s)")
+	}
+}

@@ -7,10 +7,12 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"lipstick/internal/faultinject"
 	"lipstick/internal/serve"
 )
 
@@ -33,6 +35,30 @@ type Proxy struct {
 
 	mu       sync.Mutex
 	sessions map[string]string // session id -> owning node; guarded by mu
+
+	// Failover routing overlay: the ring still names the nominal owner,
+	// routes overrides where its traffic actually goes. Written by the
+	// detector/coordinator callbacks, read per forward attempt.
+	routesMu sync.Mutex
+	routes   map[string]*routeInfo // nominal node -> override; guarded by routesMu
+
+	detector *Detector // read-only after SetDetector; /v1/cluster reporting
+}
+
+// routeInfo is one nominal node's failover routing state.
+type routeInfo struct {
+	suspect  bool   // degraded mode: reads -> follower, writes -> 503
+	follower string // designated follower for degraded reads and promotion
+	target   string // promoted replacement; "" = route to the node itself
+	gen      uint64 // generation stamped on writes once promoted
+}
+
+// RouteInfo is the exported /v1/cluster view of one failover route.
+type RouteInfo struct {
+	Suspect    bool   `json:"suspect,omitempty"`
+	Follower   string `json:"follower,omitempty"`
+	Target     string `json:"target,omitempty"`
+	Generation uint64 `json:"generation,omitempty"`
 }
 
 // ProxyOption configures a Proxy.
@@ -78,15 +104,16 @@ func NewProxy(nodes []string, opts ...ProxyOption) (*Proxy, error) {
 		ring: ring,
 		client: &http.Client{
 			Timeout: 60 * time.Second,
-			Transport: &http.Transport{
+			Transport: faultinject.Transport("proxy.transport", &http.Transport{
 				MaxIdleConns:        256,
 				MaxIdleConnsPerHost: 64,
 				IdleConnTimeout:     90 * time.Second,
-			},
+			}),
 		},
 		maxRetries: serve.DefaultMaxRetries,
 		retryBase:  serve.DefaultRetryBase,
 		sessions:   make(map[string]string),
+		routes:     make(map[string]*routeInfo),
 	}
 	for _, opt := range opts {
 		opt(p)
@@ -96,6 +123,80 @@ func NewProxy(nodes []string, opts ...ProxyOption) (*Proxy, error) {
 
 // Ring exposes the proxy's hash ring (routing inspection, tests).
 func (p *Proxy) Ring() *Ring { return p.ring }
+
+// SetDetector attaches the failure detector whose states /v1/cluster
+// reports. Call before the handler serves traffic.
+func (p *Proxy) SetDetector(d *Detector) { p.detector = d }
+
+// SetFailover designates node's failover follower: degraded reads go
+// there while node is suspect, and the coordinator promotes it when
+// node is declared down.
+func (p *Proxy) SetFailover(node, follower string) {
+	p.routesMu.Lock()
+	defer p.routesMu.Unlock()
+	p.routeLocked(node).follower = follower
+}
+
+// FailoverFor returns node's designated follower ("" = none).
+func (p *Proxy) FailoverFor(node string) string {
+	p.routesMu.Lock()
+	defer p.routesMu.Unlock()
+	if ri := p.routes[node]; ri != nil {
+		return ri.follower
+	}
+	return ""
+}
+
+// MarkSuspect flips node's degraded mode: while suspect (and not yet
+// promoted past), its writes answer 503 + Retry-After and its reads
+// route to the designated follower.
+func (p *Proxy) MarkSuspect(node string, on bool) {
+	p.routesMu.Lock()
+	defer p.routesMu.Unlock()
+	p.routeLocked(node).suspect = on
+}
+
+// PromoteRoute redirects node's traffic to target, stamping writes with
+// the promotion generation so a zombie ex-primary is fenced. Clears the
+// suspect window — the promoted target accepts writes.
+func (p *Proxy) PromoteRoute(node, target string, gen uint64) {
+	p.routesMu.Lock()
+	defer p.routesMu.Unlock()
+	ri := p.routeLocked(node)
+	ri.target, ri.gen, ri.suspect = target, gen, false
+}
+
+// Routes snapshots the failover routing overlay for /v1/cluster.
+func (p *Proxy) Routes() map[string]RouteInfo {
+	p.routesMu.Lock()
+	defer p.routesMu.Unlock()
+	out := make(map[string]RouteInfo, len(p.routes))
+	for node, ri := range p.routes {
+		out[node] = RouteInfo{Suspect: ri.suspect, Follower: ri.follower, Target: ri.target, Generation: ri.gen}
+	}
+	return out
+}
+
+// routeLocked returns (creating if needed) node's override entry.
+// Callers hold routesMu.
+func (p *Proxy) routeLocked(node string) *routeInfo {
+	ri := p.routes[node]
+	if ri == nil {
+		ri = &routeInfo{}
+		p.routes[node] = ri
+	}
+	return ri
+}
+
+// resolve reads node's effective route for one forward attempt.
+func (p *Proxy) resolve(node string) routeInfo {
+	p.routesMu.Lock()
+	defer p.routesMu.Unlock()
+	if ri := p.routes[node]; ri != nil {
+		return *ri
+	}
+	return routeInfo{}
+}
 
 // maxProxyBody caps a buffered request body; matches the node's own
 // ingest cap, so the proxy never buffers more than a node would accept.
@@ -147,14 +248,25 @@ func (p *Proxy) Handler() http.Handler {
 	return mux
 }
 
+// maxProxyRetryAfter caps how long one node-supplied Retry-After hint
+// stalls a forward attempt; matches the jittered schedule's own cap.
+const maxProxyRetryAfter = 2 * time.Second
+
 // forward proxies one request to node, retrying 429/503 responses with
 // jittered exponential backoff (bodies are buffered, and ingestion is
 // idempotent by sequence, so a retry is safe even if the rejected
-// attempt partially landed). The terminal response streams through with
-// an added X-Lipstick-Node header.
+// attempt partially landed). A node Retry-After hint overrides the
+// jitter (capped), and the backoff aborts if the client's request
+// context is canceled. The route re-resolves per attempt so a failover
+// mid-retry takes effect: a suspect node's writes answer 503 +
+// Retry-After until promotion, its reads degrade to the designated
+// follower, and a promoted route stamps writes with the promotion
+// generation. The terminal response streams through with an added
+// X-Lipstick-Node header.
 func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, node string) {
 	var body []byte
-	if r.Body != nil && r.Method != http.MethodGet && r.Method != http.MethodHead {
+	isWrite := r.Method != http.MethodGet && r.Method != http.MethodHead
+	if r.Body != nil && isWrite {
 		b, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxProxyBody))
 		if err != nil {
 			writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{
@@ -166,21 +278,61 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, node string) {
 	}
 	backoff := p.retryBase
 	for attempt := 0; ; attempt++ {
-		resp, err := p.roundTrip(r, node, body)
+		route := p.resolve(node)
+		target, gen := node, uint64(0)
+		if route.target != "" {
+			target, gen = route.target, route.gen
+		} else if route.suspect {
+			if isWrite {
+				// Degrade writes until promotion completes: the client's
+				// Retry-After loop rides through the failover window.
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+					"error": fmt.Sprintf("proxy: %s is suspect; write refused pending failover", node),
+					"kind":  "failover", "state": "suspect", "node": node,
+				})
+				return
+			}
+			if route.follower != "" {
+				// Degraded read: the follower serves it, marked stale via
+				// its own X-Lipstick-Replica-Lag header.
+				target = route.follower
+			}
+		}
+		resp, err := p.stampedRoundTrip(r, target, gen, body)
 		if err != nil {
+			if route.follower != "" && target == node {
+				if isWrite {
+					// The node died under us but has a failover path: tell
+					// the client to retry instead of failing the write.
+					w.Header().Set("Retry-After", "1")
+					writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+						"error": fmt.Sprintf("proxy: forwarding to %s: %v", node, err),
+						"kind":  "failover", "state": "unreachable", "node": node,
+					})
+					return
+				}
+				// One-shot degraded read against the follower.
+				if fresp, ferr := p.roundTrip(r, route.follower, body); ferr == nil {
+					p.relay(w, fresp, route.follower)
+					return
+				}
+			}
 			writeJSON(w, http.StatusBadGateway, map[string]string{
-				"error": fmt.Sprintf("proxy: forwarding to %s: %v", node, err), "node": node,
+				"error": fmt.Sprintf("proxy: forwarding to %s: %v", target, err), "node": target,
 			})
 			return
 		}
 		retryable := resp.StatusCode == http.StatusTooManyRequests ||
 			resp.StatusCode == http.StatusServiceUnavailable
 		if !retryable || attempt >= p.maxRetries {
-			p.relay(w, resp, node)
+			p.relay(w, resp, target)
 			return
 		}
-		// Drain so the kept-alive connection is reusable, then back off
-		// with the ingest client's full-jitter schedule.
+		// Drain so the kept-alive connection is reusable, then back off:
+		// the node's Retry-After hint when present (capped), the ingest
+		// client's full-jitter schedule otherwise.
+		retryAfter := parseRetryAfterSeconds(resp.Header.Get("Retry-After"))
 		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<14))
 		_ = resp.Body.Close() // retrying; this response is discarded
 		half := backoff / 2
@@ -188,10 +340,22 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, node string) {
 			half = 1
 		}
 		delay := half + time.Duration(rand.Int63n(int64(half)))
+		if retryAfter > 0 {
+			if retryAfter > maxProxyRetryAfter {
+				retryAfter = maxProxyRetryAfter
+			}
+			delay = retryAfter
+		}
 		if p.sleep != nil {
 			p.sleep(delay)
 		} else {
-			time.Sleep(delay)
+			t := time.NewTimer(delay)
+			select {
+			case <-r.Context().Done():
+				t.Stop()
+				return // client gone mid-backoff; nothing left to answer
+			case <-t.C:
+			}
 		}
 		if backoff *= 2; backoff > 2*time.Second {
 			backoff = 2 * time.Second
@@ -199,13 +363,34 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, node string) {
 	}
 }
 
+// parseRetryAfterSeconds decodes an integer-seconds Retry-After value
+// (0 for absent/other forms — the jittered schedule then applies).
+func parseRetryAfterSeconds(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
 // roundTrip sends one copy of the request to node.
 func (p *Proxy) roundTrip(r *http.Request, node string, body []byte) (*http.Response, error) {
+	return p.stampedRoundTrip(r, node, 0, body)
+}
+
+// stampedRoundTrip sends one copy of the request to target; gen > 0 on
+// an ingest write stamps the failover generation headers so the target
+// node fences the request if it is not (or no longer) the generation-gen
+// primary.
+func (p *Proxy) stampedRoundTrip(r *http.Request, target string, gen uint64, body []byte) (*http.Response, error) {
 	var reader io.Reader
 	if body != nil {
 		reader = bytes.NewReader(body)
 	}
-	out, err := http.NewRequestWithContext(r.Context(), r.Method, node+r.URL.RequestURI(), reader)
+	out, err := http.NewRequestWithContext(r.Context(), r.Method, target+r.URL.RequestURI(), reader)
 	if err != nil {
 		return nil, err
 	}
@@ -214,6 +399,10 @@ func (p *Proxy) roundTrip(r *http.Request, node string, body []byte) (*http.Resp
 			continue
 		}
 		out.Header[k] = vs
+	}
+	if gen > 0 && strings.HasPrefix(r.URL.Path, "/v1/ingest/") {
+		out.Header.Set(serve.GenerationHeader, strconv.FormatUint(gen, 10))
+		out.Header.Set(serve.PrimaryHeader, target)
 	}
 	return p.client.Do(out)
 }

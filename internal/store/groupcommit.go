@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lipstick/internal/faultinject"
 	"lipstick/internal/provgraph"
 )
 
@@ -384,6 +385,7 @@ func (g *committer) commitGroup(ops []commitOp) (closed bool) {
 	var created []string
 	written := 0
 	var err error
+	_ = faultinject.Err("wal.slow") // delay-only point: the sleep is the fault
 
 write:
 	for _, op := range ops {
@@ -394,6 +396,16 @@ write:
 				}
 			}
 			rec := op.recs.record(i)
+			if f := faultinject.Fire("wal.write"); f != nil {
+				if f.Torn && l.bw != nil {
+					// Flush a deliberately partial frame so recovery sees a
+					// torn tail, exactly as after a mid-write crash.
+					_, _ = l.bw.Write(rec[:len(rec)/2])
+					_ = l.bw.Flush()
+				}
+				err = f.Err
+				break write
+			}
 			if _, err = l.bw.Write(rec); err != nil {
 				break write
 			}
@@ -405,23 +417,29 @@ write:
 		err = l.bw.Flush()
 	}
 	if err == nil && l.fsync && l.f != nil && written > 0 {
-		err = l.f.Sync()
+		if err = faultinject.Err("wal.fsync"); err == nil {
+			err = l.f.Sync()
+		}
 	}
 
 	if err != nil {
 		// Roll back to the pre-group state, exactly like a failed serial
 		// Append: close the damaged segment, drop segments the group
 		// created, truncate the entry segment to its pre-group length.
+		// A simulated crash skips the disk rollback — the process would
+		// be dead before it ran — leaving the torn bytes for recovery.
 		if l.f != nil {
 			_ = l.f.Close() // the write already failed; rollback proceeds regardless
 			l.f, l.bw = nil, nil
 		}
-		for _, p := range created {
-			os.Remove(p)
-		}
-		if entryPath != "" {
-			if terr := os.Truncate(entryPath, entrySize); terr != nil {
-				err = fmt.Errorf("store: rolling back failed group commit: %w (after %w)", terr, err)
+		if !faultinject.IsCrash(err) {
+			for _, p := range created {
+				os.Remove(p)
+			}
+			if entryPath != "" {
+				if terr := os.Truncate(entryPath, entrySize); terr != nil {
+					err = fmt.Errorf("store: rolling back failed group commit: %w (after %w)", terr, err)
+				}
 			}
 		}
 		l.path, l.size = "", 0

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lipstick/internal/faultinject"
 	"lipstick/internal/provgraph"
 )
 
@@ -241,6 +242,14 @@ func (l *Log) Append(events []provgraph.Event) error {
 			_ = l.f.Close() // append already failed; rollback proceeds regardless
 			l.f, l.bw = nil, nil
 		}
+		if faultinject.IsCrash(err) {
+			// A simulated crash: the process would be dead before any
+			// rollback ran, so leave the torn bytes on disk for recovery
+			// to truncate — the log object itself is abandoned.
+			l.seq.Store(entrySeq)
+			l.path, l.size = "", 0
+			return err
+		}
 		for _, p := range created {
 			os.Remove(p)
 		}
@@ -260,6 +269,7 @@ func (l *Log) Append(events []provgraph.Event) error {
 }
 
 func (l *Log) appendAll(events []provgraph.Event, created *[]string) error {
+	_ = faultinject.Err("wal.slow") // delay-only point: the sleep is the fault
 	for i := range events {
 		next := l.seq.Load() + 1
 		if l.f == nil || l.size >= l.segLimit {
@@ -280,6 +290,16 @@ func (l *Log) appendAll(events []provgraph.Event, created *[]string) error {
 		payload := l.scratch.Bytes()
 		var head [binary.MaxVarintLen64]byte
 		n := binary.PutUvarint(head[:], uint64(len(payload)))
+		if f := faultinject.Fire("wal.write"); f != nil {
+			if f.Torn && l.bw != nil {
+				// Flush a deliberately partial frame — header plus half the
+				// payload — so recovery sees a torn tail.
+				_, _ = l.bw.Write(head[:n])
+				_, _ = l.bw.Write(payload[:len(payload)/2])
+				_ = l.bw.Flush()
+			}
+			return f.Err
+		}
 		if _, err := l.bw.Write(head[:n]); err != nil {
 			return err
 		}
@@ -300,6 +320,9 @@ func (l *Log) appendAll(events []provgraph.Event, created *[]string) error {
 		}
 	}
 	if l.fsync && l.f != nil {
+		if err := faultinject.Err("wal.fsync"); err != nil {
+			return err
+		}
 		return l.f.Sync()
 	}
 	return nil
